@@ -1,0 +1,99 @@
+/**
+ * @file
+ * E8 -- ablation of the design choices DESIGN.md calls out, on the
+ * Harris pipeline and the running-example convolution:
+ *
+ *   full            the composition as published
+ *   no-promotion    extension fusion but intermediates stay in DRAM
+ *                   (shows the contribution of Sec. V-B storage
+ *                   reduction; uses an out-of-place-safe pipeline)
+ *   dilated         PolyMage-style over-approximated footprints
+ *                   (shows the cost of loose tile shapes)
+ *   no-guard        recompute guard disabled (maxRecompute = inf)
+ *   tiling-only     live-out tiling without post-tiling fusion
+ *                   (smartfuse + tiles: what tiling-after-fusion
+ *                   already achieves)
+ */
+
+#include "bench/common.hh"
+#include "workloads/pipelines.hh"
+
+using namespace polyfuse;
+using namespace polyfuse::bench;
+
+namespace {
+
+struct Variant
+{
+    const char *name;
+    bool promote;
+    unsigned dilation;
+    double maxRecompute;
+    bool fusion; ///< false: smartfuse + tiling only
+};
+
+} // namespace
+
+int
+main()
+{
+    ir::Program p = workloads::makeHarris({256, 256});
+    auto graph = deps::DependenceGraph::compute(p);
+    std::vector<Variant> variants = {
+        {"full", true, 0, 4.0, true},
+        {"no-promotion", false, 0, 4.0, true},
+        {"dilated", true, 1, 4.0, true},
+        {"no-guard", true, 0, 1e30, true},
+        {"tiling-only", true, 0, 4.0, false},
+    };
+
+    std::printf("=== Ablation (Harris, 256x256, tiles 32x128) ===\n");
+    printRow("variant",
+             {"model-32t(ms)", "dram(MB)", "instances", "compile"});
+    for (const auto &v : variants) {
+        double compile_ms = 0;
+        schedule::ScheduleTree tree;
+        Timer timer;
+        if (v.fusion) {
+            core::ComposeOptions opts;
+            opts.tileSizes = {32, 128};
+            opts.footprintDilation = v.dilation;
+            opts.maxRecompute = v.maxRecompute;
+            tree = core::compose(p, graph, opts).tree;
+        } else {
+            auto r = schedule::applyFusion(
+                p, graph, schedule::FusionPolicy::Smart);
+            tree = r.tree;
+            tileAllSpaces(tree, {32, 128});
+        }
+        compile_ms = timer.milliseconds();
+
+        codegen::GenOptions gopts;
+        gopts.promoteIntermediates = v.promote;
+        auto ast = codegen::generateAst(tree, gopts);
+
+        exec::Buffers buf(p);
+        defaultInit(p, buf);
+        memsim::MemoryHierarchy mem(
+            memsim::CacheConfig{16 * 1024, 64, 8, "L1"},
+            memsim::CacheConfig{256 * 1024, 64, 16, "L2"});
+        for (size_t t = 0; t < p.tensors().size(); ++t) {
+            mem.addSpace(t, p.tensorSize(t));
+            mem.addSpace(p.tensors().size() + t, p.tensorSize(t));
+        }
+        auto stats = exec::run(p, ast, buf,
+                               [&](int space, int64_t off, bool w) {
+                                   mem.access(space, off, w);
+                               });
+        printRow(v.name,
+                 {fmt(perfmodel::modeledCpuMs(stats, mem.stats(), 32),
+                      "%.3f"),
+                  fmt(mem.stats().dramBytes / 1e6),
+                  fmt(double(stats.instances), "%.0f"),
+                  fmt(compile_ms)});
+    }
+    std::printf("\nNote: Harris' stages write out of place, so the "
+                "no-promotion variant is\nsemantically safe here "
+                "(see GenOptions::promoteIntermediates).\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * E7 -- compilation-time comparison (Table I columns + Sec. VI-D):
+ * scheduling time of minfuse, smartfuse, maxfuse and our composition
+ * on the six image pipelines.
+ *
+ * Paper expectation (shape): ours stays close to the cheap
+ * heuristics and far below maxfuse (which the paper could not finish
+ * within a day on four pipelines); Harris is the noted exception
+ * where the footprint computation dominates for our approach.
+ */
+
+#include "bench/common.hh"
+#include "workloads/pipelines.hh"
+
+using namespace polyfuse;
+using namespace polyfuse::bench;
+
+int
+main()
+{
+    workloads::PipelineConfig cfg{256, 256};
+    struct Entry
+    {
+        const char *name;
+        ir::Program (*make)(const workloads::PipelineConfig &);
+    };
+    std::vector<Entry> entries = {
+        {"BilateralGrid", workloads::makeBilateralGrid},
+        {"CameraPipeline", workloads::makeCameraPipeline},
+        {"HarrisCorner", workloads::makeHarris},
+        {"LocalLaplacian", workloads::makeLocalLaplacian},
+        {"MultiscaleInterp", workloads::makeMultiscaleInterp},
+        {"UnsharpMask", workloads::makeUnsharpMask},
+    };
+    std::vector<Strategy> strategies = {
+        Strategy::MinFuse, Strategy::SmartFuse, Strategy::MaxFuse,
+        Strategy::Ours};
+
+    std::printf("=== Compilation time (scheduling + codegen, ms) "
+                "===\n");
+    printRow("benchmark",
+             {"minfuse", "smartfuse", "maxfuse", "ours"});
+    for (const auto &e : entries) {
+        ir::Program p = e.make(cfg);
+        auto graph = deps::DependenceGraph::compute(p);
+        std::vector<std::string> cells;
+        for (Strategy s : strategies) {
+            // Best of three to de-noise.
+            double best = 1e30;
+            for (int rep = 0; rep < 3; ++rep) {
+                RunOptions opts;
+                opts.tileSizes = {32, 32};
+                double compile_ms = 0;
+                auto tree =
+                    buildSchedule(p, graph, s, opts, compile_ms);
+                Timer t;
+                codegen::generateAst(tree);
+                compile_ms += t.milliseconds();
+                best = std::min(best, compile_ms);
+            }
+            cells.push_back(fmt(best));
+        }
+        printRow(e.name, cells);
+    }
+    std::printf("\nDependence analysis is shared by all strategies "
+                "and excluded;\nmaxfuse's shift search and ours' "
+                "footprint computation are included.\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * E5 -- Fig. 10: the image pipelines on the GPU model. PPCG minfuse
+ * (the paper's baseline), smartfuse, maxfuse, the Halide proxy and
+ * our composition; speedup over minfuse.
+ *
+ * Paper expectation (shape): ours wins by keeping intermediates in
+ * shared memory (promoted scratchpads) while preserving 2-level
+ * parallelism; maxfuse suffers where fusion costs parallelism.
+ */
+
+#include "bench/common.hh"
+#include "workloads/pipelines.hh"
+
+using namespace polyfuse;
+using namespace polyfuse::bench;
+
+int
+main()
+{
+    workloads::PipelineConfig cfg{256, 256};
+    struct Entry
+    {
+        const char *name;
+        ir::Program (*make)(const workloads::PipelineConfig &);
+        std::vector<int64_t> tiles; ///< GPU grid params of Table I
+    };
+    std::vector<Entry> entries = {
+        {"BG", workloads::makeBilateralGrid, {64, 64}},
+        {"CP", workloads::makeCameraPipeline, {16, 32}},
+        {"HC", workloads::makeHarris, {16, 32}},
+        {"LF", workloads::makeLocalLaplacian, {8, 64}},
+        {"MI", workloads::makeMultiscaleInterp, {32, 16}},
+        {"UM", workloads::makeUnsharpMask, {8, 32}},
+    };
+    std::vector<Strategy> strategies = {
+        Strategy::MinFuse, Strategy::SmartFuse, Strategy::MaxFuse,
+        Strategy::Halide, Strategy::Ours};
+
+    std::printf("=== Fig. 10: GPU model (speedup over minfuse) "
+                "===\n");
+    printRow("bench/strategy",
+             {"model(ms)", "dram(MB)", "shared(MB)", "occup",
+              "speedup"});
+    for (const auto &e : entries) {
+        ir::Program p = e.make(cfg);
+        auto graph = deps::DependenceGraph::compute(p);
+        double base = 0;
+        for (Strategy s : strategies) {
+            RunOptions opts;
+            opts.tileSizes = e.tiles;
+            opts.targetParallelism = 2;
+            RunResult r = runStrategy(
+                p, graph, s, opts,
+                [&](exec::Buffers &b) { defaultInit(p, b); });
+            auto est = memsim::estimateGpu(p, r.ast, r.stats,
+                                           r.gpuCounts);
+            if (s == Strategy::MinFuse)
+                base = est.ms;
+            printRow(std::string(e.name) + "/" + strategyName(s),
+                     {fmt(est.ms, "%.3f"),
+                      fmt(est.globalBytes / 1e6),
+                      fmt(est.sharedBytes / 1e6),
+                      fmt(est.occupancy),
+                      fmt(base / est.ms, "%.2fx")});
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * E2 -- Fig. 8: per-pipeline speedup over the sequential naive code
+ * at 1, 4, 16 and 32 threads for PolyMage-naive, PolyMage-optimized,
+ * the Halide proxy and our composition. Thread scaling is modeled
+ * from each schedule's measured single-thread time and its own
+ * parallel fraction.
+ *
+ * Paper expectation (shape): all optimized versions scale with
+ * threads (they preserve outer parallelism); ours is on top or tied
+ * on every pipeline.
+ */
+
+#include "bench/common.hh"
+#include "workloads/pipelines.hh"
+
+using namespace polyfuse;
+using namespace polyfuse::bench;
+
+int
+main()
+{
+    workloads::PipelineConfig cfg{256, 256};
+    struct Entry
+    {
+        const char *name;
+        ir::Program (*make)(const workloads::PipelineConfig &);
+        std::vector<int64_t> tiles;
+    };
+    std::vector<Entry> entries = {
+        {"BilateralGrid", workloads::makeBilateralGrid, {128, 128}},
+        {"CameraPipeline", workloads::makeCameraPipeline, {32, 64}},
+        {"HarrisCorner", workloads::makeHarris, {32, 128}},
+        {"LocalLaplacian", workloads::makeLocalLaplacian, {32, 64}},
+        {"MultiscaleInterp", workloads::makeMultiscaleInterp,
+         {32, 64}},
+        {"UnsharpMask", workloads::makeUnsharpMask, {8, 128}},
+    };
+    std::vector<Strategy> strategies = {Strategy::Naive,
+                                        Strategy::PolyMage,
+                                        Strategy::Halide,
+                                        Strategy::Ours};
+    std::vector<unsigned> threads = {1, 4, 16, 32};
+
+    std::printf("=== Fig. 8: speedup over sequential naive vs "
+                "threads ===\n");
+    for (const auto &e : entries) {
+        ir::Program p = e.make(cfg);
+        auto graph = deps::DependenceGraph::compute(p);
+        std::printf("--- %s ---\n", e.name);
+        printRow("strategy", {"t=1", "t=4", "t=16", "t=32"});
+        double naive_1t = 0;
+        for (Strategy s : strategies) {
+            RunOptions opts;
+            opts.tileSizes = e.tiles;
+            RunResult r = runStrategy(
+                p, graph, s, opts,
+                [&](exec::Buffers &b) { defaultInit(p, b); });
+            if (s == Strategy::Naive)
+                naive_1t =
+                    perfmodel::modeledCpuMs(r.stats, r.cache, 1);
+            std::vector<std::string> cells;
+            for (unsigned t : threads) {
+                double ms =
+                    perfmodel::modeledCpuMs(r.stats, r.cache, t);
+                cells.push_back(fmt(naive_1t / ms, "%.2f"));
+            }
+            printRow(strategyName(s), cells);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * E4 -- Table II: 2mm, gemver and covariance at 1, 8 and 32 threads
+ * under sequential (naive), minfuse, smartfuse, maxfuse, hybridfuse
+ * and our composition (32x32 tiles, the compilers' default).
+ *
+ * Paper expectation (shape): 2mm is insensitive to the fusion
+ * heuristic (parallelism preserved everywhere, hybrid best thanks to
+ * inner fusion); maxfuse collapses on gemver and covariance by
+ * losing parallelism; ours fuses more than smartfuse at identical
+ * multi-thread time.
+ */
+
+#include "bench/common.hh"
+#include "workloads/polybench.hh"
+
+using namespace polyfuse;
+using namespace polyfuse::bench;
+
+int
+main()
+{
+    struct Entry
+    {
+        const char *name;
+        ir::Program prog;
+    };
+    std::vector<Entry> entries;
+    entries.push_back({"2mm", workloads::make2mm(192, 192, 192, 192)});
+    entries.push_back({"gemver", workloads::makeGemver(768)});
+    entries.push_back({"covariance",
+                       workloads::makeCovariance(192, 192)});
+
+    std::vector<Strategy> strategies = {
+        Strategy::Naive,   Strategy::MinFuse, Strategy::SmartFuse,
+        Strategy::MaxFuse, Strategy::Hybrid,  Strategy::Ours};
+
+    std::printf("=== Table II: PolyBench (modeled time per thread "
+                "count, ms) ===\n");
+    for (auto &e : entries) {
+        auto graph = deps::DependenceGraph::compute(e.prog);
+        std::printf("--- %s ---\n", e.name);
+        printRow("strategy",
+                 {"t=1", "t=8", "t=32", "par-frac", "dram(MB)"});
+        for (Strategy s : strategies) {
+            RunOptions opts;
+            opts.tileSizes = {32, 32};
+            RunResult r = runStrategy(
+                e.prog, graph, s, opts, [&](exec::Buffers &b) {
+                    defaultInit(e.prog, b);
+                });
+            std::vector<std::string> cells;
+            for (unsigned t : {1u, 8u, 32u})
+                cells.push_back(fmt(
+                    perfmodel::modeledCpuMs(r.stats, r.cache, t)));
+            cells.push_back(
+                fmt(perfmodel::parallelFraction(r.stats)));
+            cells.push_back(fmt(r.cache.dramBytes / 1e6));
+            printRow(strategyName(s), cells);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

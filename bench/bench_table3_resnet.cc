@@ -1,0 +1,109 @@
+/**
+ * @file
+ * E6 -- Table III: ResNet-50 forward conv+batchnorm on the DaVinci
+ * accelerator model. "smart" reproduces the paper's observation that
+ * isl's smartfuse failed to fuse convolutions with batch norms
+ * (separate passes, GM round trip); "ours" is the post-tiling fused
+ * schedule (conv output consumed from the Unified Buffer). The
+ * fusion decision itself is validated by running the composition on
+ * a per-layer conv+bn program.
+ *
+ * Paper numbers: fwd conv+bn 11.50 -> 6.69 ms (1.72x), entire
+ * workload 35.03 -> 30.25 ms (1.16x).
+ */
+
+#include "bench/common.hh"
+#include "memsim/davinci.hh"
+#include "workloads/resnet50.hh"
+
+using namespace polyfuse;
+using namespace polyfuse::bench;
+
+int
+main()
+{
+    auto layers = workloads::resnet50Layers(/*batch=*/1);
+
+    // Validate the fusion decision on a representative layer: our
+    // composition fuses conv+bn, the Min startup (standing in for
+    // isl's failed smartfuse) leaves them separate.
+    {
+        memsim::ConvLayer probe;
+        probe.cin = 64;
+        probe.cout = 64;
+        probe.height = 16;
+        probe.width = 16;
+        probe.kernel = 3;
+        ir::Program p = workloads::makeConvBnProgram(probe);
+        auto g = deps::DependenceGraph::compute(p);
+        core::ComposeOptions opts;
+        opts.tileSizes = {8, 4, 4};
+        opts.startup = schedule::FusionPolicy::Min;
+        auto r = core::compose(p, g, opts);
+        std::printf("fusion check: composed conv+bn spaces = %zu "
+                    "(fused intermediates: %zu)\n\n",
+                    r.spaces.size(), r.fusedIntermediates.size());
+    }
+
+    double smart_convbn = 0, ours_convbn = 0;
+    double smart_gm = 0, ours_gm = 0;
+    for (const auto &l : layers) {
+        auto u = memsim::estimateConvBn(l, /*fused=*/false);
+        auto f = memsim::estimateConvBn(l, /*fused=*/true);
+        smart_convbn += u.totalMs;
+        ours_convbn += f.totalMs;
+        smart_gm += u.gmBytes;
+        ours_gm += f.gmBytes;
+    }
+
+    // The rest of a training step (backward convs and the remaining
+    // operators) is identical in both versions; the paper's numbers
+    // imply rest = 35.03 - 11.50 = 23.53 ms. We model the rest as
+    // 2x the unfused forward work (backward conv ~= 2x forward).
+    double rest = 2.0 * smart_convbn;
+    double smart_total = smart_convbn + rest;
+    double ours_total = ours_convbn + rest;
+
+    std::printf("=== Table III: ResNet-50 on the DaVinci model "
+                "===\n");
+    printRow("metric", {"smart", "ours", "speedup"});
+    printRow("fwd conv+bn (ms)",
+             {fmt(smart_convbn), fmt(ours_convbn),
+              fmt(smart_convbn / ours_convbn, "%.2fx")});
+    printRow("entire workload (ms)",
+             {fmt(smart_total), fmt(ours_total),
+              fmt(smart_total / ours_total, "%.2fx")});
+    printRow("GM traffic (MB)",
+             {fmt(smart_gm / 1e6), fmt(ours_gm / 1e6),
+              fmt(smart_gm / ours_gm, "%.2fx")});
+
+    // Compilation time over all 53 conv+bn layer programs.
+    double smart_ms = 0, ours_ms = 0;
+    for (const auto &l : layers) {
+        memsim::ConvLayer shrunk = l;
+        // Scheduling cost depends on the structure, not the sizes.
+        ir::Program p = workloads::makeConvBnProgram(shrunk);
+        auto g = deps::DependenceGraph::compute(p);
+        Timer t1;
+        auto sf = schedule::applyFusion(
+            p, g, schedule::FusionPolicy::Smart);
+        (void)sf;
+        // smartfuse schedules both spaces separately and the code
+        // generator scans both nests.
+        auto tree1 = schedule::ScheduleTree::initial(p);
+        tree1.annotate(g);
+        codegen::generateAst(tree1);
+        smart_ms += t1.milliseconds();
+        Timer t2;
+        core::ComposeOptions opts;
+        opts.tileSizes = {8, 4, 4};
+        opts.startup = schedule::FusionPolicy::Min;
+        auto r = core::compose(p, g, opts);
+        codegen::generateAst(r.tree);
+        ours_ms += t2.milliseconds();
+    }
+    std::printf("\ncompilation time over 53 layers: smart %.1f ms, "
+                "ours %.1f ms\n",
+                smart_ms, ours_ms);
+    return 0;
+}

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Shared machinery for the paper-reproduction benchmark binaries:
+ * building the compared schedules (naive / PPCG fusion heuristics /
+ * PolyMage / Halide-manual / our composition), executing them,
+ * simulating the cache hierarchy, and printing aligned tables.
+ *
+ * Every binary regenerates the rows/series of one table or figure of
+ * the paper; EXPERIMENTS.md records paper-vs-measured per artifact.
+ */
+
+#ifndef POLYFUSE_BENCH_COMMON_HH
+#define POLYFUSE_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "codegen/generate.hh"
+#include "core/compose.hh"
+#include "exec/executor.hh"
+#include "memsim/cache.hh"
+#include "memsim/gpu.hh"
+#include "perfmodel/parallel.hh"
+#include "schedule/fusion.hh"
+#include "support/timer.hh"
+
+namespace polyfuse {
+namespace bench {
+
+/** The schedules the paper compares. */
+enum class Strategy
+{
+    Naive,    ///< initial schedule, no tiling/fusion
+    MinFuse,  ///< PPCG minfuse + rectangular tiling
+    SmartFuse,///< PPCG smartfuse + rectangular tiling
+    MaxFuse,  ///< PPCG maxfuse + rectangular tiling
+    Hybrid,   ///< Pluto hybridfuse + rectangular tiling
+    PolyMage, ///< tiling-after-fusion with over-approximated
+              ///< overlapped tiles (footprint dilation 1)
+    Halide,   ///< manual-schedule proxy: smartfuse groups, tiled
+    Ours,     ///< the paper's composition (Algorithms 1-3)
+};
+
+inline const char *
+strategyName(Strategy s)
+{
+    switch (s) {
+      case Strategy::Naive: return "naive";
+      case Strategy::MinFuse: return "minfuse";
+      case Strategy::SmartFuse: return "smartfuse";
+      case Strategy::MaxFuse: return "maxfuse";
+      case Strategy::Hybrid: return "hybridfuse";
+      case Strategy::PolyMage: return "polymage";
+      case Strategy::Halide: return "halide";
+      case Strategy::Ours: return "ours";
+    }
+    return "?";
+}
+
+/** What one (program, strategy) run produced. */
+struct RunResult
+{
+    double wallMs = 0;      ///< measured single-thread execution
+    double compileMs = 0;   ///< scheduling + codegen time
+    exec::ExecStats stats;
+    memsim::CacheStats cache;
+    memsim::GpuTraceCounts gpuCounts;
+    codegen::AstPtr ast;
+    schedule::ScheduleTree tree;
+};
+
+/** Options of the benchmark runner. */
+struct RunOptions
+{
+    std::vector<int64_t> tileSizes{32, 32};
+    unsigned targetParallelism = 1;
+    bool simulateCache = true;
+    /** Repetitions for the wall-clock measurement (min is taken). */
+    int reps = 3;
+    /**
+     * Simulated hierarchy, scaled with the reduced problem sizes so
+     * capacity effects appear at laptop-scale inputs (standard
+     * simulator-study methodology; see EXPERIMENTS.md).
+     */
+    memsim::CacheConfig l1{16 * 1024, 64, 8, "L1"};
+    memsim::CacheConfig l2{256 * 1024, 64, 16, "L2"};
+};
+
+/** Tile every tilable top-level band (tiling-after-fusion). */
+inline void
+tileAllSpaces(schedule::ScheduleTree &tree,
+              const std::vector<int64_t> &sizes)
+{
+    using schedule::NodePtr;
+    NodePtr seq = tree.root()->onlyChild();
+    if (!seq)
+        return;
+    for (const auto &filter : seq->children) {
+        NodePtr band = schedule::ScheduleTree::findBand(filter);
+        if (!band || !band->permutable || band->numBandDims() == 0 ||
+            !band->tileSizes.empty())
+            continue;
+        std::vector<int64_t> s(band->numBandDims(), sizes.back());
+        for (size_t k = 0; k < s.size() && k < sizes.size(); ++k)
+            s[k] = sizes[k];
+        tree.tileBand(band, s);
+    }
+}
+
+/** Build the schedule tree of one strategy (timed). */
+inline schedule::ScheduleTree
+buildSchedule(const ir::Program &p, const deps::DependenceGraph &g,
+              Strategy strategy, const RunOptions &opts,
+              double &compile_ms)
+{
+    Timer timer;
+    schedule::ScheduleTree tree;
+    switch (strategy) {
+      case Strategy::Naive: {
+        tree = schedule::ScheduleTree::initial(p);
+        tree.annotate(g);
+        break;
+      }
+      case Strategy::MinFuse:
+      case Strategy::SmartFuse:
+      case Strategy::MaxFuse:
+      case Strategy::Hybrid:
+      case Strategy::Halide: {
+        auto policy = strategy == Strategy::MinFuse
+                          ? schedule::FusionPolicy::Min
+                      : strategy == Strategy::MaxFuse
+                          ? schedule::FusionPolicy::Max
+                      : strategy == Strategy::Hybrid
+                          ? schedule::FusionPolicy::Hybrid
+                          : schedule::FusionPolicy::Smart;
+        auto r = schedule::applyFusion(p, g, policy);
+        tree = r.tree;
+        tileAllSpaces(tree, opts.tileSizes);
+        break;
+      }
+      case Strategy::PolyMage:
+      case Strategy::Ours: {
+        core::ComposeOptions copts;
+        copts.tileSizes = opts.tileSizes;
+        copts.targetParallelism = opts.targetParallelism;
+        copts.footprintDilation =
+            strategy == Strategy::PolyMage ? 1 : 0;
+        auto r = core::compose(p, g, copts);
+        tree = r.tree;
+        break;
+      }
+    }
+    compile_ms = timer.milliseconds();
+    return tree;
+}
+
+/** Execute one strategy end to end. */
+inline RunResult
+runStrategy(const ir::Program &p, const deps::DependenceGraph &g,
+            Strategy strategy, const RunOptions &opts,
+            const std::function<void(exec::Buffers &)> &init)
+{
+    RunResult r;
+    r.tree = buildSchedule(p, g, strategy, opts, r.compileMs);
+    Timer gen_timer;
+    r.ast = codegen::generateAst(r.tree);
+    r.compileMs += gen_timer.milliseconds();
+
+    // Wall-clock measurement (no trace), best of reps.
+    r.wallMs = 1e30;
+    for (int rep = 0; rep < opts.reps; ++rep) {
+        exec::Buffers buf(p);
+        init(buf);
+        auto stats = exec::run(p, r.ast, buf);
+        r.stats = stats;
+        r.wallMs = std::min(r.wallMs, stats.seconds * 1e3);
+    }
+
+    if (opts.simulateCache) {
+        exec::Buffers buf(p);
+        init(buf);
+        memsim::MemoryHierarchy mem(opts.l1, opts.l2);
+        for (size_t t = 0; t < p.tensors().size(); ++t) {
+            mem.addSpace(t, p.tensorSize(t));
+            mem.addSpace(p.tensors().size() + t, p.tensorSize(t));
+        }
+        int nt = p.tensors().size();
+        exec::run(p, r.ast, buf,
+                  [&](int space, int64_t off, bool w) {
+                      mem.access(space, off, w);
+                      if (space >= nt)
+                          ++r.gpuCounts.sharedAccesses;
+                      else
+                          ++r.gpuCounts.globalAccesses;
+                  });
+        r.cache = mem.stats();
+    }
+    return r;
+}
+
+/** Default input filler (deterministic, inputs in [0, 1]). */
+inline void
+defaultInit(const ir::Program &p, exec::Buffers &buf)
+{
+    for (size_t t = 0; t < p.tensors().size(); ++t) {
+        if (p.tensor(t).kind == ir::TensorKind::Temp)
+            continue;
+        buf.fillPattern(t, 1000 + t);
+        if (p.tensor(t).kind == ir::TensorKind::Input)
+            for (auto &v : buf.data(t))
+                v = v < 0 ? -v : v;
+    }
+}
+
+/** Print one aligned row. */
+inline void
+printRow(const std::string &first,
+         const std::vector<std::string> &cells, int width = 12)
+{
+    std::printf("%-24s", first.c_str());
+    for (const auto &c : cells)
+        std::printf("%*s", width, c.c_str());
+    std::printf("\n");
+}
+
+inline std::string
+fmt(double v, const char *f = "%.2f")
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), f, v);
+    return buf;
+}
+
+} // namespace bench
+} // namespace polyfuse
+
+#endif // POLYFUSE_BENCH_COMMON_HH

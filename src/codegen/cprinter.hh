@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Pretty-printers turning the generated AST into compilable-looking
+ * OpenMP C or CUDA-flavoured code (the role PPCG's backends play in
+ * Sec. V). The text is a faithful rendering of what the executor
+ * runs; it is used by the examples and for golden tests.
+ */
+
+#ifndef POLYFUSE_CODEGEN_CPRINTER_HH
+#define POLYFUSE_CODEGEN_CPRINTER_HH
+
+#include <string>
+
+#include "codegen/ast.hh"
+#include "ir/program.hh"
+
+namespace polyfuse {
+namespace codegen {
+
+/** Output dialect. */
+enum class PrintStyle
+{
+    OpenMP, ///< parallel for + ivdep on the innermost parallel loop
+    Cuda,   ///< outer parallel tile loops annotated as grid/block
+};
+
+/** Render @p ast as imperative code. */
+std::string printCode(const ir::Program &program, const AstPtr &ast,
+                      PrintStyle style = PrintStyle::OpenMP);
+
+} // namespace codegen
+} // namespace polyfuse
+
+#endif // POLYFUSE_CODEGEN_CPRINTER_HH

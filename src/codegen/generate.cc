@@ -1,0 +1,570 @@
+#include "codegen/generate.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "pres/fm.hh"
+#include "support/logging.hh"
+
+namespace polyfuse {
+namespace codegen {
+
+using ir::Program;
+using ir::Statement;
+using pres::Constraint;
+using schedule::Node;
+using schedule::NodeKind;
+using schedule::NodePtr;
+
+namespace {
+
+/**
+ * Scanning context of one active statement: constraint rows over the
+ * columns [loop vars | own domain dims | params | 1], plus the
+ * binding of already-scanned dims to loop vars.
+ */
+struct StmtCtx
+{
+    int stmt = -1;
+    unsigned ndims = 0;
+    std::vector<Constraint> rows;
+    std::vector<int> binding;      ///< var id per dim, -1 if unbound
+    std::vector<int64_t> offset;   ///< dim = var + offset
+};
+
+/** Whole-scan context; copied down tree branches. */
+struct GenCtx
+{
+    const Program *prog = nullptr;
+    unsigned numVars = 0;
+    std::vector<std::string> varNames;
+    std::vector<StmtCtx> active;
+    std::vector<int> bandVars; ///< loop var per enclosing band dim
+};
+
+unsigned
+numParams(const GenCtx &ctx)
+{
+    return ctx.prog->params().size();
+}
+
+/** Make a fresh StmtCtx from a statement's domain constraints. */
+StmtCtx
+freshStmtCtx(const GenCtx &ctx, int stmt_id)
+{
+    const Statement &s = ctx.prog->statement(stmt_id);
+    StmtCtx sc;
+    sc.stmt = stmt_id;
+    sc.ndims = s.numDims();
+    sc.binding.assign(sc.ndims, -1);
+    sc.offset.assign(sc.ndims, 0);
+
+    // Domain constraints: [dims, params, 1] -> widen with var cols.
+    // The domain's params may be a subset of the program's; remap.
+    const pres::Space &dsp = s.domain().space();
+    unsigned np = numParams(ctx);
+    for (const auto &c : s.domain().constraints()) {
+        Constraint row(c.isEq,
+                       std::vector<int64_t>(
+                           ctx.numVars + sc.ndims + np + 1, 0));
+        for (unsigned d = 0; d < sc.ndims; ++d)
+            row.coeffs[ctx.numVars + d] = c.coeffs[d];
+        for (unsigned p = 0; p < dsp.numParams(); ++p) {
+            int idx = -1;
+            for (unsigned q = 0; q < np; ++q)
+                if (ctx.prog->params()[q] == dsp.params()[p])
+                    idx = q;
+            if (idx < 0)
+                panic("domain parameter not in program");
+            row.coeffs[ctx.numVars + sc.ndims + idx] =
+                c.coeffs[sc.ndims + p];
+        }
+        row.coeffs.back() = c.constant();
+        sc.rows.push_back(std::move(row));
+    }
+    return sc;
+}
+
+/** Append a new loop-variable column to every active context. */
+int
+newVar(GenCtx &ctx, const std::string &name)
+{
+    int v = ctx.numVars;
+    for (auto &sc : ctx.active)
+        for (auto &row : sc.rows)
+            row.coeffs.insert(row.coeffs.begin() + v, 0);
+    ++ctx.numVars;
+    ctx.varNames.push_back(name);
+    return v;
+}
+
+/** Outcome of a bound extraction. */
+enum class BoundStatus
+{
+    Ok,
+    Empty,     ///< the member is infeasible here; contributes nothing
+    Unbounded, ///< missing constraint: a code generation bug
+};
+
+/**
+ * Extract the bounds of variable @p var from @p sc by eliminating
+ * the statement's dims and splitting rows on the sign of the var
+ * coefficient.
+ */
+BoundStatus
+boundsOf(const GenCtx &ctx, const StmtCtx &sc, int var, BoundAlt &lo,
+         BoundAlt &hi)
+{
+    std::vector<Constraint> rows = sc.rows;
+    bool exact = true;
+    // Eliminate the dim columns (highest first).
+    for (unsigned d = sc.ndims; d-- > 0;) {
+        if (!pres::fm::eliminateCol(rows, ctx.numVars + d, exact))
+            return BoundStatus::Empty;
+    }
+    unsigned np = numParams(ctx);
+    lo.clear();
+    hi.clear();
+    for (const auto &row : rows) {
+        int64_t a = row.coeffs[var];
+        if (a == 0)
+            continue;
+        auto term = [&](int64_t sign, int64_t div) {
+            BoundTerm t;
+            t.varCoeffs.assign(ctx.numVars, 0);
+            for (unsigned v = 0; v < ctx.numVars; ++v)
+                if (int(v) != var)
+                    t.varCoeffs[v] = sign * row.coeffs[v];
+            t.paramCoeffs.assign(np, 0);
+            for (unsigned p = 0; p < np; ++p)
+                t.paramCoeffs[p] = sign * row.coeffs[ctx.numVars + p];
+            t.constant = sign * row.coeffs.back();
+            t.div = div;
+            return t;
+        };
+        if (row.isEq) {
+            // a*v + e == 0 -> v == -e/a.
+            int64_t div = a > 0 ? a : -a;
+            int64_t sign = a > 0 ? -1 : 1;
+            lo.push_back(term(sign, div));
+            hi.push_back(term(sign, div));
+        } else if (a > 0) {
+            // a*v + e >= 0 -> v >= ceil(-e/a).
+            lo.push_back(term(-1, a));
+        } else {
+            // -b*v + e >= 0 -> v <= floor(e/b).
+            hi.push_back(term(1, -a));
+        }
+    }
+    if (lo.empty() || hi.empty())
+        return BoundStatus::Unbounded;
+    return BoundStatus::Ok;
+}
+
+AstPtr genNode(const NodePtr &node, GenCtx ctx,
+               const GenOptions &options);
+
+/** Generate the loops of a band node and recurse into its child. */
+AstPtr
+genBand(const NodePtr &band, GenCtx ctx, const GenOptions &options)
+{
+    bool tiled = !band->tileSizes.empty();
+    unsigned depth = band->numBandDims();
+
+    // Every active statement must be a member of the band.
+    for (const auto &sc : ctx.active) {
+        const std::string &name = ctx.prog->statement(sc.stmt).name();
+        if (!band->members.count(name))
+            panic("active statement " + name + " not a band member");
+    }
+
+    AstPtr outer;
+    AstNode *attach = nullptr;
+    for (unsigned k = 0; k < depth; ++k) {
+        std::string vname =
+            (tiled ? "t" : "c") + std::to_string(ctx.numVars);
+        int v = newVar(ctx, vname);
+        ctx.bandVars.push_back(v);
+
+        for (auto &sc : ctx.active) {
+            const std::string &name =
+                ctx.prog->statement(sc.stmt).name();
+            const schedule::BandMember &m = band->members.at(name);
+            unsigned dim = m.dims[k];
+            int64_t shift = m.shifts[k];
+            unsigned dim_col = ctx.numVars + dim;
+            unsigned ncols = sc.rows.empty()
+                                 ? ctx.numVars + sc.ndims +
+                                       numParams(ctx) + 1
+                                 : sc.rows[0].coeffs.size();
+            if (tiled) {
+                int64_t size = band->tileSizes[k];
+                // size*v <= dim + shift <= size*v + size - 1.
+                Constraint lo(false, std::vector<int64_t>(ncols, 0));
+                lo.coeffs[dim_col] = 1;
+                lo.coeffs[v] = -size;
+                lo.coeffs.back() = shift;
+                Constraint hi(false, std::vector<int64_t>(ncols, 0));
+                hi.coeffs[dim_col] = -1;
+                hi.coeffs[v] = size;
+                hi.coeffs.back() = size - 1 - shift;
+                sc.rows.push_back(std::move(lo));
+                sc.rows.push_back(std::move(hi));
+            } else {
+                // v == dim + shift.
+                Constraint eq(true, std::vector<int64_t>(ncols, 0));
+                eq.coeffs[v] = 1;
+                eq.coeffs[dim_col] = -1;
+                eq.coeffs.back() = -shift;
+                sc.rows.push_back(std::move(eq));
+                sc.binding[dim] = v;
+                sc.offset[dim] = -shift;
+            }
+        }
+
+        AstPtr loop = astFor(v, vname);
+        loop->parallel = k < band->coincident.size() &&
+                         band->coincident[k];
+        loop->tileLoop = tiled;
+        loop->tileSize = tiled ? band->tileSizes[k] : 0;
+        for (const auto &sc : ctx.active) {
+            BoundAlt lo, hi;
+            BoundStatus st = boundsOf(ctx, sc, v, lo, hi);
+            if (st == BoundStatus::Empty)
+                continue;
+            if (st == BoundStatus::Unbounded)
+                panic("unbounded loop in code generation");
+            loop->lb.push_back(std::move(lo));
+            loop->ub.push_back(std::move(hi));
+        }
+        if (loop->lb.empty())
+            return astBlock(); // no member ever executes here
+
+        if (!outer) {
+            outer = loop;
+        } else {
+            attach->children.push_back(loop);
+        }
+        attach = loop.get();
+    }
+
+    AstPtr body = genNode(band->onlyChild(), std::move(ctx), options);
+    if (!attach)
+        return body; // zero-dimensional band
+    attach->children.push_back(body);
+    return outer;
+}
+
+/** Introduce extension statements; optionally add promotion scopes. */
+AstPtr
+genExtension(const NodePtr &node, GenCtx ctx, const GenOptions &options)
+{
+    unsigned np = numParams(ctx);
+    std::vector<int> ext_stmts;
+    for (const auto &piece : node->extension.pieces()) {
+        const pres::Space &sp = piece.space();
+        if (sp.numIn() != ctx.bandVars.size())
+            panic("extension arity does not match enclosing bands");
+        int stmt_id = ctx.prog->statementId(sp.outTuple());
+        // Find or create the context for this statement.
+        StmtCtx *sc = nullptr;
+        for (auto &c : ctx.active)
+            if (c.stmt == stmt_id)
+                sc = &c;
+        if (!sc) {
+            ctx.active.push_back(freshStmtCtx(ctx, stmt_id));
+            sc = &ctx.active.back();
+            ext_stmts.push_back(stmt_id);
+        }
+        // Translate map rows: in dims -> band var columns, out dims
+        // -> statement dim columns.
+        for (const auto &c : piece.constraints()) {
+            Constraint row(c.isEq,
+                           std::vector<int64_t>(
+                               ctx.numVars + sc->ndims + np + 1, 0));
+            for (unsigned i = 0; i < sp.numIn(); ++i)
+                row.coeffs[ctx.bandVars[i]] = c.coeffs[sp.inCol(i)];
+            for (unsigned d = 0; d < sp.numOut(); ++d)
+                row.coeffs[ctx.numVars + d] = c.coeffs[sp.outCol(d)];
+            for (unsigned p = 0; p < sp.numParams(); ++p) {
+                int idx = -1;
+                for (unsigned q = 0; q < np; ++q)
+                    if (ctx.prog->params()[q] == sp.params()[p])
+                        idx = q;
+                if (idx < 0)
+                    panic("extension parameter not in program");
+                row.coeffs[ctx.numVars + sc->ndims + idx] =
+                    c.coeffs[sp.paramCol(p)];
+            }
+            row.coeffs.back() = c.constant();
+            sc->rows.push_back(std::move(row));
+        }
+    }
+
+    // NOTE: the composition pass guarantees one convex piece per
+    // statement (simpleHull), so appending the rows above is exact.
+
+    AstPtr body = genNode(node->onlyChild(), ctx, options);
+
+    if (!options.promoteIntermediates || ext_stmts.empty())
+        return body;
+
+    // Promotion scopes for Temp tensors written by the introduced
+    // statements: box bounds of the writes as functions of the
+    // enclosing loop vars (Sec. V-B).
+    AstPtr alloc = astAlloc();
+    std::set<int> tensors;
+    for (int sid : ext_stmts) {
+        const Statement &s = ctx.prog->statement(sid);
+        if (s.writeIndex() < 0)
+            continue;
+        int t = s.writeAccess().tensor;
+        if (ctx.prog->tensor(t).kind == ir::TensorKind::Temp)
+            tensors.insert(t);
+    }
+    for (int t : tensors) {
+        Promotion promo;
+        promo.tensor = t;
+        unsigned rank = ctx.prog->tensor(t).rank;
+        promo.boxLo.resize(rank);
+        promo.boxHi.resize(rank);
+        // The box must cover every access to the tensor under this
+        // scope -- the fused producers' writes AND the consumers'
+        // reads (which may touch never-written border regions whose
+        // values are copied in from the global tensor).
+        std::vector<std::pair<int, const ir::Access *>> touching;
+        for (const auto &c : ctx.active) {
+            const Statement &s = ctx.prog->statement(c.stmt);
+            for (const auto &acc : s.accesses())
+                if (acc.tensor == t)
+                    touching.emplace_back(c.stmt, &acc);
+        }
+        for (const auto &[sid, accp] : touching) {
+            const ir::Access &acc = *accp;
+            StmtCtx *sc = nullptr;
+            for (auto &c : ctx.active)
+                if (c.stmt == sid)
+                    sc = &c;
+            // System over [vars, dims, tdims, params, 1].
+            unsigned base = sc->rows.empty()
+                                ? 0
+                                : sc->rows[0].coeffs.size();
+            (void)base;
+            std::vector<Constraint> rows;
+            unsigned nd = sc->ndims;
+            unsigned total = ctx.numVars + nd + rank + np + 1;
+            for (const auto &r : sc->rows) {
+                Constraint row(r.isEq,
+                               std::vector<int64_t>(total, 0));
+                for (unsigned i = 0; i < ctx.numVars + nd; ++i)
+                    row.coeffs[i] = r.coeffs[i];
+                for (unsigned p = 0; p < np + 1; ++p)
+                    row.coeffs[ctx.numVars + nd + rank + p] =
+                        r.coeffs[ctx.numVars + nd + p];
+                rows.push_back(std::move(row));
+            }
+            // Access relation rows.
+            const pres::Space &asp = acc.rel.space();
+            for (const auto &c : acc.rel.constraints()) {
+                Constraint row(c.isEq,
+                               std::vector<int64_t>(total, 0));
+                for (unsigned i = 0; i < nd; ++i)
+                    row.coeffs[ctx.numVars + i] =
+                        c.coeffs[asp.inCol(i)];
+                for (unsigned j = 0; j < rank; ++j)
+                    row.coeffs[ctx.numVars + nd + j] =
+                        c.coeffs[asp.outCol(j)];
+                for (unsigned p = 0; p < asp.numParams(); ++p) {
+                    int idx = -1;
+                    for (unsigned q = 0; q < np; ++q)
+                        if (ctx.prog->params()[q] == asp.params()[p])
+                            idx = q;
+                    if (idx < 0)
+                        panic("access parameter not in program");
+                    row.coeffs[ctx.numVars + nd + rank + idx] =
+                        c.coeffs[asp.paramCol(p)];
+                }
+                row.coeffs.back() = c.constant();
+                rows.push_back(std::move(row));
+            }
+            // Eliminate the statement dims.
+            bool exact = true;
+            bool empty = false;
+            for (unsigned d = nd; d-- > 0;) {
+                if (!pres::fm::eliminateCol(rows, ctx.numVars + d,
+                                            exact)) {
+                    empty = true;
+                    break;
+                }
+            }
+            if (empty)
+                continue;
+            // Bounds of each tensor dim.
+            for (unsigned j = 0; j < rank; ++j) {
+                std::vector<Constraint> jrows = rows;
+                bool jex = true;
+                bool jempty = false;
+                for (unsigned o = rank; o-- > 0;) {
+                    if (o == j)
+                        continue;
+                    if (!pres::fm::eliminateCol(
+                            jrows, ctx.numVars + o, jex)) {
+                        jempty = true;
+                        break;
+                    }
+                }
+                if (jempty)
+                    continue;
+                BoundAlt lo, hi;
+                unsigned jcol = ctx.numVars; // only remaining tdim
+                for (const auto &row : jrows) {
+                    int64_t a = row.coeffs[jcol];
+                    if (a == 0)
+                        continue;
+                    BoundTerm term;
+                    term.varCoeffs.assign(ctx.numVars, 0);
+                    term.paramCoeffs.assign(np, 0);
+                    int64_t sign = a > 0 ? -1 : 1;
+                    int64_t div = a > 0 ? a : -a;
+                    for (unsigned v = 0; v < ctx.numVars; ++v)
+                        term.varCoeffs[v] = sign * row.coeffs[v];
+                    for (unsigned pp = 0; pp < np; ++pp)
+                        term.paramCoeffs[pp] =
+                            sign *
+                            row.coeffs[ctx.numVars + 1 + pp];
+                    term.constant = sign * row.coeffs.back();
+                    term.div = div;
+                    if (row.isEq) {
+                        lo.push_back(term);
+                        hi.push_back(term);
+                    } else if (a > 0) {
+                        lo.push_back(term);
+                    } else {
+                        hi.push_back(term);
+                    }
+                }
+                if (!lo.empty() && !hi.empty()) {
+                    promo.boxLo[j].push_back(std::move(lo));
+                    promo.boxHi[j].push_back(std::move(hi));
+                }
+            }
+        }
+        bool complete = true;
+        for (unsigned j = 0; j < rank; ++j)
+            if (promo.boxLo[j].empty() || promo.boxHi[j].empty())
+                complete = false;
+        if (complete)
+            alloc->promotions.push_back(std::move(promo));
+    }
+    if (alloc->promotions.empty())
+        return body;
+    alloc->children = {body};
+    return alloc;
+}
+
+AstPtr
+genLeaf(GenCtx &ctx)
+{
+    AstPtr block = astBlock();
+    unsigned np = numParams(ctx);
+    for (auto &sc : ctx.active) {
+        AstPtr stmt = astStmt(sc.stmt);
+        for (unsigned d = 0; d < sc.ndims; ++d) {
+            if (sc.binding[d] < 0)
+                panic("statement dim unbound at leaf: " +
+                      ctx.prog->statement(sc.stmt).name());
+            stmt->bindings.emplace_back(sc.binding[d], sc.offset[d]);
+        }
+        // Guards: substitute dims with their bindings.
+        std::vector<Constraint> rows = sc.rows;
+        for (auto &row : rows) {
+            for (unsigned d = 0; d < sc.ndims; ++d) {
+                int64_t c = row.coeffs[ctx.numVars + d];
+                if (c == 0)
+                    continue;
+                row.coeffs[sc.binding[d]] += c;
+                row.coeffs.back() += c * sc.offset[d];
+                row.coeffs[ctx.numVars + d] = 0;
+            }
+        }
+        if (!pres::fm::simplifyRows(rows))
+            continue; // statement never executes here
+        for (const auto &row : rows) {
+            GuardRow g;
+            g.isEq = row.isEq;
+            g.varCoeffs.assign(ctx.numVars, 0);
+            for (unsigned v = 0; v < ctx.numVars; ++v)
+                g.varCoeffs[v] = row.coeffs[v];
+            g.paramCoeffs.assign(np, 0);
+            for (unsigned p = 0; p < np; ++p)
+                g.paramCoeffs[p] = row.coeffs[ctx.numVars + sc.ndims + p];
+            g.constant = row.coeffs.back();
+            stmt->guards.push_back(std::move(g));
+        }
+        block->children.push_back(std::move(stmt));
+    }
+    return block;
+}
+
+AstPtr
+genNode(const NodePtr &node, GenCtx ctx, const GenOptions &options)
+{
+    switch (node->kind) {
+      case NodeKind::Domain: {
+        for (const auto &s : ctx.prog->statements())
+            ctx.active.push_back(
+                freshStmtCtx(ctx, ctx.prog->statementId(s.name())));
+        return genNode(node->onlyChild(), std::move(ctx), options);
+      }
+      case NodeKind::Filter: {
+        std::vector<StmtCtx> kept;
+        for (auto &sc : ctx.active) {
+            const std::string &name =
+                ctx.prog->statement(sc.stmt).name();
+            if (std::find(node->filter.begin(), node->filter.end(),
+                          name) != node->filter.end())
+                kept.push_back(std::move(sc));
+        }
+        ctx.active = std::move(kept);
+        if (ctx.active.empty())
+            return astBlock();
+        return genNode(node->onlyChild(), std::move(ctx), options);
+      }
+      case NodeKind::Sequence: {
+        AstPtr block = astBlock();
+        for (const auto &child : node->children) {
+            AstPtr sub = genNode(child, ctx, options);
+            if (sub && !(sub->kind == AstKind::Block &&
+                         sub->children.empty()))
+                block->children.push_back(std::move(sub));
+        }
+        return block;
+      }
+      case NodeKind::Mark: {
+        if (node->markLabel == "skipped")
+            return astBlock();
+        return genNode(node->onlyChild(), std::move(ctx), options);
+      }
+      case NodeKind::Band:
+        return genBand(node, std::move(ctx), options);
+      case NodeKind::Extension:
+        return genExtension(node, std::move(ctx), options);
+      case NodeKind::Leaf:
+        return genLeaf(ctx);
+    }
+    panic("unreachable node kind");
+}
+
+} // namespace
+
+AstPtr
+generateAst(const schedule::ScheduleTree &tree,
+            const GenOptions &options)
+{
+    GenCtx ctx;
+    ctx.prog = &tree.program();
+    return genNode(tree.root(), std::move(ctx), options);
+}
+
+} // namespace codegen
+} // namespace polyfuse

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * AST generation by scanning schedule trees (the code generation
+ * strategy of Sec. V): bands become loops with FM-derived bounds,
+ * sequences/filters become blocks, extension nodes introduce the
+ * fused statements and (optionally) scratchpad promotion scopes for
+ * the intermediate tensors they produce (Sec. V-B), and subtrees
+ * below a "skipped" mark are bypassed.
+ */
+
+#ifndef POLYFUSE_CODEGEN_GENERATE_HH
+#define POLYFUSE_CODEGEN_GENERATE_HH
+
+#include "codegen/ast.hh"
+#include "schedule/tree.hh"
+
+namespace polyfuse {
+namespace codegen {
+
+/** Options for AST generation. */
+struct GenOptions
+{
+    /**
+     * Insert Alloc scopes that keep extension-produced intermediate
+     * tensors in tile-local scratchpads (the paper's aggressive
+     * memory optimization, Sec. V-B).
+     *
+     * NOTE: promotion is part of the transformation's correctness
+     * story for overlapped tiles, not just an optimization: an
+     * in-place producer (e.g. A = Quant(A)) re-executed in a halo
+     * region would otherwise double-apply to the global tensor.
+     * Disable only for idempotent producers.
+     */
+    bool promoteIntermediates = true;
+};
+
+/** Generate the imperative AST of @p tree. */
+AstPtr generateAst(const schedule::ScheduleTree &tree,
+                   const GenOptions &options = {});
+
+} // namespace codegen
+} // namespace polyfuse
+
+#endif // POLYFUSE_CODEGEN_GENERATE_HH

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The paper's contribution: compositing loop tiling and fusion by
+ * reordering the two transformations.
+ *
+ *  - Algorithm 1 constructs arbitrary tile shapes: live-out
+ *    computation spaces are tiled rectangularly; intermediate spaces
+ *    are tiled through extension schedules (eq. 6) derived from the
+ *    upwards exposed data footprints (eq. 4) of the live-out tiles.
+ *  - Algorithm 2 performs post-tiling fusion by schedule tree
+ *    surgery: band replacement, tile/point splitting, extension /
+ *    sequence / filter insertion and "skipped" marks (Fig. 5).
+ *  - Algorithm 3 generalizes to multiple live-out spaces, rejecting
+ *    fusions that would introduce redundant computation (Fig. 6) and
+ *    performing fine-grained dead-code elimination.
+ */
+
+#ifndef POLYFUSE_CORE_COMPOSE_HH
+#define POLYFUSE_CORE_COMPOSE_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "deps/dependences.hh"
+#include "ir/program.hh"
+#include "schedule/fusion.hh"
+#include "schedule/tree.hh"
+
+namespace polyfuse {
+namespace core {
+
+/** Options controlling the composition. */
+struct ComposeOptions
+{
+    /**
+     * Tile sizes for live-out bands, outermost first; padded with the
+     * last value when a band is deeper. Empty disables tiling.
+     */
+    std::vector<int64_t> tileSizes{32, 32};
+
+    /**
+     * Hardware parallelism the target needs: 1 for OpenMP CPUs, 2 for
+     * the GPU grid (Sec. III-C). Used both as the tilability bar of
+     * live-out spaces and as the cap on m in the m > n guard.
+     */
+    unsigned targetParallelism = 1;
+
+    /**
+     * Start-up conservative heuristic producing the separated
+     * computation spaces (Sec. III: minfuse for PPCG, smartfuse for
+     * the Ascend backend).
+     */
+    schedule::FusionPolicy startup = schedule::FusionPolicy::Smart;
+
+    /**
+     * Second-level tile sizes applied to the point band of every
+     * tiled live-out space (multi-level tiling for multi-level
+     * hierarchies, e.g. DaVinci's L1 + L0 buffers). Empty disables
+     * the second level.
+     */
+    std::vector<int64_t> innerTileSizes{};
+
+    /**
+     * Upper bound on acceptable recomputation: an intermediate
+     * statement is fused only when (number of tiles) x (its per-tile
+     * footprint volume) / (its domain volume) stays below this.
+     * Bounded stencil halos pass; matmul-style full-row footprints
+     * (2mm, gemver, covariance) are rejected, keeping the paper's
+     * "no redundancy" guarantee (Sec. IV-C) while still enabling
+     * overlapped tiling.
+     */
+    double maxRecompute = 4.0;
+
+    /**
+     * Dilate every extension schedule by this many points per
+     * dimension (clipped to the statement domain). 0 reproduces the
+     * paper's tight tile shapes; 1+ emulates PolyMage's
+     * over-approximated overlapped tiles, whose extra recomputation
+     * the paper measures against (Sec. VI-A, Camera Pipeline).
+     */
+    unsigned footprintDilation = 0;
+};
+
+/** Result of the composition. */
+struct ComposeResult
+{
+    schedule::ScheduleTree tree;
+
+    /** Group ids per final computation space, execution order. */
+    std::vector<std::vector<int>> spaces;
+
+    /** Statements fused into a live-out tile via extension nodes. */
+    std::vector<std::string> fusedIntermediates;
+
+    /** Statements whose original subtree is marked "skipped". */
+    std::vector<std::string> skippedStatements;
+
+    /** Extension schedule per fused statement (union over tiles). */
+    std::map<std::string, pres::Map> extensionSchedules;
+
+    /** True when some fused statement's extension tiles cover a
+     *  strict subset of its domain (dead stores eliminated). */
+    bool deadCodeEliminated = false;
+
+    /** Live-out spaces that were tiled rectangularly. */
+    unsigned tiledLiveOuts = 0;
+
+    /** Compilation time of the composition in milliseconds. */
+    double compileMs = 0.0;
+};
+
+/**
+ * Run the full composition (Algorithm 3) on @p program.
+ */
+ComposeResult compose(const ir::Program &program,
+                      const deps::DependenceGraph &graph,
+                      const ComposeOptions &options = {});
+
+} // namespace core
+} // namespace polyfuse
+
+#endif // POLYFUSE_CORE_COMPOSE_HH

@@ -1,0 +1,93 @@
+#include "core/footprint.hh"
+
+#include "pres/affine.hh"
+#include "support/intmath.hh"
+#include "support/logging.hh"
+
+namespace polyfuse {
+namespace core {
+
+using ir::Program;
+using ir::Statement;
+using pres::BasicMap;
+using pres::LinExpr;
+using pres::Map;
+using pres::Space;
+
+pres::BasicMap
+tileMapFor(const Program &program, const schedule::NodePtr &band,
+           const std::string &stmt, const std::string &tile_tuple)
+{
+    const Statement &s = program.statement(program.statementId(stmt));
+
+    unsigned ntile = 0;
+    const schedule::BandMember *member = nullptr;
+    if (band && !band->tileSizes.empty()) {
+        auto it = band->members.find(stmt);
+        if (it == band->members.end())
+            panic("tileMapFor: " + stmt + " not a band member");
+        member = &it->second;
+        ntile = band->tileSizes.size();
+    }
+
+    Space sp = Space::forMap(stmt, s.numDims(), tile_tuple, ntile,
+                             s.domain().space().params());
+    BasicMap m(sp);
+    for (unsigned k = 0; k < ntile; ++k) {
+        unsigned dim = member->dims[k];
+        int64_t shift = member->shifts[k];
+        int64_t size = band->tileSizes[k];
+        LinExpr d = LinExpr::inDim(sp, dim) + shift;
+        LinExpr o = LinExpr::outDim(sp, k);
+        // size*o <= dim + shift < size*(o + 1).
+        m.addConstraint(leCons(o * size, d));
+        m.addConstraint(ltCons(d, o * size + size));
+    }
+    return m.intersectDomain(s.domain());
+}
+
+Map
+clusterTileMap(const Program &program, const schedule::NodePtr &band,
+               const std::vector<std::string> &stmts,
+               const std::string &tile_tuple)
+{
+    Map out;
+    for (const auto &name : stmts)
+        out.addPiece(tileMapFor(program, band, name, tile_tuple));
+    return out;
+}
+
+int64_t
+evalBounds(const std::vector<pres::DivBound> &bounds,
+           const std::vector<int64_t> &in_values,
+           const std::vector<int64_t> &param_values, bool is_lower)
+{
+    if (bounds.empty())
+        panic("evalBounds: empty bound list");
+    bool first = true;
+    int64_t best = 0;
+    for (const auto &b : bounds) {
+        // Coefficient row spans [in dims, params, 1].
+        if (b.coeffs.size() != in_values.size() + param_values.size() + 1)
+            panic("evalBounds: bound arity mismatch");
+        int64_t acc = b.coeffs.back();
+        for (size_t i = 0; i < in_values.size(); ++i)
+            acc = checkedAdd(acc,
+                             checkedMul(b.coeffs[i], in_values[i]));
+        for (size_t i = 0; i < param_values.size(); ++i)
+            acc = checkedAdd(
+                acc, checkedMul(b.coeffs[in_values.size() + i],
+                                param_values[i]));
+        int64_t v = is_lower ? ceilDiv(acc, b.div)
+                             : floorDiv(acc, b.div);
+        if (first)
+            best = v;
+        else
+            best = is_lower ? std::max(best, v) : std::min(best, v);
+        first = false;
+    }
+    return best;
+}
+
+} // namespace core
+} // namespace polyfuse

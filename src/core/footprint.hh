@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Footprint machinery shared by Algorithm 1 and the memory promotion
+ * pass: tile maps (eq. 2), upwards-exposed-data footprints (eq. 4)
+ * and extension schedules (eq. 6).
+ */
+
+#ifndef POLYFUSE_CORE_FOOTPRINT_HH
+#define POLYFUSE_CORE_FOOTPRINT_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/program.hh"
+#include "pres/map.hh"
+#include "schedule/tree.hh"
+
+namespace polyfuse {
+namespace core {
+
+/**
+ * The tile map of one band member (eq. 2 with domain constraints):
+ * statement instances -> tile coordinates of @p band, using the
+ * band's member dims/shifts and tile sizes:
+ *     T_k * o_k <= dim_k + shift_k < T_k * (o_k + 1).
+ * When the band is untiled (or @p band is null) the result maps to a
+ * zero-dimensional tile tuple: the paper's "extension schedule with
+ * an empty domain" fallback that fuses without tiling (Sec. VI-A,
+ * equake).
+ */
+pres::BasicMap tileMapFor(const ir::Program &program,
+                          const schedule::NodePtr &band,
+                          const std::string &stmt,
+                          const std::string &tile_tuple);
+
+/** Union of tileMapFor over every member of @p band. */
+pres::Map clusterTileMap(const ir::Program &program,
+                         const schedule::NodePtr &band,
+                         const std::vector<std::string> &stmts,
+                         const std::string &tile_tuple);
+
+/**
+ * Evaluate a DivBound list at concrete outer values: the max of the
+ * lower bounds or min of the upper bounds.
+ */
+int64_t evalBounds(const std::vector<pres::DivBound> &bounds,
+                   const std::vector<int64_t> &in_values,
+                   const std::vector<int64_t> &param_values,
+                   bool is_lower);
+
+} // namespace core
+} // namespace polyfuse
+
+#endif // POLYFUSE_CORE_FOOTPRINT_HH

@@ -1,0 +1,259 @@
+#include "deps/dependences.hh"
+
+#include "pres/affine.hh"
+#include "support/logging.hh"
+
+namespace polyfuse {
+namespace deps {
+
+using ir::PathElem;
+using ir::Program;
+using ir::Statement;
+using pres::BasicMap;
+using pres::BasicSet;
+using pres::Constraint;
+using pres::LinExpr;
+using pres::Map;
+using pres::Space;
+
+namespace {
+
+/**
+ * Aligned loop pairs of two statement paths: positions where both
+ * paths still run loops in lockstep. Also reports the sequence values
+ * found immediately after the shared loops (or -1 if a path ends or
+ * continues with loops).
+ */
+void
+alignPaths(const Statement &a, const Statement &b,
+           std::vector<std::pair<unsigned, unsigned>> &loops,
+           int &seq_a, int &seq_b)
+{
+    const auto &pa = a.path();
+    const auto &pb = b.path();
+    size_t i = 0, j = 0;
+    loops.clear();
+    while (i < pa.size() && j < pb.size()) {
+        // Skip matching sequence elements (same position: the pair
+        // lives in the same subtree; continue into deeper loops).
+        if (pa[i].kind == PathElem::Kind::Seq &&
+            pb[j].kind == PathElem::Kind::Seq) {
+            if (pa[i].value != pb[j].value)
+                break;
+            ++i;
+            ++j;
+            continue;
+        }
+        if (pa[i].kind != PathElem::Kind::Loop ||
+            pb[j].kind != PathElem::Kind::Loop)
+            break;
+        loops.emplace_back(pa[i].value, pb[j].value);
+        ++i;
+        ++j;
+    }
+    seq_a = (i < pa.size() && pa[i].kind == PathElem::Kind::Seq)
+                ? int(pa[i].value)
+                : -1;
+    seq_b = (j < pb.size() && pb[j].kind == PathElem::Kind::Seq)
+                ? int(pb[j].value)
+                : -1;
+}
+
+} // namespace
+
+Map
+beforeMap(const Program &program, int src, int dst)
+{
+    const Statement &a = program.statement(src);
+    const Statement &b = program.statement(dst);
+    Space sp = Space::forMap(a.name(), a.numDims(), b.name(),
+                             b.numDims());
+
+    Map out;
+    if (a.group() != b.group()) {
+        if (a.group() < b.group())
+            out.addPiece(BasicMap(sp)); // every pair ordered
+        return out;
+    }
+
+    std::vector<std::pair<unsigned, unsigned>> loops;
+    int seq_a, seq_b;
+    alignPaths(a, b, loops, seq_a, seq_b);
+
+    // Carried at shared loop level k: equal above, strictly less at k.
+    for (size_t k = 0; k < loops.size(); ++k) {
+        BasicMap piece(sp);
+        for (size_t l = 0; l < k; ++l)
+            piece.addConstraint(
+                eqCons(LinExpr::inDim(sp, loops[l].first),
+                       LinExpr::outDim(sp, loops[l].second)));
+        piece.addConstraint(
+            ltCons(LinExpr::inDim(sp, loops[k].first),
+                   LinExpr::outDim(sp, loops[k].second)));
+        out.addPiece(std::move(piece));
+    }
+
+    // All shared loops equal: textual order decides.
+    bool text_before;
+    if (seq_a >= 0 && seq_b >= 0)
+        text_before = seq_a < seq_b;
+    else if (src != dst)
+        text_before = src < dst; // declaration order fallback
+    else
+        text_before = false; // identical instance: not strictly before
+    if (text_before) {
+        BasicMap piece(sp);
+        for (const auto &[da, db] : loops)
+            piece.addConstraint(eqCons(LinExpr::inDim(sp, da),
+                                       LinExpr::outDim(sp, db)));
+        out.addPiece(std::move(piece));
+    }
+    return out;
+}
+
+DependenceGraph
+DependenceGraph::compute(const Program &program)
+{
+    DependenceGraph g;
+    g.prog_ = &program;
+
+    int n = program.statements().size();
+    for (int src = 0; src < n; ++src) {
+        const Statement &a = program.statement(src);
+        for (int dst = 0; dst < n; ++dst) {
+            const Statement &b = program.statement(dst);
+            Map before = beforeMap(program, src, dst);
+            if (before.empty())
+                continue;
+            for (const auto &acc_a : a.accesses()) {
+                for (const auto &acc_b : b.accesses()) {
+                    if (!acc_a.isWrite && !acc_b.isWrite)
+                        continue;
+                    if (acc_a.tensor != acc_b.tensor)
+                        continue;
+                    // Shared-element pairs: a -> b via the tensor.
+                    BasicMap cand =
+                        acc_a.rel.intersectDomain(a.domain())
+                            .compose(acc_b.rel
+                                         .intersectDomain(b.domain())
+                                         .reverse());
+                    Map rel = Map(cand).intersect(before);
+                    if (rel.isEmpty())
+                        continue;
+                    Dependence d;
+                    d.src = src;
+                    d.dst = dst;
+                    d.tensor = acc_a.tensor;
+                    d.kind = acc_a.isWrite
+                                 ? (acc_b.isWrite ? DepKind::Output
+                                                  : DepKind::Flow)
+                                 : DepKind::Anti;
+                    d.rel = std::move(rel);
+                    g.deps_.push_back(std::move(d));
+                }
+            }
+        }
+    }
+    return g;
+}
+
+std::vector<const Dependence *>
+DependenceGraph::between(int src, int dst) const
+{
+    std::vector<const Dependence *> out;
+    for (const auto &d : deps_)
+        if (d.src == src && d.dst == dst)
+            out.push_back(&d);
+    return out;
+}
+
+std::vector<const Dependence *>
+DependenceGraph::betweenGroups(int gsrc, int gdst) const
+{
+    std::vector<const Dependence *> out;
+    for (const auto &d : deps_)
+        if (prog_->statement(d.src).group() == gsrc &&
+            prog_->statement(d.dst).group() == gdst)
+            out.push_back(&d);
+    return out;
+}
+
+bool
+DependenceGraph::groupDependsOn(int gdst, int gsrc) const
+{
+    return !betweenGroups(gsrc, gdst).empty();
+}
+
+std::vector<const Dependence *>
+DependenceGraph::flowOfTensor(int tensor) const
+{
+    std::vector<const Dependence *> out;
+    for (const auto &d : deps_)
+        if (d.kind == DepKind::Flow && d.tensor == tensor)
+            out.push_back(&d);
+    return out;
+}
+
+std::vector<DistanceRange>
+DependenceGraph::bandDistances(const Dependence &dep,
+                               const std::vector<unsigned> &src_dims,
+                               const std::vector<unsigned> &dst_dims)
+    const
+{
+    if (src_dims.size() != dst_dims.size())
+        panic("bandDistances: band arity mismatch");
+    unsigned nb = src_dims.size();
+    const Statement &a = prog_->statement(dep.src);
+    const Statement &b = prog_->statement(dep.dst);
+
+    // Projection maps onto the band dims.
+    auto proj = [&](const Statement &s,
+                    const std::vector<unsigned> &dims) {
+        std::vector<std::vector<int64_t>> rows;
+        for (unsigned d : dims) {
+            std::vector<int64_t> row(s.numDims() + 1, 0);
+            row[d] = 1;
+            rows.push_back(std::move(row));
+        }
+        return BasicMap::fromOutExprs(s.name(), s.numDims(), "band",
+                                      rows, {});
+    };
+    BasicMap pa = proj(a, src_dims);
+    BasicMap pb = proj(b, dst_dims);
+
+    std::vector<DistanceRange> out(nb);
+    bool first = true;
+    for (const auto &piece : dep.rel.pieces()) {
+        BasicMap band_rel =
+            pa.reverse().compose(piece).compose(pb);
+        BasicSet deltas = band_rel.deltas();
+        for (const auto &[name, value] : prog_->paramValues())
+            deltas = deltas.fixParam(name, value);
+        if (deltas.isEmpty())
+            continue;
+        for (unsigned k = 0; k < nb; ++k) {
+            int64_t lo, hi;
+            bool bounded = true;
+            try {
+                if (!deltas.dimBounds(k, {}, lo, hi))
+                    continue; // piece empty in this direction
+            } catch (const FatalError &) {
+                bounded = false;
+                lo = hi = 0;
+            }
+            if (first) {
+                out[k] = {lo, hi, bounded};
+            } else if (!bounded || !out[k].bounded) {
+                out[k].bounded = false;
+            } else {
+                out[k].min = std::min(out[k].min, lo);
+                out[k].max = std::max(out[k].max, hi);
+            }
+        }
+        first = false;
+    }
+    return out;
+}
+
+} // namespace deps
+} // namespace polyfuse

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Memory-based dependence analysis over the program IR.
+ *
+ * For every ordered pair of statement instances that touch the same
+ * tensor element with at least one write, a Dependence records the
+ * relation between source and destination instances. "Ordered" is
+ * decided by the initial schedule: group order between loop nests,
+ * and the statement paths (shared loops + sequence positions) inside
+ * a nest. Memory-based dependences are sound for every legality
+ * question asked in this library (fusion, tiling, post-tiling fusion)
+ * and avoid lexmin machinery.
+ */
+
+#ifndef POLYFUSE_DEPS_DEPENDENCES_HH
+#define POLYFUSE_DEPS_DEPENDENCES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/program.hh"
+#include "pres/map.hh"
+
+namespace polyfuse {
+namespace deps {
+
+/** Classic dependence kinds. */
+enum class DepKind
+{
+    Flow,   ///< write -> read (producer-consumer)
+    Anti,   ///< read -> write
+    Output, ///< write -> write
+};
+
+/** One dependence between two statements over one tensor. */
+struct Dependence
+{
+    int src = -1;    ///< source statement id (executes first)
+    int dst = -1;    ///< destination statement id
+    int tensor = -1; ///< tensor causing the dependence
+    DepKind kind = DepKind::Flow;
+    /** Source instances -> dependent destination instances. */
+    pres::Map rel;
+};
+
+/** Min/max of one dependence-distance component. */
+struct DistanceRange
+{
+    int64_t min = 0;
+    int64_t max = 0;
+    bool bounded = false;
+};
+
+/** The dependence graph of a program. */
+class DependenceGraph
+{
+  public:
+    /** Analyze @p program (kept by reference; must outlive this). */
+    static DependenceGraph compute(const ir::Program &program);
+
+    const std::vector<Dependence> &all() const { return deps_; }
+    const ir::Program &program() const { return *prog_; }
+
+    /** Dependences from statement @p src to statement @p dst. */
+    std::vector<const Dependence *> between(int src, int dst) const;
+
+    /** Dependences whose source is in group @p gsrc and dest in
+     *  @p gdst. */
+    std::vector<const Dependence *> betweenGroups(int gsrc,
+                                                  int gdst) const;
+
+    /** True when some dependence flows from @p gsrc into @p gdst. */
+    bool groupDependsOn(int gdst, int gsrc) const;
+
+    /** Flow dependences caused by @p tensor. */
+    std::vector<const Dependence *> flowOfTensor(int tensor) const;
+
+    /**
+     * Distance ranges of @p dep projected onto band dimensions:
+     * component k is dst band dim k minus src band dim k, bounded
+     * under the program's parameter values. Components unbounded on
+     * either side report bounded == false.
+     */
+    std::vector<DistanceRange>
+    bandDistances(const Dependence &dep,
+                  const std::vector<unsigned> &src_dims,
+                  const std::vector<unsigned> &dst_dims) const;
+
+  private:
+    const ir::Program *prog_ = nullptr;
+    std::vector<Dependence> deps_;
+};
+
+/**
+ * The instance-level "executes strictly before" relation between two
+ * statements under the initial schedule (exposed for testing).
+ */
+pres::Map beforeMap(const ir::Program &program, int src, int dst);
+
+} // namespace deps
+} // namespace polyfuse
+
+#endif // POLYFUSE_DEPS_DEPENDENCES_HH

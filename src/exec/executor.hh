@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The AST executor: runs generated loop nests over real buffers.
+ *
+ * The executor is the library's stand-in for compiling the generated
+ * OpenMP/CUDA code with a native toolchain: per-iteration overhead is
+ * constant across scheduling strategies, so strategy-relative ratios
+ * (which is what the paper's evaluation compares) are preserved,
+ * while the memory-access *pattern* is exactly that of the generated
+ * code -- which is what the cache simulator consumes via the trace
+ * hook.
+ */
+
+#ifndef POLYFUSE_EXEC_EXECUTOR_HH
+#define POLYFUSE_EXEC_EXECUTOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "codegen/ast.hh"
+#include "ir/program.hh"
+
+namespace polyfuse {
+namespace exec {
+
+/** The runtime storage of one program run. */
+class Buffers
+{
+  public:
+    /** Allocate one zero-initialized buffer per program tensor. */
+    explicit Buffers(const ir::Program &program);
+
+    std::vector<double> &data(int tensor) { return data_.at(tensor); }
+    const std::vector<double> &data(int tensor) const
+    { return data_.at(tensor); }
+
+    /** Row-major extents of a tensor. */
+    const std::vector<int64_t> &extents(int tensor) const
+    { return extents_.at(tensor); }
+
+    /** Row-major linear offset of @p idx within @p tensor. */
+    int64_t offsetOf(int tensor, const std::vector<int64_t> &idx) const;
+
+    /** Fill a tensor with a deterministic pseudo-random pattern. */
+    void fillPattern(int tensor, uint64_t seed);
+
+  private:
+    std::vector<std::vector<double>> data_;
+    std::vector<std::vector<int64_t>> extents_;
+};
+
+/**
+ * Memory-trace hook: called per scalar access with a space id (one
+ * per tensor; promoted scratchpads get numTensors + tensor), the
+ * element offset within the space, and the direction.
+ */
+using TraceHook =
+    std::function<void(int space, int64_t offset, bool is_write)>;
+
+/** Counters of one execution. */
+struct ExecStats
+{
+    uint64_t instances = 0; ///< statement instances executed
+    uint64_t instancesParallel = 0; ///< instances under parallel loops
+    double flops = 0;       ///< per-statement ops estimate summed
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t guardFails = 0; ///< instances suppressed by guards
+    double seconds = 0;      ///< wall-clock of the run
+};
+
+/** Execute @p ast over @p buffers. */
+ExecStats run(const ir::Program &program, const codegen::AstPtr &ast,
+              Buffers &buffers, const TraceHook &trace = nullptr);
+
+} // namespace exec
+} // namespace polyfuse
+
+#endif // POLYFUSE_EXEC_EXECUTOR_HH

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * The statement-body expression IR.
+ *
+ * Every Statement stores one value expression which the executor
+ * evaluates per instance and stores through the statement's write
+ * access. Affine loads reference a declared read access by position
+ * (LoadAcc) so analysis and execution share a single source of truth;
+ * data-dependent accesses (e.g. equake's indirection) use LoadIdx
+ * with explicit index expressions.
+ */
+
+#ifndef POLYFUSE_IR_EXPR_HH
+#define POLYFUSE_IR_EXPR_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace polyfuse {
+namespace ir {
+
+/** Unary operators available in statement bodies. */
+enum class UnOp
+{
+    Neg,
+    Exp,
+    Log,
+    Sqrt,
+    Abs,
+    Relu,
+    Floor,
+};
+
+/** Binary operators available in statement bodies. */
+enum class BinOp
+{
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Min,
+    Max,
+};
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/** One node of a statement-body expression tree. */
+struct Expr
+{
+    enum class Kind
+    {
+        LoadAcc, ///< load via declared read access `access`
+        LoadIdx, ///< load tensor `tensor` at explicit `args` indices
+        Iter,    ///< value of domain dimension `iter`
+        Param,   ///< value of program parameter `param`
+        Const,   ///< literal `value`
+        Unary,   ///< uop applied to args[0]
+        Binary,  ///< bop applied to args[0], args[1]
+    };
+
+    Kind kind;
+    int access = -1;
+    int tensor = -1;
+    unsigned iter = 0;
+    std::string param;
+    double value = 0.0;
+    UnOp uop = UnOp::Neg;
+    BinOp bop = BinOp::Add;
+    std::vector<ExprPtr> args;
+};
+
+/** Load through read access @p access_index (declaration order). */
+inline ExprPtr
+loadAcc(int access_index)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = Expr::Kind::LoadAcc;
+    e->access = access_index;
+    return e;
+}
+
+/** Load @p tensor at explicitly computed indices (indirection). */
+inline ExprPtr
+loadIdx(int tensor, std::vector<ExprPtr> indices)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = Expr::Kind::LoadIdx;
+    e->tensor = tensor;
+    e->args = std::move(indices);
+    return e;
+}
+
+/** Value of the statement's domain dimension @p index. */
+inline ExprPtr
+iterVar(unsigned index)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = Expr::Kind::Iter;
+    e->iter = index;
+    return e;
+}
+
+/** Value of the named program parameter. */
+inline ExprPtr
+paramRef(std::string name)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = Expr::Kind::Param;
+    e->param = std::move(name);
+    return e;
+}
+
+/** Floating-point literal. */
+inline ExprPtr
+lit(double v)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = Expr::Kind::Const;
+    e->value = v;
+    return e;
+}
+
+/** Unary application. */
+inline ExprPtr
+un(UnOp op, ExprPtr x)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = Expr::Kind::Unary;
+    e->uop = op;
+    e->args = {std::move(x)};
+    return e;
+}
+
+/** Binary application. */
+inline ExprPtr
+bin(BinOp op, ExprPtr l, ExprPtr r)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = Expr::Kind::Binary;
+    e->bop = op;
+    e->args = {std::move(l), std::move(r)};
+    return e;
+}
+
+inline ExprPtr operator+(ExprPtr a, ExprPtr b)
+{ return bin(BinOp::Add, std::move(a), std::move(b)); }
+inline ExprPtr operator-(ExprPtr a, ExprPtr b)
+{ return bin(BinOp::Sub, std::move(a), std::move(b)); }
+inline ExprPtr operator*(ExprPtr a, ExprPtr b)
+{ return bin(BinOp::Mul, std::move(a), std::move(b)); }
+inline ExprPtr operator/(ExprPtr a, ExprPtr b)
+{ return bin(BinOp::Div, std::move(a), std::move(b)); }
+
+} // namespace ir
+} // namespace polyfuse
+
+#endif // POLYFUSE_IR_EXPR_HH

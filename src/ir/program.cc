@@ -1,0 +1,286 @@
+#include "ir/program.hh"
+
+#include <algorithm>
+
+#include "support/intmath.hh"
+#include "support/logging.hh"
+
+namespace polyfuse {
+namespace ir {
+
+int64_t
+Program::paramValue(const std::string &name) const
+{
+    auto it = paramValues_.find(name);
+    if (it == paramValues_.end())
+        fatal("unknown parameter " + name);
+    return it->second;
+}
+
+int
+Program::tensorId(const std::string &name) const
+{
+    for (size_t i = 0; i < tensors_.size(); ++i)
+        if (tensors_[i].name == name)
+            return i;
+    fatal("unknown tensor " + name);
+}
+
+int
+Program::statementId(const std::string &name) const
+{
+    for (size_t i = 0; i < stmts_.size(); ++i)
+        if (stmts_[i].name() == name)
+            return i;
+    fatal("unknown statement " + name);
+}
+
+std::vector<int>
+Program::groupStatements(int g) const
+{
+    std::vector<int> out;
+    for (size_t i = 0; i < stmts_.size(); ++i)
+        if (stmts_[i].group() == g)
+            out.push_back(i);
+    return out;
+}
+
+pres::Set
+Program::domains() const
+{
+    pres::Set out;
+    for (const auto &s : stmts_)
+        out.addPiece(s.domain());
+    return out;
+}
+
+pres::Map
+Program::reads() const
+{
+    pres::Map out;
+    for (const auto &s : stmts_)
+        for (int r : s.readIndices())
+            out.addPiece(
+                s.accesses()[r].rel.intersectDomain(s.domain()));
+    return out;
+}
+
+pres::Map
+Program::writes() const
+{
+    pres::Map out;
+    for (const auto &s : stmts_)
+        if (s.writeIndex() >= 0)
+            out.addPiece(
+                s.writeAccess().rel.intersectDomain(s.domain()));
+    return out;
+}
+
+bool
+Program::tensorLiveOut(int id) const
+{
+    return tensors_.at(id).kind == TensorKind::Output;
+}
+
+bool
+Program::groupLiveOut(int g) const
+{
+    for (int sid : groupStatements(g)) {
+        const Statement &s = stmts_[sid];
+        if (s.writeIndex() >= 0 &&
+            tensorLiveOut(s.writeAccess().tensor))
+            return true;
+    }
+    return false;
+}
+
+int64_t
+Program::tensorExtent(int id, unsigned dim) const
+{
+    const TensorInfo &t = tensors_.at(id);
+    if (dim >= t.rank)
+        panic("tensorExtent dim out of range");
+    const auto &row = t.extents[dim];
+    int64_t acc = row.back();
+    for (size_t i = 0; i + 1 < row.size(); ++i)
+        acc = checkedAdd(acc,
+                         checkedMul(row[i], paramValue(params_[i])));
+    return acc;
+}
+
+int64_t
+Program::tensorSize(int id) const
+{
+    const TensorInfo &t = tensors_.at(id);
+    int64_t n = 1;
+    for (unsigned d = 0; d < t.rank; ++d)
+        n = checkedMul(n, tensorExtent(id, d));
+    return n;
+}
+
+ProgramBuilder::ProgramBuilder(std::string name)
+{
+    p_.name_ = std::move(name);
+}
+
+ProgramBuilder &
+ProgramBuilder::param(const std::string &name, int64_t value)
+{
+    if (std::find(p_.params_.begin(), p_.params_.end(), name) !=
+        p_.params_.end())
+        fatal("duplicate parameter " + name);
+    p_.params_.push_back(name);
+    p_.paramValues_[name] = value;
+    return *this;
+}
+
+int
+ProgramBuilder::tensor(const std::string &name,
+                       const std::vector<std::string> &extents,
+                       TensorKind kind)
+{
+    for (const auto &t : p_.tensors_)
+        if (t.name == name)
+            fatal("duplicate tensor " + name);
+    TensorInfo info;
+    info.name = name;
+    info.rank = extents.size();
+    info.kind = kind;
+    for (const auto &e : extents)
+        info.extents.push_back(pres::parseAffine(e, p_.params_));
+    p_.tensors_.push_back(std::move(info));
+    return p_.tensors_.size() - 1;
+}
+
+StatementBuilder
+ProgramBuilder::statement(const std::string &name)
+{
+    for (const auto &s : p_.stmts_)
+        if (s.name() == name)
+            fatal("duplicate statement " + name);
+    Statement s;
+    s.name_ = name;
+    p_.stmts_.push_back(std::move(s));
+    return StatementBuilder(*this, p_.stmts_.size() - 1);
+}
+
+StatementBuilder &
+StatementBuilder::domain(const std::string &text)
+{
+    Statement &s = pb_.p_.stmts_.at(idx_);
+    s.domain_ = pres::parseBasicSetNamed(text, &s.dimNames_);
+    if (s.domain_.space().outTuple() != s.name_)
+        fatal("domain tuple '" + s.domain_.space().outTuple() +
+              "' does not match statement name '" + s.name_ + "'");
+    return *this;
+}
+
+namespace {
+
+Access
+makeAccess(const Program &p, const std::string &tensor,
+           const std::string &map_text, const Statement &s,
+           bool is_write)
+{
+    pres::ParsedAccess parsed = pres::parseAccess(map_text);
+    Access a;
+    a.tensor = p.tensorId(tensor);
+    a.isWrite = is_write;
+    a.rel = parsed.map;
+    a.hasExprs = parsed.hasExprs;
+    a.indexExprs = parsed.outExprs;
+    if (a.rel.space().inTuple() != s.name())
+        fatal("access domain tuple mismatch for " + s.name());
+    if (a.rel.space().outTuple() != tensor)
+        fatal("access range tuple '" + a.rel.space().outTuple() +
+              "' does not name tensor '" + tensor + "'");
+    if (a.rel.space().numOut() != p.tensor(a.tensor).rank)
+        fatal("access rank mismatch for tensor " + tensor);
+    return a;
+}
+
+} // namespace
+
+StatementBuilder &
+StatementBuilder::reads(const std::string &tensor,
+                        const std::string &map_text)
+{
+    Statement &s = pb_.p_.stmts_.at(idx_);
+    s.accesses_.push_back(
+        makeAccess(pb_.p_, tensor, map_text, s, false));
+    s.reads_.push_back(s.accesses_.size() - 1);
+    return *this;
+}
+
+StatementBuilder &
+StatementBuilder::writes(const std::string &tensor,
+                         const std::string &map_text)
+{
+    Statement &s = pb_.p_.stmts_.at(idx_);
+    if (s.write_ >= 0)
+        fatal("statement " + s.name_ + " already has a write access");
+    s.accesses_.push_back(
+        makeAccess(pb_.p_, tensor, map_text, s, true));
+    s.write_ = s.accesses_.size() - 1;
+    return *this;
+}
+
+StatementBuilder &
+StatementBuilder::body(ExprPtr e)
+{
+    pb_.p_.stmts_.at(idx_).body_ = std::move(e);
+    return *this;
+}
+
+StatementBuilder &
+StatementBuilder::group(int g)
+{
+    pb_.p_.stmts_.at(idx_).group_ = g;
+    return *this;
+}
+
+StatementBuilder &
+StatementBuilder::path(std::vector<PathElem> p)
+{
+    pb_.p_.stmts_.at(idx_).path_ = std::move(p);
+    return *this;
+}
+
+StatementBuilder &
+StatementBuilder::ops(double flops)
+{
+    pb_.p_.stmts_.at(idx_).ops_ = flops;
+    return *this;
+}
+
+Program
+ProgramBuilder::build()
+{
+    int max_group = -1;
+    for (auto &s : p_.stmts_) {
+        if (s.domain_.space().numOut() == 0 &&
+            s.domain_.constraints().empty() &&
+            s.domain_.space().outTuple().empty())
+            fatal("statement " + s.name_ + " has no domain");
+        if (s.group_ < 0)
+            fatal("statement " + s.name_ + " has negative group");
+        max_group = std::max(max_group, s.group_);
+        // Default path: every domain dim as a loop, in order.
+        if (s.path_.empty())
+            for (unsigned d = 0; d < s.numDims(); ++d)
+                s.path_.push_back(L(d));
+        // Each access must span the statement's dims.
+        for (const auto &a : s.accesses_)
+            if (a.rel.space().numIn() != s.numDims())
+                fatal("access arity mismatch in " + s.name_);
+    }
+    // Groups must be contiguous 0..max.
+    for (int g = 0; g <= max_group; ++g)
+        if (p_.groupStatements(g).empty())
+            fatal("group " + std::to_string(g) + " has no statements");
+    p_.numGroups_ = max_group + 1;
+    return p_;
+}
+
+} // namespace ir
+} // namespace polyfuse

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * The polyhedral program IR: tensors, statements with iteration
+ * domains / access relations / body expressions, and the grouping
+ * into original loop nests that fusion heuristics operate on.
+ *
+ * A Program is built through ProgramBuilder using the isl-like text
+ * notation of pres/parser.hh; the paper's Fig. 1(a) looks like:
+ *
+ *   ProgramBuilder b("conv2d");
+ *   b.param("H", 64); ... b.tensor("A", {"H", "W"}, TensorKind::Temp);
+ *   b.statement("S0").domain("[H,W] -> { S0[h,w] : ... }")
+ *       .reads("A", "{ S0[h,w] -> A[h,w] }")
+ *       .writes("A", "{ S0[h,w] -> A[h,w] }")
+ *       .body(...).group(0);
+ */
+
+#ifndef POLYFUSE_IR_PROGRAM_HH
+#define POLYFUSE_IR_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/expr.hh"
+#include "pres/map.hh"
+#include "pres/parser.hh"
+#include "pres/set.hh"
+
+namespace polyfuse {
+namespace ir {
+
+/** Storage role of a tensor. */
+enum class TensorKind
+{
+    Input,  ///< read-only program input
+    Output, ///< live-out: referenced after the program finishes
+    Temp,   ///< intermediate: dead after the program finishes
+};
+
+/** A declared array (or scalar, rank 0). */
+struct TensorInfo
+{
+    std::string name;
+    unsigned rank = 0;
+    /** Per-dimension extents as rows over [params..., 1]. */
+    std::vector<std::vector<int64_t>> extents;
+    TensorKind kind = TensorKind::Temp;
+};
+
+/** One access of a statement. */
+struct Access
+{
+    int tensor = -1;
+    bool isWrite = false;
+    /** Statement instances -> tensor elements (affine relation). */
+    pres::BasicMap rel;
+    /** True when indexExprs defines the access exactly. */
+    bool hasExprs = false;
+    /** Rows over [stmt dims..., params..., 1], one per tensor dim. */
+    std::vector<std::vector<int64_t>> indexExprs;
+};
+
+/** One element of a statement's position inside its group. */
+struct PathElem
+{
+    enum class Kind
+    {
+        Loop, ///< iterate domain dimension `value`
+        Seq,  ///< textual position `value` among siblings
+    };
+    Kind kind;
+    unsigned value;
+};
+
+/** A statement: domain, accesses, body, and structural position. */
+class Statement
+{
+  public:
+    const std::string &name() const { return name_; }
+    const pres::BasicSet &domain() const { return domain_; }
+    const std::vector<std::string> &dimNames() const
+    { return dimNames_; }
+    unsigned numDims() const { return domain_.space().numOut(); }
+
+    /** All accesses in declaration order (reads then the write). */
+    const std::vector<Access> &accesses() const { return accesses_; }
+
+    /** Indices into accesses() of the read accesses, in order. */
+    const std::vector<int> &readIndices() const { return reads_; }
+
+    /** Index into accesses() of the write access (-1 if none). */
+    int writeIndex() const { return write_; }
+
+    const Access &
+    writeAccess() const
+    {
+        return accesses_.at(write_);
+    }
+
+    /** Value stored per instance (null for no-op statements). */
+    const ExprPtr &body() const { return body_; }
+
+    /** Original loop-nest group this statement belongs to. */
+    int group() const { return group_; }
+
+    /** Structural position within the group (loops and seq marks). */
+    const std::vector<PathElem> &path() const { return path_; }
+
+    /** Estimated floating-point ops per instance (for cost models). */
+    double opsPerInstance() const { return ops_; }
+
+  private:
+    friend class ProgramBuilder;
+    friend class StatementBuilder;
+
+    std::string name_;
+    pres::BasicSet domain_;
+    std::vector<std::string> dimNames_;
+    std::vector<Access> accesses_;
+    std::vector<int> reads_;
+    int write_ = -1;
+    ExprPtr body_;
+    int group_ = 0;
+    std::vector<PathElem> path_;
+    double ops_ = 1.0;
+};
+
+/** A whole program: parameters, tensors, grouped statements. */
+class Program
+{
+  public:
+    const std::string &name() const { return name_; }
+
+    const std::vector<std::string> &params() const { return params_; }
+    const pres::ParamValues &paramValues() const { return paramValues_; }
+
+    int64_t paramValue(const std::string &name) const;
+
+    const std::vector<TensorInfo> &tensors() const { return tensors_; }
+    const TensorInfo &tensor(int id) const { return tensors_.at(id); }
+    int tensorId(const std::string &name) const;
+
+    const std::vector<Statement> &statements() const { return stmts_; }
+    const Statement &statement(int id) const { return stmts_.at(id); }
+    int statementId(const std::string &name) const;
+
+    unsigned numGroups() const { return numGroups_; }
+
+    /** Statement ids belonging to group @p g, in declaration order. */
+    std::vector<int> groupStatements(int g) const;
+
+    /** Union of all statement domains. */
+    pres::Set domains() const;
+
+    /** Union of read access relations, domains applied. */
+    pres::Map reads() const;
+
+    /** Union of write access relations, domains applied. */
+    pres::Map writes() const;
+
+    /** True when the tensor outlives the program (TensorKind::Output). */
+    bool tensorLiveOut(int id) const;
+
+    /**
+     * True when group @p g writes some live-out tensor, i.e. is a
+     * live-out computation space in the paper's sense (footnote 1).
+     */
+    bool groupLiveOut(int g) const;
+
+    /** Evaluate a tensor dimension extent under the param values. */
+    int64_t tensorExtent(int id, unsigned dim) const;
+
+    /** Flat element count of a tensor under the param values. */
+    int64_t tensorSize(int id) const;
+
+  private:
+    friend class ProgramBuilder;
+    friend class StatementBuilder;
+
+    std::string name_;
+    std::vector<std::string> params_;
+    pres::ParamValues paramValues_;
+    std::vector<TensorInfo> tensors_;
+    std::vector<Statement> stmts_;
+    unsigned numGroups_ = 0;
+};
+
+/** Fluent builder for statements; obtained from ProgramBuilder. */
+class StatementBuilder
+{
+  public:
+    /** Set the iteration domain (single-piece isl-like text). */
+    StatementBuilder &domain(const std::string &text);
+
+    /** Add a read access of @p tensor. */
+    StatementBuilder &reads(const std::string &tensor,
+                            const std::string &map_text);
+
+    /** Set the write access of @p tensor. */
+    StatementBuilder &writes(const std::string &tensor,
+                             const std::string &map_text);
+
+    /** Set the per-instance value expression. */
+    StatementBuilder &body(ExprPtr e);
+
+    /** Assign the statement to original loop nest @p g. */
+    StatementBuilder &group(int g);
+
+    /** Override the structural path (default: all dims as loops). */
+    StatementBuilder &path(std::vector<PathElem> p);
+
+    /** Set the per-instance flop estimate (default 1). */
+    StatementBuilder &ops(double flops);
+
+  private:
+    friend class ProgramBuilder;
+    StatementBuilder(class ProgramBuilder &pb, int idx)
+        : pb_(pb), idx_(idx) {}
+
+    class ProgramBuilder &pb_;
+    int idx_;
+};
+
+/** Builder/validator for Program. */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(std::string name);
+
+    /** Declare a parameter with its compile-time known value. */
+    ProgramBuilder &param(const std::string &name, int64_t value);
+
+    /**
+     * Declare a tensor; extents are affine texts over the parameters
+     * (e.g. "H - KH + 1"). @return tensor id.
+     */
+    int tensor(const std::string &name,
+               const std::vector<std::string> &extents, TensorKind kind);
+
+    /** Start a statement; finish it via the returned builder. */
+    StatementBuilder statement(const std::string &name);
+
+    /**
+     * Validate and return the program: checks domains exist, access
+     * tuple names match, groups are contiguous, write tensors exist.
+     */
+    Program build();
+
+  private:
+    friend class StatementBuilder;
+
+    Program p_;
+};
+
+/** Shorthand for PathElem{Loop, dim}. */
+inline PathElem
+L(unsigned dim)
+{
+    return {PathElem::Kind::Loop, dim};
+}
+
+/** Shorthand for PathElem{Seq, pos}. */
+inline PathElem
+S(unsigned pos)
+{
+    return {PathElem::Kind::Seq, pos};
+}
+
+} // namespace ir
+} // namespace polyfuse
+
+#endif // POLYFUSE_IR_PROGRAM_HH

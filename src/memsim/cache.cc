@@ -1,0 +1,110 @@
+#include "memsim/cache.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace polyfuse {
+namespace memsim {
+
+CacheLevel::CacheLevel(const CacheConfig &config)
+    : config_(config)
+{
+    if (config_.sizeBytes <= 0 || config_.lineBytes <= 0 ||
+        config_.ways <= 0)
+        fatal("invalid cache configuration");
+    if (config_.sizeBytes % config_.lineBytes != 0)
+        fatal("cache size not divisible by line size");
+    int64_t lines = config_.sizeBytes / config_.lineBytes;
+    if (lines % config_.ways != 0)
+        fatal("cache size not divisible by ways");
+    numSets_ = lines / config_.ways;
+    sets_.assign(numSets_, {});
+}
+
+bool
+CacheLevel::access(uint64_t line_addr)
+{
+    auto &set = sets_[line_addr % numSets_];
+    auto it = std::find(set.begin(), set.end(), line_addr);
+    if (it != set.end()) {
+        // Move to MRU position.
+        set.erase(it);
+        set.insert(set.begin(), line_addr);
+        ++hits_;
+        return true;
+    }
+    ++misses_;
+    set.insert(set.begin(), line_addr);
+    if (set.size() > size_t(config_.ways))
+        set.pop_back();
+    return false;
+}
+
+void
+CacheLevel::reset()
+{
+    for (auto &set : sets_)
+        set.clear();
+    hits_ = misses_ = 0;
+}
+
+MemoryHierarchy::MemoryHierarchy(const CacheConfig &l1,
+                                 const CacheConfig &l2)
+    : l1_(l1), l2_(l2)
+{
+}
+
+MemoryHierarchy
+MemoryHierarchy::typicalCpu()
+{
+    CacheConfig l1{32 * 1024, 64, 8, "L1"};
+    CacheConfig l2{1024 * 1024, 64, 16, "L2"};
+    return MemoryHierarchy(l1, l2);
+}
+
+void
+MemoryHierarchy::addSpace(int space, int64_t elements)
+{
+    if (bases_.size() <= size_t(space))
+        bases_.resize(space + 1, 0);
+    bases_[space] = nextBase_;
+    // Page-align the next space.
+    uint64_t bytes = uint64_t(elements) * 8;
+    nextBase_ += (bytes + 4095) / 4096 * 4096 + 4096;
+}
+
+void
+MemoryHierarchy::access(int space, int64_t offset, bool is_write)
+{
+    (void)is_write;
+    if (size_t(space) >= bases_.size() || bases_[space] == 0)
+        fatal("access to undeclared space " + std::to_string(space));
+    uint64_t addr = bases_[space] + uint64_t(offset) * 8;
+    uint64_t line = addr / l1_.config().lineBytes;
+    ++stats_.accesses;
+    if (l1_.access(line)) {
+        ++stats_.l1Hits;
+        return;
+    }
+    ++stats_.l1Misses;
+    uint64_t l2line = addr / l2_.config().lineBytes;
+    if (l2_.access(l2line)) {
+        ++stats_.l2Hits;
+        return;
+    }
+    ++stats_.l2Misses;
+    stats_.dramBytes += l2_.config().lineBytes;
+}
+
+double
+MemoryHierarchy::estimatedCycles(double l1_lat, double l2_lat,
+                                 double dram_lat) const
+{
+    return double(stats_.l1Hits) * l1_lat +
+           double(stats_.l2Hits) * l2_lat +
+           double(stats_.l2Misses) * dram_lat;
+}
+
+} // namespace memsim
+} // namespace polyfuse

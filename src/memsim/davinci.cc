@@ -1,0 +1,74 @@
+#include "memsim/davinci.hh"
+
+#include <algorithm>
+
+namespace polyfuse {
+namespace memsim {
+
+double
+ConvLayer::flops() const
+{
+    return 2.0 * batch * cout * outH() * outW() * cin * kernel *
+           kernel;
+}
+
+double
+ConvLayer::inBytes(int elem_bytes) const
+{
+    return double(batch) * cin * height * width * elem_bytes;
+}
+
+double
+ConvLayer::outBytes(int elem_bytes) const
+{
+    return double(batch) * cout * outH() * outW() * elem_bytes;
+}
+
+double
+ConvLayer::weightBytes(int elem_bytes) const
+{
+    return double(cout) * cin * kernel * kernel * elem_bytes;
+}
+
+LayerEstimate
+estimateConvBn(const ConvLayer &layer, bool fused,
+               const DaVinciConfig &config)
+{
+    LayerEstimate est;
+    double in = layer.inBytes(config.elemBytes);
+    double out = layer.outBytes(config.elemBytes);
+    double wts = layer.weightBytes(config.elemBytes);
+
+    double cube_ms = layer.flops() / (config.cubeTflops * 1e9);
+    // BN applies scale/shift per element on the Vector Unit.
+    double bn_vec_ms =
+        (out / config.elemBytes) * 4.0 / (config.vectorGops * 1e6);
+
+    if (fused) {
+        // conv reads input+weights from GM; its output flows through
+        // L0C/UB straight into the BN, which writes the final result
+        // to GM: one pass, one output transfer.
+        est.gmBytes = in + wts + out;
+        double dma_ms = est.gmBytes / (config.gmGBs * 1e6);
+        double ub_ms = (2.0 * out) / (config.ubGBs * 1e6);
+        est.convMs = std::max({cube_ms + bn_vec_ms, dma_ms, ub_ms}) +
+                     config.perPassUs / 1000.0;
+        est.bnMs = 0;
+        est.totalMs = est.convMs;
+    } else {
+        // conv pass: input + weights in, conv output to GM.
+        double conv_gm = in + wts + out;
+        est.convMs = std::max(cube_ms, conv_gm / (config.gmGBs * 1e6)) +
+                     config.perPassUs / 1000.0;
+        // bn pass: read conv output from GM, write result to GM.
+        double bn_gm = 2.0 * out;
+        est.bnMs = std::max(bn_vec_ms, bn_gm / (config.gmGBs * 1e6)) +
+                   config.perPassUs / 1000.0;
+        est.gmBytes = conv_gm + bn_gm;
+        est.totalMs = est.convMs + est.bnMs;
+    }
+    return est;
+}
+
+} // namespace memsim
+} // namespace polyfuse

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * A DaVinci-architecture (Huawei Ascend 910) cost model substituting
+ * for the paper's AI-accelerator runs (Sec. V-A, Fig. 7, Table III).
+ *
+ * The model prices exactly the effect the paper measures: an
+ * unfused conv -> batchnorm pair round-trips the convolution output
+ * through global memory (GM), while the post-tiling-fused pair keeps
+ * it in the Unified Buffer. Per layer,
+ *     t = max(cube time, GM DMA time) (+ vector pass when unfused).
+ */
+
+#ifndef POLYFUSE_MEMSIM_DAVINCI_HH
+#define POLYFUSE_MEMSIM_DAVINCI_HH
+
+#include <cstdint>
+
+namespace polyfuse {
+namespace memsim {
+
+/** Ascend-910-class machine description (fp16 data paths). */
+struct DaVinciConfig
+{
+    double cubeTflops = 256.0;  ///< Cube Unit peak (fp16 MACs)
+    double vectorGops = 2000.0; ///< Vector Unit throughput
+    double gmGBs = 170.0;       ///< off-chip (GM) bandwidth
+    double ubGBs = 4000.0;      ///< Unified Buffer bandwidth
+    int64_t l1KiB = 1024;       ///< L1 Buffer capacity
+    int64_t ubKiB = 256;        ///< Unified Buffer capacity
+    double perPassUs = 12.0;    ///< fixed per-operator launch cost
+    int elemBytes = 2;          ///< fp16
+};
+
+/** One forward convolution layer followed by a batch norm. */
+struct ConvLayer
+{
+    int64_t batch = 1;
+    int64_t cin = 0;
+    int64_t cout = 0;
+    int64_t height = 0; ///< input spatial size
+    int64_t width = 0;
+    int64_t kernel = 1;
+    int64_t stride = 1;
+
+    int64_t outH() const { return (height - kernel) / stride + 1; }
+    int64_t outW() const { return (width - kernel) / stride + 1; }
+    double flops() const;        ///< conv MAC count x2
+    double inBytes(int elem_bytes) const;
+    double outBytes(int elem_bytes) const;
+    double weightBytes(int elem_bytes) const;
+};
+
+/** Modeled time of one conv+bn pair. */
+struct LayerEstimate
+{
+    double convMs = 0;
+    double bnMs = 0;
+    double totalMs = 0;
+    double gmBytes = 0;
+};
+
+/**
+ * Estimate one conv+batchnorm layer. @p fused selects the paper's
+ * post-tiling fusion (conv output consumed from the Unified Buffer)
+ * versus separated computation spaces (GM round trip).
+ */
+LayerEstimate estimateConvBn(const ConvLayer &layer, bool fused,
+                             const DaVinciConfig &config = {});
+
+} // namespace memsim
+} // namespace polyfuse
+
+#endif // POLYFUSE_MEMSIM_DAVINCI_HH

@@ -1,0 +1,145 @@
+#include "memsim/gpu.hh"
+
+#include <algorithm>
+#include <functional>
+
+#include "support/intmath.hh"
+#include "support/logging.hh"
+
+namespace polyfuse {
+namespace memsim {
+
+using codegen::AstKind;
+using codegen::AstPtr;
+using codegen::BoundAlt;
+using codegen::BoundTerm;
+
+namespace {
+
+/** Evaluate a bound term with every loop variable set to zero. */
+int64_t
+evalClosedTerm(const ir::Program &p, const BoundTerm &t, bool is_lower)
+{
+    int64_t acc = t.constant;
+    for (size_t q = 0; q < t.paramCoeffs.size(); ++q)
+        if (t.paramCoeffs[q] != 0)
+            acc += t.paramCoeffs[q] * p.paramValue(p.params()[q]);
+    // Outer-variable coefficients are zero for top-level loops; for
+    // safety treat them as zero-valued (conservative trip count).
+    if (t.div == 1)
+        return acc;
+    return is_lower ? ceilDiv(acc, t.div) : floorDiv(acc, t.div);
+}
+
+int64_t
+evalClosedBound(const ir::Program &p, const std::vector<BoundAlt> &alts,
+                bool is_lower)
+{
+    int64_t best = 0;
+    bool first = true;
+    for (const auto &alt : alts) {
+        int64_t inner = 0;
+        bool ifirst = true;
+        for (const auto &t : alt) {
+            int64_t v = evalClosedTerm(p, t, is_lower);
+            inner = ifirst ? v
+                           : (is_lower ? std::max(inner, v)
+                                       : std::min(inner, v));
+            ifirst = false;
+        }
+        best = first ? inner
+                     : (is_lower ? std::min(best, inner)
+                                 : std::max(best, inner));
+        first = false;
+    }
+    return best;
+}
+
+/** Grid size (product of up to two outer parallel loops). */
+int64_t
+gridOf(const ir::Program &p, const AstPtr &n, unsigned depth_left)
+{
+    if (!n || depth_left == 0)
+        return 1;
+    if (n->kind == AstKind::For) {
+        if (!n->parallel)
+            return 1;
+        int64_t lo = evalClosedBound(p, n->lb, true);
+        int64_t hi = evalClosedBound(p, n->ub, false);
+        int64_t trips = std::max<int64_t>(hi - lo + 1, 1);
+        int64_t inner = 1;
+        // A degenerate (single-trip) loop does not consume a grid
+        // dimension: the mapper skips it (as PPCG's does).
+        unsigned left = trips > 1 ? depth_left - 1 : depth_left;
+        for (const auto &c : n->children)
+            inner = std::max(inner, gridOf(p, c, left));
+        return trips * inner;
+    }
+    int64_t best = 1;
+    for (const auto &c : n->children)
+        best = std::max(best, gridOf(p, c, depth_left));
+    return best;
+}
+
+/** One entry per kernel: top-level loop nests. */
+void
+collectKernels(const AstPtr &n, std::vector<AstPtr> &out)
+{
+    if (!n)
+        return;
+    if (n->kind == AstKind::For) {
+        out.push_back(n);
+        return;
+    }
+    for (const auto &c : n->children)
+        collectKernels(c, out);
+}
+
+} // namespace
+
+GpuEstimate
+estimateGpu(const ir::Program &program, const AstPtr &ast,
+            const exec::ExecStats &stats, const GpuTraceCounts &counts,
+            const GpuConfig &config)
+{
+    GpuEstimate est;
+    std::vector<AstPtr> kernels;
+    collectKernels(ast, kernels);
+    est.kernels = kernels.size();
+
+    est.globalBytes = double(counts.globalAccesses) * 8.0;
+    est.sharedBytes = double(counts.sharedAccesses) * 8.0;
+
+    // Occupancy: the weakest kernel bounds the whole run (a
+    // simplification; kernels are serialized anyway).
+    est.occupancy = 1.0;
+    for (const auto &k : kernels) {
+        int64_t grid = gridOf(program, k, 2);
+        double occ =
+            grid <= 1
+                ? config.serialEfficiency
+                : std::min(1.0, double(grid) /
+                                    config.blocksForFullOccupancy);
+        est.occupancy = std::min(est.occupancy, occ);
+    }
+    if (kernels.empty())
+        est.occupancy = config.serialEfficiency;
+
+    double compute_ms =
+        stats.flops / (config.peakGflops * est.occupancy * 1e6);
+    // A serialized grid cannot saturate the memory bus either: scale
+    // the effective bandwidth with the fraction of SMs kept busy.
+    double bw_factor = std::min(
+        1.0, std::max(est.occupancy * config.blocksForFullOccupancy /
+                          config.numSms,
+                      1.0 / config.numSms));
+    double dram_ms =
+        est.globalBytes / (config.dramGBs * bw_factor * 1e6);
+    double shared_ms = est.sharedBytes / (config.sharedGBs * 1e6);
+    est.ms = std::max({compute_ms, dram_ms, shared_ms}) +
+             est.kernels * config.kernelLaunchUs / 1000.0;
+    return est;
+}
+
+} // namespace memsim
+} // namespace polyfuse

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * A structural GPU performance model substituting for the paper's
+ * Quadro P6000 runs (Fig. 10). It consumes exactly the properties
+ * the paper's comparison varies: how much traffic stays in shared
+ * memory (promoted scratchpads) versus DRAM, how much parallelism
+ * the schedule exposes to the grid, and how many kernels are
+ * launched.
+ */
+
+#ifndef POLYFUSE_MEMSIM_GPU_HH
+#define POLYFUSE_MEMSIM_GPU_HH
+
+#include <cstdint>
+
+#include "codegen/ast.hh"
+#include "exec/executor.hh"
+#include "ir/program.hh"
+
+namespace polyfuse {
+namespace memsim {
+
+/** P6000-class machine description. */
+struct GpuConfig
+{
+    double peakGflops = 12000.0;  ///< fp32 peak
+    double dramGBs = 432.0;       ///< global memory bandwidth
+    double sharedGBs = 8000.0;    ///< aggregate shared-mem bandwidth
+    unsigned numSms = 30;
+    unsigned blocksForFullOccupancy = 60;
+    double kernelLaunchUs = 5.0;
+    /** Throughput floor when a kernel exposes no parallelism. */
+    double serialEfficiency = 1.0 / 240.0;
+};
+
+/** Model output. */
+struct GpuEstimate
+{
+    double ms = 0;           ///< modeled execution time
+    double globalBytes = 0;  ///< DRAM traffic
+    double sharedBytes = 0;  ///< shared-memory traffic
+    double occupancy = 0;    ///< min over kernels
+    unsigned kernels = 0;
+};
+
+/** Per-run inputs gathered from an executor trace. */
+struct GpuTraceCounts
+{
+    uint64_t globalAccesses = 0; ///< accesses to tensor spaces
+    uint64_t sharedAccesses = 0; ///< accesses to scratchpad spaces
+};
+
+/**
+ * Estimate GPU execution time of @p ast. Parallelism is read off the
+ * AST (outer parallel loops become the grid; their trip counts are
+ * evaluated from the program parameters), traffic and flops come
+ * from the executor run.
+ */
+GpuEstimate estimateGpu(const ir::Program &program,
+                        const codegen::AstPtr &ast,
+                        const exec::ExecStats &stats,
+                        const GpuTraceCounts &counts,
+                        const GpuConfig &config = {});
+
+} // namespace memsim
+} // namespace polyfuse
+
+#endif // POLYFUSE_MEMSIM_GPU_HH

@@ -1,0 +1,98 @@
+#include "perfmodel/autotune.hh"
+
+#include "codegen/generate.hh"
+#include "core/compose.hh"
+#include "memsim/cache.hh"
+#include "perfmodel/parallel.hh"
+#include "support/logging.hh"
+
+namespace polyfuse {
+namespace perfmodel {
+
+namespace {
+
+/** Largest tensor extent: candidates beyond it are pointless. */
+int64_t
+maxExtent(const ir::Program &p)
+{
+    int64_t best = 1;
+    for (size_t t = 0; t < p.tensors().size(); ++t)
+        for (unsigned d = 0; d < p.tensor(t).rank; ++d)
+            best = std::max(best, p.tensorExtent(t, d));
+    return best;
+}
+
+double
+evaluate(const ir::Program &p, const deps::DependenceGraph &g,
+         const std::vector<int64_t> &sizes,
+         const std::function<void(exec::Buffers &)> &init,
+         const AutotuneOptions &options)
+{
+    core::ComposeOptions copts;
+    copts.tileSizes = sizes;
+    copts.targetParallelism = options.targetParallelism;
+    auto r = core::compose(p, g, copts);
+    auto ast = codegen::generateAst(r.tree);
+
+    exec::Buffers buf(p);
+    init(buf);
+    memsim::MemoryHierarchy mem(
+        memsim::CacheConfig{16 * 1024, 64, 8, "L1"},
+        memsim::CacheConfig{256 * 1024, 64, 16, "L2"});
+    for (size_t t = 0; t < p.tensors().size(); ++t) {
+        mem.addSpace(t, p.tensorSize(t));
+        mem.addSpace(p.tensors().size() + t, p.tensorSize(t));
+    }
+    auto stats = exec::run(p, ast, buf,
+                           [&](int space, int64_t off, bool w) {
+                               mem.access(space, off, w);
+                           });
+    return modeledCpuMs(stats, mem.stats(), options.threads);
+}
+
+void
+sweep(const ir::Program &p, const deps::DependenceGraph &g,
+      const std::function<void(exec::Buffers &)> &init,
+      const AutotuneOptions &options, std::vector<int64_t> &current,
+      AutotuneResult &best)
+{
+    if (current.size() == options.dims) {
+        double ms = evaluate(p, g, current, init, options);
+        ++best.evaluated;
+        if (best.tileSizes.empty() || ms < best.modeledMs) {
+            best.modeledMs = ms;
+            best.tileSizes = current;
+        }
+        return;
+    }
+    int64_t limit = maxExtent(p);
+    for (int64_t c : options.candidates) {
+        if (c > limit)
+            continue;
+        current.push_back(c);
+        sweep(p, g, init, options, current, best);
+        current.pop_back();
+    }
+}
+
+} // namespace
+
+AutotuneResult
+autotuneTileSizes(const ir::Program &program,
+                  const deps::DependenceGraph &graph,
+                  const std::function<void(exec::Buffers &)> &init,
+                  const AutotuneOptions &options)
+{
+    if (options.dims == 0 || options.candidates.empty())
+        fatal("autotune: need at least one dimension and candidate");
+    AutotuneResult best;
+    std::vector<int64_t> current;
+    sweep(program, graph, init, options, current, best);
+    if (best.tileSizes.empty())
+        fatal("autotune: no feasible candidate (all larger than the "
+              "iteration space)");
+    return best;
+}
+
+} // namespace perfmodel
+} // namespace polyfuse

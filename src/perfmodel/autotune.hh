@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Tile-size auto-tuning in the style the paper relies on for
+ * Table I ("By considering 7 possible tile sizes including 8, 16,
+ * 32, 64, 128, 256 and 512 for each dimension, the PolyMage
+ * framework uses an auto-tuning strategy for tile size selection").
+ *
+ * The tuner runs the composition for every candidate size pair,
+ * executes the result once with the cache simulation, and picks the
+ * size minimizing the modeled multi-thread time. It is deliberately
+ * exhaustive (the paper treats tuning as a complementary, offline
+ * step) but prunes candidates larger than the iteration space.
+ */
+
+#ifndef POLYFUSE_PERFMODEL_AUTOTUNE_HH
+#define POLYFUSE_PERFMODEL_AUTOTUNE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "deps/dependences.hh"
+#include "exec/executor.hh"
+#include "ir/program.hh"
+
+namespace polyfuse {
+namespace perfmodel {
+
+/** Tuner configuration. */
+struct AutotuneOptions
+{
+    /** Candidate sizes per dimension (PolyMage's ladder). */
+    std::vector<int64_t> candidates{8, 16, 32, 64, 128, 256, 512};
+    /** Dimensions to tune (tile vectors of this length). */
+    unsigned dims = 2;
+    unsigned threads = 32;          ///< objective thread count
+    unsigned targetParallelism = 1; ///< forwarded to the composition
+};
+
+/** Tuner outcome. */
+struct AutotuneResult
+{
+    std::vector<int64_t> tileSizes;
+    double modeledMs = 0;
+    unsigned evaluated = 0;
+};
+
+/**
+ * Find the tile sizes minimizing the modeled time of the composed
+ * schedule of @p program. @p init fills the input buffers before the
+ * evaluation run.
+ */
+AutotuneResult
+autotuneTileSizes(const ir::Program &program,
+                  const deps::DependenceGraph &graph,
+                  const std::function<void(exec::Buffers &)> &init,
+                  const AutotuneOptions &options = {});
+
+} // namespace perfmodel
+} // namespace polyfuse
+
+#endif // POLYFUSE_PERFMODEL_AUTOTUNE_HH

@@ -1,0 +1,55 @@
+#include "perfmodel/parallel.hh"
+
+#include <algorithm>
+
+namespace polyfuse {
+namespace perfmodel {
+
+double
+parallelFraction(const exec::ExecStats &stats)
+{
+    if (stats.instances == 0)
+        return 0.0;
+    return double(stats.instancesParallel) / double(stats.instances);
+}
+
+double
+amdahlSpeedup(double parallel_fraction, unsigned threads,
+              double sync_overhead)
+{
+    if (threads == 0)
+        threads = 1;
+    double f = std::clamp(parallel_fraction, 0.0, 1.0);
+    double t = double(threads);
+    return 1.0 /
+           ((1.0 - f) + f / t + sync_overhead * (t - 1.0) / t);
+}
+
+double
+modeledSeconds(double serial_seconds, const exec::ExecStats &stats,
+               unsigned threads)
+{
+    return serial_seconds /
+           amdahlSpeedup(parallelFraction(stats), threads);
+}
+
+double
+modeledCpuMs(const exec::ExecStats &stats,
+             const memsim::CacheStats &cache, unsigned threads,
+             const CpuModelConfig &config)
+{
+    double cycles =
+        stats.flops / config.opsPerCycle +
+        (double(cache.l1Hits) * config.l1LatCycles +
+         double(cache.l2Hits) * config.l2LatCycles +
+         double(cache.l2Misses) * config.dramLatCycles) /
+            config.mlp;
+    double compute_ms =
+        cycles / (config.ghz * 1e6) /
+        amdahlSpeedup(parallelFraction(stats), threads);
+    double dram_ms = double(cache.dramBytes) / (config.dramGBs * 1e6);
+    return std::max(compute_ms, dram_ms);
+}
+
+} // namespace perfmodel
+} // namespace polyfuse

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Parallel-scaling model for the thread sweeps of Fig. 8 and
+ * Table II. Measured single-thread execution is combined with an
+ * Amdahl model whose parallel fraction is read from the schedule
+ * itself (instances executed under coincident loops), never assumed:
+ * a schedule that lost parallelism (e.g. maxfuse after skewing)
+ * shows a near-zero fraction and flat scaling, exactly the paper's
+ * observation.
+ */
+
+#ifndef POLYFUSE_PERFMODEL_PARALLEL_HH
+#define POLYFUSE_PERFMODEL_PARALLEL_HH
+
+#include "exec/executor.hh"
+#include "memsim/cache.hh"
+
+namespace polyfuse {
+namespace perfmodel {
+
+/** Workstation description for the modeled-time formula. */
+struct CpuModelConfig
+{
+    double ghz = 2.1;          ///< E5-2683 v4 base clock
+    double opsPerCycle = 4.0;  ///< sustained scalar+SIMD mix
+    double dramGBs = 60.0;     ///< socket memory bandwidth (shared)
+    double l1LatCycles = 4.0;
+    double l2LatCycles = 14.0;
+    double dramLatCycles = 120.0;
+    /** Memory-level parallelism hiding part of the latency. */
+    double mlp = 4.0;
+};
+
+/**
+ * Modeled execution time on @p threads: compute+latency cycles scale
+ * with the Amdahl speedup of the schedule's own parallel fraction;
+ * DRAM traffic is bounded by the shared socket bandwidth.
+ */
+double modeledCpuMs(const exec::ExecStats &stats,
+                    const memsim::CacheStats &cache, unsigned threads,
+                    const CpuModelConfig &config = {});
+
+/** Fraction of statement instances inside parallel loops. */
+double parallelFraction(const exec::ExecStats &stats);
+
+/**
+ * Amdahl speedup with a small per-thread coordination overhead
+ * (keeps 32-thread numbers realistic instead of ideal).
+ */
+double amdahlSpeedup(double parallel_fraction, unsigned threads,
+                     double sync_overhead = 0.002);
+
+/** Modeled wall time on @p threads from a 1-thread measurement. */
+double modeledSeconds(double serial_seconds,
+                      const exec::ExecStats &stats, unsigned threads);
+
+} // namespace perfmodel
+} // namespace polyfuse
+
+#endif // POLYFUSE_PERFMODEL_PARALLEL_HH

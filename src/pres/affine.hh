@@ -1,0 +1,176 @@
+/**
+ * @file
+ * A small builder DSL for affine expressions and constraints over a
+ * Space. Used by the IR layer and by tests to state iteration
+ * domains, access relations and schedules readably:
+ *
+ *     Space sp = Space::forMap("S2", 4, "A", 2, {"H", "W"});
+ *     LinExpr h = LinExpr::inDim(sp, 0), kh = LinExpr::inDim(sp, 2);
+ *     Constraint c = eqCons(LinExpr::outDim(sp, 0), h + kh);
+ */
+
+#ifndef POLYFUSE_PRES_AFFINE_HH
+#define POLYFUSE_PRES_AFFINE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pres/constraint.hh"
+#include "pres/space.hh"
+#include "support/intmath.hh"
+#include "support/logging.hh"
+
+namespace polyfuse {
+namespace pres {
+
+/** An affine expression: one coefficient per column of a Space. */
+class LinExpr
+{
+  public:
+    LinExpr() = default;
+
+    explicit LinExpr(const Space &space)
+        : coeffs_(space.numCols(), 0) {}
+
+    /** The constant expression @p value. */
+    static LinExpr
+    constant(const Space &space, int64_t value)
+    {
+        LinExpr e(space);
+        e.coeffs_.back() = value;
+        return e;
+    }
+
+    /** Input dimension @p i of a map space. */
+    static LinExpr
+    inDim(const Space &space, unsigned i)
+    {
+        if (i >= space.numIn())
+            panic("inDim index out of range");
+        LinExpr e(space);
+        e.coeffs_[space.inCol(i)] = 1;
+        return e;
+    }
+
+    /** Output (or set) dimension @p i. */
+    static LinExpr
+    outDim(const Space &space, unsigned i)
+    {
+        if (i >= space.numOut())
+            panic("outDim index out of range");
+        LinExpr e(space);
+        e.coeffs_[space.outCol(i)] = 1;
+        return e;
+    }
+
+    /** Set dimension @p i (alias of outDim for set spaces). */
+    static LinExpr
+    setDim(const Space &space, unsigned i)
+    {
+        return outDim(space, i);
+    }
+
+    /** Parameter named @p name (must exist in the space). */
+    static LinExpr
+    param(const Space &space, const std::string &name)
+    {
+        int idx = space.paramIndex(name);
+        if (idx < 0)
+            panic("unknown parameter " + name);
+        LinExpr e(space);
+        e.coeffs_[space.paramCol(idx)] = 1;
+        return e;
+    }
+
+    const std::vector<int64_t> &coeffs() const { return coeffs_; }
+
+    LinExpr
+    operator+(const LinExpr &o) const
+    {
+        LinExpr r = *this;
+        checkCompat(o);
+        for (size_t i = 0; i < coeffs_.size(); ++i)
+            r.coeffs_[i] = checkedAdd(r.coeffs_[i], o.coeffs_[i]);
+        return r;
+    }
+
+    LinExpr
+    operator-(const LinExpr &o) const
+    {
+        LinExpr r = *this;
+        checkCompat(o);
+        for (size_t i = 0; i < coeffs_.size(); ++i)
+            r.coeffs_[i] = checkedSub(r.coeffs_[i], o.coeffs_[i]);
+        return r;
+    }
+
+    LinExpr
+    operator*(int64_t f) const
+    {
+        LinExpr r = *this;
+        for (auto &c : r.coeffs_)
+            c = checkedMul(c, f);
+        return r;
+    }
+
+    LinExpr
+    operator+(int64_t v) const
+    {
+        LinExpr r = *this;
+        r.coeffs_.back() = checkedAdd(r.coeffs_.back(), v);
+        return r;
+    }
+
+    LinExpr operator-(int64_t v) const { return *this + (-v); }
+
+  private:
+    void
+    checkCompat(const LinExpr &o) const
+    {
+        if (coeffs_.size() != o.coeffs_.size())
+            panic("LinExpr arity mismatch");
+    }
+
+    std::vector<int64_t> coeffs_;
+};
+
+/** lhs == rhs. */
+inline Constraint
+eqCons(const LinExpr &lhs, const LinExpr &rhs)
+{
+    return Constraint(true, (lhs - rhs).coeffs());
+}
+
+/** lhs >= rhs. */
+inline Constraint
+geCons(const LinExpr &lhs, const LinExpr &rhs)
+{
+    return Constraint(false, (lhs - rhs).coeffs());
+}
+
+/** lhs <= rhs. */
+inline Constraint
+leCons(const LinExpr &lhs, const LinExpr &rhs)
+{
+    return Constraint(false, (rhs - lhs).coeffs());
+}
+
+/** lhs < rhs. */
+inline Constraint
+ltCons(const LinExpr &lhs, const LinExpr &rhs)
+{
+    return Constraint(false, (rhs - lhs - 1).coeffs());
+}
+
+/** lhs > rhs. */
+inline Constraint
+gtCons(const LinExpr &lhs, const LinExpr &rhs)
+{
+    return Constraint(false, (lhs - rhs - 1).coeffs());
+}
+
+} // namespace pres
+} // namespace polyfuse
+
+#endif // POLYFUSE_PRES_AFFINE_HH

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * A conjunction of affine constraints relating two tuples: the basic
+ * relation of the Presburger layer (isl's isl_basic_map). Columns are
+ * laid out [in dims | out dims | params | 1].
+ */
+
+#ifndef POLYFUSE_PRES_BASIC_MAP_HH
+#define POLYFUSE_PRES_BASIC_MAP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pres/basic_set.hh"
+#include "pres/constraint.hh"
+#include "pres/space.hh"
+
+namespace polyfuse {
+namespace pres {
+
+/**
+ * An affine bound on one dimension as a function of other columns:
+ * dim >= ceil(coeffs . cols / div) for lower bounds,
+ * dim <= floor(coeffs . cols / div) for upper bounds.
+ */
+struct DivBound
+{
+    std::vector<int64_t> coeffs; ///< over [in dims, params, 1]
+    int64_t div = 1;
+};
+
+/** A convex affine relation between two integer tuples. */
+class BasicMap
+{
+  public:
+    BasicMap() = default;
+
+    /** Universe relation of @p space. */
+    explicit BasicMap(Space space);
+
+    /** Canonical empty relation. */
+    static BasicMap makeEmpty(Space space);
+
+    /** Identity relation on a set space. */
+    static BasicMap identity(const Space &set_space);
+
+    /**
+     * Relation defined by output equalities: out[i] == exprs[i] where
+     * each expression row spans [in dims, params, 1].
+     */
+    static BasicMap
+    fromOutExprs(const std::string &in_tuple, unsigned in_dims,
+                 const std::string &out_tuple,
+                 const std::vector<std::vector<int64_t>> &exprs,
+                 std::vector<std::string> params);
+
+    const Space &space() const { return space_; }
+    const std::vector<Constraint> &constraints() const { return cons_; }
+
+    void addConstraint(const Constraint &c);
+    void simplify();
+
+    bool wasExact() const { return exact_; }
+    bool markedEmpty() const { return markedEmpty_; }
+    bool isEmpty() const;
+
+    BasicMap intersect(const BasicMap &other) const;
+
+    /** Restrict the domain to @p set (a set over the input tuple). */
+    BasicMap intersectDomain(const BasicSet &set) const;
+
+    /** Restrict the range to @p set (a set over the output tuple). */
+    BasicMap intersectRange(const BasicSet &set) const;
+
+    /** Swap input and output tuples. */
+    BasicMap reverse() const;
+
+    /** Project onto the input tuple. */
+    BasicSet domain() const;
+
+    /** Project onto the output tuple. */
+    BasicSet range() const;
+
+    /**
+     * Relation composition: this : A -> B, @p g : B -> C, the result
+     * is (g o this) : A -> C.
+     */
+    BasicMap compose(const BasicMap &g) const;
+
+    /** Image of @p set (over the input tuple) under this relation. */
+    BasicSet apply(const BasicSet &set) const;
+
+    /**
+     * Difference set {out - in} for relations with equal arities
+     * (tuple names may differ); the result tuple is "delta".
+     */
+    BasicSet deltas() const;
+
+    /** Flatten to a set over [in, out] named "in->out". */
+    BasicSet wrap() const;
+
+    BasicMap alignParams(const std::vector<std::string> &params) const;
+    BasicMap fixParam(const std::string &name, int64_t value) const;
+
+    /** Fix input dim @p pos to @p value. */
+    BasicMap fixInDim(unsigned pos, int64_t value) const;
+
+    /** Rename the input/output tuples. */
+    BasicMap renameTuples(const std::string &in_tuple,
+                          const std::string &out_tuple) const;
+
+    /**
+     * Affine lower/upper bounds of output dim @p j as functions of
+     * the input dims and parameters (other output dims projected
+     * out): the box the paper uses for memory footprints (Sec. III-A)
+     * and scratchpad allocation (Sec. V-B).
+     *
+     * @return false if @p j is unbounded below or above.
+     */
+    bool outDimBounds(unsigned j, std::vector<DivBound> &lowers,
+                      std::vector<DivBound> &uppers) const;
+
+    std::string str() const;
+
+    bool operator==(const BasicMap &o) const;
+
+  private:
+    Space space_;
+    std::vector<Constraint> cons_;
+    bool exact_ = true;
+    bool markedEmpty_ = false;
+
+    void markEmpty();
+};
+
+} // namespace pres
+} // namespace polyfuse
+
+#endif // POLYFUSE_PRES_BASIC_MAP_HH

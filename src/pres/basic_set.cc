@@ -1,0 +1,433 @@
+#include "pres/basic_set.hh"
+
+#include <algorithm>
+
+#include "pres/fm.hh"
+#include "pres/printing.hh"
+#include "support/intmath.hh"
+#include "support/logging.hh"
+#include "support/strutil.hh"
+
+namespace polyfuse {
+namespace pres {
+
+BasicSet::BasicSet(Space space)
+    : space_(std::move(space))
+{
+    if (space_.isMap())
+        panic("BasicSet constructed with a map space");
+}
+
+BasicSet
+BasicSet::makeEmpty(Space space)
+{
+    BasicSet s(std::move(space));
+    s.markEmpty();
+    return s;
+}
+
+void
+BasicSet::markEmpty()
+{
+    markedEmpty_ = true;
+    cons_.clear();
+    // 0 >= 1 is unsatisfiable; keeps derived operations empty even if
+    // a caller ignores markedEmpty().
+    Constraint c(false, std::vector<int64_t>(space_.numCols(), 0));
+    c.coeffs.back() = -1;
+    cons_.push_back(std::move(c));
+}
+
+void
+BasicSet::addConstraint(const Constraint &c)
+{
+    if (c.coeffs.size() != space_.numCols())
+        panic("constraint arity mismatch: " +
+              std::to_string(c.coeffs.size()) + " vs " +
+              std::to_string(space_.numCols()));
+    cons_.push_back(c);
+}
+
+void
+BasicSet::simplify()
+{
+    if (markedEmpty_)
+        return;
+    if (!fm::simplifyRows(cons_))
+        markEmpty();
+}
+
+BasicSet
+BasicSet::alignParams(const std::vector<std::string> &params) const
+{
+    // Verify the target is a superset of the current parameters.
+    std::vector<int> remap(space_.numParams(), -1);
+    for (unsigned i = 0; i < space_.numParams(); ++i) {
+        auto it = std::find(params.begin(), params.end(),
+                            space_.params()[i]);
+        if (it == params.end())
+            panic("alignParams target misses " + space_.params()[i]);
+        remap[i] = it - params.begin();
+    }
+
+    BasicSet out(Space::forSet(space_.outTuple(), space_.numOut(),
+                               params));
+    out.exact_ = exact_;
+    out.markedEmpty_ = markedEmpty_;
+    unsigned nd = space_.numDims();
+    for (const auto &c : cons_) {
+        Constraint nc(c.isEq, std::vector<int64_t>(out.space_.numCols(),
+                                                   0));
+        for (unsigned i = 0; i < nd; ++i)
+            nc.coeffs[i] = c.coeffs[i];
+        for (unsigned i = 0; i < space_.numParams(); ++i)
+            nc.coeffs[nd + remap[i]] = c.coeffs[nd + i];
+        nc.coeffs.back() = c.constant();
+        out.cons_.push_back(std::move(nc));
+    }
+    return out;
+}
+
+namespace {
+
+/** Union of two parameter name lists, preserving order. */
+std::vector<std::string>
+mergeParams(const std::vector<std::string> &a,
+            const std::vector<std::string> &b)
+{
+    std::vector<std::string> out = a;
+    for (const auto &p : b)
+        if (std::find(out.begin(), out.end(), p) == out.end())
+            out.push_back(p);
+    return out;
+}
+
+} // namespace
+
+BasicSet
+BasicSet::intersect(const BasicSet &other) const
+{
+    if (!space_.sameTuples(other.space_))
+        panic("intersect: tuple mismatch " + space_.str() + " vs " +
+              other.space_.str());
+    auto params = mergeParams(space_.params(), other.space_.params());
+    BasicSet a = alignParams(params);
+    BasicSet b = other.alignParams(params);
+    a.exact_ = exact_ && other.exact_;
+    for (const auto &c : b.cons_)
+        a.cons_.push_back(c);
+    a.markedEmpty_ = markedEmpty_ || other.markedEmpty_;
+    a.simplify();
+    return a;
+}
+
+BasicSet
+BasicSet::projectOut(unsigned first, unsigned n) const
+{
+    if (first + n > space_.numOut())
+        panic("projectOut out of range");
+    BasicSet out = *this;
+    bool exact = true;
+    // Eliminate from the highest column down so indices stay valid.
+    for (unsigned i = 0; i < n; ++i) {
+        unsigned col = first + n - 1 - i;
+        if (!fm::eliminateCol(out.cons_, col, exact)) {
+            out.space_ =
+                Space::forSet(space_.outTuple(), space_.numOut() - n,
+                              space_.params());
+            out.markEmpty();
+            return out;
+        }
+    }
+    out.space_ = Space::forSet(space_.outTuple(), space_.numOut() - n,
+                               space_.params());
+    out.exact_ = exact_ && exact;
+    return out;
+}
+
+bool
+BasicSet::isEmpty() const
+{
+    if (markedEmpty_)
+        return true;
+    std::vector<Constraint> rows = cons_;
+    bool exact = true;
+    unsigned total = space_.numDims() + space_.numParams();
+    for (unsigned i = 0; i < total; ++i)
+        if (!fm::eliminateCol(rows, 0, exact))
+            return true;
+    // Whatever remains is constant rows already verified feasible.
+    return false;
+}
+
+BasicSet
+BasicSet::fixParam(const std::string &name, int64_t value) const
+{
+    int idx = space_.paramIndex(name);
+    if (idx < 0)
+        return *this; // Parameter not referenced here.
+    std::vector<std::string> params = space_.params();
+    params.erase(params.begin() + idx);
+    BasicSet out(Space::forSet(space_.outTuple(), space_.numOut(),
+                               params));
+    out.exact_ = exact_;
+    out.cons_ = cons_;
+    unsigned col = space_.paramCol(idx);
+    if (!fm::substituteCol(out.cons_, col, value))
+        out.markEmpty();
+    out.markedEmpty_ = out.markedEmpty_ || markedEmpty_;
+    return out;
+}
+
+BasicSet
+BasicSet::fixDim(unsigned pos, int64_t value) const
+{
+    if (pos >= space_.numOut())
+        panic("fixDim out of range");
+    BasicSet out = *this;
+    Constraint c(true, std::vector<int64_t>(space_.numCols(), 0));
+    c.coeffs[space_.outCol(pos)] = 1;
+    c.coeffs.back() = -value;
+    out.cons_.push_back(std::move(c));
+    out.simplify();
+    return out;
+}
+
+BasicSet
+BasicSet::renameTuple(const std::string &name) const
+{
+    BasicSet out = *this;
+    out.space_ =
+        Space::forSet(name, space_.numOut(), space_.params());
+    return out;
+}
+
+BasicSet
+BasicSet::insertDims(unsigned pos, unsigned n) const
+{
+    if (pos > space_.numOut())
+        panic("insertDims out of range");
+    BasicSet out(Space::forSet(space_.outTuple(), space_.numOut() + n,
+                               space_.params()));
+    out.exact_ = exact_;
+    out.markedEmpty_ = markedEmpty_;
+    for (const auto &c : cons_) {
+        Constraint nc = c;
+        nc.coeffs.insert(nc.coeffs.begin() + pos, n, 0);
+        out.cons_.push_back(std::move(nc));
+    }
+    return out;
+}
+
+bool
+BasicSet::contains(const std::vector<int64_t> &point,
+                   const ParamValues &params) const
+{
+    if (markedEmpty_)
+        return false;
+    if (point.size() != space_.numOut())
+        panic("contains: point arity mismatch");
+    for (const auto &c : cons_) {
+        int64_t acc = c.constant();
+        for (unsigned i = 0; i < space_.numOut(); ++i)
+            acc = checkedAdd(acc, checkedMul(c.coeffs[space_.outCol(i)],
+                                             point[i]));
+        for (unsigned i = 0; i < space_.numParams(); ++i) {
+            int64_t coeff = c.coeffs[space_.paramCol(i)];
+            if (coeff == 0)
+                continue;
+            auto it = params.find(space_.params()[i]);
+            if (it == params.end())
+                fatal("contains: missing value for parameter " +
+                      space_.params()[i]);
+            acc = checkedAdd(acc, checkedMul(coeff, it->second));
+        }
+        if (c.isEq ? acc != 0 : acc < 0)
+            return false;
+    }
+    return true;
+}
+
+namespace {
+
+/**
+ * Integer bounds of column 0 of a dim-only system (columns: dims +
+ * constant). @return false when infeasible; fatal when unbounded.
+ */
+bool
+headBounds(std::vector<Constraint> rows, unsigned ndims, int64_t &lo,
+           int64_t &hi)
+{
+    bool exact = true;
+    for (unsigned i = ndims - 1; i >= 1; --i)
+        if (!fm::eliminateCol(rows, i, exact))
+            return false;
+    bool has_lo = false, has_hi = false;
+    lo = 0;
+    hi = 0;
+    for (const auto &row : rows) {
+        int64_t a = row.coeffs[0];
+        int64_t k = row.constant();
+        if (a == 0)
+            continue;
+        if (row.isEq) {
+            int64_t v = -k / a;
+            if (checkedMul(a, v) + k != 0)
+                return false;
+            if (!has_lo || v > lo)
+                lo = v;
+            if (!has_hi || v < hi)
+                hi = v;
+            has_lo = has_hi = true;
+        } else if (a > 0) {
+            int64_t v = ceilDiv(-k, a);
+            if (!has_lo || v > lo)
+                lo = v;
+            has_lo = true;
+        } else {
+            int64_t v = floorDiv(k, -a);
+            if (!has_hi || v < hi)
+                hi = v;
+            has_hi = true;
+        }
+    }
+    if (!has_lo || !has_hi)
+        fatal("enumerate: unbounded dimension");
+    return lo <= hi;
+}
+
+void
+enumRec(const std::vector<Constraint> &rows, unsigned ndims,
+        std::vector<int64_t> &prefix,
+        std::vector<std::vector<int64_t>> &out, size_t max_points)
+{
+    if (ndims == 0) {
+        // All rows are constant; feasibility was checked on the way
+        // down by substituteCol/simplifyRows.
+        if (out.size() >= max_points)
+            fatal("enumerate: too many points");
+        out.push_back(prefix);
+        return;
+    }
+    int64_t lo, hi;
+    if (!headBounds(rows, ndims, lo, hi))
+        return;
+    for (int64_t v = lo; v <= hi; ++v) {
+        std::vector<Constraint> sub = rows;
+        if (!fm::substituteCol(sub, 0, v))
+            continue;
+        prefix.push_back(v);
+        enumRec(sub, ndims - 1, prefix, out, max_points);
+        prefix.pop_back();
+    }
+}
+
+} // namespace
+
+std::vector<std::vector<int64_t>>
+BasicSet::enumerate(const ParamValues &params, size_t max_points) const
+{
+    if (markedEmpty_)
+        return {};
+    // Substitute parameters (right to left so columns stay valid).
+    std::vector<Constraint> rows = cons_;
+    unsigned nd = space_.numDims();
+    for (unsigned i = space_.numParams(); i-- > 0;) {
+        if (fm::colUnused(rows, nd + i)) {
+            for (auto &row : rows)
+                row.coeffs.erase(row.coeffs.begin() + nd + i);
+            continue;
+        }
+        auto it = params.find(space_.params()[i]);
+        if (it == params.end())
+            fatal("enumerate: missing value for parameter " +
+                  space_.params()[i]);
+        if (!fm::substituteCol(rows, nd + i, it->second))
+            return {};
+    }
+    std::vector<std::vector<int64_t>> out;
+    std::vector<int64_t> prefix;
+    if (nd == 0) {
+        if (fm::simplifyRows(rows))
+            out.push_back({});
+        return out;
+    }
+    enumRec(rows, nd, prefix, out, max_points);
+    return out;
+}
+
+bool
+BasicSet::dimBounds(unsigned pos, const ParamValues &params,
+                    int64_t &lo, int64_t &hi) const
+{
+    if (pos >= space_.numOut())
+        panic("dimBounds out of range");
+    if (markedEmpty_)
+        return false;
+    BasicSet tmp = *this;
+    for (const auto &[name, value] : params)
+        tmp = tmp.fixParam(name, value);
+    if (tmp.space_.numParams() != 0)
+        fatal("dimBounds: unresolved parameters remain");
+    if (tmp.markedEmpty_)
+        return false;
+    // Move dim `pos` to the front, then bound the head column.
+    std::vector<Constraint> rows = tmp.cons_;
+    for (auto &row : rows) {
+        int64_t v = row.coeffs[pos];
+        row.coeffs.erase(row.coeffs.begin() + pos);
+        row.coeffs.insert(row.coeffs.begin(), v);
+    }
+    unsigned nd = space_.numDims();
+    if (nd == 1) {
+        bool exact = true;
+        (void)exact;
+        std::vector<Constraint> probe = rows;
+        if (!fm::simplifyRows(probe))
+            return false;
+        return headBounds(probe, 1, lo, hi);
+    }
+    return headBounds(rows, nd, lo, hi);
+}
+
+std::string
+BasicSet::str() const
+{
+    std::vector<std::string> names;
+    for (unsigned i = 0; i < space_.numOut(); ++i)
+        names.push_back("i" + std::to_string(i));
+    std::vector<std::string> cols = names;
+    for (const auto &p : space_.params())
+        cols.push_back(p);
+    cols.push_back("1");
+
+    std::string out;
+    if (!space_.params().empty())
+        out += "[" + join(space_.params(), ", ") + "] -> ";
+    out += "{ " + space_.outTuple() + "[" + join(names, ", ") + "]";
+    if (markedEmpty_) {
+        out += " : false }";
+        return out;
+    }
+    if (!cons_.empty())
+        out += " : " + renderRows(cons_, cols);
+    out += " }";
+    return out;
+}
+
+bool
+BasicSet::operator==(const BasicSet &o) const
+{
+    if (!(space_ == o.space_))
+        return false;
+    if (markedEmpty_ || o.markedEmpty_)
+        return isEmpty() && o.isEmpty();
+    BasicSet a = *this;
+    BasicSet b = o;
+    a.simplify();
+    b.simplify();
+    return a.cons_ == b.cons_ && a.markedEmpty_ == b.markedEmpty_;
+}
+
+} // namespace pres
+} // namespace polyfuse

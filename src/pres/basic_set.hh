@@ -1,0 +1,130 @@
+/**
+ * @file
+ * A conjunction of affine constraints over a set Space: the basic
+ * building block of the Presburger layer (isl's isl_basic_set).
+ *
+ * Integer semantics: the set contains the integer points satisfying
+ * all constraints, for every integer parameter valuation. Projections
+ * use Fourier-Motzkin with GCD tightening and are integer-exact in
+ * the unit-coefficient fragment; otherwise the result is a sound
+ * over-approximation and wasExact() reports false.
+ */
+
+#ifndef POLYFUSE_PRES_BASIC_SET_HH
+#define POLYFUSE_PRES_BASIC_SET_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pres/constraint.hh"
+#include "pres/space.hh"
+
+namespace polyfuse {
+namespace pres {
+
+/** Parameter valuation used by evaluation-style queries. */
+using ParamValues = std::map<std::string, int64_t>;
+
+/** A conjunction of affine constraints (a convex integer set). */
+class BasicSet
+{
+  public:
+    BasicSet() = default;
+
+    /** The universe of @p space (no constraints). */
+    explicit BasicSet(Space space);
+
+    /** The canonical empty set of @p space. */
+    static BasicSet makeEmpty(Space space);
+
+    const Space &space() const { return space_; }
+    const std::vector<Constraint> &constraints() const { return cons_; }
+
+    /** Add one constraint (arity-checked against the space). */
+    void addConstraint(const Constraint &c);
+
+    /** True if simplification has already proved emptiness. */
+    bool markedEmpty() const { return markedEmpty_; }
+
+    /**
+     * True when no over-approximating operation produced this set;
+     * i.e. the constraints describe the integer set exactly.
+     */
+    bool wasExact() const { return exact_; }
+
+    /** Conjunction with @p other (same tuples; params are aligned). */
+    BasicSet intersect(const BasicSet &other) const;
+
+    /** Existentially project out set dims [first, first + n). */
+    BasicSet projectOut(unsigned first, unsigned n) const;
+
+    /**
+     * True when the set is certainly integer-empty for every
+     * parameter valuation. A false return means a rational point
+     * exists (the set may still lack integer points in non-unit
+     * fragments) -- the sound direction for all library uses.
+     */
+    bool isEmpty() const;
+
+    /** Normalize, deduplicate and detect trivial emptiness. */
+    void simplify();
+
+    /** Reorder/extend parameter columns to match @p params. */
+    BasicSet alignParams(const std::vector<std::string> &params) const;
+
+    /** Substitute a parameter with a constant value. */
+    BasicSet fixParam(const std::string &name, int64_t value) const;
+
+    /** Fix set dimension @p pos to @p value (adds an equality). */
+    BasicSet fixDim(unsigned pos, int64_t value) const;
+
+    /** Rename the tuple. */
+    BasicSet renameTuple(const std::string &name) const;
+
+    /** Insert @p n unconstrained dims at position @p pos. */
+    BasicSet insertDims(unsigned pos, unsigned n) const;
+
+    /** Membership test under a full parameter valuation. */
+    bool contains(const std::vector<int64_t> &point,
+                  const ParamValues &params) const;
+
+    /**
+     * Enumerate all integer points under @p params, in lexicographic
+     * order. The set must be bounded; enumeration is exact (FM is
+     * used only for bounding, membership is rechecked). Throws
+     * FatalError if more than @p max_points points are found.
+     */
+    std::vector<std::vector<int64_t>>
+    enumerate(const ParamValues &params, size_t max_points = 1 << 22)
+        const;
+
+    /**
+     * Integer bounds [lo, hi] of dim @p pos after projecting out all
+     * other dims, under @p params. @return false if unbounded on
+     * either side or empty.
+     */
+    bool dimBounds(unsigned pos, const ParamValues &params,
+                   int64_t &lo, int64_t &hi) const;
+
+    /** isl-like rendering for debugging and golden tests. */
+    std::string str() const;
+
+    bool operator==(const BasicSet &o) const;
+
+  private:
+    friend class BasicMap;
+
+    Space space_;
+    std::vector<Constraint> cons_;
+    bool exact_ = true;
+    bool markedEmpty_ = false;
+
+    void markEmpty();
+};
+
+} // namespace pres
+} // namespace polyfuse
+
+#endif // POLYFUSE_PRES_BASIC_SET_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * A single affine constraint over the columns of a Space.
+ *
+ * A constraint stores one coefficient per space column (see
+ * Space::numCols()); its meaning is
+ *
+ *     coeffs . (dims, params, 1)  ==  0      (equality)
+ *     coeffs . (dims, params, 1)  >=  0      (inequality)
+ */
+
+#ifndef POLYFUSE_PRES_CONSTRAINT_HH
+#define POLYFUSE_PRES_CONSTRAINT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace polyfuse {
+namespace pres {
+
+/** One affine equality or inequality row. */
+struct Constraint
+{
+    bool isEq = false;
+    std::vector<int64_t> coeffs;
+
+    Constraint() = default;
+    Constraint(bool is_eq, std::vector<int64_t> c)
+        : isEq(is_eq), coeffs(std::move(c)) {}
+
+    /** True when every variable/parameter coefficient is zero. */
+    bool
+    isConstant() const
+    {
+        for (size_t i = 0; i + 1 < coeffs.size(); ++i)
+            if (coeffs[i] != 0)
+                return false;
+        return true;
+    }
+
+    int64_t constant() const { return coeffs.back(); }
+
+    bool
+    operator==(const Constraint &o) const
+    {
+        return isEq == o.isEq && coeffs == o.coeffs;
+    }
+
+    bool
+    operator<(const Constraint &o) const
+    {
+        if (isEq != o.isEq)
+            return isEq && !o.isEq;
+        return coeffs < o.coeffs;
+    }
+};
+
+} // namespace pres
+} // namespace polyfuse
+
+#endif // POLYFUSE_PRES_CONSTRAINT_HH

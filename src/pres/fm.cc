@@ -1,0 +1,304 @@
+#include "pres/fm.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "support/intmath.hh"
+#include "support/logging.hh"
+
+namespace polyfuse {
+namespace pres {
+namespace fm {
+
+bool
+normalizeRow(Constraint &row)
+{
+    size_t ncols = row.coeffs.size();
+    int64_t g = 0;
+    for (size_t i = 0; i + 1 < ncols; ++i)
+        g = gcd(g, row.coeffs[i]);
+    if (g == 0) {
+        // Constant row: feasibility decided by the constant alone.
+        if (row.isEq)
+            return row.constant() == 0;
+        return row.constant() >= 0;
+    }
+    if (g > 1) {
+        if (row.isEq) {
+            if (row.constant() % g != 0)
+                return false;
+            for (auto &c : row.coeffs)
+                c /= g;
+        } else {
+            for (size_t i = 0; i + 1 < ncols; ++i)
+                row.coeffs[i] /= g;
+            // Integer tightening: floor the rational bound.
+            row.coeffs.back() = floorDiv(row.coeffs.back(), g);
+        }
+    }
+    // Canonicalize equalities so the first nonzero coefficient is
+    // positive (makes deduplication effective).
+    if (row.isEq) {
+        for (size_t i = 0; i + 1 < ncols; ++i) {
+            if (row.coeffs[i] == 0)
+                continue;
+            if (row.coeffs[i] < 0)
+                for (auto &c : row.coeffs)
+                    c = -c;
+            break;
+        }
+    }
+    return true;
+}
+
+bool
+simplifyRows(std::vector<Constraint> &rows)
+{
+    std::vector<Constraint> kept;
+    kept.reserve(rows.size());
+    for (auto &row : rows) {
+        if (!normalizeRow(row))
+            return false;
+        if (row.isConstant())
+            continue; // Satisfied constant row (infeasible handled above).
+        kept.push_back(std::move(row));
+    }
+
+    // Group by variable-coefficient vector (all but the constant).
+    // Key: (coeff prefix); track best eq/ineq constants for the key and
+    // its negation to merge opposite inequalities.
+    struct Best
+    {
+        bool hasEq = false;
+        int64_t eqConst = 0;
+        bool hasIneq = false;
+        int64_t ineqConst = 0; // smallest constant == tightest bound
+    };
+    auto keyOf = [](const Constraint &c) {
+        return std::vector<int64_t>(c.coeffs.begin(), c.coeffs.end() - 1);
+    };
+    auto negKey = [](std::vector<int64_t> key) {
+        for (auto &v : key)
+            v = -v;
+        return key;
+    };
+
+    std::map<std::vector<int64_t>, Best> groups;
+    for (auto &row : kept) {
+        auto key = keyOf(row);
+        Best &best = groups[key];
+        if (row.isEq) {
+            if (best.hasEq && best.eqConst != row.constant())
+                return false; // Two contradictory equalities.
+            best.hasEq = true;
+            best.eqConst = row.constant();
+        } else {
+            if (!best.hasIneq || row.constant() < best.ineqConst)
+                best.ineqConst = row.constant();
+            best.hasIneq = true;
+        }
+    }
+
+    std::vector<Constraint> out;
+    out.reserve(groups.size());
+    for (auto &[key, best] : groups) {
+        // Equality dominates and must be consistent with inequalities.
+        auto nkey = negKey(key);
+        auto nit = groups.find(nkey);
+        if (best.hasEq) {
+            if (best.hasIneq && best.ineqConst < best.eqConst)
+                return false; // a.x == -e but a.x >= -c with c < e.
+            if (nit != groups.end()) {
+                const Best &nbest = nit->second;
+                if (nbest.hasEq && nbest.eqConst != -best.eqConst)
+                    return false;
+                if (nbest.hasIneq && nbest.ineqConst < -best.eqConst)
+                    return false;
+            }
+            // Emit each equality once (from its canonical orientation:
+            // normalizeRow() made the first nonzero coefficient
+            // positive, so the negated key never holds an equality of
+            // the same row).
+            Constraint c(true, key);
+            c.coeffs.push_back(best.eqConst);
+            out.push_back(std::move(c));
+            continue;
+        }
+        if (!best.hasIneq)
+            continue;
+        if (nit != groups.end() && !nit->second.hasEq &&
+            nit->second.hasIneq) {
+            int64_t sum = checkedAdd(best.ineqConst,
+                                     nit->second.ineqConst);
+            if (sum < 0)
+                return false; // a.x >= -c1 and a.x <= c2 with c2 < -c1.
+            if (sum == 0) {
+                // Opposite inequalities meet: equality. Emit once, from
+                // the lexicographically smaller key.
+                if (key < nkey) {
+                    Constraint c(true, key);
+                    c.coeffs.push_back(best.ineqConst);
+                    if (!normalizeRow(c))
+                        return false;
+                    out.push_back(std::move(c));
+                }
+                continue;
+            }
+        }
+        Constraint c(false, key);
+        c.coeffs.push_back(best.ineqConst);
+        out.push_back(std::move(c));
+    }
+
+    std::sort(out.begin(), out.end());
+    rows = std::move(out);
+    return true;
+}
+
+namespace {
+
+/** Erase column @p col from every row. */
+void
+eraseCol(std::vector<Constraint> &rows, unsigned col)
+{
+    for (auto &row : rows)
+        row.coeffs.erase(row.coeffs.begin() + col);
+}
+
+/**
+ * Substitute using equality @p eq (coefficient @p c at @p col, with
+ * |c| == 1) into @p row, zeroing the column.
+ */
+void
+substituteUnitEq(Constraint &row, const Constraint &eq, unsigned col)
+{
+    int64_t c = eq.coeffs[col];
+    int64_t f = row.coeffs[col];
+    if (f == 0)
+        return;
+    // row' = row - (f / c) * eq; integral since |c| == 1.
+    int64_t factor = f / c;
+    for (size_t i = 0; i < row.coeffs.size(); ++i)
+        row.coeffs[i] =
+            checkedSub(row.coeffs[i], checkedMul(factor, eq.coeffs[i]));
+}
+
+} // namespace
+
+bool
+eliminateCol(std::vector<Constraint> &rows, unsigned col, bool &exact)
+{
+    if (!simplifyRows(rows))
+        return false;
+
+    // 1) Prefer an equality with a unit coefficient: exact Gaussian
+    //    substitution.
+    int eq_idx = -1;
+    int nonunit_eq_idx = -1;
+    for (size_t i = 0; i < rows.size(); ++i) {
+        if (!rows[i].isEq || rows[i].coeffs[col] == 0)
+            continue;
+        int64_t c = rows[i].coeffs[col];
+        if (c == 1 || c == -1) {
+            eq_idx = i;
+            break;
+        }
+        if (nonunit_eq_idx < 0)
+            nonunit_eq_idx = i;
+    }
+
+    if (eq_idx >= 0) {
+        Constraint eq = rows[eq_idx];
+        rows.erase(rows.begin() + eq_idx);
+        for (auto &row : rows)
+            substituteUnitEq(row, eq, col);
+        eraseCol(rows, col);
+        return simplifyRows(rows);
+    }
+
+    if (nonunit_eq_idx >= 0) {
+        // c*x + e == 0 with |c| > 1: scale other rows and cancel.
+        // The divisibility condition c | e is dropped, so the result
+        // may over-approximate the integer projection.
+        exact = false;
+        Constraint eq = rows[nonunit_eq_idx];
+        rows.erase(rows.begin() + nonunit_eq_idx);
+        int64_t c = eq.coeffs[col];
+        int64_t ac = c < 0 ? -c : c;
+        for (auto &row : rows) {
+            int64_t f = row.coeffs[col];
+            if (f == 0)
+                continue;
+            // row' = |c|*row - sign(c)*f*eq.
+            int64_t factor = (c < 0 ? -1 : 1) * f;
+            for (size_t i = 0; i < row.coeffs.size(); ++i)
+                row.coeffs[i] =
+                    checkedSub(checkedMul(ac, row.coeffs[i]),
+                               checkedMul(factor, eq.coeffs[i]));
+        }
+        eraseCol(rows, col);
+        return simplifyRows(rows);
+    }
+
+    // 2) Fourier-Motzkin on inequalities.
+    std::vector<Constraint> lowers, uppers, rest;
+    for (auto &row : rows) {
+        if (row.coeffs[col] > 0)
+            lowers.push_back(std::move(row));
+        else if (row.coeffs[col] < 0)
+            uppers.push_back(std::move(row));
+        else
+            rest.push_back(std::move(row));
+    }
+
+    if (!lowers.empty() && !uppers.empty()) {
+        for (const auto &lo : lowers) {
+            for (const auto &up : uppers) {
+                int64_t a = lo.coeffs[col];
+                int64_t b = -up.coeffs[col];
+                if (a != 1 && b != 1)
+                    exact = false; // Real shadow only.
+                Constraint combo(false,
+                    std::vector<int64_t>(lo.coeffs.size(), 0));
+                for (size_t i = 0; i < combo.coeffs.size(); ++i)
+                    combo.coeffs[i] =
+                        checkedAdd(checkedMul(b, lo.coeffs[i]),
+                                   checkedMul(a, up.coeffs[i]));
+                rest.push_back(std::move(combo));
+            }
+        }
+    }
+    // If either side is absent the variable is unbounded there and the
+    // projection just drops the rows mentioning it (exact).
+
+    rows = std::move(rest);
+    eraseCol(rows, col);
+    return simplifyRows(rows);
+}
+
+bool
+substituteCol(std::vector<Constraint> &rows, unsigned col,
+              int64_t value)
+{
+    for (auto &row : rows) {
+        int64_t f = row.coeffs[col];
+        if (f != 0)
+            row.coeffs.back() =
+                checkedAdd(row.coeffs.back(), checkedMul(f, value));
+    }
+    eraseCol(rows, col);
+    return simplifyRows(rows);
+}
+
+bool
+colUnused(const std::vector<Constraint> &rows, unsigned col)
+{
+    for (const auto &row : rows)
+        if (row.coeffs[col] != 0)
+            return false;
+    return true;
+}
+
+} // namespace fm
+} // namespace pres
+} // namespace polyfuse

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The constraint-system engine shared by BasicSet and BasicMap:
+ * GCD normalization/tightening, row simplification, and integer
+ * Fourier-Motzkin elimination with the Omega test's exact
+ * unit-coefficient rule.
+ *
+ * All functions operate on plain rows (Constraint) whose last column
+ * is the constant term; they carry no Space knowledge. Callers adjust
+ * spaces after columns are erased.
+ */
+
+#ifndef POLYFUSE_PRES_FM_HH
+#define POLYFUSE_PRES_FM_HH
+
+#include <vector>
+
+#include "pres/constraint.hh"
+
+namespace polyfuse {
+namespace pres {
+namespace fm {
+
+/**
+ * Normalize one row: divide by the GCD of the variable coefficients,
+ * tightening the constant (floor) for inequalities; detect an
+ * infeasible equality (GCD does not divide the constant).
+ *
+ * @return false iff the row alone proves infeasibility.
+ */
+bool normalizeRow(Constraint &row);
+
+/**
+ * Simplify a system: normalize rows, drop satisfied constant rows,
+ * deduplicate, merge opposite inequalities into equalities, keep the
+ * tightest of parallel inequalities.
+ *
+ * @return false iff the system is proved infeasible.
+ */
+bool simplifyRows(std::vector<Constraint> &rows);
+
+/**
+ * Eliminate (existentially project out) column @p col, erasing it
+ * from every row.
+ *
+ * @param exact Cleared when the projection may over-approximate the
+ *              integer projection (non-unit coefficients on both
+ *              sides of a combination, or a non-unit equality).
+ * @return false iff the system is proved infeasible.
+ */
+bool eliminateCol(std::vector<Constraint> &rows, unsigned col,
+                  bool &exact);
+
+/**
+ * Substitute column @p col with the constant @p value, folding the
+ * contribution into the constant term and erasing the column.
+ *
+ * @return false iff the system is proved infeasible afterwards.
+ */
+bool substituteCol(std::vector<Constraint> &rows, unsigned col,
+                   int64_t value);
+
+/** True when no row mentions column @p col. */
+bool colUnused(const std::vector<Constraint> &rows, unsigned col);
+
+} // namespace fm
+} // namespace pres
+} // namespace polyfuse
+
+#endif // POLYFUSE_PRES_FM_HH

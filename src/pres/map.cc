@@ -1,0 +1,339 @@
+#include "pres/map.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace polyfuse {
+namespace pres {
+
+void
+Map::addPiece(BasicMap piece)
+{
+    piece.simplify();
+    if (piece.markedEmpty())
+        return;
+    for (const auto &existing : pieces_) {
+        if (existing.space().sameTuples(piece.space()) &&
+            existing == piece)
+            return;
+    }
+    pieces_.push_back(std::move(piece));
+}
+
+Map
+Map::unite(const Map &other) const
+{
+    Map out = *this;
+    for (const auto &p : other.pieces_)
+        out.addPiece(p);
+    return out;
+}
+
+Map
+Map::intersect(const Map &other) const
+{
+    Map out;
+    for (const auto &a : pieces_)
+        for (const auto &b : other.pieces_)
+            if (a.space().sameTuples(b.space()))
+                out.addPiece(a.intersect(b));
+    return out;
+}
+
+namespace {
+
+std::vector<std::string>
+mergeParams(const std::vector<std::string> &a,
+            const std::vector<std::string> &b)
+{
+    std::vector<std::string> out = a;
+    for (const auto &p : b)
+        if (std::find(out.begin(), out.end(), p) == out.end())
+            out.push_back(p);
+    return out;
+}
+
+/** Piece-splitting subtraction on relations (same tuple pair). */
+std::vector<BasicMap>
+subtractPiece(const BasicMap &a, const BasicMap &b)
+{
+    auto params = mergeParams(a.space().params(), b.space().params());
+    BasicMap base = a.alignParams(params);
+    BasicMap bb = b.alignParams(params);
+
+    std::vector<BasicMap> out;
+    BasicMap ctx = base;
+    for (const auto &c : bb.constraints()) {
+        auto addNeg = [&](Constraint neg) {
+            BasicMap p = ctx;
+            p.addConstraint(neg);
+            p.simplify();
+            if (!p.markedEmpty())
+                out.push_back(std::move(p));
+        };
+        if (c.isEq) {
+            Constraint pos(false, c.coeffs);
+            pos.coeffs.back() -= 1;
+            addNeg(pos);
+            Constraint neg(false, c.coeffs);
+            for (auto &v : neg.coeffs)
+                v = -v;
+            neg.coeffs.back() -= 1;
+            addNeg(neg);
+        } else {
+            Constraint neg(false, c.coeffs);
+            for (auto &v : neg.coeffs)
+                v = -v;
+            neg.coeffs.back() -= 1;
+            addNeg(neg);
+        }
+        ctx.addConstraint(c);
+        ctx.simplify();
+        if (ctx.markedEmpty())
+            break;
+    }
+    return out;
+}
+
+} // namespace
+
+Map
+Map::subtract(const Map &other) const
+{
+    Map out;
+    for (const auto &a : pieces_) {
+        std::vector<BasicMap> remaining{a};
+        for (const auto &b : other.pieces_) {
+            if (!a.space().sameTuples(b.space()))
+                continue;
+            std::vector<BasicMap> next;
+            for (const auto &piece : remaining) {
+                auto split = subtractPiece(piece, b);
+                next.insert(next.end(), split.begin(), split.end());
+            }
+            remaining = std::move(next);
+            if (remaining.empty())
+                break;
+        }
+        for (auto &piece : remaining)
+            out.addPiece(std::move(piece));
+    }
+    return out;
+}
+
+Map
+Map::reverse() const
+{
+    Map out;
+    for (const auto &p : pieces_)
+        out.addPiece(p.reverse());
+    return out;
+}
+
+Set
+Map::domain() const
+{
+    Set out;
+    for (const auto &p : pieces_)
+        out.addPiece(p.domain());
+    return out;
+}
+
+Set
+Map::range() const
+{
+    Set out;
+    for (const auto &p : pieces_)
+        out.addPiece(p.range());
+    return out;
+}
+
+Map
+Map::compose(const Map &g) const
+{
+    Map out;
+    for (const auto &a : pieces_)
+        for (const auto &b : g.pieces_)
+            if (a.space().outTuple() == b.space().inTuple() &&
+                a.space().numOut() == b.space().numIn())
+                out.addPiece(a.compose(b));
+    return out;
+}
+
+Set
+Map::apply(const Set &set) const
+{
+    Set out;
+    for (const auto &m : pieces_)
+        for (const auto &s : set.pieces())
+            if (m.space().inTuple() == s.space().outTuple() &&
+                m.space().numIn() == s.space().numOut())
+                out.addPiece(m.intersectDomain(s).range());
+    return out;
+}
+
+Map
+Map::intersectDomain(const Set &set) const
+{
+    Map out;
+    for (const auto &m : pieces_)
+        for (const auto &s : set.pieces())
+            if (m.space().inTuple() == s.space().outTuple() &&
+                m.space().numIn() == s.space().numOut())
+                out.addPiece(m.intersectDomain(s));
+    return out;
+}
+
+Map
+Map::intersectRange(const Set &set) const
+{
+    Map out;
+    for (const auto &m : pieces_)
+        for (const auto &s : set.pieces())
+            if (m.space().outTuple() == s.space().outTuple() &&
+                m.space().numOut() == s.space().numOut())
+                out.addPiece(m.intersectRange(s));
+    return out;
+}
+
+Set
+Map::deltas() const
+{
+    Set out;
+    for (const auto &p : pieces_) {
+        if (p.space().numIn() != p.space().numOut())
+            panic("Map::deltas on mixed-arity union");
+        out.addPiece(p.deltas());
+    }
+    return out;
+}
+
+Map
+Map::extractDomainTuple(const std::string &name) const
+{
+    Map out;
+    for (const auto &p : pieces_)
+        if (p.space().inTuple() == name)
+            out.addPiece(p);
+    return out;
+}
+
+Map
+Map::extractRangeTuple(const std::string &name) const
+{
+    Map out;
+    for (const auto &p : pieces_)
+        if (p.space().outTuple() == name)
+            out.addPiece(p);
+    return out;
+}
+
+Map
+Map::fixParam(const std::string &name, int64_t value) const
+{
+    Map out;
+    for (const auto &p : pieces_)
+        out.addPiece(p.fixParam(name, value));
+    return out;
+}
+
+BasicMap
+Map::simpleHull() const
+{
+    if (pieces_.empty())
+        panic("simpleHull of an empty union");
+    if (pieces_.size() == 1)
+        return pieces_[0];
+    // Align every piece on the same parameter list.
+    std::vector<std::string> params;
+    for (const auto &p : pieces_) {
+        if (!p.space().sameTuples(pieces_[0].space()))
+            panic("simpleHull: mixed tuple pairs");
+        params = mergeParams(params, p.space().params());
+    }
+    std::vector<BasicMap> aligned;
+    for (const auto &p : pieces_)
+        aligned.push_back(p.alignParams(params));
+
+    BasicMap hull(aligned[0].space());
+    std::vector<Constraint> kept;
+    for (size_t i = 0; i < aligned.size(); ++i) {
+        for (const auto &c : aligned[i].constraints()) {
+            if (std::find(kept.begin(), kept.end(), c) != kept.end())
+                continue;
+            // Valid iff every piece satisfies it (piece ∧ ¬c empty).
+            bool valid = true;
+            auto violates = [&](const BasicMap &q,
+                                const Constraint &neg) {
+                BasicMap probe = q;
+                probe.addConstraint(neg);
+                probe.simplify();
+                return !probe.isEmpty();
+            };
+            for (size_t j = 0; j < aligned.size() && valid; ++j) {
+                if (j == i)
+                    continue;
+                if (c.isEq) {
+                    Constraint pos(false, c.coeffs);
+                    pos.coeffs.back() -= 1;
+                    Constraint neg(false, c.coeffs);
+                    for (auto &v : neg.coeffs)
+                        v = -v;
+                    neg.coeffs.back() -= 1;
+                    if (violates(aligned[j], pos) ||
+                        violates(aligned[j], neg))
+                        valid = false;
+                } else {
+                    Constraint neg(false, c.coeffs);
+                    for (auto &v : neg.coeffs)
+                        v = -v;
+                    neg.coeffs.back() -= 1;
+                    if (violates(aligned[j], neg))
+                        valid = false;
+                }
+            }
+            if (valid)
+                kept.push_back(c);
+        }
+    }
+    for (const auto &c : kept)
+        hull.addConstraint(c);
+    hull.simplify();
+    return hull;
+}
+
+bool
+Map::isEmpty() const
+{
+    for (const auto &p : pieces_)
+        if (!p.isEmpty())
+            return false;
+    return true;
+}
+
+bool
+Map::wasExact() const
+{
+    for (const auto &p : pieces_)
+        if (!p.wasExact())
+            return false;
+    return true;
+}
+
+std::string
+Map::str() const
+{
+    if (pieces_.empty())
+        return "{ }";
+    std::string out;
+    for (size_t i = 0; i < pieces_.size(); ++i) {
+        if (i)
+            out += " u ";
+        out += pieces_[i].str();
+    }
+    return out;
+}
+
+} // namespace pres
+} // namespace polyfuse

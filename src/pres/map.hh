@@ -1,0 +1,98 @@
+/**
+ * @file
+ * A finite union of BasicMaps over named tuple pairs (the role
+ * isl_union_map plays in the paper: access relations, dependences,
+ * tiling schedules and extension schedules spanning many statements).
+ */
+
+#ifndef POLYFUSE_PRES_MAP_HH
+#define POLYFUSE_PRES_MAP_HH
+
+#include <string>
+#include <vector>
+
+#include "pres/basic_map.hh"
+#include "pres/set.hh"
+
+namespace polyfuse {
+namespace pres {
+
+/** A union of convex affine relations over named tuple pairs. */
+class Map
+{
+  public:
+    Map() = default;
+
+    explicit Map(BasicMap piece) { addPiece(std::move(piece)); }
+
+    /** Append one conjunction (empty pieces are dropped). */
+    void addPiece(BasicMap piece);
+
+    const std::vector<BasicMap> &pieces() const { return pieces_; }
+    bool empty() const { return pieces_.empty(); }
+
+    Map unite(const Map &other) const;
+
+    /** Pairwise intersection of pieces with matching tuple pairs. */
+    Map intersect(const Map &other) const;
+
+    /** Relation difference (exact; may split pieces). */
+    Map subtract(const Map &other) const;
+
+    /** Swap inputs and outputs of every piece. */
+    Map reverse() const;
+
+    /** Union of the domains of all pieces. */
+    Set domain() const;
+
+    /** Union of the ranges of all pieces. */
+    Set range() const;
+
+    /**
+     * Composition: pieces of this applied first, then matching pieces
+     * of @p g (isl's apply_range): {a -> c : a->b in this, b->c in g}.
+     */
+    Map compose(const Map &g) const;
+
+    /** Image of @p set under this relation. */
+    Set apply(const Set &set) const;
+
+    /** Restrict domains to matching pieces of @p set. */
+    Map intersectDomain(const Set &set) const;
+
+    /** Restrict ranges to matching pieces of @p set. */
+    Map intersectRange(const Set &set) const;
+
+    /** Union of per-piece delta sets (equal-arity pieces only). */
+    Set deltas() const;
+
+    /** Pieces whose input tuple is @p name. */
+    Map extractDomainTuple(const std::string &name) const;
+
+    /** Pieces whose output tuple is @p name. */
+    Map extractRangeTuple(const std::string &name) const;
+
+    Map fixParam(const std::string &name, int64_t value) const;
+
+    bool isEmpty() const;
+    bool wasExact() const;
+
+    /**
+     * A single convex piece containing every piece of this map: the
+     * "simple hull" keeping exactly the constraints valid for all
+     * pieces. Requires all pieces to share one tuple pair. The result
+     * over-approximates the union (it never drops constraints common
+     * to every piece, so e.g. domain bounds survive).
+     */
+    BasicMap simpleHull() const;
+
+    std::string str() const;
+
+  private:
+    std::vector<BasicMap> pieces_;
+};
+
+} // namespace pres
+} // namespace polyfuse
+
+#endif // POLYFUSE_PRES_MAP_HH

@@ -1,0 +1,723 @@
+#include "pres/parser.hh"
+
+#include <cctype>
+#include <map>
+
+#include "pres/affine.hh"
+#include "support/intmath.hh"
+#include "support/logging.hh"
+
+namespace polyfuse {
+namespace pres {
+
+namespace {
+
+/** Token kinds produced by the lexer. */
+enum class Tok
+{
+    Ident,
+    Number,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Comma,
+    Semi,
+    Colon,
+    Plus,
+    Minus,
+    Star,
+    Arrow,
+    Le,
+    Ge,
+    Lt,
+    Gt,
+    Eq,
+    And,
+    End,
+};
+
+struct Token
+{
+    Tok kind;
+    std::string text;
+    int64_t value = 0;
+};
+
+std::vector<Token>
+lex(const std::string &text)
+{
+    std::vector<Token> out;
+    size_t i = 0;
+    auto push = [&](Tok k, std::string t = "") {
+        out.push_back({k, std::move(t), 0});
+    };
+    while (i < text.size()) {
+        char c = text[i];
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+            c == '$') {
+            size_t j = i;
+            while (j < text.size() &&
+                   (std::isalnum(static_cast<unsigned char>(text[j])) ||
+                    text[j] == '_' || text[j] == '$' || text[j] == '\''))
+                ++j;
+            std::string word = text.substr(i, j - i);
+            if (word == "and")
+                push(Tok::And);
+            else
+                push(Tok::Ident, word);
+            i = j;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            size_t j = i;
+            int64_t v = 0;
+            while (j < text.size() &&
+                   std::isdigit(static_cast<unsigned char>(text[j]))) {
+                v = checkedAdd(checkedMul(v, 10), text[j] - '0');
+                ++j;
+            }
+            out.push_back({Tok::Number, text.substr(i, j - i), v});
+            i = j;
+            continue;
+        }
+        switch (c) {
+          case '[': push(Tok::LBracket); ++i; break;
+          case ']': push(Tok::RBracket); ++i; break;
+          case '{': push(Tok::LBrace); ++i; break;
+          case '}': push(Tok::RBrace); ++i; break;
+          case '(': push(Tok::LParen); ++i; break;
+          case ')': push(Tok::RParen); ++i; break;
+          case ',': push(Tok::Comma); ++i; break;
+          case ';': push(Tok::Semi); ++i; break;
+          case ':': push(Tok::Colon); ++i; break;
+          case '+': push(Tok::Plus); ++i; break;
+          case '*': push(Tok::Star); ++i; break;
+          case '-':
+            if (i + 1 < text.size() && text[i + 1] == '>') {
+                push(Tok::Arrow);
+                i += 2;
+            } else {
+                push(Tok::Minus);
+                ++i;
+            }
+            break;
+          case '<':
+            if (i + 1 < text.size() && text[i + 1] == '=') {
+                push(Tok::Le);
+                i += 2;
+            } else {
+                push(Tok::Lt);
+                ++i;
+            }
+            break;
+          case '>':
+            if (i + 1 < text.size() && text[i + 1] == '=') {
+                push(Tok::Ge);
+                i += 2;
+            } else {
+                push(Tok::Gt);
+                ++i;
+            }
+            break;
+          case '=':
+            if (i + 1 < text.size() && text[i + 1] == '=')
+                i += 2;
+            else
+                ++i;
+            push(Tok::Eq);
+            break;
+          default:
+            fatal(std::string("parse error: unexpected character '") +
+                  c + "'");
+        }
+    }
+    push(Tok::End);
+    return out;
+}
+
+/** A symbolic affine expression over named variables. */
+struct SymExpr
+{
+    std::map<std::string, int64_t> terms;
+    int64_t constant = 0;
+
+    void
+    add(const SymExpr &o, int64_t factor)
+    {
+        for (const auto &[n, v] : o.terms)
+            terms[n] = checkedAdd(terms[n], checkedMul(v, factor));
+        constant = checkedAdd(constant, checkedMul(o.constant, factor));
+    }
+
+    void
+    scale(int64_t f)
+    {
+        for (auto &[n, v] : terms)
+            v = checkedMul(v, f);
+        constant = checkedMul(constant, f);
+    }
+
+    bool
+    isConst() const
+    {
+        for (const auto &[n, v] : terms)
+            if (v != 0)
+                return false;
+        return true;
+    }
+};
+
+/** One parsed tuple: name, dim names (anonymous get "$k"), and
+ *  equalities for expression elements. */
+struct ParsedTuple
+{
+    std::string name;
+    std::vector<std::string> dims;
+    /// (dim name, defining expression) pairs for expression elements.
+    std::vector<std::pair<std::string, SymExpr>> defs;
+};
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : toks_(lex(text)) {}
+
+    /** Dim names of the last parsed set piece. */
+    std::vector<std::string> lastDimNames;
+
+    /** Parse a standalone affine expression (no braces). */
+    std::vector<int64_t>
+    parseAffineText(const std::vector<std::string> &params)
+    {
+        params_ = params;
+        SymExpr e = parseExpr();
+        expect(Tok::End);
+        std::vector<int64_t> row(params.size() + 1, 0);
+        for (const auto &[name, v] : e.terms) {
+            if (v == 0)
+                continue;
+            bool found = false;
+            for (unsigned i = 0; i < params.size(); ++i) {
+                if (params[i] == name) {
+                    row[i] = v;
+                    found = true;
+                    break;
+                }
+            }
+            if (!found)
+                fatal("parseAffine: unknown identifier '" + name + "'");
+        }
+        row.back() = e.constant;
+        return row;
+    }
+
+    /** Parse a union set. */
+    Set
+    parseSetText()
+    {
+        parseParamPrefix();
+        expect(Tok::LBrace);
+        Set out;
+        while (true) {
+            out.addPiece(parseSetPiece());
+            if (peek() == Tok::Semi) {
+                next();
+                continue;
+            }
+            break;
+        }
+        expect(Tok::RBrace);
+        expect(Tok::End);
+        return out;
+    }
+
+    /** Parse a union map; optionally capture output expressions of
+     *  the LAST piece (used by parseAccess on single-piece maps). */
+    Map
+    parseMapText(ParsedAccess *access_out = nullptr)
+    {
+        parseParamPrefix();
+        expect(Tok::LBrace);
+        Map out;
+        while (true) {
+            out.addPiece(parseMapPiece(access_out));
+            if (peek() == Tok::Semi) {
+                next();
+                continue;
+            }
+            break;
+        }
+        expect(Tok::RBrace);
+        expect(Tok::End);
+        return out;
+    }
+
+  private:
+    std::vector<Token> toks_;
+    size_t pos_ = 0;
+    std::vector<std::string> params_;
+    unsigned anon_ = 0;
+
+    Tok peek() const { return toks_[pos_].kind; }
+    const Token &cur() const { return toks_[pos_]; }
+
+    const Token &
+    next()
+    {
+        if (peek() == Tok::End)
+            fatal("parse error: unexpected end of input");
+        return toks_[pos_++];
+    }
+
+    void
+    expect(Tok k)
+    {
+        if (peek() != k)
+            fatal("parse error: unexpected token '" + cur().text +
+                  "' at position " + std::to_string(pos_));
+        ++pos_;
+    }
+
+    void
+    parseParamPrefix()
+    {
+        // "[N, M] ->" before "{" only.
+        if (peek() != Tok::LBracket)
+            return;
+        size_t save = pos_;
+        next();
+        std::vector<std::string> params;
+        if (peek() != Tok::RBracket) {
+            while (true) {
+                if (peek() != Tok::Ident) {
+                    pos_ = save;
+                    return;
+                }
+                params.push_back(next().text);
+                if (peek() == Tok::Comma) {
+                    next();
+                    continue;
+                }
+                break;
+            }
+        }
+        if (peek() != Tok::RBracket) {
+            pos_ = save;
+            return;
+        }
+        next();
+        if (peek() != Tok::Arrow) {
+            pos_ = save;
+            return;
+        }
+        next();
+        params_ = std::move(params);
+    }
+
+    /**
+     * Parse a tuple "Name[e0, e1, ...]". Fresh identifiers become dim
+     * names; expressions (and reused names) become anonymous dims
+     * with a defining equality. @p bound holds names already taken.
+     */
+    ParsedTuple
+    parseTuple(const std::vector<std::string> &bound)
+    {
+        ParsedTuple t;
+        if (peek() == Tok::Ident)
+            t.name = next().text;
+        expect(Tok::LBracket);
+        if (peek() == Tok::RBracket) {
+            next();
+            return t;
+        }
+        while (true) {
+            bool fresh_ident =
+                peek() == Tok::Ident &&
+                (toks_[pos_ + 1].kind == Tok::Comma ||
+                 toks_[pos_ + 1].kind == Tok::RBracket) &&
+                !isBound(cur().text, bound) &&
+                !isBound(cur().text, t.dims) && !isParam(cur().text);
+            if (fresh_ident) {
+                t.dims.push_back(next().text);
+            } else {
+                SymExpr e = parseExpr();
+                std::string anon = "$" + std::to_string(anon_++);
+                t.dims.push_back(anon);
+                t.defs.emplace_back(anon, std::move(e));
+            }
+            if (peek() == Tok::Comma) {
+                next();
+                continue;
+            }
+            break;
+        }
+        expect(Tok::RBracket);
+        return t;
+    }
+
+    bool
+    isBound(const std::string &name,
+            const std::vector<std::string> &names) const
+    {
+        for (const auto &n : names)
+            if (n == name)
+                return true;
+        return false;
+    }
+
+    bool
+    isParam(const std::string &name) const
+    {
+        return isBound(name, params_);
+    }
+
+    SymExpr
+    parseExpr()
+    {
+        SymExpr e = parseTerm();
+        while (peek() == Tok::Plus || peek() == Tok::Minus) {
+            bool minus = next().kind == Tok::Minus;
+            SymExpr rhs = parseTerm();
+            e.add(rhs, minus ? -1 : 1);
+        }
+        return e;
+    }
+
+    SymExpr
+    parseTerm()
+    {
+        SymExpr e = parseFactor();
+        while (peek() == Tok::Star) {
+            next();
+            SymExpr rhs = parseFactor();
+            if (e.isConst()) {
+                rhs.scale(e.constant);
+                e = std::move(rhs);
+            } else if (rhs.isConst()) {
+                e.scale(rhs.constant);
+            } else {
+                fatal("parse error: non-affine product");
+            }
+        }
+        return e;
+    }
+
+    SymExpr
+    parseFactor()
+    {
+        SymExpr e;
+        if (peek() == Tok::Number) {
+            e.constant = next().value;
+            // Allow "2x" shorthand.
+            if (peek() == Tok::Ident) {
+                SymExpr v;
+                v.terms[next().text] = 1;
+                v.scale(e.constant);
+                return v;
+            }
+            return e;
+        }
+        if (peek() == Tok::Ident) {
+            e.terms[next().text] = 1;
+            return e;
+        }
+        if (peek() == Tok::Minus) {
+            next();
+            e = parseFactor();
+            e.scale(-1);
+            return e;
+        }
+        if (peek() == Tok::LParen) {
+            next();
+            e = parseExpr();
+            expect(Tok::RParen);
+            return e;
+        }
+        fatal("parse error: expected expression at '" + cur().text +
+              "'");
+    }
+
+    /** Chained comparisons: e0 op e1 op e2 ... */
+    std::vector<Constraint>
+    parseRelation(const Space &sp,
+                  const std::map<std::string, unsigned> &cols)
+    {
+        std::vector<Constraint> out;
+        SymExpr lhs = parseExpr();
+        bool any = false;
+        while (true) {
+            Tok op = peek();
+            if (op != Tok::Le && op != Tok::Ge && op != Tok::Lt &&
+                op != Tok::Gt && op != Tok::Eq)
+                break;
+            next();
+            SymExpr rhs = parseExpr();
+            out.push_back(makeConstraint(sp, cols, lhs, op, rhs));
+            lhs = std::move(rhs);
+            any = true;
+        }
+        if (!any)
+            fatal("parse error: expected comparison operator");
+        return out;
+    }
+
+    Constraint
+    makeConstraint(const Space &sp,
+                   const std::map<std::string, unsigned> &cols,
+                   const SymExpr &lhs, Tok op, const SymExpr &rhs)
+    {
+        // diff = lhs - rhs.
+        SymExpr diff = lhs;
+        diff.add(rhs, -1);
+        std::vector<int64_t> coeffs(sp.numCols(), 0);
+        for (const auto &[name, v] : diff.terms) {
+            if (v == 0)
+                continue;
+            auto it = cols.find(name);
+            if (it == cols.end())
+                fatal("parse error: unknown identifier '" + name + "'");
+            coeffs[it->second] = v;
+        }
+        coeffs.back() = diff.constant;
+        switch (op) {
+          case Tok::Eq:
+            return Constraint(true, coeffs);
+          case Tok::Ge: // lhs - rhs >= 0
+            return Constraint(false, coeffs);
+          case Tok::Gt: { // lhs - rhs - 1 >= 0
+            coeffs.back() = checkedSub(coeffs.back(), 1);
+            return Constraint(false, coeffs);
+          }
+          case Tok::Le: { // rhs - lhs >= 0
+            for (auto &c : coeffs)
+                c = -c;
+            return Constraint(false, coeffs);
+          }
+          case Tok::Lt: { // rhs - lhs - 1 >= 0
+            for (auto &c : coeffs)
+                c = -c;
+            coeffs.back() = checkedSub(coeffs.back(), 1);
+            return Constraint(false, coeffs);
+          }
+          default:
+            panic("unreachable comparison token");
+        }
+    }
+
+    /** Column lookup table for a piece's space. */
+    std::map<std::string, unsigned>
+    columnTable(const Space &sp, const ParsedTuple &in,
+                const ParsedTuple &out) const
+    {
+        std::map<std::string, unsigned> cols;
+        for (unsigned i = 0; i < in.dims.size(); ++i)
+            cols[in.dims[i]] = sp.inCol(i);
+        for (unsigned i = 0; i < out.dims.size(); ++i)
+            cols[out.dims[i]] = sp.outCol(i);
+        for (unsigned i = 0; i < params_.size(); ++i)
+            cols[params_[i]] = sp.paramCol(i);
+        return cols;
+    }
+
+    void
+    addDefs(const Space &sp, const std::map<std::string, unsigned> &cols,
+            const ParsedTuple &t, std::vector<Constraint> &out)
+    {
+        for (const auto &[dim, expr] : t.defs) {
+            SymExpr diff;
+            diff.terms[dim] = 1;
+            diff.add(expr, -1);
+            std::vector<int64_t> coeffs(sp.numCols(), 0);
+            for (const auto &[name, v] : diff.terms) {
+                if (v == 0)
+                    continue;
+                auto it = cols.find(name);
+                if (it == cols.end())
+                    fatal("parse error: unknown identifier '" + name +
+                          "'");
+                coeffs[it->second] = v;
+            }
+            coeffs.back() = diff.constant;
+            out.push_back(Constraint(true, coeffs));
+        }
+    }
+
+    BasicSet
+    parseSetPiece()
+    {
+        ParsedTuple t = parseTuple({});
+        Space sp = Space::forSet(t.name, t.dims.size(), params_);
+        auto cols = columnTable(sp, ParsedTuple{}, t);
+        std::vector<Constraint> cons;
+        addDefs(sp, cols, t, cons);
+        if (peek() == Tok::Colon) {
+            next();
+            while (true) {
+                auto rel = parseRelation(sp, cols);
+                cons.insert(cons.end(), rel.begin(), rel.end());
+                if (peek() == Tok::And) {
+                    next();
+                    continue;
+                }
+                break;
+            }
+        }
+        BasicSet s(sp);
+        for (auto &c : cons)
+            s.addConstraint(c);
+        s.simplify();
+        lastDimNames = t.dims;
+        return s;
+    }
+
+    BasicMap
+    parseMapPiece(ParsedAccess *access_out)
+    {
+        ParsedTuple in = parseTuple({});
+        expect(Tok::Arrow);
+        ParsedTuple out = parseTuple(in.dims);
+        Space sp = Space::forMap(in.name, in.dims.size(), out.name,
+                                 out.dims.size(), params_);
+        auto cols = columnTable(sp, in, out);
+        std::vector<Constraint> cons;
+        addDefs(sp, cols, in, cons);
+        addDefs(sp, cols, out, cons);
+        if (peek() == Tok::Colon) {
+            next();
+            while (true) {
+                auto rel = parseRelation(sp, cols);
+                cons.insert(cons.end(), rel.begin(), rel.end());
+                if (peek() == Tok::And) {
+                    next();
+                    continue;
+                }
+                break;
+            }
+        }
+        BasicMap m(sp);
+        for (auto &c : cons)
+            m.addConstraint(c);
+        m.simplify();
+
+        if (access_out) {
+            // Output expressions over [in dims, params, 1] exist when
+            // every out element had a definition.
+            access_out->hasExprs = out.defs.size() == out.dims.size();
+            access_out->outExprs.clear();
+            if (access_out->hasExprs) {
+                for (const auto &[dim, expr] : out.defs) {
+                    std::vector<int64_t> row(
+                        in.dims.size() + params_.size() + 1, 0);
+                    bool ok = true;
+                    for (const auto &[name, v] : expr.terms) {
+                        if (v == 0)
+                            continue;
+                        bool found = false;
+                        for (unsigned i = 0; i < in.dims.size(); ++i) {
+                            if (in.dims[i] == name) {
+                                row[i] = v;
+                                found = true;
+                                break;
+                            }
+                        }
+                        if (!found) {
+                            for (unsigned i = 0; i < params_.size();
+                                 ++i) {
+                                if (params_[i] == name) {
+                                    row[in.dims.size() + i] = v;
+                                    found = true;
+                                    break;
+                                }
+                            }
+                        }
+                        if (!found)
+                            ok = false;
+                    }
+                    row.back() = expr.constant;
+                    if (!ok) {
+                        access_out->hasExprs = false;
+                        access_out->outExprs.clear();
+                        break;
+                    }
+                    access_out->outExprs.push_back(std::move(row));
+                }
+            }
+        }
+        return m;
+    }
+};
+
+} // namespace
+
+Set
+parseSet(const std::string &text)
+{
+    return Parser(text).parseSetText();
+}
+
+Map
+parseMap(const std::string &text)
+{
+    return Parser(text).parseMapText();
+}
+
+BasicSet
+parseBasicSet(const std::string &text)
+{
+    Set s = parseSet(text);
+    if (s.pieces().size() != 1)
+        fatal("parseBasicSet: expected exactly one piece in " + text);
+    return s.pieces()[0];
+}
+
+BasicMap
+parseBasicMap(const std::string &text)
+{
+    Map m = parseMap(text);
+    if (m.pieces().size() != 1)
+        fatal("parseBasicMap: expected exactly one piece in " + text);
+    return m.pieces()[0];
+}
+
+BasicSet
+parseBasicSetNamed(const std::string &text,
+                   std::vector<std::string> *dim_names)
+{
+    Parser p(text);
+    Set s = p.parseSetText();
+    if (s.pieces().size() != 1)
+        fatal("parseBasicSetNamed: expected exactly one piece in " +
+              text);
+    if (dim_names)
+        *dim_names = p.lastDimNames;
+    return s.pieces()[0];
+}
+
+std::vector<int64_t>
+parseAffine(const std::string &text,
+            const std::vector<std::string> &params)
+{
+    return Parser(text).parseAffineText(params);
+}
+
+ParsedAccess
+parseAccess(const std::string &text)
+{
+    ParsedAccess out;
+    Parser p(text);
+    Map m = p.parseMapText(&out);
+    if (m.pieces().size() != 1)
+        fatal("parseAccess: expected exactly one piece in " + text);
+    out.map = m.pieces()[0];
+    return out;
+}
+
+} // namespace pres
+} // namespace polyfuse

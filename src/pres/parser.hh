@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A recursive-descent parser for an isl-like textual notation of sets
+ * and maps, so workloads and tests can be stated the way the paper
+ * writes them:
+ *
+ *   parseSet("[H,W,KH,KW] -> { S2[h,w,kh,kw] : 0 <= h <= H-KH and "
+ *            "0 <= w <= W-KW and 0 <= kh < KH and 0 <= kw < KW }")
+ *   parseMap("{ S2[h,w,kh,kw] -> A[h+kh, w+kw] }")
+ *
+ * Supported syntax:
+ *  - optional parameter prefix "[N, M] -> ";
+ *  - one or more pieces separated by ';' inside "{ }";
+ *  - tuple elements that are fresh identifiers become dimensions;
+ *    elements that are expressions (or reuse a bound name) add an
+ *    equality on a fresh anonymous dimension;
+ *  - conditions: affine comparisons chained (a <= b < c), joined
+ *    with "and";
+ *  - affine expressions: + - and multiplication by constants.
+ *
+ * Unknown identifiers in conditions are an error (parameters must be
+ * declared), which catches typos in workload definitions.
+ */
+
+#ifndef POLYFUSE_PRES_PARSER_HH
+#define POLYFUSE_PRES_PARSER_HH
+
+#include <string>
+#include <vector>
+
+#include "pres/map.hh"
+#include "pres/set.hh"
+
+namespace polyfuse {
+namespace pres {
+
+/** Parse a (union) set. Throws FatalError on syntax errors. */
+Set parseSet(const std::string &text);
+
+/** Parse a (union) map. Throws FatalError on syntax errors. */
+Map parseMap(const std::string &text);
+
+/** Parse a set that must consist of a single piece. */
+BasicSet parseBasicSet(const std::string &text);
+
+/** Parse a map that must consist of a single piece. */
+BasicMap parseBasicMap(const std::string &text);
+
+/**
+ * A parsed access relation: the map plus, when every output element
+ * was given as an affine expression of the inputs, the row-per-output
+ * index expressions over [in dims, params, 1] (used by the executor
+ * to evaluate the access directly).
+ */
+struct ParsedAccess
+{
+    BasicMap map;
+    bool hasExprs = false;
+    std::vector<std::vector<int64_t>> outExprs;
+};
+
+/** Parse a single-piece map, retaining output index expressions. */
+ParsedAccess parseAccess(const std::string &text);
+
+/**
+ * Parse a set that must consist of a single piece, also reporting
+ * the dimension names as written (anonymous dims appear as "$k").
+ */
+BasicSet parseBasicSetNamed(const std::string &text,
+                            std::vector<std::string> *dim_names);
+
+/**
+ * Parse a standalone affine expression over @p params into a
+ * coefficient row laid out [params..., 1] (used for tensor extents).
+ */
+std::vector<int64_t>
+parseAffine(const std::string &text,
+            const std::vector<std::string> &params);
+
+} // namespace pres
+} // namespace polyfuse
+
+#endif // POLYFUSE_PRES_PARSER_HH

@@ -1,0 +1,60 @@
+#include "pres/printing.hh"
+
+#include <sstream>
+
+namespace polyfuse {
+namespace pres {
+
+std::string
+renderConstraint(const Constraint &c,
+                 const std::vector<std::string> &col_names)
+{
+    std::ostringstream os;
+    bool first = true;
+    for (size_t i = 0; i + 1 < c.coeffs.size(); ++i) {
+        int64_t v = c.coeffs[i];
+        if (v == 0)
+            continue;
+        if (first) {
+            if (v == -1)
+                os << "-";
+            else if (v != 1)
+                os << v << "*";
+        } else {
+            os << (v > 0 ? " + " : " - ");
+            int64_t a = v > 0 ? v : -v;
+            if (a != 1)
+                os << a << "*";
+        }
+        os << col_names[i];
+        first = false;
+    }
+    int64_t k = c.constant();
+    if (first) {
+        os << k;
+    } else if (k > 0) {
+        os << " + " << k;
+    } else if (k < 0) {
+        os << " - " << -k;
+    }
+    os << (c.isEq ? " = 0" : " >= 0");
+    return os.str();
+}
+
+std::string
+renderRows(const std::vector<Constraint> &rows,
+           const std::vector<std::string> &col_names)
+{
+    std::ostringstream os;
+    bool first = true;
+    for (const auto &row : rows) {
+        if (!first)
+            os << " and ";
+        os << renderConstraint(row, col_names);
+        first = false;
+    }
+    return os.str();
+}
+
+} // namespace pres
+} // namespace polyfuse

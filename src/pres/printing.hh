@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Shared constraint renderer for BasicSet/BasicMap::str().
+ */
+
+#ifndef POLYFUSE_PRES_PRINTING_HH
+#define POLYFUSE_PRES_PRINTING_HH
+
+#include <string>
+#include <vector>
+
+#include "pres/constraint.hh"
+
+namespace polyfuse {
+namespace pres {
+
+/** Render one constraint as "expr = 0" or "expr >= 0". */
+std::string renderConstraint(const Constraint &c,
+                             const std::vector<std::string> &col_names);
+
+/** Render a conjunction, " and "-separated. */
+std::string renderRows(const std::vector<Constraint> &rows,
+                       const std::vector<std::string> &col_names);
+
+} // namespace pres
+} // namespace polyfuse
+
+#endif // POLYFUSE_PRES_PRINTING_HH

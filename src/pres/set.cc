@@ -1,0 +1,229 @@
+#include "pres/set.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "pres/fm.hh"
+#include "support/logging.hh"
+
+namespace polyfuse {
+namespace pres {
+
+namespace {
+
+std::vector<std::string>
+mergeParams(const std::vector<std::string> &a,
+            const std::vector<std::string> &b)
+{
+    std::vector<std::string> out = a;
+    for (const auto &p : b)
+        if (std::find(out.begin(), out.end(), p) == out.end())
+            out.push_back(p);
+    return out;
+}
+
+} // namespace
+
+void
+Set::addPiece(BasicSet piece)
+{
+    piece.simplify();
+    if (piece.markedEmpty())
+        return;
+    for (const auto &existing : pieces_) {
+        if (existing.space().sameTuples(piece.space()) &&
+            existing == piece)
+            return; // Structural duplicate.
+    }
+    pieces_.push_back(std::move(piece));
+}
+
+Set
+Set::unite(const Set &other) const
+{
+    Set out = *this;
+    for (const auto &p : other.pieces_)
+        out.addPiece(p);
+    return out;
+}
+
+Set
+Set::intersect(const Set &other) const
+{
+    Set out;
+    for (const auto &a : pieces_) {
+        for (const auto &b : other.pieces_) {
+            if (!a.space().sameTuples(b.space()))
+                continue;
+            out.addPiece(a.intersect(b));
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/**
+ * Subtract one conjunction from another (same tuple): the classic
+ * piece-splitting a - b = union_i (a and b_1..b_{i-1} and not b_i).
+ */
+std::vector<BasicSet>
+subtractPiece(const BasicSet &a, const BasicSet &b)
+{
+    auto params = mergeParams(a.space().params(), b.space().params());
+    BasicSet base = a.alignParams(params);
+    BasicSet bb = b.alignParams(params);
+
+    std::vector<BasicSet> out;
+    // `ctx` accumulates the constraints of b handled so far.
+    BasicSet ctx = base;
+    for (const auto &c : bb.constraints()) {
+        if (c.isEq) {
+            // not(e == 0) = (e >= 1) or (-e >= 1).
+            Constraint pos(false, c.coeffs);
+            pos.coeffs.back() -= 1;
+            Constraint neg(false, c.coeffs);
+            for (auto &v : neg.coeffs)
+                v = -v;
+            neg.coeffs.back() -= 1;
+            BasicSet p1 = ctx;
+            p1.addConstraint(pos);
+            p1.simplify();
+            if (!p1.markedEmpty())
+                out.push_back(std::move(p1));
+            BasicSet p2 = ctx;
+            p2.addConstraint(neg);
+            p2.simplify();
+            if (!p2.markedEmpty())
+                out.push_back(std::move(p2));
+        } else {
+            // not(e >= 0) = (-e - 1 >= 0).
+            Constraint neg(false, c.coeffs);
+            for (auto &v : neg.coeffs)
+                v = -v;
+            neg.coeffs.back() -= 1;
+            BasicSet p = ctx;
+            p.addConstraint(neg);
+            p.simplify();
+            if (!p.markedEmpty())
+                out.push_back(std::move(p));
+        }
+        ctx.addConstraint(c);
+        ctx.simplify();
+        if (ctx.markedEmpty())
+            break; // a already fully inside handled prefix.
+    }
+    return out;
+}
+
+} // namespace
+
+Set
+Set::subtract(const Set &other) const
+{
+    Set out;
+    for (const auto &a : pieces_) {
+        std::vector<BasicSet> remaining{a};
+        for (const auto &b : other.pieces_) {
+            if (!a.space().sameTuples(b.space()))
+                continue;
+            std::vector<BasicSet> next;
+            for (const auto &piece : remaining) {
+                auto split = subtractPiece(piece, b);
+                next.insert(next.end(), split.begin(), split.end());
+            }
+            remaining = std::move(next);
+            if (remaining.empty())
+                break;
+        }
+        for (auto &piece : remaining)
+            out.addPiece(std::move(piece));
+    }
+    return out;
+}
+
+bool
+Set::isEmpty() const
+{
+    for (const auto &p : pieces_)
+        if (!p.isEmpty())
+            return false;
+    return true;
+}
+
+bool
+Set::isSubset(const Set &other) const
+{
+    return subtract(other).isEmpty();
+}
+
+Set
+Set::extractTuple(const std::string &name) const
+{
+    Set out;
+    for (const auto &p : pieces_)
+        if (p.space().outTuple() == name)
+            out.addPiece(p);
+    return out;
+}
+
+std::vector<std::string>
+Set::tupleNames() const
+{
+    std::vector<std::string> out;
+    for (const auto &p : pieces_) {
+        const std::string &t = p.space().outTuple();
+        if (std::find(out.begin(), out.end(), t) == out.end())
+            out.push_back(t);
+    }
+    return out;
+}
+
+Set
+Set::fixParam(const std::string &name, int64_t value) const
+{
+    Set out;
+    for (const auto &p : pieces_)
+        out.addPiece(p.fixParam(name, value));
+    return out;
+}
+
+bool
+Set::wasExact() const
+{
+    for (const auto &p : pieces_)
+        if (!p.wasExact())
+            return false;
+    return true;
+}
+
+std::vector<std::vector<int64_t>>
+Set::enumerateTuple(const std::string &name,
+                    const ParamValues &params) const
+{
+    std::set<std::vector<int64_t>> points;
+    for (const auto &p : pieces_) {
+        if (p.space().outTuple() != name)
+            continue;
+        for (auto &pt : p.enumerate(params))
+            points.insert(std::move(pt));
+    }
+    return {points.begin(), points.end()};
+}
+
+std::string
+Set::str() const
+{
+    if (pieces_.empty())
+        return "{ }";
+    std::string out;
+    for (size_t i = 0; i < pieces_.size(); ++i) {
+        if (i)
+            out += " u ";
+        out += pieces_[i].str();
+    }
+    return out;
+}
+
+} // namespace pres
+} // namespace polyfuse

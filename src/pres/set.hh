@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A finite union of BasicSets, possibly over different named tuples
+ * (the role isl_union_set plays in the paper's algorithms: iteration
+ * domains of many statements, upwards exposed data of many arrays).
+ */
+
+#ifndef POLYFUSE_PRES_SET_HH
+#define POLYFUSE_PRES_SET_HH
+
+#include <string>
+#include <vector>
+
+#include "pres/basic_set.hh"
+
+namespace polyfuse {
+namespace pres {
+
+/** A union of convex integer sets over named tuples. */
+class Set
+{
+  public:
+    Set() = default;
+
+    explicit Set(BasicSet piece) { addPiece(std::move(piece)); }
+
+    /** Append one conjunction (empty pieces are dropped). */
+    void addPiece(BasicSet piece);
+
+    const std::vector<BasicSet> &pieces() const { return pieces_; }
+    bool empty() const { return pieces_.empty(); }
+
+    /** Union (concatenate pieces, drop structural duplicates). */
+    Set unite(const Set &other) const;
+
+    /** Pairwise intersection of pieces with matching tuples. */
+    Set intersect(const Set &other) const;
+
+    /** Set difference (exact; may split pieces). */
+    Set subtract(const Set &other) const;
+
+    /** True when every piece is certainly empty (see BasicSet). */
+    bool isEmpty() const;
+
+    /** True when this - other is certainly empty. */
+    bool isSubset(const Set &other) const;
+
+    /** Pieces whose tuple is @p name. */
+    Set extractTuple(const std::string &name) const;
+
+    /** Distinct tuple names in order of first appearance. */
+    std::vector<std::string> tupleNames() const;
+
+    Set fixParam(const std::string &name, int64_t value) const;
+
+    /** Conjunction of wasExact() over all pieces. */
+    bool wasExact() const;
+
+    /**
+     * Enumerate all integer points of pieces with tuple @p name under
+     * @p params, deduplicated across overlapping pieces, sorted.
+     */
+    std::vector<std::vector<int64_t>>
+    enumerateTuple(const std::string &name, const ParamValues &params)
+        const;
+
+    std::string str() const;
+
+  private:
+    std::vector<BasicSet> pieces_;
+};
+
+} // namespace pres
+} // namespace polyfuse
+
+#endif // POLYFUSE_PRES_SET_HH

@@ -1,0 +1,124 @@
+#include "pres/space.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+#include "support/strutil.hh"
+
+namespace polyfuse {
+namespace pres {
+
+Space
+Space::forSet(const std::string &tuple, unsigned dims,
+              std::vector<std::string> params)
+{
+    Space s;
+    s.isMap_ = false;
+    s.outTuple_ = tuple;
+    s.numOut_ = dims;
+    s.params_ = std::move(params);
+    return s;
+}
+
+Space
+Space::forMap(const std::string &in_tuple, unsigned in_dims,
+              const std::string &out_tuple, unsigned out_dims,
+              std::vector<std::string> params)
+{
+    Space s;
+    s.isMap_ = true;
+    s.inTuple_ = in_tuple;
+    s.outTuple_ = out_tuple;
+    s.numIn_ = in_dims;
+    s.numOut_ = out_dims;
+    s.params_ = std::move(params);
+    return s;
+}
+
+int
+Space::paramIndex(const std::string &name) const
+{
+    auto it = std::find(params_.begin(), params_.end(), name);
+    if (it == params_.end())
+        return -1;
+    return it - params_.begin();
+}
+
+void
+Space::addParam(const std::string &name)
+{
+    if (paramIndex(name) >= 0)
+        panic("duplicate parameter " + name);
+    params_.push_back(name);
+}
+
+Space
+Space::domainSpace() const
+{
+    if (!isMap_)
+        panic("domainSpace() on a set space");
+    return forSet(inTuple_, numIn_, params_);
+}
+
+Space
+Space::rangeSpace() const
+{
+    if (!isMap_)
+        panic("rangeSpace() on a set space");
+    return forSet(outTuple_, numOut_, params_);
+}
+
+Space
+Space::mapTo(const Space &range) const
+{
+    if (isMap_ || range.isMap_)
+        panic("mapTo() expects two set spaces");
+    std::vector<std::string> params = params_;
+    for (const auto &p : range.params_)
+        if (std::find(params.begin(), params.end(), p) == params.end())
+            params.push_back(p);
+    return forMap(outTuple_, numOut_, range.outTuple_, range.numOut_,
+                  std::move(params));
+}
+
+Space
+Space::reversed() const
+{
+    if (!isMap_)
+        panic("reversed() on a set space");
+    return forMap(outTuple_, numOut_, inTuple_, numIn_, params_);
+}
+
+bool
+Space::operator==(const Space &o) const
+{
+    return isMap_ == o.isMap_ && inTuple_ == o.inTuple_ &&
+           outTuple_ == o.outTuple_ && numIn_ == o.numIn_ &&
+           numOut_ == o.numOut_ && params_ == o.params_;
+}
+
+bool
+Space::sameTuples(const Space &o) const
+{
+    return isMap_ == o.isMap_ && inTuple_ == o.inTuple_ &&
+           outTuple_ == o.outTuple_ && numIn_ == o.numIn_ &&
+           numOut_ == o.numOut_;
+}
+
+std::string
+Space::str() const
+{
+    std::string out;
+    if (!params_.empty())
+        out += "[" + join(params_, ",") + "] -> ";
+    if (isMap_) {
+        out += inTuple_ + "[" + std::to_string(numIn_) + "] -> ";
+        out += outTuple_ + "[" + std::to_string(numOut_) + "]";
+    } else {
+        out += outTuple_ + "[" + std::to_string(numOut_) + "]";
+    }
+    return out;
+}
+
+} // namespace pres
+} // namespace polyfuse

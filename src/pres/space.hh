@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Space descriptions for Presburger sets and maps.
+ *
+ * A Space names the tuple(s) and dimensions a set or map lives in,
+ * plus its symbolic parameters. The constraint column layout derived
+ * from a space is
+ *
+ *     [ in dims | out dims | params | constant ]
+ *
+ * where sets have no "in" part and their dimensions occupy the "out"
+ * slot (mirroring isl's convention, which lets a map be treated as a
+ * relation whose range is a set space).
+ */
+
+#ifndef POLYFUSE_PRES_SPACE_HH
+#define POLYFUSE_PRES_SPACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace polyfuse {
+namespace pres {
+
+/** Dimension/parameter bookkeeping shared by BasicSet and BasicMap. */
+class Space
+{
+  public:
+    Space() = default;
+
+    /** Build a set space: a named tuple with @p dims dimensions. */
+    static Space forSet(const std::string &tuple, unsigned dims,
+                        std::vector<std::string> params = {});
+
+    /** Build a map space between two named tuples. */
+    static Space forMap(const std::string &in_tuple, unsigned in_dims,
+                        const std::string &out_tuple, unsigned out_dims,
+                        std::vector<std::string> params = {});
+
+    bool isSet() const { return !isMap_; }
+    bool isMap() const { return isMap_; }
+
+    const std::string &inTuple() const { return inTuple_; }
+    const std::string &outTuple() const { return outTuple_; }
+
+    unsigned numIn() const { return numIn_; }
+    unsigned numOut() const { return numOut_; }
+    unsigned numParams() const { return params_.size(); }
+
+    /** Total variable (non-param) dimensions. */
+    unsigned numDims() const { return numIn_ + numOut_; }
+
+    /** Total constraint columns including the constant column. */
+    unsigned numCols() const { return numDims() + numParams() + 1; }
+
+    /** Column index of output dimension @p i. */
+    unsigned outCol(unsigned i) const { return numIn_ + i; }
+
+    /** Column index of input dimension @p i. */
+    unsigned inCol(unsigned i) const { return i; }
+
+    /** Column index of parameter @p i. */
+    unsigned paramCol(unsigned i) const { return numDims() + i; }
+
+    /** Column index of the constant term. */
+    unsigned constCol() const { return numCols() - 1; }
+
+    const std::vector<std::string> &params() const { return params_; }
+
+    /** Index of parameter @p name, or -1 when absent. */
+    int paramIndex(const std::string &name) const;
+
+    /** Append a parameter (must not already exist). */
+    void addParam(const std::string &name);
+
+    /** Space of the map's domain as a set space. */
+    Space domainSpace() const;
+
+    /** Space of the map's range as a set space. */
+    Space rangeSpace() const;
+
+    /** Map space from this set space to @p range. */
+    Space mapTo(const Space &range) const;
+
+    /** Reversed map space (out -> in). */
+    Space reversed() const;
+
+    /** Structural equality (tuples, arities, param names). */
+    bool operator==(const Space &o) const;
+    bool operator!=(const Space &o) const { return !(*this == o); }
+
+    /** Same tuples/arities, ignoring parameters. */
+    bool sameTuples(const Space &o) const;
+
+    /** Human-readable description, e.g. "S0[2] -> A[2]". */
+    std::string str() const;
+
+  private:
+    bool isMap_ = false;
+    std::string inTuple_;
+    std::string outTuple_;
+    unsigned numIn_ = 0;
+    unsigned numOut_ = 0;
+    std::vector<std::string> params_;
+};
+
+} // namespace pres
+} // namespace polyfuse
+
+#endif // POLYFUSE_PRES_SPACE_HH

@@ -1,0 +1,351 @@
+#include "schedule/fusion.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "support/logging.hh"
+
+namespace polyfuse {
+namespace schedule {
+
+using deps::DependenceGraph;
+using ir::PathElem;
+using ir::Program;
+using ir::Statement;
+
+FusionPolicy
+parseFusionPolicy(const std::string &name)
+{
+    if (name == "minfuse")
+        return FusionPolicy::Min;
+    if (name == "smartfuse")
+        return FusionPolicy::Smart;
+    if (name == "maxfuse")
+        return FusionPolicy::Max;
+    if (name == "hybridfuse")
+        return FusionPolicy::Hybrid;
+    fatal("unknown fusion policy " + name);
+}
+
+std::string
+fusionPolicyName(FusionPolicy policy)
+{
+    switch (policy) {
+      case FusionPolicy::Min: return "minfuse";
+      case FusionPolicy::Smart: return "smartfuse";
+      case FusionPolicy::Max: return "maxfuse";
+      case FusionPolicy::Hybrid: return "hybridfuse";
+    }
+    panic("bad policy");
+}
+
+unsigned
+groupOuterDepth(const Program &program, int g)
+{
+    unsigned depth = UINT_MAX;
+    for (int id : program.groupStatements(g)) {
+        const auto &path = program.statement(id).path();
+        unsigned k = 0;
+        while (k < path.size() && path[k].kind == PathElem::Kind::Loop)
+            ++k;
+        depth = std::min(depth, k);
+    }
+    return depth == UINT_MAX ? 0 : depth;
+}
+
+namespace {
+
+/** A fusion cluster under construction. */
+struct Cluster
+{
+    std::vector<int> groups;
+    unsigned depth = 0;
+    /** Per-statement shift vector (length == depth). */
+    std::map<int, std::vector<int64_t>> shifts; // by statement id
+};
+
+/** First @p m loop dims of a statement's path. */
+std::vector<unsigned>
+outerDims(const Statement &s, unsigned m)
+{
+    std::vector<unsigned> dims;
+    for (const auto &e : s.path()) {
+        if (dims.size() == m)
+            break;
+        if (e.kind == PathElem::Kind::Loop)
+            dims.push_back(e.value);
+        else
+            break;
+    }
+    if (dims.size() != m)
+        panic("statement shallower than requested band depth");
+    return dims;
+}
+
+/** Per-level dependence summary over a member set. */
+struct LevelSummary
+{
+    bool legal = true;       ///< all distances >= 0 (no shift needed)
+    bool parallel = true;    ///< all distances == 0
+    bool bounded = true;     ///< all distances bounded
+    int64_t minNeg = 0;      ///< most negative distance (for shifts)
+};
+
+/**
+ * Summarize dependence distances among @p members over their first
+ * @p m dims (shift-adjusted).
+ */
+std::vector<LevelSummary>
+summarize(const Program &p, const DependenceGraph &g,
+          const std::map<int, std::vector<int64_t>> &members, unsigned m)
+{
+    std::vector<LevelSummary> out(m);
+    for (const auto &[src, sshift] : members) {
+        for (const auto &[dst, dshift] : members) {
+            for (const auto *dep : g.between(src, dst)) {
+                auto sdims = outerDims(p.statement(src), m);
+                auto ddims = outerDims(p.statement(dst), m);
+                auto dist = g.bandDistances(*dep, sdims, ddims);
+                for (unsigned k = 0; k < m; ++k) {
+                    LevelSummary &ls = out[k];
+                    if (!dist[k].bounded) {
+                        ls.bounded = false;
+                        ls.legal = false;
+                        ls.parallel = false;
+                        continue;
+                    }
+                    int64_t lo = dist[k].min + dshift[k] - sshift[k];
+                    int64_t hi = dist[k].max + dshift[k] - sshift[k];
+                    if (lo < 0) {
+                        ls.legal = false;
+                        ls.minNeg = std::min(ls.minNeg, lo);
+                    }
+                    if (lo != 0 || hi != 0)
+                        ls.parallel = false;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+/** All statement ids of a cluster with their (truncated) shifts. */
+std::map<int, std::vector<int64_t>>
+clusterMembers(const Program &p, const Cluster &c, unsigned m)
+{
+    std::map<int, std::vector<int64_t>> out;
+    for (int g : c.groups) {
+        for (int id : p.groupStatements(g)) {
+            auto it = c.shifts.find(id);
+            std::vector<int64_t> shift(m, 0);
+            if (it != c.shifts.end())
+                for (unsigned k = 0; k < m && k < it->second.size();
+                     ++k)
+                    shift[k] = it->second[k];
+            out[id] = std::move(shift);
+        }
+    }
+    return out;
+}
+
+/** True when some dependence connects a statement of X to one of Y. */
+bool
+dependenceConnected(const DependenceGraph &g, const Cluster &x,
+                    const Cluster &y)
+{
+    for (int gx : x.groups)
+        for (int gy : y.groups)
+            if (g.groupDependsOn(gy, gx) || g.groupDependsOn(gx, gy))
+                return true;
+    return false;
+}
+
+/**
+ * Try to merge adjacent clusters under @p policy; on success @p x is
+ * extended with @p y's contents (shifting y's statements as needed).
+ */
+bool
+tryMerge(const Program &p, const DependenceGraph &g, Cluster &x,
+         const Cluster &y, FusionPolicy policy)
+{
+    if (policy == FusionPolicy::Min)
+        return false;
+    unsigned m = std::min(x.depth, y.depth);
+    if (m == 0)
+        return false;
+    if (!dependenceConnected(g, x, y))
+        return false;
+
+    auto xm = clusterMembers(p, x, m);
+    auto ym = clusterMembers(p, y, m);
+
+    // Fused member set with y's shifts still unadjusted.
+    auto fused = xm;
+    for (const auto &[id, shift] : ym)
+        fused[id] = shift;
+
+    auto summary = summarize(p, g, fused, m);
+
+    // Required shift of y's statements per level.
+    std::vector<int64_t> extra(m, 0);
+    for (unsigned k = 0; k < m; ++k) {
+        const LevelSummary &ls = summary[k];
+        if (!ls.bounded)
+            return false;
+        if (!ls.legal)
+            extra[k] = -ls.minNeg;
+    }
+
+    auto needsShift = [&](unsigned k) { return extra[k] != 0; };
+
+    // Parallelism check: levels parallel in both inputs must stay
+    // parallel in the fusion (smart: all levels; hybrid: level 0).
+    auto xsum = summarize(p, g, xm, m);
+    auto ysum = summarize(p, g, ym, m);
+    auto losesParallelism = [&](unsigned k) {
+        bool before = xsum[k].parallel && ysum[k].parallel;
+        // After a shift distances are nonzero, hence not parallel.
+        bool after = summary[k].parallel && !needsShift(k);
+        return before && !after;
+    };
+
+    switch (policy) {
+      case FusionPolicy::Min:
+        return false;
+      case FusionPolicy::Smart:
+        for (unsigned k = 0; k < m; ++k)
+            if (needsShift(k) || losesParallelism(k))
+                return false;
+        break;
+      case FusionPolicy::Max:
+        break; // any bounded shift accepted
+      case FusionPolicy::Hybrid:
+        if (needsShift(0) || losesParallelism(0))
+            return false;
+        break;
+    }
+
+    // Verify the shift fixes everything (a shift that helps an x->y
+    // dependence hurts a y->x one; bail out instead of iterating).
+    if (std::any_of(extra.begin(), extra.end(),
+                    [](int64_t v) { return v != 0; })) {
+        auto shifted = xm;
+        for (const auto &[id, shift] : ym) {
+            std::vector<int64_t> s(m);
+            for (unsigned k = 0; k < m; ++k)
+                s[k] = shift[k] + extra[k];
+            shifted[id] = std::move(s);
+        }
+        auto check = summarize(p, g, shifted, m);
+        for (unsigned k = 0; k < m; ++k)
+            if (!check[k].bounded || !check[k].legal)
+                return false;
+    }
+
+    // Commit: shift y's statements and absorb.
+    x.depth = m;
+    for (auto &[id, shift] : x.shifts)
+        shift.resize(m, 0);
+    for (const auto &[id, shift] : ym) {
+        std::vector<int64_t> s(m);
+        for (unsigned k = 0; k < m; ++k)
+            s[k] = shift[k] + extra[k];
+        x.shifts[id] = std::move(s);
+    }
+    for (int gy : y.groups)
+        x.groups.push_back(gy);
+    return true;
+}
+
+/** Rebuild the schedule tree from the final clusters. */
+ScheduleTree
+buildTree(const Program &p, const std::vector<Cluster> &clusters)
+{
+    auto domain = std::make_shared<Node>();
+    domain->kind = NodeKind::Domain;
+
+    std::vector<NodePtr> filters;
+    for (const auto &c : clusters) {
+        std::vector<std::string> names;
+        for (int g : c.groups)
+            for (int id : p.groupStatements(g))
+                names.push_back(p.statement(id).name());
+
+        if (c.groups.size() == 1) {
+            filters.push_back(makeFilter(
+                names,
+                buildGroupSubtree(p, p.groupStatements(c.groups[0]),
+                                  0)));
+            continue;
+        }
+
+        // Fused band over the common outer dims, with shifts; below
+        // it a sequence of the original group subtrees.
+        std::map<std::string, BandMember> members;
+        for (int g : c.groups) {
+            for (int id : p.groupStatements(g)) {
+                const Statement &s = p.statement(id);
+                BandMember m;
+                m.dims = outerDims(s, c.depth);
+                auto it = c.shifts.find(id);
+                if (it != c.shifts.end())
+                    m.shifts = it->second;
+                else
+                    m.shifts.assign(c.depth, 0);
+                members[s.name()] = std::move(m);
+            }
+        }
+        std::vector<NodePtr> inner;
+        for (int g : c.groups) {
+            std::vector<std::string> gnames;
+            for (int id : p.groupStatements(g))
+                gnames.push_back(p.statement(id).name());
+            inner.push_back(makeFilter(
+                gnames,
+                buildGroupSubtree(p, p.groupStatements(g), c.depth)));
+        }
+        filters.push_back(makeFilter(
+            names,
+            makeBand(std::move(members), makeSequence(std::move(inner)))));
+    }
+    domain->children = {makeSequence(std::move(filters))};
+    return ScheduleTree(p, domain);
+}
+
+} // namespace
+
+FusionResult
+applyFusion(const Program &program, const DependenceGraph &graph,
+            FusionPolicy policy)
+{
+    std::vector<Cluster> clusters;
+    for (unsigned g = 0; g < program.numGroups(); ++g) {
+        Cluster c;
+        c.groups = {int(g)};
+        c.depth = groupOuterDepth(program, g);
+        clusters.push_back(std::move(c));
+    }
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t i = 0; i + 1 < clusters.size(); ++i) {
+            if (tryMerge(program, graph, clusters[i], clusters[i + 1],
+                         policy)) {
+                clusters.erase(clusters.begin() + i + 1);
+                changed = true;
+                break;
+            }
+        }
+    }
+
+    FusionResult result;
+    result.tree = buildTree(program, clusters);
+    for (const auto &c : clusters)
+        result.clusters.push_back(c.groups);
+    result.tree.annotate(graph);
+    return result;
+}
+
+} // namespace schedule
+} // namespace polyfuse

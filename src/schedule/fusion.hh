@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The tiling-after-fusion baselines the paper compares against
+ * (Sec. VI): PPCG-style minfuse / smartfuse / maxfuse plus Pluto's
+ * hybridfuse. Each policy clusters the original loop-nest groups over
+ * the dependence graph and rebuilds the schedule tree with fused
+ * outer bands (with per-statement shifts where the policy allows
+ * them).
+ *
+ * Policy semantics:
+ *  - Min:    never fuse (each group its own computation space);
+ *  - Smart:  fuse producer/consumer groups only when no shift is
+ *            needed and no outer parallelism is lost;
+ *  - Max:    fuse whenever bounded shifts make it legal, accepting
+ *            parallelism loss (Fig. 1(c));
+ *  - Hybrid: Smart at the outermost level, Max below it.
+ */
+
+#ifndef POLYFUSE_SCHEDULE_FUSION_HH
+#define POLYFUSE_SCHEDULE_FUSION_HH
+
+#include <string>
+#include <vector>
+
+#include "schedule/tree.hh"
+
+namespace polyfuse {
+namespace schedule {
+
+/** Fusion heuristic selector. */
+enum class FusionPolicy
+{
+    Min,
+    Smart,
+    Max,
+    Hybrid,
+};
+
+/** Parse "minfuse" / "smartfuse" / "maxfuse" / "hybridfuse". */
+FusionPolicy parseFusionPolicy(const std::string &name);
+
+/** Printable policy name. */
+std::string fusionPolicyName(FusionPolicy policy);
+
+/** The outcome of a fusion pass. */
+struct FusionResult
+{
+    ScheduleTree tree;
+    /** Original group ids per fused cluster, in execution order. */
+    std::vector<std::vector<int>> clusters;
+};
+
+/**
+ * Apply @p policy to the program's initial schedule and return the
+ * fused, attribute-annotated schedule tree.
+ */
+FusionResult applyFusion(const ir::Program &program,
+                         const deps::DependenceGraph &graph,
+                         FusionPolicy policy);
+
+/**
+ * Depth of the outermost common loop band of group @p g (the number
+ * of leading lockstep Loop elements across its statement paths).
+ */
+unsigned groupOuterDepth(const ir::Program &program, int g);
+
+} // namespace schedule
+} // namespace polyfuse
+
+#endif // POLYFUSE_SCHEDULE_FUSION_HH

@@ -1,0 +1,450 @@
+#include "schedule/tree.hh"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "support/logging.hh"
+#include "support/strutil.hh"
+
+namespace polyfuse {
+namespace schedule {
+
+using ir::PathElem;
+using ir::Program;
+using ir::Statement;
+
+NodePtr
+makeLeaf()
+{
+    auto n = std::make_shared<Node>();
+    n->kind = NodeKind::Leaf;
+    return n;
+}
+
+NodePtr
+makeBand(std::map<std::string, BandMember> members, NodePtr child)
+{
+    auto n = std::make_shared<Node>();
+    n->kind = NodeKind::Band;
+    n->members = std::move(members);
+    unsigned depth = n->numBandDims();
+    for (auto &[name, m] : n->members) {
+        if (m.dims.size() != depth)
+            panic("band member depth mismatch for " + name);
+        if (m.shifts.empty())
+            m.shifts.assign(depth, 0);
+        if (m.shifts.size() != depth)
+            panic("band member shift arity mismatch for " + name);
+    }
+    n->coincident.assign(depth, false);
+    n->children = {std::move(child)};
+    return n;
+}
+
+NodePtr
+makeSequence(std::vector<NodePtr> filters)
+{
+    auto n = std::make_shared<Node>();
+    n->kind = NodeKind::Sequence;
+    for (const auto &f : filters)
+        if (f->kind != NodeKind::Filter)
+            panic("sequence children must be filters");
+    n->children = std::move(filters);
+    return n;
+}
+
+NodePtr
+makeFilter(std::vector<std::string> stmts, NodePtr child)
+{
+    auto n = std::make_shared<Node>();
+    n->kind = NodeKind::Filter;
+    n->filter = std::move(stmts);
+    n->children = {std::move(child)};
+    return n;
+}
+
+NodePtr
+makeMark(std::string label, NodePtr child)
+{
+    auto n = std::make_shared<Node>();
+    n->kind = NodeKind::Mark;
+    n->markLabel = std::move(label);
+    n->children = {std::move(child)};
+    return n;
+}
+
+NodePtr
+makeExtension(pres::Map extension, NodePtr child)
+{
+    auto n = std::make_shared<Node>();
+    n->kind = NodeKind::Extension;
+    n->extension = std::move(extension);
+    n->children = {std::move(child)};
+    return n;
+}
+
+namespace {
+
+/** Per-statement cursor into its path during subtree construction. */
+struct Cursor
+{
+    int stmt;
+    size_t pos;
+};
+
+NodePtr
+buildRec(const Program &program, std::vector<Cursor> cursors)
+{
+    if (cursors.empty())
+        panic("buildRec: no statements");
+
+    // Single statement with only loops left: one band (or leaf).
+    bool all_done = true;
+    for (const auto &c : cursors)
+        if (c.pos < program.statement(c.stmt).path().size())
+            all_done = false;
+    if (all_done) {
+        if (cursors.size() == 1)
+            return makeLeaf();
+        // Distinct statements ending at the same spot: declaration
+        // order decides.
+        std::vector<NodePtr> filters;
+        for (const auto &c : cursors)
+            filters.push_back(makeFilter(
+                {program.statement(c.stmt).name()}, makeLeaf()));
+        return makeSequence(std::move(filters));
+    }
+
+    // Are all next elements loops?
+    bool all_loops = true;
+    for (const auto &c : cursors) {
+        const auto &path = program.statement(c.stmt).path();
+        if (c.pos >= path.size() ||
+            path[c.pos].kind != PathElem::Kind::Loop)
+            all_loops = false;
+    }
+
+    if (all_loops) {
+        // Maximal run of lockstep loops.
+        size_t run = SIZE_MAX;
+        for (const auto &c : cursors) {
+            const auto &path = program.statement(c.stmt).path();
+            size_t k = 0;
+            while (c.pos + k < path.size() &&
+                   path[c.pos + k].kind == PathElem::Kind::Loop)
+                ++k;
+            run = std::min(run, k);
+        }
+        std::map<std::string, BandMember> members;
+        for (const auto &c : cursors) {
+            const Statement &s = program.statement(c.stmt);
+            BandMember m;
+            for (size_t k = 0; k < run; ++k)
+                m.dims.push_back(s.path()[c.pos + k].value);
+            m.shifts.assign(run, 0);
+            members[s.name()] = std::move(m);
+        }
+        std::vector<Cursor> next = cursors;
+        for (auto &c : next)
+            c.pos += run;
+        return makeBand(std::move(members),
+                        buildRec(program, std::move(next)));
+    }
+
+    // Otherwise every statement must sit at a Seq element (or its
+    // end, which we treat as position by declaration order).
+    std::map<unsigned, std::vector<Cursor>> by_pos;
+    for (const auto &c : cursors) {
+        const auto &path = program.statement(c.stmt).path();
+        if (c.pos < path.size() &&
+            path[c.pos].kind == PathElem::Kind::Seq) {
+            Cursor adv = c;
+            ++adv.pos;
+            by_pos[path[c.pos].value].push_back(adv);
+        } else {
+            panic("statement paths mix loops and sequence positions "
+                  "at the same level");
+        }
+    }
+    std::vector<NodePtr> filters;
+    for (auto &[pos, subgroup] : by_pos) {
+        std::vector<std::string> names;
+        for (const auto &c : subgroup)
+            names.push_back(program.statement(c.stmt).name());
+        filters.push_back(makeFilter(
+            std::move(names), buildRec(program, std::move(subgroup))));
+    }
+    return makeSequence(std::move(filters));
+}
+
+} // namespace
+
+NodePtr
+buildGroupSubtree(const Program &program,
+                  const std::vector<int> &stmt_ids, unsigned skip_loops)
+{
+    std::vector<Cursor> cursors;
+    for (int id : stmt_ids) {
+        const auto &path = program.statement(id).path();
+        size_t pos = 0;
+        unsigned skipped = 0;
+        while (skipped < skip_loops) {
+            if (pos >= path.size())
+                panic("skip_loops exceeds path length");
+            if (path[pos].kind == PathElem::Kind::Loop)
+                ++skipped;
+            ++pos;
+        }
+        cursors.push_back({id, pos});
+    }
+    return buildRec(program, std::move(cursors));
+}
+
+ScheduleTree
+ScheduleTree::initial(const Program &program)
+{
+    auto domain = std::make_shared<Node>();
+    domain->kind = NodeKind::Domain;
+
+    std::vector<NodePtr> filters;
+    for (unsigned g = 0; g < program.numGroups(); ++g) {
+        auto stmts = program.groupStatements(g);
+        std::vector<std::string> names;
+        for (int id : stmts)
+            names.push_back(program.statement(id).name());
+        filters.push_back(makeFilter(
+            std::move(names), buildGroupSubtree(program, stmts, 0)));
+    }
+    domain->children = {makeSequence(std::move(filters))};
+    return ScheduleTree(program, domain);
+}
+
+namespace {
+
+NodePtr
+cloneRec(const NodePtr &node)
+{
+    auto n = std::make_shared<Node>(*node);
+    for (auto &c : n->children)
+        c = cloneRec(c);
+    return n;
+}
+
+} // namespace
+
+ScheduleTree
+ScheduleTree::clone() const
+{
+    return ScheduleTree(*prog_, cloneRec(root_));
+}
+
+void
+ScheduleTree::annotate(const deps::DependenceGraph &graph)
+{
+    const Program &p = *prog_;
+    for (const NodePtr &band : allBands()) {
+        unsigned depth = band->numBandDims();
+        band->permutable = true;
+        band->coincident.assign(depth, true);
+        for (const auto &[sname, sm] : band->members) {
+            for (const auto &[tname, tm] : band->members) {
+                int src = p.statementId(sname);
+                int dst = p.statementId(tname);
+                for (const auto *dep : graph.between(src, dst)) {
+                    auto dist = graph.bandDistances(*dep, sm.dims,
+                                                    tm.dims);
+                    for (unsigned k = 0; k < depth; ++k) {
+                        if (!dist[k].bounded) {
+                            band->permutable = false;
+                            band->coincident[k] = false;
+                            continue;
+                        }
+                        int64_t lo = dist[k].min + tm.shifts[k] -
+                                     sm.shifts[k];
+                        int64_t hi = dist[k].max + tm.shifts[k] -
+                                     sm.shifts[k];
+                        if (lo < 0)
+                            band->permutable = false;
+                        if (lo != 0 || hi != 0)
+                            band->coincident[k] = false;
+                    }
+                }
+            }
+        }
+    }
+}
+
+NodePtr
+ScheduleTree::tileBand(const NodePtr &band,
+                       const std::vector<int64_t> &sizes)
+{
+    if (band->kind != NodeKind::Band)
+        panic("tileBand on non-band node");
+    if (!band->tileSizes.empty())
+        fatal("band is already tiled");
+    if (sizes.size() != band->numBandDims())
+        fatal("tile size arity mismatch");
+    for (int64_t s : sizes)
+        if (s <= 0)
+            fatal("tile sizes must be positive");
+
+    auto point = std::make_shared<Node>(*band);
+    point->tileSizes.clear();
+    band->tileSizes = sizes;
+    band->children = {point};
+    return band;
+}
+
+NodePtr
+ScheduleTree::findBand(const NodePtr &node)
+{
+    if (!node)
+        return nullptr;
+    if (node->kind == NodeKind::Band)
+        return node;
+    for (const auto &c : node->children)
+        if (NodePtr b = findBand(c))
+            return b;
+    return nullptr;
+}
+
+std::vector<NodePtr>
+ScheduleTree::allBands() const
+{
+    std::vector<NodePtr> out;
+    std::function<void(const NodePtr &)> walk =
+        [&](const NodePtr &n) {
+            if (!n)
+                return;
+            if (n->kind == NodeKind::Band)
+                out.push_back(n);
+            for (const auto &c : n->children)
+                walk(c);
+        };
+    walk(root_);
+    return out;
+}
+
+NodePtr
+ScheduleTree::parentOf(const NodePtr &node) const
+{
+    NodePtr found;
+    std::function<void(const NodePtr &)> walk =
+        [&](const NodePtr &n) {
+            if (!n || found)
+                return;
+            for (const auto &c : n->children) {
+                if (c == node) {
+                    found = n;
+                    return;
+                }
+                walk(c);
+            }
+        };
+    walk(root_);
+    return found;
+}
+
+std::vector<std::string>
+ScheduleTree::statementsUnder(const NodePtr &node) const
+{
+    std::vector<std::string> out;
+    auto add = [&](const std::string &name) {
+        if (std::find(out.begin(), out.end(), name) == out.end())
+            out.push_back(name);
+    };
+    std::function<void(const NodePtr &)> walk =
+        [&](const NodePtr &n) {
+            if (!n)
+                return;
+            if (n->kind == NodeKind::Filter)
+                for (const auto &s : n->filter)
+                    add(s);
+            if (n->kind == NodeKind::Band)
+                for (const auto &[s, m] : n->members)
+                    add(s);
+            if (n->kind == NodeKind::Extension)
+                for (const auto &piece : n->extension.pieces())
+                    add(piece.space().outTuple());
+            for (const auto &c : n->children)
+                walk(c);
+        };
+    walk(node);
+    return out;
+}
+
+namespace {
+
+void
+printRec(const NodePtr &n, unsigned indent, std::ostringstream &os)
+{
+    std::string pad(indent * 2, ' ');
+    if (!n) {
+        os << pad << "(null)\n";
+        return;
+    }
+    switch (n->kind) {
+      case NodeKind::Domain:
+        os << pad << "domain\n";
+        break;
+      case NodeKind::Band: {
+        os << pad << "band";
+        if (!n->tileSizes.empty()) {
+            std::vector<std::string> ts;
+            for (auto s : n->tileSizes)
+                ts.push_back(std::to_string(s));
+            os << " tile(" << join(ts, ",") << ")";
+        }
+        os << " perm=" << (n->permutable ? 1 : 0) << " coin=[";
+        for (size_t i = 0; i < n->coincident.size(); ++i)
+            os << (i ? "," : "") << (n->coincident[i] ? 1 : 0);
+        os << "] {";
+        bool first = true;
+        for (const auto &[name, m] : n->members) {
+            os << (first ? "" : "; ") << name << ":[";
+            for (size_t i = 0; i < m.dims.size(); ++i) {
+                os << (i ? "," : "") << "i" << m.dims[i];
+                if (m.shifts[i] > 0)
+                    os << "+" << m.shifts[i];
+                else if (m.shifts[i] < 0)
+                    os << m.shifts[i];
+            }
+            os << "]";
+            first = false;
+        }
+        os << "}\n";
+        break;
+      }
+      case NodeKind::Sequence:
+        os << pad << "sequence\n";
+        break;
+      case NodeKind::Filter:
+        os << pad << "filter {" << join(n->filter, ", ") << "}\n";
+        break;
+      case NodeKind::Mark:
+        os << pad << "mark \"" << n->markLabel << "\"\n";
+        break;
+      case NodeKind::Extension:
+        os << pad << "extension " << n->extension.str() << "\n";
+        break;
+      case NodeKind::Leaf:
+        os << pad << "leaf\n";
+        return;
+    }
+    for (const auto &c : n->children)
+        printRec(c, indent + 1, os);
+}
+
+} // namespace
+
+std::string
+ScheduleTree::str() const
+{
+    std::ostringstream os;
+    printRec(root_, 0, os);
+    return os.str();
+}
+
+} // namespace schedule
+} // namespace polyfuse

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Schedule trees (Grosser et al. [22]), the representation the paper
+ * builds its post-tiling fusion on.
+ *
+ * Node kinds: Domain (root), Band (a loop nest level with
+ * permutable/coincident attributes), Sequence (ordered children, each
+ * a Filter), Filter (subset of statements), Mark (string label, e.g.
+ * "skipped", "kernel", "thread"), Extension (an affine relation from
+ * the enclosing band dimensions to additional statement instances --
+ * the paper's vehicle for post-tiling fusion).
+ *
+ * Bands are restricted to the shifted/tiled per-dimension form
+ *     value_k(s, i) = floor((i[dims_k(s)] + shift_k(s)) / tile_k)
+ * which covers every transformation the paper composes (rectangular/
+ * parallelogram tiling, fusion with shifting) while keeping code
+ * generation by domain scanning simple.
+ */
+
+#ifndef POLYFUSE_SCHEDULE_TREE_HH
+#define POLYFUSE_SCHEDULE_TREE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "deps/dependences.hh"
+#include "ir/program.hh"
+#include "pres/basic_map.hh"
+
+namespace polyfuse {
+namespace schedule {
+
+/** Kinds of schedule tree nodes. */
+enum class NodeKind
+{
+    Domain,
+    Band,
+    Sequence,
+    Filter,
+    Mark,
+    Extension,
+    Leaf,
+};
+
+/** A band's per-statement dimension selection and shifts. */
+struct BandMember
+{
+    /** Domain dimension used at each band level. */
+    std::vector<unsigned> dims;
+    /** Constant added to the dimension at each level (fusion shifts). */
+    std::vector<int64_t> shifts;
+};
+
+struct Node;
+using NodePtr = std::shared_ptr<Node>;
+
+/** One schedule tree node (see file comment). */
+struct Node
+{
+    NodeKind kind = NodeKind::Leaf;
+    std::vector<NodePtr> children;
+
+    // --- Band ---
+    /** Per-statement band definition, keyed by statement name. */
+    std::map<std::string, BandMember> members;
+    /** Per-level tile size; empty means the band is not tiled. */
+    std::vector<int64_t> tileSizes;
+    bool permutable = false;
+    std::vector<bool> coincident;
+
+    // --- Filter ---
+    /** Statement names admitted below this filter. */
+    std::vector<std::string> filter;
+
+    // --- Mark ---
+    std::string markLabel;
+
+    // --- Extension ---
+    /**
+     * Outer band dims -> statement instances to introduce. The input
+     * tuple spans every enclosing band dimension, outermost first.
+     */
+    pres::Map extension;
+
+    /** Number of band levels (0 for non-band nodes). */
+    unsigned
+    numBandDims() const
+    {
+        if (members.empty())
+            return 0;
+        return members.begin()->second.dims.size();
+    }
+
+    /** The single child (bands, filters, marks, domain). */
+    NodePtr
+    onlyChild() const
+    {
+        return children.size() == 1 ? children[0] : nullptr;
+    }
+};
+
+/** Factory helpers. */
+NodePtr makeLeaf();
+NodePtr makeBand(std::map<std::string, BandMember> members,
+                 NodePtr child);
+NodePtr makeSequence(std::vector<NodePtr> filters);
+NodePtr makeFilter(std::vector<std::string> stmts, NodePtr child);
+NodePtr makeMark(std::string label, NodePtr child);
+NodePtr makeExtension(pres::Map extension, NodePtr child);
+
+/** A schedule tree bound to the program it schedules. */
+class ScheduleTree
+{
+  public:
+    ScheduleTree() = default;
+    ScheduleTree(const ir::Program &program, NodePtr root)
+        : prog_(&program), root_(std::move(root)) {}
+
+    /**
+     * The initial schedule tree of a program: a Domain node, a
+     * Sequence over the original loop-nest groups, and per-group
+     * subtrees derived from the statement paths (Fig. 2(a)).
+     */
+    static ScheduleTree initial(const ir::Program &program);
+
+    const ir::Program &program() const { return *prog_; }
+    const NodePtr &root() const { return root_; }
+
+    /** Deep copy (nodes are freshly allocated). */
+    ScheduleTree clone() const;
+
+    /**
+     * Recompute permutable/coincident for every band from the
+     * dependence graph: a level is coincident when every dependence
+     * among the band's members has distance exactly 0 there; a band
+     * is permutable when every such distance is componentwise
+     * non-negative (after shifts).
+     */
+    void annotate(const deps::DependenceGraph &graph);
+
+    /**
+     * Split band @p band into a tile band and a point band using
+     * @p sizes (the paper's isolation of tile dimensions, Sec. IV-A).
+     * @return the new tile band (its only child is the point band).
+     */
+    NodePtr tileBand(const NodePtr &band,
+                     const std::vector<int64_t> &sizes);
+
+    /** First band on the path below @p node (or null). */
+    static NodePtr findBand(const NodePtr &node);
+
+    /** All bands in pre-order. */
+    std::vector<NodePtr> allBands() const;
+
+    /** Parent of @p node (linear search; trees are small). */
+    NodePtr parentOf(const NodePtr &node) const;
+
+    /** Statement names scheduled under @p node. */
+    std::vector<std::string> statementsUnder(const NodePtr &node) const;
+
+    /** Multi-line indented rendering for tests and debugging. */
+    std::string str() const;
+
+  private:
+    const ir::Program *prog_ = nullptr;
+    NodePtr root_;
+};
+
+/**
+ * Build the subtree of one statement group from the statements'
+ * paths, skipping the first @p skip_loops loop elements of each path
+ * (used when outer dims were consumed by a fused band).
+ */
+NodePtr buildGroupSubtree(const ir::Program &program,
+                          const std::vector<int> &stmt_ids,
+                          unsigned skip_loops);
+
+} // namespace schedule
+} // namespace polyfuse
+
+#endif // POLYFUSE_SCHEDULE_TREE_HH

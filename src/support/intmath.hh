@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Checked 64-bit integer arithmetic and number-theory helpers used by
+ * the Presburger layer. All overflow checks throw PanicError because
+ * the library is expected to stay within 64-bit magnitudes for the
+ * workloads it models.
+ */
+
+#ifndef POLYFUSE_SUPPORT_INTMATH_HH
+#define POLYFUSE_SUPPORT_INTMATH_HH
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "support/logging.hh"
+
+namespace polyfuse {
+
+/** Add with overflow detection. */
+inline int64_t
+checkedAdd(int64_t a, int64_t b)
+{
+    int64_t r;
+    if (__builtin_add_overflow(a, b, &r))
+        panic("integer overflow in add");
+    return r;
+}
+
+/** Subtract with overflow detection. */
+inline int64_t
+checkedSub(int64_t a, int64_t b)
+{
+    int64_t r;
+    if (__builtin_sub_overflow(a, b, &r))
+        panic("integer overflow in sub");
+    return r;
+}
+
+/** Multiply with overflow detection. */
+inline int64_t
+checkedMul(int64_t a, int64_t b)
+{
+    int64_t r;
+    if (__builtin_mul_overflow(a, b, &r))
+        panic("integer overflow in mul");
+    return r;
+}
+
+/** Greatest common divisor; gcd(0, 0) == 0, result is non-negative. */
+inline int64_t
+gcd(int64_t a, int64_t b)
+{
+    if (a < 0)
+        a = -a;
+    if (b < 0)
+        b = -b;
+    while (b != 0) {
+        int64_t t = a % b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+
+/** Least common multiple (non-negative inputs expected). */
+inline int64_t
+lcm(int64_t a, int64_t b)
+{
+    if (a == 0 || b == 0)
+        return 0;
+    return checkedMul(a / gcd(a, b), b);
+}
+
+/** Floor division: rounds toward negative infinity. */
+inline int64_t
+floorDiv(int64_t a, int64_t b)
+{
+    if (b == 0)
+        panic("floorDiv by zero");
+    int64_t q = a / b;
+    int64_t r = a % b;
+    if (r != 0 && ((r < 0) != (b < 0)))
+        --q;
+    return q;
+}
+
+/** Ceiling division: rounds toward positive infinity. */
+inline int64_t
+ceilDiv(int64_t a, int64_t b)
+{
+    if (b == 0)
+        panic("ceilDiv by zero");
+    int64_t q = a / b;
+    int64_t r = a % b;
+    if (r != 0 && ((r < 0) == (b < 0)))
+        ++q;
+    return q;
+}
+
+/** Mathematical modulo: result has the sign of the divisor's magnitude,
+ *  i.e. 0 <= result < |b|. */
+inline int64_t
+floorMod(int64_t a, int64_t b)
+{
+    return checkedSub(a, checkedMul(floorDiv(a, b), b));
+}
+
+} // namespace polyfuse
+
+#endif // POLYFUSE_SUPPORT_INTMATH_HH

@@ -1,0 +1,43 @@
+#include "support/logging.hh"
+
+#include <mutex>
+#include <set>
+
+namespace polyfuse {
+
+namespace {
+bool warningsEnabled = true;
+std::mutex warnMutex;
+std::set<std::string> seenWarnings;
+} // namespace
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError(msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    throw PanicError(msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    std::lock_guard<std::mutex> guard(warnMutex);
+    if (!warningsEnabled)
+        return;
+    if (seenWarnings.insert(msg).second)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+setWarningsEnabled(bool enabled)
+{
+    std::lock_guard<std::mutex> guard(warnMutex);
+    warningsEnabled = enabled;
+}
+
+} // namespace polyfuse

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Diagnostic helpers in the spirit of gem5's logging.hh.
+ *
+ * fatal()  -- the user asked for something the library cannot do
+ *             (bad configuration, unsupported input); throws
+ *             FatalError so callers/tests can observe it.
+ * panic()  -- an internal invariant was violated (a library bug);
+ *             throws PanicError.
+ * warn()   -- something is handled conservatively; execution goes on.
+ */
+
+#ifndef POLYFUSE_SUPPORT_LOGGING_HH
+#define POLYFUSE_SUPPORT_LOGGING_HH
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace polyfuse {
+
+/** Error thrown for user-caused conditions (see file comment). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg) {}
+};
+
+/** Error thrown for internal invariant violations (library bugs). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg) {}
+};
+
+/** Abort the current operation because of a user-level error. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Abort the current operation because of an internal bug. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Emit a non-fatal warning to stderr (deduplicated per message). */
+void warn(const std::string &msg);
+
+/** Enable/disable warning output globally (tests silence it). */
+void setWarningsEnabled(bool enabled);
+
+} // namespace polyfuse
+
+#endif // POLYFUSE_SUPPORT_LOGGING_HH

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Exact rational numbers over int64, used where Fourier-Motzkin needs
+ * rational intermediate bounds.
+ */
+
+#ifndef POLYFUSE_SUPPORT_RATIONAL_HH
+#define POLYFUSE_SUPPORT_RATIONAL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "support/intmath.hh"
+
+namespace polyfuse {
+
+/** A normalized rational number p/q with q > 0. */
+class Rational
+{
+  public:
+    Rational() : num_(0), den_(1) {}
+    Rational(int64_t value) : num_(value), den_(1) {}
+
+    Rational(int64_t num, int64_t den)
+        : num_(num), den_(den)
+    {
+        normalize();
+    }
+
+    int64_t num() const { return num_; }
+    int64_t den() const { return den_; }
+
+    Rational
+    operator+(const Rational &o) const
+    {
+        return Rational(checkedAdd(checkedMul(num_, o.den_),
+                                   checkedMul(o.num_, den_)),
+                        checkedMul(den_, o.den_));
+    }
+
+    Rational
+    operator-(const Rational &o) const
+    {
+        return Rational(checkedSub(checkedMul(num_, o.den_),
+                                   checkedMul(o.num_, den_)),
+                        checkedMul(den_, o.den_));
+    }
+
+    Rational
+    operator*(const Rational &o) const
+    {
+        return Rational(checkedMul(num_, o.num_),
+                        checkedMul(den_, o.den_));
+    }
+
+    Rational
+    operator/(const Rational &o) const
+    {
+        if (o.num_ == 0)
+            panic("Rational division by zero");
+        return Rational(checkedMul(num_, o.den_),
+                        checkedMul(den_, o.num_));
+    }
+
+    bool
+    operator==(const Rational &o) const
+    {
+        return num_ == o.num_ && den_ == o.den_;
+    }
+
+    bool operator!=(const Rational &o) const { return !(*this == o); }
+
+    bool
+    operator<(const Rational &o) const
+    {
+        return checkedMul(num_, o.den_) < checkedMul(o.num_, den_);
+    }
+
+    bool operator<=(const Rational &o) const { return !(o < *this); }
+    bool operator>(const Rational &o) const { return o < *this; }
+    bool operator>=(const Rational &o) const { return !(*this < o); }
+
+    /** Largest integer <= this. */
+    int64_t floor() const { return floorDiv(num_, den_); }
+
+    /** Smallest integer >= this. */
+    int64_t ceil() const { return ceilDiv(num_, den_); }
+
+    std::string
+    str() const
+    {
+        if (den_ == 1)
+            return std::to_string(num_);
+        return std::to_string(num_) + "/" + std::to_string(den_);
+    }
+
+  private:
+    void
+    normalize()
+    {
+        if (den_ == 0)
+            panic("Rational with zero denominator");
+        if (den_ < 0) {
+            num_ = -num_;
+            den_ = -den_;
+        }
+        int64_t g = gcd(num_, den_);
+        if (g > 1) {
+            num_ /= g;
+            den_ /= g;
+        }
+    }
+
+    int64_t num_;
+    int64_t den_;
+};
+
+} // namespace polyfuse
+
+#endif // POLYFUSE_SUPPORT_RATIONAL_HH

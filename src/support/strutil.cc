@@ -1,0 +1,51 @@
+#include "support/strutil.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace polyfuse {
+
+std::vector<std::string>
+split(const std::string &text, char sep)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : text) {
+        if (c == sep) {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty() || !out.empty())
+        out.push_back(cur);
+    return out;
+}
+
+std::string
+trim(const std::string &text)
+{
+    size_t begin = text.find_first_not_of(" \t\n\r");
+    if (begin == std::string::npos)
+        return "";
+    size_t end = text.find_last_not_of(" \t\n\r");
+    return text.substr(begin, end - begin + 1);
+}
+
+std::string
+strformat(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args2;
+    va_copy(args2, args);
+    int len = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    std::string out(len, '\0');
+    std::vsnprintf(out.data(), len + 1, fmt, args2);
+    va_end(args2);
+    return out;
+}
+
+} // namespace polyfuse

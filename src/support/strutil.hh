@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Small string helpers shared by printers and parsers.
+ */
+
+#ifndef POLYFUSE_SUPPORT_STRUTIL_HH
+#define POLYFUSE_SUPPORT_STRUTIL_HH
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace polyfuse {
+
+/** Join the elements of @p items with @p sep. */
+template <typename Container>
+std::string
+join(const Container &items, const std::string &sep)
+{
+    std::ostringstream os;
+    bool first = true;
+    for (const auto &item : items) {
+        if (!first)
+            os << sep;
+        os << item;
+        first = false;
+    }
+    return os.str();
+}
+
+/** Split @p text on character @p sep (no empty trailing element). */
+std::vector<std::string> split(const std::string &text, char sep);
+
+/** Strip leading/trailing whitespace. */
+std::string trim(const std::string &text);
+
+/** printf-style formatting into a std::string. */
+std::string strformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace polyfuse
+
+#endif // POLYFUSE_SUPPORT_STRUTIL_HH

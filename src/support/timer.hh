@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Wall-clock timer used by compile-time and execution benchmarks.
+ */
+
+#ifndef POLYFUSE_SUPPORT_TIMER_HH
+#define POLYFUSE_SUPPORT_TIMER_HH
+
+#include <chrono>
+
+namespace polyfuse {
+
+/** Simple RAII-free stopwatch over the steady clock. */
+class Timer
+{
+  public:
+    Timer() { reset(); }
+
+    /** Restart the measurement window. */
+    void reset() { start_ = std::chrono::steady_clock::now(); }
+
+    /** Elapsed seconds since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        auto now = std::chrono::steady_clock::now();
+        return std::chrono::duration<double>(now - start_).count();
+    }
+
+    /** Elapsed milliseconds. */
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace polyfuse
+
+#endif // POLYFUSE_SUPPORT_TIMER_HH

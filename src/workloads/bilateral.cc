@@ -1,0 +1,159 @@
+#include "workloads/pipelines.hh"
+
+#include "support/logging.hh"
+
+namespace polyfuse {
+namespace workloads {
+
+using namespace ir;
+
+/*
+ * Bilateral grid (PolyMage "bilateral_grid"), 7 stages.
+ *
+ * The PolyMage version scatters pixels into intensity bins; scatter
+ * is modelled here as a per-bin gather reduction (same data space and
+ * dependence structure, affine writes):
+ *
+ *   Ginit[cx,cy,z] = 0
+ *   Gacc [cx,cy,z] += w(I[8cx+di, 8cy+dj], z) over the 8x8 cell
+ *   Gn = Gacc / 64
+ *   Bz, Bx, By: 1-3-1 blurs along z, cx, cy
+ *   O[i,j] = By[i/8, j/8, bin(I[i,j])]   (data-dependent slice)
+ *
+ * Live-out: O. The slice's read is declared as the affine
+ * over-approximation (whole bin column of the covering cell), which
+ * is exactly how a polyhedral compiler must treat it.
+ */
+Program
+makeBilateralGrid(const PipelineConfig &cfg)
+{
+    if (cfg.rows % 8 != 0 || cfg.cols % 8 != 0)
+        fatal("bilateral grid expects multiples of 8");
+    const int64_t NB = 8; // intensity bins
+
+    ProgramBuilder b("bilateral_grid");
+    b.param("R", cfg.rows)
+        .param("C", cfg.cols)
+        .param("GR", cfg.rows / 8)
+        .param("GC", cfg.cols / 8)
+        .param("NB", NB);
+
+    b.tensor("I", {"R", "C"}, TensorKind::Input);
+    b.tensor("G", {"GR", "GC", "NB"}, TensorKind::Temp);
+    b.tensor("Gn", {"GR", "GC", "NB"}, TensorKind::Temp);
+    b.tensor("Bz", {"GR", "GC", "NB"}, TensorKind::Temp);
+    b.tensor("Bx", {"GR", "GC", "NB"}, TensorKind::Temp);
+    b.tensor("By", {"GR", "GC", "NB"}, TensorKind::Temp);
+    b.tensor("O", {"R", "C"}, TensorKind::Output);
+
+    // Grid construction: init + accumulation in one nest.
+    b.statement("Sgi")
+        .domain("[GR, GC, NB] -> { Sgi[cx, cy, z] : 0 <= cx < GR and "
+                "0 <= cy < GC and 0 <= z < NB }")
+        .writes("G", "{ Sgi[cx, cy, z] -> G[cx, cy, z] }")
+        .body(lit(0.0))
+        .group(0)
+        .path({L(0), L(1), L(2), S(0)});
+
+    {
+        // weight = max(0, 1 - |I*(NB-1) - z|); G += weight * I.
+        ExprPtr v = loadAcc(1);
+        ExprPtr z = iterVar(2);
+        ExprPtr d = un(UnOp::Abs,
+                       v * lit(double(NB - 1)) - z);
+        ExprPtr w = bin(BinOp::Max, lit(0.0), lit(1.0) - d);
+        b.statement("Sga")
+            .domain("[GR, GC, NB] -> { Sga[cx, cy, z, di, dj] : "
+                    "0 <= cx < GR and 0 <= cy < GC and 0 <= z < NB "
+                    "and 0 <= di < 8 and 0 <= dj < 8 }")
+            .reads("G", "{ Sga[cx, cy, z, di, dj] -> G[cx, cy, z] }")
+            .reads("I", "{ Sga[cx, cy, z, di, dj] -> "
+                        "I[8cx + di, 8cy + dj] }")
+            .writes("G", "{ Sga[cx, cy, z, di, dj] -> G[cx, cy, z] }")
+            .body(loadAcc(0) + w * v)
+            .ops(6)
+            .group(0)
+            .path({L(0), L(1), L(2), S(1), L(3), L(4)});
+    }
+
+    b.statement("Sgn")
+        .domain("[GR, GC, NB] -> { Sgn[cx, cy, z] : 0 <= cx < GR and "
+                "0 <= cy < GC and 0 <= z < NB }")
+        .reads("G", "{ Sgn[cx, cy, z] -> G[cx, cy, z] }")
+        .writes("Gn", "{ Sgn[cx, cy, z] -> Gn[cx, cy, z] }")
+        .body(loadAcc(0) * lit(1.0 / 64.0))
+        .group(1);
+
+    // 1-3-1 blur along z (interior bins).
+    b.statement("Sbz")
+        .domain("[GR, GC, NB] -> { Sbz[cx, cy, z] : 0 <= cx < GR and "
+                "0 <= cy < GC and 1 <= z < NB - 1 }")
+        .reads("Gn", "{ Sbz[cx, cy, z] -> Gn[cx, cy, z - 1] }")
+        .reads("Gn", "{ Sbz[cx, cy, z] -> Gn[cx, cy, z] }")
+        .reads("Gn", "{ Sbz[cx, cy, z] -> Gn[cx, cy, z + 1] }")
+        .writes("Bz", "{ Sbz[cx, cy, z] -> Bz[cx, cy, z] }")
+        .body((loadAcc(0) + loadAcc(1) * lit(3.0) + loadAcc(2)) *
+              lit(0.2))
+        .ops(4)
+        .group(2);
+
+    b.statement("Sbx")
+        .domain("[GR, GC, NB] -> { Sbx[cx, cy, z] : 1 <= cx < GR - 1 "
+                "and 0 <= cy < GC and 1 <= z < NB - 1 }")
+        .reads("Bz", "{ Sbx[cx, cy, z] -> Bz[cx - 1, cy, z] }")
+        .reads("Bz", "{ Sbx[cx, cy, z] -> Bz[cx, cy, z] }")
+        .reads("Bz", "{ Sbx[cx, cy, z] -> Bz[cx + 1, cy, z] }")
+        .writes("Bx", "{ Sbx[cx, cy, z] -> Bx[cx, cy, z] }")
+        .body((loadAcc(0) + loadAcc(1) * lit(3.0) + loadAcc(2)) *
+              lit(0.2))
+        .ops(4)
+        .group(3);
+
+    b.statement("Sby")
+        .domain("[GR, GC, NB] -> { Sby[cx, cy, z] : 1 <= cx < GR - 1 "
+                "and 1 <= cy < GC - 1 and 1 <= z < NB - 1 }")
+        .reads("Bx", "{ Sby[cx, cy, z] -> Bx[cx, cy - 1, z] }")
+        .reads("Bx", "{ Sby[cx, cy, z] -> Bx[cx, cy, z] }")
+        .reads("Bx", "{ Sby[cx, cy, z] -> Bx[cx, cy + 1, z] }")
+        .writes("By", "{ Sby[cx, cy, z] -> By[cx, cy, z] }")
+        .body((loadAcc(0) + loadAcc(1) * lit(3.0) + loadAcc(2)) *
+              lit(0.2))
+        .ops(4)
+        .group(4);
+
+    {
+        // Slice: clamp the cell and bin into the blurred interior.
+        ExprPtr v = loadAcc(0); // I[i, j]
+        auto clamp = [](ExprPtr x, ExprPtr lo, ExprPtr hi) {
+            return bin(BinOp::Min,
+                       bin(BinOp::Max, std::move(x), std::move(lo)),
+                       std::move(hi));
+        };
+        ExprPtr cx = clamp(un(UnOp::Floor, iterVar(0) * lit(0.125)),
+                           lit(1.0), paramRef("GR") - lit(2.0));
+        ExprPtr cy = clamp(un(UnOp::Floor, iterVar(1) * lit(0.125)),
+                           lit(1.0), paramRef("GC") - lit(2.0));
+        ExprPtr z = clamp(un(UnOp::Floor, v * lit(double(NB - 1))),
+                          lit(1.0), paramRef("NB") - lit(2.0));
+        b.statement("Ssl")
+            .domain("[R, C] -> { Ssl[i, j] : 0 <= i < R and "
+                    "0 <= j < C }")
+            .reads("I", "{ Ssl[i, j] -> I[i, j] }")
+            // The clamped cell may be one off the covering cell at
+            // the borders; the declared (over-approximated) read
+            // widens the window accordingly.
+            .reads("By", "[GR, GC, NB] -> { Ssl[i, j] -> "
+                         "By[a, bb, z] : 8a - 8 <= i < 8a + 16 and "
+                         "8bb - 8 <= j < 8bb + 16 and 0 <= z < NB "
+                         "and 1 <= a < GR - 1 and 1 <= bb < GC - 1 }")
+            .writes("O", "{ Ssl[i, j] -> O[i, j] }")
+            .body(loadIdx(5 /* By */, {cx, cy, z}))
+            .ops(8)
+            .group(5);
+    }
+
+    return b.build();
+}
+
+} // namespace workloads
+} // namespace polyfuse

@@ -1,0 +1,179 @@
+#include "workloads/pipelines.hh"
+
+#include "support/logging.hh"
+
+namespace polyfuse {
+namespace workloads {
+
+using namespace ir;
+
+namespace {
+
+/** Pointwise stage over the half-resolution interior domain. */
+StatementBuilder
+halfResStage(ProgramBuilder &b, const std::string &stmt)
+{
+    auto s = b.statement(stmt);
+    s.domain("[HR, HC] -> { " + stmt + "[i, j] : 0 <= i < HR - 1 "
+             "and 0 <= j < HC - 1 }");
+    return s;
+}
+
+} // namespace
+
+/*
+ * Camera pipeline (PolyMage "camera_pipeline"), 16 stages:
+ * Bayer deinterleave (4), green average (1), red/blue demosaic
+ * smoothing (2), 3x3 color-correction matrix (3), tone mapping (3),
+ * luma (1), sharpen (1), final clamp (1). Channels are modelled as
+ * separate half-resolution planes. Live-out: Out.
+ */
+Program
+makeCameraPipeline(const PipelineConfig &cfg)
+{
+    if (cfg.rows % 2 != 0 || cfg.cols % 2 != 0)
+        fatal("camera pipeline expects even image sizes");
+
+    ProgramBuilder b("camera_pipeline");
+    b.param("R", cfg.rows)
+        .param("C", cfg.cols)
+        .param("HR", cfg.rows / 2)
+        .param("HC", cfg.cols / 2);
+
+    b.tensor("I", {"R", "C"}, TensorKind::Input);
+    for (const char *t : {"Rr", "G1", "G2", "Bb", "Ga"})
+        b.tensor(t, {"HR", "HC"}, TensorKind::Temp);
+    for (const char *t : {"Rs", "Bs", "Cr", "Cg", "Cb", "Tr", "Tg",
+                          "Tb", "Y"})
+        b.tensor(t, {"HR - 1", "HC - 1"}, TensorKind::Temp);
+    b.tensor("Sp", {"HR - 3", "HC - 3"}, TensorKind::Temp);
+    b.tensor("Out", {"HR - 3", "HC - 3"}, TensorKind::Output);
+
+    int g = 0;
+
+    // Bayer deinterleave (RGGB).
+    const char *taps[4][2] = {{"Rr", "I[2i, 2j]"},
+                              {"G1", "I[2i, 2j + 1]"},
+                              {"G2", "I[2i + 1, 2j]"},
+                              {"Bb", "I[2i + 1, 2j + 1]"}};
+    for (auto &[tensor, access] : taps) {
+        std::string stmt = std::string("Sd") + tensor;
+        b.statement(stmt)
+            .domain("[HR, HC] -> { " + stmt + "[i, j] : 0 <= i < HR "
+                    "and 0 <= j < HC }")
+            .reads("I", "{ " + stmt + "[i, j] -> " + access + " }")
+            .writes(tensor,
+                    "{ " + stmt + "[i, j] -> " + tensor + "[i, j] }")
+            .body(loadAcc(0))
+            .group(g++);
+    }
+
+    // Green average.
+    b.statement("Sga")
+        .domain("[HR, HC] -> { Sga[i, j] : 0 <= i < HR and "
+                "0 <= j < HC }")
+        .reads("G1", "{ Sga[i, j] -> G1[i, j] }")
+        .reads("G2", "{ Sga[i, j] -> G2[i, j] }")
+        .writes("Ga", "{ Sga[i, j] -> Ga[i, j] }")
+        .body((loadAcc(0) + loadAcc(1)) * lit(0.5))
+        .group(g++);
+
+    // Red / blue demosaic smoothing (2x2 averages).
+    const char *smooth[2][3] = {{"Rr", "Rs", "Ssr"},
+                                {"Bb", "Bs", "Ssb"}};
+    for (auto &[in, out, stmt] : smooth) {
+        auto s = halfResStage(b, stmt);
+        s.reads(in, std::string("{ ") + stmt + "[i, j] -> " + in +
+                        "[i, j] }");
+        s.reads(in, std::string("{ ") + stmt + "[i, j] -> " + in +
+                        "[i, j + 1] }");
+        s.reads(in, std::string("{ ") + stmt + "[i, j] -> " + in +
+                        "[i + 1, j] }");
+        s.reads(in, std::string("{ ") + stmt + "[i, j] -> " + in +
+                        "[i + 1, j + 1] }");
+        s.writes(out, std::string("{ ") + stmt + "[i, j] -> " + out +
+                          "[i, j] }");
+        s.body((loadAcc(0) + loadAcc(1) + loadAcc(2) + loadAcc(3)) *
+               lit(0.25))
+            .ops(4)
+            .group(g++);
+    }
+
+    // 3x3 color correction matrix.
+    const double ccm[3][3] = {{1.8, -0.6, -0.2},
+                              {-0.3, 1.6, -0.3},
+                              {-0.1, -0.5, 1.6}};
+    const char *cc_out[3] = {"Cr", "Cg", "Cb"};
+    for (int ch = 0; ch < 3; ++ch) {
+        std::string stmt = std::string("Scc") + cc_out[ch];
+        auto s = halfResStage(b, stmt);
+        s.reads("Rs", "{ " + stmt + "[i, j] -> Rs[i, j] }");
+        s.reads("Ga", "{ " + stmt + "[i, j] -> Ga[i, j] }");
+        s.reads("Bs", "{ " + stmt + "[i, j] -> Bs[i, j] }");
+        s.writes(cc_out[ch],
+                 "{ " + stmt + "[i, j] -> " + cc_out[ch] + "[i, j] }");
+        s.body(loadAcc(0) * lit(ccm[ch][0]) +
+               loadAcc(1) * lit(ccm[ch][1]) +
+               loadAcc(2) * lit(ccm[ch][2]))
+            .ops(5)
+            .group(g++);
+    }
+
+    // Tone mapping (gamma ~ sqrt).
+    const char *tone_in[3] = {"Cr", "Cg", "Cb"};
+    const char *tone_out[3] = {"Tr", "Tg", "Tb"};
+    for (int ch = 0; ch < 3; ++ch) {
+        std::string stmt = std::string("St") + tone_out[ch];
+        auto s = halfResStage(b, stmt);
+        s.reads(tone_in[ch], "{ " + stmt + "[i, j] -> " +
+                                 tone_in[ch] + "[i, j] }");
+        s.writes(tone_out[ch], "{ " + stmt + "[i, j] -> " +
+                                   tone_out[ch] + "[i, j] }");
+        s.body(un(UnOp::Sqrt, loadAcc(0))).ops(4).group(g++);
+    }
+
+    // Luma.
+    {
+        auto s = halfResStage(b, "Sy");
+        s.reads("Tr", "{ Sy[i, j] -> Tr[i, j] }");
+        s.reads("Tg", "{ Sy[i, j] -> Tg[i, j] }");
+        s.reads("Tb", "{ Sy[i, j] -> Tb[i, j] }");
+        s.writes("Y", "{ Sy[i, j] -> Y[i, j] }");
+        s.body(loadAcc(0) * lit(0.299) + loadAcc(1) * lit(0.587) +
+               loadAcc(2) * lit(0.114))
+            .ops(5)
+            .group(g++);
+    }
+
+    // Sharpen (5-point Laplacian boost).
+    b.statement("Ssp")
+        .domain("[HR, HC] -> { Ssp[i, j] : 0 <= i < HR - 3 and "
+                "0 <= j < HC - 3 }")
+        .reads("Y", "{ Ssp[i, j] -> Y[i + 1, j + 1] }")
+        .reads("Y", "{ Ssp[i, j] -> Y[i, j + 1] }")
+        .reads("Y", "{ Ssp[i, j] -> Y[i + 2, j + 1] }")
+        .reads("Y", "{ Ssp[i, j] -> Y[i + 1, j] }")
+        .reads("Y", "{ Ssp[i, j] -> Y[i + 1, j + 2] }")
+        .writes("Sp", "{ Ssp[i, j] -> Sp[i, j] }")
+        .body(loadAcc(0) * lit(2.0) -
+              (loadAcc(1) + loadAcc(2) + loadAcc(3) + loadAcc(4)) *
+                  lit(0.25))
+        .ops(6)
+        .group(g++);
+
+    // Final clamp to [0, 1].
+    b.statement("Sout")
+        .domain("[HR, HC] -> { Sout[i, j] : 0 <= i < HR - 3 and "
+                "0 <= j < HC - 3 }")
+        .reads("Sp", "{ Sout[i, j] -> Sp[i, j] }")
+        .writes("Out", "{ Sout[i, j] -> Out[i, j] }")
+        .body(bin(BinOp::Min, bin(BinOp::Max, loadAcc(0), lit(0.0)),
+                  lit(1.0)))
+        .ops(2)
+        .group(g++);
+
+    return b.build();
+}
+
+} // namespace workloads
+} // namespace polyfuse

@@ -1,0 +1,72 @@
+#include "workloads/conv2d.hh"
+
+#include "support/strutil.hh"
+
+namespace polyfuse {
+namespace workloads {
+
+using namespace ir;
+
+Program
+makeConv2D(const Conv2DConfig &cfg)
+{
+    ProgramBuilder b("conv2d");
+    b.param("H", cfg.height)
+        .param("W", cfg.width)
+        .param("KH", cfg.kh)
+        .param("KW", cfg.kw);
+
+    int A = b.tensor("A", {"H", "W"}, TensorKind::Temp);
+    int B = b.tensor("B", {"KH", "KW"}, TensorKind::Input);
+    int C = b.tensor("C", {"H - KH + 1", "W - KW + 1"},
+                     TensorKind::Output);
+    (void)A;
+    (void)B;
+    (void)C;
+
+    // S0: A[h][w] = Quant(A[h][w]) -- modelled as x * 0.5.
+    b.statement("S0")
+        .domain("[H, W] -> { S0[h, w] : 0 <= h < H and 0 <= w < W }")
+        .reads("A", "{ S0[h, w] -> A[h, w] }")
+        .writes("A", "{ S0[h, w] -> A[h, w] }")
+        .body(bin(BinOp::Mul, loadAcc(0), lit(0.5)))
+        .group(0);
+
+    // S1: C[h][w] = 0.
+    b.statement("S1")
+        .domain("[H, W, KH, KW] -> { S1[h, w] : 0 <= h <= H - KH and "
+                "0 <= w <= W - KW }")
+        .writes("C", "{ S1[h, w] -> C[h, w] }")
+        .body(lit(0.0))
+        .group(1)
+        .path({L(0), L(1), S(0)});
+
+    // S2: C[h][w] += A[h+kh][w+kw] * B[kh][kw].
+    b.statement("S2")
+        .domain("[H, W, KH, KW] -> { S2[h, w, kh, kw] : "
+                "0 <= h <= H - KH and 0 <= w <= W - KW and "
+                "0 <= kh < KH and 0 <= kw < KW }")
+        .reads("C", "{ S2[h, w, kh, kw] -> C[h, w] }")
+        .reads("A", "{ S2[h, w, kh, kw] -> A[h + kh, w + kw] }")
+        .reads("B", "{ S2[h, w, kh, kw] -> B[kh, kw] }")
+        .writes("C", "{ S2[h, w, kh, kw] -> C[h, w] }")
+        .body(bin(BinOp::Add, loadAcc(0),
+                  bin(BinOp::Mul, loadAcc(1), loadAcc(2))))
+        .ops(2.0)
+        .group(1)
+        .path({L(0), L(1), S(1), L(2), L(3)});
+
+    // S3: C[h][w] = ReLU(C[h][w]).
+    b.statement("S3")
+        .domain("[H, W, KH, KW] -> { S3[h, w] : 0 <= h <= H - KH and "
+                "0 <= w <= W - KW }")
+        .reads("C", "{ S3[h, w] -> C[h, w] }")
+        .writes("C", "{ S3[h, w] -> C[h, w] }")
+        .body(un(UnOp::Relu, loadAcc(0)))
+        .group(2);
+
+    return b.build();
+}
+
+} // namespace workloads
+} // namespace polyfuse

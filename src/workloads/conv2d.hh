@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The paper's running example (Fig. 1(a)): a 2D convolution with
+ * quantization (S0), initialization (S1), reduction (S2) and ReLU
+ * (S3), as three original loop nests: ({S0}, {S1, S2}, {S3}).
+ */
+
+#ifndef POLYFUSE_WORKLOADS_CONV2D_HH
+#define POLYFUSE_WORKLOADS_CONV2D_HH
+
+#include <cstdint>
+
+#include "ir/program.hh"
+
+namespace polyfuse {
+namespace workloads {
+
+/** Parameters of the Fig. 1(a) convolution. */
+struct Conv2DConfig
+{
+    int64_t height = 64;  ///< H
+    int64_t width = 64;   ///< W
+    int64_t kh = 3;       ///< KH
+    int64_t kw = 3;       ///< KW
+};
+
+/**
+ * Build the Fig. 1(a) program. Tensor A is the intermediate
+ * (quantized input), B the kernel, C the live-out output.
+ */
+ir::Program makeConv2D(const Conv2DConfig &cfg = {});
+
+} // namespace workloads
+} // namespace polyfuse
+
+#endif // POLYFUSE_WORKLOADS_CONV2D_HH

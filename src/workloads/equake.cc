@@ -1,0 +1,155 @@
+#include "workloads/equake.hh"
+
+#include <cmath>
+
+namespace polyfuse {
+namespace workloads {
+
+using namespace ir;
+
+/*
+ * Structure (tensor ids in declaration order):
+ *   K    (N, MAXR)  sparse matrix values            [0]
+ *   COL  (N, MAXR)  column indices (as doubles)     [1]
+ *   RL   (N)        row lengths                     [2]
+ *   M    (N)        nodal mass                      [3]
+ *   Vold (N)        previous displacement           [4]
+ *   Acc  (N)        reduction accumulator (temp)    [5]
+ *   Dsp  (N)        gathered update (temp)          [6]
+ *   Vel  (N)        velocity update (temp)          [7]
+ *   Out  (N)        new displacement (live-out)     [8]
+ *
+ * Groups: 0 = SpMV nest (init; dynamic-length reduction; gather),
+ * 1..2 = follow-up element-wise nests, 3 = live-out update.
+ */
+Program
+makeEquake(const EquakeConfig &cfg)
+{
+    ProgramBuilder b("equake");
+    b.param("N", cfg.nodes).param("MAXR", cfg.maxRow);
+
+    b.tensor("K", {"N", "MAXR"}, TensorKind::Input);
+    b.tensor("COL", {"N", "MAXR"}, TensorKind::Input);
+    b.tensor("RL", {"N"}, TensorKind::Input);
+    b.tensor("M", {"N"}, TensorKind::Input);
+    b.tensor("Vold", {"N"}, TensorKind::Input);
+    b.tensor("Acc", {"N"}, TensorKind::Temp);
+    b.tensor("Dsp", {"N"}, TensorKind::Temp);
+    b.tensor("Vel", {"N"}, TensorKind::Temp);
+    b.tensor("Out", {"N"}, TensorKind::Output);
+
+    // SpMV component 1: initialize the reduction array.
+    b.statement("Sinit")
+        .domain("[N] -> { Sinit[i] : 0 <= i < N }")
+        .writes("Acc", "{ Sinit[i] -> Acc[i] }")
+        .body(lit(0.0))
+        .group(0)
+        .path({L(0), S(0)});
+
+    // SpMV component 2: the while loop, over-approximated by MAXR
+    // iterations with the dynamic bound folded in as a multiplier
+    // (step(RL[i] - j) in {0, 1}).
+    {
+        ExprPtr active = bin(BinOp::Min, lit(1.0),
+                             bin(BinOp::Max, lit(0.0),
+                                 loadAcc(1) - iterVar(1)));
+        ExprPtr contrib =
+            loadAcc(2) * loadIdx(4 /* Vold */, {loadAcc(3)});
+        b.statement("Sred")
+            .domain("[N, MAXR] -> { Sred[i, j] : 0 <= i < N and "
+                    "0 <= j < MAXR }")
+            .reads("Acc", "{ Sred[i, j] -> Acc[i] }")
+            .reads("RL", "{ Sred[i, j] -> RL[i] }")
+            .reads("K", "{ Sred[i, j] -> K[i, j] }")
+            .reads("COL", "{ Sred[i, j] -> COL[i, j] }")
+            .reads("Vold",
+                   "[N] -> { Sred[i, j] -> Vold[a] : 0 <= a < N }")
+            .writes("Acc", "{ Sred[i, j] -> Acc[i] }")
+            .body(loadAcc(0) + active * contrib)
+            .ops(5)
+            .group(0)
+            .path({L(0), S(1), L(1)});
+    }
+
+    // SpMV component 3: gather into the mesh update.
+    b.statement("Sgat")
+        .domain("[N] -> { Sgat[i] : 0 <= i < N }")
+        .reads("Acc", "{ Sgat[i] -> Acc[i] }")
+        .reads("M", "{ Sgat[i] -> M[i] }")
+        .writes("Dsp", "{ Sgat[i] -> Dsp[i] }")
+        .body(loadAcc(0) / loadAcc(1))
+        .ops(1)
+        .group(0)
+        .path({L(0), S(2)});
+
+    // Follow-up element-wise nests.
+    b.statement("Svel")
+        .domain("[N] -> { Svel[i] : 0 <= i < N }")
+        .reads("Dsp", "{ Svel[i] -> Dsp[i] }")
+        .reads("Vold", "{ Svel[i] -> Vold[i] }")
+        .writes("Vel", "{ Svel[i] -> Vel[i] }")
+        .body(loadAcc(0) * lit(0.6) - loadAcc(1) * lit(0.4))
+        .ops(3)
+        .group(1);
+
+    b.statement("Ssm")
+        .domain("[N] -> { Ssm[i] : 1 <= i < N - 1 }")
+        .reads("Vel", "{ Ssm[i] -> Vel[i - 1] }")
+        .reads("Vel", "{ Ssm[i] -> Vel[i] }")
+        .reads("Vel", "{ Ssm[i] -> Vel[i + 1] }")
+        .writes("Dsp", "{ Ssm[i] -> Dsp[i] }")
+        .body((loadAcc(0) + loadAcc(1) * lit(2.0) + loadAcc(2)) *
+              lit(0.25))
+        .ops(4)
+        .group(2);
+
+    b.statement("Sout")
+        .domain("[N] -> { Sout[i] : 0 <= i < N }")
+        .reads("Dsp", "{ Sout[i] -> Dsp[i] }")
+        .reads("Vold", "{ Sout[i] -> Vold[i] }")
+        .writes("Out", "{ Sout[i] -> Out[i] }")
+        .body(loadAcc(1) + loadAcc(0) * lit(0.01))
+        .ops(2)
+        .group(3);
+
+    return b.build();
+}
+
+void
+initEquakeInputs(const ir::Program &program, exec::Buffers &buffers,
+                 uint64_t seed)
+{
+    int64_t n = program.paramValue("N");
+    int64_t maxr = program.paramValue("MAXR");
+
+    auto &K = buffers.data(program.tensorId("K"));
+    auto &COL = buffers.data(program.tensorId("COL"));
+    auto &RL = buffers.data(program.tensorId("RL"));
+    auto &M = buffers.data(program.tensorId("M"));
+    auto &Vold = buffers.data(program.tensorId("Vold"));
+
+    uint64_t x = seed * 2654435761u + 1;
+    auto next = [&]() {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        return x;
+    };
+    for (int64_t i = 0; i < n; ++i) {
+        int64_t len = 3 + next() % (maxr - 3);
+        RL[i] = double(len);
+        M[i] = 1.0 + double(next() % 100) / 100.0;
+        Vold[i] = double(next() % 1000) / 1000.0;
+        for (int64_t j = 0; j < maxr; ++j) {
+            // Band-limited neighbourhood keeps the mesh realistic.
+            int64_t col =
+                (i + int64_t(next() % 64) - 32 + n) % n;
+            COL[i * maxr + j] = double(col);
+            K[i * maxr + j] =
+                j < len ? std::sin(double(i * maxr + j)) : 0.0;
+        }
+    }
+}
+
+} // namespace workloads
+} // namespace polyfuse

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The SPEC CPU2000 equake kernel (Sec. VI-A, Fig. 9): a 3D sparse
+ * matrix-vector product over an unstructured mesh (initialization,
+ * data-dependent-length reduction, gather) followed by a chain of
+ * affine element-wise loop nests updating the displacement vectors.
+ */
+
+#ifndef POLYFUSE_WORKLOADS_EQUAKE_HH
+#define POLYFUSE_WORKLOADS_EQUAKE_HH
+
+#include <cstdint>
+
+#include "exec/executor.hh"
+#include "ir/program.hh"
+
+namespace polyfuse {
+namespace workloads {
+
+/** equake problem sizes (the paper's x axis of Fig. 9). */
+struct EquakeConfig
+{
+    int64_t nodes = 4096;   ///< mesh nodes (N)
+    int64_t maxRow = 16;    ///< over-approximated row length (MAXR)
+
+    static EquakeConfig test() { return {2048, 12}; }
+    static EquakeConfig train() { return {8192, 16}; }
+    static EquakeConfig ref() { return {16384, 24}; }
+};
+
+/**
+ * Build the equake program. The while loop over a row's entries is
+ * modelled the way the paper's preprocessing does (a dynamic counted
+ * loop over-approximated by MAXR with a data-dependent guard folded
+ * into the body); the column indirection uses an explicit indexed
+ * load with a whole-vector affine over-approximation.
+ */
+ir::Program makeEquake(const EquakeConfig &cfg = {});
+
+/** Fill the sparse structure (row lengths, columns, values). */
+void initEquakeInputs(const ir::Program &program,
+                      exec::Buffers &buffers, uint64_t seed);
+
+} // namespace workloads
+} // namespace polyfuse
+
+#endif // POLYFUSE_WORKLOADS_EQUAKE_HH

@@ -1,0 +1,152 @@
+#include "workloads/pipelines.hh"
+
+namespace polyfuse {
+namespace workloads {
+
+using namespace ir;
+
+namespace {
+
+/** Add a 3x3 box-sum stage: Out[i,j] = sum In[i..i+2][j..j+2]. */
+void
+boxSum(ProgramBuilder &b, const std::string &stmt,
+       const std::string &in, const std::string &out, int group)
+{
+    auto s = b.statement(stmt);
+    s.domain("[R, C] -> { " + stmt + "[i, j] : 0 <= i < R - 4 and "
+             "0 <= j < C - 4 }");
+    ExprPtr acc;
+    int k = 0;
+    for (int di = 0; di < 3; ++di) {
+        for (int dj = 0; dj < 3; ++dj) {
+            s.reads(in, "{ " + stmt + "[i, j] -> " + in + "[i + " +
+                            std::to_string(di) + ", j + " +
+                            std::to_string(dj) + "] }");
+            acc = acc ? acc + loadAcc(k) : loadAcc(k);
+            ++k;
+        }
+    }
+    s.writes(out, "{ " + stmt + "[i, j] -> " + out + "[i, j] }");
+    s.body(std::move(acc)).ops(9).group(group);
+}
+
+/** Pointwise product stage: Out[i,j] = A[i,j] * B[i,j]. */
+void
+product(ProgramBuilder &b, const std::string &stmt,
+        const std::string &a, const std::string &bten,
+        const std::string &out, int group)
+{
+    b.statement(stmt)
+        .domain("[R, C] -> { " + stmt + "[i, j] : 0 <= i < R - 2 "
+                "and 0 <= j < C - 2 }")
+        .reads(a, "{ " + stmt + "[i, j] -> " + a + "[i, j] }")
+        .reads(bten, "{ " + stmt + "[i, j] -> " + bten + "[i, j] }")
+        .writes(out, "{ " + stmt + "[i, j] -> " + out + "[i, j] }")
+        .body(loadAcc(0) * loadAcc(1))
+        .ops(1)
+        .group(group);
+}
+
+} // namespace
+
+/*
+ * Harris corner detection (PolyMage "harris"), 11 stages:
+ * Sobel gradients Ix/Iy, products Ixx/Iyy/Ixy, 3x3 sums
+ * Sxx/Syy/Sxy, then det, trace and the response. Live-out: Resp.
+ */
+Program
+makeHarris(const PipelineConfig &cfg)
+{
+    ProgramBuilder b("harris");
+    b.param("R", cfg.rows).param("C", cfg.cols);
+
+    b.tensor("I", {"R", "C"}, TensorKind::Input);
+    for (const char *t : {"Ix", "Iy", "Ixx", "Iyy", "Ixy"})
+        b.tensor(t, {"R - 2", "C - 2"}, TensorKind::Temp);
+    for (const char *t : {"Sxx", "Syy", "Sxy", "Det", "Trc"})
+        b.tensor(t, {"R - 4", "C - 4"}, TensorKind::Temp);
+    b.tensor("Resp", {"R - 4", "C - 4"}, TensorKind::Output);
+
+    // Sobel x gradient.
+    {
+        auto s = b.statement("Sgx");
+        s.domain("[R, C] -> { Sgx[i, j] : 0 <= i < R - 2 and "
+                 "0 <= j < C - 2 }");
+        s.reads("I", "{ Sgx[i, j] -> I[i, j + 2] }");
+        s.reads("I", "{ Sgx[i, j] -> I[i, j] }");
+        s.reads("I", "{ Sgx[i, j] -> I[i + 1, j + 2] }");
+        s.reads("I", "{ Sgx[i, j] -> I[i + 1, j] }");
+        s.reads("I", "{ Sgx[i, j] -> I[i + 2, j + 2] }");
+        s.reads("I", "{ Sgx[i, j] -> I[i + 2, j] }");
+        s.writes("Ix", "{ Sgx[i, j] -> Ix[i, j] }");
+        s.body((loadAcc(0) - loadAcc(1) +
+                (loadAcc(2) - loadAcc(3)) * lit(2.0) + loadAcc(4) -
+                loadAcc(5)) *
+               lit(1.0 / 8.0))
+            .ops(7)
+            .group(0);
+    }
+    // Sobel y gradient.
+    {
+        auto s = b.statement("Sgy");
+        s.domain("[R, C] -> { Sgy[i, j] : 0 <= i < R - 2 and "
+                 "0 <= j < C - 2 }");
+        s.reads("I", "{ Sgy[i, j] -> I[i + 2, j] }");
+        s.reads("I", "{ Sgy[i, j] -> I[i, j] }");
+        s.reads("I", "{ Sgy[i, j] -> I[i + 2, j + 1] }");
+        s.reads("I", "{ Sgy[i, j] -> I[i, j + 1] }");
+        s.reads("I", "{ Sgy[i, j] -> I[i + 2, j + 2] }");
+        s.reads("I", "{ Sgy[i, j] -> I[i, j + 2] }");
+        s.writes("Iy", "{ Sgy[i, j] -> Iy[i, j] }");
+        s.body((loadAcc(0) - loadAcc(1) +
+                (loadAcc(2) - loadAcc(3)) * lit(2.0) + loadAcc(4) -
+                loadAcc(5)) *
+               lit(1.0 / 8.0))
+            .ops(7)
+            .group(1);
+    }
+
+    product(b, "Sxx2", "Ix", "Ix", "Ixx", 2);
+    product(b, "Syy2", "Iy", "Iy", "Iyy", 3);
+    product(b, "Sxy2", "Ix", "Iy", "Ixy", 4);
+
+    boxSum(b, "Sbxx", "Ixx", "Sxx", 5);
+    boxSum(b, "Sbyy", "Iyy", "Syy", 6);
+    boxSum(b, "Sbxy", "Ixy", "Sxy", 7);
+
+    b.statement("Sdet")
+        .domain("[R, C] -> { Sdet[i, j] : 0 <= i < R - 4 and "
+                "0 <= j < C - 4 }")
+        .reads("Sxx", "{ Sdet[i, j] -> Sxx[i, j] }")
+        .reads("Syy", "{ Sdet[i, j] -> Syy[i, j] }")
+        .reads("Sxy", "{ Sdet[i, j] -> Sxy[i, j] }")
+        .writes("Det", "{ Sdet[i, j] -> Det[i, j] }")
+        .body(loadAcc(0) * loadAcc(1) - loadAcc(2) * loadAcc(2))
+        .ops(3)
+        .group(8);
+
+    b.statement("Strc")
+        .domain("[R, C] -> { Strc[i, j] : 0 <= i < R - 4 and "
+                "0 <= j < C - 4 }")
+        .reads("Sxx", "{ Strc[i, j] -> Sxx[i, j] }")
+        .reads("Syy", "{ Strc[i, j] -> Syy[i, j] }")
+        .writes("Trc", "{ Strc[i, j] -> Trc[i, j] }")
+        .body(loadAcc(0) + loadAcc(1))
+        .ops(1)
+        .group(9);
+
+    b.statement("Sresp")
+        .domain("[R, C] -> { Sresp[i, j] : 0 <= i < R - 4 and "
+                "0 <= j < C - 4 }")
+        .reads("Det", "{ Sresp[i, j] -> Det[i, j] }")
+        .reads("Trc", "{ Sresp[i, j] -> Trc[i, j] }")
+        .writes("Resp", "{ Sresp[i, j] -> Resp[i, j] }")
+        .body(loadAcc(0) - loadAcc(1) * loadAcc(1) * lit(0.04))
+        .ops(3)
+        .group(10);
+
+    return b.build();
+}
+
+} // namespace workloads
+} // namespace polyfuse

@@ -1,0 +1,150 @@
+#include "workloads/pipelines.hh"
+
+#include "support/logging.hh"
+#include "support/strutil.hh"
+
+namespace polyfuse {
+namespace workloads {
+
+using namespace ir;
+
+namespace {
+
+/** Image-pyramid level names and parameter names. */
+std::string
+lv(const std::string &base, int level)
+{
+    return base + std::to_string(level);
+}
+
+} // namespace
+
+/*
+ * Multiscale interpolation (PolyMage "interpolate"): a 4-level
+ * analysis/synthesis pyramid. Downsampling is a 2x2 average at
+ * stride 2; upsampling is bilinear through four quadrant statements
+ * per level (keeping every access affine, as PolyMage's unrolled
+ * stages do); each synthesis level blends the upsampled signal with
+ * the same-resolution analysis level. 24 statements in 12 nests.
+ * Live-out: Out.
+ */
+Program
+makeMultiscaleInterp(const PipelineConfig &cfg)
+{
+    if (cfg.rows % 16 != 0 || cfg.cols % 16 != 0)
+        fatal("interpolate expects multiples of 16");
+
+    ProgramBuilder b("interpolate");
+    b.param("R", cfg.rows).param("C", cfg.cols);
+    // Level sizes R/2^l as parameters (affine extents need them).
+    for (int l = 1; l <= 4; ++l) {
+        b.param("R" + std::to_string(l), cfg.rows >> l);
+        b.param("C" + std::to_string(l), cfg.cols >> l);
+    }
+
+    b.tensor("I", {"R", "C"}, TensorKind::Input);
+    for (int l = 1; l <= 4; ++l)
+        b.tensor(lv("D", l),
+                 {"R" + std::to_string(l), "C" + std::to_string(l)},
+                 TensorKind::Temp);
+    // Upsampled/combined planes, at the size of level l-1.
+    for (int l = 1; l <= 4; ++l) {
+        std::string rs = l == 1 ? "R" : "R" + std::to_string(l - 1);
+        std::string cs = l == 1 ? "C" : "C" + std::to_string(l - 1);
+        b.tensor(lv("U", l), {rs, cs}, TensorKind::Temp);
+    }
+    for (int l = 1; l <= 3; ++l)
+        b.tensor(lv("Cm", l),
+                 {"R" + std::to_string(l), "C" + std::to_string(l)},
+                 TensorKind::Temp);
+    b.tensor("Out", {"R", "C"}, TensorKind::Output);
+
+    int g = 0;
+
+    // Analysis: D1 from I, Dl from D(l-1).
+    for (int l = 1; l <= 4; ++l) {
+        std::string in = l == 1 ? "I" : lv("D", l - 1);
+        std::string out = lv("D", l);
+        std::string stmt = "Sd" + std::to_string(l);
+        std::string rp = "R" + std::to_string(l);
+        std::string cp = "C" + std::to_string(l);
+        auto s = b.statement(stmt);
+        s.domain("[" + rp + ", " + cp + "] -> { " + stmt +
+                 "[i, j] : 0 <= i < " + rp + " and 0 <= j < " + cp +
+                 " }");
+        for (int di = 0; di < 2; ++di)
+            for (int dj = 0; dj < 2; ++dj)
+                s.reads(in, "{ " + stmt + "[i, j] -> " + in + "[2i + " +
+                                std::to_string(di) + ", 2j + " +
+                                std::to_string(dj) + "] }");
+        s.writes(out, "{ " + stmt + "[i, j] -> " + out + "[i, j] }");
+        s.body((loadAcc(0) + loadAcc(1) + loadAcc(2) + loadAcc(3)) *
+               lit(0.25))
+            .ops(4)
+            .group(g++);
+    }
+
+    // Synthesis: level 4 upsamples D4; level l < 4 upsamples Cm(l).
+    for (int l = 4; l >= 1; --l) {
+        std::string src = l == 4 ? "D4" : lv("Cm", l);
+        std::string up = lv("U", l);
+        std::string rp = "R" + std::to_string(l);
+        std::string cp = "C" + std::to_string(l);
+        std::string sb = "Su" + std::to_string(l);
+
+        // Four quadrant statements in one nest.
+        auto quadrant = [&](const std::string &suffix,
+                            const std::string &target,
+                            std::vector<std::string> reads,
+                            ExprPtr body, int pos) {
+            std::string stmt = sb + suffix;
+            auto s = b.statement(stmt);
+            s.domain("[" + rp + ", " + cp + "] -> { " + stmt +
+                     "[i, j] : 0 <= i < " + rp + " - 1 and 0 <= j < " +
+                     cp + " - 1 }");
+            for (const auto &r : reads)
+                s.reads(src, "{ " + stmt + "[i, j] -> " + src + r +
+                                 " }");
+            s.writes(up, "{ " + stmt + "[i, j] -> " + up + target +
+                             " }");
+            s.body(std::move(body)).group(g).path(
+                {L(0), L(1), S(unsigned(pos))});
+        };
+        quadrant("a", "[2i, 2j]", {"[i, j]"}, loadAcc(0), 0);
+        quadrant("b", "[2i, 2j + 1]", {"[i, j]", "[i, j + 1]"},
+                 (loadAcc(0) + loadAcc(1)) * lit(0.5), 1);
+        quadrant("c", "[2i + 1, 2j]", {"[i, j]", "[i + 1, j]"},
+                 (loadAcc(0) + loadAcc(1)) * lit(0.5), 2);
+        quadrant("d", "[2i + 1, 2j + 1]",
+                 {"[i, j]", "[i, j + 1]", "[i + 1, j]",
+                  "[i + 1, j + 1]"},
+                 (loadAcc(0) + loadAcc(1) + loadAcc(2) + loadAcc(3)) *
+                     lit(0.25),
+                 3);
+        ++g;
+
+        // Blend with the same-resolution analysis plane.
+        std::string ref = l == 1 ? "I" : lv("D", l - 1);
+        std::string out = l == 1 ? "Out" : lv("Cm", l - 1);
+        std::string rs = l == 1 ? "R" : "R" + std::to_string(l - 1);
+        std::string cs = l == 1 ? "C" : "C" + std::to_string(l - 1);
+        std::string stmt = "Sc" + std::to_string(l);
+        b.statement(stmt)
+            .domain("[" + rs + ", " + cs + "] -> { " + stmt +
+                    "[i, j] : 0 <= i < " + rs + " and 0 <= j < " + cs +
+                    " }")
+            .reads(ref,
+                   "{ " + stmt + "[i, j] -> " + ref + "[i, j] }")
+            .reads(up, "{ " + stmt + "[i, j] -> " + up + "[i, j] }")
+            .writes(out,
+                    "{ " + stmt + "[i, j] -> " + out + "[i, j] }")
+            .body((loadAcc(0) + loadAcc(1)) * lit(0.5))
+            .ops(2)
+            .group(g++);
+    }
+
+    return b.build();
+}
+
+} // namespace workloads
+} // namespace polyfuse

@@ -1,0 +1,197 @@
+#include "workloads/pipelines.hh"
+
+#include "support/logging.hh"
+
+namespace polyfuse {
+namespace workloads {
+
+using namespace ir;
+
+/*
+ * Local Laplacian filter (PolyMage "local_laplacian"), modelled with
+ * K = 4 remap copies and a 3-level pyramid (12 stages; the paper's 99
+ * counts every unrolled copy/level):
+ *
+ *   G1, G2          gaussian pyramid of the input
+ *   Rm[k,i,j]       K remapped copies (exp-based remap curve)
+ *   Rm1, Rm2        gaussian pyramids of the copies
+ *   Lp0, Lp1        per-copy laplacian levels (NN upsample diff)
+ *   O0, O1          data-dependent copy selection driven by G0/G1
+ *   Rc1             coarse reconstruction: up(G2) + O1
+ *   Out             up(Rc1) + O0
+ *
+ * The per-pixel copy selection and the upsampled reads are declared
+ * as affine over-approximations (the whole k column / the covering
+ * 2x2 cell), matching how a polyhedral compiler must treat them.
+ */
+Program
+makeLocalLaplacian(const PipelineConfig &cfg)
+{
+    if (cfg.rows % 4 != 0 || cfg.cols % 4 != 0)
+        fatal("local laplacian expects multiples of 4");
+    const int64_t K = 4;
+
+    ProgramBuilder b("local_laplacian");
+    b.param("R", cfg.rows)
+        .param("C", cfg.cols)
+        .param("R1", cfg.rows / 2)
+        .param("C1", cfg.cols / 2)
+        .param("R2", cfg.rows / 4)
+        .param("C2", cfg.cols / 4)
+        .param("K", K);
+
+    b.tensor("I", {"R", "C"}, TensorKind::Input);          // 0
+    b.tensor("G1", {"R1", "C1"}, TensorKind::Temp);        // 1
+    b.tensor("G2", {"R2", "C2"}, TensorKind::Temp);        // 2
+    b.tensor("Rm", {"K", "R", "C"}, TensorKind::Temp);     // 3
+    b.tensor("Rm1", {"K", "R1", "C1"}, TensorKind::Temp);  // 4
+    b.tensor("Rm2", {"K", "R2", "C2"}, TensorKind::Temp);  // 5
+    b.tensor("Lp0", {"K", "R", "C"}, TensorKind::Temp);    // 6
+    b.tensor("Lp1", {"K", "R1", "C1"}, TensorKind::Temp);  // 7
+    b.tensor("O0", {"R", "C"}, TensorKind::Temp);          // 8
+    b.tensor("O1", {"R1", "C1"}, TensorKind::Temp);        // 9
+    b.tensor("Rc1", {"R1", "C1"}, TensorKind::Temp);       // 10
+    b.tensor("Out", {"R", "C"}, TensorKind::Output);       // 11
+
+    int g = 0;
+
+    // Gaussian pyramid of the input (2x2 average).
+    auto down = [&](const std::string &stmt, const std::string &in,
+                    const std::string &out, const std::string &rp,
+                    const std::string &cp, bool has_k) {
+        auto s = b.statement(stmt);
+        std::string dims = has_k ? "[k, i, j]" : "[i, j]";
+        std::string cond = std::string("0 <= i < ") + rp +
+                           " and 0 <= j < " + cp;
+        if (has_k)
+            cond = "0 <= k < K and " + cond;
+        s.domain("[K, " + rp + ", " + cp + "] -> { " + stmt + dims +
+                 " : " + cond + " }");
+        for (int di = 0; di < 2; ++di)
+            for (int dj = 0; dj < 2; ++dj) {
+                std::string at = has_k ? "[k, 2i + " : "[2i + ";
+                at += std::to_string(di) + ", 2j + " +
+                      std::to_string(dj) + "]";
+                s.reads(in, "{ " + stmt + dims + " -> " + in + at +
+                                " }");
+            }
+        s.writes(out, "{ " + stmt + dims + " -> " + out + dims + " }");
+        s.body((loadAcc(0) + loadAcc(1) + loadAcc(2) + loadAcc(3)) *
+               lit(0.25))
+            .ops(4)
+            .group(g++);
+    };
+
+    down("Sg1", "I", "G1", "R1", "C1", false);
+    down("Sg2", "G1", "G2", "R2", "C2", false);
+
+    // Remap: K tone-adjusted copies.
+    {
+        ExprPtr v = loadAcc(0);
+        ExprPtr level = iterVar(0) * lit(1.0 / double(K - 1));
+        ExprPtr d = v - level;
+        ExprPtr body =
+            v + d * lit(0.8) *
+                    un(UnOp::Exp, lit(0.0) - d * d * lit(4.0));
+        b.statement("Srm")
+            .domain("[K, R, C] -> { Srm[k, i, j] : 0 <= k < K and "
+                    "0 <= i < R and 0 <= j < C }")
+            .reads("I", "{ Srm[k, i, j] -> I[i, j] }")
+            .writes("Rm", "{ Srm[k, i, j] -> Rm[k, i, j] }")
+            .body(std::move(body))
+            .ops(8)
+            .group(g++);
+    }
+
+    down("Srm1", "Rm", "Rm1", "R1", "C1", true);
+    down("Srm2", "Rm1", "Rm2", "R2", "C2", true);
+
+    // Laplacian levels: fine minus nearest-neighbour upsample of the
+    // next-coarser level.
+    auto laplacian = [&](const std::string &stmt,
+                         const std::string &fine,
+                         const std::string &coarse, int coarse_id,
+                         const std::string &out, const std::string &rp,
+                         const std::string &cp) {
+        auto s = b.statement(stmt);
+        s.domain("[K, " + rp + ", " + cp + "] -> { " + stmt +
+                 "[k, i, j] : 0 <= k < K and 0 <= i < " + rp +
+                 " and 0 <= j < " + cp + " }");
+        s.reads(fine, "{ " + stmt + "[k, i, j] -> " + fine +
+                          "[k, i, j] }");
+        s.reads(coarse, "{ " + stmt + "[k, i, j] -> " + coarse +
+                            "[k, a, bb] : 2a <= i < 2a + 2 and "
+                            "2bb <= j < 2bb + 2 }");
+        s.writes(out, "{ " + stmt + "[k, i, j] -> " + out +
+                          "[k, i, j] }");
+        s.body(loadAcc(0) -
+               loadIdx(coarse_id,
+                       {iterVar(0),
+                        un(UnOp::Floor, iterVar(1) * lit(0.5)),
+                        un(UnOp::Floor, iterVar(2) * lit(0.5))}))
+            .ops(4)
+            .group(g++);
+    };
+    laplacian("Slp0", "Rm", "Rm1", 4, "Lp0", "R", "C");
+    laplacian("Slp1", "Rm1", "Rm2", 5, "Lp1", "R1", "C1");
+
+    // Copy selection driven by the gaussian of the input.
+    auto select = [&](const std::string &stmt, const std::string &gsrc,
+                      const std::string &lap, int lap_id,
+                      const std::string &out, const std::string &rp,
+                      const std::string &cp) {
+        ExprPtr v = loadAcc(0);
+        ExprPtr k = bin(BinOp::Min,
+                        bin(BinOp::Max,
+                            un(UnOp::Floor, v * lit(double(K - 1))),
+                            lit(0.0)),
+                        paramRef("K") - lit(1.0));
+        b.statement(stmt)
+            .domain("[K, " + rp + ", " + cp + "] -> { " + stmt +
+                    "[i, j] : 0 <= i < " + rp + " and 0 <= j < " +
+                    cp + " }")
+            .reads(gsrc,
+                   "{ " + stmt + "[i, j] -> " + gsrc + "[i, j] }")
+            .reads(lap, "[K] -> { " + stmt + "[i, j] -> " + lap +
+                            "[k, i, j] : 0 <= k < K }")
+            .writes(out,
+                    "{ " + stmt + "[i, j] -> " + out + "[i, j] }")
+            .body(loadIdx(lap_id, {k, iterVar(0), iterVar(1)}))
+            .ops(6)
+            .group(g++);
+    };
+    select("Ssel0", "I", "Lp0", 6, "O0", "R", "C");
+    select("Ssel1", "G1", "Lp1", 7, "O1", "R1", "C1");
+
+    // Reconstruction.
+    b.statement("Src1")
+        .domain("[R1, C1] -> { Src1[i, j] : 0 <= i < R1 and "
+                "0 <= j < C1 }")
+        .reads("G2", "{ Src1[i, j] -> G2[a, bb] : 2a <= i < 2a + 2 "
+                     "and 2bb <= j < 2bb + 2 }")
+        .reads("O1", "{ Src1[i, j] -> O1[i, j] }")
+        .writes("Rc1", "{ Src1[i, j] -> Rc1[i, j] }")
+        .body(loadIdx(2, {un(UnOp::Floor, iterVar(0) * lit(0.5)),
+                          un(UnOp::Floor, iterVar(1) * lit(0.5))}) +
+              loadAcc(1))
+        .ops(3)
+        .group(g++);
+
+    b.statement("Sout")
+        .domain("[R, C] -> { Sout[i, j] : 0 <= i < R and "
+                "0 <= j < C }")
+        .reads("Rc1", "{ Sout[i, j] -> Rc1[a, bb] : 2a <= i < 2a + 2 "
+                      "and 2bb <= j < 2bb + 2 }")
+        .reads("O0", "{ Sout[i, j] -> O0[i, j] }")
+        .writes("Out", "{ Sout[i, j] -> Out[i, j] }")
+        .body(loadIdx(10, {un(UnOp::Floor, iterVar(0) * lit(0.5)),
+                           un(UnOp::Floor, iterVar(1) * lit(0.5))}) +
+              loadAcc(1))
+        .ops(3)
+        .group(g++);
+
+    return b.build();
+}
+
+} // namespace workloads
+} // namespace polyfuse

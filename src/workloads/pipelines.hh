@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The six image-processing pipelines of the paper's Table I,
+ * re-implemented as polyhedral programs with the same loop/
+ * dependence structure as the PolyMage benchmarks they were taken
+ * from (stencil chains, multi-rate pyramids, grid scatter/slice,
+ * data-dependent gathers). Stage counts are parameterized and can
+ * be smaller than the unrolled counts PolyMage reports; DESIGN.md
+ * documents the simplifications.
+ *
+ * All pipelines read a single-channel image "I" of ROWS x COLS and
+ * write one live-out tensor; every other tensor is an intermediate,
+ * which is what gives the paper's composition something to fuse.
+ */
+
+#ifndef POLYFUSE_WORKLOADS_PIPELINES_HH
+#define POLYFUSE_WORKLOADS_PIPELINES_HH
+
+#include <cstdint>
+
+#include "ir/program.hh"
+
+namespace polyfuse {
+namespace workloads {
+
+/** Common image-pipeline configuration. */
+struct PipelineConfig
+{
+    int64_t rows = 256;
+    int64_t cols = 256;
+};
+
+/** Unsharp Mask: blury -> blurx -> sharpen -> mask (4 stages). */
+ir::Program makeUnsharpMask(const PipelineConfig &cfg = {});
+
+/** Harris corner detection: gradients, products, box sums,
+ *  det/trace/response (11 stages). */
+ir::Program makeHarris(const PipelineConfig &cfg = {});
+
+/** Bilateral grid: construction (init+accumulate), normalization,
+ *  3 blur passes, data-dependent slice (7 stages). */
+ir::Program makeBilateralGrid(const PipelineConfig &cfg = {});
+
+/** Camera pipeline: Bayer deinterleave, demosaic interpolation,
+ *  color correction, tone mapping, sharpen, clamp (16 stages). */
+ir::Program makeCameraPipeline(const PipelineConfig &cfg = {});
+
+/** Multiscale interpolation: 4-level analysis/synthesis pyramid
+ *  with stride-2 down/upsampling (~20 stages). */
+ir::Program makeMultiscaleInterp(const PipelineConfig &cfg = {});
+
+/** Local Laplacian filter: K remap copies, per-copy pyramids,
+ *  data-dependent level selection (11 stages with K folded into a
+ *  tensor dimension; the paper's 99 counts unrolled copies). */
+ir::Program makeLocalLaplacian(const PipelineConfig &cfg = {});
+
+} // namespace workloads
+} // namespace polyfuse
+
+#endif // POLYFUSE_WORKLOADS_PIPELINES_HH

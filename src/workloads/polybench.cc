@@ -1,0 +1,207 @@
+#include "workloads/polybench.hh"
+
+namespace polyfuse {
+namespace workloads {
+
+using namespace ir;
+
+Program
+make2mm(int64_t ni, int64_t nj, int64_t nk, int64_t nl)
+{
+    ProgramBuilder b("2mm");
+    b.param("NI", ni).param("NJ", nj).param("NK", nk).param("NL", nl);
+
+    b.tensor("A", {"NI", "NK"}, TensorKind::Input);
+    b.tensor("B", {"NK", "NJ"}, TensorKind::Input);
+    b.tensor("C", {"NJ", "NL"}, TensorKind::Input);
+    b.tensor("Tmp", {"NI", "NJ"}, TensorKind::Temp);
+    b.tensor("D", {"NI", "NL"}, TensorKind::Output);
+
+    const double alpha = 1.5, beta = 1.2;
+
+    b.statement("Sti")
+        .domain("[NI, NJ] -> { Sti[i, j] : 0 <= i < NI and "
+                "0 <= j < NJ }")
+        .writes("Tmp", "{ Sti[i, j] -> Tmp[i, j] }")
+        .body(lit(0.0))
+        .group(0)
+        .path({L(0), L(1), S(0)});
+
+    b.statement("Str")
+        .domain("[NI, NJ, NK] -> { Str[i, j, k] : 0 <= i < NI and "
+                "0 <= j < NJ and 0 <= k < NK }")
+        .reads("Tmp", "{ Str[i, j, k] -> Tmp[i, j] }")
+        .reads("A", "{ Str[i, j, k] -> A[i, k] }")
+        .reads("B", "{ Str[i, j, k] -> B[k, j] }")
+        .writes("Tmp", "{ Str[i, j, k] -> Tmp[i, j] }")
+        .body(loadAcc(0) + loadAcc(1) * loadAcc(2) * lit(alpha))
+        .ops(3)
+        .group(0)
+        .path({L(0), L(1), S(1), L(2)});
+
+    b.statement("Sdi")
+        .domain("[NI, NL] -> { Sdi[i, l] : 0 <= i < NI and "
+                "0 <= l < NL }")
+        .reads("D", "{ Sdi[i, l] -> D[i, l] }")
+        .writes("D", "{ Sdi[i, l] -> D[i, l] }")
+        .body(loadAcc(0) * lit(beta))
+        .group(1)
+        .path({L(0), L(1), S(0)});
+
+    b.statement("Sdr")
+        .domain("[NI, NL, NJ] -> { Sdr[i, l, j] : 0 <= i < NI and "
+                "0 <= l < NL and 0 <= j < NJ }")
+        .reads("D", "{ Sdr[i, l, j] -> D[i, l] }")
+        .reads("Tmp", "{ Sdr[i, l, j] -> Tmp[i, j] }")
+        .reads("C", "{ Sdr[i, l, j] -> C[j, l] }")
+        .writes("D", "{ Sdr[i, l, j] -> D[i, l] }")
+        .body(loadAcc(0) + loadAcc(1) * loadAcc(2))
+        .ops(2)
+        .group(1)
+        .path({L(0), L(1), S(1), L(2)});
+
+    return b.build();
+}
+
+Program
+makeGemver(int64_t n)
+{
+    ProgramBuilder b("gemver");
+    b.param("N", n);
+
+    b.tensor("A", {"N", "N"}, TensorKind::Input);
+    for (const char *t : {"U1", "V1", "U2", "V2", "Y", "Z", "Xin"})
+        b.tensor(t, {"N"}, TensorKind::Input);
+    b.tensor("Ah", {"N", "N"}, TensorKind::Temp);
+    b.tensor("X", {"N"}, TensorKind::Temp);
+    b.tensor("X2", {"N"}, TensorKind::Temp);
+    b.tensor("W", {"N"}, TensorKind::Output);
+
+    const double alpha = 1.5, beta = 1.2;
+
+    // A_hat = A + u1 v1^T + u2 v2^T.
+    b.statement("Sah")
+        .domain("[N] -> { Sah[i, j] : 0 <= i < N and 0 <= j < N }")
+        .reads("A", "{ Sah[i, j] -> A[i, j] }")
+        .reads("U1", "{ Sah[i, j] -> U1[i] }")
+        .reads("V1", "{ Sah[i, j] -> V1[j] }")
+        .reads("U2", "{ Sah[i, j] -> U2[i] }")
+        .reads("V2", "{ Sah[i, j] -> V2[j] }")
+        .writes("Ah", "{ Sah[i, j] -> Ah[i, j] }")
+        .body(loadAcc(0) + loadAcc(1) * loadAcc(2) +
+              loadAcc(3) * loadAcc(4))
+        .ops(4)
+        .group(0);
+
+    // x = beta * A_hat^T y + x_in.
+    b.statement("Sxi")
+        .domain("[N] -> { Sxi[i] : 0 <= i < N }")
+        .reads("Xin", "{ Sxi[i] -> Xin[i] }")
+        .writes("X", "{ Sxi[i] -> X[i] }")
+        .body(loadAcc(0))
+        .group(1)
+        .path({L(0), S(0)});
+    b.statement("Sxr")
+        .domain("[N] -> { Sxr[i, j] : 0 <= i < N and 0 <= j < N }")
+        .reads("X", "{ Sxr[i, j] -> X[i] }")
+        .reads("Ah", "{ Sxr[i, j] -> Ah[j, i] }")
+        .reads("Y", "{ Sxr[i, j] -> Y[j] }")
+        .writes("X", "{ Sxr[i, j] -> X[i] }")
+        .body(loadAcc(0) + loadAcc(1) * loadAcc(2) * lit(beta))
+        .ops(3)
+        .group(1)
+        .path({L(0), S(1), L(1)});
+
+    // x2 = x + z.
+    b.statement("Sx2")
+        .domain("[N] -> { Sx2[i] : 0 <= i < N }")
+        .reads("X", "{ Sx2[i] -> X[i] }")
+        .reads("Z", "{ Sx2[i] -> Z[i] }")
+        .writes("X2", "{ Sx2[i] -> X2[i] }")
+        .body(loadAcc(0) + loadAcc(1))
+        .group(2);
+
+    // w = alpha * A_hat x2.
+    b.statement("Swi")
+        .domain("[N] -> { Swi[i] : 0 <= i < N }")
+        .writes("W", "{ Swi[i] -> W[i] }")
+        .body(lit(0.0))
+        .group(3)
+        .path({L(0), S(0)});
+    b.statement("Swr")
+        .domain("[N] -> { Swr[i, j] : 0 <= i < N and 0 <= j < N }")
+        .reads("W", "{ Swr[i, j] -> W[i] }")
+        .reads("Ah", "{ Swr[i, j] -> Ah[i, j] }")
+        .reads("X2", "{ Swr[i, j] -> X2[j] }")
+        .writes("W", "{ Swr[i, j] -> W[i] }")
+        .body(loadAcc(0) + loadAcc(1) * loadAcc(2) * lit(alpha))
+        .ops(3)
+        .group(3)
+        .path({L(0), S(1), L(1)});
+
+    return b.build();
+}
+
+Program
+makeCovariance(int64_t n, int64_t m)
+{
+    ProgramBuilder b("covariance");
+    b.param("N", n).param("M", m);
+
+    b.tensor("Data", {"N", "M"}, TensorKind::Input);
+    b.tensor("Mean", {"M"}, TensorKind::Temp);
+    b.tensor("Cd", {"N", "M"}, TensorKind::Temp);
+    b.tensor("Cov", {"M", "M"}, TensorKind::Output);
+
+    // Column means.
+    b.statement("Smi")
+        .domain("[M] -> { Smi[j] : 0 <= j < M }")
+        .writes("Mean", "{ Smi[j] -> Mean[j] }")
+        .body(lit(0.0))
+        .group(0)
+        .path({L(0), S(0)});
+    b.statement("Smr")
+        .domain("[N, M] -> { Smr[j, i] : 0 <= j < M and 0 <= i < N }")
+        .reads("Mean", "{ Smr[j, i] -> Mean[j] }")
+        .reads("Data", "{ Smr[j, i] -> Data[i, j] }")
+        .writes("Mean", "{ Smr[j, i] -> Mean[j] }")
+        .body(loadAcc(0) + loadAcc(1))
+        .group(0)
+        .path({L(0), S(1), L(1)});
+
+    // Centered data (mean scaled by 1/N at use).
+    b.statement("Scd")
+        .domain("[N, M] -> { Scd[i, j] : 0 <= i < N and 0 <= j < M }")
+        .reads("Data", "{ Scd[i, j] -> Data[i, j] }")
+        .reads("Mean", "{ Scd[i, j] -> Mean[j] }")
+        .writes("Cd", "{ Scd[i, j] -> Cd[i, j] }")
+        .body(loadAcc(0) -
+              loadAcc(1) * (lit(1.0) / paramRef("N")))
+        .ops(2)
+        .group(1);
+
+    // Covariance (upper triangle).
+    b.statement("Sci")
+        .domain("[M] -> { Sci[j1, j2] : 0 <= j1 < M and "
+                "j1 <= j2 < M }")
+        .writes("Cov", "{ Sci[j1, j2] -> Cov[j1, j2] }")
+        .body(lit(0.0))
+        .group(2)
+        .path({L(0), L(1), S(0)});
+    b.statement("Scr")
+        .domain("[N, M] -> { Scr[j1, j2, i] : 0 <= j1 < M and "
+                "j1 <= j2 < M and 0 <= i < N }")
+        .reads("Cov", "{ Scr[j1, j2, i] -> Cov[j1, j2] }")
+        .reads("Cd", "{ Scr[j1, j2, i] -> Cd[i, j1] }")
+        .reads("Cd", "{ Scr[j1, j2, i] -> Cd[i, j2] }")
+        .writes("Cov", "{ Scr[j1, j2, i] -> Cov[j1, j2] }")
+        .body(loadAcc(0) + loadAcc(1) * loadAcc(2))
+        .ops(2)
+        .group(2)
+        .path({L(0), L(1), S(1), L(2)});
+
+    return b.build();
+}
+
+} // namespace workloads
+} // namespace polyfuse

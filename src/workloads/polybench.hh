@@ -1,0 +1,32 @@
+/**
+ * @file
+ * The PolyBench kernels of Table II: 2mm, gemver and covariance --
+ * the three representative kernels where the paper's composition
+ * finds fusion results different from smartfuse.
+ */
+
+#ifndef POLYFUSE_WORKLOADS_POLYBENCH_HH
+#define POLYFUSE_WORKLOADS_POLYBENCH_HH
+
+#include <cstdint>
+
+#include "ir/program.hh"
+
+namespace polyfuse {
+namespace workloads {
+
+/** 2mm: D = alpha*A*B*C + beta*D (two chained matrix products). */
+ir::Program make2mm(int64_t ni = 128, int64_t nj = 128,
+                    int64_t nk = 128, int64_t nl = 128);
+
+/** gemver: A_hat = A + u1 v1^T + u2 v2^T; x = beta A_hat^T y + z;
+ *  w = alpha A_hat x. */
+ir::Program makeGemver(int64_t n = 256);
+
+/** covariance of data samples (mean, centering, reduction). */
+ir::Program makeCovariance(int64_t n = 128, int64_t m = 128);
+
+} // namespace workloads
+} // namespace polyfuse
+
+#endif // POLYFUSE_WORKLOADS_POLYBENCH_HH

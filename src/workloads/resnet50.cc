@@ -1,0 +1,132 @@
+#include "workloads/resnet50.hh"
+
+namespace polyfuse {
+namespace workloads {
+
+using memsim::ConvLayer;
+
+namespace {
+
+ConvLayer
+layer(int64_t batch, int64_t cin, int64_t cout, int64_t size,
+      int64_t kernel, int64_t stride)
+{
+    ConvLayer l;
+    l.batch = batch;
+    l.cin = cin;
+    l.cout = cout;
+    l.height = size;
+    l.width = size;
+    l.kernel = kernel;
+    l.stride = stride;
+    return l;
+}
+
+/** One bottleneck block: 1x1 reduce, 3x3, 1x1 expand. */
+void
+bottleneck(std::vector<ConvLayer> &out, int64_t batch, int64_t cin,
+           int64_t mid, int64_t cout, int64_t size, int64_t stride)
+{
+    out.push_back(layer(batch, cin, mid, size, 1, stride));
+    out.push_back(layer(batch, mid, mid, size / stride, 3, 1));
+    out.push_back(layer(batch, mid, cout, size / stride, 1, 1));
+}
+
+} // namespace
+
+std::vector<ConvLayer>
+resnet50Layers(int64_t batch)
+{
+    std::vector<ConvLayer> out;
+    // conv1: 7x7/2 on 224x224x3.
+    out.push_back(layer(batch, 3, 64, 224, 7, 2));
+
+    // Stage 2: 3 blocks at 56, channels 64/64/256.
+    out.push_back(layer(batch, 64, 256, 56, 1, 1)); // projection
+    bottleneck(out, batch, 64, 64, 256, 56, 1);
+    bottleneck(out, batch, 256, 64, 256, 56, 1);
+    bottleneck(out, batch, 256, 64, 256, 56, 1);
+
+    // Stage 3: 4 blocks at 28, channels 128/512.
+    out.push_back(layer(batch, 256, 512, 56, 1, 2)); // projection
+    bottleneck(out, batch, 256, 128, 512, 56, 2);
+    bottleneck(out, batch, 512, 128, 512, 28, 1);
+    bottleneck(out, batch, 512, 128, 512, 28, 1);
+    bottleneck(out, batch, 512, 128, 512, 28, 1);
+
+    // Stage 4: 6 blocks at 14, channels 256/1024.
+    out.push_back(layer(batch, 512, 1024, 28, 1, 2)); // projection
+    bottleneck(out, batch, 512, 256, 1024, 28, 2);
+    for (int i = 0; i < 5; ++i)
+        bottleneck(out, batch, 1024, 256, 1024, 14, 1);
+
+    // Stage 5: 3 blocks at 7, channels 512/2048.
+    out.push_back(layer(batch, 1024, 2048, 14, 1, 2)); // projection
+    bottleneck(out, batch, 1024, 512, 2048, 14, 2);
+    bottleneck(out, batch, 2048, 512, 2048, 7, 1);
+    bottleneck(out, batch, 2048, 512, 2048, 7, 1);
+
+    return out;
+}
+
+ir::Program
+makeConvBnProgram(const memsim::ConvLayer &l)
+{
+    using namespace ir;
+    ProgramBuilder b("conv_bn");
+    b.param("CO", l.cout)
+        .param("CI", l.cin)
+        .param("OH", l.outH())
+        .param("OW", l.outW())
+        .param("KK", l.kernel);
+
+    b.tensor("In", {"CI", "OH + KK - 1", "OW + KK - 1"},
+             TensorKind::Input);
+    b.tensor("Wt", {"CO", "CI", "KK", "KK"}, TensorKind::Input);
+    b.tensor("Scale", {"CO"}, TensorKind::Input);
+    b.tensor("Shift", {"CO"}, TensorKind::Input);
+    b.tensor("Conv", {"CO", "OH", "OW"}, TensorKind::Temp);
+    b.tensor("Out", {"CO", "OH", "OW"}, TensorKind::Output);
+
+    b.statement("Sci")
+        .domain("[CO, OH, OW] -> { Sci[co, h, w] : 0 <= co < CO and "
+                "0 <= h < OH and 0 <= w < OW }")
+        .writes("Conv", "{ Sci[co, h, w] -> Conv[co, h, w] }")
+        .body(lit(0.0))
+        .group(0)
+        .path({L(0), L(1), L(2), S(0)});
+
+    b.statement("Scr")
+        .domain("[CO, CI, OH, OW, KK] -> { Scr[co, h, w, ci, kh, kw] "
+                ": 0 <= co < CO and 0 <= h < OH and 0 <= w < OW and "
+                "0 <= ci < CI and 0 <= kh < KK and 0 <= kw < KK }")
+        .reads("Conv", "{ Scr[co, h, w, ci, kh, kw] -> "
+                       "Conv[co, h, w] }")
+        .reads("In", "{ Scr[co, h, w, ci, kh, kw] -> "
+                     "In[ci, h + kh, w + kw] }")
+        .reads("Wt", "{ Scr[co, h, w, ci, kh, kw] -> "
+                     "Wt[co, ci, kh, kw] }")
+        .writes("Conv", "{ Scr[co, h, w, ci, kh, kw] -> "
+                        "Conv[co, h, w] }")
+        .body(loadAcc(0) + loadAcc(1) * loadAcc(2))
+        .ops(2)
+        .group(0)
+        .path({L(0), L(1), L(2), S(1), L(3), L(4), L(5)});
+
+    b.statement("Sbn")
+        .domain("[CO, OH, OW] -> { Sbn[co, h, w] : 0 <= co < CO and "
+                "0 <= h < OH and 0 <= w < OW }")
+        .reads("Conv", "{ Sbn[co, h, w] -> Conv[co, h, w] }")
+        .reads("Scale", "{ Sbn[co, h, w] -> Scale[co] }")
+        .reads("Shift", "{ Sbn[co, h, w] -> Shift[co] }")
+        .writes("Out", "{ Sbn[co, h, w] -> Out[co, h, w] }")
+        .body(un(UnOp::Relu,
+                 loadAcc(0) * loadAcc(1) + loadAcc(2)))
+        .ops(3)
+        .group(1);
+
+    return b.build();
+}
+
+} // namespace workloads
+} // namespace polyfuse

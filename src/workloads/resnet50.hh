@@ -1,0 +1,35 @@
+/**
+ * @file
+ * The ResNet-50 forward convolution layer table (Table III) and a
+ * conv+batchnorm program builder used for the compilation-time and
+ * accelerator-model experiments.
+ */
+
+#ifndef POLYFUSE_WORKLOADS_RESNET50_HH
+#define POLYFUSE_WORKLOADS_RESNET50_HH
+
+#include <vector>
+
+#include "ir/program.hh"
+#include "memsim/davinci.hh"
+
+namespace polyfuse {
+namespace workloads {
+
+/**
+ * The 53 forward convolutions of ResNet-50 (conv1, the 16 bottleneck
+ * blocks x 3, and the 4 projection shortcuts), each followed by a
+ * batch normalization.
+ */
+std::vector<memsim::ConvLayer> resnet50Layers(int64_t batch = 1);
+
+/**
+ * A two-nest conv + batchnorm program for one layer (spatial dims
+ * collapsed per output channel), used to time the scheduling passes.
+ */
+ir::Program makeConvBnProgram(const memsim::ConvLayer &layer);
+
+} // namespace workloads
+} // namespace polyfuse
+
+#endif // POLYFUSE_WORKLOADS_RESNET50_HH

@@ -1,0 +1,80 @@
+#include "workloads/pipelines.hh"
+
+namespace polyfuse {
+namespace workloads {
+
+using namespace ir;
+
+/*
+ * Unsharp Mask (PolyMage "unsharp_mask"), 4 stages:
+ *   By[i,j]  = (I[i,j] + I[i+1,j] + I[i+2,j]) / 3
+ *   Bx[i,j]  = (By[i,j] + By[i,j+1] + By[i,j+2]) / 3
+ *   Sh[i,j]  = I[i+1,j+1] * (1 + w) - Bx[i,j] * w
+ *   M[i,j]   = clamp(Sh[i,j], I[i+1,j+1] - thr, I[i+1,j+1] + thr)
+ * Live-out: M.
+ */
+Program
+makeUnsharpMask(const PipelineConfig &cfg)
+{
+    ProgramBuilder b("unsharp_mask");
+    b.param("R", cfg.rows).param("C", cfg.cols);
+
+    b.tensor("I", {"R", "C"}, TensorKind::Input);
+    b.tensor("By", {"R - 2", "C"}, TensorKind::Temp);
+    b.tensor("Bx", {"R - 2", "C - 2"}, TensorKind::Temp);
+    b.tensor("Sh", {"R - 2", "C - 2"}, TensorKind::Temp);
+    b.tensor("M", {"R - 2", "C - 2"}, TensorKind::Output);
+
+    const double w = 3.0, thr = 0.05;
+
+    b.statement("Sby")
+        .domain("[R, C] -> { Sby[i, j] : 0 <= i < R - 2 and "
+                "0 <= j < C }")
+        .reads("I", "{ Sby[i, j] -> I[i, j] }")
+        .reads("I", "{ Sby[i, j] -> I[i + 1, j] }")
+        .reads("I", "{ Sby[i, j] -> I[i + 2, j] }")
+        .writes("By", "{ Sby[i, j] -> By[i, j] }")
+        .body((loadAcc(0) + loadAcc(1) + loadAcc(2)) *
+              lit(1.0 / 3.0))
+        .ops(3)
+        .group(0);
+
+    b.statement("Sbx")
+        .domain("[R, C] -> { Sbx[i, j] : 0 <= i < R - 2 and "
+                "0 <= j < C - 2 }")
+        .reads("By", "{ Sbx[i, j] -> By[i, j] }")
+        .reads("By", "{ Sbx[i, j] -> By[i, j + 1] }")
+        .reads("By", "{ Sbx[i, j] -> By[i, j + 2] }")
+        .writes("Bx", "{ Sbx[i, j] -> Bx[i, j] }")
+        .body((loadAcc(0) + loadAcc(1) + loadAcc(2)) *
+              lit(1.0 / 3.0))
+        .ops(3)
+        .group(1);
+
+    b.statement("Ssh")
+        .domain("[R, C] -> { Ssh[i, j] : 0 <= i < R - 2 and "
+                "0 <= j < C - 2 }")
+        .reads("I", "{ Ssh[i, j] -> I[i + 1, j + 1] }")
+        .reads("Bx", "{ Ssh[i, j] -> Bx[i, j] }")
+        .writes("Sh", "{ Ssh[i, j] -> Sh[i, j] }")
+        .body(loadAcc(0) * lit(1.0 + w) - loadAcc(1) * lit(w))
+        .ops(3)
+        .group(2);
+
+    b.statement("Sm")
+        .domain("[R, C] -> { Sm[i, j] : 0 <= i < R - 2 and "
+                "0 <= j < C - 2 }")
+        .reads("Sh", "{ Sm[i, j] -> Sh[i, j] }")
+        .reads("I", "{ Sm[i, j] -> I[i + 1, j + 1] }")
+        .writes("M", "{ Sm[i, j] -> M[i, j] }")
+        .body(bin(BinOp::Max,
+                  bin(BinOp::Min, loadAcc(0), loadAcc(1) + lit(thr)),
+                  loadAcc(1) - lit(thr)))
+        .ops(4)
+        .group(3);
+
+    return b.build();
+}
+
+} // namespace workloads
+} // namespace polyfuse

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the PolyMage-style tile-size auto-tuner and a parser
+ * round-trip property: parse(str(set)) must equal the set.
+ */
+
+#include <gtest/gtest.h>
+
+#include "perfmodel/autotune.hh"
+#include "pres/parser.hh"
+#include "support/logging.hh"
+#include "workloads/conv2d.hh"
+#include "workloads/pipelines.hh"
+
+namespace polyfuse {
+namespace {
+
+TEST(Autotune, PicksAFeasibleSizeAndBeatsTheWorstCandidate)
+{
+    ir::Program p = workloads::makeConv2D({64, 64, 5, 5});
+    auto g = deps::DependenceGraph::compute(p);
+    auto init = [&](exec::Buffers &b) {
+        b.fillPattern(p.tensorId("A"), 7);
+        b.fillPattern(p.tensorId("B"), 13);
+    };
+    perfmodel::AutotuneOptions opts;
+    opts.candidates = {4, 8, 16, 32};
+    opts.dims = 2;
+    auto r = perfmodel::autotuneTileSizes(p, g, init, opts);
+    ASSERT_EQ(r.tileSizes.size(), 2u);
+    EXPECT_EQ(r.evaluated, 16u);
+    for (int64_t s : r.tileSizes) {
+        EXPECT_GE(s, 4);
+        EXPECT_LE(s, 32);
+    }
+    EXPECT_GT(r.modeledMs, 0.0);
+}
+
+TEST(Autotune, PrunesCandidatesBeyondTheIterationSpace)
+{
+    ir::Program p = workloads::makeConv2D({16, 16, 3, 3});
+    auto g = deps::DependenceGraph::compute(p);
+    auto init = [&](exec::Buffers &b) {
+        b.fillPattern(p.tensorId("A"), 7);
+        b.fillPattern(p.tensorId("B"), 13);
+    };
+    perfmodel::AutotuneOptions opts;
+    opts.candidates = {8, 512};
+    opts.dims = 2;
+    auto r = perfmodel::autotuneTileSizes(p, g, init, opts);
+    EXPECT_EQ(r.evaluated, 1u); // only {8, 8} is feasible
+    EXPECT_EQ(r.tileSizes, (std::vector<int64_t>{8, 8}));
+}
+
+TEST(Autotune, RejectsEmptyConfiguration)
+{
+    ir::Program p = workloads::makeConv2D({16, 16, 3, 3});
+    auto g = deps::DependenceGraph::compute(p);
+    perfmodel::AutotuneOptions opts;
+    opts.dims = 0;
+    EXPECT_THROW(perfmodel::autotuneTileSizes(
+                     p, g, [](exec::Buffers &) {}, opts),
+                 FatalError);
+}
+
+/** parse(str(s)) == s over assorted sets. */
+class StrRoundTrip : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(StrRoundTrip, ParseOfStrEqualsOriginal)
+{
+    pres::BasicSet s = pres::parseBasicSet(GetParam());
+    pres::BasicSet back = pres::parseBasicSet(s.str());
+    EXPECT_TRUE(s == back) << s.str() << " vs " << back.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sets, StrRoundTrip,
+    ::testing::Values(
+        "[N] -> { S[i, j] : 0 <= i < N and 0 <= j <= i }",
+        "{ S[i] : 2i >= 3 and i <= 9 }",
+        "[H, KH] -> { S2[h, kh] : 0 <= h <= H - KH and "
+        "0 <= kh < KH }",
+        "{ T[o0, o1, p] : 4o0 <= p < 4o0 + 4 and 0 <= o1 < 3 }",
+        "{ S[] }",
+        "[N] -> { X[i] : -3 <= i < 2*N - 7 }"));
+
+} // namespace
+} // namespace polyfuse

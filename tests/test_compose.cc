@@ -1,0 +1,357 @@
+/**
+ * @file
+ * Tests for the core composition (Algorithms 1-3) on the paper's
+ * running example and on hand-built multi-live-out programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/compose.hh"
+#include "support/logging.hh"
+#include "workloads/conv2d.hh"
+
+namespace polyfuse {
+namespace core {
+namespace {
+
+using ir::Program;
+using ir::ProgramBuilder;
+using ir::TensorKind;
+using schedule::NodeKind;
+using schedule::NodePtr;
+using schedule::ScheduleTree;
+
+class ConvCompose : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        prog_ = workloads::makeConv2D({6, 6, 3, 3});
+        graph_ = deps::DependenceGraph::compute(prog_);
+        ComposeOptions opts;
+        opts.tileSizes = {2, 2};
+        opts.targetParallelism = 1;
+        result_ = compose(prog_, graph_, opts);
+    }
+
+    Program prog_;
+    deps::DependenceGraph graph_;
+    ComposeResult result_;
+};
+
+TEST_F(ConvCompose, AllFourStatementsEndUpInOneSpace)
+{
+    // Algorithm 2 returns ({S0, S1, S2, S3}) for the example.
+    ASSERT_EQ(result_.spaces.size(), 1u);
+    EXPECT_EQ(result_.spaces[0], (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(result_.fusedIntermediates,
+              (std::vector<std::string>{"S0"}));
+    EXPECT_EQ(result_.skippedStatements,
+              (std::vector<std::string>{"S0"}));
+    EXPECT_EQ(result_.tiledLiveOuts, 1u);
+}
+
+TEST_F(ConvCompose, TreeShapeMatchesFig5)
+{
+    NodePtr top_seq = result_.tree.root()->onlyChild();
+    ASSERT_EQ(top_seq->kind, NodeKind::Sequence);
+    ASSERT_EQ(top_seq->children.size(), 2u);
+
+    // First child: filter {S0} -> mark "skipped" -> band0.
+    NodePtr f0 = top_seq->children[0];
+    EXPECT_EQ(f0->filter, (std::vector<std::string>{"S0"}));
+    NodePtr mark = f0->onlyChild();
+    ASSERT_EQ(mark->kind, NodeKind::Mark);
+    EXPECT_EQ(mark->markLabel, "skipped");
+    EXPECT_EQ(ScheduleTree::findBand(mark)->numBandDims(), 2u);
+
+    // Second child: filter {S1,S2,S3} -> tile band -> extension ->
+    // sequence [filter {S0} -> band0', filter {S1,S2,S3} -> point].
+    NodePtr f1 = top_seq->children[1];
+    NodePtr tile = f1->onlyChild();
+    ASSERT_EQ(tile->kind, NodeKind::Band);
+    EXPECT_EQ(tile->tileSizes, (std::vector<int64_t>{2, 2}));
+    NodePtr ext = tile->onlyChild();
+    ASSERT_EQ(ext->kind, NodeKind::Extension);
+    NodePtr seq = ext->onlyChild();
+    ASSERT_EQ(seq->kind, NodeKind::Sequence);
+    ASSERT_EQ(seq->children.size(), 2u);
+    EXPECT_EQ(seq->children[0]->filter,
+              (std::vector<std::string>{"S0"}));
+    NodePtr point = ScheduleTree::findBand(seq->children[1]);
+    ASSERT_TRUE(point);
+    EXPECT_TRUE(point->tileSizes.empty());
+    EXPECT_EQ(point->numBandDims(), 2u);
+}
+
+TEST_F(ConvCompose, ExtensionScheduleMatchesEq6)
+{
+    // Blue tile (o0, o1) = (1, 0) -> S0 instances
+    // { S0[h, w] : 2 <= h <= 5 and 0 <= w <= 3 } (Sec. III-B).
+    auto it = result_.extensionSchedules.find("S0");
+    ASSERT_NE(it, result_.extensionSchedules.end());
+    const pres::Map &h = it->second;
+    ASSERT_EQ(h.pieces().size(), 1u);
+    pres::BasicMap fixed =
+        h.pieces()[0].fixInDim(0, 1).fixInDim(1, 0);
+    for (const auto &[name, value] : prog_.paramValues())
+        fixed = fixed.fixParam(name, value);
+    auto pts = fixed.range().enumerate({});
+    EXPECT_EQ(pts.size(), 16u);
+    for (const auto &p : pts) {
+        EXPECT_GE(p[0], 2);
+        EXPECT_LE(p[0], 5);
+        EXPECT_GE(p[1], 0);
+        EXPECT_LE(p[1], 3);
+    }
+}
+
+TEST_F(ConvCompose, TileBandKeepsParallelism)
+{
+    // Post-tiling fusion must not lose the parallelism of the
+    // live-out space (Sec. IV).
+    NodePtr f1 = result_.tree.root()->onlyChild()->children[1];
+    NodePtr tile = f1->onlyChild();
+    EXPECT_EQ(tile->coincident, (std::vector<bool>{true, true}));
+    EXPECT_TRUE(tile->permutable);
+}
+
+TEST_F(ConvCompose, NoDeadCodeInFullCoverage)
+{
+    // The union of S0 tiles covers the whole S0 domain here (the
+    // convolution reads every input point), so no dead stores.
+    EXPECT_FALSE(result_.deadCodeEliminated);
+}
+
+TEST(Compose, GuardRejectsSerialIntermediateForParallelTarget)
+{
+    // Intermediate with zero parallel loops (a serial scan) must not
+    // be fused into a parallel live-out (m > n guard).
+    ProgramBuilder b("guard");
+    b.param("N", 16);
+    b.tensor("A", {"N"}, TensorKind::Temp);
+    b.tensor("B", {"N"}, TensorKind::Output);
+    // S0: A[i] = A[i-1] + 1 (serial).
+    b.statement("S0")
+        .domain("[N] -> { S0[i] : 1 <= i < N }")
+        .reads("A", "{ S0[i] -> A[i - 1] }")
+        .writes("A", "{ S0[i] -> A[i] }")
+        .body(ir::bin(ir::BinOp::Add, ir::loadAcc(0), ir::lit(1.0)))
+        .group(0);
+    // S1: B[i] = A[i] (parallel).
+    b.statement("S1")
+        .domain("[N] -> { S1[i] : 0 <= i < N }")
+        .reads("A", "{ S1[i] -> A[i] }")
+        .writes("B", "{ S1[i] -> B[i] }")
+        .body(ir::loadAcc(0))
+        .group(1);
+    Program p = b.build();
+    auto g = deps::DependenceGraph::compute(p);
+
+    ComposeOptions opts;
+    opts.tileSizes = {4};
+    opts.targetParallelism = 1;
+    opts.startup = schedule::FusionPolicy::Min;
+    auto r = compose(p, g, opts);
+    EXPECT_TRUE(r.fusedIntermediates.empty());
+    EXPECT_TRUE(r.skippedStatements.empty());
+    EXPECT_EQ(r.spaces.size(), 2u);
+}
+
+TEST(Compose, ChainOfIntermediatesFusesTransitively)
+{
+    // S0 -> S1 -> S2(live-out): both intermediates fused through
+    // the propagated footprints (lines 10-15 of Algorithm 1).
+    ProgramBuilder b("chain");
+    b.param("N", 32);
+    b.tensor("A", {"N + 2"}, TensorKind::Temp);
+    b.tensor("B", {"N + 1"}, TensorKind::Temp);
+    b.tensor("C", {"N"}, TensorKind::Output);
+    b.statement("S0")
+        .domain("[N] -> { S0[i] : 0 <= i < N + 2 }")
+        .writes("A", "{ S0[i] -> A[i] }")
+        .body(ir::lit(1.0))
+        .group(0);
+    b.statement("S1")
+        .domain("[N] -> { S1[i] : 0 <= i < N + 1 }")
+        .reads("A", "{ S1[i] -> A[i] }")
+        .reads("A", "{ S1[i] -> A[i + 1] }")
+        .writes("B", "{ S1[i] -> B[i] }")
+        .body(ir::bin(ir::BinOp::Add, ir::loadAcc(0), ir::loadAcc(1)))
+        .group(1);
+    b.statement("S2")
+        .domain("[N] -> { S2[i] : 0 <= i < N }")
+        .reads("B", "{ S2[i] -> B[i] }")
+        .reads("B", "{ S2[i] -> B[i + 1] }")
+        .writes("C", "{ S2[i] -> C[i] }")
+        .body(ir::bin(ir::BinOp::Add, ir::loadAcc(0), ir::loadAcc(1)))
+        .group(2);
+    Program p = b.build();
+    auto g = deps::DependenceGraph::compute(p);
+
+    ComposeOptions opts;
+    opts.tileSizes = {8};
+    opts.startup = schedule::FusionPolicy::Min;
+    auto r = compose(p, g, opts);
+    ASSERT_EQ(r.spaces.size(), 1u);
+    EXPECT_EQ(r.fusedIntermediates.size(), 2u);
+
+    // Overlapped tile shapes: tile o covers B[8o .. 8o+8] (9 points)
+    // and A[8o .. 8o+9] (10 points); the schedules are unions of
+    // pieces (one per read access), so count points across pieces.
+    auto tilePoints = [&](const std::string &stmt, int64_t tile) {
+        pres::Set pts;
+        for (const auto &piece :
+             r.extensionSchedules.at(stmt).pieces())
+            pts = pts.unite(pres::Set(piece.fixParam("N", 32)
+                                          .fixInDim(0, tile)
+                                          .range()));
+        return pts.enumerateTuple(stmt, {}).size();
+    };
+    EXPECT_EQ(tilePoints("S1", 1), 9u);
+    EXPECT_EQ(tilePoints("S0", 1), 10u);
+}
+
+TEST(Compose, DeadStoresDetectedWhenProducerOvercomputes)
+{
+    // S0 writes A[0..2N), but the live-out only reads A[0..N):
+    // the union of extension tiles is a strict subset of S0's domain
+    // (fine-grained dead code elimination, Sec. IV-C).
+    ProgramBuilder b("dce");
+    b.param("N", 16);
+    b.tensor("A", {"2*N"}, TensorKind::Temp);
+    b.tensor("B", {"N"}, TensorKind::Output);
+    b.statement("S0")
+        .domain("[N] -> { S0[i] : 0 <= i < 2*N }")
+        .writes("A", "{ S0[i] -> A[i] }")
+        .body(ir::lit(1.0))
+        .group(0);
+    b.statement("S1")
+        .domain("[N] -> { S1[i] : 0 <= i < N }")
+        .reads("A", "{ S1[i] -> A[i] }")
+        .writes("B", "{ S1[i] -> B[i] }")
+        .body(ir::loadAcc(0))
+        .group(1);
+    Program p = b.build();
+    auto g = deps::DependenceGraph::compute(p);
+    ComposeOptions opts;
+    opts.tileSizes = {4};
+    opts.startup = schedule::FusionPolicy::Min;
+    auto r = compose(p, g, opts);
+    ASSERT_EQ(r.fusedIntermediates,
+              (std::vector<std::string>{"S0"}));
+    EXPECT_TRUE(r.deadCodeEliminated);
+}
+
+/** Two live-outs sharing one producer (Fig. 6). */
+Program
+sharedProducer(bool disjoint)
+{
+    ProgramBuilder b("shared");
+    b.param("N", 16);
+    b.tensor("A", {"2*N + 1"}, TensorKind::Temp);
+    b.tensor("B", {"N"}, TensorKind::Output);
+    b.tensor("C", {"N"}, TensorKind::Output);
+    b.statement("S0")
+        .domain("[N] -> { S0[i] : 0 <= i <= 2*N }")
+        .writes("A", "{ S0[i] -> A[i] }")
+        .body(ir::lit(1.0))
+        .group(0);
+    // op1 reads A[0..N).
+    b.statement("S1")
+        .domain("[N] -> { S1[i] : 0 <= i < N }")
+        .reads("A", "{ S1[i] -> A[i] }")
+        .writes("B", "{ S1[i] -> B[i] }")
+        .body(ir::loadAcc(0))
+        .group(1);
+    // op2 reads A[N..2N) when disjoint, A[0..N) otherwise.
+    b.statement("S2")
+        .domain("[N] -> { S2[i] : 0 <= i < N }")
+        .reads("A", disjoint ? "[N] -> { S2[i] -> A[i + N] }"
+                             : "{ S2[i] -> A[i] }")
+        .writes("C", "{ S2[i] -> C[i] }")
+        .body(ir::loadAcc(0))
+        .group(2);
+    return b.build();
+}
+
+TEST(Compose, SharedProducerWithDisjointUsesIsFusedIntoBoth)
+{
+    Program p = sharedProducer(true);
+    auto g = deps::DependenceGraph::compute(p);
+    ComposeOptions opts;
+    opts.tileSizes = {4};
+    opts.startup = schedule::FusionPolicy::Min;
+    auto r = compose(p, g, opts);
+    // op0' fused into op1's tiles, op0'' into op2's (Fig. 6(b)).
+    EXPECT_EQ(r.fusedIntermediates,
+              (std::vector<std::string>{"S0", "S0"}));
+    EXPECT_EQ(r.skippedStatements,
+              (std::vector<std::string>{"S0"}));
+    // No statement is computed redundantly, and the extension union
+    // covers A[0..2N) which is a strict subset of S0's domain
+    // (A[2N] is never read): dead store elimination kicks in.
+    EXPECT_TRUE(r.deadCodeEliminated);
+    EXPECT_EQ(r.spaces.size(), 2u);
+}
+
+TEST(Compose, SharedProducerWithOverlappingUsesIsNotFused)
+{
+    Program p = sharedProducer(false);
+    auto g = deps::DependenceGraph::compute(p);
+    ComposeOptions opts;
+    opts.tileSizes = {4};
+    opts.startup = schedule::FusionPolicy::Min;
+    auto r = compose(p, g, opts);
+    // Fusing would recompute the intersection: rejected (Sec. IV-C).
+    EXPECT_TRUE(r.fusedIntermediates.empty());
+    EXPECT_TRUE(r.skippedStatements.empty());
+    EXPECT_EQ(r.spaces.size(), 3u);
+}
+
+TEST(Compose, UntilableLiveOutStillFusesWithoutTiling)
+{
+    // Live-out is a serial scan (no parallel dims): not tilable, but
+    // the empty-domain extension schedule still fuses the producer
+    // (the paper's equake case, Sec. VI-A).
+    ProgramBuilder b("untilable");
+    b.param("N", 16);
+    b.tensor("A", {"N"}, TensorKind::Temp);
+    b.tensor("B", {"N + 1"}, TensorKind::Output);
+    b.statement("S0")
+        .domain("[N] -> { S0[i] : 0 <= i < N }")
+        .writes("A", "{ S0[i] -> A[i] }")
+        .body(ir::lit(3.0))
+        .group(0);
+    b.statement("S1")
+        .domain("[N] -> { S1[i] : 1 <= i <= N }")
+        .reads("B", "{ S1[i] -> B[i - 1] }")
+        .reads("A", "{ S1[i] -> A[i - 1] }")
+        .writes("B", "{ S1[i] -> B[i] }")
+        .body(ir::bin(ir::BinOp::Add, ir::loadAcc(0), ir::loadAcc(1)))
+        .group(1);
+    Program p = b.build();
+    auto g = deps::DependenceGraph::compute(p);
+    ComposeOptions opts;
+    opts.tileSizes = {4};
+    opts.targetParallelism = 1;
+    opts.startup = schedule::FusionPolicy::Min;
+    auto r = compose(p, g, opts);
+    EXPECT_EQ(r.tiledLiveOuts, 0u);
+    ASSERT_EQ(r.fusedIntermediates,
+              (std::vector<std::string>{"S0"}));
+    // Extension input tuple has zero dimensions.
+    const pres::Map &h = r.extensionSchedules.at("S0");
+    ASSERT_FALSE(h.pieces().empty());
+    EXPECT_EQ(h.pieces()[0].space().numIn(), 0u);
+}
+
+TEST_F(ConvCompose, CompileTimeIsRecorded)
+{
+    EXPECT_GT(result_.compileMs, 0.0);
+}
+
+} // namespace
+} // namespace core
+} // namespace polyfuse

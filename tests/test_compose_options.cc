@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Tests of the composition's option surface and design-choice
+ * ablations: footprint dilation (PolyMage emulation), the
+ * no-redundancy recomputation guard, startup heuristic choice,
+ * target parallelism, and tile-size sweeps (parameterized).
+ */
+
+#include <gtest/gtest.h>
+
+#include "codegen/generate.hh"
+#include "core/compose.hh"
+#include "exec/executor.hh"
+#include "workloads/conv2d.hh"
+#include "workloads/polybench.hh"
+
+namespace polyfuse {
+namespace core {
+namespace {
+
+using schedule::FusionPolicy;
+
+exec::ExecStats
+runConv(const ir::Program &p, const ComposeResult &r)
+{
+    exec::Buffers buf(p);
+    buf.fillPattern(p.tensorId("A"), 7);
+    buf.fillPattern(p.tensorId("B"), 13);
+    return exec::run(p, codegen::generateAst(r.tree), buf);
+}
+
+TEST(ComposeOptions, DilationAddsRecomputationButStaysCorrect)
+{
+    ir::Program p = workloads::makeConv2D({32, 32, 3, 3});
+    auto g = deps::DependenceGraph::compute(p);
+
+    ComposeOptions tight;
+    tight.tileSizes = {8, 8};
+    auto rt = compose(p, g, tight);
+
+    ComposeOptions loose = tight;
+    loose.footprintDilation = 1;
+    auto rl = compose(p, g, loose);
+
+    auto st = runConv(p, rt);
+    auto sl = runConv(p, rl);
+    // Dilated footprints execute strictly more producer instances.
+    EXPECT_GT(sl.instances, st.instances);
+
+    // And both match the reference output.
+    exec::Buffers a(p), b(p);
+    a.fillPattern(p.tensorId("A"), 7);
+    a.fillPattern(p.tensorId("B"), 13);
+    b.fillPattern(p.tensorId("A"), 7);
+    b.fillPattern(p.tensorId("B"), 13);
+    exec::run(p, codegen::generateAst(rt.tree), a);
+    exec::run(p, codegen::generateAst(rl.tree), b);
+    EXPECT_EQ(a.data(p.tensorId("C")), b.data(p.tensorId("C")));
+}
+
+TEST(ComposeOptions, RecomputeGuardRejectsMatmulStyleFusion)
+{
+    ir::Program p = workloads::make2mm(64, 64, 64, 64);
+    auto g = deps::DependenceGraph::compute(p);
+    ComposeOptions opts;
+    opts.tileSizes = {8, 8};
+    opts.startup = FusionPolicy::Min;
+    auto r = compose(p, g, opts);
+    // Fusing Tmp into D's tiles would recompute whole rows: rejected.
+    EXPECT_TRUE(r.fusedIntermediates.empty());
+    EXPECT_EQ(r.spaces.size(), 2u);
+
+    // Raising the threshold far enough re-enables the fusion.
+    opts.maxRecompute = 100.0;
+    auto r2 = compose(p, g, opts);
+    EXPECT_FALSE(r2.fusedIntermediates.empty());
+}
+
+TEST(ComposeOptions, GuardStillAllowsBoundedHalos)
+{
+    // Stencil halo factors are ~(T+K-1)/T per dim: far below 4.
+    ir::Program p = workloads::makeConv2D({64, 64, 3, 3});
+    auto g = deps::DependenceGraph::compute(p);
+    ComposeOptions opts;
+    opts.tileSizes = {16, 16};
+    auto r = compose(p, g, opts);
+    EXPECT_EQ(r.fusedIntermediates,
+              (std::vector<std::string>{"S0"}));
+}
+
+TEST(ComposeOptions, MinStartupStillComposesTheConv)
+{
+    // With minfuse startup the three conv groups are separate
+    // spaces; S3 and {S1,S2} are both live-out, so Algorithm 3
+    // prevents their fusion, but S0 still fuses into {S1,S2}.
+    ir::Program p = workloads::makeConv2D({32, 32, 3, 3});
+    auto g = deps::DependenceGraph::compute(p);
+    ComposeOptions opts;
+    opts.tileSizes = {8, 8};
+    opts.startup = FusionPolicy::Min;
+    auto r = compose(p, g, opts);
+    EXPECT_EQ(r.fusedIntermediates,
+              (std::vector<std::string>{"S0"}));
+    EXPECT_EQ(r.spaces.size(), 2u); // {S0,S1,S2} and {S3}
+}
+
+TEST(ComposeOptions, HigherParallelismBarDisablesTiling)
+{
+    // A live-out with only 1 leading parallel dim cannot satisfy a
+    // GPU-style bar of 2 -> untiled, but extension fusion survives.
+    ir::ProgramBuilder b("onepar");
+    b.param("N", 32);
+    b.tensor("A", {"N", "N"}, ir::TensorKind::Temp);
+    b.tensor("B", {"N", "N"}, ir::TensorKind::Output);
+    b.statement("S0")
+        .domain("[N] -> { S0[i, j] : 0 <= i < N and 0 <= j < N }")
+        .writes("A", "{ S0[i, j] -> A[i, j] }")
+        .body(ir::lit(1.0))
+        .group(0);
+    // Serial in j (scan), parallel in i only.
+    b.statement("S1")
+        .domain("[N] -> { S1[i, j] : 0 <= i < N and 1 <= j < N }")
+        .reads("A", "{ S1[i, j] -> A[i, j] }")
+        .reads("B", "{ S1[i, j] -> B[i, j - 1] }")
+        .writes("B", "{ S1[i, j] -> B[i, j] }")
+        .body(ir::bin(ir::BinOp::Add, ir::loadAcc(0), ir::loadAcc(1)))
+        .group(1);
+    ir::Program p = b.build();
+    auto g = deps::DependenceGraph::compute(p);
+
+    ComposeOptions cpu;
+    cpu.tileSizes = {8, 8};
+    cpu.targetParallelism = 1;
+    cpu.startup = FusionPolicy::Min;
+    auto rc = compose(p, g, cpu);
+    EXPECT_EQ(rc.tiledLiveOuts, 1u);
+
+    ComposeOptions gpu = cpu;
+    gpu.targetParallelism = 2;
+    auto rg = compose(p, g, gpu);
+    EXPECT_EQ(rg.tiledLiveOuts, 0u);
+    EXPECT_FALSE(rg.fusedIntermediates.empty());
+}
+
+TEST(ComposeOptions, EmptyTileSizesDisableTiling)
+{
+    ir::Program p = workloads::makeConv2D({32, 32, 3, 3});
+    auto g = deps::DependenceGraph::compute(p);
+    ComposeOptions opts;
+    opts.tileSizes = {};
+    auto r = compose(p, g, opts);
+    EXPECT_EQ(r.tiledLiveOuts, 0u);
+    // Fusion without tiling (empty-domain extension, Sec. VI-A).
+    EXPECT_FALSE(r.fusedIntermediates.empty());
+    EXPECT_EQ(runConv(p, r).instances, 32u * 32 + 30u * 30 * 11);
+}
+
+/** Tile-size sweep: correctness and halo growth are monotone. */
+class TileSweep : public ::testing::TestWithParam<int64_t>
+{
+};
+
+TEST_P(TileSweep, ComposedConvMatchesReferenceAtEveryTileSize)
+{
+    int64_t tile = GetParam();
+    ir::Program p = workloads::makeConv2D({40, 40, 5, 5});
+    auto g = deps::DependenceGraph::compute(p);
+
+    auto runTree = [&](const schedule::ScheduleTree &t) {
+        exec::Buffers buf(p);
+        buf.fillPattern(p.tensorId("A"), 7);
+        buf.fillPattern(p.tensorId("B"), 13);
+        exec::run(p, codegen::generateAst(t), buf);
+        return buf.data(p.tensorId("C"));
+    };
+    auto initial = schedule::ScheduleTree::initial(p);
+    initial.annotate(g);
+    auto ref = runTree(initial);
+
+    ComposeOptions opts;
+    opts.tileSizes = {tile, tile};
+    auto r = compose(p, g, opts);
+    EXPECT_EQ(runTree(r.tree), ref) << "tile=" << tile;
+}
+
+TEST_P(TileSweep, SmallerTilesRecomputeMoreHalo)
+{
+    int64_t tile = GetParam();
+    if (tile >= 36)
+        GTEST_SKIP() << "single tile: no halo";
+    ir::Program p = workloads::makeConv2D({40, 40, 5, 5});
+    auto g = deps::DependenceGraph::compute(p);
+    ComposeOptions opts;
+    opts.tileSizes = {tile, tile};
+    auto r = compose(p, g, opts);
+    auto s = runConv(p, r);
+
+    ComposeOptions big;
+    big.tileSizes = {36, 36};
+    auto rb = compose(p, g, big);
+    auto sb = runConv(p, rb);
+    EXPECT_GE(s.instances, sb.instances) << "tile=" << tile;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TileSweep,
+                         ::testing::Values(3, 4, 5, 7, 8, 9, 12, 16,
+                                           18, 36, 64));
+
+} // namespace
+} // namespace core
+} // namespace polyfuse

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests for memory-based dependence analysis on the Fig. 1(a)
+ * convolution and hand-built mini programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "deps/dependences.hh"
+#include "workloads/conv2d.hh"
+
+namespace polyfuse {
+namespace deps {
+namespace {
+
+using ir::L;
+using ir::ProgramBuilder;
+using ir::S;
+using ir::TensorKind;
+
+class ConvDeps : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        prog_ = workloads::makeConv2D({6, 6, 3, 3});
+        graph_ = DependenceGraph::compute(prog_);
+    }
+
+    ir::Program prog_;
+    DependenceGraph graph_;
+};
+
+TEST_F(ConvDeps, FlowFromQuantizationToReduction)
+{
+    int s0 = prog_.statementId("S0");
+    int s2 = prog_.statementId("S2");
+    auto d = graph_.between(s0, s2);
+    bool found_flow = false;
+    for (const auto *dep : d)
+        if (dep->kind == DepKind::Flow &&
+            dep->tensor == prog_.tensorId("A"))
+            found_flow = true;
+    EXPECT_TRUE(found_flow);
+    // No dependence in the other direction (S2 never writes A).
+    for (const auto *dep : graph_.between(s2, s0))
+        EXPECT_NE(dep->kind, DepKind::Flow);
+}
+
+TEST_F(ConvDeps, GroupGraphMatchesPaper)
+{
+    // Group 0 {S0} feeds group 1 {S1,S2}; group 1 feeds group 2 {S3}.
+    EXPECT_TRUE(graph_.groupDependsOn(1, 0));
+    EXPECT_TRUE(graph_.groupDependsOn(2, 1));
+    EXPECT_FALSE(graph_.groupDependsOn(0, 1));
+    EXPECT_FALSE(graph_.groupDependsOn(0, 2));
+    // S0 does not feed S3 directly (S3 only touches C).
+    EXPECT_FALSE(graph_.groupDependsOn(2, 0));
+}
+
+TEST_F(ConvDeps, InitBeforeReductionInSameNest)
+{
+    int s1 = prog_.statementId("S1");
+    int s2 = prog_.statementId("S2");
+    // S1 writes C, S2 reads and writes C: flow S1 -> S2 must exist.
+    bool found = false;
+    for (const auto *dep : graph_.between(s1, s2))
+        if (dep->kind == DepKind::Flow)
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST_F(ConvDeps, ReductionSelfDependence)
+{
+    int s2 = prog_.statementId("S2");
+    auto self = graph_.between(s2, s2);
+    EXPECT_FALSE(self.empty());
+}
+
+TEST_F(ConvDeps, StencilDistancesOverHW)
+{
+    // Flow S0 -> S2 via A: S2(h, w, ...) reads A(h+kh, w+kw) written
+    // by S0(h+kh, w+kw). Distance over (h, w) is -(kh), -(kw):
+    // range [-2, 0] each for KH = KW = 3.
+    int s0 = prog_.statementId("S0");
+    int s2 = prog_.statementId("S2");
+    const Dependence *flow = nullptr;
+    for (const auto *dep : graph_.between(s0, s2))
+        if (dep->kind == DepKind::Flow)
+            flow = dep;
+    ASSERT_NE(flow, nullptr);
+    auto dist = graph_.bandDistances(*flow, {0, 1}, {0, 1});
+    ASSERT_EQ(dist.size(), 2u);
+    ASSERT_TRUE(dist[0].bounded);
+    EXPECT_EQ(dist[0].min, -2);
+    EXPECT_EQ(dist[0].max, 0);
+    ASSERT_TRUE(dist[1].bounded);
+    EXPECT_EQ(dist[1].min, -2);
+    EXPECT_EQ(dist[1].max, 0);
+}
+
+TEST_F(ConvDeps, PointwiseDistancesAreZero)
+{
+    // Flow S2 -> S3 via C is pointwise on (h, w).
+    int s2 = prog_.statementId("S2");
+    int s3 = prog_.statementId("S3");
+    const Dependence *flow = nullptr;
+    for (const auto *dep : graph_.between(s2, s3))
+        if (dep->kind == DepKind::Flow)
+            flow = dep;
+    ASSERT_NE(flow, nullptr);
+    auto dist = graph_.bandDistances(*flow, {0, 1}, {0, 1});
+    ASSERT_TRUE(dist[0].bounded);
+    EXPECT_EQ(dist[0].min, 0);
+    EXPECT_EQ(dist[0].max, 0);
+    EXPECT_EQ(dist[1].min, 0);
+    EXPECT_EQ(dist[1].max, 0);
+}
+
+TEST(BeforeMap, CrossGroupIsTotal)
+{
+    ir::Program p = workloads::makeConv2D({6, 6, 3, 3});
+    pres::Map before =
+        beforeMap(p, p.statementId("S0"), p.statementId("S3"));
+    ASSERT_EQ(before.pieces().size(), 1u);
+    // Universe relation: no constraints after simplification.
+    EXPECT_TRUE(before.pieces()[0].constraints().empty());
+    // And the reverse is empty.
+    EXPECT_TRUE(
+        beforeMap(p, p.statementId("S3"), p.statementId("S0")).empty());
+}
+
+TEST(BeforeMap, SameNestUsesSeqAndLoops)
+{
+    ir::Program p = workloads::makeConv2D({6, 6, 3, 3});
+    int s1 = p.statementId("S1");
+    int s2 = p.statementId("S2");
+    pres::Map before = beforeMap(p, s1, s2);
+    // S1(h,w) before S2(h',w',kh,kw) iff (h,w) lexle (h',w') --
+    // carried pieces at h and w plus the equal piece (seq 0 < 1).
+    EXPECT_EQ(before.pieces().size(), 3u);
+
+    pres::Map rev = beforeMap(p, s2, s1);
+    // S2 before S1 only on strictly earlier (h, w): 2 carried pieces.
+    EXPECT_EQ(rev.pieces().size(), 2u);
+}
+
+TEST(BeforeMap, SelfIsStrictLexOrder)
+{
+    ir::Program p = workloads::makeConv2D({6, 6, 3, 3});
+    int s2 = p.statementId("S2");
+    pres::Map before = beforeMap(p, s2, s2);
+    // Strict lex order over 4 loops: 4 carried pieces, no equal piece.
+    EXPECT_EQ(before.pieces().size(), 4u);
+}
+
+TEST(Deps, WriteAfterWriteIsOutput)
+{
+    ProgramBuilder b("waw");
+    b.param("N", 8);
+    b.tensor("A", {"N"}, TensorKind::Output);
+    b.statement("S0")
+        .domain("[N] -> { S0[i] : 0 <= i < N }")
+        .writes("A", "{ S0[i] -> A[i] }")
+        .body(ir::lit(0.0))
+        .group(0);
+    b.statement("S1")
+        .domain("[N] -> { S1[i] : 0 <= i < N }")
+        .writes("A", "{ S1[i] -> A[i] }")
+        .body(ir::lit(1.0))
+        .group(1);
+    auto g = DependenceGraph::compute(b.build());
+    bool found = false;
+    for (const auto &d : g.all())
+        if (d.kind == DepKind::Output && d.src == 0 && d.dst == 1)
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(Deps, AntiDependenceDetected)
+{
+    // S0 reads A[i+1], S1 writes A[i]: anti S0 -> S1.
+    ProgramBuilder b("anti");
+    b.param("N", 8);
+    b.tensor("A", {"N + 1"}, TensorKind::Input);
+    b.tensor("B", {"N"}, TensorKind::Output);
+    b.tensor("A2", {"N"}, TensorKind::Output);
+    b.statement("S0")
+        .domain("[N] -> { S0[i] : 0 <= i < N }")
+        .reads("A", "{ S0[i] -> A[i + 1] }")
+        .writes("B", "{ S0[i] -> B[i] }")
+        .body(ir::loadAcc(0))
+        .group(0);
+    b.statement("S1")
+        .domain("[N] -> { S1[i] : 0 <= i < N }")
+        .writes("A", "{ S1[i] -> A[i] }")
+        .body(ir::lit(2.0))
+        .group(1);
+    auto g = DependenceGraph::compute(b.build());
+    bool found = false;
+    for (const auto &d : g.all())
+        if (d.kind == DepKind::Anti &&
+            d.src == 0 && d.dst == 1)
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(Deps, DisjointAccessesProduceNoDependence)
+{
+    // S0 writes A[0..N), S1 reads A[N..2N): no overlap.
+    ProgramBuilder b("disjoint");
+    b.param("N", 8);
+    b.tensor("A", {"2*N"}, TensorKind::Temp);
+    b.tensor("B", {"N"}, TensorKind::Output);
+    b.statement("S0")
+        .domain("[N] -> { S0[i] : 0 <= i < N }")
+        .writes("A", "{ S0[i] -> A[i] }")
+        .body(ir::lit(1.0))
+        .group(0);
+    b.statement("S1")
+        .domain("[N] -> { S1[i] : 0 <= i < N }")
+        .reads("A", "[N] -> { S1[i] -> A[i + N] }")
+        .writes("B", "{ S1[i] -> B[i] }")
+        .body(ir::loadAcc(0))
+        .group(1);
+    auto g = DependenceGraph::compute(b.build());
+    EXPECT_TRUE(g.between(0, 1).empty());
+}
+
+} // namespace
+} // namespace deps
+} // namespace polyfuse

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for the program IR and builder, using the paper's Fig. 1(a)
+ * convolution as the primary fixture.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/program.hh"
+#include "support/logging.hh"
+#include "workloads/conv2d.hh"
+
+namespace polyfuse {
+namespace ir {
+namespace {
+
+TEST(Program, Conv2DStructure)
+{
+    Program p = workloads::makeConv2D({6, 6, 3, 3});
+    EXPECT_EQ(p.statements().size(), 4u);
+    EXPECT_EQ(p.numGroups(), 3u);
+    EXPECT_EQ(p.groupStatements(1),
+              (std::vector<int>{p.statementId("S1"),
+                                p.statementId("S2")}));
+    EXPECT_EQ(p.tensors().size(), 3u);
+}
+
+TEST(Program, LiveOutClassification)
+{
+    Program p = workloads::makeConv2D();
+    EXPECT_FALSE(p.tensorLiveOut(p.tensorId("A")));
+    EXPECT_FALSE(p.tensorLiveOut(p.tensorId("B")));
+    EXPECT_TRUE(p.tensorLiveOut(p.tensorId("C")));
+    EXPECT_FALSE(p.groupLiveOut(0)); // S0 writes A (temp)
+    EXPECT_TRUE(p.groupLiveOut(1));  // S1/S2 write C
+    EXPECT_TRUE(p.groupLiveOut(2));  // S3 writes C
+}
+
+TEST(Program, TensorExtentsEvaluate)
+{
+    Program p = workloads::makeConv2D({6, 6, 3, 3});
+    int A = p.tensorId("A");
+    int C = p.tensorId("C");
+    EXPECT_EQ(p.tensorExtent(A, 0), 6);
+    EXPECT_EQ(p.tensorExtent(C, 0), 4); // H - KH + 1
+    EXPECT_EQ(p.tensorSize(A), 36);
+    EXPECT_EQ(p.tensorSize(C), 16);
+}
+
+TEST(Program, DomainsAndAccessUnions)
+{
+    Program p = workloads::makeConv2D({6, 6, 3, 3});
+    pres::Set dom = p.domains();
+    EXPECT_EQ(dom.pieces().size(), 4u);
+    auto s2 = dom.enumerateTuple("S2", p.paramValues());
+    EXPECT_EQ(s2.size(), 16u * 9u);
+
+    pres::Map writes = p.writes();
+    // S0 writes A; S1, S2, S3 write C.
+    EXPECT_EQ(writes.extractRangeTuple("A").pieces().size(), 1u);
+    EXPECT_EQ(writes.extractRangeTuple("C").pieces().size(), 3u);
+
+    pres::Map reads = p.reads();
+    EXPECT_EQ(reads.extractRangeTuple("B").pieces().size(), 1u);
+}
+
+TEST(Program, StatementAccessorsAndPaths)
+{
+    Program p = workloads::makeConv2D();
+    const Statement &s2 = p.statement(p.statementId("S2"));
+    EXPECT_EQ(s2.numDims(), 4u);
+    EXPECT_EQ(s2.dimNames(),
+              (std::vector<std::string>{"h", "w", "kh", "kw"}));
+    EXPECT_EQ(s2.readIndices().size(), 3u);
+    EXPECT_EQ(s2.writeAccess().tensor, p.tensorId("C"));
+    ASSERT_EQ(s2.path().size(), 5u);
+    EXPECT_EQ(s2.path()[2].kind, PathElem::Kind::Seq);
+    EXPECT_EQ(s2.path()[2].value, 1u);
+
+    const Statement &s0 = p.statement(p.statementId("S0"));
+    ASSERT_EQ(s0.path().size(), 2u); // default: all dims as loops
+    EXPECT_EQ(s0.path()[0].kind, PathElem::Kind::Loop);
+}
+
+TEST(Program, AccessIndexExprsExtracted)
+{
+    Program p = workloads::makeConv2D();
+    const Statement &s2 = p.statement(p.statementId("S2"));
+    const Access &a = s2.accesses()[s2.readIndices()[1]]; // A read
+    ASSERT_TRUE(a.hasExprs);
+    ASSERT_EQ(a.indexExprs.size(), 2u);
+    // Row over [h, w, kh, kw, const]: h + kh.
+    EXPECT_EQ(a.indexExprs[0],
+              (std::vector<int64_t>{1, 0, 1, 0, 0}));
+}
+
+TEST(Builder, RejectsMismatchedTuples)
+{
+    ProgramBuilder b("bad");
+    b.param("N", 8);
+    b.tensor("A", {"N"}, TensorKind::Temp);
+    EXPECT_THROW(
+        b.statement("S0").domain("[N] -> { WRONG[i] : 0 <= i < N }"),
+        FatalError);
+}
+
+TEST(Builder, RejectsUnknownTensorInAccess)
+{
+    ProgramBuilder b("bad");
+    b.param("N", 8);
+    auto s = b.statement("S0");
+    s.domain("[N] -> { S0[i] : 0 <= i < N }");
+    EXPECT_THROW(s.reads("NOPE", "{ S0[i] -> NOPE[i] }"), FatalError);
+}
+
+TEST(Builder, RejectsAccessRankMismatch)
+{
+    ProgramBuilder b("bad");
+    b.param("N", 8);
+    b.tensor("A", {"N", "N"}, TensorKind::Temp);
+    auto s = b.statement("S0");
+    s.domain("[N] -> { S0[i] : 0 <= i < N }");
+    EXPECT_THROW(s.writes("A", "{ S0[i] -> A[i] }"), FatalError);
+}
+
+TEST(Builder, RejectsSecondWrite)
+{
+    ProgramBuilder b("bad");
+    b.param("N", 8);
+    b.tensor("A", {"N"}, TensorKind::Temp);
+    auto s = b.statement("S0");
+    s.domain("[N] -> { S0[i] : 0 <= i < N }");
+    s.writes("A", "{ S0[i] -> A[i] }");
+    EXPECT_THROW(s.writes("A", "{ S0[i] -> A[i] }"), FatalError);
+}
+
+TEST(Builder, RejectsDuplicateNames)
+{
+    ProgramBuilder b("bad");
+    b.param("N", 8);
+    EXPECT_THROW(b.param("N", 9), FatalError);
+    b.tensor("A", {"N"}, TensorKind::Temp);
+    EXPECT_THROW(b.tensor("A", {"N"}, TensorKind::Temp), FatalError);
+    b.statement("S0").domain("[N] -> { S0[i] : 0 <= i < N }");
+    EXPECT_THROW(b.statement("S0"), FatalError);
+}
+
+TEST(Builder, RejectsGapInGroups)
+{
+    ProgramBuilder b("bad");
+    b.param("N", 8);
+    b.tensor("A", {"N"}, TensorKind::Output);
+    b.statement("S0")
+        .domain("[N] -> { S0[i] : 0 <= i < N }")
+        .writes("A", "{ S0[i] -> A[i] }")
+        .body(lit(1.0))
+        .group(2); // group 0/1 missing
+    EXPECT_THROW(b.build(), FatalError);
+}
+
+TEST(Expr, FactoryAndOperators)
+{
+    ExprPtr e = loadAcc(0) * lit(2.0) + iterVar(1) - paramRef("N");
+    ASSERT_EQ(e->kind, Expr::Kind::Binary);
+    EXPECT_EQ(e->bop, BinOp::Sub);
+    ASSERT_EQ(e->args.size(), 2u);
+    EXPECT_EQ(e->args[1]->kind, Expr::Kind::Param);
+    ExprPtr u = un(UnOp::Relu, lit(-3.0));
+    EXPECT_EQ(u->uop, UnOp::Relu);
+    ExprPtr ix = loadIdx(2, {iterVar(0), lit(3.0)});
+    EXPECT_EQ(ix->tensor, 2);
+    EXPECT_EQ(ix->args.size(), 2u);
+}
+
+} // namespace
+} // namespace ir
+} // namespace polyfuse

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Tests for the cache simulator, the GPU model, the DaVinci model
+ * and the parallel-scaling model -- including the headline property:
+ * the composed (post-tiling fused) conv schedule misses less than
+ * the conservative one.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codegen/generate.hh"
+#include "core/compose.hh"
+#include "exec/executor.hh"
+#include "memsim/cache.hh"
+#include "memsim/davinci.hh"
+#include "memsim/gpu.hh"
+#include "perfmodel/parallel.hh"
+#include "schedule/fusion.hh"
+#include "support/logging.hh"
+#include "workloads/conv2d.hh"
+
+namespace polyfuse {
+namespace memsim {
+namespace {
+
+TEST(CacheLevel, HitsAfterColdMiss)
+{
+    CacheLevel l1(CacheConfig{1024, 64, 2, "L1"});
+    EXPECT_FALSE(l1.access(100));
+    EXPECT_TRUE(l1.access(100));
+    EXPECT_EQ(l1.hits(), 1u);
+    EXPECT_EQ(l1.misses(), 1u);
+}
+
+TEST(CacheLevel, LruEvictionOrder)
+{
+    // 1024 B / 64 B lines / 2 ways = 8 sets; lines 0, 8, 16 map to
+    // set 0 and only two fit.
+    CacheLevel l1(CacheConfig{1024, 64, 2, "L1"});
+    l1.access(0);
+    l1.access(8);
+    l1.access(16); // evicts 0
+    EXPECT_FALSE(l1.access(0));
+    // Now 0 and 16 are resident (8 evicted when 0 returned).
+    EXPECT_TRUE(l1.access(16));
+    EXPECT_FALSE(l1.access(8));
+}
+
+TEST(CacheLevel, RejectsBadGeometry)
+{
+    EXPECT_THROW(CacheLevel(CacheConfig{1000, 64, 3, "X"}),
+                 FatalError);
+    EXPECT_THROW(CacheLevel(CacheConfig{0, 64, 1, "X"}), FatalError);
+}
+
+TEST(MemoryHierarchy, SequentialScanHasSpatialLocality)
+{
+    auto mem = MemoryHierarchy::typicalCpu();
+    mem.addSpace(0, 1 << 16);
+    for (int64_t i = 0; i < 4096; ++i)
+        mem.access(0, i, false);
+    // 8 doubles per 64 B line: 1 miss per 8 accesses.
+    EXPECT_EQ(mem.stats().accesses, 4096u);
+    EXPECT_EQ(mem.stats().l1Misses, 4096u / 8);
+    EXPECT_GT(mem.estimatedCycles(), 0.0);
+}
+
+TEST(MemoryHierarchy, DistinctSpacesDoNotShareLines)
+{
+    auto mem = MemoryHierarchy::typicalCpu();
+    mem.addSpace(0, 8);
+    mem.addSpace(1, 8);
+    mem.access(0, 0, false);
+    mem.access(1, 0, false);
+    EXPECT_EQ(mem.stats().l1Misses, 2u);
+    EXPECT_THROW(mem.access(5, 0, false), FatalError);
+}
+
+TEST(MemoryHierarchy, ComposedConvMissesLessThanMinfuse)
+{
+    // The paper's core claim, measured in simulated misses: the
+    // post-tiling fused schedule keeps the intermediate A in a
+    // scratchpad and re-uses it, the conservative schedule streams A
+    // through the hierarchy twice.
+    ir::Program p = workloads::makeConv2D({96, 96, 5, 5});
+    auto graph = deps::DependenceGraph::compute(p);
+
+    auto measure = [&](const schedule::ScheduleTree &tree) {
+        exec::Buffers buf(p);
+        buf.fillPattern(p.tensorId("A"), 7);
+        buf.fillPattern(p.tensorId("B"), 13);
+        // Small L1 makes capacity effects visible at this size.
+        MemoryHierarchy mem(CacheConfig{8 * 1024, 64, 8, "L1"},
+                            CacheConfig{128 * 1024, 64, 16, "L2"});
+        for (size_t t = 0; t < p.tensors().size(); ++t) {
+            mem.addSpace(t, p.tensorSize(t));
+            mem.addSpace(p.tensors().size() + t, p.tensorSize(t));
+        }
+        exec::run(p, codegen::generateAst(tree), buf,
+                  [&](int space, int64_t off, bool w) {
+                      mem.access(space, off, w);
+                  });
+        return mem.stats();
+    };
+
+    auto minfuse =
+        schedule::applyFusion(p, graph, schedule::FusionPolicy::Min);
+    core::ComposeOptions opts;
+    opts.tileSizes = {16, 16};
+    auto ours = core::compose(p, graph, opts);
+
+    auto ms = measure(minfuse.tree);
+    auto os = measure(ours.tree);
+    EXPECT_LT(os.dramBytes, ms.dramBytes);
+}
+
+TEST(GpuModel, FusedScheduleBeatsMinfuse)
+{
+    ir::Program p = workloads::makeConv2D({128, 128, 3, 3});
+    auto graph = deps::DependenceGraph::compute(p);
+
+    auto measure = [&](const schedule::ScheduleTree &tree) {
+        exec::Buffers buf(p);
+        buf.fillPattern(p.tensorId("A"), 7);
+        buf.fillPattern(p.tensorId("B"), 13);
+        GpuTraceCounts counts;
+        int nt = p.tensors().size();
+        auto ast = codegen::generateAst(tree);
+        auto stats = exec::run(p, ast, buf,
+                               [&](int space, int64_t, bool) {
+                                   if (space >= nt)
+                                       ++counts.sharedAccesses;
+                                   else
+                                       ++counts.globalAccesses;
+                               });
+        return estimateGpu(p, ast, stats, counts);
+    };
+
+    auto minfuse =
+        schedule::applyFusion(p, graph, schedule::FusionPolicy::Min);
+    core::ComposeOptions opts;
+    opts.tileSizes = {16, 16};
+    opts.targetParallelism = 2;
+    auto ours = core::compose(p, graph, opts);
+
+    GpuEstimate m = measure(minfuse.tree);
+    GpuEstimate o = measure(ours.tree);
+    EXPECT_LT(o.globalBytes, m.globalBytes);
+    EXPECT_LT(o.ms, m.ms);
+    EXPECT_GT(o.sharedBytes, 0.0);
+}
+
+TEST(GpuModel, SerialScheduleLosesOccupancy)
+{
+    ir::Program p = workloads::makeConv2D({64, 64, 3, 3});
+    auto graph = deps::DependenceGraph::compute(p);
+    auto maxfuse =
+        schedule::applyFusion(p, graph, schedule::FusionPolicy::Max);
+    exec::Buffers buf(p);
+    buf.fillPattern(p.tensorId("A"), 7);
+    buf.fillPattern(p.tensorId("B"), 13);
+    auto ast = codegen::generateAst(maxfuse.tree);
+    auto stats = exec::run(p, ast, buf);
+    GpuEstimate e = estimateGpu(p, ast, stats, {});
+    EXPECT_LT(e.occupancy, 0.05);
+}
+
+TEST(DaVinci, FusionRemovesGmRoundTrip)
+{
+    ConvLayer layer;
+    layer.batch = 1;
+    layer.cin = 256;
+    layer.cout = 256;
+    layer.height = 16;
+    layer.width = 16;
+    layer.kernel = 3;
+    LayerEstimate unfused = estimateConvBn(layer, false);
+    LayerEstimate fused = estimateConvBn(layer, true);
+    EXPECT_LT(fused.gmBytes, unfused.gmBytes);
+    EXPECT_LT(fused.totalMs, unfused.totalMs);
+    // The eliminated traffic is exactly the conv-output round trip.
+    EXPECT_DOUBLE_EQ(unfused.gmBytes - fused.gmBytes,
+                     2.0 * layer.outBytes(2));
+}
+
+TEST(DaVinci, LayerGeometryHelpers)
+{
+    ConvLayer layer;
+    layer.batch = 2;
+    layer.cin = 3;
+    layer.cout = 8;
+    layer.height = 10;
+    layer.width = 10;
+    layer.kernel = 3;
+    layer.stride = 1;
+    EXPECT_EQ(layer.outH(), 8);
+    EXPECT_EQ(layer.outW(), 8);
+    EXPECT_DOUBLE_EQ(layer.flops(),
+                     2.0 * 2 * 8 * 8 * 8 * 3 * 3 * 3);
+    EXPECT_DOUBLE_EQ(layer.weightBytes(2), 8.0 * 3 * 9 * 2);
+}
+
+TEST(ParallelModel, AmdahlBasics)
+{
+    using perfmodel::amdahlSpeedup;
+    EXPECT_NEAR(amdahlSpeedup(1.0, 1, 0.0), 1.0, 1e-12);
+    EXPECT_NEAR(amdahlSpeedup(1.0, 16, 0.0), 16.0, 1e-12);
+    EXPECT_NEAR(amdahlSpeedup(0.0, 32, 0.0), 1.0, 1e-12);
+    // 90% parallel, 8 threads: 1 / (0.1 + 0.9/8).
+    EXPECT_NEAR(amdahlSpeedup(0.9, 8, 0.0), 1.0 / 0.2125, 1e-9);
+    // Sync overhead caps scaling.
+    EXPECT_LT(amdahlSpeedup(1.0, 32, 0.01), 32.0);
+}
+
+TEST(ParallelModel, ScheduleParallelismDrivesTheFraction)
+{
+    ir::Program p = workloads::makeConv2D({32, 32, 3, 3});
+    auto graph = deps::DependenceGraph::compute(p);
+
+    auto fractionOf = [&](const schedule::ScheduleTree &tree) {
+        exec::Buffers buf(p);
+        buf.fillPattern(p.tensorId("A"), 7);
+        buf.fillPattern(p.tensorId("B"), 13);
+        auto stats =
+            exec::run(p, codegen::generateAst(tree), buf);
+        return perfmodel::parallelFraction(stats);
+    };
+
+    auto smart =
+        schedule::applyFusion(p, graph, schedule::FusionPolicy::Smart);
+    auto max =
+        schedule::applyFusion(p, graph, schedule::FusionPolicy::Max);
+    EXPECT_GT(fractionOf(smart.tree), 0.95);
+    EXPECT_LT(fractionOf(max.tree), 0.05);
+}
+
+} // namespace
+} // namespace memsim
+} // namespace polyfuse

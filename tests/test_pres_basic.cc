@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Unit tests for Space, LinExpr/constraint building, and BasicSet
+ * fundamentals: simplification, emptiness, enumeration, bounds.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pres/affine.hh"
+#include "pres/basic_set.hh"
+#include "pres/space.hh"
+#include "support/logging.hh"
+
+namespace polyfuse {
+namespace pres {
+namespace {
+
+/** 0 <= i < n for set dim i; n given as a parameter name. */
+void
+boundDim(BasicSet &s, unsigned dim, const std::string &param)
+{
+    const Space &sp = s.space();
+    LinExpr d = LinExpr::setDim(sp, dim);
+    s.addConstraint(geCons(d, LinExpr::constant(sp, 0)));
+    s.addConstraint(ltCons(d, LinExpr::param(sp, param)));
+}
+
+TEST(Space, Layout)
+{
+    Space sp = Space::forMap("S", 2, "A", 3, {"N", "M"});
+    EXPECT_TRUE(sp.isMap());
+    EXPECT_EQ(sp.numIn(), 2u);
+    EXPECT_EQ(sp.numOut(), 3u);
+    EXPECT_EQ(sp.numDims(), 5u);
+    EXPECT_EQ(sp.numCols(), 8u);
+    EXPECT_EQ(sp.inCol(1), 1u);
+    EXPECT_EQ(sp.outCol(0), 2u);
+    EXPECT_EQ(sp.paramCol(1), 6u);
+    EXPECT_EQ(sp.constCol(), 7u);
+    EXPECT_EQ(sp.paramIndex("M"), 1);
+    EXPECT_EQ(sp.paramIndex("Q"), -1);
+}
+
+TEST(Space, DomainRangeReverse)
+{
+    Space sp = Space::forMap("S", 2, "A", 3, {"N"});
+    EXPECT_EQ(sp.domainSpace().outTuple(), "S");
+    EXPECT_EQ(sp.domainSpace().numOut(), 2u);
+    EXPECT_EQ(sp.rangeSpace().outTuple(), "A");
+    EXPECT_EQ(sp.reversed().inTuple(), "A");
+    EXPECT_EQ(sp.reversed().numIn(), 3u);
+    EXPECT_THROW(sp.domainSpace().domainSpace(), PanicError);
+}
+
+TEST(BasicSet, UniverseIsNotEmpty)
+{
+    BasicSet s(Space::forSet("S", 2));
+    EXPECT_FALSE(s.isEmpty());
+}
+
+TEST(BasicSet, ContradictionIsEmpty)
+{
+    Space sp = Space::forSet("S", 1);
+    BasicSet s(sp);
+    LinExpr i = LinExpr::setDim(sp, 0);
+    s.addConstraint(geCons(i, LinExpr::constant(sp, 5)));
+    s.addConstraint(leCons(i, LinExpr::constant(sp, 3)));
+    EXPECT_TRUE(s.isEmpty());
+}
+
+TEST(BasicSet, GcdTighteningDetectsIntegerEmptiness)
+{
+    // 2i == 1 has no integer solution.
+    Space sp = Space::forSet("S", 1);
+    BasicSet s(sp);
+    LinExpr i = LinExpr::setDim(sp, 0);
+    s.addConstraint(eqCons(i * 2, LinExpr::constant(sp, 1)));
+    EXPECT_TRUE(s.isEmpty());
+}
+
+TEST(BasicSet, GcdTighteningOnInequalities)
+{
+    // 2i >= 1 and 2i <= 3 admits only i == 1.
+    Space sp = Space::forSet("S", 1);
+    BasicSet s(sp);
+    LinExpr i = LinExpr::setDim(sp, 0);
+    s.addConstraint(geCons(i * 2, LinExpr::constant(sp, 1)));
+    s.addConstraint(leCons(i * 2, LinExpr::constant(sp, 3)));
+    auto pts = s.enumerate({});
+    ASSERT_EQ(pts.size(), 1u);
+    EXPECT_EQ(pts[0][0], 1);
+}
+
+TEST(BasicSet, EnumerateRectangle)
+{
+    Space sp = Space::forSet("S", 2, {"N"});
+    BasicSet s(sp);
+    boundDim(s, 0, "N");
+    boundDim(s, 1, "N");
+    auto pts = s.enumerate({{"N", 3}});
+    EXPECT_EQ(pts.size(), 9u);
+    EXPECT_EQ(pts.front(), (std::vector<int64_t>{0, 0}));
+    EXPECT_EQ(pts.back(), (std::vector<int64_t>{2, 2}));
+}
+
+TEST(BasicSet, EnumerateTriangle)
+{
+    // 0 <= i <= j < N.
+    Space sp = Space::forSet("S", 2, {"N"});
+    BasicSet s(sp);
+    LinExpr i = LinExpr::setDim(sp, 0), j = LinExpr::setDim(sp, 1);
+    s.addConstraint(geCons(i, LinExpr::constant(sp, 0)));
+    s.addConstraint(leCons(i, j));
+    s.addConstraint(ltCons(j, LinExpr::param(sp, "N")));
+    auto pts = s.enumerate({{"N", 4}});
+    EXPECT_EQ(pts.size(), 10u); // 4 + 3 + 2 + 1
+}
+
+TEST(BasicSet, ContainsHonorsParams)
+{
+    Space sp = Space::forSet("S", 1, {"N"});
+    BasicSet s(sp);
+    boundDim(s, 0, "N");
+    EXPECT_TRUE(s.contains({4}, {{"N", 5}}));
+    EXPECT_FALSE(s.contains({5}, {{"N", 5}}));
+    EXPECT_FALSE(s.contains({-1}, {{"N", 5}}));
+}
+
+TEST(BasicSet, ProjectOutTriangleGivesFullRange)
+{
+    // Project i out of { [i,j] : 0 <= i <= j < N } -> { [j] : 0<=j<N }.
+    Space sp = Space::forSet("S", 2, {"N"});
+    BasicSet s(sp);
+    LinExpr i = LinExpr::setDim(sp, 0), j = LinExpr::setDim(sp, 1);
+    s.addConstraint(geCons(i, LinExpr::constant(sp, 0)));
+    s.addConstraint(leCons(i, j));
+    s.addConstraint(ltCons(j, LinExpr::param(sp, "N")));
+    BasicSet p = s.projectOut(0, 1);
+    EXPECT_TRUE(p.wasExact());
+    auto pts = p.enumerate({{"N", 4}});
+    EXPECT_EQ(pts.size(), 4u);
+}
+
+TEST(BasicSet, ProjectOutKeepsOuterDim)
+{
+    Space sp = Space::forSet("S", 2, {"N"});
+    BasicSet s(sp);
+    boundDim(s, 0, "N");
+    boundDim(s, 1, "N");
+    BasicSet p = s.projectOut(1, 1);
+    EXPECT_EQ(p.space().numOut(), 1u);
+    int64_t lo, hi;
+    ASSERT_TRUE(p.dimBounds(0, {{"N", 7}}, lo, hi));
+    EXPECT_EQ(lo, 0);
+    EXPECT_EQ(hi, 6);
+}
+
+TEST(BasicSet, IntersectMergesParamLists)
+{
+    BasicSet a(Space::forSet("S", 1, {"N"}));
+    boundDim(a, 0, "N");
+    Space spb = Space::forSet("S", 1, {"M"});
+    BasicSet b(spb);
+    LinExpr i = LinExpr::setDim(spb, 0);
+    b.addConstraint(ltCons(i, LinExpr::param(spb, "M")));
+    BasicSet c = a.intersect(b);
+    EXPECT_EQ(c.space().numParams(), 2u);
+    auto pts = c.enumerate({{"N", 10}, {"M", 3}});
+    EXPECT_EQ(pts.size(), 3u);
+}
+
+TEST(BasicSet, FixParamAndFixDim)
+{
+    Space sp = Space::forSet("S", 2, {"N"});
+    BasicSet s(sp);
+    boundDim(s, 0, "N");
+    boundDim(s, 1, "N");
+    BasicSet f = s.fixParam("N", 4);
+    EXPECT_EQ(f.space().numParams(), 0u);
+    EXPECT_EQ(f.enumerate({}).size(), 16u);
+    BasicSet d = f.fixDim(0, 2);
+    EXPECT_EQ(d.enumerate({}).size(), 4u);
+}
+
+TEST(BasicSet, MakeEmptyStaysEmptyThroughOps)
+{
+    Space sp = Space::forSet("S", 1, {"N"});
+    BasicSet e = BasicSet::makeEmpty(sp);
+    EXPECT_TRUE(e.isEmpty());
+    BasicSet u(sp);
+    boundDim(u, 0, "N");
+    EXPECT_TRUE(e.intersect(u).isEmpty());
+    EXPECT_TRUE(e.projectOut(0, 1).isEmpty());
+    EXPECT_TRUE(e.enumerate({{"N", 5}}).empty());
+}
+
+TEST(BasicSet, EqualityAfterSimplification)
+{
+    Space sp = Space::forSet("S", 1);
+    LinExpr i = LinExpr::setDim(sp, 0);
+    BasicSet a(sp);
+    a.addConstraint(geCons(i, LinExpr::constant(sp, 0)));
+    a.addConstraint(geCons(i, LinExpr::constant(sp, -5))); // redundant
+    a.addConstraint(leCons(i, LinExpr::constant(sp, 9)));
+    BasicSet b(sp);
+    b.addConstraint(leCons(i, LinExpr::constant(sp, 9)));
+    b.addConstraint(geCons(i, LinExpr::constant(sp, 0)));
+    EXPECT_TRUE(a == b);
+}
+
+TEST(BasicSet, OppositeInequalitiesBecomeEquality)
+{
+    Space sp = Space::forSet("S", 1);
+    LinExpr i = LinExpr::setDim(sp, 0);
+    BasicSet a(sp);
+    a.addConstraint(geCons(i, LinExpr::constant(sp, 3)));
+    a.addConstraint(leCons(i, LinExpr::constant(sp, 3)));
+    a.simplify();
+    ASSERT_EQ(a.constraints().size(), 1u);
+    EXPECT_TRUE(a.constraints()[0].isEq);
+    auto pts = a.enumerate({});
+    ASSERT_EQ(pts.size(), 1u);
+    EXPECT_EQ(pts[0][0], 3);
+}
+
+TEST(BasicSet, InsertDimsLeavesNewDimsUnconstrained)
+{
+    Space sp = Space::forSet("S", 1, {"N"});
+    BasicSet s(sp);
+    boundDim(s, 0, "N");
+    BasicSet w = s.insertDims(0, 2);
+    EXPECT_EQ(w.space().numOut(), 3u);
+    // Old constraint now applies to dim 2.
+    EXPECT_TRUE(w.contains({100, -100, 1}, {{"N", 5}}));
+    EXPECT_FALSE(w.contains({0, 0, 7}, {{"N", 5}}));
+}
+
+TEST(BasicSet, StrRendering)
+{
+    Space sp = Space::forSet("S0", 1, {"N"});
+    BasicSet s(sp);
+    boundDim(s, 0, "N");
+    std::string text = s.str();
+    EXPECT_NE(text.find("S0[i0]"), std::string::npos);
+    EXPECT_NE(text.find("N"), std::string::npos);
+}
+
+TEST(BasicSet, ArityMismatchPanics)
+{
+    BasicSet s(Space::forSet("S", 2));
+    Constraint c(false, {1, 0}); // too short
+    EXPECT_THROW(s.addConstraint(c), PanicError);
+}
+
+} // namespace
+} // namespace pres
+} // namespace polyfuse

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Direct unit tests for the Fourier-Motzkin engine (pres/fm) and the
+ * simple-hull operation: normalization/tightening rules, equality
+ * substitution, opposite-inequality merging, and hull validity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pres/fm.hh"
+#include "pres/map.hh"
+#include "pres/parser.hh"
+#include "support/logging.hh"
+
+namespace polyfuse {
+namespace pres {
+namespace {
+
+Constraint
+ineq(std::vector<int64_t> coeffs)
+{
+    return Constraint(false, std::move(coeffs));
+}
+
+Constraint
+eq(std::vector<int64_t> coeffs)
+{
+    return Constraint(true, std::move(coeffs));
+}
+
+TEST(FmEngine, NormalizeTightensInequalities)
+{
+    // 2x - 3 >= 0 -> x >= 2 (integer tightening: x - 2 >= 0).
+    Constraint c = ineq({2, -3});
+    ASSERT_TRUE(fm::normalizeRow(c));
+    EXPECT_EQ(c.coeffs, (std::vector<int64_t>{1, -2}));
+}
+
+TEST(FmEngine, NormalizeDetectsInfeasibleEquality)
+{
+    // 2x + 1 == 0 has no integer solution.
+    Constraint c = eq({2, 1});
+    EXPECT_FALSE(fm::normalizeRow(c));
+    // But 2x + 4 == 0 normalizes to x + 2 == 0.
+    Constraint d = eq({2, 4});
+    ASSERT_TRUE(fm::normalizeRow(d));
+    EXPECT_EQ(d.coeffs, (std::vector<int64_t>{1, 2}));
+}
+
+TEST(FmEngine, NormalizeCanonicalizesEqualitySign)
+{
+    Constraint c = eq({-1, 5});
+    ASSERT_TRUE(fm::normalizeRow(c));
+    EXPECT_EQ(c.coeffs, (std::vector<int64_t>{1, -5}));
+}
+
+TEST(FmEngine, ConstantRowsDecideFeasibility)
+{
+    Constraint ok = ineq({0, 3});
+    EXPECT_TRUE(fm::normalizeRow(ok));
+    Constraint bad = ineq({0, -1});
+    EXPECT_FALSE(fm::normalizeRow(bad));
+    Constraint eq_bad = eq({0, 2});
+    EXPECT_FALSE(fm::normalizeRow(eq_bad));
+}
+
+TEST(FmEngine, SimplifyMergesOppositeInequalitiesIntoEquality)
+{
+    std::vector<Constraint> rows{ineq({1, -3}), ineq({-1, 3})};
+    ASSERT_TRUE(fm::simplifyRows(rows));
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_TRUE(rows[0].isEq);
+}
+
+TEST(FmEngine, SimplifyDetectsEmptyWindow)
+{
+    // x >= 4 and x <= 3.
+    std::vector<Constraint> rows{ineq({1, -4}), ineq({-1, 3})};
+    EXPECT_FALSE(fm::simplifyRows(rows));
+}
+
+TEST(FmEngine, SimplifyKeepsTightestParallelBound)
+{
+    std::vector<Constraint> rows{ineq({1, -2}), ineq({1, -7})};
+    ASSERT_TRUE(fm::simplifyRows(rows));
+    ASSERT_EQ(rows.size(), 1u);
+    // x >= 7 is tighter than x >= 2: constant -7 survives.
+    EXPECT_EQ(rows[0].coeffs.back(), -7);
+}
+
+TEST(FmEngine, UnitEqualityEliminationIsExact)
+{
+    // x == y + 1, 0 <= y <= 4; eliminate x (col 0) from x - 2y >= 0.
+    std::vector<Constraint> rows{
+        eq({1, -1, -1}),   // x - y - 1 == 0
+        ineq({1, -2, 0}),  // x - 2y >= 0
+        ineq({0, 1, 0}),   // y >= 0
+        ineq({0, -1, 4}),  // y <= 4
+    };
+    bool exact = true;
+    ASSERT_TRUE(fm::eliminateCol(rows, 0, exact));
+    EXPECT_TRUE(exact);
+    // Substitution yields -y + 1 >= 0 -> y <= 1.
+    bool found = false;
+    for (const auto &r : rows)
+        if (!r.isEq && r.coeffs == std::vector<int64_t>{-1, 1})
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(FmEngine, NonUnitEliminationFlagsInexact)
+{
+    // 2x - y <= 7 and 3x + y >= 5: multi-variable rows keep their
+    // non-unit x coefficients through normalization, so eliminating
+    // x pairs coefficients 2 and 3 (real shadow only).
+    std::vector<Constraint> rows{ineq({-2, 1, 7}), ineq({3, 1, -5})};
+    bool exact = true;
+    ASSERT_TRUE(fm::eliminateCol(rows, 0, exact));
+    EXPECT_FALSE(exact);
+}
+
+TEST(FmEngine, GcdTighteningMakesSingleVariableRowsExact)
+{
+    // 2x <= 7 and 3x >= 5 normalize to x <= 3 and x >= 2 before the
+    // pairing, so this elimination stays integer-exact.
+    std::vector<Constraint> rows{ineq({-2, 7}), ineq({3, -5})};
+    bool exact = true;
+    ASSERT_TRUE(fm::eliminateCol(rows, 0, exact));
+    EXPECT_TRUE(exact);
+}
+
+TEST(FmEngine, OneSidedBoundsEliminateExactly)
+{
+    // Only lower bounds on x: projection drops them.
+    std::vector<Constraint> rows{ineq({1, -1, 0}), ineq({0, 1, -2})};
+    bool exact = true;
+    ASSERT_TRUE(fm::eliminateCol(rows, 0, exact));
+    EXPECT_TRUE(exact);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].coeffs, (std::vector<int64_t>{1, -2}));
+}
+
+TEST(FmEngine, SubstituteColFoldsConstants)
+{
+    std::vector<Constraint> rows{ineq({1, 1, 0})}; // x + y >= 0
+    ASSERT_TRUE(fm::substituteCol(rows, 0, -3));
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].coeffs, (std::vector<int64_t>{1, -3}));
+
+    std::vector<Constraint> rows2{ineq({0, 1, 5})};
+    EXPECT_TRUE(fm::colUnused(rows2, 0));
+    EXPECT_FALSE(fm::colUnused(rows2, 1));
+}
+
+TEST(SimpleHull, CoversUnionAndKeepsSharedBounds)
+{
+    // Two overlapping windows of S[i] -> A[a].
+    Map m = parseMap("{ S[i] -> A[a] : 4i <= a < 4i + 4 and "
+                     "0 <= i < 8; "
+                     "S[i] -> A[a] : 4i + 2 <= a < 4i + 6 and "
+                     "0 <= i < 8 }");
+    ASSERT_EQ(m.pieces().size(), 2u);
+    BasicMap hull = m.simpleHull();
+    // Hull at i = 1: a in [4, 9].
+    auto pts = hull.fixInDim(0, 1).range().enumerate({});
+    ASSERT_EQ(pts.size(), 6u);
+    EXPECT_EQ(pts.front()[0], 4);
+    EXPECT_EQ(pts.back()[0], 9);
+    // Domain bound (shared by both pieces) survives in the hull.
+    EXPECT_TRUE(hull.fixInDim(0, 8).isEmpty());
+}
+
+TEST(SimpleHull, SinglePieceIsIdentity)
+{
+    Map m = parseMap("{ S[i] -> A[i] : 0 <= i < 4 }");
+    EXPECT_TRUE(m.simpleHull() == m.pieces()[0]);
+}
+
+TEST(SimpleHull, MixedTuplesPanic)
+{
+    Map m = parseMap("{ S[i] -> A[i] : 0 <= i < 4 }")
+                .unite(parseMap("{ S[i] -> B[i] : 0 <= i < 4 }"));
+    EXPECT_THROW(m.simpleHull(), PanicError);
+}
+
+} // namespace
+} // namespace pres
+} // namespace polyfuse

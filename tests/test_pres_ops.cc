@@ -1,0 +1,335 @@
+/**
+ * @file
+ * Tests for BasicMap / Set / Map operations, culminating in the
+ * paper's running example: deriving the footprint relation (eq. 4)
+ * and the extension schedule (eq. 6) for the 2D convolution of
+ * Fig. 1, and checking them against the concrete tile footprints the
+ * paper lists in Sections III-A/III-B (H = W = 6, KH = KW = 3,
+ * T2 = T3 = 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "pres/affine.hh"
+#include "pres/basic_map.hh"
+#include "pres/map.hh"
+#include "pres/set.hh"
+
+namespace polyfuse {
+namespace pres {
+namespace {
+
+TEST(BasicMap, IdentityAppliesAsIdentity)
+{
+    Space dom = Space::forSet("S", 2, {"N"});
+    BasicMap id = BasicMap::identity(dom);
+    BasicSet s(dom);
+    LinExpr i = LinExpr::setDim(dom, 0), j = LinExpr::setDim(dom, 1);
+    s.addConstraint(geCons(i, LinExpr::constant(dom, 0)));
+    s.addConstraint(leCons(i, LinExpr::constant(dom, 3)));
+    s.addConstraint(eqCons(j, LinExpr::constant(dom, 1)));
+    BasicSet img = id.apply(s);
+    EXPECT_EQ(img.enumerate({}).size(), 4u);
+}
+
+TEST(BasicMap, FromOutExprsBuildsShiftMap)
+{
+    // { S[i, j] -> A[i + 2, j + N] }.
+    BasicMap m = BasicMap::fromOutExprs(
+        "S", 2, "A",
+        {{1, 0, 0, 2}, {0, 1, 1, 0}}, {"N"});
+    BasicSet pt(Space::forSet("S", 2, {"N"}));
+    pt = pt.fixDim(0, 5).fixDim(1, 7);
+    BasicSet img = m.apply(pt);
+    auto pts = img.enumerate({{"N", 10}});
+    ASSERT_EQ(pts.size(), 1u);
+    EXPECT_EQ(pts[0], (std::vector<int64_t>{7, 17}));
+}
+
+TEST(BasicMap, ReverseSwapsTuples)
+{
+    BasicMap m = BasicMap::fromOutExprs("S", 1, "A", {{1, 3}}, {});
+    BasicMap r = m.reverse();
+    EXPECT_EQ(r.space().inTuple(), "A");
+    EXPECT_EQ(r.space().outTuple(), "S");
+    BasicSet a(Space::forSet("A", 1));
+    a = a.fixDim(0, 10);
+    auto pts = r.apply(a).enumerate({});
+    ASSERT_EQ(pts.size(), 1u);
+    EXPECT_EQ(pts[0][0], 7);
+}
+
+TEST(BasicMap, ComposeChainsAffineFunctions)
+{
+    // f: S[i] -> B[2i], g: B[b] -> C[b + 1]; g o f : S[i] -> C[2i+1].
+    BasicMap f = BasicMap::fromOutExprs("S", 1, "B", {{2, 0}}, {});
+    BasicMap g = BasicMap::fromOutExprs("B", 1, "C", {{1, 1}}, {});
+    BasicMap gf = f.compose(g);
+    BasicSet s(Space::forSet("S", 1));
+    s = s.fixDim(0, 4);
+    auto pts = gf.apply(s).enumerate({});
+    ASSERT_EQ(pts.size(), 1u);
+    EXPECT_EQ(pts[0][0], 9);
+}
+
+TEST(BasicMap, DomainAndRange)
+{
+    // { S[i] -> A[i + 1] : 0 <= i < 4 }.
+    BasicMap m = BasicMap::fromOutExprs("S", 1, "A", {{1, 1}}, {});
+    BasicSet dom(Space::forSet("S", 1));
+    LinExpr i = LinExpr::setDim(dom.space(), 0);
+    dom.addConstraint(geCons(i, LinExpr::constant(dom.space(), 0)));
+    dom.addConstraint(ltCons(i, LinExpr::constant(dom.space(), 4)));
+    BasicMap r = m.intersectDomain(dom);
+    EXPECT_EQ(r.domain().enumerate({}).size(), 4u);
+    auto range = r.range().enumerate({});
+    ASSERT_EQ(range.size(), 4u);
+    EXPECT_EQ(range.front()[0], 1);
+    EXPECT_EQ(range.back()[0], 4);
+}
+
+TEST(BasicMap, DeltasOfShiftMap)
+{
+    // { S[i, j] -> S[i + 1, j - 2] }.
+    BasicMap m = BasicMap::fromOutExprs("S", 2, "S",
+                                        {{1, 0, 1}, {0, 1, -2}}, {});
+    BasicSet d = m.deltas();
+    auto pts = d.enumerate({});
+    ASSERT_EQ(pts.size(), 1u);
+    EXPECT_EQ(pts[0], (std::vector<int64_t>{1, -2}));
+}
+
+TEST(BasicMap, DeltasOfStencilReadGivesKernelWindow)
+{
+    // { S[h, w, kh, kw] -> ... } style dep projected to (h, w) deltas:
+    // consumer C[i] reads A[i + k], 0 <= k < 3: deltas of the
+    // producer->consumer relation are -k, i.e. [-2, 0].
+    Space sp = Space::forMap("P", 1, "C", 1, {});
+    BasicMap m(sp);
+    LinExpr p = LinExpr::inDim(sp, 0), c = LinExpr::outDim(sp, 0);
+    // p == c + k, 0 <= k < 3  <=>  0 <= p - c < 3.
+    m.addConstraint(geCons(p - c, LinExpr::constant(sp, 0)));
+    m.addConstraint(ltCons(p - c, LinExpr::constant(sp, 3)));
+    BasicSet d = m.renameTuples("S", "S").deltas();
+    // Bounded only relatively; add a window to enumerate.
+    BasicSet win(d.space());
+    LinExpr dd = LinExpr::setDim(d.space(), 0);
+    win.addConstraint(geCons(dd, LinExpr::constant(d.space(), -10)));
+    win.addConstraint(leCons(dd, LinExpr::constant(d.space(), 10)));
+    auto pts = d.intersect(win).enumerate({});
+    ASSERT_EQ(pts.size(), 3u);
+    EXPECT_EQ(pts.front()[0], -2);
+    EXPECT_EQ(pts.back()[0], 0);
+}
+
+TEST(BasicMap, OutDimBoundsGivesFootprintBox)
+{
+    // { T[o] -> A[a] : 2o <= a <= 2o + 4 }: box of dim 0 is
+    // [2o, 2o + 4].
+    Space sp = Space::forMap("T", 1, "A", 1, {});
+    BasicMap m(sp);
+    LinExpr o = LinExpr::inDim(sp, 0), a = LinExpr::outDim(sp, 0);
+    m.addConstraint(geCons(a, o * 2));
+    m.addConstraint(leCons(a, o * 2 + 4));
+    std::vector<DivBound> lo, hi;
+    ASSERT_TRUE(m.outDimBounds(0, lo, hi));
+    ASSERT_EQ(lo.size(), 1u);
+    ASSERT_EQ(hi.size(), 1u);
+    EXPECT_EQ(lo[0].div, 1);
+    EXPECT_EQ(lo[0].coeffs, (std::vector<int64_t>{2, 0}));
+    EXPECT_EQ(hi[0].coeffs, (std::vector<int64_t>{2, 4}));
+}
+
+TEST(UnionSet, SubtractAndSubset)
+{
+    Space sp = Space::forSet("S", 1);
+    LinExpr i = LinExpr::setDim(sp, 0);
+    BasicSet big(sp);
+    big.addConstraint(geCons(i, LinExpr::constant(sp, 0)));
+    big.addConstraint(leCons(i, LinExpr::constant(sp, 9)));
+    BasicSet small(sp);
+    small.addConstraint(geCons(i, LinExpr::constant(sp, 3)));
+    small.addConstraint(leCons(i, LinExpr::constant(sp, 5)));
+
+    Set diff = Set(big).subtract(Set(small));
+    auto pts = diff.enumerateTuple("S", {});
+    EXPECT_EQ(pts.size(), 7u); // 0..2 and 6..9
+    EXPECT_TRUE(Set(small).isSubset(Set(big)));
+    EXPECT_FALSE(Set(big).isSubset(Set(small)));
+    EXPECT_TRUE(Set(small).subtract(Set(big)).isEmpty());
+}
+
+TEST(UnionSet, TupleSeparation)
+{
+    BasicSet a(Space::forSet("A", 1));
+    BasicSet b(Space::forSet("B", 1));
+    Set u = Set(a).unite(Set(b));
+    EXPECT_EQ(u.tupleNames().size(), 2u);
+    EXPECT_EQ(u.extractTuple("A").pieces().size(), 1u);
+    // Intersection across different tuples is empty.
+    EXPECT_TRUE(Set(a).intersect(Set(b)).isEmpty());
+}
+
+TEST(UnionMap, ComposeMatchesByTuple)
+{
+    BasicMap f1 = BasicMap::fromOutExprs("S0", 1, "A", {{1, 0}}, {});
+    BasicMap f2 = BasicMap::fromOutExprs("S1", 1, "B", {{1, 0}}, {});
+    BasicMap g = BasicMap::fromOutExprs("A", 1, "C", {{1, 5}}, {});
+    Map u = Map(f1).unite(Map(f2));
+    Map comp = u.compose(Map(g));
+    // Only the S0 -> A piece composes with A -> C.
+    ASSERT_EQ(comp.pieces().size(), 1u);
+    EXPECT_EQ(comp.pieces()[0].space().inTuple(), "S0");
+    EXPECT_EQ(comp.pieces()[0].space().outTuple(), "C");
+}
+
+/**
+ * The paper's running example, end to end on the set layer.
+ *
+ * Reduction space tile map (eq. 2): S2(h,w,kh,kw) -> (o0, o1) with
+ * T2*o0 <= h < T2*(o0+1), T3*o1 <= w < T3*(o1+1), domain constraints
+ * 0 <= h <= H-KH, 0 <= w <= W-KW, 0 <= kh < KH, 0 <= kw < KW.
+ *
+ * Read access (eq. 3): S2(h,w,kh,kw) -> A(h+kh, w+kw).
+ *
+ * Footprint (eq. 4) = reverse(tile map) composed with access.
+ * Extension schedule (eq. 6) = footprint composed with reverse of
+ * S0's write access A(h,w) -> S0(h,w) restricted to S0's domain.
+ */
+class ConvExample : public ::testing::Test
+{
+  protected:
+    static constexpr int64_t H = 6, W = 6, KH = 3, KW = 3;
+    static constexpr int64_t T2 = 2, T3 = 2;
+
+    BasicMap tileMap;  ///< S2 -> T (eq. 2 with domain constraints)
+    BasicMap readA;    ///< S2 -> A (eq. 3)
+    BasicMap writeRev; ///< A -> S0 (eq. 5)
+    BasicMap footprint; ///< T -> A (eq. 4)
+    BasicMap extension; ///< T -> S0 (eq. 6)
+
+    void
+    SetUp() override
+    {
+        // S2 domain + tiling constraints; tile sizes fixed to 2.
+        Space ts = Space::forMap("S2", 4, "T", 2, {});
+        BasicMap tm(ts);
+        LinExpr h = LinExpr::inDim(ts, 0), w = LinExpr::inDim(ts, 1);
+        LinExpr kh = LinExpr::inDim(ts, 2), kw = LinExpr::inDim(ts, 3);
+        LinExpr o0 = LinExpr::outDim(ts, 0), o1 = LinExpr::outDim(ts, 1);
+        LinExpr zero = LinExpr::constant(ts, 0);
+        tm.addConstraint(geCons(h, zero));
+        tm.addConstraint(leCons(h, LinExpr::constant(ts, H - KH)));
+        tm.addConstraint(geCons(w, zero));
+        tm.addConstraint(leCons(w, LinExpr::constant(ts, W - KW)));
+        tm.addConstraint(geCons(kh, zero));
+        tm.addConstraint(ltCons(kh, LinExpr::constant(ts, KH)));
+        tm.addConstraint(geCons(kw, zero));
+        tm.addConstraint(ltCons(kw, LinExpr::constant(ts, KW)));
+        tm.addConstraint(leCons(o0 * T2, h));
+        tm.addConstraint(ltCons(h, o0 * T2 + T2));
+        tm.addConstraint(leCons(o1 * T3, w));
+        tm.addConstraint(ltCons(w, o1 * T3 + T3));
+        tileMap = tm;
+
+        // S2 -> A access.
+        Space as = Space::forMap("S2", 4, "A", 2, {});
+        BasicMap am(as);
+        LinExpr ah = LinExpr::inDim(as, 0), aw = LinExpr::inDim(as, 1);
+        LinExpr akh = LinExpr::inDim(as, 2), akw = LinExpr::inDim(as, 3);
+        LinExpr x = LinExpr::outDim(as, 0), y = LinExpr::outDim(as, 1);
+        am.addConstraint(eqCons(x, ah + akh));
+        am.addConstraint(eqCons(y, aw + akw));
+        readA = am;
+
+        // A -> S0 (reverse write; S0 writes A[h][w] over its domain).
+        Space ws = Space::forMap("A", 2, "S0", 2, {});
+        BasicMap wm(ws);
+        LinExpr wa0 = LinExpr::inDim(ws, 0), wa1 = LinExpr::inDim(ws, 1);
+        LinExpr s0 = LinExpr::outDim(ws, 0), s1 = LinExpr::outDim(ws, 1);
+        wm.addConstraint(eqCons(s0, wa0));
+        wm.addConstraint(eqCons(s1, wa1));
+        wm.addConstraint(geCons(s0, LinExpr::constant(ws, 0)));
+        wm.addConstraint(ltCons(s0, LinExpr::constant(ws, H)));
+        wm.addConstraint(geCons(s1, LinExpr::constant(ws, 0)));
+        wm.addConstraint(ltCons(s1, LinExpr::constant(ws, W)));
+        writeRev = wm;
+
+        footprint = tileMap.reverse().compose(readA);
+        extension = footprint.compose(writeRev);
+    }
+};
+
+TEST_F(ConvExample, FootprintOfBlueTileMatchesPaper)
+{
+    // Blue tile (o0, o1) = (1, 0): footprint {A : 2<=h'<=5, 0<=w'<=3}.
+    BasicMap fixed = footprint.fixInDim(0, 1).fixInDim(1, 0);
+    auto pts = fixed.range().enumerate({});
+    EXPECT_EQ(pts.size(), 16u);
+    for (const auto &p : pts) {
+        EXPECT_GE(p[0], 2);
+        EXPECT_LE(p[0], 5);
+        EXPECT_GE(p[1], 0);
+        EXPECT_LE(p[1], 3);
+    }
+}
+
+TEST_F(ConvExample, FootprintOfRedTileMatchesPaper)
+{
+    // Red tile (1, 1): footprint {A : 2<=h'<=5, 2<=w'<=5}.
+    BasicMap fixed = footprint.fixInDim(0, 1).fixInDim(1, 1);
+    auto pts = fixed.range().enumerate({});
+    EXPECT_EQ(pts.size(), 16u);
+    for (const auto &p : pts) {
+        EXPECT_GE(p[0], 2);
+        EXPECT_LE(p[0], 5);
+        EXPECT_GE(p[1], 2);
+        EXPECT_LE(p[1], 5);
+    }
+}
+
+TEST_F(ConvExample, FootprintsOfAdjacentTilesOverlap)
+{
+    BasicSet blue = footprint.fixInDim(0, 1).fixInDim(1, 0).range();
+    BasicSet red = footprint.fixInDim(0, 1).fixInDim(1, 1).range();
+    BasicSet both = blue.intersect(red);
+    // Interleaved region: 2<=h'<=5, 2<=w'<=3 -> 8 points.
+    EXPECT_EQ(both.enumerate({}).size(), 8u);
+}
+
+TEST_F(ConvExample, ExtensionScheduleMatchesPaper)
+{
+    // Blue tile instances of S0: {S0(h,w) : 2<=h<=5, 0<=w<=3}.
+    BasicMap fixed = extension.fixInDim(0, 1).fixInDim(1, 0);
+    auto pts = fixed.range().enumerate({});
+    EXPECT_EQ(pts.size(), 16u);
+    for (const auto &p : pts) {
+        EXPECT_GE(p[0], 2);
+        EXPECT_LE(p[0], 5);
+        EXPECT_GE(p[1], 0);
+        EXPECT_LE(p[1], 3);
+    }
+}
+
+TEST_F(ConvExample, ExtensionRangeCoversWholeUsedRegion)
+{
+    // Union over all tiles covers exactly the region of A read by S2:
+    // every A point (conv reads the full 6x6 input when H=W=6, KH=3).
+    Set used;
+    for (int64_t o0 = 0; o0 < 2; ++o0)
+        for (int64_t o1 = 0; o1 < 2; ++o1)
+            used = used.unite(
+                Set(extension.fixInDim(0, o0).fixInDim(1, o1).range()));
+    auto pts = used.enumerateTuple("S0", {});
+    EXPECT_EQ(pts.size(), 36u);
+}
+
+TEST_F(ConvExample, FootprintIsExact)
+{
+    EXPECT_TRUE(footprint.wasExact());
+    EXPECT_TRUE(extension.wasExact());
+}
+
+} // namespace
+} // namespace pres
+} // namespace polyfuse

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the isl-like textual parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pres/parser.hh"
+#include "support/logging.hh"
+
+namespace polyfuse {
+namespace pres {
+namespace {
+
+TEST(Parser, RectangleDomain)
+{
+    BasicSet s = parseBasicSet(
+        "[N, M] -> { S[i, j] : 0 <= i < N and 0 <= j < M }");
+    EXPECT_EQ(s.space().outTuple(), "S");
+    EXPECT_EQ(s.space().numOut(), 2u);
+    EXPECT_EQ(s.enumerate({{"N", 3}, {"M", 2}}).size(), 6u);
+}
+
+TEST(Parser, ChainedComparisons)
+{
+    BasicSet s = parseBasicSet("[N] -> { S[i, j] : 0 <= i <= j < N }");
+    EXPECT_EQ(s.enumerate({{"N", 4}}).size(), 10u);
+}
+
+TEST(Parser, ConvDomainMatchesPaper)
+{
+    BasicSet s = parseBasicSet(
+        "[H, W, KH, KW] -> { S2[h, w, kh, kw] : 0 <= h <= H - KH and "
+        "0 <= w <= W - KW and 0 <= kh < KH and 0 <= kw < KW }");
+    auto pts = s.enumerate(
+        {{"H", 6}, {"W", 6}, {"KH", 3}, {"KW", 3}});
+    EXPECT_EQ(pts.size(), 16u * 9u);
+}
+
+TEST(Parser, AccessMapWithExpressions)
+{
+    ParsedAccess a =
+        parseAccess("{ S2[h, w, kh, kw] -> A[h + kh, w + kw] }");
+    EXPECT_TRUE(a.hasExprs);
+    ASSERT_EQ(a.outExprs.size(), 2u);
+    // Row layout: [h, w, kh, kw, const].
+    EXPECT_EQ(a.outExprs[0], (std::vector<int64_t>{1, 0, 1, 0, 0}));
+    EXPECT_EQ(a.outExprs[1], (std::vector<int64_t>{0, 1, 0, 1, 0}));
+}
+
+TEST(Parser, AccessWithParamsAndConstants)
+{
+    ParsedAccess a = parseAccess(
+        "[N] -> { S[i] -> A[2*i + N - 1, 0] }");
+    EXPECT_TRUE(a.hasExprs);
+    EXPECT_EQ(a.outExprs[0], (std::vector<int64_t>{2, 1, -1}));
+    EXPECT_EQ(a.outExprs[1], (std::vector<int64_t>{0, 0, 0}));
+}
+
+TEST(Parser, CoefficientShorthand)
+{
+    BasicSet s = parseBasicSet("{ S[i] : 2i >= 3 and 2*i <= 7 }");
+    auto pts = s.enumerate({});
+    ASSERT_EQ(pts.size(), 2u);
+    EXPECT_EQ(pts[0][0], 2);
+    EXPECT_EQ(pts[1][0], 3);
+}
+
+TEST(Parser, UnionPieces)
+{
+    Set s = parseSet("{ S0[i] : 0 <= i < 3; S1[i, j] : i = 0 and "
+                     "0 <= j < 2 }");
+    EXPECT_EQ(s.pieces().size(), 2u);
+    EXPECT_EQ(s.enumerateTuple("S0", {}).size(), 3u);
+    EXPECT_EQ(s.enumerateTuple("S1", {}).size(), 2u);
+}
+
+TEST(Parser, MapWithConstraints)
+{
+    // Tile maps use literal tile sizes (the paper notes isl requires
+    // fixed integer tile sizes; parametric sizes are non-affine).
+    BasicMap m =
+        parseBasicMap("{ S[h] -> O[o] : 4o <= h < 4o + 4 }");
+    auto img = m.fixInDim(0, 9).range().enumerate({});
+    ASSERT_EQ(img.size(), 1u);
+    EXPECT_EQ(img[0][0], 2); // floor(9/4)
+}
+
+TEST(Parser, ParametricTileSizeIsRejectedAsNonAffine)
+{
+    EXPECT_THROW(
+        parseBasicMap("[T] -> { S[h] -> O[o] : T*o <= h < T*o + T }"),
+        FatalError);
+}
+
+TEST(Parser, ReusedNameBecomesEquality)
+{
+    // Out tuple reuses "i": equality out0 == i.
+    BasicMap m = parseBasicMap("{ S[i] -> A[i] }");
+    auto img = m.fixInDim(0, 7).range().enumerate({});
+    ASSERT_EQ(img.size(), 1u);
+    EXPECT_EQ(img[0][0], 7);
+}
+
+TEST(Parser, ZeroDimTuple)
+{
+    BasicSet s = parseBasicSet("{ S[] }");
+    EXPECT_EQ(s.space().numOut(), 0u);
+    EXPECT_FALSE(s.isEmpty());
+}
+
+TEST(Parser, NegativeAndParenthesizedExprs)
+{
+    BasicSet s = parseBasicSet("{ S[i] : -(i - 2) >= 0 and i >= -1 }");
+    auto pts = s.enumerate({});
+    EXPECT_EQ(pts.size(), 4u); // -1, 0, 1, 2
+}
+
+TEST(Parser, UnknownIdentifierIsFatal)
+{
+    EXPECT_THROW(parseBasicSet("{ S[i] : 0 <= i < N }"), FatalError);
+}
+
+TEST(Parser, NonAffineProductIsFatal)
+{
+    EXPECT_THROW(parseBasicSet("{ S[i, j] : i*j >= 0 }"), FatalError);
+}
+
+TEST(Parser, SyntaxErrorIsFatal)
+{
+    EXPECT_THROW(parseBasicSet("{ S[i : }"), FatalError);
+    EXPECT_THROW(parseBasicMap("{ S[i] -> }"), FatalError);
+    EXPECT_THROW(parseBasicSet("S[i]"), FatalError);
+}
+
+TEST(Parser, AccessWithoutExprsReportsNoExprs)
+{
+    ParsedAccess a = parseAccess("{ S[i] -> A[j] : i <= j <= i + 2 }");
+    EXPECT_FALSE(a.hasExprs);
+    EXPECT_EQ(a.map.fixInDim(0, 0).range().enumerate({}).size(), 3u);
+}
+
+} // namespace
+} // namespace pres
+} // namespace polyfuse

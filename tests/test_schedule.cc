@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Tests for schedule trees and the baseline fusion heuristics on the
+ * paper's convolution: the initial tree of Fig. 2(a), the annotated
+ * attributes of Fig. 2(b), tiling splits (Sec. IV-A), and the fusion
+ * partitions the paper reports per heuristic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "schedule/fusion.hh"
+#include "support/logging.hh"
+#include "schedule/tree.hh"
+#include "workloads/conv2d.hh"
+
+namespace polyfuse {
+namespace schedule {
+namespace {
+
+class ConvTree : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        prog_ = workloads::makeConv2D({6, 6, 3, 3});
+        graph_ = deps::DependenceGraph::compute(prog_);
+    }
+
+    ir::Program prog_;
+    deps::DependenceGraph graph_;
+};
+
+TEST_F(ConvTree, InitialTreeShapeMatchesFig2a)
+{
+    ScheduleTree t = ScheduleTree::initial(prog_);
+    const NodePtr &root = t.root();
+    ASSERT_EQ(root->kind, NodeKind::Domain);
+    NodePtr seq = root->onlyChild();
+    ASSERT_EQ(seq->kind, NodeKind::Sequence);
+    ASSERT_EQ(seq->children.size(), 3u); // {S0}, {S1,S2}, {S3}
+
+    // Group 0: filter {S0} -> band(h, w) -> leaf.
+    NodePtr f0 = seq->children[0];
+    EXPECT_EQ(f0->filter, (std::vector<std::string>{"S0"}));
+    NodePtr b0 = f0->onlyChild();
+    ASSERT_EQ(b0->kind, NodeKind::Band);
+    EXPECT_EQ(b0->numBandDims(), 2u);
+
+    // Group 1: filter {S1,S2} -> band(h,w) -> sequence -> S2 band.
+    NodePtr f1 = seq->children[1];
+    EXPECT_EQ(f1->filter,
+              (std::vector<std::string>{"S1", "S2"}));
+    NodePtr b1 = f1->onlyChild();
+    ASSERT_EQ(b1->kind, NodeKind::Band);
+    EXPECT_EQ(b1->numBandDims(), 2u);
+    NodePtr inner_seq = b1->onlyChild();
+    ASSERT_EQ(inner_seq->kind, NodeKind::Sequence);
+    ASSERT_EQ(inner_seq->children.size(), 2u);
+    NodePtr s2_band = ScheduleTree::findBand(inner_seq->children[1]);
+    ASSERT_TRUE(s2_band);
+    EXPECT_EQ(s2_band->numBandDims(), 2u); // kh, kw
+}
+
+TEST_F(ConvTree, AnnotationMatchesFig2b)
+{
+    ScheduleTree t = ScheduleTree::initial(prog_);
+    t.annotate(graph_);
+
+    NodePtr seq = t.root()->onlyChild();
+    NodePtr band0 = ScheduleTree::findBand(seq->children[0]);
+    EXPECT_TRUE(band0->permutable);
+    EXPECT_EQ(band0->coincident, (std::vector<bool>{true, true}));
+
+    NodePtr band1 = ScheduleTree::findBand(seq->children[1]);
+    EXPECT_TRUE(band1->permutable);
+    EXPECT_EQ(band1->coincident, (std::vector<bool>{true, true}));
+
+    // The reduction's (kh, kw) band is serial.
+    NodePtr red = ScheduleTree::findBand(
+        band1->onlyChild()->children[1]);
+    EXPECT_EQ(red->coincident, (std::vector<bool>{false, false}));
+}
+
+TEST_F(ConvTree, TileBandSplitsIntoTileAndPointBands)
+{
+    ScheduleTree t = ScheduleTree::initial(prog_);
+    t.annotate(graph_);
+    NodePtr band1 =
+        ScheduleTree::findBand(t.root()->onlyChild()->children[1]);
+    NodePtr tile = t.tileBand(band1, {2, 2});
+    EXPECT_EQ(tile->tileSizes, (std::vector<int64_t>{2, 2}));
+    NodePtr point = tile->onlyChild();
+    ASSERT_EQ(point->kind, NodeKind::Band);
+    EXPECT_TRUE(point->tileSizes.empty());
+    EXPECT_EQ(point->numBandDims(), 2u);
+    // The point band kept the original children.
+    EXPECT_EQ(point->onlyChild()->kind, NodeKind::Sequence);
+    // Double tiling is rejected.
+    EXPECT_THROW(t.tileBand(tile, {2, 2}), FatalError);
+}
+
+TEST_F(ConvTree, MinfuseKeepsGroupsSeparate)
+{
+    auto r = applyFusion(prog_, graph_, FusionPolicy::Min);
+    ASSERT_EQ(r.clusters.size(), 3u);
+    EXPECT_EQ(r.clusters[0], (std::vector<int>{0}));
+    EXPECT_EQ(r.clusters[1], (std::vector<int>{1}));
+    EXPECT_EQ(r.clusters[2], (std::vector<int>{2}));
+}
+
+TEST_F(ConvTree, SmartfuseMatchesPaperPartition)
+{
+    // The paper's conservative heuristic: ({S0}, {S1, S2, S3}).
+    auto r = applyFusion(prog_, graph_, FusionPolicy::Smart);
+    ASSERT_EQ(r.clusters.size(), 2u);
+    EXPECT_EQ(r.clusters[0], (std::vector<int>{0}));
+    EXPECT_EQ(r.clusters[1], (std::vector<int>{1, 2}));
+
+    // The fused band keeps outer parallelism.
+    NodePtr seq = r.tree.root()->onlyChild();
+    NodePtr fused = ScheduleTree::findBand(seq->children[1]);
+    EXPECT_EQ(fused->coincident, (std::vector<bool>{true, true}));
+    // No shifts were applied.
+    for (const auto &[name, m] : fused->members)
+        for (int64_t s : m.shifts)
+            EXPECT_EQ(s, 0);
+}
+
+TEST_F(ConvTree, MaxfuseFusesAllWithShiftsAndLosesParallelism)
+{
+    auto r = applyFusion(prog_, graph_, FusionPolicy::Max);
+    ASSERT_EQ(r.clusters.size(), 1u);
+    EXPECT_EQ(r.clusters[0], (std::vector<int>{0, 1, 2}));
+
+    NodePtr fused = ScheduleTree::findBand(r.tree.root());
+    ASSERT_TRUE(fused);
+    // S0 keeps shift 0; consumers are shifted by KH-1 = KW-1 = 2.
+    EXPECT_EQ(fused->members.at("S0").shifts,
+              (std::vector<int64_t>{0, 0}));
+    EXPECT_EQ(fused->members.at("S2").shifts,
+              (std::vector<int64_t>{2, 2}));
+    // Fig. 1(c): the fused loops are no longer parallel.
+    EXPECT_EQ(fused->coincident, (std::vector<bool>{false, false}));
+}
+
+TEST_F(ConvTree, PolicyNamesRoundTrip)
+{
+    for (auto p : {FusionPolicy::Min, FusionPolicy::Smart,
+                   FusionPolicy::Max, FusionPolicy::Hybrid})
+        EXPECT_EQ(parseFusionPolicy(fusionPolicyName(p)), p);
+    EXPECT_THROW(parseFusionPolicy("nope"), FatalError);
+}
+
+TEST_F(ConvTree, CloneIsDeep)
+{
+    ScheduleTree t = ScheduleTree::initial(prog_);
+    ScheduleTree c = t.clone();
+    NodePtr band = ScheduleTree::findBand(c.root());
+    c.tileBand(band, {4, 4});
+    // Original tree unaffected.
+    EXPECT_TRUE(ScheduleTree::findBand(t.root())->tileSizes.empty());
+}
+
+TEST_F(ConvTree, StatementsUnderCollectsFiltersAndBands)
+{
+    ScheduleTree t = ScheduleTree::initial(prog_);
+    auto names = t.statementsUnder(t.root());
+    EXPECT_EQ(names.size(), 4u);
+    NodePtr seq = t.root()->onlyChild();
+    auto g1 = t.statementsUnder(seq->children[1]);
+    EXPECT_EQ(g1, (std::vector<std::string>{"S1", "S2"}));
+}
+
+TEST_F(ConvTree, TreePrintingMentionsStructure)
+{
+    ScheduleTree t = ScheduleTree::initial(prog_);
+    t.annotate(graph_);
+    std::string text = t.str();
+    EXPECT_NE(text.find("domain"), std::string::npos);
+    EXPECT_NE(text.find("sequence"), std::string::npos);
+    EXPECT_NE(text.find("filter {S1, S2}"), std::string::npos);
+    EXPECT_NE(text.find("band"), std::string::npos);
+}
+
+TEST(Fusion, IndependentGroupsAreNotFused)
+{
+    // Two independent nests: nothing to gain, stay separate.
+    ir::ProgramBuilder b("indep");
+    b.param("N", 16);
+    b.tensor("A", {"N"}, ir::TensorKind::Output);
+    b.tensor("B", {"N"}, ir::TensorKind::Output);
+    b.statement("S0")
+        .domain("[N] -> { S0[i] : 0 <= i < N }")
+        .writes("A", "{ S0[i] -> A[i] }")
+        .body(ir::lit(1.0))
+        .group(0);
+    b.statement("S1")
+        .domain("[N] -> { S1[i] : 0 <= i < N }")
+        .writes("B", "{ S1[i] -> B[i] }")
+        .body(ir::lit(2.0))
+        .group(1);
+    ir::Program p = b.build();
+    auto g = deps::DependenceGraph::compute(p);
+    auto r = applyFusion(p, g, FusionPolicy::Max);
+    EXPECT_EQ(r.clusters.size(), 2u);
+}
+
+TEST(Fusion, PointwiseChainFusesUnderSmart)
+{
+    // A[i] = ...; B[i] = f(A[i]); C[i] = g(B[i]): all fuse.
+    ir::ProgramBuilder b("chain");
+    b.param("N", 16);
+    b.tensor("A", {"N"}, ir::TensorKind::Temp);
+    b.tensor("B", {"N"}, ir::TensorKind::Temp);
+    b.tensor("C", {"N"}, ir::TensorKind::Output);
+    b.statement("S0")
+        .domain("[N] -> { S0[i] : 0 <= i < N }")
+        .writes("A", "{ S0[i] -> A[i] }")
+        .body(ir::lit(1.0))
+        .group(0);
+    b.statement("S1")
+        .domain("[N] -> { S1[i] : 0 <= i < N }")
+        .reads("A", "{ S1[i] -> A[i] }")
+        .writes("B", "{ S1[i] -> B[i] }")
+        .body(ir::loadAcc(0))
+        .group(1);
+    b.statement("S2")
+        .domain("[N] -> { S2[i] : 0 <= i < N }")
+        .reads("B", "{ S2[i] -> B[i] }")
+        .writes("C", "{ S2[i] -> C[i] }")
+        .body(ir::loadAcc(0))
+        .group(2);
+    ir::Program p = b.build();
+    auto g = deps::DependenceGraph::compute(p);
+    auto r = applyFusion(p, g, FusionPolicy::Smart);
+    ASSERT_EQ(r.clusters.size(), 1u);
+    NodePtr band = ScheduleTree::findBand(r.tree.root());
+    EXPECT_EQ(band->coincident, (std::vector<bool>{true}));
+}
+
+TEST(Fusion, SmartRefusesShiftedStencilButMaxAccepts)
+{
+    // B[i] = A[i] + A[i+1] where A produced by S0: needs a shift.
+    ir::ProgramBuilder b("stencil");
+    b.param("N", 16);
+    b.tensor("A", {"N + 1"}, ir::TensorKind::Temp);
+    b.tensor("B", {"N"}, ir::TensorKind::Output);
+    b.statement("S0")
+        .domain("[N] -> { S0[i] : 0 <= i <= N }")
+        .writes("A", "{ S0[i] -> A[i] }")
+        .body(ir::lit(1.0))
+        .group(0);
+    b.statement("S1")
+        .domain("[N] -> { S1[i] : 0 <= i < N }")
+        .reads("A", "{ S1[i] -> A[i] }")
+        .reads("A", "{ S1[i] -> A[i + 1] }")
+        .writes("B", "{ S1[i] -> B[i] }")
+        .body(ir::bin(ir::BinOp::Add, ir::loadAcc(0), ir::loadAcc(1)))
+        .group(1);
+    ir::Program p = b.build();
+    auto g = deps::DependenceGraph::compute(p);
+
+    auto smart = applyFusion(p, g, FusionPolicy::Smart);
+    EXPECT_EQ(smart.clusters.size(), 2u);
+
+    auto max = applyFusion(p, g, FusionPolicy::Max);
+    ASSERT_EQ(max.clusters.size(), 1u);
+    NodePtr band = ScheduleTree::findBand(max.tree.root());
+    EXPECT_EQ(band->members.at("S1").shifts,
+              (std::vector<int64_t>{1}));
+    EXPECT_EQ(band->coincident, (std::vector<bool>{false}));
+}
+
+} // namespace
+} // namespace schedule
+} // namespace polyfuse

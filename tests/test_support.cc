@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the support layer: checked math, rationals, string
+ * helpers, diagnostics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/intmath.hh"
+#include "support/logging.hh"
+#include "support/rational.hh"
+#include "support/strutil.hh"
+
+namespace polyfuse {
+namespace {
+
+TEST(IntMath, FloorDivMatchesMathematicalDefinition)
+{
+    EXPECT_EQ(floorDiv(7, 2), 3);
+    EXPECT_EQ(floorDiv(-7, 2), -4);
+    EXPECT_EQ(floorDiv(7, -2), -4);
+    EXPECT_EQ(floorDiv(-7, -2), 3);
+    EXPECT_EQ(floorDiv(6, 3), 2);
+    EXPECT_EQ(floorDiv(-6, 3), -2);
+    EXPECT_EQ(floorDiv(0, 5), 0);
+}
+
+TEST(IntMath, CeilDivMatchesMathematicalDefinition)
+{
+    EXPECT_EQ(ceilDiv(7, 2), 4);
+    EXPECT_EQ(ceilDiv(-7, 2), -3);
+    EXPECT_EQ(ceilDiv(7, -2), -3);
+    EXPECT_EQ(ceilDiv(-7, -2), 4);
+    EXPECT_EQ(ceilDiv(6, 3), 2);
+}
+
+TEST(IntMath, FloorModIsAlwaysNonNegativeForPositiveDivisor)
+{
+    for (int64_t a = -10; a <= 10; ++a) {
+        int64_t m = floorMod(a, 4);
+        EXPECT_GE(m, 0);
+        EXPECT_LT(m, 4);
+        EXPECT_EQ(floorDiv(a, 4) * 4 + m, a);
+    }
+}
+
+TEST(IntMath, GcdAndLcm)
+{
+    EXPECT_EQ(gcd(12, 18), 6);
+    EXPECT_EQ(gcd(-12, 18), 6);
+    EXPECT_EQ(gcd(0, 5), 5);
+    EXPECT_EQ(gcd(0, 0), 0);
+    EXPECT_EQ(lcm(4, 6), 12);
+    EXPECT_EQ(lcm(0, 6), 0);
+}
+
+TEST(IntMath, OverflowDetection)
+{
+    EXPECT_THROW(checkedMul(INT64_MAX, 2), PanicError);
+    EXPECT_THROW(checkedAdd(INT64_MAX, 1), PanicError);
+    EXPECT_THROW(checkedSub(INT64_MIN, 1), PanicError);
+    EXPECT_EQ(checkedMul(1 << 20, 1 << 20), int64_t(1) << 40);
+}
+
+TEST(Rational, ArithmeticAndComparison)
+{
+    Rational a(1, 2), b(1, 3);
+    EXPECT_EQ((a + b), Rational(5, 6));
+    EXPECT_EQ((a - b), Rational(1, 6));
+    EXPECT_EQ((a * b), Rational(1, 6));
+    EXPECT_EQ((a / b), Rational(3, 2));
+    EXPECT_TRUE(b < a);
+    EXPECT_TRUE(a >= b);
+}
+
+TEST(Rational, NormalizationAndRounding)
+{
+    EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+    EXPECT_EQ(Rational(1, -2), Rational(-1, 2));
+    EXPECT_EQ(Rational(7, 2).floor(), 3);
+    EXPECT_EQ(Rational(7, 2).ceil(), 4);
+    EXPECT_EQ(Rational(-7, 2).floor(), -4);
+    EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+    EXPECT_THROW(Rational(1, 0), PanicError);
+}
+
+TEST(StrUtil, JoinAndSplit)
+{
+    std::vector<std::string> v{"a", "b", "c"};
+    EXPECT_EQ(join(v, ", "), "a, b, c");
+    EXPECT_EQ(split("a,b,c", ',').size(), 3u);
+    EXPECT_EQ(split("a,b,c", ',')[1], "b");
+    EXPECT_TRUE(split("", ',').empty());
+}
+
+TEST(StrUtil, TrimAndFormat)
+{
+    EXPECT_EQ(trim("  x y \n"), "x y");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(strformat("%d-%s", 3, "x"), "3-x");
+}
+
+TEST(Logging, FatalAndPanicThrowDistinctTypes)
+{
+    EXPECT_THROW(fatal("user error"), FatalError);
+    EXPECT_THROW(panic("bug"), PanicError);
+    try {
+        fatal("message text");
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "message text");
+    }
+}
+
+} // namespace
+} // namespace polyfuse

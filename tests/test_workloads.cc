@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Workload tests: every benchmark program builds with the expected
+ * structure, and -- the heavy check -- every scheduling strategy
+ * (min/smart/max/hybrid fusion and the paper's composition, CPU and
+ * GPU flavours) computes the same live-out values as the untouched
+ * initial schedule. This differential test exercises the whole
+ * pipeline (sets, deps, fusion, Algorithms 1-3, codegen, promotion,
+ * execution) on realistic multi-rate, data-dependent programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codegen/generate.hh"
+#include "core/compose.hh"
+#include "exec/executor.hh"
+#include "schedule/fusion.hh"
+#include "workloads/conv2d.hh"
+#include "workloads/equake.hh"
+#include "workloads/pipelines.hh"
+#include "workloads/polybench.hh"
+#include "workloads/resnet50.hh"
+
+namespace polyfuse {
+namespace workloads {
+namespace {
+
+using schedule::FusionPolicy;
+using schedule::ScheduleTree;
+
+/** Fill every input (and output, for read-modify-write kernels). */
+void
+fillInputs(const ir::Program &p, exec::Buffers &buf)
+{
+    if (p.name() == "equake") {
+        initEquakeInputs(p, buf, 11);
+        return;
+    }
+    for (size_t t = 0; t < p.tensors().size(); ++t) {
+        if (p.tensor(t).kind != ir::TensorKind::Temp)
+            buf.fillPattern(t, 1000 + t);
+        // Image pipelines expect values in [0, 1].
+        if (p.tensor(t).kind == ir::TensorKind::Input)
+            for (auto &v : buf.data(t))
+                v = std::abs(v);
+    }
+}
+
+/** Live-out tensors of @p p after running @p tree. */
+std::vector<std::vector<double>>
+runOutputs(const ir::Program &p, const ScheduleTree &tree)
+{
+    exec::Buffers buf(p);
+    fillInputs(p, buf);
+    exec::run(p, codegen::generateAst(tree), buf);
+    std::vector<std::vector<double>> out;
+    for (size_t t = 0; t < p.tensors().size(); ++t)
+        if (p.tensor(t).kind == ir::TensorKind::Output)
+            out.push_back(buf.data(t));
+    return out;
+}
+
+void
+expectNear(const std::vector<std::vector<double>> &a,
+           const std::vector<std::vector<double>> &b,
+           const std::string &label)
+{
+    ASSERT_EQ(a.size(), b.size()) << label;
+    for (size_t t = 0; t < a.size(); ++t) {
+        ASSERT_EQ(a[t].size(), b[t].size()) << label;
+        for (size_t i = 0; i < a[t].size(); ++i)
+            ASSERT_NEAR(a[t][i], b[t][i], 1e-9)
+                << label << " tensor " << t << " elem " << i;
+    }
+}
+
+/** The cross-strategy differential check. */
+void
+checkAllStrategies(const ir::Program &p,
+                   const std::vector<int64_t> &tiles)
+{
+    auto graph = deps::DependenceGraph::compute(p);
+    ScheduleTree initial = ScheduleTree::initial(p);
+    initial.annotate(graph);
+    auto ref = runOutputs(p, initial);
+
+    for (auto policy : {FusionPolicy::Min, FusionPolicy::Smart,
+                        FusionPolicy::Max, FusionPolicy::Hybrid}) {
+        auto r = schedule::applyFusion(p, graph, policy);
+        expectNear(runOutputs(p, r.tree), ref,
+                   p.name() + "/" + fusionPolicyName(policy));
+    }
+
+    for (unsigned par : {1u, 2u}) {
+        core::ComposeOptions opts;
+        opts.tileSizes = tiles;
+        opts.targetParallelism = par;
+        auto r = core::compose(p, graph, opts);
+        expectNear(runOutputs(p, r.tree), ref,
+                   p.name() + "/composed-p" + std::to_string(par));
+    }
+}
+
+TEST(Workloads, UnsharpStructure)
+{
+    ir::Program p = makeUnsharpMask({64, 48});
+    EXPECT_EQ(p.numGroups(), 4u);
+    EXPECT_EQ(p.statements().size(), 4u);
+    EXPECT_TRUE(p.groupLiveOut(3));
+    EXPECT_FALSE(p.groupLiveOut(0));
+}
+
+TEST(Workloads, UnsharpAllStrategiesAgree)
+{
+    checkAllStrategies(makeUnsharpMask({64, 48}), {16, 16});
+}
+
+TEST(Workloads, HarrisStructure)
+{
+    ir::Program p = makeHarris({64, 64});
+    EXPECT_EQ(p.numGroups(), 11u);
+    EXPECT_TRUE(p.groupLiveOut(10));
+}
+
+TEST(Workloads, HarrisAllStrategiesAgree)
+{
+    checkAllStrategies(makeHarris({64, 48}), {16, 16});
+}
+
+TEST(Workloads, BilateralStructure)
+{
+    ir::Program p = makeBilateralGrid({64, 64});
+    EXPECT_EQ(p.numGroups(), 6u);
+    EXPECT_EQ(p.statements().size(), 7u);
+    EXPECT_TRUE(p.groupLiveOut(5));
+}
+
+TEST(Workloads, BilateralAllStrategiesAgree)
+{
+    checkAllStrategies(makeBilateralGrid({64, 64}), {16, 16});
+}
+
+TEST(Workloads, CameraStructure)
+{
+    ir::Program p = makeCameraPipeline({64, 64});
+    EXPECT_EQ(p.statements().size(), 16u);
+    EXPECT_TRUE(p.groupLiveOut(p.numGroups() - 1));
+}
+
+TEST(Workloads, CameraAllStrategiesAgree)
+{
+    checkAllStrategies(makeCameraPipeline({64, 64}), {8, 8});
+}
+
+TEST(Workloads, InterpolateStructure)
+{
+    ir::Program p = makeMultiscaleInterp({64, 64});
+    EXPECT_EQ(p.statements().size(), 24u);
+    EXPECT_EQ(p.numGroups(), 12u);
+}
+
+TEST(Workloads, InterpolateAllStrategiesAgree)
+{
+    checkAllStrategies(makeMultiscaleInterp({64, 64}), {8, 8});
+}
+
+TEST(Workloads, LocalLaplacianStructure)
+{
+    ir::Program p = makeLocalLaplacian({32, 32});
+    EXPECT_EQ(p.statements().size(), 11u);
+}
+
+TEST(Workloads, LocalLaplacianAllStrategiesAgree)
+{
+    checkAllStrategies(makeLocalLaplacian({32, 32}), {8, 8});
+}
+
+TEST(Workloads, EquakeStructure)
+{
+    ir::Program p = makeEquake({512, 8});
+    EXPECT_EQ(p.numGroups(), 4u);
+    EXPECT_EQ(p.statements().size(), 6u);
+    EXPECT_TRUE(p.groupLiveOut(3));
+}
+
+TEST(Workloads, EquakeAllStrategiesAgree)
+{
+    checkAllStrategies(makeEquake({512, 8}), {64});
+}
+
+TEST(Workloads, TwoMmAllStrategiesAgree)
+{
+    checkAllStrategies(make2mm(24, 20, 16, 28), {8, 8});
+}
+
+TEST(Workloads, GemverAllStrategiesAgree)
+{
+    checkAllStrategies(makeGemver(48), {16, 16});
+}
+
+TEST(Workloads, CovarianceAllStrategiesAgree)
+{
+    checkAllStrategies(makeCovariance(24, 20), {8, 8});
+}
+
+TEST(Workloads, Resnet50LayerTable)
+{
+    auto layers = resnet50Layers();
+    EXPECT_EQ(layers.size(), 53u);
+    // conv1.
+    EXPECT_EQ(layers[0].cin, 3);
+    EXPECT_EQ(layers[0].cout, 64);
+    EXPECT_EQ(layers[0].kernel, 7);
+    // Last expand conv.
+    EXPECT_EQ(layers.back().cout, 2048);
+    double total_flops = 0;
+    for (const auto &l : layers)
+        total_flops += l.flops();
+    // ResNet-50 forward is ~3.8 GFLOPs x2 (MAC = 2 flops) at 224.
+    EXPECT_GT(total_flops, 6e9);
+    EXPECT_LT(total_flops, 9e9);
+}
+
+TEST(Workloads, ConvBnProgramComposes)
+{
+    memsim::ConvLayer small;
+    small.cin = 8;
+    small.cout = 8;
+    small.height = 10;
+    small.width = 10;
+    small.kernel = 3;
+    ir::Program p = makeConvBnProgram(small);
+    checkAllStrategies(p, {4, 4, 4});
+}
+
+} // namespace
+} // namespace workloads
+} // namespace polyfuse
