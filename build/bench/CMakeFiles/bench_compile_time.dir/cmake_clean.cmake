@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compile_time.dir/bench_compile_time.cc.o"
+  "CMakeFiles/bench_compile_time.dir/bench_compile_time.cc.o.d"
+  "bench_compile_time"
+  "bench_compile_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compile_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_gpu.dir/bench_fig10_gpu.cc.o"
+  "CMakeFiles/bench_fig10_gpu.dir/bench_fig10_gpu.cc.o.d"
+  "bench_fig10_gpu"
+  "bench_fig10_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

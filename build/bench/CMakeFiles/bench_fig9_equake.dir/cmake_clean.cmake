@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_equake.dir/bench_fig9_equake.cc.o"
+  "CMakeFiles/bench_fig9_equake.dir/bench_fig9_equake.cc.o.d"
+  "bench_fig9_equake"
+  "bench_fig9_equake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_equake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

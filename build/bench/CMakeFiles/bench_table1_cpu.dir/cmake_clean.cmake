@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_cpu.dir/bench_table1_cpu.cc.o"
+  "CMakeFiles/bench_table1_cpu.dir/bench_table1_cpu.cc.o.d"
+  "bench_table1_cpu"
+  "bench_table1_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_polybench.dir/bench_table2_polybench.cc.o"
+  "CMakeFiles/bench_table2_polybench.dir/bench_table2_polybench.cc.o.d"
+  "bench_table2_polybench"
+  "bench_table2_polybench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_polybench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_resnet.dir/bench_table3_resnet.cc.o"
+  "CMakeFiles/bench_table3_resnet.dir/bench_table3_resnet.cc.o.d"
+  "bench_table3_resnet"
+  "bench_table3_resnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_resnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelerator_conv.dir/accelerator_conv.cpp.o"
+  "CMakeFiles/accelerator_conv.dir/accelerator_conv.cpp.o.d"
+  "accelerator_conv"
+  "accelerator_conv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelerator_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_equake.dir/sparse_equake.cpp.o"
+  "CMakeFiles/sparse_equake.dir/sparse_equake.cpp.o.d"
+  "sparse_equake"
+  "sparse_equake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_equake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

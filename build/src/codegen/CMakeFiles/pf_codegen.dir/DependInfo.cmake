@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/cprinter.cc" "src/codegen/CMakeFiles/pf_codegen.dir/cprinter.cc.o" "gcc" "src/codegen/CMakeFiles/pf_codegen.dir/cprinter.cc.o.d"
+  "/root/repo/src/codegen/generate.cc" "src/codegen/CMakeFiles/pf_codegen.dir/generate.cc.o" "gcc" "src/codegen/CMakeFiles/pf_codegen.dir/generate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/schedule/CMakeFiles/pf_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/deps/CMakeFiles/pf_deps.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/pf_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/pres/CMakeFiles/pf_pres.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

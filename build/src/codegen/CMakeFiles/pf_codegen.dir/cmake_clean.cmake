@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_codegen.dir/cprinter.cc.o"
+  "CMakeFiles/pf_codegen.dir/cprinter.cc.o.d"
+  "CMakeFiles/pf_codegen.dir/generate.cc.o"
+  "CMakeFiles/pf_codegen.dir/generate.cc.o.d"
+  "libpf_codegen.a"
+  "libpf_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_core.dir/compose.cc.o"
+  "CMakeFiles/pf_core.dir/compose.cc.o.d"
+  "CMakeFiles/pf_core.dir/footprint.cc.o"
+  "CMakeFiles/pf_core.dir/footprint.cc.o.d"
+  "libpf_core.a"
+  "libpf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_deps.dir/dependences.cc.o"
+  "CMakeFiles/pf_deps.dir/dependences.cc.o.d"
+  "libpf_deps.a"
+  "libpf_deps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_deps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_exec.dir/executor.cc.o"
+  "CMakeFiles/pf_exec.dir/executor.cc.o.d"
+  "libpf_exec.a"
+  "libpf_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

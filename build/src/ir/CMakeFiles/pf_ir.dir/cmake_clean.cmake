@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_ir.dir/program.cc.o"
+  "CMakeFiles/pf_ir.dir/program.cc.o.d"
+  "libpf_ir.a"
+  "libpf_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

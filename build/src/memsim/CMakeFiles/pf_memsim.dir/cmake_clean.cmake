@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_memsim.dir/cache.cc.o"
+  "CMakeFiles/pf_memsim.dir/cache.cc.o.d"
+  "CMakeFiles/pf_memsim.dir/davinci.cc.o"
+  "CMakeFiles/pf_memsim.dir/davinci.cc.o.d"
+  "CMakeFiles/pf_memsim.dir/gpu.cc.o"
+  "CMakeFiles/pf_memsim.dir/gpu.cc.o.d"
+  "libpf_memsim.a"
+  "libpf_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_perfmodel.dir/autotune.cc.o"
+  "CMakeFiles/pf_perfmodel.dir/autotune.cc.o.d"
+  "CMakeFiles/pf_perfmodel.dir/parallel.cc.o"
+  "CMakeFiles/pf_perfmodel.dir/parallel.cc.o.d"
+  "libpf_perfmodel.a"
+  "libpf_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

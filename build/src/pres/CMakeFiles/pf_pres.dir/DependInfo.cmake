@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pres/basic_map.cc" "src/pres/CMakeFiles/pf_pres.dir/basic_map.cc.o" "gcc" "src/pres/CMakeFiles/pf_pres.dir/basic_map.cc.o.d"
+  "/root/repo/src/pres/basic_set.cc" "src/pres/CMakeFiles/pf_pres.dir/basic_set.cc.o" "gcc" "src/pres/CMakeFiles/pf_pres.dir/basic_set.cc.o.d"
+  "/root/repo/src/pres/fm.cc" "src/pres/CMakeFiles/pf_pres.dir/fm.cc.o" "gcc" "src/pres/CMakeFiles/pf_pres.dir/fm.cc.o.d"
+  "/root/repo/src/pres/map.cc" "src/pres/CMakeFiles/pf_pres.dir/map.cc.o" "gcc" "src/pres/CMakeFiles/pf_pres.dir/map.cc.o.d"
+  "/root/repo/src/pres/parser.cc" "src/pres/CMakeFiles/pf_pres.dir/parser.cc.o" "gcc" "src/pres/CMakeFiles/pf_pres.dir/parser.cc.o.d"
+  "/root/repo/src/pres/printing.cc" "src/pres/CMakeFiles/pf_pres.dir/printing.cc.o" "gcc" "src/pres/CMakeFiles/pf_pres.dir/printing.cc.o.d"
+  "/root/repo/src/pres/set.cc" "src/pres/CMakeFiles/pf_pres.dir/set.cc.o" "gcc" "src/pres/CMakeFiles/pf_pres.dir/set.cc.o.d"
+  "/root/repo/src/pres/space.cc" "src/pres/CMakeFiles/pf_pres.dir/space.cc.o" "gcc" "src/pres/CMakeFiles/pf_pres.dir/space.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

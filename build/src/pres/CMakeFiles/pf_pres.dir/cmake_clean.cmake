@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_pres.dir/basic_map.cc.o"
+  "CMakeFiles/pf_pres.dir/basic_map.cc.o.d"
+  "CMakeFiles/pf_pres.dir/basic_set.cc.o"
+  "CMakeFiles/pf_pres.dir/basic_set.cc.o.d"
+  "CMakeFiles/pf_pres.dir/fm.cc.o"
+  "CMakeFiles/pf_pres.dir/fm.cc.o.d"
+  "CMakeFiles/pf_pres.dir/map.cc.o"
+  "CMakeFiles/pf_pres.dir/map.cc.o.d"
+  "CMakeFiles/pf_pres.dir/parser.cc.o"
+  "CMakeFiles/pf_pres.dir/parser.cc.o.d"
+  "CMakeFiles/pf_pres.dir/printing.cc.o"
+  "CMakeFiles/pf_pres.dir/printing.cc.o.d"
+  "CMakeFiles/pf_pres.dir/set.cc.o"
+  "CMakeFiles/pf_pres.dir/set.cc.o.d"
+  "CMakeFiles/pf_pres.dir/space.cc.o"
+  "CMakeFiles/pf_pres.dir/space.cc.o.d"
+  "libpf_pres.a"
+  "libpf_pres.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_pres.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

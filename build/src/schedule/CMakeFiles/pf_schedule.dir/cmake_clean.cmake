@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_schedule.dir/fusion.cc.o"
+  "CMakeFiles/pf_schedule.dir/fusion.cc.o.d"
+  "CMakeFiles/pf_schedule.dir/tree.cc.o"
+  "CMakeFiles/pf_schedule.dir/tree.cc.o.d"
+  "libpf_schedule.a"
+  "libpf_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

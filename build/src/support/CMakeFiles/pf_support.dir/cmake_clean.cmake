@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_support.dir/logging.cc.o"
+  "CMakeFiles/pf_support.dir/logging.cc.o.d"
+  "CMakeFiles/pf_support.dir/strutil.cc.o"
+  "CMakeFiles/pf_support.dir/strutil.cc.o.d"
+  "libpf_support.a"
+  "libpf_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/bilateral.cc" "src/workloads/CMakeFiles/pf_workloads.dir/bilateral.cc.o" "gcc" "src/workloads/CMakeFiles/pf_workloads.dir/bilateral.cc.o.d"
+  "/root/repo/src/workloads/camera.cc" "src/workloads/CMakeFiles/pf_workloads.dir/camera.cc.o" "gcc" "src/workloads/CMakeFiles/pf_workloads.dir/camera.cc.o.d"
+  "/root/repo/src/workloads/conv2d.cc" "src/workloads/CMakeFiles/pf_workloads.dir/conv2d.cc.o" "gcc" "src/workloads/CMakeFiles/pf_workloads.dir/conv2d.cc.o.d"
+  "/root/repo/src/workloads/equake.cc" "src/workloads/CMakeFiles/pf_workloads.dir/equake.cc.o" "gcc" "src/workloads/CMakeFiles/pf_workloads.dir/equake.cc.o.d"
+  "/root/repo/src/workloads/harris.cc" "src/workloads/CMakeFiles/pf_workloads.dir/harris.cc.o" "gcc" "src/workloads/CMakeFiles/pf_workloads.dir/harris.cc.o.d"
+  "/root/repo/src/workloads/interpolate.cc" "src/workloads/CMakeFiles/pf_workloads.dir/interpolate.cc.o" "gcc" "src/workloads/CMakeFiles/pf_workloads.dir/interpolate.cc.o.d"
+  "/root/repo/src/workloads/laplacian.cc" "src/workloads/CMakeFiles/pf_workloads.dir/laplacian.cc.o" "gcc" "src/workloads/CMakeFiles/pf_workloads.dir/laplacian.cc.o.d"
+  "/root/repo/src/workloads/polybench.cc" "src/workloads/CMakeFiles/pf_workloads.dir/polybench.cc.o" "gcc" "src/workloads/CMakeFiles/pf_workloads.dir/polybench.cc.o.d"
+  "/root/repo/src/workloads/resnet50.cc" "src/workloads/CMakeFiles/pf_workloads.dir/resnet50.cc.o" "gcc" "src/workloads/CMakeFiles/pf_workloads.dir/resnet50.cc.o.d"
+  "/root/repo/src/workloads/unsharp.cc" "src/workloads/CMakeFiles/pf_workloads.dir/unsharp.cc.o" "gcc" "src/workloads/CMakeFiles/pf_workloads.dir/unsharp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/pf_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/pf_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/pf_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/pf_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/pf_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/deps/CMakeFiles/pf_deps.dir/DependInfo.cmake"
+  "/root/repo/build/src/pres/CMakeFiles/pf_pres.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

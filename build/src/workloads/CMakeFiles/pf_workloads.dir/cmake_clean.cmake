@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_workloads.dir/bilateral.cc.o"
+  "CMakeFiles/pf_workloads.dir/bilateral.cc.o.d"
+  "CMakeFiles/pf_workloads.dir/camera.cc.o"
+  "CMakeFiles/pf_workloads.dir/camera.cc.o.d"
+  "CMakeFiles/pf_workloads.dir/conv2d.cc.o"
+  "CMakeFiles/pf_workloads.dir/conv2d.cc.o.d"
+  "CMakeFiles/pf_workloads.dir/equake.cc.o"
+  "CMakeFiles/pf_workloads.dir/equake.cc.o.d"
+  "CMakeFiles/pf_workloads.dir/harris.cc.o"
+  "CMakeFiles/pf_workloads.dir/harris.cc.o.d"
+  "CMakeFiles/pf_workloads.dir/interpolate.cc.o"
+  "CMakeFiles/pf_workloads.dir/interpolate.cc.o.d"
+  "CMakeFiles/pf_workloads.dir/laplacian.cc.o"
+  "CMakeFiles/pf_workloads.dir/laplacian.cc.o.d"
+  "CMakeFiles/pf_workloads.dir/polybench.cc.o"
+  "CMakeFiles/pf_workloads.dir/polybench.cc.o.d"
+  "CMakeFiles/pf_workloads.dir/resnet50.cc.o"
+  "CMakeFiles/pf_workloads.dir/resnet50.cc.o.d"
+  "CMakeFiles/pf_workloads.dir/unsharp.cc.o"
+  "CMakeFiles/pf_workloads.dir/unsharp.cc.o.d"
+  "libpf_workloads.a"
+  "libpf_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

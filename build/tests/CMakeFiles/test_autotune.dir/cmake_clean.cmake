@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autotune.dir/test_autotune.cc.o"
+  "CMakeFiles/test_autotune.dir/test_autotune.cc.o.d"
+  "test_autotune"
+  "test_autotune.pdb"
+  "test_autotune[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

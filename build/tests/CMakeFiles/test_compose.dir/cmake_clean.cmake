@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compose.dir/test_compose.cc.o"
+  "CMakeFiles/test_compose.dir/test_compose.cc.o.d"
+  "test_compose"
+  "test_compose.pdb"
+  "test_compose[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

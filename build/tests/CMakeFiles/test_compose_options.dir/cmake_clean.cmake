@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compose_options.dir/test_compose_options.cc.o"
+  "CMakeFiles/test_compose_options.dir/test_compose_options.cc.o.d"
+  "test_compose_options"
+  "test_compose_options.pdb"
+  "test_compose_options[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compose_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

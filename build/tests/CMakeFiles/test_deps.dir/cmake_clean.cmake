@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deps.dir/test_deps.cc.o"
+  "CMakeFiles/test_deps.dir/test_deps.cc.o.d"
+  "test_deps"
+  "test_deps.pdb"
+  "test_deps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_memsim.cc" "tests/CMakeFiles/test_memsim.dir/test_memsim.cc.o" "gcc" "tests/CMakeFiles/test_memsim.dir/test_memsim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perfmodel/CMakeFiles/pf_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/pf_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/pf_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/pf_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/pf_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/pf_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/deps/CMakeFiles/pf_deps.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/pf_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/pres/CMakeFiles/pf_pres.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

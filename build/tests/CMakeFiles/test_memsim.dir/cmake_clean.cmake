@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memsim.dir/test_memsim.cc.o"
+  "CMakeFiles/test_memsim.dir/test_memsim.cc.o.d"
+  "test_memsim"
+  "test_memsim.pdb"
+  "test_memsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

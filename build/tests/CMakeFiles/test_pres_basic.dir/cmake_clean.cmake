@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pres_basic.dir/test_pres_basic.cc.o"
+  "CMakeFiles/test_pres_basic.dir/test_pres_basic.cc.o.d"
+  "test_pres_basic"
+  "test_pres_basic.pdb"
+  "test_pres_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pres_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pres_fm.dir/test_pres_fm.cc.o"
+  "CMakeFiles/test_pres_fm.dir/test_pres_fm.cc.o.d"
+  "test_pres_fm"
+  "test_pres_fm.pdb"
+  "test_pres_fm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pres_fm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

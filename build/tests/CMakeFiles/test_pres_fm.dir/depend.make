@@ -1,0 +1,2 @@
+# Empty dependencies file for test_pres_fm.
+# This may be replaced when dependencies are built.

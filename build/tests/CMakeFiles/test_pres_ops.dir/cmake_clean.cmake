@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pres_ops.dir/test_pres_ops.cc.o"
+  "CMakeFiles/test_pres_ops.dir/test_pres_ops.cc.o.d"
+  "test_pres_ops"
+  "test_pres_ops.pdb"
+  "test_pres_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pres_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pres_parser.dir/test_pres_parser.cc.o"
+  "CMakeFiles/test_pres_parser.dir/test_pres_parser.cc.o.d"
+  "test_pres_parser"
+  "test_pres_parser.pdb"
+  "test_pres_parser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pres_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schedule.dir/test_schedule.cc.o"
+  "CMakeFiles/test_schedule.dir/test_schedule.cc.o.d"
+  "test_schedule"
+  "test_schedule.pdb"
+  "test_schedule[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
