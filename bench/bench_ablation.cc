@@ -1,7 +1,8 @@
 /**
  * @file
  * E8 -- ablation of the design choices DESIGN.md calls out, on the
- * Harris pipeline and the running-example convolution:
+ * Harris pipeline, each variant expressed as driver pipeline
+ * options:
  *
  *   full            the composition as published
  *   no-promotion    extension fusion but intermediates stay in DRAM
@@ -38,7 +39,6 @@ int
 main()
 {
     ir::Program p = workloads::makeHarris({256, 256});
-    auto graph = deps::DependenceGraph::compute(p);
     std::vector<Variant> variants = {
         {"full", true, 0, 4.0, true},
         {"no-promotion", false, 0, 4.0, true},
@@ -51,26 +51,14 @@ main()
     printRow("variant",
              {"model-32t(ms)", "dram(MB)", "instances", "compile"});
     for (const auto &v : variants) {
-        double compile_ms = 0;
-        schedule::ScheduleTree tree;
-        Timer timer;
-        if (v.fusion) {
-            core::ComposeOptions opts;
-            opts.tileSizes = {32, 128};
-            opts.footprintDilation = v.dilation;
-            opts.maxRecompute = v.maxRecompute;
-            tree = core::compose(p, graph, opts).tree;
-        } else {
-            auto r = schedule::applyFusion(
-                p, graph, schedule::FusionPolicy::Smart);
-            tree = r.tree;
-            tileAllSpaces(tree, {32, 128});
-        }
-        compile_ms = timer.milliseconds();
-
-        codegen::GenOptions gopts;
-        gopts.promoteIntermediates = v.promote;
-        auto ast = codegen::generateAst(tree, gopts);
+        driver::PipelineOptions popts;
+        popts.strategy =
+            v.fusion ? Strategy::Ours : Strategy::SmartFuse;
+        popts.tileSizes = {32, 128};
+        popts.footprintDilation = v.dilation;
+        popts.maxRecompute = v.maxRecompute;
+        popts.gen.promoteIntermediates = v.promote;
+        auto state = driver::Pipeline(popts).run(p);
 
         exec::Buffers buf(p);
         defaultInit(p, buf);
@@ -81,7 +69,7 @@ main()
             mem.addSpace(t, p.tensorSize(t));
             mem.addSpace(p.tensors().size() + t, p.tensorSize(t));
         }
-        auto stats = exec::run(p, ast, buf,
+        auto stats = exec::run(p, state.ast, buf,
                                [&](int space, int64_t off, bool w) {
                                    mem.access(space, off, w);
                                });
@@ -90,7 +78,7 @@ main()
                       "%.3f"),
                   fmt(mem.stats().dramBytes / 1e6),
                   fmt(double(stats.instances), "%.0f"),
-                  fmt(compile_ms)});
+                  fmt(state.compileMs())});
     }
     std::printf("\nNote: Harris' stages write out of place, so the "
                 "no-promotion variant is\nsemantically safe here "

@@ -44,14 +44,13 @@ main()
               "speedup"});
     for (const auto &e : entries) {
         ir::Program p = e.make(cfg);
-        auto graph = deps::DependenceGraph::compute(p);
         double base = 0;
         for (Strategy s : strategies) {
             RunOptions opts;
             opts.tileSizes = e.tiles;
             opts.targetParallelism = 2;
             RunResult r = runStrategy(
-                p, graph, s, opts,
+                p, s, opts,
                 [&](exec::Buffers &b) { defaultInit(p, b); });
             auto est = memsim::estimateGpu(p, r.ast, r.stats,
                                            r.gpuCounts);

@@ -46,7 +46,6 @@ main()
                 "threads ===\n");
     for (const auto &e : entries) {
         ir::Program p = e.make(cfg);
-        auto graph = deps::DependenceGraph::compute(p);
         std::printf("--- %s ---\n", e.name);
         printRow("strategy", {"t=1", "t=4", "t=16", "t=32"});
         double naive_1t = 0;
@@ -54,7 +53,7 @@ main()
             RunOptions opts;
             opts.tileSizes = e.tiles;
             RunResult r = runStrategy(
-                p, graph, s, opts,
+                p, s, opts,
                 [&](exec::Buffers &b) { defaultInit(p, b); });
             if (s == Strategy::Naive)
                 naive_1t =

@@ -40,13 +40,12 @@ main()
              {"model-1t(ms)", "model-32t", "dram(MB)", "speedup"});
     for (const auto &se : sizes) {
         ir::Program p = workloads::makeEquake(se.cfg);
-        auto graph = deps::DependenceGraph::compute(p);
         double base = 0;
         for (Strategy s : strategies) {
             RunOptions opts;
             opts.tileSizes = {512};
             RunResult r = runStrategy(
-                p, graph, s, opts, [&](exec::Buffers &b) {
+                p, s, opts, [&](exec::Buffers &b) {
                     workloads::initEquakeInputs(p, b, 11);
                 });
             double t32 =

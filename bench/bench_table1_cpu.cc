@@ -58,13 +58,12 @@ main()
 
     for (const auto &e : entries) {
         ir::Program p = e.make(cfg);
-        auto graph = deps::DependenceGraph::compute(p);
         double naive_1t = 0;
         for (Strategy s : strategies) {
             RunOptions opts;
             opts.tileSizes = e.tiles;
             RunResult r = runStrategy(
-                p, graph, s, opts,
+                p, s, opts,
                 [&](exec::Buffers &b) { defaultInit(p, b); });
             double t1 =
                 perfmodel::modeledCpuMs(r.stats, r.cache, 1);

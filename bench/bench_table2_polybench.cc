@@ -38,7 +38,6 @@ main()
     std::printf("=== Table II: PolyBench (modeled time per thread "
                 "count, ms) ===\n");
     for (auto &e : entries) {
-        auto graph = deps::DependenceGraph::compute(e.prog);
         std::printf("--- %s ---\n", e.name);
         printRow("strategy",
                  {"t=1", "t=8", "t=32", "par-frac", "dram(MB)"});
@@ -46,7 +45,7 @@ main()
             RunOptions opts;
             opts.tileSizes = {32, 32};
             RunResult r = runStrategy(
-                e.prog, graph, s, opts, [&](exec::Buffers &b) {
+                e.prog, s, opts, [&](exec::Buffers &b) {
                     defaultInit(e.prog, b);
                 });
             std::vector<std::string> cells;

@@ -5,8 +5,8 @@
  * isl's smartfuse failed to fuse convolutions with batch norms
  * (separate passes, GM round trip); "ours" is the post-tiling fused
  * schedule (conv output consumed from the Unified Buffer). The
- * fusion decision itself is validated by running the composition on
- * a per-layer conv+bn program.
+ * fusion decision itself is validated by running the driver pipeline
+ * on a per-layer conv+bn program.
  *
  * Paper numbers: fwd conv+bn 11.50 -> 6.69 ms (1.72x), entire
  * workload 35.03 -> 30.25 ms (1.16x).
@@ -18,6 +18,21 @@
 
 using namespace polyfuse;
 using namespace polyfuse::bench;
+
+namespace {
+
+/** The driver options of the accelerator deployment. */
+driver::PipelineOptions
+acceleratorOptions(driver::Strategy strategy)
+{
+    driver::PipelineOptions opts;
+    opts.strategy = strategy;
+    opts.tileSizes = {8, 4, 4};
+    opts.startup = schedule::FusionPolicy::Min;
+    return opts;
+}
+
+} // namespace
 
 int
 main()
@@ -35,14 +50,13 @@ main()
         probe.width = 16;
         probe.kernel = 3;
         ir::Program p = workloads::makeConvBnProgram(probe);
-        auto g = deps::DependenceGraph::compute(p);
-        core::ComposeOptions opts;
-        opts.tileSizes = {8, 4, 4};
-        opts.startup = schedule::FusionPolicy::Min;
-        auto r = core::compose(p, g, opts);
+        auto state = driver::Pipeline(
+                         acceleratorOptions(Strategy::Ours))
+                         .run(p);
         std::printf("fusion check: composed conv+bn spaces = %zu "
                     "(fused intermediates: %zu)\n\n",
-                    r.spaces.size(), r.fusedIntermediates.size());
+                    state.composed.spaces.size(),
+                    state.composed.fusedIntermediates.size());
     }
 
     double smart_convbn = 0, ours_convbn = 0;
@@ -77,30 +91,21 @@ main()
              {fmt(smart_gm / 1e6), fmt(ours_gm / 1e6),
               fmt(smart_gm / ours_gm, "%.2fx")});
 
-    // Compilation time over all 53 conv+bn layer programs.
+    // Compilation time over all 53 conv+bn layer programs
+    // (scheduling + codegen through the driver; smartfuse schedules
+    // both spaces separately and the code generator scans both
+    // nests).
     double smart_ms = 0, ours_ms = 0;
     for (const auto &l : layers) {
-        memsim::ConvLayer shrunk = l;
-        // Scheduling cost depends on the structure, not the sizes.
-        ir::Program p = workloads::makeConvBnProgram(shrunk);
-        auto g = deps::DependenceGraph::compute(p);
-        Timer t1;
-        auto sf = schedule::applyFusion(
-            p, g, schedule::FusionPolicy::Smart);
-        (void)sf;
-        // smartfuse schedules both spaces separately and the code
-        // generator scans both nests.
-        auto tree1 = schedule::ScheduleTree::initial(p);
-        tree1.annotate(g);
-        codegen::generateAst(tree1);
-        smart_ms += t1.milliseconds();
-        Timer t2;
-        core::ComposeOptions opts;
-        opts.tileSizes = {8, 4, 4};
-        opts.startup = schedule::FusionPolicy::Min;
-        auto r = core::compose(p, g, opts);
-        codegen::generateAst(r.tree);
-        ours_ms += t2.milliseconds();
+        ir::Program p = workloads::makeConvBnProgram(l);
+        smart_ms += driver::Pipeline(
+                        acceleratorOptions(Strategy::SmartFuse))
+                        .run(p)
+                        .compileMs();
+        ours_ms += driver::Pipeline(
+                       acceleratorOptions(Strategy::Ours))
+                       .run(p)
+                       .compileMs();
     }
     std::printf("\ncompilation time over 53 layers: smart %.1f ms, "
                 "ours %.1f ms\n",

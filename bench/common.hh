@@ -1,12 +1,14 @@
 /**
  * @file
  * Shared machinery for the paper-reproduction benchmark binaries:
- * building the compared schedules (naive / PPCG fusion heuristics /
- * PolyMage / Halide-manual / our composition), executing them,
- * simulating the cache hierarchy, and printing aligned tables.
+ * compiling each compared strategy through the driver's pass
+ * pipeline (driver::Pipeline), executing the result, simulating the
+ * cache hierarchy, and printing aligned tables.
  *
  * Every binary regenerates the rows/series of one table or figure of
  * the paper; EXPERIMENTS.md records paper-vs-measured per artifact.
+ * All compilation goes through driver::Pipeline — no benchmark
+ * assembles the deps -> fuse/compose -> codegen sequence by hand.
  */
 
 #ifndef POLYFUSE_BENCH_COMMON_HH
@@ -17,53 +19,25 @@
 #include <string>
 #include <vector>
 
-#include "codegen/generate.hh"
-#include "core/compose.hh"
+#include "driver/pipeline.hh"
 #include "exec/executor.hh"
 #include "memsim/cache.hh"
 #include "memsim/gpu.hh"
 #include "perfmodel/parallel.hh"
-#include "schedule/fusion.hh"
 #include "support/timer.hh"
 
 namespace polyfuse {
 namespace bench {
 
-/** The schedules the paper compares. */
-enum class Strategy
-{
-    Naive,    ///< initial schedule, no tiling/fusion
-    MinFuse,  ///< PPCG minfuse + rectangular tiling
-    SmartFuse,///< PPCG smartfuse + rectangular tiling
-    MaxFuse,  ///< PPCG maxfuse + rectangular tiling
-    Hybrid,   ///< Pluto hybridfuse + rectangular tiling
-    PolyMage, ///< tiling-after-fusion with over-approximated
-              ///< overlapped tiles (footprint dilation 1)
-    Halide,   ///< manual-schedule proxy: smartfuse groups, tiled
-    Ours,     ///< the paper's composition (Algorithms 1-3)
-};
-
-inline const char *
-strategyName(Strategy s)
-{
-    switch (s) {
-      case Strategy::Naive: return "naive";
-      case Strategy::MinFuse: return "minfuse";
-      case Strategy::SmartFuse: return "smartfuse";
-      case Strategy::MaxFuse: return "maxfuse";
-      case Strategy::Hybrid: return "hybridfuse";
-      case Strategy::PolyMage: return "polymage";
-      case Strategy::Halide: return "halide";
-      case Strategy::Ours: return "ours";
-    }
-    return "?";
-}
+using driver::Strategy;
+using driver::strategyName;
 
 /** What one (program, strategy) run produced. */
 struct RunResult
 {
     double wallMs = 0;      ///< measured single-thread execution
-    double compileMs = 0;   ///< scheduling + codegen time
+    double compileMs = 0;   ///< scheduling + codegen time (no deps)
+    driver::PassStats passStats; ///< per-pass breakdown
     exec::ExecStats stats;
     memsim::CacheStats cache;
     memsim::GpuTraceCounts gpuCounts;
@@ -88,85 +62,38 @@ struct RunOptions
     memsim::CacheConfig l2{256 * 1024, 64, 16, "L2"};
 };
 
-/** Tile every tilable top-level band (tiling-after-fusion). */
-inline void
-tileAllSpaces(schedule::ScheduleTree &tree,
-              const std::vector<int64_t> &sizes)
+/** The pipeline options of one benchmark strategy run. */
+inline driver::PipelineOptions
+pipelineOptions(Strategy strategy, const RunOptions &opts)
 {
-    using schedule::NodePtr;
-    NodePtr seq = tree.root()->onlyChild();
-    if (!seq)
-        return;
-    for (const auto &filter : seq->children) {
-        NodePtr band = schedule::ScheduleTree::findBand(filter);
-        if (!band || !band->permutable || band->numBandDims() == 0 ||
-            !band->tileSizes.empty())
-            continue;
-        std::vector<int64_t> s(band->numBandDims(), sizes.back());
-        for (size_t k = 0; k < s.size() && k < sizes.size(); ++k)
-            s[k] = sizes[k];
-        tree.tileBand(band, s);
-    }
+    driver::PipelineOptions popts;
+    popts.strategy = strategy;
+    popts.tileSizes = opts.tileSizes;
+    popts.targetParallelism = opts.targetParallelism;
+    return popts;
 }
 
-/** Build the schedule tree of one strategy (timed). */
-inline schedule::ScheduleTree
-buildSchedule(const ir::Program &p, const deps::DependenceGraph &g,
-              Strategy strategy, const RunOptions &opts,
-              double &compile_ms)
+/** Compile one strategy through the driver. */
+inline driver::CompilationState
+compileStrategy(const ir::Program &p, Strategy strategy,
+                const RunOptions &opts)
 {
-    Timer timer;
-    schedule::ScheduleTree tree;
-    switch (strategy) {
-      case Strategy::Naive: {
-        tree = schedule::ScheduleTree::initial(p);
-        tree.annotate(g);
-        break;
-      }
-      case Strategy::MinFuse:
-      case Strategy::SmartFuse:
-      case Strategy::MaxFuse:
-      case Strategy::Hybrid:
-      case Strategy::Halide: {
-        auto policy = strategy == Strategy::MinFuse
-                          ? schedule::FusionPolicy::Min
-                      : strategy == Strategy::MaxFuse
-                          ? schedule::FusionPolicy::Max
-                      : strategy == Strategy::Hybrid
-                          ? schedule::FusionPolicy::Hybrid
-                          : schedule::FusionPolicy::Smart;
-        auto r = schedule::applyFusion(p, g, policy);
-        tree = r.tree;
-        tileAllSpaces(tree, opts.tileSizes);
-        break;
-      }
-      case Strategy::PolyMage:
-      case Strategy::Ours: {
-        core::ComposeOptions copts;
-        copts.tileSizes = opts.tileSizes;
-        copts.targetParallelism = opts.targetParallelism;
-        copts.footprintDilation =
-            strategy == Strategy::PolyMage ? 1 : 0;
-        auto r = core::compose(p, g, copts);
-        tree = r.tree;
-        break;
-      }
-    }
-    compile_ms = timer.milliseconds();
-    return tree;
+    return driver::Pipeline(pipelineOptions(strategy, opts)).run(p);
 }
 
 /** Execute one strategy end to end. */
 inline RunResult
-runStrategy(const ir::Program &p, const deps::DependenceGraph &g,
-            Strategy strategy, const RunOptions &opts,
+runStrategy(const ir::Program &p, Strategy strategy,
+            const RunOptions &opts,
             const std::function<void(exec::Buffers &)> &init)
 {
     RunResult r;
-    r.tree = buildSchedule(p, g, strategy, opts, r.compileMs);
-    Timer gen_timer;
-    r.ast = codegen::generateAst(r.tree);
-    r.compileMs += gen_timer.milliseconds();
+    driver::CompilationState state =
+        compileStrategy(p, strategy, opts);
+    r.tree = state.tree;
+    r.ast = state.ast;
+    r.compileMs = state.compileMs();
+    r.passStats = state.stats;
 
     // Wall-clock measurement (no trace), best of reps.
     r.wallMs = 1e30;

@@ -1,9 +1,10 @@
 /**
  * @file
  * Domain example: deploying a conv + batchnorm layer on the
- * DaVinci-like accelerator model (Sec. V-A). Shows the fusion
- * decision of the composition on the layer's polyhedral program, the
- * CUDA-flavoured code (grid mapping annotations), and the per-layer
+ * DaVinci-like accelerator model (Sec. V-A) through the driver
+ * pipeline. Shows the fusion decision of the composition on the
+ * layer's polyhedral program, the CUDA-flavoured code (grid mapping
+ * annotations), the per-pass compile report, and the per-layer
  * cost-model comparison of separated versus post-tiling-fused
  * execution over several ResNet-50 layers.
  *
@@ -13,8 +14,7 @@
 #include <cstdio>
 
 #include "codegen/cprinter.hh"
-#include "codegen/generate.hh"
-#include "core/compose.hh"
+#include "driver/pipeline.hh"
 #include "memsim/davinci.hh"
 #include "workloads/resnet50.hh"
 
@@ -32,21 +32,24 @@ main()
     layer.width = 18;
     layer.kernel = 3;
     ir::Program p = workloads::makeConvBnProgram(layer);
-    auto graph = deps::DependenceGraph::compute(p);
 
-    core::ComposeOptions opts;
+    driver::PipelineOptions opts;
+    opts.strategy = driver::Strategy::Ours;
     opts.tileSizes = {16, 8, 8};
     opts.startup = schedule::FusionPolicy::Min;
-    auto r = core::compose(p, graph, opts);
+    auto state = driver::Pipeline(opts).run(p);
     std::printf("conv+bn fused into %zu computation space(s); "
                 "intermediates kept in the Unified Buffer: %zu\n\n",
-                r.spaces.size(), r.fusedIntermediates.size());
+                state.composed.spaces.size(),
+                state.composed.fusedIntermediates.size());
     std::printf("--- composed schedule tree ---\n%s\n",
-                r.tree.str().c_str());
+                state.tree.str().c_str());
     std::printf("--- accelerator-flavoured code ---\n%s\n",
-                codegen::printCode(p, codegen::generateAst(r.tree),
+                codegen::printCode(p, state.ast,
                                    codegen::PrintStyle::Cuda)
                     .c_str());
+    std::printf("--- pass pipeline ---\n%s\n",
+                state.stats.str().c_str());
 
     // Cost-model sweep over a few representative ResNet-50 layers.
     auto layers = workloads::resnet50Layers();

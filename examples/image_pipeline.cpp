@@ -2,9 +2,10 @@
  * @file
  * Domain example: optimizing an image-processing pipeline (Harris
  * corner detection, 11 stages) with every strategy the paper
- * compares, and measuring the memory-hierarchy effect with the cache
- * simulator. Prints the fusion decisions, per-strategy simulated DRAM
- * traffic and the modeled 32-thread time.
+ * compares, each compiled through the driver's pass pipeline, and
+ * measuring the memory-hierarchy effect with the cache simulator.
+ * Prints the fusion decisions, per-strategy simulated DRAM traffic
+ * and the modeled 32-thread time.
  *
  *   ./examples/image_pipeline [rows cols]
  */
@@ -12,12 +13,10 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "codegen/generate.hh"
-#include "core/compose.hh"
+#include "driver/pipeline.hh"
 #include "exec/executor.hh"
 #include "memsim/cache.hh"
 #include "perfmodel/parallel.hh"
-#include "schedule/fusion.hh"
 #include "workloads/pipelines.hh"
 
 using namespace polyfuse;
@@ -26,7 +25,7 @@ namespace {
 
 void
 report(const ir::Program &p, const char *name,
-       const schedule::ScheduleTree &tree)
+       const codegen::AstPtr &ast)
 {
     exec::Buffers buf(p);
     for (size_t t = 0; t < p.tensors().size(); ++t)
@@ -40,7 +39,6 @@ report(const ir::Program &p, const char *name,
         mem.addSpace(t, p.tensorSize(t));
         mem.addSpace(p.tensors().size() + t, p.tensorSize(t));
     }
-    auto ast = codegen::generateAst(tree);
     auto stats = exec::run(p, ast, buf,
                            [&](int space, int64_t off, bool w) {
                                mem.access(space, off, w);
@@ -63,35 +61,39 @@ main(int argc, char **argv)
     cfg.cols = argc > 2 ? std::atoll(argv[2]) : 256;
 
     ir::Program p = workloads::makeHarris(cfg);
-    auto graph = deps::DependenceGraph::compute(p);
     std::printf("Harris corner detection, %lldx%lld, %zu stages\n\n",
                 (long long)cfg.rows, (long long)cfg.cols,
                 p.statements().size());
 
-    // Baseline heuristics.
-    for (auto policy :
-         {schedule::FusionPolicy::Min, schedule::FusionPolicy::Smart,
-          schedule::FusionPolicy::Max}) {
-        auto r = schedule::applyFusion(p, graph, policy);
-        std::printf("%s clusters:", fusionPolicyName(policy).c_str());
-        for (const auto &c : r.clusters) {
+    // Baseline heuristics, compiled through the driver.
+    for (auto strategy :
+         {driver::Strategy::MinFuse, driver::Strategy::SmartFuse,
+          driver::Strategy::MaxFuse}) {
+        driver::PipelineOptions opts;
+        opts.strategy = strategy;
+        opts.tileSizes = {32, 128};
+        auto state = driver::Pipeline(opts).run(p);
+        std::printf("%s clusters:", driver::strategyName(strategy));
+        for (const auto &c : state.fusion.clusters) {
             std::printf(" {");
             for (size_t i = 0; i < c.size(); ++i)
                 std::printf("%s%d", i ? "," : "", c[i]);
             std::printf("}");
         }
         std::printf("\n");
-        report(p, fusionPolicyName(policy).c_str(), r.tree);
+        report(p, driver::strategyName(strategy), state.ast);
     }
 
     // The paper's composition.
-    core::ComposeOptions opts;
+    driver::PipelineOptions opts;
+    opts.strategy = driver::Strategy::Ours;
     opts.tileSizes = {32, 128};
-    auto ours = core::compose(p, graph, opts);
+    auto ours = driver::Pipeline(opts).run(p);
     std::printf("ours: %zu computation spaces, %zu fused "
                 "intermediates, %zu skipped originals\n",
-                ours.spaces.size(), ours.fusedIntermediates.size(),
-                ours.skippedStatements.size());
-    report(p, "ours", ours.tree);
+                ours.composed.spaces.size(),
+                ours.composed.fusedIntermediates.size(),
+                ours.composed.skippedStatements.size());
+    report(p, "ours", ours.ast);
     return 0;
 }

@@ -1,21 +1,20 @@
 /**
  * @file
  * Domain example: the equake finite-element kernel (sparse 3D SpMV
- * plus element-wise updates). Demonstrates the paper's "fusion
- * without tiling" fallback: when the live-out space is not tilable
- * enough, Algorithm 1 still fuses the producers through an
- * extension schedule, and the dynamic-length while loop needs no
- * manual permutation (Sec. VI-A).
+ * plus element-wise updates), every strategy compiled through the
+ * driver pipeline. Demonstrates the paper's "fusion without tiling"
+ * fallback: when the live-out space is not tilable enough,
+ * Algorithm 1 still fuses the producers through an extension
+ * schedule, and the dynamic-length while loop needs no manual
+ * permutation (Sec. VI-A).
  *
  *   ./examples/sparse_equake
  */
 
 #include <cstdio>
 
-#include "codegen/generate.hh"
-#include "core/compose.hh"
+#include "driver/pipeline.hh"
 #include "exec/executor.hh"
-#include "schedule/fusion.hh"
 #include "workloads/equake.hh"
 
 using namespace polyfuse;
@@ -24,45 +23,47 @@ int
 main()
 {
     ir::Program p = workloads::makeEquake({4096, 16});
-    auto graph = deps::DependenceGraph::compute(p);
 
-    auto runIt = [&](const schedule::ScheduleTree &tree) {
+    auto compile = [&](driver::Strategy strategy) {
+        driver::PipelineOptions opts;
+        opts.strategy = strategy;
+        opts.tileSizes = {512};
+        return driver::Pipeline(opts).run(p);
+    };
+    auto runIt = [&](const codegen::AstPtr &ast) {
         exec::Buffers buf(p);
         workloads::initEquakeInputs(p, buf, 11);
-        auto stats = exec::run(p, codegen::generateAst(tree), buf);
+        auto stats = exec::run(p, ast, buf);
         return std::make_pair(stats, buf.data(p.tensorId("Out")));
     };
 
     // Baselines.
-    for (auto policy :
-         {schedule::FusionPolicy::Min, schedule::FusionPolicy::Max}) {
-        auto r = schedule::applyFusion(p, graph, policy);
-        auto [stats, out] = runIt(r.tree);
+    for (auto strategy :
+         {driver::Strategy::MinFuse, driver::Strategy::MaxFuse}) {
+        auto state = compile(strategy);
+        auto [stats, out] = runIt(state.ast);
         std::printf("%-10s clusters=%zu  instances=%llu  wall=%.2f "
                     "ms\n",
-                    fusionPolicyName(policy).c_str(),
-                    r.clusters.size(),
+                    driver::strategyName(strategy),
+                    state.fusion.clusters.size(),
                     (unsigned long long)stats.instances,
                     stats.seconds * 1e3);
     }
 
     // Our composition with per-chunk tiling of the outer loop.
-    core::ComposeOptions opts;
-    opts.tileSizes = {512};
-    auto ours = core::compose(p, graph, opts);
-    std::printf("ours: %zu spaces; fused:", ours.spaces.size());
-    for (const auto &s : ours.fusedIntermediates)
+    auto ours = compile(driver::Strategy::Ours);
+    std::printf("ours: %zu spaces; fused:",
+                ours.composed.spaces.size());
+    for (const auto &s : ours.composed.fusedIntermediates)
         std::printf(" %s", s.c_str());
     std::printf("\n");
-    auto [stats, out] = runIt(ours.tree);
+    auto [stats, out] = runIt(ours.ast);
     std::printf("ours       wall=%.2f ms  instances=%llu\n",
                 stats.seconds * 1e3,
                 (unsigned long long)stats.instances);
 
     // Verify against minfuse.
-    auto minr = schedule::applyFusion(p, graph,
-                                      schedule::FusionPolicy::Min);
-    auto [mstats, mout] = runIt(minr.tree);
+    auto [mstats, mout] = runIt(compile(driver::Strategy::MinFuse).ast);
     (void)mstats;
     double max_err = 0;
     for (size_t i = 0; i < out.size(); ++i)

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Repo hygiene / verification driver.
+#
+#   scripts/check.sh               tier-1 verify (build + ctest) plus
+#                                  the warnings-as-errors build
+#   scripts/check.sh --werror-only only the -Werror configure + build
+#                                  (this mode is wired as the
+#                                  check_werror ctest, so it must never
+#                                  invoke ctest itself)
+#
+# Both modes use their own build directories and leave ./build alone.
+set -euo pipefail
+
+src="${POLYFUSE_SOURCE_DIR:-$(cd "$(dirname "$0")/.." && pwd)}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+werror_build() {
+    echo "== configure + build with -Wall -Wextra -Werror =="
+    cmake -B "$src/build-werror" -S "$src" -DPOLYFUSE_WERROR=ON
+    cmake --build "$src/build-werror" -j "$jobs"
+    echo "== -Werror build OK =="
+}
+
+if [[ "${1:-}" == "--werror-only" ]]; then
+    werror_build
+    exit 0
+fi
+
+echo "== tier-1 verify: build + ctest =="
+cmake -B "$src/build-check" -S "$src"
+cmake --build "$src/build-check" -j "$jobs"
+(cd "$src/build-check" && ctest --output-on-failure -j "$jobs" \
+    -E '^check_werror$')
+werror_build
+echo "== all checks passed =="

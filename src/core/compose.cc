@@ -154,13 +154,22 @@ ComposeResult
 compose(const Program &program, const DependenceGraph &graph,
         const ComposeOptions &options)
 {
-    Timer timer;
-    ComposeResult result;
-
     // Step 0: start-up conservative fusion -> separated spaces.
     auto startup = schedule::applyFusion(program, graph,
                                          options.startup);
-    ScheduleTree tree = startup.tree;
+    return composeFrom(program, graph, startup, options);
+}
+
+ComposeResult
+composeFrom(const Program &program, const DependenceGraph &graph,
+            const schedule::FusionResult &startup,
+            const ComposeOptions &options)
+{
+    Timer timer;
+    ComposeResult result;
+
+    // Surgery below mutates the tree; keep the caller's copy intact.
+    ScheduleTree tree = startup.tree.clone();
 
     // Collect the computation spaces from the top-level sequence.
     NodePtr top_seq = tree.root()->onlyChild();

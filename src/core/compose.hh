@@ -117,6 +117,18 @@ ComposeResult compose(const ir::Program &program,
                       const deps::DependenceGraph &graph,
                       const ComposeOptions &options = {});
 
+/**
+ * Same, but start from an already-computed start-up fusion instead of
+ * re-running @p options.startup internally. The driver's pass
+ * pipeline uses this so the `Fuse` and `Compose` passes are timed
+ * separately without doing the start-up clustering twice.
+ * @p startup's tree is cloned; the argument is not mutated.
+ */
+ComposeResult composeFrom(const ir::Program &program,
+                          const deps::DependenceGraph &graph,
+                          const schedule::FusionResult &startup,
+                          const ComposeOptions &options = {});
+
 } // namespace core
 } // namespace polyfuse
 

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The unified compilation driver: one named, ordered pass pipeline
+ * (ComputeDeps -> Fuse -> Compose -> Tile -> Promote -> Codegen)
+ * over a CompilationState, replacing the ad-hoc deps/fusion/compose/
+ * codegen glue every benchmark, example and test used to assemble by
+ * hand. The shape follows the pass managers of the paper's host
+ * compilers (AKG, PPCG) and PolyMage's staged group/tile/storage
+ * driver: every consumer goes through Pipeline::run and gets
+ * per-pass wall times and counters (PassStats) for free.
+ *
+ * Strategy selection (the schedules the paper compares) is part of
+ * the options: heuristic strategies route the work through the Fuse
+ * and Tile passes, the composition strategies through Compose (which
+ * tiles internally, Algorithm 1); passes that a strategy does not
+ * need still run as recorded no-ops so the registry always lists the
+ * full pipeline exactly once, in order.
+ */
+
+#ifndef POLYFUSE_DRIVER_PIPELINE_HH
+#define POLYFUSE_DRIVER_PIPELINE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "codegen/generate.hh"
+#include "core/compose.hh"
+#include "deps/dependences.hh"
+#include "driver/pass_stats.hh"
+#include "ir/program.hh"
+#include "schedule/fusion.hh"
+#include "schedule/tree.hh"
+
+namespace polyfuse {
+namespace driver {
+
+/** The schedules the paper compares (DESIGN.md section 4). */
+enum class Strategy
+{
+    Naive,    ///< initial schedule, no tiling/fusion
+    MinFuse,  ///< PPCG minfuse + rectangular tiling
+    SmartFuse,///< PPCG smartfuse + rectangular tiling
+    MaxFuse,  ///< PPCG maxfuse + rectangular tiling
+    Hybrid,   ///< Pluto hybridfuse + rectangular tiling
+    PolyMage, ///< tiling-after-fusion with over-approximated
+              ///< overlapped tiles (footprint dilation 1)
+    Halide,   ///< manual-schedule proxy: smartfuse groups, tiled
+    Ours,     ///< the paper's composition (Algorithms 1-3)
+};
+
+/** Every strategy, in declaration order (for tables and parsing). */
+const std::vector<Strategy> &allStrategies();
+
+/** Printable strategy name; round-trips through parseStrategy. */
+const char *strategyName(Strategy s);
+
+/**
+ * Parse a strategyName() spelling. @return false (leaving @p out
+ * untouched) when @p name matches no strategy.
+ */
+bool parseStrategy(const std::string &name, Strategy &out);
+
+/** Options of one driver run. */
+struct PipelineOptions
+{
+    Strategy strategy = Strategy::Ours;
+
+    /** Live-out tile sizes, outermost first; empty disables the
+     *  Tile pass (and tiling inside Compose). */
+    std::vector<int64_t> tileSizes{32, 32};
+
+    /** Second-level tile sizes (multi-level hierarchies). */
+    std::vector<int64_t> innerTileSizes{};
+
+    /** 1 = OpenMP CPU, 2 = GPU grid (Sec. III-C). */
+    unsigned targetParallelism = 1;
+
+    /** Start-up heuristic of the composition strategies. */
+    schedule::FusionPolicy startup = schedule::FusionPolicy::Smart;
+
+    /** Recompute guard of the composition (core::ComposeOptions). */
+    double maxRecompute = 4.0;
+
+    /** Footprint dilation; Strategy::PolyMage forces >= 1. */
+    unsigned footprintDilation = 0;
+
+    /** Code generation options (scratchpad promotion, ...). */
+    codegen::GenOptions gen;
+};
+
+/** Everything the pipeline computed for one program. */
+struct CompilationState
+{
+    /** The compiled program (owned by the caller; must outlive the
+     *  state, as the dependence graph refers into it). */
+    const ir::Program *program = nullptr;
+
+    /** ComputeDeps output. */
+    deps::DependenceGraph graph;
+
+    /** Fuse output: start-up / heuristic clusters and their tree. */
+    schedule::FusionResult fusion;
+
+    /** Compose output (composition strategies only). */
+    core::ComposeResult composed;
+
+    /** The final schedule tree the AST was generated from. */
+    schedule::ScheduleTree tree;
+
+    /** Codegen output. */
+    codegen::AstPtr ast;
+
+    /** Per-pass wall times and counters. */
+    PassStats stats;
+
+    /** Scheduling + codegen milliseconds, dependence analysis
+     *  excluded (the compile-time metric of E7 / Table I). */
+    double compileMs() const;
+};
+
+/** The compilation driver. */
+class Pipeline
+{
+  public:
+    explicit Pipeline(PipelineOptions options = {});
+
+    const PipelineOptions &options() const { return options_; }
+
+    /** Run every pass over @p program and return the final state. */
+    CompilationState run(const ir::Program &program) const;
+
+    /** The pass names run() executes, in execution order. */
+    static const std::vector<std::string> &passNames();
+
+  private:
+    PipelineOptions options_;
+};
+
+/**
+ * Tile every tilable top-level band of @p tree rectangularly
+ * (tiling-after-fusion; the driver's Tile pass for the heuristic
+ * strategies). @return the number of bands tiled.
+ */
+unsigned tileAllBands(schedule::ScheduleTree &tree,
+                      const std::vector<int64_t> &sizes);
+
+} // namespace driver
+} // namespace polyfuse
+
+#endif // POLYFUSE_DRIVER_PIPELINE_HH

@@ -10,6 +10,24 @@ namespace polyfuse {
 namespace pres {
 namespace fm {
 
+namespace {
+
+Counters g_counters;
+
+} // namespace
+
+Counters &
+counters()
+{
+    return g_counters;
+}
+
+void
+resetCounters()
+{
+    g_counters = Counters{};
+}
+
 bool
 normalizeRow(Constraint &row)
 {
@@ -188,6 +206,8 @@ substituteUnitEq(Constraint &row, const Constraint &eq, unsigned col)
 bool
 eliminateCol(std::vector<Constraint> &rows, unsigned col, bool &exact)
 {
+    ++g_counters.eliminations;
+    g_counters.constraintsVisited += rows.size();
     if (!simplifyRows(rows))
         return false;
 

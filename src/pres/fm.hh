@@ -13,6 +13,7 @@
 #ifndef POLYFUSE_PRES_FM_HH
 #define POLYFUSE_PRES_FM_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "pres/constraint.hh"
@@ -20,6 +21,26 @@
 namespace polyfuse {
 namespace pres {
 namespace fm {
+
+/**
+ * Cumulative instrumentation of the FM engine, feeding the driver's
+ * per-pass reporting: how many columns were projected out and how
+ * many constraint rows those projections visited. Process-wide and
+ * unsynchronized, like the rest of the library (single-threaded
+ * compilation); callers snapshot before/after a phase and report the
+ * delta.
+ */
+struct Counters
+{
+    uint64_t eliminations = 0;       ///< eliminateCol() invocations
+    uint64_t constraintsVisited = 0; ///< rows alive at elimination
+};
+
+/** The process-wide counters (mutable). */
+Counters &counters();
+
+/** Zero the process-wide counters. */
+void resetCounters();
 
 /**
  * Normalize one row: divide by the GCD of the variable coefficients,

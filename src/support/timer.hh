@@ -10,6 +10,12 @@
 
 namespace polyfuse {
 
+// Timing must never jump backwards with wall-clock (NTP) adjustments:
+// per-pass durations and benchmark numbers are computed as differences
+// of these time points, so the clock has to be monotonic.
+static_assert(std::chrono::steady_clock::is_steady,
+              "Timer requires a monotonic clock");
+
 /** Simple RAII-free stopwatch over the steady clock. */
 class Timer
 {

@@ -2,23 +2,19 @@
  * @file
  * Tests for AST generation and the C printers on the convolution
  * example: loop structure, tile/point loops, guards, promotion
- * scopes, and the pretty-printed code of Fig. 1(b)/Fig. 5.
+ * scopes, and the pretty-printed code of Fig. 1(b)/Fig. 5. Every
+ * schedule is produced by the driver's pass pipeline.
  */
 
 #include <gtest/gtest.h>
 
 #include "codegen/cprinter.hh"
-#include "codegen/generate.hh"
-#include "core/compose.hh"
-#include "schedule/fusion.hh"
+#include "driver/pipeline.hh"
 #include "workloads/conv2d.hh"
 
 namespace polyfuse {
 namespace codegen {
 namespace {
-
-using schedule::FusionPolicy;
-using schedule::ScheduleTree;
 
 class ConvCodegen : public ::testing::Test
 {
@@ -27,11 +23,21 @@ class ConvCodegen : public ::testing::Test
     SetUp() override
     {
         prog_ = workloads::makeConv2D({6, 6, 3, 3});
-        graph_ = deps::DependenceGraph::compute(prog_);
+    }
+
+    /** Compile through the driver with the given strategy/tiles. */
+    driver::CompilationState
+    compile(driver::Strategy strategy, std::vector<int64_t> tiles,
+            unsigned target_parallelism = 1)
+    {
+        driver::PipelineOptions opts;
+        opts.strategy = strategy;
+        opts.tileSizes = std::move(tiles);
+        opts.targetParallelism = target_parallelism;
+        return driver::Pipeline(opts).run(prog_);
     }
 
     ir::Program prog_;
-    deps::DependenceGraph graph_;
 };
 
 /** Count AST nodes of a kind. */
@@ -60,9 +66,7 @@ loopDepth(const AstPtr &n)
 
 TEST_F(ConvCodegen, InitialTreeProducesThreeNests)
 {
-    ScheduleTree t = ScheduleTree::initial(prog_);
-    t.annotate(graph_);
-    AstPtr ast = generateAst(t);
+    AstPtr ast = compile(driver::Strategy::Naive, {}).ast;
     // S0: 2 loops; S1/S2: 2 + 2; S3: 2 -> 4 statements total.
     EXPECT_EQ(countNodes(ast, AstKind::Stmt), 4u);
     EXPECT_EQ(loopDepth(ast), 4u);
@@ -71,10 +75,7 @@ TEST_F(ConvCodegen, InitialTreeProducesThreeNests)
 
 TEST_F(ConvCodegen, ComposedAstHasTilePointLoopsAndPromotion)
 {
-    core::ComposeOptions opts;
-    opts.tileSizes = {2, 2};
-    auto r = core::compose(prog_, graph_, opts);
-    AstPtr ast = generateAst(r.tree);
+    AstPtr ast = compile(driver::Strategy::Ours, {2, 2}).ast;
     // Tile loops (2) + S0 copy loops + point loops + reduction loops.
     EXPECT_EQ(countNodes(ast, AstKind::Stmt), 4u);
     EXPECT_EQ(countNodes(ast, AstKind::Alloc), 1u);
@@ -93,10 +94,7 @@ TEST_F(ConvCodegen, ComposedAstHasTilePointLoopsAndPromotion)
 
 TEST_F(ConvCodegen, PromotionBoxMatchesFootprint)
 {
-    core::ComposeOptions opts;
-    opts.tileSizes = {2, 2};
-    auto r = core::compose(prog_, graph_, opts);
-    AstPtr ast = generateAst(r.tree);
+    AstPtr ast = compile(driver::Strategy::Ours, {2, 2}).ast;
     // Find the Alloc node.
     AstPtr alloc;
     std::function<void(const AstPtr &)> walk =
@@ -119,10 +117,8 @@ TEST_F(ConvCodegen, PromotionBoxMatchesFootprint)
 
 TEST_F(ConvCodegen, OpenMPPrinterEmitsPragmasAndTiles)
 {
-    core::ComposeOptions opts;
-    opts.tileSizes = {2, 2};
-    auto r = core::compose(prog_, graph_, opts);
-    std::string code = printCode(prog_, generateAst(r.tree));
+    auto state = compile(driver::Strategy::Ours, {2, 2});
+    std::string code = printCode(prog_, state.ast);
     EXPECT_NE(code.find("#pragma omp parallel for"),
               std::string::npos);
     EXPECT_NE(code.find("pf_fdiv"), std::string::npos);
@@ -137,20 +133,18 @@ TEST_F(ConvCodegen, OpenMPPrinterEmitsPragmasAndTiles)
 
 TEST_F(ConvCodegen, CudaPrinterAnnotatesGridMapping)
 {
-    core::ComposeOptions opts;
-    opts.tileSizes = {2, 2};
-    opts.targetParallelism = 2;
-    auto r = core::compose(prog_, graph_, opts);
+    auto state =
+        compile(driver::Strategy::Ours, {2, 2}, /*parallelism=*/2);
     std::string code =
-        printCode(prog_, generateAst(r.tree), PrintStyle::Cuda);
+        printCode(prog_, state.ast, PrintStyle::Cuda);
     EXPECT_NE(code.find("blockIdx"), std::string::npos);
 }
 
 TEST_F(ConvCodegen, MaxfuseAstCarriesShiftedBindings)
 {
-    auto r = applyFusion(prog_, graph_, FusionPolicy::Max);
-    AstPtr ast = generateAst(r.tree);
-    std::string code = printCode(prog_, ast);
+    // Empty tile sizes: maxfuse without tiling, as in Fig. 1(c).
+    auto state = compile(driver::Strategy::MaxFuse, {});
+    std::string code = printCode(prog_, state.ast);
     // Shifted statements index with an offset (e.g. "c0 - 2").
     EXPECT_NE(code.find(" - 2"), std::string::npos);
     // Fused loop is serial: no parallel pragma on the fused nest.
@@ -162,8 +156,7 @@ TEST_F(ConvCodegen, GuardsAppearForUnionBounds)
 {
     // maxfuse merges S0 (domain HxW) with S1..S3 (smaller domain):
     // guards must protect the smaller statements.
-    auto r = applyFusion(prog_, graph_, FusionPolicy::Max);
-    AstPtr ast = generateAst(r.tree);
+    auto state = compile(driver::Strategy::MaxFuse, {});
     unsigned guarded = 0;
     std::function<void(const AstPtr &)> walk =
         [&](const AstPtr &n) {
@@ -172,7 +165,7 @@ TEST_F(ConvCodegen, GuardsAppearForUnionBounds)
             for (const auto &c : n->children)
                 walk(c);
         };
-    walk(ast);
+    walk(state.ast);
     EXPECT_GT(guarded, 0u);
 }
 

@@ -1,12 +1,13 @@
 /**
  * @file
  * Tests for the core composition (Algorithms 1-3) on the paper's
- * running example and on hand-built multi-live-out programs.
+ * running example and on hand-built multi-live-out programs, all
+ * compiled through the driver's pass pipeline.
  */
 
 #include <gtest/gtest.h>
 
-#include "core/compose.hh"
+#include "driver/pipeline.hh"
 #include "support/logging.hh"
 #include "workloads/conv2d.hh"
 
@@ -21,6 +22,20 @@ using schedule::NodeKind;
 using schedule::NodePtr;
 using schedule::ScheduleTree;
 
+/** Run the composition strategy through the driver pipeline. */
+driver::CompilationState
+runOurs(const Program &p, std::vector<int64_t> tiles,
+        schedule::FusionPolicy startup = schedule::FusionPolicy::Smart,
+        unsigned target_parallelism = 1)
+{
+    driver::PipelineOptions opts;
+    opts.strategy = driver::Strategy::Ours;
+    opts.tileSizes = std::move(tiles);
+    opts.startup = startup;
+    opts.targetParallelism = target_parallelism;
+    return driver::Pipeline(opts).run(p);
+}
+
 class ConvCompose : public ::testing::Test
 {
   protected:
@@ -28,15 +43,12 @@ class ConvCompose : public ::testing::Test
     SetUp() override
     {
         prog_ = workloads::makeConv2D({6, 6, 3, 3});
-        graph_ = deps::DependenceGraph::compute(prog_);
-        ComposeOptions opts;
-        opts.tileSizes = {2, 2};
-        opts.targetParallelism = 1;
-        result_ = compose(prog_, graph_, opts);
+        state_ = runOurs(prog_, {2, 2});
+        result_ = state_.composed;
     }
 
     Program prog_;
-    deps::DependenceGraph graph_;
+    driver::CompilationState state_;
     ComposeResult result_;
 };
 
@@ -147,13 +159,7 @@ TEST(Compose, GuardRejectsSerialIntermediateForParallelTarget)
         .body(ir::loadAcc(0))
         .group(1);
     Program p = b.build();
-    auto g = deps::DependenceGraph::compute(p);
-
-    ComposeOptions opts;
-    opts.tileSizes = {4};
-    opts.targetParallelism = 1;
-    opts.startup = schedule::FusionPolicy::Min;
-    auto r = compose(p, g, opts);
+    auto r = runOurs(p, {4}, schedule::FusionPolicy::Min).composed;
     EXPECT_TRUE(r.fusedIntermediates.empty());
     EXPECT_TRUE(r.skippedStatements.empty());
     EXPECT_EQ(r.spaces.size(), 2u);
@@ -188,12 +194,7 @@ TEST(Compose, ChainOfIntermediatesFusesTransitively)
         .body(ir::bin(ir::BinOp::Add, ir::loadAcc(0), ir::loadAcc(1)))
         .group(2);
     Program p = b.build();
-    auto g = deps::DependenceGraph::compute(p);
-
-    ComposeOptions opts;
-    opts.tileSizes = {8};
-    opts.startup = schedule::FusionPolicy::Min;
-    auto r = compose(p, g, opts);
+    auto r = runOurs(p, {8}, schedule::FusionPolicy::Min).composed;
     ASSERT_EQ(r.spaces.size(), 1u);
     EXPECT_EQ(r.fusedIntermediates.size(), 2u);
 
@@ -234,11 +235,7 @@ TEST(Compose, DeadStoresDetectedWhenProducerOvercomputes)
         .body(ir::loadAcc(0))
         .group(1);
     Program p = b.build();
-    auto g = deps::DependenceGraph::compute(p);
-    ComposeOptions opts;
-    opts.tileSizes = {4};
-    opts.startup = schedule::FusionPolicy::Min;
-    auto r = compose(p, g, opts);
+    auto r = runOurs(p, {4}, schedule::FusionPolicy::Min).composed;
     ASSERT_EQ(r.fusedIntermediates,
               (std::vector<std::string>{"S0"}));
     EXPECT_TRUE(r.deadCodeEliminated);
@@ -279,11 +276,7 @@ sharedProducer(bool disjoint)
 TEST(Compose, SharedProducerWithDisjointUsesIsFusedIntoBoth)
 {
     Program p = sharedProducer(true);
-    auto g = deps::DependenceGraph::compute(p);
-    ComposeOptions opts;
-    opts.tileSizes = {4};
-    opts.startup = schedule::FusionPolicy::Min;
-    auto r = compose(p, g, opts);
+    auto r = runOurs(p, {4}, schedule::FusionPolicy::Min).composed;
     // op0' fused into op1's tiles, op0'' into op2's (Fig. 6(b)).
     EXPECT_EQ(r.fusedIntermediates,
               (std::vector<std::string>{"S0", "S0"}));
@@ -299,11 +292,7 @@ TEST(Compose, SharedProducerWithDisjointUsesIsFusedIntoBoth)
 TEST(Compose, SharedProducerWithOverlappingUsesIsNotFused)
 {
     Program p = sharedProducer(false);
-    auto g = deps::DependenceGraph::compute(p);
-    ComposeOptions opts;
-    opts.tileSizes = {4};
-    opts.startup = schedule::FusionPolicy::Min;
-    auto r = compose(p, g, opts);
+    auto r = runOurs(p, {4}, schedule::FusionPolicy::Min).composed;
     // Fusing would recompute the intersection: rejected (Sec. IV-C).
     EXPECT_TRUE(r.fusedIntermediates.empty());
     EXPECT_TRUE(r.skippedStatements.empty());
@@ -332,12 +321,7 @@ TEST(Compose, UntilableLiveOutStillFusesWithoutTiling)
         .body(ir::bin(ir::BinOp::Add, ir::loadAcc(0), ir::loadAcc(1)))
         .group(1);
     Program p = b.build();
-    auto g = deps::DependenceGraph::compute(p);
-    ComposeOptions opts;
-    opts.tileSizes = {4};
-    opts.targetParallelism = 1;
-    opts.startup = schedule::FusionPolicy::Min;
-    auto r = compose(p, g, opts);
+    auto r = runOurs(p, {4}, schedule::FusionPolicy::Min).composed;
     EXPECT_EQ(r.tiledLiveOuts, 0u);
     ASSERT_EQ(r.fusedIntermediates,
               (std::vector<std::string>{"S0"}));

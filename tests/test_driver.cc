@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the compilation driver: the pass pipeline must produce
+ * exactly the same AST as the pre-driver direct-call path
+ * (applyFusion/tileAllBands or core::compose followed by
+ * generateAst), and the per-pass instrumentation must record every
+ * pass exactly once with sane timings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codegen/cprinter.hh"
+#include "core/compose.hh"
+#include "driver/pipeline.hh"
+#include "schedule/fusion.hh"
+#include "workloads/conv2d.hh"
+#include "workloads/pipelines.hh"
+
+namespace polyfuse {
+namespace driver {
+namespace {
+
+/** The two workloads the identity test runs over. */
+std::vector<std::pair<std::string, ir::Program>>
+testPrograms()
+{
+    std::vector<std::pair<std::string, ir::Program>> out;
+    out.emplace_back("conv2d", workloads::makeConv2D({16, 16, 3, 3}));
+    workloads::PipelineConfig cfg;
+    cfg.rows = 32;
+    cfg.cols = 32;
+    out.emplace_back("harris", workloads::makeHarris(cfg));
+    return out;
+}
+
+/** Pre-driver reference: heuristic fusion + rectangular tiling. */
+std::string
+referenceHeuristic(const ir::Program &p, schedule::FusionPolicy policy,
+                   const std::vector<int64_t> &tiles)
+{
+    auto g = deps::DependenceGraph::compute(p);
+    auto fusion = schedule::applyFusion(p, g, policy);
+    tileAllBands(fusion.tree, tiles);
+    return codegen::printCode(p, codegen::generateAst(fusion.tree));
+}
+
+/** Pre-driver reference: the post-tiling composition. */
+std::string
+referenceCompose(const ir::Program &p,
+                 const std::vector<int64_t> &tiles)
+{
+    auto g = deps::DependenceGraph::compute(p);
+    core::ComposeOptions opts;
+    opts.tileSizes = tiles;
+    auto r = core::compose(p, g, opts);
+    return codegen::printCode(p, codegen::generateAst(r.tree));
+}
+
+/** Driver path for the same options. */
+std::string
+viaDriver(const ir::Program &p, Strategy strategy,
+          const std::vector<int64_t> &tiles)
+{
+    PipelineOptions opts;
+    opts.strategy = strategy;
+    opts.tileSizes = tiles;
+    auto state = Pipeline(opts).run(p);
+    return codegen::printCode(p, state.ast);
+}
+
+TEST(DriverIdentity, MinFuseMatchesDirectPath)
+{
+    const std::vector<int64_t> tiles = {8, 8};
+    for (const auto &[name, p] : testPrograms()) {
+        SCOPED_TRACE(name);
+        EXPECT_EQ(viaDriver(p, Strategy::MinFuse, tiles),
+                  referenceHeuristic(
+                      p, schedule::FusionPolicy::Min, tiles));
+    }
+}
+
+TEST(DriverIdentity, OursMatchesDirectPath)
+{
+    const std::vector<int64_t> tiles = {8, 8};
+    for (const auto &[name, p] : testPrograms()) {
+        SCOPED_TRACE(name);
+        EXPECT_EQ(viaDriver(p, Strategy::Ours, tiles),
+                  referenceCompose(p, tiles));
+    }
+}
+
+TEST(DriverStats, EveryPassRecordedOnceInOrder)
+{
+    for (auto strategy : allStrategies()) {
+        SCOPED_TRACE(strategyName(strategy));
+        PipelineOptions opts;
+        opts.strategy = strategy;
+        opts.tileSizes = {8, 8};
+        auto state = Pipeline(opts).run(
+            workloads::makeConv2D({16, 16, 3, 3}));
+
+        const auto &passes = state.stats.passes();
+        const auto names = Pipeline::passNames();
+        ASSERT_EQ(passes.size(), names.size());
+        double prev_end = 0;
+        for (size_t i = 0; i < passes.size(); ++i) {
+            EXPECT_EQ(passes[i].name, names[i]);
+            EXPECT_GE(passes[i].ms, 0.0);
+            EXPECT_GE(passes[i].endMs, prev_end);
+            prev_end = passes[i].endMs;
+        }
+        // Exactly once: no duplicate names.
+        for (const auto &name : names)
+            EXPECT_EQ(std::count_if(passes.begin(), passes.end(),
+                                    [&](const PassStat &s) {
+                                        return s.name == name;
+                                    }),
+                      1);
+        EXPECT_GE(state.compileMs(), 0.0);
+        EXPECT_LE(state.compileMs(), state.stats.totalMs());
+    }
+}
+
+TEST(DriverStats, ComposeCountersSurfaceInReport)
+{
+    PipelineOptions opts;
+    opts.strategy = Strategy::Ours;
+    opts.tileSizes = {4, 4};
+    auto state =
+        Pipeline(opts).run(workloads::makeConv2D({16, 16, 3, 3}));
+    const auto *compose = state.stats.find("Compose");
+    ASSERT_NE(compose, nullptr);
+    EXPECT_GT(compose->counter("extensions", 0), 0);
+    std::string report = state.stats.str();
+    EXPECT_NE(report.find("Compose"), std::string::npos);
+    EXPECT_NE(report.find("extensions"), std::string::npos);
+    std::string json = state.stats.json();
+    EXPECT_NE(json.find("\"passes\""), std::string::npos);
+    EXPECT_NE(json.find("\"Codegen\""), std::string::npos);
+}
+
+TEST(DriverStrategy, NamesRoundTripThroughParser)
+{
+    for (auto strategy : allStrategies()) {
+        Strategy parsed{};
+        ASSERT_TRUE(parseStrategy(strategyName(strategy), parsed))
+            << strategyName(strategy);
+        EXPECT_EQ(parsed, strategy);
+    }
+    Strategy ignored{};
+    EXPECT_FALSE(parseStrategy("?", ignored));
+    EXPECT_FALSE(parseStrategy("", ignored));
+}
+
+} // namespace
+} // namespace driver
+} // namespace polyfuse

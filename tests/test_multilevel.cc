@@ -2,13 +2,13 @@
  * @file
  * Tests for multi-level tiling (inner tile band for multi-level
  * hierarchies) and for multi-live-out image programs: two outputs
- * sharing producers through disjoint and overlapping regions.
+ * sharing producers through disjoint and overlapping regions. All
+ * schedules are compiled through the driver's pass pipeline.
  */
 
 #include <gtest/gtest.h>
 
-#include "codegen/generate.hh"
-#include "core/compose.hh"
+#include "driver/pipeline.hh"
 #include "exec/executor.hh"
 #include "workloads/conv2d.hh"
 
@@ -20,14 +20,24 @@ using schedule::NodeKind;
 using schedule::NodePtr;
 using schedule::ScheduleTree;
 
+/** Driver run of the composition with two tiling levels. */
+driver::CompilationState
+runOurs(const ir::Program &p, std::vector<int64_t> tiles,
+        std::vector<int64_t> inner = {},
+        schedule::FusionPolicy startup = schedule::FusionPolicy::Smart)
+{
+    driver::PipelineOptions opts;
+    opts.strategy = driver::Strategy::Ours;
+    opts.tileSizes = std::move(tiles);
+    opts.innerTileSizes = std::move(inner);
+    opts.startup = startup;
+    return driver::Pipeline(opts).run(p);
+}
+
 TEST(MultiLevelTiling, PointBandGetsSecondLevel)
 {
     ir::Program p = workloads::makeConv2D({64, 64, 3, 3});
-    auto g = deps::DependenceGraph::compute(p);
-    ComposeOptions opts;
-    opts.tileSizes = {32, 32};
-    opts.innerTileSizes = {8, 8};
-    auto r = compose(p, g, opts);
+    auto r = runOurs(p, {32, 32}, {8, 8}).composed;
 
     // Find the outer tile band: its subtree must contain a second
     // tiled band (the inner level).
@@ -41,24 +51,20 @@ TEST(MultiLevelTiling, PointBandGetsSecondLevel)
 TEST(MultiLevelTiling, TwoLevelScheduleIsStillCorrect)
 {
     ir::Program p = workloads::makeConv2D({48, 40, 3, 3});
-    auto g = deps::DependenceGraph::compute(p);
 
-    auto runTree = [&](const ScheduleTree &t) {
+    auto runAst = [&](const codegen::AstPtr &ast) {
         exec::Buffers buf(p);
         buf.fillPattern(p.tensorId("A"), 7);
         buf.fillPattern(p.tensorId("B"), 13);
-        exec::run(p, codegen::generateAst(t), buf);
+        exec::run(p, ast, buf);
         return buf.data(p.tensorId("C"));
     };
-    auto initial = ScheduleTree::initial(p);
-    initial.annotate(g);
-    auto ref = runTree(initial);
+    driver::PipelineOptions naive;
+    naive.strategy = driver::Strategy::Naive;
+    auto ref = runAst(driver::Pipeline(naive).run(p).ast);
 
-    ComposeOptions opts;
-    opts.tileSizes = {16, 16};
-    opts.innerTileSizes = {4, 8};
-    auto r = compose(p, g, opts);
-    EXPECT_EQ(runTree(r.tree), ref);
+    auto state = runOurs(p, {16, 16}, {4, 8});
+    EXPECT_EQ(runAst(state.ast), ref);
 }
 
 TEST(MultiLevelTiling, InnerLevelAloneDoesNothingWithoutOuter)
@@ -81,12 +87,8 @@ TEST(MultiLevelTiling, InnerLevelAloneDoesNothingWithoutOuter)
         .body(ir::bin(ir::BinOp::Add, ir::loadAcc(0), ir::loadAcc(1)))
         .group(1);
     ir::Program p = b.build();
-    auto g = deps::DependenceGraph::compute(p);
-    ComposeOptions opts;
-    opts.tileSizes = {8};
-    opts.innerTileSizes = {4};
-    opts.startup = schedule::FusionPolicy::Min;
-    auto r = compose(p, g, opts);
+    auto r =
+        runOurs(p, {8}, {4}, schedule::FusionPolicy::Min).composed;
     EXPECT_EQ(r.tiledLiveOuts, 0u);
     for (const auto &band : r.tree.allBands())
         EXPECT_TRUE(band->tileSizes.empty());
@@ -130,28 +132,26 @@ TEST(MultiLiveOut, DisjointSplitExecutesCorrectly)
         .body(ir::loadAcc(0) - ir::lit(0.5))
         .group(2);
     ir::Program p = b.build();
-    auto g = deps::DependenceGraph::compute(p);
 
-    auto runTrees = [&](const ScheduleTree &t) {
+    auto runAst = [&](const codegen::AstPtr &ast) {
         exec::Buffers buf(p);
         buf.fillPattern(p.tensorId("I"), 5);
-        exec::run(p, codegen::generateAst(t), buf);
+        exec::run(p, ast, buf);
         return std::make_pair(buf.data(p.tensorId("Top")),
                               buf.data(p.tensorId("Bot")));
     };
-    auto initial = ScheduleTree::initial(p);
-    initial.annotate(g);
-    auto ref = runTrees(initial);
+    driver::PipelineOptions naive;
+    naive.strategy = driver::Strategy::Naive;
+    auto ref = runAst(driver::Pipeline(naive).run(p).ast);
 
-    ComposeOptions opts;
-    opts.tileSizes = {16, 16};
-    opts.startup = schedule::FusionPolicy::Min;
-    auto r = compose(p, g, opts);
+    auto state =
+        runOurs(p, {16, 16}, {}, schedule::FusionPolicy::Min);
+    const auto &r = state.composed;
     // Producer fused into both live-out spaces (disjoint halves).
     EXPECT_EQ(r.fusedIntermediates.size(), 2u);
     EXPECT_EQ(r.skippedStatements,
               (std::vector<std::string>{"Sb"}));
-    auto got = runTrees(r.tree);
+    auto got = runAst(state.ast);
     EXPECT_EQ(got.first, ref.first);
     EXPECT_EQ(got.second, ref.second);
 }
