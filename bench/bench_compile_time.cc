@@ -14,6 +14,8 @@
  */
 
 #include "bench/common.hh"
+#include "driver/batch.hh"
+#include "support/thread_pool.hh"
 #include "workloads/pipelines.hh"
 
 using namespace polyfuse;
@@ -74,5 +76,42 @@ main()
                 "and excluded from the total;\nmaxfuse's shift "
                 "search lands in `fuse`, ours' footprint "
                 "computation in `compose`.\n");
+
+    // Batch sweep: the same pipeline x strategy grid through
+    // driver::compileBatch, sequentially and on every hardware
+    // thread, so the batching speedup is visible next to the E7
+    // sequential numbers (which remain the paper artifact above).
+    auto makeJobs = [&] {
+        std::vector<driver::BatchJob> jobs;
+        for (const auto &e : entries) {
+            for (Strategy s : strategies) {
+                driver::BatchJob job;
+                job.name =
+                    std::string(e.name) + "/" + strategyName(s);
+                job.options.strategy = s;
+                job.options.tileSizes = {32, 32};
+                auto make = e.make;
+                job.make = [make, cfg] { return make(cfg); };
+                jobs.push_back(std::move(job));
+            }
+        }
+        return jobs;
+    };
+    unsigned hw = ThreadPool::defaultThreads();
+    std::printf("\n=== Batch compilation (driver::compileBatch, "
+                "%zu jobs) ===\n",
+                entries.size() * strategies.size());
+    auto seq = driver::compileBatch(makeJobs(), 1);
+    auto par = driver::compileBatch(makeJobs(), hw);
+    printRow("jobs=1", {fmt(seq.wallMs), "wall ms"}, 10);
+    printRow("jobs=" + std::to_string(hw),
+             {fmt(par.wallMs), "wall ms"}, 10);
+    printRow("speedup",
+             {fmt(par.wallMs > 0 ? seq.wallMs / par.wallMs : 0.0,
+                  "%.2fx")},
+             10);
+    if (seq.failed() || par.failed())
+        std::printf("WARNING: %u/%u jobs failed\n", seq.failed(),
+                    par.failed());
     return 0;
 }

@@ -2,13 +2,20 @@
 # Repo hygiene / verification driver.
 #
 #   scripts/check.sh               tier-1 verify (build + ctest) plus
-#                                  the warnings-as-errors build
+#                                  the warnings-as-errors build and,
+#                                  when the toolchain supports it, the
+#                                  ThreadSanitizer run
 #   scripts/check.sh --werror-only only the -Werror configure + build
 #                                  (this mode is wired as the
 #                                  check_werror ctest, so it must never
 #                                  invoke ctest itself)
+#   scripts/check.sh --tsan-only   only the -fsanitize=thread build of
+#                                  the concurrency-sensitive tests,
+#                                  then run them directly (wired as the
+#                                  check_tsan ctest; never invokes
+#                                  ctest itself)
 #
-# Both modes use their own build directories and leave ./build alone.
+# All modes use their own build directories and leave ./build alone.
 set -euo pipefail
 
 src="${POLYFUSE_SOURCE_DIR:-$(cd "$(dirname "$0")/.." && pwd)}"
@@ -21,15 +28,55 @@ werror_build() {
     echo "== -Werror build OK =="
 }
 
-if [[ "${1:-}" == "--werror-only" ]]; then
+# Can this toolchain compile, link and run -fsanitize=thread?
+tsan_supported() {
+    local scratch
+    scratch="$(mktemp -d)"
+    trap 'rm -rf "$scratch"' RETURN
+    echo 'int main() { return 0; }' > "$scratch/probe.cc"
+    "${CXX:-c++}" -fsanitize=thread -o "$scratch/probe" \
+        "$scratch/probe.cc" >/dev/null 2>&1 &&
+        "$scratch/probe" >/dev/null 2>&1
+}
+
+# Build the re-entrancy-sensitive test binaries under TSAN and run
+# them directly. Races in the batch/pool/pres-context machinery show
+# up here as hard failures.
+tsan_build_and_run() {
+    echo "== configure + build with -fsanitize=thread =="
+    cmake -B "$src/build-tsan" -S "$src" -DPOLYFUSE_TSAN=ON
+    cmake --build "$src/build-tsan" -j "$jobs" \
+        --target test_driver test_concurrency
+    echo "== run test_driver + test_concurrency under TSAN =="
+    "$src/build-tsan/tests/test_driver"
+    "$src/build-tsan/tests/test_concurrency"
+    echo "== TSAN run OK =="
+}
+
+case "${1:-}" in
+  --werror-only)
     werror_build
     exit 0
-fi
+    ;;
+  --tsan-only)
+    if ! tsan_supported; then
+        echo "TSAN not supported by this toolchain; skipping"
+        exit 0
+    fi
+    tsan_build_and_run
+    exit 0
+    ;;
+esac
 
 echo "== tier-1 verify: build + ctest =="
 cmake -B "$src/build-check" -S "$src"
 cmake --build "$src/build-check" -j "$jobs"
 (cd "$src/build-check" && ctest --output-on-failure -j "$jobs" \
-    -E '^check_werror$')
+    -E '^check_(werror|tsan)$')
 werror_build
+if tsan_supported; then
+    tsan_build_and_run
+else
+    echo "== TSAN not supported by this toolchain; skipped =="
+fi
 echo "== all checks passed =="

@@ -36,6 +36,9 @@ struct StmtCtx
 struct GenCtx
 {
     const Program *prog = nullptr;
+    /** The pres context FM work is charged to; GenCtx is copied down
+     *  tree branches, so the handle (not the state) is the member. */
+    pres::fm::PresCtx *pres = nullptr;
     unsigned numVars = 0;
     std::vector<std::string> varNames;
     std::vector<StmtCtx> active;
@@ -119,7 +122,8 @@ boundsOf(const GenCtx &ctx, const StmtCtx &sc, int var, BoundAlt &lo,
     bool exact = true;
     // Eliminate the dim columns (highest first).
     for (unsigned d = sc.ndims; d-- > 0;) {
-        if (!pres::fm::eliminateCol(rows, ctx.numVars + d, exact))
+        if (!pres::fm::eliminateCol(*ctx.pres, rows,
+                                    ctx.numVars + d, exact))
             return BoundStatus::Empty;
     }
     unsigned np = numParams(ctx);
@@ -391,7 +395,8 @@ genExtension(const NodePtr &node, GenCtx ctx, const GenOptions &options)
             bool exact = true;
             bool empty = false;
             for (unsigned d = nd; d-- > 0;) {
-                if (!pres::fm::eliminateCol(rows, ctx.numVars + d,
+                if (!pres::fm::eliminateCol(*ctx.pres, rows,
+                                            ctx.numVars + d,
                                             exact)) {
                     empty = true;
                     break;
@@ -408,7 +413,8 @@ genExtension(const NodePtr &node, GenCtx ctx, const GenOptions &options)
                     if (o == j)
                         continue;
                     if (!pres::fm::eliminateCol(
-                            jrows, ctx.numVars + o, jex)) {
+                            *ctx.pres, jrows, ctx.numVars + o,
+                            jex)) {
                         jempty = true;
                         break;
                     }
@@ -487,7 +493,7 @@ genLeaf(GenCtx &ctx)
                 row.coeffs[ctx.numVars + d] = 0;
             }
         }
-        if (!pres::fm::simplifyRows(rows))
+        if (!pres::fm::simplifyRows(*ctx.pres, rows))
             continue; // statement never executes here
         for (const auto &row : rows) {
             GuardRow g;
@@ -563,6 +569,7 @@ generateAst(const schedule::ScheduleTree &tree,
 {
     GenCtx ctx;
     ctx.prog = &tree.program();
+    ctx.pres = &pres::fm::activeCtx();
     return genNode(tree.root(), std::move(ctx), options);
 }
 

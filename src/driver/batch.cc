@@ -1,0 +1,158 @@
+#include "driver/batch.hh"
+
+#include <cstdio>
+#include <exception>
+
+#include "support/logging.hh"
+#include "support/thread_pool.hh"
+#include "support/timer.hh"
+
+namespace polyfuse {
+namespace driver {
+
+namespace {
+
+/** Run one job on the current thread, capturing failures. */
+void
+runJob(const BatchJob &job, BatchJobResult &out)
+{
+    out.name = job.name;
+    Timer t;
+    try {
+        CompileContext ctx;
+        out.program =
+            std::make_unique<ir::Program>(job.make());
+        out.state = Pipeline(job.options).run(*out.program, ctx);
+        out.fm = ctx.fmCounters();
+        out.ok = true;
+    } catch (const std::exception &e) {
+        out.program.reset();
+        out.error = e.what();
+        out.ok = false;
+    }
+    out.wallMs = t.milliseconds();
+}
+
+} // namespace
+
+unsigned
+BatchResult::failed() const
+{
+    unsigned n = 0;
+    for (const auto &j : jobs)
+        n += j.ok ? 0 : 1;
+    return n;
+}
+
+double
+BatchResult::totalCompileMs() const
+{
+    double total = 0;
+    for (const auto &j : jobs)
+        if (j.ok)
+            total += j.state.compileMs();
+    return total;
+}
+
+pres::fm::Counters
+BatchResult::fmTotals() const
+{
+    pres::fm::Counters total;
+    for (const auto &j : jobs)
+        total += j.fm;
+    return total;
+}
+
+std::string
+BatchResult::summary() const
+{
+    std::string out;
+    char line[256];
+    std::snprintf(line, sizeof(line), "%-24s %10s %10s %12s  %s\n",
+                  "job", "wall_ms", "compile_ms", "fm_elims",
+                  "status");
+    out += line;
+    for (const auto &j : jobs) {
+        std::snprintf(
+            line, sizeof(line), "%-24s %10.3f %10.3f %12llu  %s\n",
+            j.name.c_str(), j.wallMs,
+            j.ok ? j.state.compileMs() : 0.0,
+            static_cast<unsigned long long>(j.fm.eliminations),
+            j.ok ? "ok" : ("FAILED: " + j.error).c_str());
+        out += line;
+    }
+    pres::fm::Counters fm = fmTotals();
+    std::snprintf(line, sizeof(line),
+                  "%zu jobs (%u failed), jobs=%u, wall %.3f ms, "
+                  "compile sum %.3f ms, fm_elims %llu\n",
+                  jobs.size(), failed(), jobsN, wallMs,
+                  totalCompileMs(),
+                  static_cast<unsigned long long>(fm.eliminations));
+    out += line;
+    return out;
+}
+
+std::string
+BatchResult::json() const
+{
+    std::string out = "{\"jobs\": [";
+    char buf[64];
+    bool first = true;
+    for (const auto &j : jobs) {
+        if (!first)
+            out += ", ";
+        first = false;
+        out += "{\"name\": \"" + jsonEscape(j.name) + "\", \"ok\": ";
+        out += j.ok ? "true" : "false";
+        std::snprintf(buf, sizeof(buf), "%.4f", j.wallMs);
+        out += ", \"wallMs\": " + std::string(buf);
+        if (j.ok) {
+            std::snprintf(buf, sizeof(buf), "%.4f",
+                          j.state.compileMs());
+            out += ", \"compileMs\": " + std::string(buf);
+            out += ", \"fmElims\": " +
+                   std::to_string(j.fm.eliminations);
+            out += ", \"fmRows\": " +
+                   std::to_string(j.fm.constraintsVisited);
+            out += ", \"stats\": " + j.state.stats.json();
+        } else {
+            out += ", \"error\": \"" + jsonEscape(j.error) + "\"";
+        }
+        out += "}";
+    }
+    out += "], \"jobsN\": " + std::to_string(jobsN);
+    std::snprintf(buf, sizeof(buf), "%.4f", wallMs);
+    out += ", \"wallMs\": " + std::string(buf);
+    std::snprintf(buf, sizeof(buf), "%.4f", totalCompileMs());
+    out += ", \"totalCompileMs\": " + std::string(buf) + "}";
+    return out;
+}
+
+BatchResult
+compileBatch(std::vector<BatchJob> jobs, unsigned jobsN)
+{
+    if (jobsN == 0)
+        jobsN = ThreadPool::defaultThreads();
+    BatchResult result;
+    result.jobsN = jobsN;
+    result.jobs.resize(jobs.size());
+
+    Timer t;
+    if (jobsN == 1 || jobs.size() <= 1) {
+        // Inline: exactly the sequential path, no pool overhead.
+        for (size_t i = 0; i < jobs.size(); ++i)
+            runJob(jobs[i], result.jobs[i]);
+    } else {
+        ThreadPool pool(jobsN);
+        for (size_t i = 0; i < jobs.size(); ++i)
+            pool.submit([&jobs, &result, i] {
+                runJob(jobs[i], result.jobs[i]);
+            });
+        pool.wait();
+    }
+    result.wallMs = t.milliseconds();
+    return result;
+}
+
+} // namespace driver
+} // namespace polyfuse

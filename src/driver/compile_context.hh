@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The per-compilation context the driver threads through the layers.
+ * One CompileContext per independent compilation: it owns every piece
+ * of state the libraries below mutate while compiling (today the
+ * presburger layer's FM instrumentation), so two runs with two
+ * contexts share nothing and can execute on different threads.
+ *
+ * Pipeline::run installs the context's PresCtx as the thread's
+ * active pres context for the duration of the run, which is how the
+ * unchanged pres/codegen call chains find it without every function
+ * signature in the library growing a parameter.
+ */
+
+#ifndef POLYFUSE_DRIVER_COMPILE_CONTEXT_HH
+#define POLYFUSE_DRIVER_COMPILE_CONTEXT_HH
+
+#include "pres/fm.hh"
+
+namespace polyfuse {
+namespace driver {
+
+/** Everything one compilation mutates below the driver. Not
+ *  thread-safe: use one context per concurrent job. */
+struct CompileContext
+{
+    /** Presburger-layer state (FM instrumentation). */
+    pres::fm::PresCtx pres;
+
+    /** FM totals accumulated by runs against this context. */
+    const pres::fm::Counters &fmCounters() const
+    {
+        return pres.counters;
+    }
+};
+
+} // namespace driver
+} // namespace polyfuse
+
+#endif // POLYFUSE_DRIVER_COMPILE_CONTEXT_HH

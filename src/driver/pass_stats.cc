@@ -1,9 +1,37 @@
 #include "driver/pass_stats.hh"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace polyfuse {
 namespace driver {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += char(c);
+            }
+        }
+    }
+    return out;
+}
 
 int64_t
 PassStat::counter(const std::string &key, int64_t fallback) const
@@ -81,14 +109,23 @@ PassStats::json() const
             out += ", ";
         first_pass = false;
         std::snprintf(buf, sizeof(buf), "%.4f", p.ms);
-        out += "{\"name\": \"" + p.name + "\", \"ms\": " + buf +
-               ", \"counters\": {";
+        out += "{\"name\": \"" + jsonEscape(p.name) +
+               "\", \"ms\": " + buf + ", \"counters\": {";
+        // Key order must not depend on the order passes happened to
+        // report counters in: sort (stably, so a duplicate key keeps
+        // its first-reported-first position).
+        auto counters = p.counters;
+        std::stable_sort(counters.begin(), counters.end(),
+                         [](const auto &a, const auto &b) {
+                             return a.first < b.first;
+                         });
         bool first_counter = true;
-        for (const auto &[name, value] : p.counters) {
+        for (const auto &[name, value] : counters) {
             if (!first_counter)
                 out += ", ";
             first_counter = false;
-            out += "\"" + name + "\": " + std::to_string(value);
+            out += "\"" + jsonEscape(name) +
+                   "\": " + std::to_string(value);
         }
         out += "}}";
     }

@@ -21,6 +21,14 @@
 namespace polyfuse {
 namespace driver {
 
+/**
+ * Escape @p s for embedding inside a JSON string literal: quotes,
+ * backslashes, and control characters (\uXXXX for the ones without a
+ * short form). Shared by every JSON emitter in the driver so merged
+ * batch reports stay machine-parseable whatever the labels contain.
+ */
+std::string jsonEscape(const std::string &s);
+
 /** One executed pass: name, timing, counters (insertion order). */
 struct PassStat
 {
@@ -58,7 +66,12 @@ class PassStats
     /** Aligned human-readable table, one line per pass. */
     std::string str() const;
 
-    /** One JSON object: {"passes": [...], "totalMs": ...}. */
+    /**
+     * One JSON object: {"passes": [...], "totalMs": ...}. Machine-
+     * stable: strings are escaped and counter keys are emitted in
+     * sorted order, so two runs recording the same values produce
+     * byte-identical text (batch mode merges many of these blobs).
+     */
     std::string json() const;
 
   private:

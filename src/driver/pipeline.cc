@@ -154,23 +154,34 @@ Pipeline::passNames()
 CompilationState
 Pipeline::run(const ir::Program &program) const
 {
+    CompileContext ctx;
+    return run(program, ctx);
+}
+
+CompilationState
+Pipeline::run(const ir::Program &program, CompileContext &ctx) const
+{
     const PipelineOptions &opt = options_;
     CompilationState st;
     st.program = &program;
 
+    // Everything below (pres ops reached through schedule/core/
+    // codegen) charges its work to this run's context.
+    pres::fm::ScopedCtx scope(ctx.pres);
+
     Timer pipeline_timer;
     // Each pass is timed individually and reports the FM engine's
-    // work (elimination/constraint deltas) on top of its own
-    // counters.
+    // work (elimination/constraint deltas from the run's context) on
+    // top of its own counters.
     auto runPass = [&](const char *name, auto &&body) {
         PassStat ps;
         ps.name = name;
-        pres::fm::Counters before = pres::fm::counters();
+        pres::fm::Counters before = ctx.pres.counters;
         Timer t;
         body(ps);
         ps.ms = t.milliseconds();
         ps.endMs = pipeline_timer.milliseconds();
-        pres::fm::Counters after = pres::fm::counters();
+        const pres::fm::Counters &after = ctx.pres.counters;
         if (after.eliminations > before.eliminations) {
             ps.counters.emplace_back(
                 "fm_elims",

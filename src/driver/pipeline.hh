@@ -27,6 +27,7 @@
 #include "codegen/generate.hh"
 #include "core/compose.hh"
 #include "deps/dependences.hh"
+#include "driver/compile_context.hh"
 #include "driver/pass_stats.hh"
 #include "ir/program.hh"
 #include "schedule/fusion.hh"
@@ -127,7 +128,17 @@ class Pipeline
 
     const PipelineOptions &options() const { return options_; }
 
-    /** Run every pass over @p program and return the final state. */
+    /**
+     * Run every pass over @p program, charging the work to @p ctx
+     * (installed as the thread's active pres context for the
+     * duration), and return the final state. Re-entrant: concurrent
+     * runs with distinct contexts share no mutable state.
+     */
+    CompilationState run(const ir::Program &program,
+                         CompileContext &ctx) const;
+
+    /** run() against a context local to the call (per-pass stats are
+     *  identical; the caller just cannot inspect the totals). */
     CompilationState run(const ir::Program &program) const;
 
     /** The pass names run() executes, in execution order. */

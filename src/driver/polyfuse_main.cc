@@ -4,10 +4,15 @@
  *
  *   polyfuse --workload harris --strategy ours --tiles 32,128 \
  *            --emit c|cuda|tree|stats
+ *   polyfuse --all --jobs 8 --emit stats|json
  *
  * Builds the named workload, runs the driver's pass pipeline with
  * the chosen strategy, and emits the generated C/CUDA code, the
  * final schedule tree, or the per-pass timing/counter report.
+ * `--all` batch-compiles every registered workload under every
+ * strategy through driver::compileBatch, `--jobs N` of them
+ * concurrently, and prints the cross-job summary table (or one
+ * merged JSON object with `--emit json`).
  */
 
 #include <cstdint>
@@ -18,8 +23,10 @@
 #include <vector>
 
 #include "codegen/cprinter.hh"
+#include "driver/batch.hh"
 #include "driver/pipeline.hh"
 #include "driver/registry.hh"
+#include "support/thread_pool.hh"
 
 using namespace polyfuse;
 
@@ -31,9 +38,15 @@ usage(FILE *to)
     std::fprintf(
         to,
         "usage: polyfuse --workload <name> [options]\n"
+        "       polyfuse --all [--jobs N] [options]\n"
         "\n"
         "options:\n"
         "  --workload <name>     workload to compile (see --list)\n"
+        "  --all                 batch-compile every registered\n"
+        "                        workload under every strategy\n"
+        "  --jobs N              concurrent compilations for --all\n"
+        "                        (default 1; 0 = all hardware\n"
+        "                        threads)\n"
         "  --strategy <name>     naive|minfuse|smartfuse|maxfuse|\n"
         "                        hybridfuse|polymage|halide|ours\n"
         "                        (default: ours)\n"
@@ -44,7 +57,8 @@ usage(FILE *to)
         "  --rows N / --cols N   workload size parameters\n"
         "  --no-promote          keep intermediates in DRAM\n"
         "  --emit c|cuda|tree|stats|json\n"
-        "                        what to print (default: stats)\n"
+        "                        what to print (default: stats;\n"
+        "                        --all supports stats and json)\n"
         "  --list                list registered workloads\n"
         "  --help                this text\n");
 }
@@ -86,6 +100,43 @@ listWorkloads()
 
 } // namespace
 
+/** The --all batch: every workload x every strategy. */
+int
+runAll(unsigned jobsN, const driver::PipelineOptions &base,
+       bool tiles_given, const driver::WorkloadParams &params,
+       bool rows_given, bool cols_given, const std::string &emit)
+{
+    std::vector<driver::BatchJob> jobs;
+    for (const auto &w : driver::workloadRegistry()) {
+        driver::WorkloadParams p = w.defaults;
+        if (rows_given)
+            p.rows = params.rows;
+        if (cols_given)
+            p.cols = params.cols;
+        for (auto strategy : driver::allStrategies()) {
+            driver::BatchJob job;
+            job.name = std::string(w.name) + "/" +
+                       driver::strategyName(strategy);
+            job.options = base;
+            job.options.strategy = strategy;
+            if (!tiles_given)
+                job.options.tileSizes = w.defaultTiles;
+            // The registry spec outlives the batch; capture cheaply.
+            const auto &make = w.make;
+            job.make = [&make, p] { return make(p); };
+            jobs.push_back(std::move(job));
+        }
+    }
+
+    driver::BatchResult batch =
+        driver::compileBatch(std::move(jobs), jobsN);
+    if (emit == "json")
+        std::printf("%s\n", batch.json().c_str());
+    else
+        std::printf("%s", batch.summary().c_str());
+    return batch.failed() == 0 ? 0 : 1;
+}
+
 int
 main(int argc, char **argv)
 {
@@ -93,6 +144,8 @@ main(int argc, char **argv)
     std::string emit = "stats";
     driver::PipelineOptions opts;
     bool tiles_given = false;
+    bool all = false;
+    unsigned jobsN = 1;
     driver::WorkloadParams params;
     bool rows_given = false, cols_given = false;
 
@@ -115,6 +168,20 @@ main(int argc, char **argv)
             return 0;
         } else if (arg == "--workload") {
             workload = value(i);
+        } else if (arg == "--all") {
+            all = true;
+        } else if (arg == "--jobs") {
+            char *end = nullptr;
+            const char *v = value(i);
+            long n = std::strtol(v, &end, 10);
+            if (!end || *end != '\0' || n < 0) {
+                std::fprintf(stderr, "polyfuse: bad --jobs '%s'\n",
+                             v);
+                return 2;
+            }
+            jobsN = n == 0
+                        ? polyfuse::ThreadPool::defaultThreads()
+                        : unsigned(n);
         } else if (arg == "--strategy") {
             std::string name = value(i);
             if (!driver::parseStrategy(name, opts.strategy)) {
@@ -159,6 +226,20 @@ main(int argc, char **argv)
         std::fprintf(stderr, "polyfuse: unknown --emit '%s'\n",
                      emit.c_str());
         return 2;
+    }
+    if (all) {
+        if (!workload.empty()) {
+            std::fprintf(stderr, "polyfuse: --all and --workload "
+                                 "are mutually exclusive\n");
+            return 2;
+        }
+        if (emit != "stats" && emit != "json") {
+            std::fprintf(stderr, "polyfuse: --all supports --emit "
+                                 "stats|json only\n");
+            return 2;
+        }
+        return runAll(jobsN, opts, tiles_given, params, rows_given,
+                      cols_given, emit);
     }
     if (workload.empty()) {
         usage(stderr);

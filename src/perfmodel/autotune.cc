@@ -1,10 +1,14 @@
 #include "perfmodel/autotune.hh"
 
+#include <exception>
+#include <mutex>
+
 #include "codegen/generate.hh"
 #include "core/compose.hh"
 #include "memsim/cache.hh"
 #include "perfmodel/parallel.hh"
 #include "support/logging.hh"
+#include "support/thread_pool.hh"
 
 namespace polyfuse {
 namespace perfmodel {
@@ -50,19 +54,15 @@ evaluate(const ir::Program &p, const deps::DependenceGraph &g,
     return modeledCpuMs(stats, mem.stats(), options.threads);
 }
 
+/** Enumerate every feasible candidate vector, in ladder order. */
 void
-sweep(const ir::Program &p, const deps::DependenceGraph &g,
-      const std::function<void(exec::Buffers &)> &init,
-      const AutotuneOptions &options, std::vector<int64_t> &current,
-      AutotuneResult &best)
+enumerateCandidates(const ir::Program &p,
+                    const AutotuneOptions &options,
+                    std::vector<int64_t> &current,
+                    std::vector<std::vector<int64_t>> &out)
 {
     if (current.size() == options.dims) {
-        double ms = evaluate(p, g, current, init, options);
-        ++best.evaluated;
-        if (best.tileSizes.empty() || ms < best.modeledMs) {
-            best.modeledMs = ms;
-            best.tileSizes = current;
-        }
+        out.push_back(current);
         return;
     }
     int64_t limit = maxExtent(p);
@@ -70,7 +70,7 @@ sweep(const ir::Program &p, const deps::DependenceGraph &g,
         if (c > limit)
             continue;
         current.push_back(c);
-        sweep(p, g, init, options, current, best);
+        enumerateCandidates(p, options, current, out);
         current.pop_back();
     }
 }
@@ -85,12 +85,62 @@ autotuneTileSizes(const ir::Program &program,
 {
     if (options.dims == 0 || options.candidates.empty())
         fatal("autotune: need at least one dimension and candidate");
-    AutotuneResult best;
+
+    std::vector<std::vector<int64_t>> candidates;
     std::vector<int64_t> current;
-    sweep(program, graph, init, options, current, best);
-    if (best.tileSizes.empty())
+    enumerateCandidates(program, options, current, candidates);
+    if (candidates.empty())
         fatal("autotune: no feasible candidate (all larger than the "
               "iteration space)");
+
+    // The exhaustive search is embarrassingly parallel: every
+    // evaluation compiles and simulates privately (the pres layer
+    // charges FM work to each worker thread's own context). The
+    // reduction below runs after the pool drains, in enumeration
+    // order, so the winner never depends on thread timing.
+    std::vector<double> modeled(candidates.size(), 0.0);
+    unsigned jobs = options.jobs == 0 ? ThreadPool::defaultThreads()
+                                      : options.jobs;
+    if (jobs <= 1 || candidates.size() <= 1) {
+        for (size_t i = 0; i < candidates.size(); ++i)
+            modeled[i] =
+                evaluate(program, graph, candidates[i], init,
+                         options);
+    } else {
+        // Pool jobs must not throw; hold the first failure and
+        // rethrow on the caller thread (matching the sequential
+        // error behaviour).
+        std::exception_ptr failure;
+        std::mutex failure_mutex;
+        {
+            ThreadPool pool(jobs);
+            for (size_t i = 0; i < candidates.size(); ++i)
+                pool.submit([&, i] {
+                    try {
+                        modeled[i] = evaluate(program, graph,
+                                              candidates[i], init,
+                                              options);
+                    } catch (...) {
+                        std::lock_guard<std::mutex> lock(
+                            failure_mutex);
+                        if (!failure)
+                            failure = std::current_exception();
+                    }
+                });
+            pool.wait();
+        }
+        if (failure)
+            std::rethrow_exception(failure);
+    }
+
+    AutotuneResult best;
+    best.evaluated = unsigned(candidates.size());
+    for (size_t i = 0; i < candidates.size(); ++i) {
+        if (best.tileSizes.empty() || modeled[i] < best.modeledMs) {
+            best.modeledMs = modeled[i];
+            best.tileSizes = candidates[i];
+        }
+    }
     return best;
 }
 

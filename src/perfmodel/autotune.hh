@@ -35,6 +35,14 @@ struct AutotuneOptions
     unsigned dims = 2;
     unsigned threads = 32;          ///< objective thread count
     unsigned targetParallelism = 1; ///< forwarded to the composition
+    /**
+     * Concurrent candidate evaluations (0 = hardware concurrency).
+     * Each evaluation compiles and simulates against its own
+     * CompileContext-style state, and ties are broken by enumeration
+     * order, so the chosen sizes are identical for any job count.
+     * @p init must be safe to call from several threads at once.
+     */
+    unsigned jobs = 1;
 };
 
 /** Tuner outcome. */

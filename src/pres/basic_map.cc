@@ -107,7 +107,7 @@ BasicMap::simplify()
 {
     if (markedEmpty_)
         return;
-    if (!fm::simplifyRows(cons_))
+    if (!fm::simplifyRows(fm::activeCtx(), cons_))
         markEmpty();
 }
 
@@ -118,9 +118,10 @@ BasicMap::isEmpty() const
         return true;
     std::vector<Constraint> rows = cons_;
     bool exact = true;
+    fm::PresCtx &ctx = fm::activeCtx();
     unsigned total = space_.numDims() + space_.numParams();
     for (unsigned i = 0; i < total; ++i)
-        if (!fm::eliminateCol(rows, 0, exact))
+        if (!fm::eliminateCol(ctx, rows, 0, exact))
             return true;
     return false;
 }
@@ -168,7 +169,8 @@ BasicMap::fixParam(const std::string &name, int64_t value) const
                                params));
     out.exact_ = exact_;
     out.cons_ = cons_;
-    if (!fm::substituteCol(out.cons_, space_.paramCol(idx), value))
+    if (!fm::substituteCol(fm::activeCtx(), out.cons_,
+                           space_.paramCol(idx), value))
         out.markEmpty();
     out.markedEmpty_ = out.markedEmpty_ || markedEmpty_;
     return out;
@@ -296,10 +298,11 @@ BasicMap::domain() const
     // Project out the output dims.
     std::vector<Constraint> rows = cons_;
     bool exact = true;
+    fm::PresCtx &ctx = fm::activeCtx();
     bool empty = markedEmpty_;
     for (unsigned i = 0; i < space_.numOut() && !empty; ++i) {
         unsigned col = space_.numIn() + space_.numOut() - 1 - i;
-        if (!fm::eliminateCol(rows, col, exact))
+        if (!fm::eliminateCol(ctx, rows, col, exact))
             empty = true;
     }
     Space sp = space_.domainSpace();
@@ -317,9 +320,10 @@ BasicMap::range() const
 {
     std::vector<Constraint> rows = cons_;
     bool exact = true;
+    fm::PresCtx &ctx = fm::activeCtx();
     bool empty = markedEmpty_;
     for (unsigned i = 0; i < space_.numIn() && !empty; ++i)
-        if (!fm::eliminateCol(rows, 0, exact))
+        if (!fm::eliminateCol(ctx, rows, 0, exact))
             empty = true;
     Space sp = space_.rangeSpace();
     if (empty)
@@ -371,9 +375,10 @@ BasicMap::compose(const BasicMap &g) const
     }
 
     bool exact = true;
+    fm::PresCtx &ctx = fm::activeCtx();
     bool empty = markedEmpty_ || g.markedEmpty_;
     for (unsigned i = 0; i < nb && !empty; ++i)
-        if (!fm::eliminateCol(rows, na + nb - 1 - i, exact))
+        if (!fm::eliminateCol(ctx, rows, na + nb - 1 - i, exact))
             empty = true;
 
     Space sp = Space::forMap(space_.inTuple(), na, g.space().outTuple(),
@@ -420,9 +425,10 @@ BasicMap::deltas() const
     }
 
     bool exact = true;
+    fm::PresCtx &ctx = fm::activeCtx();
     bool empty = markedEmpty_;
     for (unsigned i = 0; i < 2 * n && !empty; ++i)
-        if (!fm::eliminateCol(rows, 0, exact))
+        if (!fm::eliminateCol(ctx, rows, 0, exact))
             empty = true;
 
     Space sp = Space::forSet("delta", n, space_.params());
@@ -456,11 +462,12 @@ BasicMap::outDimBounds(unsigned j, std::vector<DivBound> &lowers,
         panic("outDimBounds out of range");
     std::vector<Constraint> rows = cons_;
     bool exact = true;
+    fm::PresCtx &ctx = fm::activeCtx();
     // Eliminate all output dims except j, from the highest down.
     for (unsigned i = space_.numOut(); i-- > 0;) {
         if (i == j)
             continue;
-        if (!fm::eliminateCol(rows, space_.numIn() + i, exact))
+        if (!fm::eliminateCol(ctx, rows, space_.numIn() + i, exact))
             return false; // Empty: no bounds to report.
     }
     // j is the only remaining out dim after the eliminations above.

@@ -53,7 +53,7 @@ BasicSet::simplify()
 {
     if (markedEmpty_)
         return;
-    if (!fm::simplifyRows(cons_))
+    if (!fm::simplifyRows(fm::activeCtx(), cons_))
         markEmpty();
 }
 
@@ -128,10 +128,11 @@ BasicSet::projectOut(unsigned first, unsigned n) const
         panic("projectOut out of range");
     BasicSet out = *this;
     bool exact = true;
+    fm::PresCtx &ctx = fm::activeCtx();
     // Eliminate from the highest column down so indices stay valid.
     for (unsigned i = 0; i < n; ++i) {
         unsigned col = first + n - 1 - i;
-        if (!fm::eliminateCol(out.cons_, col, exact)) {
+        if (!fm::eliminateCol(ctx, out.cons_, col, exact)) {
             out.space_ =
                 Space::forSet(space_.outTuple(), space_.numOut() - n,
                               space_.params());
@@ -152,9 +153,10 @@ BasicSet::isEmpty() const
         return true;
     std::vector<Constraint> rows = cons_;
     bool exact = true;
+    fm::PresCtx &ctx = fm::activeCtx();
     unsigned total = space_.numDims() + space_.numParams();
     for (unsigned i = 0; i < total; ++i)
-        if (!fm::eliminateCol(rows, 0, exact))
+        if (!fm::eliminateCol(ctx, rows, 0, exact))
             return true;
     // Whatever remains is constant rows already verified feasible.
     return false;
@@ -173,7 +175,7 @@ BasicSet::fixParam(const std::string &name, int64_t value) const
     out.exact_ = exact_;
     out.cons_ = cons_;
     unsigned col = space_.paramCol(idx);
-    if (!fm::substituteCol(out.cons_, col, value))
+    if (!fm::substituteCol(fm::activeCtx(), out.cons_, col, value))
         out.markEmpty();
     out.markedEmpty_ = out.markedEmpty_ || markedEmpty_;
     return out;
@@ -255,12 +257,12 @@ namespace {
  * constant). @return false when infeasible; fatal when unbounded.
  */
 bool
-headBounds(std::vector<Constraint> rows, unsigned ndims, int64_t &lo,
-           int64_t &hi)
+headBounds(fm::PresCtx &ctx, std::vector<Constraint> rows,
+           unsigned ndims, int64_t &lo, int64_t &hi)
 {
     bool exact = true;
     for (unsigned i = ndims - 1; i >= 1; --i)
-        if (!fm::eliminateCol(rows, i, exact))
+        if (!fm::eliminateCol(ctx, rows, i, exact))
             return false;
     bool has_lo = false, has_hi = false;
     lo = 0;
@@ -297,8 +299,8 @@ headBounds(std::vector<Constraint> rows, unsigned ndims, int64_t &lo,
 }
 
 void
-enumRec(const std::vector<Constraint> &rows, unsigned ndims,
-        std::vector<int64_t> &prefix,
+enumRec(fm::PresCtx &ctx, const std::vector<Constraint> &rows,
+        unsigned ndims, std::vector<int64_t> &prefix,
         std::vector<std::vector<int64_t>> &out, size_t max_points)
 {
     if (ndims == 0) {
@@ -310,14 +312,14 @@ enumRec(const std::vector<Constraint> &rows, unsigned ndims,
         return;
     }
     int64_t lo, hi;
-    if (!headBounds(rows, ndims, lo, hi))
+    if (!headBounds(ctx, rows, ndims, lo, hi))
         return;
     for (int64_t v = lo; v <= hi; ++v) {
         std::vector<Constraint> sub = rows;
-        if (!fm::substituteCol(sub, 0, v))
+        if (!fm::substituteCol(ctx, sub, 0, v))
             continue;
         prefix.push_back(v);
-        enumRec(sub, ndims - 1, prefix, out, max_points);
+        enumRec(ctx, sub, ndims - 1, prefix, out, max_points);
         prefix.pop_back();
     }
 }
@@ -332,6 +334,7 @@ BasicSet::enumerate(const ParamValues &params, size_t max_points) const
     // Substitute parameters (right to left so columns stay valid).
     std::vector<Constraint> rows = cons_;
     unsigned nd = space_.numDims();
+    fm::PresCtx &ctx = fm::activeCtx();
     for (unsigned i = space_.numParams(); i-- > 0;) {
         if (fm::colUnused(rows, nd + i)) {
             for (auto &row : rows)
@@ -342,17 +345,17 @@ BasicSet::enumerate(const ParamValues &params, size_t max_points) const
         if (it == params.end())
             fatal("enumerate: missing value for parameter " +
                   space_.params()[i]);
-        if (!fm::substituteCol(rows, nd + i, it->second))
+        if (!fm::substituteCol(ctx, rows, nd + i, it->second))
             return {};
     }
     std::vector<std::vector<int64_t>> out;
     std::vector<int64_t> prefix;
     if (nd == 0) {
-        if (fm::simplifyRows(rows))
+        if (fm::simplifyRows(ctx, rows))
             out.push_back({});
         return out;
     }
-    enumRec(rows, nd, prefix, out, max_points);
+    enumRec(ctx, rows, nd, prefix, out, max_points);
     return out;
 }
 
@@ -379,15 +382,16 @@ BasicSet::dimBounds(unsigned pos, const ParamValues &params,
         row.coeffs.insert(row.coeffs.begin(), v);
     }
     unsigned nd = space_.numDims();
+    fm::PresCtx &ctx = fm::activeCtx();
     if (nd == 1) {
         bool exact = true;
         (void)exact;
         std::vector<Constraint> probe = rows;
-        if (!fm::simplifyRows(probe))
+        if (!fm::simplifyRows(ctx, probe))
             return false;
-        return headBounds(probe, 1, lo, hi);
+        return headBounds(ctx, probe, 1, lo, hi);
     }
-    return headBounds(rows, nd, lo, hi);
+    return headBounds(ctx, rows, nd, lo, hi);
 }
 
 std::string

@@ -12,21 +12,49 @@ namespace fm {
 
 namespace {
 
-Counters g_counters;
+// One default context per thread plus an optional installed one:
+// compilation that never mentions contexts still gets thread-private
+// counters, so the engine is re-entrant with zero caller changes.
+thread_local PresCtx t_default_ctx;
+thread_local PresCtx *t_active_ctx = nullptr;
 
 } // namespace
+
+PresCtx &
+activeCtx()
+{
+    return t_active_ctx ? *t_active_ctx : t_default_ctx;
+}
+
+ScopedCtx::ScopedCtx(PresCtx &ctx)
+    : prev_(t_active_ctx)
+{
+    t_active_ctx = &ctx;
+}
+
+ScopedCtx::~ScopedCtx()
+{
+    t_active_ctx = prev_;
+}
+
+// Compat shims; defined with the deprecation warning silenced so the
+// -Werror build only flags (new) callers, not the definitions.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 Counters &
 counters()
 {
-    return g_counters;
+    return activeCtx().counters;
 }
 
 void
 resetCounters()
 {
-    g_counters = Counters{};
+    activeCtx().counters = Counters{};
 }
+
+#pragma GCC diagnostic pop
 
 bool
 normalizeRow(Constraint &row)
@@ -70,7 +98,8 @@ normalizeRow(Constraint &row)
 }
 
 bool
-simplifyRows(std::vector<Constraint> &rows)
+simplifyRows(PresCtx & /* ctx: reserved for row-level accounting */,
+             std::vector<Constraint> &rows)
 {
     std::vector<Constraint> kept;
     kept.reserve(rows.size());
@@ -173,6 +202,12 @@ simplifyRows(std::vector<Constraint> &rows)
     return true;
 }
 
+bool
+simplifyRows(std::vector<Constraint> &rows)
+{
+    return simplifyRows(activeCtx(), rows);
+}
+
 namespace {
 
 /** Erase column @p col from every row. */
@@ -204,11 +239,12 @@ substituteUnitEq(Constraint &row, const Constraint &eq, unsigned col)
 } // namespace
 
 bool
-eliminateCol(std::vector<Constraint> &rows, unsigned col, bool &exact)
+eliminateCol(PresCtx &ctx, std::vector<Constraint> &rows,
+             unsigned col, bool &exact)
 {
-    ++g_counters.eliminations;
-    g_counters.constraintsVisited += rows.size();
-    if (!simplifyRows(rows))
+    ++ctx.counters.eliminations;
+    ctx.counters.constraintsVisited += rows.size();
+    if (!simplifyRows(ctx, rows))
         return false;
 
     // 1) Prefer an equality with a unit coefficient: exact Gaussian
@@ -233,7 +269,7 @@ eliminateCol(std::vector<Constraint> &rows, unsigned col, bool &exact)
         for (auto &row : rows)
             substituteUnitEq(row, eq, col);
         eraseCol(rows, col);
-        return simplifyRows(rows);
+        return simplifyRows(ctx, rows);
     }
 
     if (nonunit_eq_idx >= 0) {
@@ -257,7 +293,7 @@ eliminateCol(std::vector<Constraint> &rows, unsigned col, bool &exact)
                                checkedMul(factor, eq.coeffs[i]));
         }
         eraseCol(rows, col);
-        return simplifyRows(rows);
+        return simplifyRows(ctx, rows);
     }
 
     // 2) Fourier-Motzkin on inequalities.
@@ -293,12 +329,18 @@ eliminateCol(std::vector<Constraint> &rows, unsigned col, bool &exact)
 
     rows = std::move(rest);
     eraseCol(rows, col);
-    return simplifyRows(rows);
+    return simplifyRows(ctx, rows);
 }
 
 bool
-substituteCol(std::vector<Constraint> &rows, unsigned col,
-              int64_t value)
+eliminateCol(std::vector<Constraint> &rows, unsigned col, bool &exact)
+{
+    return eliminateCol(activeCtx(), rows, col, exact);
+}
+
+bool
+substituteCol(PresCtx &ctx, std::vector<Constraint> &rows,
+              unsigned col, int64_t value)
 {
     for (auto &row : rows) {
         int64_t f = row.coeffs[col];
@@ -307,7 +349,14 @@ substituteCol(std::vector<Constraint> &rows, unsigned col,
                 checkedAdd(row.coeffs.back(), checkedMul(f, value));
     }
     eraseCol(rows, col);
-    return simplifyRows(rows);
+    return simplifyRows(ctx, rows);
+}
+
+bool
+substituteCol(std::vector<Constraint> &rows, unsigned col,
+              int64_t value)
+{
+    return substituteCol(activeCtx(), rows, col, value);
 }
 
 bool

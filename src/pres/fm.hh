@@ -8,6 +8,13 @@
  * All functions operate on plain rows (Constraint) whose last column
  * is the constant term; they carry no Space knowledge. Callers adjust
  * spaces after columns are erased.
+ *
+ * Instrumentation is per-context (PresCtx) so independent
+ * compilations — including concurrent ones on different threads —
+ * never share mutable state. Code that does not care about contexts
+ * keeps calling the ctx-less entry points, which route to the
+ * thread's active context (a thread-local default when none is
+ * installed), so the library is re-entrant either way.
  */
 
 #ifndef POLYFUSE_PRES_FM_HH
@@ -25,21 +32,62 @@ namespace fm {
 /**
  * Cumulative instrumentation of the FM engine, feeding the driver's
  * per-pass reporting: how many columns were projected out and how
- * many constraint rows those projections visited. Process-wide and
- * unsynchronized, like the rest of the library (single-threaded
- * compilation); callers snapshot before/after a phase and report the
- * delta.
+ * many constraint rows those projections visited. Owned by a PresCtx;
+ * callers snapshot before/after a phase and report the delta.
  */
 struct Counters
 {
     uint64_t eliminations = 0;       ///< eliminateCol() invocations
     uint64_t constraintsVisited = 0; ///< rows alive at elimination
+
+    Counters &
+    operator+=(const Counters &o)
+    {
+        eliminations += o.eliminations;
+        constraintsVisited += o.constraintsVisited;
+        return *this;
+    }
 };
 
-/** The process-wide counters (mutable). */
+/**
+ * Per-compilation state of the presburger layer. One context per
+ * independent compilation (the driver's CompileContext owns one);
+ * never shared between threads without external synchronization.
+ */
+struct PresCtx
+{
+    Counters counters;
+};
+
+/**
+ * The context FM work is attributed to on this thread: the innermost
+ * installed ScopedCtx, or a thread-local default context when none is
+ * installed. Never null; distinct per thread, so code that ignores
+ * contexts entirely is still re-entrant.
+ */
+PresCtx &activeCtx();
+
+/** RAII installer of a thread's active context (nestable). */
+class ScopedCtx
+{
+  public:
+    explicit ScopedCtx(PresCtx &ctx);
+    ~ScopedCtx();
+    ScopedCtx(const ScopedCtx &) = delete;
+    ScopedCtx &operator=(const ScopedCtx &) = delete;
+
+  private:
+    PresCtx *prev_;
+};
+
+/** @deprecated The counters of the thread's active context; use
+ *  activeCtx().counters (or a PresCtx you own) instead. */
+[[deprecated("use activeCtx().counters or a PresCtx you own")]]
 Counters &counters();
 
-/** Zero the process-wide counters. */
+/** @deprecated Zero the active context's counters; assign
+ *  Counters{} to activeCtx().counters (or your own) instead. */
+[[deprecated("assign Counters{} to activeCtx().counters instead")]]
 void resetCounters();
 
 /**
@@ -58,17 +106,25 @@ bool normalizeRow(Constraint &row);
  *
  * @return false iff the system is proved infeasible.
  */
+bool simplifyRows(PresCtx &ctx, std::vector<Constraint> &rows);
+
+/** simplifyRows against the thread's active context. */
 bool simplifyRows(std::vector<Constraint> &rows);
 
 /**
  * Eliminate (existentially project out) column @p col, erasing it
- * from every row.
+ * from every row. Counts one elimination (plus the rows visited)
+ * in @p ctx.
  *
  * @param exact Cleared when the projection may over-approximate the
  *              integer projection (non-unit coefficients on both
  *              sides of a combination, or a non-unit equality).
  * @return false iff the system is proved infeasible.
  */
+bool eliminateCol(PresCtx &ctx, std::vector<Constraint> &rows,
+                  unsigned col, bool &exact);
+
+/** eliminateCol against the thread's active context. */
 bool eliminateCol(std::vector<Constraint> &rows, unsigned col,
                   bool &exact);
 
@@ -78,6 +134,10 @@ bool eliminateCol(std::vector<Constraint> &rows, unsigned col,
  *
  * @return false iff the system is proved infeasible afterwards.
  */
+bool substituteCol(PresCtx &ctx, std::vector<Constraint> &rows,
+                   unsigned col, int64_t value);
+
+/** substituteCol against the thread's active context. */
 bool substituteCol(std::vector<Constraint> &rows, unsigned col,
                    int64_t value);
 

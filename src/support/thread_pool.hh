@@ -1,0 +1,67 @@
+/**
+ * @file
+ * A fixed-size thread pool for batch compilation: one shared FIFO
+ * queue, no work stealing, no task dependencies. Deliberately small —
+ * the compiler's parallel units (one Pipeline::run per job) are
+ * coarse enough that a single mutex-protected queue never contends.
+ *
+ * Jobs must not touch shared mutable state; the pres layer is
+ * re-entrant because its instrumentation lives in per-thread /
+ * per-CompileContext PresCtx state, which is what makes fanning
+ * Pipeline::run out over this pool safe.
+ */
+
+#ifndef POLYFUSE_SUPPORT_THREAD_POOL_HH
+#define POLYFUSE_SUPPORT_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace polyfuse {
+
+/** Fixed pool of worker threads draining one FIFO queue. */
+class ThreadPool
+{
+  public:
+    /** Spawn @p threads workers (>= 1; 0 means defaultThreads()). */
+    explicit ThreadPool(unsigned threads);
+
+    /** Drains the queue, then joins every worker. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue @p job; it runs on some worker in FIFO order. The job
+     *  must not throw (wrap and capture errors at the call site). */
+    void submit(std::function<void()> job);
+
+    /** Block until every submitted job has finished running. */
+    void wait();
+
+    /** Number of worker threads. */
+    unsigned size() const { return unsigned(workers_.size()); }
+
+    /** Hardware concurrency, with a floor of 1 when unknown. */
+    static unsigned defaultThreads();
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable workReady_;  ///< queue non-empty or stop
+    std::condition_variable allDone_;    ///< pending_ reached zero
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    size_t pending_ = 0; ///< queued + currently running jobs
+    bool stop_ = false;
+};
+
+} // namespace polyfuse
+
+#endif // POLYFUSE_SUPPORT_THREAD_POOL_HH
