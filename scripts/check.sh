@@ -3,8 +3,9 @@
 #
 #   scripts/check.sh               tier-1 verify (build + ctest) plus
 #                                  the warnings-as-errors build and,
-#                                  when the toolchain supports it, the
-#                                  ThreadSanitizer run
+#                                  when the toolchain supports them,
+#                                  the ThreadSanitizer and
+#                                  AddressSanitizer runs
 #   scripts/check.sh --werror-only only the -Werror configure + build
 #                                  (this mode is wired as the
 #                                  check_werror ctest, so it must never
@@ -13,6 +14,11 @@
 #                                  the concurrency-sensitive tests,
 #                                  then run them directly (wired as the
 #                                  check_tsan ctest; never invokes
+#                                  ctest itself)
+#   scripts/check.sh --asan-only   only the -fsanitize=address build of
+#                                  the error-path-heavy tests, then run
+#                                  them directly (wired as the
+#                                  check_asan ctest; never invokes
 #                                  ctest itself)
 #
 # All modes use their own build directories and leave ./build alone.
@@ -28,16 +34,25 @@ werror_build() {
     echo "== -Werror build OK =="
 }
 
-# Can this toolchain compile, link and run -fsanitize=thread?
-tsan_supported() {
-    local scratch
+# Can this toolchain compile, link and run the given sanitizer flag?
+# (No RETURN trap here: one set inside a function persists globally
+# and would fire on later returns where the local is out of scope,
+# tripping set -u.)
+sanitizer_supported() {
+    local flag="$1" scratch ok=1
     scratch="$(mktemp -d)"
-    trap 'rm -rf "$scratch"' RETURN
     echo 'int main() { return 0; }' > "$scratch/probe.cc"
-    "${CXX:-c++}" -fsanitize=thread -o "$scratch/probe" \
-        "$scratch/probe.cc" >/dev/null 2>&1 &&
-        "$scratch/probe" >/dev/null 2>&1
+    if "${CXX:-c++}" "$flag" -o "$scratch/probe" \
+           "$scratch/probe.cc" >/dev/null 2>&1 &&
+       "$scratch/probe" >/dev/null 2>&1; then
+        ok=0
+    fi
+    rm -rf "$scratch"
+    return "$ok"
 }
+
+tsan_supported() { sanitizer_supported -fsanitize=thread; }
+asan_supported() { sanitizer_supported -fsanitize=address; }
 
 # Build the re-entrancy-sensitive test binaries under TSAN and run
 # them directly. Races in the batch/pool/pres-context machinery show
@@ -46,11 +61,27 @@ tsan_build_and_run() {
     echo "== configure + build with -fsanitize=thread =="
     cmake -B "$src/build-tsan" -S "$src" -DPOLYFUSE_TSAN=ON
     cmake --build "$src/build-tsan" -j "$jobs" \
-        --target test_driver test_concurrency
-    echo "== run test_driver + test_concurrency under TSAN =="
+        --target test_driver test_concurrency test_robustness
+    echo "== run test_driver + test_concurrency + test_robustness" \
+         "under TSAN =="
     "$src/build-tsan/tests/test_driver"
     "$src/build-tsan/tests/test_concurrency"
+    "$src/build-tsan/tests/test_robustness"
     echo "== TSAN run OK =="
+}
+
+# Build the error-path-heavy test binaries under ASAN and run them
+# directly. Leaks or overflows on the budget/fallback/failpoint
+# unwind paths show up here as hard failures.
+asan_build_and_run() {
+    echo "== configure + build with -fsanitize=address =="
+    cmake -B "$src/build-asan" -S "$src" -DPOLYFUSE_ASAN=ON
+    cmake --build "$src/build-asan" -j "$jobs" \
+        --target test_robustness test_pres_parser
+    echo "== run test_robustness + test_pres_parser under ASAN =="
+    "$src/build-asan/tests/test_robustness"
+    "$src/build-asan/tests/test_pres_parser"
+    echo "== ASAN run OK =="
 }
 
 case "${1:-}" in
@@ -66,17 +97,30 @@ case "${1:-}" in
     tsan_build_and_run
     exit 0
     ;;
+  --asan-only)
+    if ! asan_supported; then
+        echo "ASAN not supported by this toolchain; skipping"
+        exit 0
+    fi
+    asan_build_and_run
+    exit 0
+    ;;
 esac
 
 echo "== tier-1 verify: build + ctest =="
 cmake -B "$src/build-check" -S "$src"
 cmake --build "$src/build-check" -j "$jobs"
 (cd "$src/build-check" && ctest --output-on-failure -j "$jobs" \
-    -E '^check_(werror|tsan)$')
+    -E '^check_(werror|tsan|asan)$')
 werror_build
 if tsan_supported; then
     tsan_build_and_run
 else
     echo "== TSAN not supported by this toolchain; skipped =="
+fi
+if asan_supported; then
+    asan_build_and_run
+else
+    echo "== ASAN not supported by this toolchain; skipped =="
 fi
 echo "== all checks passed =="

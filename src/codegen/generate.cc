@@ -4,6 +4,7 @@
 #include <set>
 
 #include "pres/fm.hh"
+#include "support/failpoint.hh"
 #include "support/logging.hh"
 
 namespace polyfuse {
@@ -567,9 +568,13 @@ AstPtr
 generateAst(const schedule::ScheduleTree &tree,
             const GenOptions &options)
 {
+    failpoints::hit("codegen.generate");
     GenCtx ctx;
     ctx.prog = &tree.program();
     ctx.pres = &pres::fm::activeCtx();
+    // Enforce an armed budget / tripped cancel token up front; the
+    // scan below re-checks through every eliminateCol it performs.
+    pres::fm::checkBudget(*ctx.pres, "codegen::generateAst");
     return genNode(tree.root(), std::move(ctx), options);
 }
 

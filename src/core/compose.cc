@@ -5,6 +5,8 @@
 
 #include "core/footprint.hh"
 #include "pres/affine.hh"
+#include "pres/fm.hh"
+#include "support/failpoint.hh"
 #include "support/logging.hh"
 #include "support/timer.hh"
 
@@ -165,6 +167,7 @@ composeFrom(const Program &program, const DependenceGraph &graph,
             const schedule::FusionResult &startup,
             const ComposeOptions &options)
 {
+    failpoints::hit("core.compose");
     Timer timer;
     ComposeResult result;
 
@@ -214,6 +217,12 @@ composeFrom(const Program &program, const DependenceGraph &graph,
     for (auto &lo : spaces) {
         if (!lo.liveOut)
             continue;
+        // The planning loop is the composition's dominant cost (one
+        // footprint/extension computation per live-out x intermediate
+        // pair); re-check the budget per live-out so the run stops
+        // between units of work, not only deep inside the FM engine.
+        pres::fm::checkBudget(pres::fm::activeCtx(),
+                              "core::composeFrom");
         LiveOutPlan plan;
         plan.space = lo.id;
         plan.tileTuple = "T" + std::to_string(lo.id);
@@ -283,6 +292,8 @@ composeFrom(const Program &program, const DependenceGraph &graph,
             SpaceInfo &ic = spaces[i];
             if (ic.liveOut || ic.id >= lo.id)
                 continue;
+            pres::fm::checkBudget(pres::fm::activeCtx(),
+                                  "core::composeFrom");
             // The m > n guard of Algorithm 1 (Sec. III-C).
             if (m > ic.leadingCoincident)
                 continue;

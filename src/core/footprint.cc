@@ -1,6 +1,8 @@
 #include "core/footprint.hh"
 
 #include "pres/affine.hh"
+#include "pres/fm.hh"
+#include "support/failpoint.hh"
 #include "support/intmath.hh"
 #include "support/logging.hh"
 
@@ -18,6 +20,8 @@ pres::BasicMap
 tileMapFor(const Program &program, const schedule::NodePtr &band,
            const std::string &stmt, const std::string &tile_tuple)
 {
+    failpoints::hit("core.footprint");
+    pres::fm::checkBudget(pres::fm::activeCtx(), "core::tileMapFor");
     const Statement &s = program.statement(program.statementId(stmt));
 
     unsigned ntile = 0;

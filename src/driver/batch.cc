@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <exception>
 
+#include "support/failpoint.hh"
 #include "support/logging.hh"
 #include "support/thread_pool.hh"
 #include "support/timer.hh"
@@ -14,12 +15,20 @@ namespace {
 
 /** Run one job on the current thread, capturing failures. */
 void
-runJob(const BatchJob &job, BatchJobResult &out)
+runJob(const BatchJob &job, const BatchOptions &opts,
+       const CancelToken *cancel, BatchJobResult &out)
 {
     out.name = job.name;
     Timer t;
     try {
+        failpoints::hit("driver.job." + job.name);
         CompileContext ctx;
+        ctx.budget = opts.budget;
+        if (opts.timeoutMs > 0 &&
+            (ctx.budget.wallMs == 0 ||
+             opts.timeoutMs < ctx.budget.wallMs))
+            ctx.budget.wallMs = opts.timeoutMs;
+        ctx.cancel.chainTo(cancel);
         out.program =
             std::make_unique<ir::Program>(job.make());
         out.state = Pipeline(job.options).run(*out.program, ctx);
@@ -41,6 +50,15 @@ BatchResult::failed() const
     unsigned n = 0;
     for (const auto &j : jobs)
         n += j.ok ? 0 : 1;
+    return n;
+}
+
+unsigned
+BatchResult::downgradedCount() const
+{
+    unsigned n = 0;
+    for (const auto &j : jobs)
+        n += j.ok && j.state.downgraded() ? 1 : 0;
     return n;
 }
 
@@ -73,12 +91,18 @@ BatchResult::summary() const
                   "status");
     out += line;
     for (const auto &j : jobs) {
+        std::string status =
+            !j.ok ? "FAILED: " + j.error
+            : j.state.downgraded()
+                ? std::string("ok (downgraded to ") +
+                      strategyName(j.state.effectiveStrategy) + ")"
+                : std::string("ok");
         std::snprintf(
             line, sizeof(line), "%-24s %10.3f %10.3f %12llu  %s\n",
             j.name.c_str(), j.wallMs,
             j.ok ? j.state.compileMs() : 0.0,
             static_cast<unsigned long long>(j.fm.eliminations),
-            j.ok ? "ok" : ("FAILED: " + j.error).c_str());
+            status.c_str());
         out += line;
     }
     pres::fm::Counters fm = fmTotals();
@@ -114,6 +138,16 @@ BatchResult::json() const
                    std::to_string(j.fm.eliminations);
             out += ", \"fmRows\": " +
                    std::to_string(j.fm.constraintsVisited);
+            out += ", \"strategy\": \"" +
+                   std::string(
+                       strategyName(j.state.requestedStrategy)) +
+                   "\"";
+            out += ", \"effective\": \"" +
+                   std::string(
+                       strategyName(j.state.effectiveStrategy)) +
+                   "\"";
+            out += ", \"downgrades\": " +
+                   std::to_string(j.state.fallbackTrail.size());
             out += ", \"stats\": " + j.state.stats.json();
         } else {
             out += ", \"error\": \"" + jsonEscape(j.error) + "\"";
@@ -129,29 +163,58 @@ BatchResult::json() const
 }
 
 BatchResult
-compileBatch(std::vector<BatchJob> jobs, unsigned jobsN)
+compileBatch(std::vector<BatchJob> jobs, const BatchOptions &options)
 {
-    if (jobsN == 0)
-        jobsN = ThreadPool::defaultThreads();
+    unsigned jobsN = options.jobsN == 0 ? ThreadPool::defaultThreads()
+                                        : options.jobsN;
     BatchResult result;
     result.jobsN = jobsN;
     result.jobs.resize(jobs.size());
 
+    // One token for the whole batch: failFast trips it, and the
+    // caller's external token (when given) feeds every job too.
+    CancelToken batch_token;
+    CancelToken *token =
+        options.cancel ? options.cancel : &batch_token;
+
     Timer t;
     if (jobsN == 1 || jobs.size() <= 1) {
         // Inline: exactly the sequential path, no pool overhead.
-        for (size_t i = 0; i < jobs.size(); ++i)
-            runJob(jobs[i], result.jobs[i]);
+        for (size_t i = 0; i < jobs.size(); ++i) {
+            runJob(jobs[i], options, token, result.jobs[i]);
+            if (options.failFast && !result.jobs[i].ok)
+                token->cancel();
+        }
     } else {
         ThreadPool pool(jobsN);
         for (size_t i = 0; i < jobs.size(); ++i)
-            pool.submit([&jobs, &result, i] {
-                runJob(jobs[i], result.jobs[i]);
+            pool.submit([&jobs, &result, &options, token, i] {
+                runJob(jobs[i], options, token, result.jobs[i]);
+                if (options.failFast && !result.jobs[i].ok)
+                    token->cancel();
             });
         pool.wait();
     }
     result.wallMs = t.milliseconds();
     return result;
+}
+
+BatchResult
+compileBatch(std::vector<BatchJob> jobs, unsigned jobsN)
+{
+    BatchOptions options;
+    options.jobsN = jobsN;
+    return compileBatch(std::move(jobs), options);
+}
+
+int
+batchExitCode(const BatchResult &result, bool strict)
+{
+    if (result.failed() > 0)
+        return 1;
+    if (strict && result.downgradedCount() > 0)
+        return 1;
+    return 0;
 }
 
 } // namespace driver

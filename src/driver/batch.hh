@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "driver/pipeline.hh"
+#include "support/budget.hh"
 
 namespace polyfuse {
 namespace driver {
@@ -64,6 +65,27 @@ struct BatchJobResult
     std::string error; ///< failure message when !ok
 };
 
+/** Resource policy of one compileBatch call. */
+struct BatchOptions
+{
+    /** Worker threads (0 = hardware concurrency; 1 runs inline). */
+    unsigned jobsN = 0;
+
+    /** Per-job wall-clock deadline in milliseconds (0 = none). Caps
+     *  budget.wallMs when both are set. */
+    double timeoutMs = 0;
+
+    /** Per-job resource budget (each job gets its own window). */
+    Budget budget;
+
+    /** Optional external cancellation token; tripping it makes every
+     *  not-yet-finished job fail with a "cancelled" error. */
+    CancelToken *cancel = nullptr;
+
+    /** Cancel the rest of the batch after the first job failure. */
+    bool failFast = false;
+};
+
 /** Everything a compileBatch call produced. */
 struct BatchResult
 {
@@ -73,6 +95,9 @@ struct BatchResult
 
     /** Number of failed jobs. */
     unsigned failed() const;
+
+    /** Number of jobs the budget downgraded to a cheaper strategy. */
+    unsigned downgradedCount() const;
 
     /** Sum of per-job compileMs (scheduling + codegen, no deps). */
     double totalCompileMs() const;
@@ -96,6 +121,15 @@ struct BatchResult
  */
 BatchResult compileBatch(std::vector<BatchJob> jobs,
                          unsigned jobsN = 0);
+
+/** compileBatch with a full resource policy: per-job budgets and
+ *  deadlines, external cancellation, fail-fast. */
+BatchResult compileBatch(std::vector<BatchJob> jobs,
+                         const BatchOptions &options);
+
+/** Process exit code for a finished batch: 1 when any job failed, or
+ *  (under @p strict) when any job was downgraded; 0 otherwise. */
+int batchExitCode(const BatchResult &result, bool strict);
 
 } // namespace driver
 } // namespace polyfuse

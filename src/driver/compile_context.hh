@@ -2,9 +2,10 @@
  * @file
  * The per-compilation context the driver threads through the layers.
  * One CompileContext per independent compilation: it owns every piece
- * of state the libraries below mutate while compiling (today the
- * presburger layer's FM instrumentation), so two runs with two
- * contexts share nothing and can execute on different threads.
+ * of state the libraries below mutate while compiling (the presburger
+ * layer's FM instrumentation, the resource budget, the cancellation
+ * token), so two runs with two contexts share nothing and can execute
+ * on different threads.
  *
  * Pipeline::run installs the context's PresCtx as the thread's
  * active pres context for the duration of the run, which is how the
@@ -16,16 +17,30 @@
 #define POLYFUSE_DRIVER_COMPILE_CONTEXT_HH
 
 #include "pres/fm.hh"
+#include "support/budget.hh"
 
 namespace polyfuse {
 namespace driver {
 
 /** Everything one compilation mutates below the driver. Not
- *  thread-safe: use one context per concurrent job. */
+ *  thread-safe: use one context per concurrent job. Non-copyable:
+ *  the pres context points at the owned cancellation token. */
 struct CompileContext
 {
-    /** Presburger-layer state (FM instrumentation). */
+    CompileContext() { pres.cancel = &cancel; }
+    CompileContext(const CompileContext &) = delete;
+    CompileContext &operator=(const CompileContext &) = delete;
+
+    /** Presburger-layer state (FM instrumentation + budget). */
     pres::fm::PresCtx pres;
+
+    /** Resource limits for runs against this context; all-zero means
+     *  unlimited. Pipeline::run arms it per attempt. */
+    Budget budget;
+
+    /** Cooperative cancellation; callers (e.g. compileBatch) may trip
+     *  it from another thread, or chain it to a batch-level token. */
+    CancelToken cancel;
 
     /** FM totals accumulated by runs against this context. */
     const pres::fm::Counters &fmCounters() const

@@ -158,12 +158,91 @@ Pipeline::run(const ir::Program &program) const
     return run(program, ctx);
 }
 
+std::vector<Strategy>
+fallbackChain(Strategy requested)
+{
+    static const std::vector<Strategy> ladder = {
+        Strategy::Hybrid, Strategy::MinFuse, Strategy::Naive,
+    };
+    std::vector<Strategy> chain{requested};
+    size_t start = 0;
+    for (size_t i = 0; i < ladder.size(); ++i) {
+        if (ladder[i] == requested) {
+            start = i + 1;
+            break;
+        }
+    }
+    for (size_t i = start; i < ladder.size(); ++i)
+        chain.push_back(ladder[i]);
+    return chain;
+}
+
 CompilationState
 Pipeline::run(const ir::Program &program, CompileContext &ctx) const
 {
-    const PipelineOptions &opt = options_;
+    // Each attempt gets a fresh budget window (the ceilings bound one
+    // attempt's work, not the lifetime totals of the context).
+    struct Disarm
+    {
+        pres::fm::PresCtx &p;
+        ~Disarm() { p.disarmBudget(); }
+    } disarm{ctx.pres};
+
+    if (!options_.budgetFallback) {
+        ctx.pres.armBudget(ctx.budget);
+        return runOnce(program, ctx, options_);
+    }
+
+    const std::vector<Strategy> chain =
+        fallbackChain(options_.strategy);
+    std::vector<std::string> trail;
+    double wastedMs = 0;
+    for (size_t attempt = 0; attempt <= chain.size(); ++attempt) {
+        PipelineOptions opt = options_;
+        bool reserve = attempt == chain.size();
+        // The reserve attempt repeats naive with the budget disarmed:
+        // a passthrough schedule must always come out, no matter how
+        // tight the limits were. Cancellation stays in force.
+        opt.strategy = reserve ? Strategy::Naive : chain[attempt];
+        if (reserve)
+            ctx.pres.disarmBudget();
+        else
+            ctx.pres.armBudget(ctx.budget);
+        Timer t;
+        try {
+            CompilationState st = runOnce(program, ctx, opt);
+            st.requestedStrategy = options_.strategy;
+            st.effectiveStrategy = opt.strategy;
+            st.fallbackTrail = std::move(trail);
+            if (st.downgraded()) {
+                PassStat ps;
+                ps.name = "Fallback";
+                ps.ms = wastedMs;
+                ps.endMs = wastedMs + st.stats.totalMs();
+                ps.counters.emplace_back(
+                    "downgrades", int64_t(st.fallbackTrail.size()));
+                st.stats.add(std::move(ps));
+            }
+            return st;
+        } catch (const BudgetExceeded &e) {
+            if (ctx.cancel.cancelled() || reserve)
+                throw;
+            wastedMs += t.milliseconds();
+            trail.push_back(std::string(strategyName(opt.strategy)) +
+                            ": " + e.what());
+        }
+    }
+    panic("Pipeline::run: fallback chain exhausted"); // unreachable
+}
+
+CompilationState
+Pipeline::runOnce(const ir::Program &program, CompileContext &ctx,
+                  const PipelineOptions &opt) const
+{
     CompilationState st;
     st.program = &program;
+    st.requestedStrategy = opt.strategy;
+    st.effectiveStrategy = opt.strategy;
 
     // Everything below (pres ops reached through schedule/core/
     // codegen) charges its work to this run's context.
@@ -174,6 +253,7 @@ Pipeline::run(const ir::Program &program, CompileContext &ctx) const
     // work (elimination/constraint deltas from the run's context) on
     // top of its own counters.
     auto runPass = [&](const char *name, auto &&body) {
+        pres::fm::checkBudget(ctx.pres, name);
         PassStat ps;
         ps.name = name;
         pres::fm::Counters before = ctx.pres.counters;

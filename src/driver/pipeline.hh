@@ -88,7 +88,21 @@ struct PipelineOptions
 
     /** Code generation options (scratchpad promotion, ...). */
     codegen::GenOptions gen;
+
+    /** When the context's budget trips (BudgetExceeded), retry down
+     *  the fallback chain of cheaper strategies instead of failing
+     *  the run. Cancellation is never retried. */
+    bool budgetFallback = true;
 };
+
+/**
+ * The deterministic degradation ladder for @p requested: the
+ * requested strategy first, then every strictly cheaper rung of
+ * hybridfuse -> minfuse -> naive. The last entry is always
+ * Strategy::Naive (for which Pipeline::run additionally holds an
+ * unguarded passthrough attempt in reserve).
+ */
+std::vector<Strategy> fallbackChain(Strategy requested);
 
 /** Everything the pipeline computed for one program. */
 struct CompilationState
@@ -114,6 +128,19 @@ struct CompilationState
 
     /** Per-pass wall times and counters. */
     PassStats stats;
+
+    /** The strategy the caller asked for. */
+    Strategy requestedStrategy = Strategy::Ours;
+
+    /** The strategy that actually produced the AST (differs from
+     *  requestedStrategy after a budget-driven downgrade). */
+    Strategy effectiveStrategy = Strategy::Ours;
+
+    /** One entry per abandoned attempt: "<strategy>: <reason>". */
+    std::vector<std::string> fallbackTrail;
+
+    /** True when the budget forced a cheaper strategy. */
+    bool downgraded() const { return !fallbackTrail.empty(); }
 
     /** Scheduling + codegen milliseconds, dependence analysis
      *  excluded (the compile-time metric of E7 / Table I). */
@@ -145,6 +172,10 @@ class Pipeline
     static const std::vector<std::string> &passNames();
 
   private:
+    CompilationState runOnce(const ir::Program &program,
+                             CompileContext &ctx,
+                             const PipelineOptions &opt) const;
+
     PipelineOptions options_;
 };
 

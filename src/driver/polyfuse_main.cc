@@ -26,6 +26,8 @@
 #include "driver/batch.hh"
 #include "driver/pipeline.hh"
 #include "driver/registry.hh"
+#include "support/budget.hh"
+#include "support/failpoint.hh"
 #include "support/thread_pool.hh"
 
 using namespace polyfuse;
@@ -56,6 +58,17 @@ usage(FILE *to)
         "  --parallelism N       1 = OpenMP CPU, 2 = GPU grid\n"
         "  --rows N / --cols N   workload size parameters\n"
         "  --no-promote          keep intermediates in DRAM\n"
+        "  --timeout-ms N        per-job wall-clock budget; over-\n"
+        "                        budget jobs fall back to cheaper\n"
+        "                        strategies (see --no-fallback)\n"
+        "  --budget-elims N      cap FM eliminations per job\n"
+        "  --no-fallback         fail over-budget jobs instead of\n"
+        "                        downgrading the strategy\n"
+        "  --strict              exit nonzero when any job was\n"
+        "                        downgraded (failures always do)\n"
+        "  --failpoints SPEC     arm fault-injection sites, e.g.\n"
+        "                        'core.compose=budget;pres.parse=off'\n"
+        "                        (also: POLYFUSE_FAILPOINTS env)\n"
         "  --emit c|cuda|tree|stats|json\n"
         "                        what to print (default: stats;\n"
         "                        --all supports stats and json)\n"
@@ -102,9 +115,10 @@ listWorkloads()
 
 /** The --all batch: every workload x every strategy. */
 int
-runAll(unsigned jobsN, const driver::PipelineOptions &base,
-       bool tiles_given, const driver::WorkloadParams &params,
-       bool rows_given, bool cols_given, const std::string &emit)
+runAll(const driver::BatchOptions &bopts,
+       const driver::PipelineOptions &base, bool tiles_given,
+       const driver::WorkloadParams &params, bool rows_given,
+       bool cols_given, const std::string &emit, bool strict)
 {
     std::vector<driver::BatchJob> jobs;
     for (const auto &w : driver::workloadRegistry()) {
@@ -129,12 +143,27 @@ runAll(unsigned jobsN, const driver::PipelineOptions &base,
     }
 
     driver::BatchResult batch =
-        driver::compileBatch(std::move(jobs), jobsN);
+        driver::compileBatch(std::move(jobs), bopts);
     if (emit == "json")
         std::printf("%s\n", batch.json().c_str());
     else
         std::printf("%s", batch.summary().c_str());
-    return batch.failed() == 0 ? 0 : 1;
+    for (const auto &j : batch.jobs) {
+        if (!j.ok)
+            std::fprintf(stderr, "polyfuse: job %s FAILED: %s\n",
+                         j.name.c_str(), j.error.c_str());
+        else if (j.state.downgraded())
+            std::fprintf(
+                stderr,
+                "polyfuse: job %s downgraded %s -> %s "
+                "(%zu attempts over budget)%s\n",
+                j.name.c_str(),
+                driver::strategyName(j.state.requestedStrategy),
+                driver::strategyName(j.state.effectiveStrategy),
+                j.state.fallbackTrail.size(),
+                strict ? " [strict]" : "");
+    }
+    return driver::batchExitCode(batch, strict);
 }
 
 int
@@ -148,6 +177,9 @@ main(int argc, char **argv)
     unsigned jobsN = 1;
     driver::WorkloadParams params;
     bool rows_given = false, cols_given = false;
+    double timeout_ms = 0;
+    uint64_t budget_elims = 0;
+    bool strict = false;
 
     auto value = [&](int &i) -> const char * {
         if (i + 1 >= argc) {
@@ -211,6 +243,39 @@ main(int argc, char **argv)
             cols_given = true;
         } else if (arg == "--no-promote") {
             opts.gen.promoteIntermediates = false;
+        } else if (arg == "--timeout-ms") {
+            char *end = nullptr;
+            const char *v = value(i);
+            double ms = std::strtod(v, &end);
+            if (!end || *end != '\0' || ms <= 0) {
+                std::fprintf(stderr,
+                             "polyfuse: bad --timeout-ms '%s'\n", v);
+                return 2;
+            }
+            timeout_ms = ms;
+        } else if (arg == "--budget-elims") {
+            char *end = nullptr;
+            const char *v = value(i);
+            long long n = std::strtoll(v, &end, 10);
+            if (!end || *end != '\0' || n <= 0) {
+                std::fprintf(stderr,
+                             "polyfuse: bad --budget-elims '%s'\n",
+                             v);
+                return 2;
+            }
+            budget_elims = uint64_t(n);
+        } else if (arg == "--no-fallback") {
+            opts.budgetFallback = false;
+        } else if (arg == "--strict") {
+            strict = true;
+        } else if (arg == "--failpoints") {
+            std::string err;
+            if (!failpoints::parseSpec(value(i), &err)) {
+                std::fprintf(stderr,
+                             "polyfuse: bad --failpoints: %s\n",
+                             err.c_str());
+                return 2;
+            }
         } else if (arg == "--emit") {
             emit = value(i);
         } else {
@@ -238,8 +303,12 @@ main(int argc, char **argv)
                                  "stats|json only\n");
             return 2;
         }
-        return runAll(jobsN, opts, tiles_given, params, rows_given,
-                      cols_given, emit);
+        driver::BatchOptions bopts;
+        bopts.jobsN = jobsN;
+        bopts.timeoutMs = timeout_ms;
+        bopts.budget.fmEliminations = budget_elims;
+        return runAll(bopts, opts, tiles_given, params, rows_given,
+                      cols_given, emit, strict);
     }
     if (workload.empty()) {
         usage(stderr);
@@ -262,12 +331,32 @@ main(int argc, char **argv)
 
     ir::Program program = spec->make(params);
     driver::Pipeline pipeline(opts);
-    driver::CompilationState state = pipeline.run(program);
+    driver::CompileContext ctx;
+    ctx.budget.wallMs = timeout_ms;
+    ctx.budget.fmEliminations = budget_elims;
+    driver::CompilationState state;
+    try {
+        state = pipeline.run(program, ctx);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "polyfuse: %s\n", e.what());
+        return 1;
+    }
+    if (state.downgraded()) {
+        std::fprintf(stderr,
+                     "polyfuse: downgraded %s -> %s "
+                     "(%zu attempts over budget)%s\n",
+                     driver::strategyName(state.requestedStrategy),
+                     driver::strategyName(state.effectiveStrategy),
+                     state.fallbackTrail.size(),
+                     strict ? " [strict]" : "");
+        if (strict)
+            return 1;
+    }
 
     if (emit == "stats") {
         std::printf("workload %s, strategy %s, %zu statements\n",
                     spec->name,
-                    driver::strategyName(opts.strategy),
+                    driver::strategyName(state.effectiveStrategy),
                     program.statements().size());
         std::printf("%s", state.stats.str().c_str());
         std::printf("compile (scheduling + codegen): %.3f ms\n",

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <map>
+#include <string>
 
+#include "support/failpoint.hh"
 #include "support/intmath.hh"
 #include "support/logging.hh"
 
@@ -35,6 +37,75 @@ ScopedCtx::ScopedCtx(PresCtx &ctx)
 ScopedCtx::~ScopedCtx()
 {
     t_active_ctx = prev_;
+}
+
+void
+PresCtx::armBudget(const Budget &budget)
+{
+    budget_ = budget;
+    baseElims_ = counters.eliminations;
+    baseRows_ = counters.constraintsVisited;
+    baseAlloc_ = allocBytes;
+    hasDeadline_ = budget.wallMs > 0;
+    if (hasDeadline_)
+        deadline_ = std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double, std::milli>(
+                            budget.wallMs));
+    armed_ = !budget.unlimited();
+}
+
+void
+PresCtx::disarmBudget()
+{
+    armed_ = false;
+    hasDeadline_ = false;
+}
+
+namespace {
+
+[[noreturn]] void
+overBudget(const char *site, const std::string &what, uint64_t used,
+           uint64_t limit)
+{
+    throw BudgetExceeded("budget exceeded at " + std::string(site) +
+                         ": " + what + " " + std::to_string(used) +
+                         " > limit " + std::to_string(limit));
+}
+
+} // namespace
+
+void
+checkBudget(PresCtx &ctx, const char *site)
+{
+    if (ctx.cancel && ctx.cancel->cancelled())
+        throw BudgetExceeded(std::string("cancelled at ") + site);
+    if (!ctx.armed_)
+        return;
+    const Budget &b = ctx.budget_;
+    if (b.fmEliminations) {
+        uint64_t used = ctx.counters.eliminations - ctx.baseElims_;
+        if (used > b.fmEliminations)
+            overBudget(site, "FM eliminations", used,
+                       b.fmEliminations);
+    }
+    if (b.fmRows) {
+        uint64_t used = ctx.counters.constraintsVisited - ctx.baseRows_;
+        if (used > b.fmRows)
+            overBudget(site, "FM constraint rows", used, b.fmRows);
+    }
+    if (b.allocBytes) {
+        uint64_t used = ctx.allocBytes - ctx.baseAlloc_;
+        if (used > b.allocBytes)
+            overBudget(site, "FM row bytes", used, b.allocBytes);
+    }
+    if (ctx.hasDeadline_ &&
+        std::chrono::steady_clock::now() > ctx.deadline_)
+        throw BudgetExceeded(
+            "budget exceeded at " + std::string(site) +
+            ": wall deadline of " + std::to_string(ctx.budget_.wallMs) +
+            " ms passed");
 }
 
 // Compat shims; defined with the deprecation warning silenced so the
@@ -98,9 +169,10 @@ normalizeRow(Constraint &row)
 }
 
 bool
-simplifyRows(PresCtx & /* ctx: reserved for row-level accounting */,
-             std::vector<Constraint> &rows)
+simplifyRows(PresCtx &ctx, std::vector<Constraint> &rows)
 {
+    failpoints::hit("pres.simplifyRows");
+    checkBudget(ctx, "pres::fm::simplifyRows");
     std::vector<Constraint> kept;
     kept.reserve(rows.size());
     for (auto &row : rows) {
@@ -242,8 +314,21 @@ bool
 eliminateCol(PresCtx &ctx, std::vector<Constraint> &rows,
              unsigned col, bool &exact)
 {
+    failpoints::hit("pres.eliminateCol");
     ++ctx.counters.eliminations;
     ctx.counters.constraintsVisited += rows.size();
+    // Charge the working set to the arena proxy, then enforce the
+    // armed ceilings before doing any real work.
+    const uint64_t row_bytes =
+        rows.empty() ? sizeof(Constraint)
+                     : sizeof(Constraint) +
+                           rows[0].coeffs.size() * sizeof(int64_t);
+    ctx.allocBytes += uint64_t(rows.size()) * row_bytes;
+    checkBudget(ctx, "pres::fm::eliminateCol");
+    if (ctx.budgetArmed() && ctx.budget().fmLiveRows &&
+        rows.size() > ctx.budget().fmLiveRows)
+        overBudget("pres::fm::eliminateCol", "live constraint rows",
+                   rows.size(), ctx.budget().fmLiveRows);
     if (!simplifyRows(ctx, rows))
         return false;
 
@@ -308,6 +393,11 @@ eliminateCol(PresCtx &ctx, std::vector<Constraint> &rows,
     }
 
     if (!lowers.empty() && !uppers.empty()) {
+        // This pairing is where FM explodes (|lowers| x |uppers| new
+        // rows); enforce the arena and live-row ceilings per created
+        // row so a pathological system is stopped mid-blow-up rather
+        // than after materializing it.
+        const bool guard = ctx.budgetArmed();
         for (const auto &lo : lowers) {
             for (const auto &up : uppers) {
                 int64_t a = lo.coeffs[col];
@@ -320,6 +410,22 @@ eliminateCol(PresCtx &ctx, std::vector<Constraint> &rows,
                     combo.coeffs[i] =
                         checkedAdd(checkedMul(b, lo.coeffs[i]),
                                    checkedMul(a, up.coeffs[i]));
+                ctx.allocBytes += row_bytes;
+                if (guard) {
+                    const Budget &bud = ctx.budget();
+                    if (bud.allocBytes &&
+                        ctx.allocBytes - ctx.baseAlloc_ >
+                            bud.allocBytes)
+                        overBudget("pres::fm::eliminateCol",
+                                   "FM row bytes",
+                                   ctx.allocBytes - ctx.baseAlloc_,
+                                   bud.allocBytes);
+                    if (bud.fmLiveRows &&
+                        rest.size() >= bud.fmLiveRows)
+                        overBudget("pres::fm::eliminateCol",
+                                   "live constraint rows",
+                                   rest.size() + 1, bud.fmLiveRows);
+                }
                 rest.push_back(std::move(combo));
             }
         }

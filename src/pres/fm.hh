@@ -20,10 +20,12 @@
 #ifndef POLYFUSE_PRES_FM_HH
 #define POLYFUSE_PRES_FM_HH
 
+#include <chrono>
 #include <cstdint>
 #include <vector>
 
 #include "pres/constraint.hh"
+#include "support/budget.hh"
 
 namespace polyfuse {
 namespace pres {
@@ -53,11 +55,64 @@ struct Counters
  * Per-compilation state of the presburger layer. One context per
  * independent compilation (the driver's CompileContext owns one);
  * never shared between threads without external synchronization.
+ *
+ * Besides the instrumentation, the context is where the resource
+ * guards live: an armed Budget is enforced cooperatively by
+ * eliminateCol/simplifyRows (and re-checked by compose, codegen and
+ * every driver pass via checkBudget), and an attached CancelToken is
+ * polled at the same points. Exceeding either raises BudgetExceeded;
+ * the constraint system being worked on is then in a valid but
+ * unspecified state (basic exception guarantee), so callers discard
+ * the whole in-flight compilation -- which is exactly what the
+ * driver's fallback chain does.
  */
 struct PresCtx
 {
     Counters counters;
+
+    /** Bytes of constraint-row storage materialized by the engine
+     *  (working sets + FM combination rows); the arena proxy the
+     *  Budget's allocBytes ceiling is enforced against. */
+    uint64_t allocBytes = 0;
+
+    /** Cancellation observed by every cooperative check; non-owning,
+     *  may be null (the driver's CompileContext wires its token). */
+    const CancelToken *cancel = nullptr;
+
+    /** Arm @p budget: ceilings apply to the work done from now on
+     *  (counter baselines are snapshotted; the wall deadline starts
+     *  ticking). Re-arming resets the window. */
+    void armBudget(const Budget &budget);
+
+    /** Disarm the budget (cancellation stays observed). */
+    void disarmBudget();
+
+    /** True when an armed budget is currently enforced. */
+    bool budgetArmed() const { return armed_; }
+
+    /** The armed budget's ceilings (meaningful while budgetArmed()). */
+    const Budget &budget() const { return budget_; }
+
+  private:
+    friend void checkBudget(PresCtx &, const char *);
+    friend bool eliminateCol(PresCtx &, std::vector<Constraint> &,
+                             unsigned, bool &);
+    Budget budget_;
+    uint64_t baseElims_ = 0;   ///< counters at armBudget() time
+    uint64_t baseRows_ = 0;
+    uint64_t baseAlloc_ = 0;
+    std::chrono::steady_clock::time_point deadline_{};
+    bool hasDeadline_ = false;
+    bool armed_ = false;
 };
+
+/**
+ * Cooperative guard: throws BudgetExceeded when @p ctx's cancel token
+ * was tripped or an armed budget ceiling is exceeded, naming @p site
+ * in the message. No-op on an unarmed, uncancelled context, so it is
+ * safe (and cheap) to sprinkle over every compilation phase.
+ */
+void checkBudget(PresCtx &ctx, const char *site);
 
 /**
  * The context FM work is attributed to on this thread: the innermost

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "pres/affine.hh"
+#include "support/failpoint.hh"
 #include "support/intmath.hh"
 #include "support/logging.hh"
 
@@ -44,6 +45,7 @@ struct Token
     Tok kind;
     std::string text;
     int64_t value = 0;
+    size_t offset = 0; ///< character offset in the source text
 };
 
 std::vector<Token>
@@ -52,7 +54,7 @@ lex(const std::string &text)
     std::vector<Token> out;
     size_t i = 0;
     auto push = [&](Tok k, std::string t = "") {
-        out.push_back({k, std::move(t), 0});
+        out.push_back({k, std::move(t), 0, i});
     };
     while (i < text.size()) {
         char c = text[i];
@@ -83,7 +85,7 @@ lex(const std::string &text)
                 v = checkedAdd(checkedMul(v, 10), text[j] - '0');
                 ++j;
             }
-            out.push_back({Tok::Number, text.substr(i, j - i), v});
+            out.push_back({Tok::Number, text.substr(i, j - i), v, i});
             i = j;
             continue;
         }
@@ -126,16 +128,18 @@ lex(const std::string &text)
                 ++i;
             }
             break;
-          case '=':
+          case '=': {
+            size_t at = i;
             if (i + 1 < text.size() && text[i + 1] == '=')
                 i += 2;
             else
                 ++i;
-            push(Tok::Eq);
+            out.push_back({Tok::Eq, "", 0, at});
             break;
+          }
           default:
             fatal(std::string("parse error: unexpected character '") +
-                  c + "'");
+                  c + "' at offset " + std::to_string(i));
         }
     }
     push(Tok::End);
@@ -187,7 +191,10 @@ struct ParsedTuple
 class Parser
 {
   public:
-    explicit Parser(const std::string &text) : toks_(lex(text)) {}
+    explicit Parser(const std::string &text) : toks_(lex(text))
+    {
+        failpoints::hit("pres.parse");
+    }
 
     /** Dim names of the last parsed set piece. */
     std::vector<std::string> lastDimNames;
@@ -272,16 +279,21 @@ class Parser
     next()
     {
         if (peek() == Tok::End)
-            fatal("parse error: unexpected end of input");
+            fatal("parse error: unexpected end of input at offset " +
+                  std::to_string(cur().offset));
         return toks_[pos_++];
     }
 
     void
     expect(Tok k)
     {
-        if (peek() != k)
+        if (peek() != k) {
+            if (peek() == Tok::End)
+                fatal("parse error: unexpected end of input at offset " +
+                      std::to_string(cur().offset));
             fatal("parse error: unexpected token '" + cur().text +
-                  "' at position " + std::to_string(pos_));
+                  "' at offset " + std::to_string(cur().offset));
+        }
         ++pos_;
     }
 
@@ -441,7 +453,7 @@ class Parser
             return e;
         }
         fatal("parse error: expected expression at '" + cur().text +
-              "'");
+              "' at offset " + std::to_string(cur().offset));
     }
 
     /** Chained comparisons: e0 op e1 op e2 ... */
@@ -464,7 +476,8 @@ class Parser
             any = true;
         }
         if (!any)
-            fatal("parse error: expected comparison operator");
+            fatal("parse error: expected comparison operator at offset " +
+                  std::to_string(cur().offset));
         return out;
     }
 

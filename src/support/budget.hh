@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Resource budgets and cooperative cancellation for the compile path.
+ *
+ * The paper's central complaint about pre-tiling fusion is that
+ * aggressive fusion explodes compile time; our own Fourier-Motzkin
+ * engine has the same failure mode (one pathological workload x
+ * strategy pair can consume unbounded rows and wall time). A Budget
+ * states how much a compilation may consume; the FM engine, the
+ * composition, codegen and every driver pass check it cooperatively
+ * and raise BudgetExceeded -- a third error class next to FatalError
+ * (user error) and PanicError (library bug) meaning "the input was
+ * fine, the work was correct, but it cost more than the caller
+ * allowed". The driver reacts by retrying down a cheaper strategy
+ * chain, so callers always get a correct (if less optimized) program.
+ *
+ * A CancelToken is the asynchronous half: batch drivers trip it from
+ * another thread and every cooperative check point turns into an
+ * immediate BudgetExceeded, so one slow job no longer holds a pool.
+ */
+
+#ifndef POLYFUSE_SUPPORT_BUDGET_HH
+#define POLYFUSE_SUPPORT_BUDGET_HH
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace polyfuse {
+
+/**
+ * Error thrown when an armed Budget is exhausted or a CancelToken is
+ * tripped. Deliberately distinct from FatalError/PanicError: the
+ * computation was valid, it just cost more than allowed, so the
+ * driver may retry with a cheaper strategy instead of reporting a
+ * failure.
+ */
+class BudgetExceeded : public std::runtime_error
+{
+  public:
+    explicit BudgetExceeded(const std::string &msg)
+        : std::runtime_error(msg) {}
+};
+
+/**
+ * Resource ceilings of one compilation. Every field is a limit on the
+ * work done *since the budget was armed*; 0 means unlimited. Owned by
+ * the driver's CompileContext and enforced inside pres::fm (the only
+ * unbounded allocator in the compiler), core::compose/footprint,
+ * codegen and each Pipeline pass.
+ */
+struct Budget
+{
+    /** Wall-clock deadline in milliseconds (steady clock). */
+    double wallMs = 0;
+
+    /** Ceiling on FM column eliminations. */
+    uint64_t fmEliminations = 0;
+
+    /** Ceiling on cumulative constraint rows visited by eliminations. */
+    uint64_t fmRows = 0;
+
+    /** Ceiling on rows alive in any single constraint system (cuts
+     *  the quadratic FM combination blow-up mid-explosion). */
+    uint64_t fmLiveRows = 0;
+
+    /** Ceiling on bytes of constraint-row storage the FM engine
+     *  materializes (the engine's arena proxy). */
+    uint64_t allocBytes = 0;
+
+    /** True when every ceiling is disabled. */
+    bool
+    unlimited() const
+    {
+        return wallMs <= 0 && fmEliminations == 0 && fmRows == 0 &&
+               fmLiveRows == 0 && allocBytes == 0;
+    }
+};
+
+/**
+ * A cooperative cancellation flag. cancel() may be called from any
+ * thread; observers poll cancelled() at the same check points that
+ * enforce budgets. Tokens chain: a per-job token whose parent is the
+ * batch-level token reports cancelled when either is tripped, which
+ * is how compileBatch aborts a whole fleet with one call.
+ */
+class CancelToken
+{
+  public:
+    CancelToken() = default;
+    CancelToken(const CancelToken &) = delete;
+    CancelToken &operator=(const CancelToken &) = delete;
+
+    /** Trip the token (sticky until reset()). Thread-safe. */
+    void
+    cancel() noexcept
+    {
+        flag_.store(true, std::memory_order_relaxed);
+    }
+
+    /** True when this token or any parent was tripped. */
+    bool
+    cancelled() const noexcept
+    {
+        if (flag_.load(std::memory_order_relaxed))
+            return true;
+        const CancelToken *p = parent_;
+        return p && p->cancelled();
+    }
+
+    /** Clear this token's own flag (the parent is untouched). */
+    void
+    reset() noexcept
+    {
+        flag_.store(false, std::memory_order_relaxed);
+    }
+
+    /** Observe @p parent as well (null detaches). Set before the
+     *  token is shared between threads; not itself synchronized. */
+    void
+    chainTo(const CancelToken *parent) noexcept
+    {
+        parent_ = parent;
+    }
+
+  private:
+    std::atomic<bool> flag_{false};
+    const CancelToken *parent_ = nullptr;
+};
+
+} // namespace polyfuse
+
+#endif // POLYFUSE_SUPPORT_BUDGET_HH

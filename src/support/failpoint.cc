@@ -1,0 +1,225 @@
+#include "support/failpoint.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <new>
+
+#include "support/budget.hh"
+#include "support/logging.hh"
+
+namespace polyfuse {
+namespace failpoints {
+
+namespace {
+
+struct SiteState
+{
+    Action action = Action::Off;
+    uint64_t skip = 0;  ///< hits still allowed to pass
+};
+
+struct Registry
+{
+    std::mutex mutex;
+    std::map<std::string, SiteState> sites;
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+// Fast-path gate: hit() returns immediately while this is zero.
+std::atomic<size_t> g_armed{0};
+
+void
+loadEnvOnce()
+{
+    static const bool loaded = [] {
+        const char *spec = std::getenv("POLYFUSE_FAILPOINTS");
+        if (spec && *spec) {
+            std::string error;
+            if (!parseSpec(spec, &error))
+                warn("POLYFUSE_FAILPOINTS: " + error);
+        }
+        return true;
+    }();
+    (void)loaded;
+}
+
+[[noreturn]] void
+fire(const std::string &site, Action action)
+{
+    switch (action) {
+      case Action::Fatal:
+        fatal("failpoint '" + site + "' fired");
+      case Action::Panic:
+        panic("failpoint '" + site + "' fired");
+      case Action::Budget:
+        throw BudgetExceeded("failpoint '" + site +
+                             "' exhausted the budget");
+      case Action::BadAlloc:
+        throw std::bad_alloc();
+      case Action::Error:
+        throw std::runtime_error("failpoint '" + site + "' fired");
+      case Action::Off:
+        break;
+    }
+    panic("failpoint fire: disarmed site");
+}
+
+bool
+parseAction(const std::string &word, Action &out)
+{
+    if (word == "fatal") out = Action::Fatal;
+    else if (word == "panic") out = Action::Panic;
+    else if (word == "budget") out = Action::Budget;
+    else if (word == "badalloc") out = Action::BadAlloc;
+    else if (word == "error") out = Action::Error;
+    else if (word == "off") out = Action::Off;
+    else return false;
+    return true;
+}
+
+} // namespace
+
+void
+set(const std::string &site, Action action, uint64_t skip)
+{
+    // No loadEnvOnce() here: parseSpec (which env loading runs) calls
+    // set(), and recursing into the magic static would deadlock.
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    auto it = r.sites.find(site);
+    if (action == Action::Off) {
+        if (it != r.sites.end()) {
+            r.sites.erase(it);
+            g_armed.fetch_sub(1, std::memory_order_relaxed);
+        }
+        return;
+    }
+    if (it == r.sites.end()) {
+        r.sites.emplace(site, SiteState{action, skip});
+        g_armed.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        it->second = SiteState{action, skip};
+    }
+}
+
+void
+clear(const std::string &site)
+{
+    set(site, Action::Off);
+}
+
+void
+clearAll()
+{
+    // Load the environment first so its sites are cleared too rather
+    // than popping up on a later hit().
+    loadEnvOnce();
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    g_armed.fetch_sub(r.sites.size(), std::memory_order_relaxed);
+    r.sites.clear();
+}
+
+size_t
+armedCount()
+{
+    loadEnvOnce();
+    return g_armed.load(std::memory_order_relaxed);
+}
+
+std::vector<std::string>
+armedSites()
+{
+    loadEnvOnce();
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    std::vector<std::string> out;
+    out.reserve(r.sites.size());
+    for (const auto &[name, state] : r.sites)
+        out.push_back(name);
+    return out;
+}
+
+bool
+parseSpec(const std::string &spec, std::string *error)
+{
+    auto fail = [&](const std::string &msg) {
+        if (error)
+            *error = msg;
+        return false;
+    };
+    size_t pos = 0;
+    while (pos < spec.size()) {
+        size_t end = spec.find_first_of(";,", pos);
+        if (end == std::string::npos)
+            end = spec.size();
+        std::string item = spec.substr(pos, end - pos);
+        pos = end + 1;
+        // Trim surrounding spaces.
+        size_t a = item.find_first_not_of(" \t");
+        size_t b = item.find_last_not_of(" \t");
+        if (a == std::string::npos)
+            continue; // empty item (trailing separator)
+        item = item.substr(a, b - a + 1);
+
+        size_t eq = item.find('=');
+        if (eq == std::string::npos || eq == 0)
+            return fail("bad failpoint item '" + item +
+                        "' (want site=action[:skip])");
+        std::string site = item.substr(0, eq);
+        std::string rhs = item.substr(eq + 1);
+        uint64_t skip = 0;
+        size_t colon = rhs.find(':');
+        if (colon != std::string::npos) {
+            std::string num = rhs.substr(colon + 1);
+            rhs = rhs.substr(0, colon);
+            char *endp = nullptr;
+            unsigned long long v =
+                std::strtoull(num.c_str(), &endp, 10);
+            if (num.empty() || !endp || *endp != '\0')
+                return fail("bad failpoint skip count '" + num +
+                            "' in '" + item + "'");
+            skip = v;
+        }
+        Action action;
+        if (!parseAction(rhs, action))
+            return fail("unknown failpoint action '" + rhs +
+                        "' in '" + item + "'");
+        set(site, action, skip);
+    }
+    return true;
+}
+
+void
+hit(const char *site)
+{
+    loadEnvOnce();
+    if (g_armed.load(std::memory_order_relaxed) == 0)
+        return;
+    Action action;
+    {
+        Registry &r = registry();
+        std::lock_guard<std::mutex> lock(r.mutex);
+        auto it = r.sites.find(site);
+        if (it == r.sites.end())
+            return;
+        if (it->second.skip > 0) {
+            --it->second.skip;
+            return;
+        }
+        action = it->second.action;
+    }
+    fire(site, action);
+}
+
+} // namespace failpoints
+} // namespace polyfuse

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Fault-injection harness: named failpoints compiled into the binary
+ * always (no build flag), disarmed by default, armed per site either
+ * programmatically (tests) or via the POLYFUSE_FAILPOINTS environment
+ * variable / the CLI's --failpoints flag:
+ *
+ *   POLYFUSE_FAILPOINTS='core.compose=budget;pres.eliminateCol=fatal:100'
+ *
+ * A site spec is `site=action[:skip]` where action is one of
+ * fatal | panic | budget | badalloc | error | off and `skip` lets that
+ * many hits pass before the site starts firing (it then fires on
+ * every hit until cleared). Specs are separated by ';' or ','.
+ *
+ * Sites live at the compiler's failure-prone seams -- the FM engine
+ * (`pres.eliminateCol`, `pres.simplifyRows`), the parser
+ * (`pres.parse`), the composition (`core.compose`,
+ * `core.footprint`), codegen (`codegen.generate`) and per batch job
+ * (`driver.job.<name>`) -- so tests can prove that every guard,
+ * fallback step and batch-isolation property actually holds under
+ * injected budget exhaustion, allocation failure and escaped
+ * exceptions.
+ *
+ * The disarmed fast path is one relaxed atomic load; arming any site
+ * switches every hit() to the locked slow path, so keep failpoints
+ * cleared outside fault-injection runs.
+ */
+
+#ifndef POLYFUSE_SUPPORT_FAILPOINT_HH
+#define POLYFUSE_SUPPORT_FAILPOINT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace polyfuse {
+namespace failpoints {
+
+/** What an armed failpoint does when it fires. */
+enum class Action
+{
+    Off,      ///< disarmed (clearing spelling in specs)
+    Fatal,    ///< throw FatalError
+    Panic,    ///< throw PanicError
+    Budget,   ///< throw BudgetExceeded
+    BadAlloc, ///< throw std::bad_alloc (allocation failure)
+    Error,    ///< throw std::runtime_error (an "unknown" escapee)
+};
+
+/** Arm @p site with @p action; the first @p skip hits pass through.
+ *  Action::Off clears the site. Thread-safe. */
+void set(const std::string &site, Action action, uint64_t skip = 0);
+
+/** Disarm @p site. */
+void clear(const std::string &site);
+
+/** Disarm every site (tests call this in teardown). */
+void clearAll();
+
+/** Number of currently armed sites. */
+size_t armedCount();
+
+/** The armed sites, sorted (for diagnostics). */
+std::vector<std::string> armedSites();
+
+/**
+ * Parse and apply a spec string (see file comment). @return false,
+ * with a diagnostic in @p error, when the spec is malformed; sites
+ * parsed before the error are still applied.
+ */
+bool parseSpec(const std::string &spec, std::string *error = nullptr);
+
+/**
+ * A failpoint site: throws per the armed action, or returns
+ * immediately when nothing is armed. The POLYFUSE_FAILPOINTS
+ * environment variable is loaded (once) on the first hit.
+ */
+void hit(const char *site);
+
+/** hit() for dynamically composed site names. */
+inline void
+hit(const std::string &site)
+{
+    hit(site.c_str());
+}
+
+} // namespace failpoints
+} // namespace polyfuse
+
+#endif // POLYFUSE_SUPPORT_FAILPOINT_HH

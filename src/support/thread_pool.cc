@@ -47,6 +47,22 @@ ThreadPool::defaultThreads()
     return n == 0 ? 1 : n;
 }
 
+size_t
+ThreadPool::failureCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return failures_.size();
+}
+
+std::vector<std::string>
+ThreadPool::takeFailures()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.swap(failures_);
+    return out;
+}
+
 void
 ThreadPool::workerLoop()
 {
@@ -62,9 +78,23 @@ ThreadPool::workerLoop()
             job = std::move(queue_.front());
             queue_.pop_front();
         }
-        job();
+        // Contain escaped exceptions: a throwing job would otherwise
+        // std::terminate the whole process from the worker thread.
+        std::string failure;
+        bool failed = false;
+        try {
+            job();
+        } catch (const std::exception &e) {
+            failed = true;
+            failure = e.what();
+        } catch (...) {
+            failed = true;
+            failure = "non-std exception escaped a pool job";
+        }
         {
             std::lock_guard<std::mutex> lock(mutex_);
+            if (failed)
+                failures_.push_back(std::move(failure));
             if (--pending_ == 0)
                 allDone_.notify_all();
         }

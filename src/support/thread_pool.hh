@@ -9,6 +9,12 @@
  * re-entrant because its instrumentation lives in per-thread /
  * per-CompileContext PresCtx state, which is what makes fanning
  * Pipeline::run out over this pool safe.
+ *
+ * An exception escaping a job does NOT kill the process: the worker
+ * captures it, records the message (takeFailures()), and keeps
+ * draining the queue. Callers that care about per-job errors should
+ * still capture them at the call site (compileBatch does) -- the pool
+ * only guarantees containment.
  */
 
 #ifndef POLYFUSE_SUPPORT_THREAD_POOL_HH
@@ -19,6 +25,7 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -37,12 +44,21 @@ class ThreadPool
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
 
-    /** Enqueue @p job; it runs on some worker in FIFO order. The job
-     *  must not throw (wrap and capture errors at the call site). */
+    /** Enqueue @p job; it runs on some worker in FIFO order. An
+     *  exception escaping the job is captured and recorded (see
+     *  takeFailures()), never propagated out of the worker. */
     void submit(std::function<void()> job);
 
     /** Block until every submitted job has finished running. */
     void wait();
+
+    /** Number of jobs whose exception the pool has captured since
+     *  construction or the last takeFailures(). */
+    size_t failureCount() const;
+
+    /** Drain and return the captured failure messages (job order of
+     *  capture, which is nondeterministic across workers). */
+    std::vector<std::string> takeFailures();
 
     /** Number of worker threads. */
     unsigned size() const { return unsigned(workers_.size()); }
@@ -53,11 +69,12 @@ class ThreadPool
   private:
     void workerLoop();
 
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable workReady_;  ///< queue non-empty or stop
     std::condition_variable allDone_;    ///< pending_ reached zero
     std::deque<std::function<void()>> queue_;
     std::vector<std::thread> workers_;
+    std::vector<std::string> failures_;  ///< escaped-exception log
     size_t pending_ = 0; ///< queued + currently running jobs
     bool stop_ = false;
 };

@@ -140,6 +140,99 @@ TEST(Parser, AccessWithoutExprsReportsNoExprs)
     EXPECT_EQ(a.map.fixInDim(0, 0).range().enumerate({}).size(), 3u);
 }
 
+// --- Error paths: every malformed input must raise FatalError with
+// a position-bearing message ("... at offset N"). -------------------
+
+struct ErrorCase
+{
+    const char *label;
+    const char *text;
+    bool isMap; ///< parse as map instead of set
+};
+
+TEST(ParserErrors, MalformedInputsCarryOffsets)
+{
+    const ErrorCase cases[] = {
+        {"empty string", "", false},
+        {"missing open brace", "S[i]", false},
+        {"unterminated tuple", "{ S[i : }", false},
+        {"truncated after arrow", "{ S[i] -> }", true},
+        {"missing close brace", "{ S[i] : 0 <= i < 4", false},
+        {"truncated constraint", "{ S[i] : 0 <=", false},
+        {"bare colon no constraint", "{ S[i] : }", false},
+        {"missing comparison", "{ S[i] : i }", false},
+        {"bad character", "{ S[i] : i ? 0 }", false},
+        {"bad character hash", "{ S[#] }", false},
+        {"map without arrow", "{ S[i] A[i] }", true},
+        {"double arrow", "{ S[i] -> -> A[i] }", true},
+        {"dangling operator", "{ S[i] : 0 <= i + }", false},
+        {"empty factor", "{ S[i] : <= 4 }", false},
+        {"unbalanced paren", "{ S[i] : (i >= 0 }", false},
+        {"trailing garbage", "{ S[i] } extra", false},
+    };
+    for (const auto &c : cases) {
+        SCOPED_TRACE(c.label);
+        try {
+            if (c.isMap)
+                parseMap(c.text);
+            else
+                parseSet(c.text);
+            FAIL() << "expected FatalError for: " << c.text;
+        } catch (const FatalError &e) {
+            EXPECT_NE(std::string(e.what()).find("parse error"),
+                      std::string::npos)
+                << e.what();
+            EXPECT_NE(std::string(e.what()).find("at offset"),
+                      std::string::npos)
+                << e.what();
+        }
+    }
+}
+
+TEST(ParserErrors, OffsetPointsAtTheOffendingCharacter)
+{
+    // "{ S[i] : i ? 0 }": the '?' sits at character offset 11.
+    try {
+        parseSet("{ S[i] : i ? 0 }");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("at offset 11"),
+                  std::string::npos)
+            << e.what();
+    }
+    // Truncated input reports the end-of-text offset.
+    try {
+        parseSet("{ S[i] : 0 <=");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("at offset 13"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(ParserErrors, SemanticErrorsStillNameTheIdentifier)
+{
+    // Unknown identifiers and non-affine products are semantic, not
+    // positional; the message names the construct instead.
+    try {
+        parseSet("{ S[i] : 0 <= i < N }");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("'N'"),
+                  std::string::npos)
+            << e.what();
+    }
+    try {
+        parseSet("{ S[i, j] : i*j >= 0 }");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("non-affine"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
 } // namespace
 } // namespace pres
 } // namespace polyfuse
