@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Presburger hot-path microbenchmarks — the machine-readable perf
+ * baseline behind BENCH_presburger.json.
+ *
+ * Two layers of measurement:
+ *
+ *  1. Microkernels of the overhauled primitives: row construction
+ *     with inline vs forced-heap SmallVec storage, structural row
+ *     hashing, hash-grouped simplifyRows deduplication, and raw FM
+ *     elimination. Each reports ns/op so regressions in the hot
+ *     loops are visible without registry-level noise.
+ *
+ *  2. The registry A/B sweep (bench/perf_baseline.hh): every
+ *     workload compiled baseline (heap rows + cache off) and
+ *     optimized (inline rows + cache on) in the same process, with
+ *     byte-identical generated C enforced.
+ *
+ * Modes:
+ *   (none)    full sweep, aligned tables on stdout
+ *   --json    full sweep, one JSON object on stdout
+ *   --smoke   subset sweep with correctness assertions, < 5 s; the
+ *             check_perf_smoke ctest runs this and fails on any
+ *             cache-equivalence mismatch
+ */
+
+#include <cstring>
+
+#include "bench/perf_baseline.hh"
+#include "pres/fm.hh"
+#include "pres/row_hash.hh"
+
+using namespace polyfuse;
+using namespace polyfuse::bench;
+
+namespace {
+
+/** Defeats dead-code elimination of the micro loops. */
+volatile uint64_t g_sink = 0;
+
+/** A representative FM system: bounds and couplings over @p cols
+ *  columns (last column is the constant), with duplicated and
+ *  parallel rows so simplifyRows has real work. */
+std::vector<pres::Constraint>
+makeSystem(unsigned cols, unsigned copies)
+{
+    std::vector<pres::Constraint> rows;
+    for (unsigned rep = 0; rep < copies; ++rep) {
+        for (unsigned c = 0; c + 1 < cols; ++c) {
+            pres::CoeffRow lo(cols, 0), hi(cols, 0);
+            lo[c] = 1; // x_c >= 0
+            hi[c] = -1;
+            hi[cols - 1] = 255 + int64_t(rep); // x_c <= 255 + rep
+            rows.emplace_back(false, std::move(lo));
+            rows.emplace_back(false, std::move(hi));
+            if (c + 2 < cols) {
+                pres::CoeffRow link(cols, 0);
+                link[c] = 1;
+                link[c + 1] = -1;
+                link[cols - 1] = 2; // x_c - x_{c+1} + 2 >= 0
+                rows.emplace_back(false, std::move(link));
+            }
+        }
+    }
+    return rows;
+}
+
+struct Micro
+{
+    const char *name;
+    double nsPerOp;
+    uint64_t iters;
+};
+
+/** Construct + destroy @p iters constraint rows of width 12. */
+Micro
+microRowConstruct(bool inline_rows, uint64_t iters)
+{
+    std::unique_ptr<support::ScopedForceHeap> heap;
+    if (!inline_rows)
+        heap.reset(new support::ScopedForceHeap());
+    Timer t;
+    uint64_t acc = 0;
+    for (uint64_t i = 0; i < iters; ++i) {
+        pres::CoeffRow row(12, int64_t(i));
+        row[11] = 1;
+        acc += uint64_t(row[0] + row[11]);
+    }
+    g_sink = g_sink + acc;
+    return {inline_rows ? "row_construct_inline"
+                        : "row_construct_heap",
+            t.milliseconds() * 1e6 / double(iters), iters};
+}
+
+/** Structural hash of one 12-wide row, @p iters times. */
+Micro
+microRowHash(uint64_t iters)
+{
+    pres::Constraint c(false,
+                       {3, -1, 0, 7, 0, 0, -2, 1, 0, 0, 5, 255});
+    Timer t;
+    uint64_t acc = 0;
+    for (uint64_t i = 0; i < iters; ++i) {
+        c.coeffs[0] = int64_t(i & 0xff);
+        acc += pres::hashRow(c);
+    }
+    g_sink = g_sink + acc;
+    return {"row_hash", t.milliseconds() * 1e6 / double(iters),
+            iters};
+}
+
+/** Hash-grouped dedup: simplifyRows on a system with @p copies
+ *  duplicates of every row. */
+Micro
+microSimplify(uint64_t iters)
+{
+    auto base = makeSystem(8, 4);
+    pres::fm::PresCtx ctx;
+    Timer t;
+    for (uint64_t i = 0; i < iters; ++i) {
+        auto rows = base;
+        bool feasible = pres::fm::simplifyRows(ctx, rows);
+        g_sink = g_sink + (feasible ? rows.size() : 0);
+    }
+    return {"simplify_dedup",
+            t.milliseconds() * 1e6 / double(iters), iters};
+}
+
+/** Raw FM projection: eliminate every inner column of the system. */
+Micro
+microEliminate(uint64_t iters)
+{
+    auto base = makeSystem(8, 1);
+    pres::fm::PresCtx ctx;
+    Timer t;
+    for (uint64_t i = 0; i < iters; ++i) {
+        auto rows = base;
+        bool exact = true;
+        for (unsigned col = 6; col-- > 1;)
+            if (!pres::fm::eliminateCol(ctx, rows, col, exact))
+                break;
+        g_sink = g_sink + rows.size() + (exact ? 1 : 0);
+    }
+    return {"fm_eliminate",
+            t.milliseconds() * 1e6 / double(iters), iters};
+}
+
+std::vector<Micro>
+runMicro(uint64_t scale)
+{
+    return {
+        microRowConstruct(true, 200000 * scale),
+        microRowConstruct(false, 200000 * scale),
+        microRowHash(200000 * scale),
+        microSimplify(500 * scale),
+        microEliminate(2000 * scale),
+    };
+}
+
+/** Smoke: tiny registry subset, every storage x cache combination
+ *  must generate byte-identical C. Exit 1 on any mismatch. */
+int
+runSmoke()
+{
+    const char *subset[] = {"conv2d", "unsharp", "2mm"};
+    const PerfVariant variants[] = {
+        {true, true}, {true, false}, {false, true}, {false, false}};
+    int failures = 0;
+    for (const char *name : subset) {
+        const driver::WorkloadSpec *w = driver::findWorkload(name);
+        if (!w) {
+            std::printf("FAIL %s: not in registry\n", name);
+            ++failures;
+            continue;
+        }
+        ir::Program p = w->make(w->defaults);
+        std::string reference;
+        bool ok = true;
+        for (const PerfVariant &v : variants) {
+            PerfMeasurement m = compileForPerf(*w, p, v, 1);
+            if (reference.empty())
+                reference = m.code;
+            else if (m.code != reference)
+                ok = false;
+        }
+        std::printf("%-10s cache on/off x rows inline/heap: %s\n",
+                    name, ok ? "byte-identical" : "MISMATCH");
+        failures += ok ? 0 : 1;
+    }
+    for (const Micro &m : runMicro(1))
+        printRow(m.name, {fmt(m.nsPerOp, "%.1f"), "ns/op"}, 12);
+    if (failures) {
+        std::printf("FAILED: %d cache-correctness mismatches\n",
+                    failures);
+        return 1;
+    }
+    std::printf("ok\n");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false, json = false;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--smoke"))
+            smoke = true;
+        else if (!std::strcmp(argv[i], "--json"))
+            json = true;
+        else {
+            std::fprintf(stderr,
+                         "usage: bench_presburger [--smoke] "
+                         "[--json]\n");
+            return 2;
+        }
+    }
+    if (smoke)
+        return runSmoke();
+
+    std::vector<Micro> micro = runMicro(4);
+    std::vector<PerfComparison> sweep = sweepRegistryPerf(3);
+    double geomean = geomeanSpeedup(sweep);
+    bool all_identical = true;
+    for (const auto &c : sweep)
+        all_identical = all_identical && c.identical();
+
+    if (json) {
+        std::string out = "{\"bench\": \"presburger\", ";
+        out += "\"jobs\": 1, \"micro\": [";
+        for (size_t i = 0; i < micro.size(); ++i) {
+            if (i)
+                out += ", ";
+            out += "{\"name\": \"" + std::string(micro[i].name) +
+                   "\", \"nsPerOp\": " +
+                   fmt(micro[i].nsPerOp, "%.2f") +
+                   ", \"iters\": " + std::to_string(micro[i].iters) +
+                   "}";
+        }
+        out += "], \"workloads\": [";
+        for (size_t i = 0; i < sweep.size(); ++i) {
+            if (i)
+                out += ", ";
+            out += perfComparisonJson(sweep[i]);
+        }
+        out += "], \"geomeanSpeedup\": " + fmt(geomean, "%.4f");
+        out += ", \"allIdentical\": ";
+        out += all_identical ? "true" : "false";
+        out += "}";
+        std::printf("%s\n", out.c_str());
+        return all_identical ? 0 : 1;
+    }
+
+    std::printf("=== Presburger microkernels ===\n");
+    for (const Micro &m : micro)
+        printRow(m.name, {fmt(m.nsPerOp, "%.1f"), "ns/op"}, 12);
+    std::printf("\n=== Registry A/B (baseline = heap rows + cache "
+                "off; best of 3) ===\n");
+    printRow("workload",
+             {"base ms", "opt ms", "speedup", "hit rate", "code"},
+             10);
+    for (const auto &c : sweep)
+        printRow(c.name,
+                 {fmt(c.baseline.ms), fmt(c.optimized.ms),
+                  fmt(c.speedup(), "%.2fx"),
+                  fmt(c.hitRate() * 100, "%.1f%%"),
+                  c.identical() ? "identical" : "MISMATCH"},
+                 10);
+    printRow("geomean", {"", "", fmt(geomean, "%.2fx")}, 10);
+    return all_identical ? 0 : 1;
+}

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Machine-readable perf baseline: run the Presburger microbenchmarks
+# and the registry-wide compile-time A/B sweep, writing
+#
+#   BENCH_presburger.json     microkernel ns/op + per-workload
+#                             baseline/optimized wall-ms, FM work and
+#                             cache hit rate
+#   BENCH_compile_time.json   registry compile-time sweep at --jobs 1
+#                             (the geomean-speedup trajectory number)
+#
+# at the repository root. Both benches compare the optimized
+# configuration (inline SmallVec rows + op cache) against the
+# baseline (forced-heap rows, cache off) in the same process and exit
+# nonzero when any workload's generated C differs — so this script
+# doubles as a correctness gate.
+#
+#   scripts/bench_to_json.sh [build-dir]      default: ./build
+#
+# See README.md ("Perf baseline") for the JSON schema.
+set -euo pipefail
+
+src="${POLYFUSE_SOURCE_DIR:-$(cd "$(dirname "$0")/.." && pwd)}"
+build="${1:-$src/build}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+if [ ! -f "$build/CMakeCache.txt" ]; then
+    cmake -B "$build" -S "$src"
+fi
+cmake --build "$build" -j "$jobs" \
+    --target bench_presburger bench_compile_time
+
+echo "== bench_presburger --json -> BENCH_presburger.json =="
+"$build/bench/bench_presburger" --json > "$src/BENCH_presburger.json"
+echo "== bench_compile_time --json -> BENCH_compile_time.json =="
+"$build/bench/bench_compile_time" --json \
+    > "$src/BENCH_compile_time.json"
+
+# Surface the headline number; the benches already failed the script
+# (set -e) if any workload's generated code mismatched.
+grep -o '"geomeanSpeedup": [0-9.]*' "$src/BENCH_compile_time.json"
+echo "== perf baseline written =="

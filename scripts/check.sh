@@ -20,6 +20,11 @@
 #                                  them directly (wired as the
 #                                  check_asan ctest; never invokes
 #                                  ctest itself)
+#   scripts/check.sh --bench-only  build + run the perf baseline
+#                                  (scripts/bench_to_json.sh), writing
+#                                  BENCH_presburger.json and
+#                                  BENCH_compile_time.json at the repo
+#                                  root
 #
 # All modes use their own build directories and leave ./build alone.
 set -euo pipefail
@@ -103,6 +108,10 @@ case "${1:-}" in
         exit 0
     fi
     asan_build_and_run
+    exit 0
+    ;;
+  --bench-only)
+    "$src/scripts/bench_to_json.sh" "$src/build-bench"
     exit 0
     ;;
 esac

@@ -69,7 +69,7 @@ freshStmtCtx(const GenCtx &ctx, int stmt_id)
     unsigned np = numParams(ctx);
     for (const auto &c : s.domain().constraints()) {
         Constraint row(c.isEq,
-                       std::vector<int64_t>(
+                       pres::CoeffRow(
                            ctx.numVars + sc.ndims + np + 1, 0));
         for (unsigned d = 0; d < sc.ndims; ++d)
             row.coeffs[ctx.numVars + d] = c.coeffs[d];
@@ -205,11 +205,11 @@ genBand(const NodePtr &band, GenCtx ctx, const GenOptions &options)
             if (tiled) {
                 int64_t size = band->tileSizes[k];
                 // size*v <= dim + shift <= size*v + size - 1.
-                Constraint lo(false, std::vector<int64_t>(ncols, 0));
+                Constraint lo(false, pres::CoeffRow(ncols, 0));
                 lo.coeffs[dim_col] = 1;
                 lo.coeffs[v] = -size;
                 lo.coeffs.back() = shift;
-                Constraint hi(false, std::vector<int64_t>(ncols, 0));
+                Constraint hi(false, pres::CoeffRow(ncols, 0));
                 hi.coeffs[dim_col] = -1;
                 hi.coeffs[v] = size;
                 hi.coeffs.back() = size - 1 - shift;
@@ -217,7 +217,7 @@ genBand(const NodePtr &band, GenCtx ctx, const GenOptions &options)
                 sc.rows.push_back(std::move(hi));
             } else {
                 // v == dim + shift.
-                Constraint eq(true, std::vector<int64_t>(ncols, 0));
+                Constraint eq(true, pres::CoeffRow(ncols, 0));
                 eq.coeffs[v] = 1;
                 eq.coeffs[dim_col] = -1;
                 eq.coeffs.back() = -shift;
@@ -285,7 +285,7 @@ genExtension(const NodePtr &node, GenCtx ctx, const GenOptions &options)
         // -> statement dim columns.
         for (const auto &c : piece.constraints()) {
             Constraint row(c.isEq,
-                           std::vector<int64_t>(
+                           pres::CoeffRow(
                                ctx.numVars + sc->ndims + np + 1, 0));
             for (unsigned i = 0; i < sp.numIn(); ++i)
                 row.coeffs[ctx.bandVars[i]] = c.coeffs[sp.inCol(i)];
@@ -360,7 +360,7 @@ genExtension(const NodePtr &node, GenCtx ctx, const GenOptions &options)
             unsigned total = ctx.numVars + nd + rank + np + 1;
             for (const auto &r : sc->rows) {
                 Constraint row(r.isEq,
-                               std::vector<int64_t>(total, 0));
+                               pres::CoeffRow(total, 0));
                 for (unsigned i = 0; i < ctx.numVars + nd; ++i)
                     row.coeffs[i] = r.coeffs[i];
                 for (unsigned p = 0; p < np + 1; ++p)
@@ -372,7 +372,7 @@ genExtension(const NodePtr &node, GenCtx ctx, const GenOptions &options)
             const pres::Space &asp = acc.rel.space();
             for (const auto &c : acc.rel.constraints()) {
                 Constraint row(c.isEq,
-                               std::vector<int64_t>(total, 0));
+                               pres::CoeffRow(total, 0));
                 for (unsigned i = 0; i < nd; ++i)
                     row.coeffs[ctx.numVars + i] =
                         c.coeffs[asp.inCol(i)];

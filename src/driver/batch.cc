@@ -23,6 +23,7 @@ runJob(const BatchJob &job, const BatchOptions &opts,
     try {
         failpoints::hit("driver.job." + job.name);
         CompileContext ctx;
+        ctx.setOpCacheEnabled(opts.useOpCache);
         ctx.budget = opts.budget;
         if (opts.timeoutMs > 0 &&
             (ctx.budget.wallMs == 0 ||
@@ -138,6 +139,10 @@ BatchResult::json() const
                    std::to_string(j.fm.eliminations);
             out += ", \"fmRows\": " +
                    std::to_string(j.fm.constraintsVisited);
+            out += ", \"cacheHits\": " +
+                   std::to_string(j.fm.cacheHits);
+            out += ", \"cacheMisses\": " +
+                   std::to_string(j.fm.cacheMisses);
             out += ", \"strategy\": \"" +
                    std::string(
                        strategyName(j.state.requestedStrategy)) +

@@ -17,6 +17,7 @@
 #define POLYFUSE_DRIVER_COMPILE_CONTEXT_HH
 
 #include "pres/fm.hh"
+#include "pres/op_cache.hh"
 #include "support/budget.hh"
 
 namespace polyfuse {
@@ -27,12 +28,32 @@ namespace driver {
  *  the pres context points at the owned cancellation token. */
 struct CompileContext
 {
-    CompileContext() { pres.cancel = &cancel; }
+    CompileContext()
+    {
+        pres.cancel = &cancel;
+        pres.cache = &opCache;
+    }
     CompileContext(const CompileContext &) = delete;
     CompileContext &operator=(const CompileContext &) = delete;
 
     /** Presburger-layer state (FM instrumentation + budget). */
     pres::fm::PresCtx pres;
+
+    /** Hash-consed operation cache for this compilation; wired into
+     *  the pres context (enabled by default). Pipeline::run clears it
+     *  at the start of every attempt so each run is deterministic and
+     *  independent of compilation history. */
+    pres::OpCache opCache;
+
+    /** Detach/attach the cache (the --no-op-cache baseline and the
+     *  equivalence tests use this; contents are preserved). */
+    void
+    setOpCacheEnabled(bool on)
+    {
+        pres.cache = on ? &opCache : nullptr;
+    }
+
+    bool opCacheEnabled() const { return pres.cache != nullptr; }
 
     /** Resource limits for runs against this context; all-zero means
      *  unlimited. Pipeline::run arms it per attempt. */

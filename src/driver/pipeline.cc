@@ -248,6 +248,13 @@ Pipeline::runOnce(const ir::Program &program, CompileContext &ctx,
     // codegen) charges its work to this run's context.
     pres::fm::ScopedCtx scope(ctx.pres);
 
+    // A fresh memoization table per attempt: results never leak
+    // between runs, so a compilation's output (and its FM counters,
+    // modulo cache hit/miss tallies) is a function of the program and
+    // options alone, no matter what this context compiled before.
+    if (ctx.pres.cache)
+        ctx.pres.cache->clear();
+
     Timer pipeline_timer;
     // Each pass is timed individually and reports the FM engine's
     // work (elimination/constraint deltas from the run's context) on
@@ -270,6 +277,19 @@ Pipeline::runOnce(const ir::Program &program, CompileContext &ctx,
                 "fm_rows", int64_t(after.constraintsVisited -
                                    before.constraintsVisited));
         }
+        if (after.cacheHits > before.cacheHits ||
+            after.cacheMisses > before.cacheMisses) {
+            ps.counters.emplace_back(
+                "cache_hits",
+                int64_t(after.cacheHits - before.cacheHits));
+            ps.counters.emplace_back(
+                "cache_misses",
+                int64_t(after.cacheMisses - before.cacheMisses));
+        }
+        if (after.cacheEvictions > before.cacheEvictions)
+            ps.counters.emplace_back(
+                "cache_evictions",
+                int64_t(after.cacheEvictions - before.cacheEvictions));
         st.stats.add(std::move(ps));
     };
 

@@ -58,6 +58,8 @@ usage(FILE *to)
         "  --parallelism N       1 = OpenMP CPU, 2 = GPU grid\n"
         "  --rows N / --cols N   workload size parameters\n"
         "  --no-promote          keep intermediates in DRAM\n"
+        "  --no-op-cache         disable the Presburger operation\n"
+        "                        cache (the uncached baseline)\n"
         "  --timeout-ms N        per-job wall-clock budget; over-\n"
         "                        budget jobs fall back to cheaper\n"
         "                        strategies (see --no-fallback)\n"
@@ -180,6 +182,7 @@ main(int argc, char **argv)
     double timeout_ms = 0;
     uint64_t budget_elims = 0;
     bool strict = false;
+    bool use_op_cache = true;
 
     auto value = [&](int &i) -> const char * {
         if (i + 1 >= argc) {
@@ -243,6 +246,8 @@ main(int argc, char **argv)
             cols_given = true;
         } else if (arg == "--no-promote") {
             opts.gen.promoteIntermediates = false;
+        } else if (arg == "--no-op-cache") {
+            use_op_cache = false;
         } else if (arg == "--timeout-ms") {
             char *end = nullptr;
             const char *v = value(i);
@@ -307,6 +312,7 @@ main(int argc, char **argv)
         bopts.jobsN = jobsN;
         bopts.timeoutMs = timeout_ms;
         bopts.budget.fmEliminations = budget_elims;
+        bopts.useOpCache = use_op_cache;
         return runAll(bopts, opts, tiles_given, params, rows_given,
                       cols_given, emit, strict);
     }
@@ -332,6 +338,7 @@ main(int argc, char **argv)
     ir::Program program = spec->make(params);
     driver::Pipeline pipeline(opts);
     driver::CompileContext ctx;
+    ctx.setOpCacheEnabled(use_op_cache);
     ctx.budget.wallMs = timeout_ms;
     ctx.budget.fmEliminations = budget_elims;
     driver::CompilationState state;

@@ -7,8 +7,10 @@
 #include "core/compose.hh"
 #include "memsim/cache.hh"
 #include "perfmodel/parallel.hh"
+#include "pres/op_cache.hh"
 #include "support/logging.hh"
 #include "support/thread_pool.hh"
+#include "support/timer.hh"
 
 namespace polyfuse {
 namespace perfmodel {
@@ -54,10 +56,14 @@ evaluate(const ir::Program &p, const deps::DependenceGraph &g,
     return modeledCpuMs(stats, mem.stats(), options.threads);
 }
 
-/** Enumerate every feasible candidate vector, in ladder order. */
+/**
+ * Enumerate every feasible candidate vector, in ladder order.
+ * @p limit is the hoisted maxExtent(p): the program never changes
+ * between candidates, so the tensor scan runs once per tuning call
+ * instead of once per recursion level.
+ */
 void
-enumerateCandidates(const ir::Program &p,
-                    const AutotuneOptions &options,
+enumerateCandidates(const AutotuneOptions &options, int64_t limit,
                     std::vector<int64_t> &current,
                     std::vector<std::vector<int64_t>> &out)
 {
@@ -65,12 +71,11 @@ enumerateCandidates(const ir::Program &p,
         out.push_back(current);
         return;
     }
-    int64_t limit = maxExtent(p);
     for (int64_t c : options.candidates) {
         if (c > limit)
             continue;
         current.push_back(c);
-        enumerateCandidates(p, options, current, out);
+        enumerateCandidates(options, limit, current, out);
         current.pop_back();
     }
 }
@@ -88,7 +93,8 @@ autotuneTileSizes(const ir::Program &program,
 
     std::vector<std::vector<int64_t>> candidates;
     std::vector<int64_t> current;
-    enumerateCandidates(program, options, current, candidates);
+    enumerateCandidates(options, maxExtent(program), current,
+                        candidates);
     if (candidates.empty())
         fatal("autotune: no feasible candidate (all larger than the "
               "iteration space)");
@@ -101,11 +107,34 @@ autotuneTileSizes(const ir::Program &program,
     std::vector<double> modeled(candidates.size(), 0.0);
     unsigned jobs = options.jobs == 0 ? ThreadPool::defaultThreads()
                                       : options.jobs;
+    AutotuneResult best;
+    Timer search_timer;
     if (jobs <= 1 || candidates.size() <= 1) {
-        for (size_t i = 0; i < candidates.size(); ++i)
+        // Sequential sweep: all candidates compile against one shared
+        // context with one op cache, so the dependence compositions
+        // and footprint projections every candidate re-derives are
+        // memoized across the ladder (the program never changes, only
+        // the tile sizes).
+        pres::fm::PresCtx shared;
+        pres::OpCache cache;
+        shared.cache = &cache;
+        pres::fm::ScopedCtx scope(shared);
+        double cold_ms = 0, warm_ms = 0;
+        for (size_t i = 0; i < candidates.size(); ++i) {
+            Timer t;
             modeled[i] =
                 evaluate(program, graph, candidates[i], init,
                          options);
+            (i == 0 ? cold_ms : warm_ms) += t.milliseconds();
+        }
+        best.cacheHits = shared.counters.cacheHits;
+        best.cacheMisses = shared.counters.cacheMisses;
+        if (candidates.size() > 1 && best.cacheHits > 0) {
+            double warm_avg = warm_ms / (candidates.size() - 1);
+            if (cold_ms > warm_avg)
+                best.savedMsEstimate =
+                    (cold_ms - warm_avg) * (candidates.size() - 1);
+        }
     } else {
         // Pool jobs must not throw; hold the first failure and
         // rethrow on the caller thread (matching the sequential
@@ -133,7 +162,7 @@ autotuneTileSizes(const ir::Program &program,
             std::rethrow_exception(failure);
     }
 
-    AutotuneResult best;
+    best.searchMs = search_timer.milliseconds();
     best.evaluated = unsigned(candidates.size());
     for (size_t i = 0; i < candidates.size(); ++i) {
         if (best.tileSizes.empty() || modeled[i] < best.modeledMs) {

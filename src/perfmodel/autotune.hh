@@ -51,6 +51,22 @@ struct AutotuneResult
     std::vector<int64_t> tileSizes;
     double modeledMs = 0;
     unsigned evaluated = 0;
+
+    /** Wall time of the candidate sweep (compile + simulate). */
+    double searchMs = 0;
+
+    /** Presburger op-cache traffic of the sweep. The sequential path
+     *  (jobs == 1) shares one cache across candidates, so repeated
+     *  dependence compositions are memoized; the parallel path
+     *  evaluates with per-thread contexts and reports zeros. */
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
+
+    /** Rough wall time the shared cache saved: (cold first candidate
+     *  - warm average) x warm candidates, clamped at zero. An
+     *  estimate -- candidates genuinely differ in cost -- but cheap,
+     *  and zero whenever the cache was off or never hit. */
+    double savedMsEstimate = 0;
 };
 
 /**

@@ -24,7 +24,9 @@
 namespace polyfuse {
 namespace pres {
 
-/** An affine expression: one coefficient per column of a Space. */
+/** An affine expression: one coefficient per column of a Space.
+ *  Stored as a CoeffRow, so building expressions allocates nothing
+ *  for the common column counts. */
 class LinExpr
 {
   public:
@@ -83,7 +85,7 @@ class LinExpr
         return e;
     }
 
-    const std::vector<int64_t> &coeffs() const { return coeffs_; }
+    const CoeffRow &coeffs() const { return coeffs_; }
 
     LinExpr
     operator+(const LinExpr &o) const
@@ -132,7 +134,7 @@ class LinExpr
             panic("LinExpr arity mismatch");
     }
 
-    std::vector<int64_t> coeffs_;
+    CoeffRow coeffs_;
 };
 
 /** lhs == rhs. */

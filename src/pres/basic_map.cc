@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "pres/fm.hh"
+#include "pres/op_cache.hh"
 #include "pres/printing.hh"
 #include "support/intmath.hh"
 #include "support/logging.hh"
@@ -46,7 +47,7 @@ BasicMap::markEmpty()
 {
     markedEmpty_ = true;
     cons_.clear();
-    Constraint c(false, std::vector<int64_t>(space_.numCols(), 0));
+    Constraint c(false, CoeffRow(space_.numCols(), 0));
     c.coeffs.back() = -1;
     cons_.push_back(std::move(c));
 }
@@ -61,7 +62,7 @@ BasicMap::identity(const Space &set_space)
                              set_space.outTuple(), n,
                              set_space.params()));
     for (unsigned i = 0; i < n; ++i) {
-        Constraint c(true, std::vector<int64_t>(m.space_.numCols(), 0));
+        Constraint c(true, CoeffRow(m.space_.numCols(), 0));
         c.coeffs[m.space_.inCol(i)] = 1;
         c.coeffs[m.space_.outCol(i)] = -1;
         m.cons_.push_back(std::move(c));
@@ -82,7 +83,7 @@ BasicMap::fromOutExprs(const std::string &in_tuple, unsigned in_dims,
         const auto &e = exprs[j];
         if (e.size() != in_dims + nparams + 1)
             panic("fromOutExprs: expression arity mismatch");
-        Constraint c(true, std::vector<int64_t>(m.space_.numCols(), 0));
+        Constraint c(true, CoeffRow(m.space_.numCols(), 0));
         c.coeffs[m.space_.outCol(j)] = -1;
         for (unsigned i = 0; i < in_dims; ++i)
             c.coeffs[m.space_.inCol(i)] = e[i];
@@ -116,14 +117,24 @@ BasicMap::isEmpty() const
 {
     if (markedEmpty_)
         return true;
+    fm::PresCtx &ctx = fm::activeCtx();
+    OpCache *cache = ctx.cache;
+    OpCache::Key key;
+    if (cache) {
+        key = OpCache::makeKey(Op::IsEmptyMap, *this);
+        if (const bool *cached = cache->findBool(ctx, key))
+            return *cached;
+    }
     std::vector<Constraint> rows = cons_;
     bool exact = true;
-    fm::PresCtx &ctx = fm::activeCtx();
     unsigned total = space_.numDims() + space_.numParams();
-    for (unsigned i = 0; i < total; ++i)
+    bool empty = false;
+    for (unsigned i = 0; i < total && !empty; ++i)
         if (!fm::eliminateCol(ctx, rows, 0, exact))
-            return true;
-    return false;
+            empty = true;
+    if (cache)
+        cache->storeBool(ctx, key, empty);
+    return empty;
 }
 
 BasicMap
@@ -145,7 +156,7 @@ BasicMap::alignParams(const std::vector<std::string> &params) const
     unsigned nd = space_.numDims();
     for (const auto &c : cons_) {
         Constraint nc(c.isEq,
-                      std::vector<int64_t>(out.space_.numCols(), 0));
+                      CoeffRow(out.space_.numCols(), 0));
         for (unsigned i = 0; i < nd; ++i)
             nc.coeffs[i] = c.coeffs[i];
         for (unsigned i = 0; i < space_.numParams(); ++i)
@@ -182,7 +193,7 @@ BasicMap::fixInDim(unsigned pos, int64_t value) const
     if (pos >= space_.numIn())
         panic("fixInDim out of range");
     BasicMap out = *this;
-    Constraint c(true, std::vector<int64_t>(space_.numCols(), 0));
+    Constraint c(true, CoeffRow(space_.numCols(), 0));
     c.coeffs[space_.inCol(pos)] = 1;
     c.coeffs.back() = -value;
     out.cons_.push_back(std::move(c));
@@ -206,6 +217,14 @@ BasicMap::intersect(const BasicMap &other) const
     if (!space_.sameTuples(other.space_))
         panic("BasicMap::intersect tuple mismatch: " + space_.str() +
               " vs " + other.space_.str());
+    fm::PresCtx &cctx = fm::activeCtx();
+    OpCache *cache = cctx.cache;
+    OpCache::Key key;
+    if (cache) {
+        key = OpCache::makeKey(Op::IntersectMap, *this, other);
+        if (const BasicMap *cached = cache->findMap(cctx, key))
+            return *cached;
+    }
     auto params = mergeParams(space_.params(), other.space_.params());
     BasicMap a = alignParams(params);
     BasicMap b = other.alignParams(params);
@@ -214,6 +233,8 @@ BasicMap::intersect(const BasicMap &other) const
         a.cons_.push_back(c);
     a.markedEmpty_ = markedEmpty_ || other.markedEmpty_;
     a.simplify();
+    if (cache)
+        cache->storeMap(cctx, key, a);
     return a;
 }
 
@@ -223,6 +244,14 @@ BasicMap::intersectDomain(const BasicSet &set) const
     if (set.space().outTuple() != space_.inTuple() ||
         set.space().numOut() != space_.numIn())
         panic("intersectDomain tuple mismatch");
+    fm::PresCtx &cctx = fm::activeCtx();
+    OpCache *cache = cctx.cache;
+    OpCache::Key key;
+    if (cache) {
+        key = OpCache::makeKey(Op::IntersectDomain, *this, set);
+        if (const BasicMap *cached = cache->findMap(cctx, key))
+            return *cached;
+    }
     auto params = mergeParams(space_.params(), set.space().params());
     BasicMap a = alignParams(params);
     BasicSet b = set.alignParams(params);
@@ -230,7 +259,7 @@ BasicMap::intersectDomain(const BasicSet &set) const
     for (const auto &c : b.constraints()) {
         // Widen set columns [dims, params, 1] to map columns.
         Constraint nc(c.isEq,
-                      std::vector<int64_t>(a.space_.numCols(), 0));
+                      CoeffRow(a.space_.numCols(), 0));
         for (unsigned i = 0; i < space_.numIn(); ++i)
             nc.coeffs[a.space_.inCol(i)] = c.coeffs[i];
         for (unsigned p = 0; p < params.size(); ++p)
@@ -241,6 +270,8 @@ BasicMap::intersectDomain(const BasicSet &set) const
     }
     a.markedEmpty_ = markedEmpty_ || set.markedEmpty();
     a.simplify();
+    if (cache)
+        cache->storeMap(cctx, key, a);
     return a;
 }
 
@@ -250,13 +281,21 @@ BasicMap::intersectRange(const BasicSet &set) const
     if (set.space().outTuple() != space_.outTuple() ||
         set.space().numOut() != space_.numOut())
         panic("intersectRange tuple mismatch");
+    fm::PresCtx &cctx = fm::activeCtx();
+    OpCache *cache = cctx.cache;
+    OpCache::Key key;
+    if (cache) {
+        key = OpCache::makeKey(Op::IntersectRange, *this, set);
+        if (const BasicMap *cached = cache->findMap(cctx, key))
+            return *cached;
+    }
     auto params = mergeParams(space_.params(), set.space().params());
     BasicMap a = alignParams(params);
     BasicSet b = set.alignParams(params);
     a.exact_ = exact_ && set.wasExact();
     for (const auto &c : b.constraints()) {
         Constraint nc(c.isEq,
-                      std::vector<int64_t>(a.space_.numCols(), 0));
+                      CoeffRow(a.space_.numCols(), 0));
         for (unsigned i = 0; i < space_.numOut(); ++i)
             nc.coeffs[a.space_.outCol(i)] = c.coeffs[i];
         for (unsigned p = 0; p < params.size(); ++p)
@@ -267,12 +306,22 @@ BasicMap::intersectRange(const BasicSet &set) const
     }
     a.markedEmpty_ = markedEmpty_ || set.markedEmpty();
     a.simplify();
+    if (cache)
+        cache->storeMap(cctx, key, a);
     return a;
 }
 
 BasicMap
 BasicMap::reverse() const
 {
+    fm::PresCtx &cctx = fm::activeCtx();
+    OpCache *cache = cctx.cache;
+    OpCache::Key key;
+    if (cache) {
+        key = OpCache::makeKey(Op::Reverse, *this);
+        if (const BasicMap *cached = cache->findMap(cctx, key))
+            return *cached;
+    }
     BasicMap out(space_.reversed());
     out.exact_ = exact_;
     out.markedEmpty_ = markedEmpty_;
@@ -280,7 +329,7 @@ BasicMap::reverse() const
     unsigned no = space_.numOut();
     for (const auto &c : cons_) {
         Constraint nc(c.isEq,
-                      std::vector<int64_t>(c.coeffs.size(), 0));
+                      CoeffRow(c.coeffs.size(), 0));
         for (unsigned i = 0; i < no; ++i)
             nc.coeffs[i] = c.coeffs[ni + i];
         for (unsigned i = 0; i < ni; ++i)
@@ -289,16 +338,25 @@ BasicMap::reverse() const
             nc.coeffs[i] = c.coeffs[i];
         out.cons_.push_back(std::move(nc));
     }
+    if (cache)
+        cache->storeMap(cctx, key, out);
     return out;
 }
 
 BasicSet
 BasicMap::domain() const
 {
+    fm::PresCtx &ctx = fm::activeCtx();
+    OpCache *cache = ctx.cache;
+    OpCache::Key key;
+    if (cache) {
+        key = OpCache::makeKey(Op::Domain, *this);
+        if (const BasicSet *cached = cache->findSet(ctx, key))
+            return *cached;
+    }
     // Project out the output dims.
     std::vector<Constraint> rows = cons_;
     bool exact = true;
-    fm::PresCtx &ctx = fm::activeCtx();
     bool empty = markedEmpty_;
     for (unsigned i = 0; i < space_.numOut() && !empty; ++i) {
         unsigned col = space_.numIn() + space_.numOut() - 1 - i;
@@ -306,34 +364,45 @@ BasicMap::domain() const
             empty = true;
     }
     Space sp = space_.domainSpace();
-    if (empty)
-        return BasicSet::makeEmpty(sp);
-    BasicSet out(sp);
-    for (auto &r : rows)
-        out.addConstraint(r);
-    out.exact_ = exact_ && exact;
+    BasicSet out = empty ? BasicSet::makeEmpty(sp) : BasicSet(sp);
+    if (!empty) {
+        for (auto &r : rows)
+            out.addConstraint(r);
+        out.exact_ = exact_ && exact;
+    }
+    if (cache)
+        cache->storeSet(ctx, key, out);
     return out;
 }
 
 BasicSet
 BasicMap::range() const
 {
+    fm::PresCtx &ctx = fm::activeCtx();
+    OpCache *cache = ctx.cache;
+    OpCache::Key key;
+    if (cache) {
+        key = OpCache::makeKey(Op::Range, *this);
+        if (const BasicSet *cached = cache->findSet(ctx, key))
+            return *cached;
+    }
     std::vector<Constraint> rows = cons_;
     bool exact = true;
-    fm::PresCtx &ctx = fm::activeCtx();
     bool empty = markedEmpty_;
     for (unsigned i = 0; i < space_.numIn() && !empty; ++i)
         if (!fm::eliminateCol(ctx, rows, 0, exact))
             empty = true;
     Space sp = space_.rangeSpace();
-    if (empty)
-        return BasicSet::makeEmpty(sp);
-    BasicSet out(sp);
-    for (auto &r : rows)
-        out.addConstraint(r);
-    out.exact_ = exact_ && exact;
-    if (!out.exact_)
-        warn("BasicMap::range over-approximated (non-unit FM)");
+    BasicSet out = empty ? BasicSet::makeEmpty(sp) : BasicSet(sp);
+    if (!empty) {
+        for (auto &r : rows)
+            out.addConstraint(r);
+        out.exact_ = exact_ && exact;
+        if (!out.exact_)
+            warn("BasicMap::range over-approximated (non-unit FM)");
+    }
+    if (cache)
+        cache->storeSet(ctx, key, out);
     return out;
 }
 
@@ -344,6 +413,14 @@ BasicMap::compose(const BasicMap &g) const
         space_.numOut() != g.space().numIn())
         panic("compose: mid tuple mismatch " + space_.str() + " then " +
               g.space().str());
+    fm::PresCtx &cctx = fm::activeCtx();
+    OpCache *cache = cctx.cache;
+    OpCache::Key key;
+    if (cache) {
+        key = OpCache::makeKey(Op::Compose, *this, g);
+        if (const BasicMap *cached = cache->findMap(cctx, key))
+            return *cached;
+    }
     auto params = mergeParams(space_.params(), g.space().params());
     BasicMap a = alignParams(params);
     BasicMap b = g.alignParams(params);
@@ -357,7 +434,7 @@ BasicMap::compose(const BasicMap &g) const
     std::vector<Constraint> rows;
     // Rows of this: [A, B] -> [A, B, C].
     for (const auto &c : a.cons_) {
-        Constraint r(c.isEq, std::vector<int64_t>(total_cols, 0));
+        Constraint r(c.isEq, CoeffRow(total_cols, 0));
         for (unsigned i = 0; i < na + nb; ++i)
             r.coeffs[i] = c.coeffs[i];
         for (unsigned i = 0; i < np + 1; ++i)
@@ -366,7 +443,7 @@ BasicMap::compose(const BasicMap &g) const
     }
     // Rows of g: [B, C] -> [A, B, C].
     for (const auto &c : b.cons_) {
-        Constraint r(c.isEq, std::vector<int64_t>(total_cols, 0));
+        Constraint r(c.isEq, CoeffRow(total_cols, 0));
         for (unsigned i = 0; i < nb + nc; ++i)
             r.coeffs[na + i] = c.coeffs[i];
         for (unsigned i = 0; i < np + 1; ++i)
@@ -383,11 +460,13 @@ BasicMap::compose(const BasicMap &g) const
 
     Space sp = Space::forMap(space_.inTuple(), na, g.space().outTuple(),
                              nc, params);
-    if (empty)
-        return BasicMap::makeEmpty(sp);
-    BasicMap out(sp);
-    out.cons_ = std::move(rows);
-    out.exact_ = exact_ && g.exact_ && exact;
+    BasicMap out = empty ? BasicMap::makeEmpty(sp) : BasicMap(sp);
+    if (!empty) {
+        out.cons_ = std::move(rows);
+        out.exact_ = exact_ && g.exact_ && exact;
+    }
+    if (cache)
+        cache->storeMap(cctx, key, out);
     return out;
 }
 
@@ -402,13 +481,21 @@ BasicMap::deltas() const
 {
     if (space_.numIn() != space_.numOut())
         panic("deltas: arity mismatch");
+    fm::PresCtx &cctx = fm::activeCtx();
+    OpCache *cache = cctx.cache;
+    OpCache::Key key;
+    if (cache) {
+        key = OpCache::makeKey(Op::Deltas, *this);
+        if (const BasicSet *cached = cache->findSet(cctx, key))
+            return *cached;
+    }
     unsigned n = space_.numIn();
     unsigned np = space_.numParams();
     unsigned total = 2 * n + n + np + 1; // [in, out, delta, params, 1]
 
     std::vector<Constraint> rows;
     for (const auto &c : cons_) {
-        Constraint r(c.isEq, std::vector<int64_t>(total, 0));
+        Constraint r(c.isEq, CoeffRow(total, 0));
         for (unsigned i = 0; i < 2 * n; ++i)
             r.coeffs[i] = c.coeffs[i];
         for (unsigned i = 0; i < np + 1; ++i)
@@ -417,7 +504,7 @@ BasicMap::deltas() const
     }
     // delta[i] == out[i] - in[i].
     for (unsigned i = 0; i < n; ++i) {
-        Constraint r(true, std::vector<int64_t>(total, 0));
+        Constraint r(true, CoeffRow(total, 0));
         r.coeffs[2 * n + i] = 1;
         r.coeffs[n + i] = -1;
         r.coeffs[i] = 1;
@@ -425,19 +512,20 @@ BasicMap::deltas() const
     }
 
     bool exact = true;
-    fm::PresCtx &ctx = fm::activeCtx();
     bool empty = markedEmpty_;
     for (unsigned i = 0; i < 2 * n && !empty; ++i)
-        if (!fm::eliminateCol(ctx, rows, 0, exact))
+        if (!fm::eliminateCol(cctx, rows, 0, exact))
             empty = true;
 
     Space sp = Space::forSet("delta", n, space_.params());
-    if (empty)
-        return BasicSet::makeEmpty(sp);
-    BasicSet out(sp);
-    for (auto &r : rows)
-        out.addConstraint(r);
-    out.exact_ = exact_ && exact;
+    BasicSet out = empty ? BasicSet::makeEmpty(sp) : BasicSet(sp);
+    if (!empty) {
+        for (auto &r : rows)
+            out.addConstraint(r);
+        out.exact_ = exact_ && exact;
+    }
+    if (cache)
+        cache->storeSet(cctx, key, out);
     return out;
 }
 
@@ -460,15 +548,29 @@ BasicMap::outDimBounds(unsigned j, std::vector<DivBound> &lowers,
 {
     if (j >= space_.numOut())
         panic("outDimBounds out of range");
+    fm::PresCtx &ctx = fm::activeCtx();
+    OpCache *cache = ctx.cache;
+    OpCache::Key key;
+    if (cache) {
+        key = OpCache::makeKey(Op::OutDimBounds, *this, uint64_t(j));
+        if (const OpCache::BoundsValue *cached =
+                cache->findBounds(ctx, key)) {
+            lowers = cached->lowers;
+            uppers = cached->uppers;
+            return cached->ok;
+        }
+    }
     std::vector<Constraint> rows = cons_;
     bool exact = true;
-    fm::PresCtx &ctx = fm::activeCtx();
     // Eliminate all output dims except j, from the highest down.
     for (unsigned i = space_.numOut(); i-- > 0;) {
         if (i == j)
             continue;
         if (!fm::eliminateCol(ctx, rows, space_.numIn() + i, exact))
-            return false; // Empty: no bounds to report.
+            // Empty: no bounds to report. Not cached -- the uncached
+            // path leaves the out-params untouched here, and a cached
+            // replay must not differ observably.
+            return false;
     }
     // j is the only remaining out dim after the eliminations above.
     unsigned jcol = space_.numIn();
@@ -509,7 +611,10 @@ BasicMap::outDimBounds(unsigned j, std::vector<DivBound> &lowers,
             uppers.push_back(std::move(b));
         }
     }
-    return !lowers.empty() && !uppers.empty();
+    bool ok = !lowers.empty() && !uppers.empty();
+    if (cache)
+        cache->storeBounds(ctx, key, {ok, lowers, uppers});
+    return ok;
 }
 
 std::string

@@ -26,7 +26,7 @@ namespace pres {
  */
 struct DivBound
 {
-    std::vector<int64_t> coeffs; ///< over [in dims, params, 1]
+    CoeffRow coeffs; ///< over [in dims, params, 1]
     int64_t div = 1;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "pres/fm.hh"
+#include "pres/op_cache.hh"
 #include "pres/printing.hh"
 #include "support/intmath.hh"
 #include "support/logging.hh"
@@ -33,7 +34,7 @@ BasicSet::markEmpty()
     cons_.clear();
     // 0 >= 1 is unsatisfiable; keeps derived operations empty even if
     // a caller ignores markedEmpty().
-    Constraint c(false, std::vector<int64_t>(space_.numCols(), 0));
+    Constraint c(false, CoeffRow(space_.numCols(), 0));
     c.coeffs.back() = -1;
     cons_.push_back(std::move(c));
 }
@@ -76,7 +77,7 @@ BasicSet::alignParams(const std::vector<std::string> &params) const
     out.markedEmpty_ = markedEmpty_;
     unsigned nd = space_.numDims();
     for (const auto &c : cons_) {
-        Constraint nc(c.isEq, std::vector<int64_t>(out.space_.numCols(),
+        Constraint nc(c.isEq, CoeffRow(out.space_.numCols(),
                                                    0));
         for (unsigned i = 0; i < nd; ++i)
             nc.coeffs[i] = c.coeffs[i];
@@ -110,6 +111,14 @@ BasicSet::intersect(const BasicSet &other) const
     if (!space_.sameTuples(other.space_))
         panic("intersect: tuple mismatch " + space_.str() + " vs " +
               other.space_.str());
+    fm::PresCtx &cctx = fm::activeCtx();
+    OpCache *cache = cctx.cache;
+    OpCache::Key key;
+    if (cache) {
+        key = OpCache::makeKey(Op::IntersectSet, *this, other);
+        if (const BasicSet *cached = cache->findSet(cctx, key))
+            return *cached;
+    }
     auto params = mergeParams(space_.params(), other.space_.params());
     BasicSet a = alignParams(params);
     BasicSet b = other.alignParams(params);
@@ -118,6 +127,8 @@ BasicSet::intersect(const BasicSet &other) const
         a.cons_.push_back(c);
     a.markedEmpty_ = markedEmpty_ || other.markedEmpty_;
     a.simplify();
+    if (cache)
+        cache->storeSet(cctx, key, a);
     return a;
 }
 
@@ -126,23 +137,31 @@ BasicSet::projectOut(unsigned first, unsigned n) const
 {
     if (first + n > space_.numOut())
         panic("projectOut out of range");
+    fm::PresCtx &ctx = fm::activeCtx();
+    OpCache *cache = ctx.cache;
+    OpCache::Key key;
+    if (cache) {
+        key = OpCache::makeKey(Op::ProjectOut, *this, first, n);
+        if (const BasicSet *cached = cache->findSet(ctx, key))
+            return *cached;
+    }
     BasicSet out = *this;
     bool exact = true;
-    fm::PresCtx &ctx = fm::activeCtx();
+    bool empty = false;
     // Eliminate from the highest column down so indices stay valid.
-    for (unsigned i = 0; i < n; ++i) {
+    for (unsigned i = 0; i < n && !empty; ++i) {
         unsigned col = first + n - 1 - i;
-        if (!fm::eliminateCol(ctx, out.cons_, col, exact)) {
-            out.space_ =
-                Space::forSet(space_.outTuple(), space_.numOut() - n,
-                              space_.params());
-            out.markEmpty();
-            return out;
-        }
+        if (!fm::eliminateCol(ctx, out.cons_, col, exact))
+            empty = true;
     }
     out.space_ = Space::forSet(space_.outTuple(), space_.numOut() - n,
                                space_.params());
-    out.exact_ = exact_ && exact;
+    if (empty)
+        out.markEmpty();
+    else
+        out.exact_ = exact_ && exact;
+    if (cache)
+        cache->storeSet(ctx, key, out);
     return out;
 }
 
@@ -151,15 +170,25 @@ BasicSet::isEmpty() const
 {
     if (markedEmpty_)
         return true;
+    fm::PresCtx &ctx = fm::activeCtx();
+    OpCache *cache = ctx.cache;
+    OpCache::Key key;
+    if (cache) {
+        key = OpCache::makeKey(Op::IsEmptySet, *this);
+        if (const bool *cached = cache->findBool(ctx, key))
+            return *cached;
+    }
     std::vector<Constraint> rows = cons_;
     bool exact = true;
-    fm::PresCtx &ctx = fm::activeCtx();
     unsigned total = space_.numDims() + space_.numParams();
-    for (unsigned i = 0; i < total; ++i)
+    bool empty = false;
+    for (unsigned i = 0; i < total && !empty; ++i)
         if (!fm::eliminateCol(ctx, rows, 0, exact))
-            return true;
+            empty = true;
     // Whatever remains is constant rows already verified feasible.
-    return false;
+    if (cache)
+        cache->storeBool(ctx, key, empty);
+    return empty;
 }
 
 BasicSet
@@ -187,7 +216,7 @@ BasicSet::fixDim(unsigned pos, int64_t value) const
     if (pos >= space_.numOut())
         panic("fixDim out of range");
     BasicSet out = *this;
-    Constraint c(true, std::vector<int64_t>(space_.numCols(), 0));
+    Constraint c(true, CoeffRow(space_.numCols(), 0));
     c.coeffs[space_.outCol(pos)] = 1;
     c.coeffs.back() = -value;
     out.cons_.push_back(std::move(c));

@@ -7,6 +7,11 @@
  *
  *     coeffs . (dims, params, 1)  ==  0      (equality)
  *     coeffs . (dims, params, 1)  >=  0      (inequality)
+ *
+ * Rows are the compiler's hottest data structure: Fourier-Motzkin
+ * creates and destroys them by the million, so the coefficients live
+ * in a SmallVec with inline storage (see support/small_vec.hh) and a
+ * typical row costs no heap allocation at all.
  */
 
 #ifndef POLYFUSE_PRES_CONSTRAINT_HH
@@ -14,32 +19,57 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <initializer_list>
 #include <vector>
+
+#include "support/small_vec.hh"
 
 namespace polyfuse {
 namespace pres {
+
+/**
+ * One constraint row's coefficients. 12 inline columns cover
+ * dims + params + constant for every registry workload's common
+ * systems; wider rows (joins over three tuples, deltas of deep
+ * loop nests) spill to the heap transparently.
+ */
+using CoeffRow = support::SmallVec<int64_t, 12>;
 
 /** One affine equality or inequality row. */
 struct Constraint
 {
     bool isEq = false;
-    std::vector<int64_t> coeffs;
+    CoeffRow coeffs;
 
     Constraint() = default;
-    Constraint(bool is_eq, std::vector<int64_t> c)
+    Constraint(bool is_eq, CoeffRow c)
         : isEq(is_eq), coeffs(std::move(c)) {}
+    Constraint(bool is_eq, const std::vector<int64_t> &c)
+        : isEq(is_eq), coeffs(c.begin(), c.end()) {}
+    Constraint(bool is_eq, std::initializer_list<int64_t> c)
+        : isEq(is_eq), coeffs(c) {}
 
-    /** True when every variable/parameter coefficient is zero. */
+    /** True when every variable/parameter coefficient is zero.
+     *  An empty row (no columns, not even a constant) is vacuously
+     *  constant; constant() then reports 0 rather than reading past
+     *  the buffer. */
     bool
     isConstant() const
     {
+        if (coeffs.empty())
+            return true;
         for (size_t i = 0; i + 1 < coeffs.size(); ++i)
             if (coeffs[i] != 0)
                 return false;
         return true;
     }
 
-    int64_t constant() const { return coeffs.back(); }
+    /** The constant column; 0 for an empty row (see isConstant). */
+    int64_t
+    constant() const
+    {
+        return coeffs.empty() ? 0 : coeffs.back();
+    }
 
     bool
     operator==(const Constraint &o) const

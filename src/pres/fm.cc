@@ -1,9 +1,10 @@
 #include "pres/fm.hh"
 
 #include <algorithm>
-#include <map>
 #include <string>
+#include <unordered_map>
 
+#include "pres/row_hash.hh"
 #include "support/failpoint.hh"
 #include "support/intmath.hh"
 #include "support/logging.hh"
@@ -185,7 +186,11 @@ simplifyRows(PresCtx &ctx, std::vector<Constraint> &rows)
 
     // Group by variable-coefficient vector (all but the constant).
     // Key: (coeff prefix); track best eq/ineq constants for the key and
-    // its negation to merge opposite inequalities.
+    // its negation to merge opposite inequalities. The grouping is a
+    // hash table over the row-prefix hashes (shared with the op
+    // cache), so dedup costs one hash per row instead of a tree of
+    // lexicographic vector comparisons; determinism comes from the
+    // final sort of the emitted rows, not from group order.
     struct Best
     {
         bool hasEq = false;
@@ -194,15 +199,24 @@ simplifyRows(PresCtx &ctx, std::vector<Constraint> &rows)
         int64_t ineqConst = 0; // smallest constant == tightest bound
     };
     auto keyOf = [](const Constraint &c) {
-        return std::vector<int64_t>(c.coeffs.begin(), c.coeffs.end() - 1);
+        return CoeffRow(c.coeffs.begin(), c.coeffs.end() - 1);
     };
-    auto negKey = [](std::vector<int64_t> key) {
+    auto negKey = [](CoeffRow key) {
         for (auto &v : key)
             v = -v;
         return key;
     };
+    struct PrefixHash
+    {
+        size_t
+        operator()(const CoeffRow &k) const
+        {
+            return size_t(hashCoeffs(k.data(), k.size()));
+        }
+    };
 
-    std::map<std::vector<int64_t>, Best> groups;
+    std::unordered_map<CoeffRow, Best, PrefixHash> groups;
+    groups.reserve(kept.size() * 2);
     for (auto &row : kept) {
         auto key = keyOf(row);
         Best &best = groups[key];
@@ -405,7 +419,7 @@ eliminateCol(PresCtx &ctx, std::vector<Constraint> &rows,
                 if (a != 1 && b != 1)
                     exact = false; // Real shadow only.
                 Constraint combo(false,
-                    std::vector<int64_t>(lo.coeffs.size(), 0));
+                                 CoeffRow(lo.coeffs.size(), 0));
                 for (size_t i = 0; i < combo.coeffs.size(); ++i)
                     combo.coeffs[i] =
                         checkedAdd(checkedMul(b, lo.coeffs[i]),

@@ -29,24 +29,35 @@
 
 namespace polyfuse {
 namespace pres {
+
+class OpCache;
+
 namespace fm {
 
 /**
  * Cumulative instrumentation of the FM engine, feeding the driver's
  * per-pass reporting: how many columns were projected out and how
- * many constraint rows those projections visited. Owned by a PresCtx;
- * callers snapshot before/after a phase and report the delta.
+ * many constraint rows those projections visited, plus the hash-
+ * consed operation cache's hit/miss/eviction totals (zero when no
+ * cache is attached). Owned by a PresCtx; callers snapshot
+ * before/after a phase and report the delta.
  */
 struct Counters
 {
     uint64_t eliminations = 0;       ///< eliminateCol() invocations
     uint64_t constraintsVisited = 0; ///< rows alive at elimination
+    uint64_t cacheHits = 0;          ///< OpCache lookups satisfied
+    uint64_t cacheMisses = 0;        ///< OpCache lookups computed
+    uint64_t cacheEvictions = 0;     ///< entries dropped by the cache
 
     Counters &
     operator+=(const Counters &o)
     {
         eliminations += o.eliminations;
         constraintsVisited += o.constraintsVisited;
+        cacheHits += o.cacheHits;
+        cacheMisses += o.cacheMisses;
+        cacheEvictions += o.cacheEvictions;
         return *this;
     }
 };
@@ -78,6 +89,13 @@ struct PresCtx
     /** Cancellation observed by every cooperative check; non-owning,
      *  may be null (the driver's CompileContext wires its token). */
     const CancelToken *cancel = nullptr;
+
+    /** Hash-consed operation cache consulted by the BasicSet/BasicMap
+     *  binary operations; non-owning, null disables memoization (the
+     *  driver's CompileContext owns and wires one; the thread-default
+     *  context has none, so context-free callers keep the exact
+     *  uncached behaviour). */
+    OpCache *cache = nullptr;
 
     /** Arm @p budget: ceilings apply to the work done from now on
      *  (counter baselines are snapshotted; the wall deadline starts

@@ -1,0 +1,279 @@
+#include "pres/op_cache.hh"
+
+#include <string>
+
+#include "pres/row_hash.hh"
+
+namespace polyfuse {
+namespace pres {
+
+namespace {
+
+// Second-fingerprint seed: any constant with good bit dispersion that
+// differs from kFnvOffset works; golden-ratio bits are traditional.
+constexpr uint64_t kSeed2 = 0x9e3779b97f4a7c15ull;
+
+uint64_t
+mixStr(uint64_t h, const std::string &s)
+{
+    h = fnvMix(h, uint64_t(s.size()));
+    for (char c : s) {
+        h ^= uint8_t(c);
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+uint64_t
+mixSpace(uint64_t h, const Space &sp)
+{
+    h = fnvMix(h, sp.isMap() ? 1 : 0);
+    h = mixStr(h, sp.inTuple());
+    h = mixStr(h, sp.outTuple());
+    h = fnvMix(h, sp.numIn());
+    h = fnvMix(h, sp.numOut());
+    h = fnvMix(h, sp.numParams());
+    for (const auto &p : sp.params())
+        h = mixStr(h, p);
+    return h;
+}
+
+uint64_t
+mixRows(uint64_t h, const std::vector<Constraint> &rows)
+{
+    h = fnvMix(h, uint64_t(rows.size()));
+    for (const auto &r : rows)
+        h = hashRow(r, h);
+    return h;
+}
+
+uint64_t
+fpMap(const BasicMap &m, uint64_t seed)
+{
+    uint64_t h = mixSpace(seed, m.space());
+    h = fnvMix(h, m.wasExact() ? 1 : 0);
+    h = fnvMix(h, m.markedEmpty() ? 1 : 0);
+    return hashFinalize(mixRows(h, m.constraints()));
+}
+
+uint64_t
+fpSet(const BasicSet &s, uint64_t seed)
+{
+    uint64_t h = mixSpace(seed, s.space());
+    h = fnvMix(h, s.wasExact() ? 1 : 0);
+    h = fnvMix(h, s.markedEmpty() ? 1 : 0);
+    return hashFinalize(mixRows(h, s.constraints()));
+}
+
+uint64_t
+opSeed(Op op, uint64_t seed)
+{
+    return fnvMix(seed, uint64_t(op));
+}
+
+/** Per-entry byte estimate for the arena proxy: rows + key + node. */
+uint64_t
+rowsBytes(const std::vector<Constraint> &rows)
+{
+    uint64_t b = sizeof(OpCache::Key) + 2 * sizeof(void *);
+    for (const auto &r : rows)
+        b += sizeof(Constraint) + r.coeffs.size() * sizeof(int64_t);
+    return b;
+}
+
+uint64_t
+boundsBytes(const OpCache::BoundsValue &v)
+{
+    uint64_t b = sizeof(OpCache::Key) + 2 * sizeof(void *);
+    for (const auto &d : v.lowers)
+        b += sizeof(DivBound) + d.coeffs.size() * sizeof(int64_t);
+    for (const auto &d : v.uppers)
+        b += sizeof(DivBound) + d.coeffs.size() * sizeof(int64_t);
+    return b;
+}
+
+} // namespace
+
+OpCache::Key
+OpCache::makeKey(Op op, const BasicMap &a)
+{
+    return {fpMap(a, opSeed(op, kFnvOffset)),
+            fpMap(a, opSeed(op, kSeed2))};
+}
+
+OpCache::Key
+OpCache::makeKey(Op op, const BasicMap &a, const BasicMap &b)
+{
+    return {fpMap(b, fpMap(a, opSeed(op, kFnvOffset))),
+            fpMap(b, fpMap(a, opSeed(op, kSeed2)))};
+}
+
+OpCache::Key
+OpCache::makeKey(Op op, const BasicMap &a, const BasicSet &b)
+{
+    return {fpSet(b, fpMap(a, opSeed(op, kFnvOffset))),
+            fpSet(b, fpMap(a, opSeed(op, kSeed2)))};
+}
+
+OpCache::Key
+OpCache::makeKey(Op op, const BasicMap &a, uint64_t arg)
+{
+    return {fnvMix(fpMap(a, opSeed(op, kFnvOffset)), arg),
+            fnvMix(fpMap(a, opSeed(op, kSeed2)), arg)};
+}
+
+OpCache::Key
+OpCache::makeKey(Op op, const BasicSet &a)
+{
+    return {fpSet(a, opSeed(op, kFnvOffset)),
+            fpSet(a, opSeed(op, kSeed2))};
+}
+
+OpCache::Key
+OpCache::makeKey(Op op, const BasicSet &a, const BasicSet &b)
+{
+    return {fpSet(b, fpSet(a, opSeed(op, kFnvOffset))),
+            fpSet(b, fpSet(a, opSeed(op, kSeed2)))};
+}
+
+OpCache::Key
+OpCache::makeKey(Op op, const BasicSet &a, uint64_t arg0,
+                 uint64_t arg1)
+{
+    return {fnvMix(fnvMix(fpSet(a, opSeed(op, kFnvOffset)), arg0),
+                   arg1),
+            fnvMix(fnvMix(fpSet(a, opSeed(op, kSeed2)), arg0), arg1)};
+}
+
+void
+OpCache::hit(fm::PresCtx &ctx)
+{
+    ++stats_.hits;
+    ++ctx.counters.cacheHits;
+}
+
+void
+OpCache::miss(fm::PresCtx &ctx)
+{
+    ++stats_.misses;
+    ++ctx.counters.cacheMisses;
+}
+
+const BasicMap *
+OpCache::findMap(fm::PresCtx &ctx, const Key &k)
+{
+    auto it = maps_.find(k);
+    if (it == maps_.end()) {
+        miss(ctx);
+        return nullptr;
+    }
+    hit(ctx);
+    return &it->second;
+}
+
+const BasicSet *
+OpCache::findSet(fm::PresCtx &ctx, const Key &k)
+{
+    auto it = sets_.find(k);
+    if (it == sets_.end()) {
+        miss(ctx);
+        return nullptr;
+    }
+    hit(ctx);
+    return &it->second;
+}
+
+const bool *
+OpCache::findBool(fm::PresCtx &ctx, const Key &k)
+{
+    auto it = bools_.find(k);
+    if (it == bools_.end()) {
+        miss(ctx);
+        return nullptr;
+    }
+    hit(ctx);
+    return &it->second;
+}
+
+const OpCache::BoundsValue *
+OpCache::findBounds(fm::PresCtx &ctx, const Key &k)
+{
+    auto it = bounds_.find(k);
+    if (it == bounds_.end()) {
+        miss(ctx);
+        return nullptr;
+    }
+    hit(ctx);
+    return &it->second;
+}
+
+void
+OpCache::charge(fm::PresCtx &ctx, uint64_t bytes)
+{
+    // The arena proxy tracks cumulative materialized bytes (it is
+    // never refunded, matching the FM engine's accounting), so an
+    // armed Budget's allocBytes ceiling covers cache growth too.
+    ctx.allocBytes += bytes;
+    fm::checkBudget(ctx, "pres::OpCache::store");
+}
+
+void
+OpCache::maybeEvict(fm::PresCtx &ctx)
+{
+    if (entries() < maxEntries_)
+        return;
+    uint64_t dropped = entries();
+    stats_.evictions += dropped;
+    ctx.counters.cacheEvictions += dropped;
+    maps_.clear();
+    sets_.clear();
+    bools_.clear();
+    bounds_.clear();
+}
+
+void
+OpCache::storeMap(fm::PresCtx &ctx, const Key &k, const BasicMap &v)
+{
+    maybeEvict(ctx);
+    charge(ctx, rowsBytes(v.constraints()));
+    maps_.emplace(k, v);
+}
+
+void
+OpCache::storeSet(fm::PresCtx &ctx, const Key &k, const BasicSet &v)
+{
+    maybeEvict(ctx);
+    charge(ctx, rowsBytes(v.constraints()));
+    sets_.emplace(k, v);
+}
+
+void
+OpCache::storeBool(fm::PresCtx &ctx, const Key &k, bool v)
+{
+    maybeEvict(ctx);
+    charge(ctx, sizeof(Key) + 2 * sizeof(void *) + sizeof(bool));
+    bools_.emplace(k, v);
+}
+
+void
+OpCache::storeBounds(fm::PresCtx &ctx, const Key &k,
+                     const BoundsValue &v)
+{
+    maybeEvict(ctx);
+    charge(ctx, boundsBytes(v));
+    bounds_.emplace(k, v);
+}
+
+void
+OpCache::clear()
+{
+    // A deliberate reset (new pipeline run), not capacity pressure:
+    // not counted as evictions.
+    maps_.clear();
+    sets_.clear();
+    bools_.clear();
+    bounds_.clear();
+}
+
+} // namespace pres
+} // namespace polyfuse

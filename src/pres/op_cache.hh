@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Hash-consed memoization of the expensive BasicSet/BasicMap
+ * operations (compose, projections, intersections, emptiness and
+ * bound queries), keyed on 128-bit structural fingerprints of the
+ * operands.
+ *
+ * A compilation recomputes the same dependence compositions and
+ * footprint projections many times: every fusion candidate re-derives
+ * per-pair dependence relations, every tiling legality check
+ * re-projects the same maps. The cache sits behind PresCtx (one per
+ * CompileContext, never shared between threads) and returns the
+ * stored result when an identical operation on byte-identical
+ * operands repeats, skipping the Fourier-Motzkin work entirely.
+ *
+ * Correctness stance: fingerprints cover the full structural state of
+ * an operand -- space (tuples, arities, parameter names), exactness
+ * and emptiness flags, and every constraint row *in order*. In-order
+ * hashing (rather than sorting rows first) deliberately treats two
+ * permutations of the same system as different keys: a hit therefore
+ * guarantees the uncached computation would have produced exactly the
+ * stored bytes, which is what the byte-identical-output equivalence
+ * tests demand. Since simplifyRows() sorts rows canonically, the
+ * systems that repeat in practice hash identically anyway. Two
+ * independent 64-bit fingerprints (distinct seeds) make accidental
+ * collisions a non-issue (~2^-64 per pair under a random-oracle
+ * approximation).
+ *
+ * Resource accounting: stored results are charged to the owning
+ * context's allocBytes arena proxy, so an armed Budget's byte ceiling
+ * covers cache growth too; the entry ceiling clears the cache
+ * wholesale when exceeded (counted as evictions). Hits/misses/
+ * evictions feed fm::Counters and surface as per-pass stats.
+ */
+
+#ifndef POLYFUSE_PRES_OP_CACHE_HH
+#define POLYFUSE_PRES_OP_CACHE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "pres/basic_map.hh"
+#include "pres/basic_set.hh"
+#include "pres/fm.hh"
+
+namespace polyfuse {
+namespace pres {
+
+/** Operation tags mixed into cache keys (values are part of the key
+ *  derivation; renumbering invalidates nothing but keep them stable
+ *  for debuggability). */
+enum class Op : uint8_t
+{
+    Compose = 1,
+    Reverse,
+    Domain,
+    Range,
+    Deltas,
+    IntersectMap,
+    IntersectSet,
+    IntersectDomain,
+    IntersectRange,
+    IsEmptyMap,
+    IsEmptySet,
+    ProjectOut,
+    OutDimBounds,
+};
+
+/** Memoization table for Presburger operations; one per PresCtx. */
+class OpCache
+{
+  public:
+    /** 128-bit key: two independent fingerprints of (op, operands). */
+    struct Key
+    {
+        uint64_t h1 = 0;
+        uint64_t h2 = 0;
+
+        bool
+        operator==(const Key &o) const
+        {
+            return h1 == o.h1 && h2 == o.h2;
+        }
+    };
+
+    /** Cached result of BasicMap::outDimBounds. */
+    struct BoundsValue
+    {
+        bool ok = false;
+        std::vector<DivBound> lowers;
+        std::vector<DivBound> uppers;
+    };
+
+    /** Lifetime totals (never reset by clear()). */
+    struct Stats
+    {
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        uint64_t evictions = 0;
+    };
+
+    static constexpr size_t kDefaultMaxEntries = 1 << 14;
+
+    explicit OpCache(size_t max_entries = kDefaultMaxEntries)
+        : maxEntries_(max_entries ? max_entries : 1)
+    {
+    }
+
+    /// @name Key derivation
+    /// Mix the op tag, operand fingerprints and scalar arguments into
+    /// a key; overloads cover every cached operation's signature.
+    /// @{
+    static Key makeKey(Op op, const BasicMap &a);
+    static Key makeKey(Op op, const BasicMap &a, const BasicMap &b);
+    static Key makeKey(Op op, const BasicMap &a, const BasicSet &b);
+    static Key makeKey(Op op, const BasicMap &a, uint64_t arg);
+    static Key makeKey(Op op, const BasicSet &a);
+    static Key makeKey(Op op, const BasicSet &a, const BasicSet &b);
+    static Key makeKey(Op op, const BasicSet &a, uint64_t arg0,
+                       uint64_t arg1);
+    /// @}
+
+    /// @name Lookup
+    /// A hit bumps @p ctx's cacheHits counter and returns a pointer
+    /// valid until the next store/clear; a miss bumps cacheMisses and
+    /// returns null (the caller computes and stores).
+    /// @{
+    const BasicMap *findMap(fm::PresCtx &ctx, const Key &k);
+    const BasicSet *findSet(fm::PresCtx &ctx, const Key &k);
+    const bool *findBool(fm::PresCtx &ctx, const Key &k);
+    const BoundsValue *findBounds(fm::PresCtx &ctx, const Key &k);
+    /// @}
+
+    /// @name Store
+    /// Charges the stored bytes to @p ctx.allocBytes (and re-checks
+    /// the armed budget); evicts wholesale at the entry ceiling.
+    /// @{
+    void storeMap(fm::PresCtx &ctx, const Key &k, const BasicMap &v);
+    void storeSet(fm::PresCtx &ctx, const Key &k, const BasicSet &v);
+    void storeBool(fm::PresCtx &ctx, const Key &k, bool v);
+    void storeBounds(fm::PresCtx &ctx, const Key &k,
+                     const BoundsValue &v);
+    /// @}
+
+    /** Drop every entry (a reset, not counted as evictions). */
+    void clear();
+
+    size_t entries() const
+    {
+        return maps_.size() + sets_.size() + bools_.size() +
+               bounds_.size();
+    }
+
+    size_t maxEntries() const { return maxEntries_; }
+
+    const Stats &stats() const { return stats_; }
+
+  private:
+    struct KeyHash
+    {
+        size_t operator()(const Key &k) const { return size_t(k.h1); }
+    };
+
+    void hit(fm::PresCtx &ctx);
+    void miss(fm::PresCtx &ctx);
+    void charge(fm::PresCtx &ctx, uint64_t bytes);
+    void maybeEvict(fm::PresCtx &ctx);
+
+    size_t maxEntries_;
+    Stats stats_;
+    std::unordered_map<Key, BasicMap, KeyHash> maps_;
+    std::unordered_map<Key, BasicSet, KeyHash> sets_;
+    std::unordered_map<Key, bool, KeyHash> bools_;
+    std::unordered_map<Key, BoundsValue, KeyHash> bounds_;
+};
+
+} // namespace pres
+} // namespace polyfuse
+
+#endif // POLYFUSE_PRES_OP_CACHE_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Structural hashing shared by the FM engine's row deduplication and
+ * the hash-consed operation cache: FNV-1a over 64-bit words, with a
+ * splitmix-style finalizer so low-entropy coefficient patterns (lots
+ * of 0/±1) still spread over the table.
+ */
+
+#ifndef POLYFUSE_PRES_ROW_HASH_HH
+#define POLYFUSE_PRES_ROW_HASH_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "pres/constraint.hh"
+
+namespace polyfuse {
+namespace pres {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+/** Fold one 64-bit word into an FNV-1a state, byte by byte. */
+inline uint64_t
+fnvMix(uint64_t h, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (i * 8)) & 0xff;
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+/** Final avalanche (splitmix64 finalizer). */
+inline uint64_t
+hashFinalize(uint64_t h)
+{
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebull;
+    h ^= h >> 31;
+    return h;
+}
+
+/** Hash a span of coefficients. */
+inline uint64_t
+hashCoeffs(const int64_t *data, size_t n, uint64_t seed = kFnvOffset)
+{
+    uint64_t h = fnvMix(seed, uint64_t(n));
+    for (size_t i = 0; i < n; ++i)
+        h = fnvMix(h, uint64_t(data[i]));
+    return hashFinalize(h);
+}
+
+/** Hash one full constraint row (kind + every coefficient). */
+inline uint64_t
+hashRow(const Constraint &c, uint64_t seed = kFnvOffset)
+{
+    uint64_t h = fnvMix(seed, c.isEq ? 0x9e3779b97f4a7c15ull : 1);
+    return hashCoeffs(c.coeffs.data(), c.coeffs.size(), h);
+}
+
+} // namespace pres
+} // namespace polyfuse
+
+#endif // POLYFUSE_PRES_ROW_HASH_HH

@@ -1,0 +1,365 @@
+/**
+ * @file
+ * An inline-storage small vector for the compiler's hot rows.
+ *
+ * Every Presburger constraint row used to heap-allocate a
+ * std::vector<int64_t>; profiling the FM engine shows that per-row
+ * malloc (and the matching free on every erase/temporary) dominates
+ * elimination time on the registry workloads. SmallVec<T, N> keeps up
+ * to N elements in the object itself and only spills to the heap
+ * beyond that, so the common row (dims + params + constant <= N
+ * columns) costs zero allocations while arbitrarily wide rows keep
+ * working.
+ *
+ * The element type must be trivially copyable (rows are int64_t);
+ * this keeps growth/copy/move as memcpy and the whole class simple
+ * enough to reason about under ASAN/TSAN.
+ */
+
+#ifndef POLYFUSE_SUPPORT_SMALL_VEC_HH
+#define POLYFUSE_SUPPORT_SMALL_VEC_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <iterator>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace polyfuse {
+namespace support {
+
+namespace smallvec_detail {
+
+/**
+ * Test hook: when set (via ScopedForceHeap below), every SmallVec
+ * constructed on this thread allocates its storage on the heap even
+ * when the contents would fit inline. Lets the equivalence tests
+ * prove that inline and spilled storage behave identically, and gives
+ * the benchmarks a same-binary "small-vec off" baseline approximating
+ * the old one-malloc-per-row std::vector rows. Thread-local, so
+ * concurrent compilations are unaffected (same idiom as the pres
+ * layer's thread-default context).
+ */
+inline thread_local bool t_force_heap = false;
+
+} // namespace smallvec_detail
+
+/** RAII guard forcing heap storage for SmallVecs on this thread. */
+class ScopedForceHeap
+{
+  public:
+    ScopedForceHeap() : prev_(smallvec_detail::t_force_heap)
+    {
+        smallvec_detail::t_force_heap = true;
+    }
+    ~ScopedForceHeap() { smallvec_detail::t_force_heap = prev_; }
+    ScopedForceHeap(const ScopedForceHeap &) = delete;
+    ScopedForceHeap &operator=(const ScopedForceHeap &) = delete;
+
+  private:
+    bool prev_;
+};
+
+/** A vector with N elements of inline storage, heap spill beyond. */
+template <typename T, unsigned N>
+class SmallVec
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "SmallVec is restricted to trivially copyable "
+                  "elements (rows of integers)");
+    static_assert(N > 0, "inline capacity must be positive");
+
+  public:
+    using value_type = T;
+    using iterator = T *;
+    using const_iterator = const T *;
+    using size_type = size_t;
+
+    SmallVec() { initStorage(0); }
+
+    explicit SmallVec(size_t n, T value = T{})
+    {
+        initStorage(n);
+        size_ = n;
+        std::fill(data_, data_ + n, value);
+    }
+
+    SmallVec(std::initializer_list<T> init)
+    {
+        initStorage(init.size());
+        size_ = init.size();
+        std::copy(init.begin(), init.end(), data_);
+    }
+
+    /** Iterator-pair construction; constrained so SmallVec(n, value)
+     *  never lands here when both arguments are integers. */
+    template <typename It,
+              typename =
+                  typename std::iterator_traits<It>::difference_type>
+    SmallVec(It first, It last)
+    {
+        size_t n = size_t(std::distance(first, last));
+        initStorage(n);
+        size_ = n;
+        std::copy(first, last, data_);
+    }
+
+    SmallVec(const SmallVec &o)
+    {
+        initStorage(o.size_);
+        size_ = o.size_;
+        std::memcpy(data_, o.data_, size_ * sizeof(T));
+    }
+
+    SmallVec(SmallVec &&o) noexcept
+    {
+        stealFrom(o);
+    }
+
+    SmallVec &
+    operator=(const SmallVec &o)
+    {
+        if (this == &o)
+            return *this;
+        assignRange(o.data_, o.size_);
+        return *this;
+    }
+
+    SmallVec &
+    operator=(SmallVec &&o) noexcept
+    {
+        if (this == &o)
+            return *this;
+        if (onHeap())
+            delete[] data_;
+        stealFrom(o);
+        return *this;
+    }
+
+    ~SmallVec()
+    {
+        if (onHeap())
+            delete[] data_;
+    }
+
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    size_t capacity() const { return cap_; }
+
+    /** True while the elements live in the inline buffer. */
+    bool isInline() const { return !onHeap(); }
+
+    T *data() { return data_; }
+    const T *data() const { return data_; }
+
+    iterator begin() { return data_; }
+    iterator end() { return data_ + size_; }
+    const_iterator begin() const { return data_; }
+    const_iterator end() const { return data_ + size_; }
+
+    T &operator[](size_t i) { return data_[i]; }
+    const T &operator[](size_t i) const { return data_[i]; }
+
+    T &front() { return data_[0]; }
+    const T &front() const { return data_[0]; }
+    T &back() { return data_[size_ - 1]; }
+    const T &back() const { return data_[size_ - 1]; }
+
+    void
+    clear()
+    {
+        size_ = 0;
+    }
+
+    void
+    reserve(size_t n)
+    {
+        if (n > cap_)
+            grow(n);
+    }
+
+    void
+    resize(size_t n, T value = T{})
+    {
+        if (n > cap_)
+            grow(n);
+        if (n > size_)
+            std::fill(data_ + size_, data_ + n, value);
+        size_ = n;
+    }
+
+    void
+    push_back(T value)
+    {
+        if (size_ == cap_)
+            grow(size_ + 1);
+        data_[size_++] = value;
+    }
+
+    void
+    pop_back()
+    {
+        --size_;
+    }
+
+    iterator
+    insert(const_iterator pos, T value)
+    {
+        return insert(pos, size_t(1), value);
+    }
+
+    iterator
+    insert(const_iterator pos, size_t count, T value)
+    {
+        size_t at = size_t(pos - data_);
+        if (size_ + count > cap_)
+            grow(size_ + count);
+        std::memmove(data_ + at + count, data_ + at,
+                     (size_ - at) * sizeof(T));
+        std::fill(data_ + at, data_ + at + count, value);
+        size_ += count;
+        return data_ + at;
+    }
+
+    iterator
+    erase(const_iterator pos)
+    {
+        return erase(pos, pos + 1);
+    }
+
+    iterator
+    erase(const_iterator first, const_iterator last)
+    {
+        size_t at = size_t(first - data_);
+        size_t count = size_t(last - first);
+        std::memmove(data_ + at, data_ + at + count,
+                     (size_ - at - count) * sizeof(T));
+        size_ -= count;
+        return data_ + at;
+    }
+
+    bool
+    operator==(const SmallVec &o) const
+    {
+        return size_ == o.size_ &&
+               std::equal(data_, data_ + size_, o.data_);
+    }
+
+    bool operator!=(const SmallVec &o) const { return !(*this == o); }
+
+    /** Convenience comparison against std::vector (tests mostly). */
+    template <typename Alloc>
+    bool
+    operator==(const std::vector<T, Alloc> &o) const
+    {
+        return size_ == o.size() &&
+               std::equal(data_, data_ + size_, o.begin());
+    }
+
+    template <typename Alloc>
+    bool
+    operator!=(const std::vector<T, Alloc> &o) const
+    {
+        return !(*this == o);
+    }
+
+    /** Lexicographic, matching std::vector ordering semantics. */
+    bool
+    operator<(const SmallVec &o) const
+    {
+        return std::lexicographical_compare(data_, data_ + size_,
+                                            o.data_,
+                                            o.data_ + o.size_);
+    }
+
+  private:
+    T *data_ = nullptr;
+    uint32_t size_ = 0;
+    uint32_t cap_ = 0;
+    alignas(T) unsigned char inline_[N * sizeof(T)];
+
+    T *inlineBuf() { return reinterpret_cast<T *>(inline_); }
+    const T *
+    inlineBuf() const
+    {
+        return reinterpret_cast<const T *>(inline_);
+    }
+
+    bool onHeap() const { return data_ != inlineBuf(); }
+
+    void
+    initStorage(size_t n)
+    {
+        if (n > N || smallvec_detail::t_force_heap) {
+            size_t cap = n > N ? n : N;
+            data_ = new T[cap];
+            cap_ = uint32_t(cap);
+        } else {
+            data_ = inlineBuf();
+            cap_ = N;
+        }
+        size_ = 0;
+    }
+
+    /** Move o's storage into *this (assumes our heap, if any, is
+     *  already released). Leaves o empty but valid. */
+    void
+    stealFrom(SmallVec &o) noexcept
+    {
+        if (o.onHeap()) {
+            data_ = o.data_;
+            cap_ = o.cap_;
+            size_ = o.size_;
+        } else {
+            data_ = inlineBuf();
+            cap_ = N;
+            size_ = o.size_;
+            std::memcpy(data_, o.data_, size_ * sizeof(T));
+        }
+        o.data_ = o.inlineBuf();
+        o.cap_ = N;
+        o.size_ = 0;
+    }
+
+    void
+    assignRange(const T *src, size_t n)
+    {
+        if (n > cap_) {
+            // src can never alias our storage here: aliasing implies
+            // n <= size_ <= cap_.
+            T *fresh = new T[n];
+            std::memcpy(fresh, src, n * sizeof(T));
+            if (onHeap())
+                delete[] data_;
+            data_ = fresh;
+            cap_ = uint32_t(n);
+        } else {
+            std::memmove(data_, src, n * sizeof(T));
+        }
+        size_ = uint32_t(n);
+    }
+
+    void
+    grow(size_t need)
+    {
+        size_t cap = cap_ ? cap_ : 1;
+        while (cap < need)
+            cap *= 2;
+        T *fresh = new T[cap];
+        std::memcpy(fresh, data_, size_ * sizeof(T));
+        if (onHeap())
+            delete[] data_;
+        data_ = fresh;
+        cap_ = uint32_t(cap);
+    }
+};
+
+} // namespace support
+} // namespace polyfuse
+
+#endif // POLYFUSE_SUPPORT_SMALL_VEC_HH

@@ -25,6 +25,27 @@ boundDim(BasicSet &s, unsigned dim, const std::string &param)
     s.addConstraint(ltCons(d, LinExpr::param(sp, param)));
 }
 
+// Regression: isConstant()/constant() on a default-constructed
+// (empty-row) Constraint used to read coeffs.back() of an empty
+// buffer. An empty row is vacuously constant with constant 0.
+TEST(Constraint, EmptyRowIsVacuouslyConstant)
+{
+    Constraint c;
+    EXPECT_TRUE(c.coeffs.empty());
+    EXPECT_TRUE(c.isConstant());
+    EXPECT_EQ(c.constant(), 0);
+
+    Constraint nonzero(false, {2, 0, 5});
+    EXPECT_FALSE(nonzero.isConstant());
+    EXPECT_EQ(nonzero.constant(), 5);
+    Constraint constant_row(true, {0, 0, -3});
+    EXPECT_TRUE(constant_row.isConstant());
+    EXPECT_EQ(constant_row.constant(), -3);
+    Constraint just_const(false, {7});
+    EXPECT_TRUE(just_const.isConstant());
+    EXPECT_EQ(just_const.constant(), 7);
+}
+
 TEST(Space, Layout)
 {
     Space sp = Space::forMap("S", 2, "A", 3, {"N", "M"});

@@ -136,8 +136,8 @@ TEST(BasicMap, OutDimBoundsGivesFootprintBox)
     ASSERT_EQ(lo.size(), 1u);
     ASSERT_EQ(hi.size(), 1u);
     EXPECT_EQ(lo[0].div, 1);
-    EXPECT_EQ(lo[0].coeffs, (std::vector<int64_t>{2, 0}));
-    EXPECT_EQ(hi[0].coeffs, (std::vector<int64_t>{2, 4}));
+    EXPECT_EQ(lo[0].coeffs, (CoeffRow{2, 0}));
+    EXPECT_EQ(hi[0].coeffs, (CoeffRow{2, 4}));
 }
 
 TEST(UnionSet, SubtractAndSubset)

@@ -11,13 +11,20 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <random>
 #include <set>
+#include <string>
 
+#include "codegen/cprinter.hh"
+#include "driver/compile_context.hh"
+#include "driver/pipeline.hh"
+#include "driver/registry.hh"
 #include "pres/affine.hh"
 #include "pres/basic_map.hh"
 #include "pres/map.hh"
 #include "pres/set.hh"
+#include "support/small_vec.hh"
 
 namespace polyfuse {
 namespace pres {
@@ -282,6 +289,90 @@ TEST_P(PresProperty, DeltasMatchBruteForce)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PresProperty,
                          ::testing::Range(0u, 60u));
+
+/**
+ * Cache-equivalence sweep over the whole workload registry: the op
+ * cache and the SmallVec storage mode are pure performance knobs, so
+ * every (cache on/off) x (rows inline/forced-heap) combination must
+ * generate byte-identical C for every registry workload. Row storage
+ * must not even change the FM counters; the cache legitimately
+ * reduces FM work (hits skip recomputation), so across cache settings
+ * only the code is compared, plus the invariant that cached runs
+ * never do MORE FM work than uncached ones.
+ */
+class CacheEquivalence
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(CacheEquivalence, EveryStorageAndCacheModeGeneratesSameCode)
+{
+    const driver::WorkloadSpec *w =
+        driver::findWorkload(GetParam());
+    ASSERT_NE(w, nullptr);
+    ir::Program p = w->make(w->defaults);
+
+    struct Variant
+    {
+        bool cache;
+        bool inlineRows;
+        std::string code;
+        fm::Counters fm;
+    };
+    Variant variants[] = {{true, true, "", {}},
+                          {true, false, "", {}},
+                          {false, true, "", {}},
+                          {false, false, "", {}}};
+    for (Variant &v : variants) {
+        std::unique_ptr<support::ScopedForceHeap> heap;
+        if (!v.inlineRows)
+            heap.reset(new support::ScopedForceHeap());
+        driver::CompileContext ctx;
+        ctx.setOpCacheEnabled(v.cache);
+        driver::PipelineOptions opts;
+        opts.strategy = driver::Strategy::Ours;
+        opts.tileSizes = w->defaultTiles;
+        driver::CompilationState state =
+            driver::Pipeline(opts).run(p, ctx);
+        v.code = codegen::printCode(p, state.ast);
+        v.fm = ctx.fmCounters();
+    }
+
+    // Byte-identical generated C across all four variants.
+    for (const Variant &v : variants)
+        EXPECT_EQ(v.code, variants[0].code)
+            << "cache=" << v.cache
+            << " inlineRows=" << v.inlineRows;
+
+    // Row storage never changes the work done: with the cache
+    // setting held fixed, inline and forced-heap runs must agree on
+    // every counter, cache fields included.
+    for (int c = 0; c < 2; ++c) {
+        const Variant &a = variants[c * 2];     // inline
+        const Variant &b = variants[c * 2 + 1]; // forced heap
+        EXPECT_EQ(a.fm.eliminations, b.fm.eliminations);
+        EXPECT_EQ(a.fm.constraintsVisited, b.fm.constraintsVisited);
+        EXPECT_EQ(a.fm.cacheHits, b.fm.cacheHits);
+        EXPECT_EQ(a.fm.cacheMisses, b.fm.cacheMisses);
+        EXPECT_EQ(a.fm.cacheEvictions, b.fm.cacheEvictions);
+    }
+
+    // Cache-off runs must not touch a cache at all, and cached runs
+    // must never do more FM work than uncached ones.
+    EXPECT_EQ(variants[2].fm.cacheHits, 0u);
+    EXPECT_EQ(variants[2].fm.cacheMisses, 0u);
+    EXPECT_LE(variants[0].fm.eliminations,
+              variants[2].fm.eliminations);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, CacheEquivalence,
+    ::testing::Values("conv2d", "bilateral", "camera", "harris",
+                      "laplacian", "interp", "unsharp", "equake",
+                      "2mm", "gemver", "covariance", "convbn"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        return "wl_" + std::string(info.param);
+    });
 
 } // namespace
 } // namespace pres

@@ -6,9 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "support/intmath.hh"
 #include "support/logging.hh"
 #include "support/rational.hh"
+#include "support/small_vec.hh"
 #include "support/strutil.hh"
 
 namespace polyfuse {
@@ -109,6 +112,143 @@ TEST(Logging, FatalAndPanicThrowDistinctTypes)
     } catch (const FatalError &e) {
         EXPECT_STREQ(e.what(), "message text");
     }
+}
+
+using Vec4 = support::SmallVec<int64_t, 4>;
+
+TEST(SmallVec, StaysInlineUpToCapacityThenSpills)
+{
+    Vec4 v;
+    EXPECT_TRUE(v.empty());
+    EXPECT_TRUE(v.isInline());
+    EXPECT_EQ(v.capacity(), 4u);
+    for (int64_t i = 0; i < 4; ++i)
+        v.push_back(i);
+    EXPECT_TRUE(v.isInline());
+    v.push_back(4); // first element past the inline buffer
+    EXPECT_FALSE(v.isInline());
+    EXPECT_GE(v.capacity(), 5u);
+    for (int64_t i = 0; i < 5; ++i)
+        EXPECT_EQ(v[size_t(i)], i);
+}
+
+TEST(SmallVec, GrowthPreservesContentsAcrossManyDoublings)
+{
+    Vec4 v;
+    std::vector<int64_t> ref;
+    for (int64_t i = 0; i < 100; ++i) {
+        v.push_back(i * 3 - 7);
+        ref.push_back(i * 3 - 7);
+    }
+    EXPECT_EQ(v, ref);
+    EXPECT_EQ(v.front(), ref.front());
+    EXPECT_EQ(v.back(), ref.back());
+}
+
+TEST(SmallVec, ConstructorsMatchStdVectorSemantics)
+{
+    Vec4 filled(3, 9);
+    EXPECT_EQ(filled, (std::vector<int64_t>{9, 9, 9}));
+    Vec4 il{1, 2, 3, 4, 5, 6};
+    EXPECT_FALSE(il.isInline());
+    std::vector<int64_t> src{7, 8};
+    Vec4 range(src.begin(), src.end());
+    EXPECT_EQ(range, src);
+}
+
+TEST(SmallVec, CopySpilledAndInline)
+{
+    Vec4 small{1, 2};
+    Vec4 big{1, 2, 3, 4, 5, 6, 7};
+    Vec4 c1(small), c2(big);
+    EXPECT_EQ(c1, small);
+    EXPECT_EQ(c2, big);
+    // Deep copy: mutating the copy leaves the original alone.
+    c2[0] = 99;
+    EXPECT_EQ(big[0], 1);
+    c1 = big;
+    EXPECT_EQ(c1, big);
+    c2 = small;
+    EXPECT_EQ(c2, small);
+}
+
+TEST(SmallVec, MoveStealsHeapAndCopiesInline)
+{
+    Vec4 big{1, 2, 3, 4, 5, 6, 7};
+    const int64_t *heap = big.data();
+    Vec4 stolen(std::move(big));
+    EXPECT_EQ(stolen.data(), heap); // heap storage is stolen, not copied
+    EXPECT_TRUE(big.empty());       // moved-from: empty but usable
+    big.push_back(42);
+    EXPECT_EQ(big.back(), 42);
+
+    Vec4 small{5, 6};
+    Vec4 moved(std::move(small));
+    EXPECT_EQ(moved, (std::vector<int64_t>{5, 6}));
+    EXPECT_TRUE(moved.isInline());
+    Vec4 target{9, 9, 9, 9, 9, 9};
+    target = std::move(moved);
+    EXPECT_EQ(target, (std::vector<int64_t>{5, 6}));
+}
+
+TEST(SmallVec, SelfAssignmentIsANoOp)
+{
+    Vec4 v{1, 2, 3, 4, 5, 6};
+    Vec4 &alias = v;
+    v = alias;
+    EXPECT_EQ(v, (std::vector<int64_t>{1, 2, 3, 4, 5, 6}));
+    v = std::move(alias);
+    EXPECT_EQ(v, (std::vector<int64_t>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(SmallVec, InsertEraseResizeMatchStdVector)
+{
+    Vec4 v{1, 2, 3};
+    std::vector<int64_t> ref{1, 2, 3};
+    v.insert(v.begin() + 1, 7);
+    ref.insert(ref.begin() + 1, 7);
+    v.insert(v.begin(), 2, 0); // forces the spill mid-insert
+    ref.insert(ref.begin(), 2, 0);
+    EXPECT_EQ(v, ref);
+    v.erase(v.begin() + 1, v.begin() + 3);
+    ref.erase(ref.begin() + 1, ref.begin() + 3);
+    EXPECT_EQ(v, ref);
+    v.resize(8, -1);
+    ref.resize(8, -1);
+    EXPECT_EQ(v, ref);
+    v.resize(2);
+    ref.resize(2);
+    EXPECT_EQ(v, ref);
+    v.pop_back();
+    ref.pop_back();
+    EXPECT_EQ(v, ref);
+}
+
+TEST(SmallVec, OrderingIsLexicographic)
+{
+    EXPECT_LT((Vec4{1, 2}), (Vec4{1, 3}));
+    EXPECT_LT((Vec4{1, 2}), (Vec4{1, 2, 0}));
+    EXPECT_FALSE((Vec4{2}) < (Vec4{1, 9, 9}));
+    EXPECT_FALSE((Vec4{1, 2}) < (Vec4{1, 2}));
+}
+
+TEST(SmallVec, ScopedForceHeapSpillsEverythingOnThisThread)
+{
+    {
+        support::ScopedForceHeap force;
+        Vec4 v{1, 2};
+        EXPECT_FALSE(v.isInline());
+        EXPECT_EQ(v, (std::vector<int64_t>{1, 2}));
+        {
+            support::ScopedForceHeap nested;
+            Vec4 w(1, 5);
+            EXPECT_FALSE(w.isInline());
+        }
+        Vec4 still{3};
+        EXPECT_FALSE(still.isInline()); // nesting restores, not clears
+    }
+    Vec4 after{1};
+    EXPECT_TRUE(after.isInline());
 }
 
 } // namespace
