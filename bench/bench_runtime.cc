@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Execution-tier benchmark — the machine-readable runtime baseline
+ * behind BENCH_runtime.json.
+ *
+ * Every registry workload is compiled once with the paper's
+ * composition strategy, then executed on each tier:
+ *
+ *   interp    the Tier-0 reference interpreter (exec/executor.hh)
+ *   bytecode  the Tier-1 compiled tape (exec/bytecode.hh)
+ *   native    the Tier-2 dlopen'ed C kernel (exec/native.hh),
+ *             included when a C toolchain is present
+ *
+ * Besides wall-clock (best of reps), every tier's output buffers are
+ * compared bit-for-bit against the interpreter's — the benchmark
+ * doubles as a correctness gate and exits nonzero on any mismatch.
+ *
+ * Modes:
+ *   (none)    full sweep, aligned table on stdout
+ *   --json    full sweep, one JSON object on stdout
+ *   --smoke   three-workload subset at tiny sizes with the same
+ *             equality assertions, well under 0.5 s; the
+ *             check_exec_smoke ctest runs this
+ */
+
+#include <cmath>
+#include <cstring>
+
+#include "bench/common.hh"
+#include "driver/registry.hh"
+#include "exec/bytecode.hh"
+#include "exec/native.hh"
+#include "workloads/equake.hh"
+
+using namespace polyfuse;
+using namespace polyfuse::bench;
+
+namespace {
+
+struct TierTimes
+{
+    std::string name;
+    double interpMs = 0;
+    double bytecodeMs = 0;
+    double nativeMs = -1; ///< < 0: tier unavailable
+    bool identical = true;
+
+    double
+    speedup() const
+    {
+        return bytecodeMs > 0 ? interpMs / bytecodeMs : 0;
+    }
+
+    double
+    nativeSpeedup() const
+    {
+        return nativeMs > 0 ? interpMs / nativeMs : 0;
+    }
+};
+
+/** Benchmark sizes: large enough for stable ratios, small enough
+ *  that the interpreter leg stays in fractions of a second. */
+driver::WorkloadParams
+benchParams(const std::string &name)
+{
+    if (name == "equake")
+        return {1024, 16};
+    if (name == "convbn")
+        return {8, 16};
+    if (name == "2mm" || name == "covariance")
+        return {96, 96};
+    if (name == "gemver")
+        return {256, 256};
+    if (name == "unsharp")
+        return {64, 128};
+    return {128, 128};
+}
+
+void
+initInputs(const ir::Program &p, exec::Buffers &buf)
+{
+    if (p.name() == "equake") {
+        workloads::initEquakeInputs(p, buf, 11);
+        return;
+    }
+    defaultInit(p, buf);
+}
+
+bool
+buffersEqual(const ir::Program &p, const exec::Buffers &a,
+             const exec::Buffers &b)
+{
+    for (size_t t = 0; t < p.tensors().size(); ++t)
+        if (a.data(t) != b.data(t))
+            return false;
+    return true;
+}
+
+TierTimes
+measureWorkload(const driver::WorkloadSpec &spec,
+                const driver::WorkloadParams &params, int reps,
+                bool with_native)
+{
+    TierTimes r;
+    r.name = spec.name;
+    ir::Program p = spec.make(params);
+
+    driver::PipelineOptions popts;
+    popts.strategy = Strategy::Ours;
+    popts.tileSizes = spec.defaultTiles;
+    auto state = driver::Pipeline(popts).run(p);
+
+    // Reference: interpreter, keeping the buffers for equality.
+    exec::Buffers ref(p);
+    r.interpMs = 1e30;
+    for (int rep = 0; rep < reps; ++rep) {
+        exec::Buffers buf(p);
+        initInputs(p, buf);
+        auto stats = exec::run(p, state.ast, buf);
+        r.interpMs = std::min(r.interpMs, stats.seconds * 1e3);
+        if (rep == reps - 1)
+            ref = std::move(buf);
+    }
+
+    // Tier 1: one compile, reps of the untraced fast path.
+    exec::BytecodeKernel kernel =
+        exec::BytecodeKernel::compile(p, state.ast);
+    r.bytecodeMs = 1e30;
+    for (int rep = 0; rep < reps; ++rep) {
+        exec::Buffers buf(p);
+        initInputs(p, buf);
+        auto stats = kernel.run(buf);
+        r.bytecodeMs = std::min(r.bytecodeMs, stats.seconds * 1e3);
+        if (rep == reps - 1)
+            r.identical = r.identical && buffersEqual(p, ref, buf);
+    }
+
+    // Tier 2 (optional): one cc+dlopen, reps of the machine kernel.
+    if (with_native) {
+        exec::NativeKernel native =
+            exec::NativeKernel::compile(p, state.ast);
+        if (native.ok()) {
+            r.nativeMs = 1e30;
+            for (int rep = 0; rep < reps; ++rep) {
+                exec::Buffers buf(p);
+                initInputs(p, buf);
+                auto stats = native.run(buf);
+                r.nativeMs =
+                    std::min(r.nativeMs, stats.seconds * 1e3);
+                if (rep == reps - 1)
+                    r.identical =
+                        r.identical && buffersEqual(p, ref, buf);
+            }
+        }
+    }
+    return r;
+}
+
+double
+geomean(const std::vector<TierTimes> &rows,
+        double (TierTimes::*ratio)() const)
+{
+    double acc = 0;
+    int n = 0;
+    for (const auto &r : rows) {
+        double v = (r.*ratio)();
+        if (v > 0) {
+            acc += std::log(v);
+            ++n;
+        }
+    }
+    return n ? std::exp(acc / n) : 0;
+}
+
+std::string
+rowJson(const TierTimes &r)
+{
+    std::string out = "{\"name\": \"" + r.name + "\"";
+    out += ", \"interpMs\": " + fmt(r.interpMs, "%.4f");
+    out += ", \"bytecodeMs\": " + fmt(r.bytecodeMs, "%.4f");
+    out += ", \"speedup\": " + fmt(r.speedup(), "%.2f");
+    if (r.nativeMs >= 0) {
+        out += ", \"nativeMs\": " + fmt(r.nativeMs, "%.4f");
+        out +=
+            ", \"nativeSpeedup\": " + fmt(r.nativeSpeedup(), "%.2f");
+    }
+    out += ", \"identical\": ";
+    out += r.identical ? "true" : "false";
+    out += "}";
+    return out;
+}
+
+/** Smoke: tiny subset, equality gate only (ratios are noise at this
+ *  scale). Must stay well under the 0.5 s budget of the ctest. */
+int
+runSmoke()
+{
+    struct
+    {
+        const char *name;
+        driver::WorkloadParams params;
+    } subset[] = {
+        {"conv2d", {24, 24}},
+        {"unsharp", {8, 64}},
+        {"2mm", {32, 32}},
+    };
+    int failures = 0;
+    for (const auto &s : subset) {
+        const driver::WorkloadSpec *w = driver::findWorkload(s.name);
+        if (!w) {
+            std::printf("FAIL %s: not in registry\n", s.name);
+            ++failures;
+            continue;
+        }
+        // Native needs a compiler fork per workload; the smoke gate
+        // sticks to the in-process tiers to stay under budget.
+        TierTimes r = measureWorkload(*w, s.params, 1, false);
+        std::printf("%-10s interp/bytecode buffers: %s\n", s.name,
+                    r.identical ? "bit-identical" : "MISMATCH");
+        failures += r.identical ? 0 : 1;
+    }
+    if (failures) {
+        std::printf("FAILED: %d tier mismatches\n", failures);
+        return 1;
+    }
+    std::printf("ok\n");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false, json = false;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--smoke"))
+            smoke = true;
+        else if (!std::strcmp(argv[i], "--json"))
+            json = true;
+        else {
+            std::fprintf(stderr,
+                         "usage: bench_runtime [--smoke] [--json]\n");
+            return 2;
+        }
+    }
+    if (smoke)
+        return runSmoke();
+
+    bool with_native = exec::NativeKernel::toolchainAvailable();
+    std::vector<TierTimes> rows;
+    for (const auto &w : driver::workloadRegistry())
+        rows.push_back(measureWorkload(w, benchParams(w.name), 3,
+                                       with_native));
+
+    double geo = geomean(rows, &TierTimes::speedup);
+    double ngeo = geomean(rows, &TierTimes::nativeSpeedup);
+    bool all_identical = true;
+    for (const auto &r : rows)
+        all_identical = all_identical && r.identical;
+
+    if (json) {
+        std::string out = "{\"bench\": \"runtime\", ";
+        out += "\"strategy\": \"ours\", \"reps\": 3, ";
+        out += "\"workloads\": [";
+        for (size_t i = 0; i < rows.size(); ++i) {
+            if (i)
+                out += ", ";
+            out += rowJson(rows[i]);
+        }
+        out += "], \"geomeanSpeedup\": " + fmt(geo, "%.4f");
+        if (with_native)
+            out += ", \"nativeGeomeanSpeedup\": " +
+                   fmt(ngeo, "%.4f");
+        out += ", \"allIdentical\": ";
+        out += all_identical ? "true" : "false";
+        out += "}";
+        std::printf("%s\n", out.c_str());
+        return all_identical ? 0 : 1;
+    }
+
+    std::printf("=== Execution tiers (strategy ours, best of 3) "
+                "===\n");
+    printRow("workload",
+             {"interp ms", "bytecode", "speedup", "native",
+              "speedup", "buffers"},
+             11);
+    for (const auto &r : rows)
+        printRow(
+            r.name,
+            {fmt(r.interpMs), fmt(r.bytecodeMs),
+             fmt(r.speedup(), "%.2fx"),
+             r.nativeMs >= 0 ? fmt(r.nativeMs) : "-",
+             r.nativeMs >= 0 ? fmt(r.nativeSpeedup(), "%.2fx") : "-",
+             r.identical ? "identical" : "MISMATCH"},
+            11);
+    printRow("geomean",
+             {"", "", fmt(geo, "%.2fx"), "",
+              with_native ? fmt(ngeo, "%.2fx") : "-", ""},
+             11);
+    return all_identical ? 0 : 1;
+}

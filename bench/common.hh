@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "driver/pipeline.hh"
+#include "exec/bytecode.hh"
 #include "exec/executor.hh"
 #include "memsim/cache.hh"
 #include "memsim/gpu.hh"
@@ -95,12 +96,16 @@ runStrategy(const ir::Program &p, Strategy strategy,
     r.compileMs = state.compileMs();
     r.passStats = state.stats;
 
-    // Wall-clock measurement (no trace), best of reps.
+    // One bytecode compile, then wall-clock best of reps on the
+    // untraced fast path (bit-identical to the interpreter; see the
+    // differential suite in tests/test_exec.cc).
+    exec::BytecodeKernel kernel =
+        exec::BytecodeKernel::compile(p, r.ast);
     r.wallMs = 1e30;
     for (int rep = 0; rep < opts.reps; ++rep) {
         exec::Buffers buf(p);
         init(buf);
-        auto stats = exec::run(p, r.ast, buf);
+        auto stats = kernel.run(buf);
         r.stats = stats;
         r.wallMs = std::min(r.wallMs, stats.seconds * 1e3);
     }
@@ -113,15 +118,33 @@ runStrategy(const ir::Program &p, Strategy strategy,
             mem.addSpace(t, p.tensorSize(t));
             mem.addSpace(p.tensors().size() + t, p.tensorSize(t));
         }
-        int nt = p.tensors().size();
-        exec::run(p, r.ast, buf,
-                  [&](int space, int64_t off, bool w) {
-                      mem.access(space, off, w);
-                      if (space >= nt)
-                          ++r.gpuCounts.sharedAccesses;
-                      else
-                          ++r.gpuCounts.globalAccesses;
-                  });
+        // Batched sink: hierarchy simulation plus the GPU-proxy
+        // shared/global split, one virtual call per batch.
+        struct CountingSink final : exec::TraceSink
+        {
+            memsim::MemoryHierarchy &mem;
+            memsim::GpuTraceCounts &gpu;
+            int nt;
+
+            CountingSink(memsim::MemoryHierarchy &m,
+                         memsim::GpuTraceCounts &g, int n)
+                : mem(m), gpu(g), nt(n) {}
+
+            void
+            onRecords(const exec::TraceRecord *recs,
+                      size_t n) override
+            {
+                for (size_t i = 0; i < n; ++i) {
+                    mem.access(recs[i].space, recs[i].offset,
+                               recs[i].isWrite != 0);
+                    if (recs[i].space >= nt)
+                        ++gpu.sharedAccesses;
+                    else
+                        ++gpu.globalAccesses;
+                }
+            }
+        } sink(mem, r.gpuCounts, int(p.tensors().size()));
+        kernel.run(buf, sink);
         r.cache = mem.stats();
     }
     return r;

@@ -7,8 +7,12 @@
 #                             cache hit rate
 #   BENCH_compile_time.json   registry compile-time sweep at --jobs 1
 #                             (the geomean-speedup trajectory number)
+#   BENCH_runtime.json        execution-tier sweep: interpreter vs
+#                             bytecode (vs native when a C toolchain
+#                             is present), with bit-identical-buffer
+#                             verdicts per workload
 #
-# at the repository root. Both benches compare the optimized
+# at the repository root. All benches compare the optimized
 # configuration (inline SmallVec rows + op cache) against the
 # baseline (forced-heap rows, cache off) in the same process and exit
 # nonzero when any workload's generated C differs — so this script
@@ -27,15 +31,18 @@ if [ ! -f "$build/CMakeCache.txt" ]; then
     cmake -B "$build" -S "$src"
 fi
 cmake --build "$build" -j "$jobs" \
-    --target bench_presburger bench_compile_time
+    --target bench_presburger bench_compile_time bench_runtime
 
 echo "== bench_presburger --json -> BENCH_presburger.json =="
 "$build/bench/bench_presburger" --json > "$src/BENCH_presburger.json"
 echo "== bench_compile_time --json -> BENCH_compile_time.json =="
 "$build/bench/bench_compile_time" --json \
     > "$src/BENCH_compile_time.json"
+echo "== bench_runtime --json -> BENCH_runtime.json =="
+"$build/bench/bench_runtime" --json > "$src/BENCH_runtime.json"
 
-# Surface the headline number; the benches already failed the script
-# (set -e) if any workload's generated code mismatched.
+# Surface the headline numbers; the benches already failed the
+# script (set -e) on any generated-code or buffer mismatch.
 grep -o '"geomeanSpeedup": [0-9.]*' "$src/BENCH_compile_time.json"
+grep -o '"geomeanSpeedup": [0-9.]*' "$src/BENCH_runtime.json"
 echo "== perf baseline written =="

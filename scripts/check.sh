@@ -22,9 +22,9 @@
 #                                  ctest itself)
 #   scripts/check.sh --bench-only  build + run the perf baseline
 #                                  (scripts/bench_to_json.sh), writing
-#                                  BENCH_presburger.json and
-#                                  BENCH_compile_time.json at the repo
-#                                  root
+#                                  BENCH_presburger.json,
+#                                  BENCH_compile_time.json and
+#                                  BENCH_runtime.json at the repo root
 #
 # All modes use their own build directories and leave ./build alone.
 set -euo pipefail
@@ -77,15 +77,18 @@ tsan_build_and_run() {
 
 # Build the error-path-heavy test binaries under ASAN and run them
 # directly. Leaks or overflows on the budget/fallback/failpoint
-# unwind paths show up here as hard failures.
+# unwind paths — and on the bytecode VM's strength-reduced access
+# offsets (tests/test_exec.cc) — show up here as hard failures.
 asan_build_and_run() {
     echo "== configure + build with -fsanitize=address =="
     cmake -B "$src/build-asan" -S "$src" -DPOLYFUSE_ASAN=ON
     cmake --build "$src/build-asan" -j "$jobs" \
-        --target test_robustness test_pres_parser
-    echo "== run test_robustness + test_pres_parser under ASAN =="
+        --target test_robustness test_pres_parser test_exec
+    echo "== run test_robustness + test_pres_parser + test_exec" \
+         "under ASAN =="
     "$src/build-asan/tests/test_robustness"
     "$src/build-asan/tests/test_pres_parser"
+    "$src/build-asan/tests/test_exec"
     echo "== ASAN run OK =="
 }
 

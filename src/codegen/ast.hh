@@ -75,6 +75,15 @@ struct AstNode
     AstKind kind = AstKind::Block;
     std::vector<AstPtr> children;
 
+    /**
+     * On the root node generateAst returns: the number of distinct
+     * loop-variable slots in the tree (max For var + 1), so executors
+     * can size their register files up front instead of rescanning or
+     * growing lazily. -1 on hand-built ASTs (executors then fall back
+     * to a scan).
+     */
+    int numLoopVars = -1;
+
     // --- For ---
     int var = -1;              ///< loop variable id (dense, 0-based)
     std::string varName;       ///< e.g. "ht", "c3"

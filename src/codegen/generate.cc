@@ -562,6 +562,18 @@ genNode(const NodePtr &node, GenCtx ctx, const GenOptions &options)
     panic("unreachable node kind");
 }
 
+/** Number of loop-variable slots used under @p n (max var + 1). */
+int
+countLoopVars(const AstPtr &n)
+{
+    if (!n)
+        return 0;
+    int vars = n->kind == AstKind::For ? n->var + 1 : 0;
+    for (const auto &c : n->children)
+        vars = std::max(vars, countLoopVars(c));
+    return vars;
+}
+
 } // namespace
 
 AstPtr
@@ -575,7 +587,10 @@ generateAst(const schedule::ScheduleTree &tree,
     // Enforce an armed budget / tripped cancel token up front; the
     // scan below re-checks through every eliminateCol it performs.
     pres::fm::checkBudget(*ctx.pres, "codegen::generateAst");
-    return genNode(tree.root(), std::move(ctx), options);
+    AstPtr root = genNode(tree.root(), std::move(ctx), options);
+    if (root)
+        root->numLoopVars = countLoopVars(root);
+    return root;
 }
 
 } // namespace codegen

@@ -1,0 +1,104 @@
+#include "codegen/render.hh"
+
+#include <sstream>
+
+namespace polyfuse {
+namespace codegen {
+
+using ir::Program;
+
+std::string
+renderMacroPreamble()
+{
+    return "#define pf_max(a, b) ((a) > (b) ? (a) : (b))\n"
+           "#define pf_min(a, b) ((a) < (b) ? (a) : (b))\n"
+           "#define pf_fdiv(n, d) ((n) >= 0 ? (n) / (d) : "
+           "-((-(n) + (d) - 1) / (d)))\n"
+           "#define pf_cdiv(n, d) pf_fdiv((n) + (d) - 1, d)\n";
+}
+
+std::string
+renderLinear(const Program &p, const BoundTerm &t,
+             const std::vector<std::string> &var_names)
+{
+    std::ostringstream os;
+    bool first = true;
+    auto emit = [&](int64_t c, const std::string &name) {
+        if (c == 0)
+            return;
+        if (first) {
+            if (c == -1)
+                os << "-";
+            else if (c != 1)
+                os << c << " * ";
+        } else {
+            os << (c > 0 ? " + " : " - ");
+            int64_t a = c > 0 ? c : -c;
+            if (a != 1)
+                os << a << " * ";
+        }
+        os << name;
+        first = false;
+    };
+    for (size_t v = 0; v < t.varCoeffs.size(); ++v)
+        emit(t.varCoeffs[v], var_names[v]);
+    for (size_t q = 0; q < t.paramCoeffs.size(); ++q)
+        emit(t.paramCoeffs[q], p.params()[q]);
+    if (first) {
+        os << t.constant;
+    } else if (t.constant > 0) {
+        os << " + " << t.constant;
+    } else if (t.constant < 0) {
+        os << " - " << -t.constant;
+    }
+    return os.str();
+}
+
+std::string
+renderTerm(const Program &p, const BoundTerm &t, bool is_lower,
+           const std::vector<std::string> &var_names)
+{
+    std::string num = renderLinear(p, t, var_names);
+    if (t.div == 1)
+        return num;
+    return std::string(is_lower ? "pf_cdiv(" : "pf_fdiv(") + num +
+           ", " + std::to_string(t.div) + ")";
+}
+
+std::string
+renderBound(const Program &p, const std::vector<BoundAlt> &alts,
+            bool is_lower, const std::vector<std::string> &var_names)
+{
+    // Lower: min over alternatives of max over terms; upper dual.
+    std::vector<std::string> alt_texts;
+    for (const auto &alt : alts) {
+        std::vector<std::string> terms;
+        for (const auto &t : alt)
+            terms.push_back(renderTerm(p, t, is_lower, var_names));
+        std::string text = terms[0];
+        for (size_t i = 1; i < terms.size(); ++i)
+            text = std::string(is_lower ? "pf_max(" : "pf_min(") +
+                   text + ", " + terms[i] + ")";
+        alt_texts.push_back(std::move(text));
+    }
+    std::string out = alt_texts[0];
+    for (size_t i = 1; i < alt_texts.size(); ++i)
+        out = std::string(is_lower ? "pf_min(" : "pf_max(") + out +
+              ", " + alt_texts[i] + ")";
+    return out;
+}
+
+std::string
+renderGuard(const Program &p, const GuardRow &g,
+            const std::vector<std::string> &var_names)
+{
+    BoundTerm t;
+    t.varCoeffs = g.varCoeffs;
+    t.paramCoeffs = g.paramCoeffs;
+    t.constant = g.constant;
+    return renderLinear(p, t, var_names) +
+           (g.isEq ? " == 0" : " >= 0");
+}
+
+} // namespace codegen
+} // namespace polyfuse

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Shared text renderers for the affine pieces of the generated AST
+ * (bound terms, min/max bound combinations, guard rows). Factored
+ * out of the C pretty-printer so the native execution tier's C
+ * emitter (exec/native.hh) renders the exact same arithmetic the
+ * executor evaluates — one source of truth for the textual form of
+ * every bound and guard.
+ *
+ * All renderers assume the `pf_max` / `pf_min` / `pf_fdiv` /
+ * `pf_cdiv` macro preamble (see renderMacroPreamble) is in scope,
+ * and spell program parameters by name — the emitting context must
+ * declare them (the native emitter defines them as constants, the
+ * pretty-printer leaves them symbolic).
+ */
+
+#ifndef POLYFUSE_CODEGEN_RENDER_HH
+#define POLYFUSE_CODEGEN_RENDER_HH
+
+#include <string>
+#include <vector>
+
+#include "codegen/ast.hh"
+#include "ir/program.hh"
+
+namespace polyfuse {
+namespace codegen {
+
+/** The macro definitions every rendered expression relies on. */
+std::string renderMacroPreamble();
+
+/** Render one affine numerator: coeffs over vars/params + const. */
+std::string renderLinear(const ir::Program &p, const BoundTerm &t,
+                         const std::vector<std::string> &var_names);
+
+/** Render one bound term, dividing via pf_cdiv/pf_fdiv as needed. */
+std::string renderTerm(const ir::Program &p, const BoundTerm &t,
+                       bool is_lower,
+                       const std::vector<std::string> &var_names);
+
+/** Render a full loop/box bound (min/max over alts over terms). */
+std::string renderBound(const ir::Program &p,
+                        const std::vector<BoundAlt> &alts,
+                        bool is_lower,
+                        const std::vector<std::string> &var_names);
+
+/** Render one guard row as a boolean C expression. */
+std::string renderGuard(const ir::Program &p, const GuardRow &g,
+                        const std::vector<std::string> &var_names);
+
+} // namespace codegen
+} // namespace polyfuse
+
+#endif // POLYFUSE_CODEGEN_RENDER_HH

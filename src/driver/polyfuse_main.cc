@@ -26,9 +26,11 @@
 #include "driver/batch.hh"
 #include "driver/pipeline.hh"
 #include "driver/registry.hh"
+#include "exec/engine.hh"
 #include "support/budget.hh"
 #include "support/failpoint.hh"
 #include "support/thread_pool.hh"
+#include "workloads/equake.hh"
 
 using namespace polyfuse;
 
@@ -71,6 +73,12 @@ usage(FILE *to)
         "  --failpoints SPEC     arm fault-injection sites, e.g.\n"
         "                        'core.compose=budget;pres.parse=off'\n"
         "                        (also: POLYFUSE_FAILPOINTS env)\n"
+        "  --run                 execute the compiled program and\n"
+        "                        report runtime statistics\n"
+        "  --exec <tier>         execution tier for --run:\n"
+        "                        interp|bytecode|native (default:\n"
+        "                        bytecode; implies --run)\n"
+        "  --native              shorthand for --exec native\n"
         "  --emit c|cuda|tree|stats|json\n"
         "                        what to print (default: stats;\n"
         "                        --all supports stats and json)\n"
@@ -183,6 +191,8 @@ main(int argc, char **argv)
     uint64_t budget_elims = 0;
     bool strict = false;
     bool use_op_cache = true;
+    bool do_run = false;
+    exec::Tier tier = exec::Tier::Bytecode;
 
     auto value = [&](int &i) -> const char * {
         if (i + 1 >= argc) {
@@ -281,6 +291,20 @@ main(int argc, char **argv)
                              err.c_str());
                 return 2;
             }
+        } else if (arg == "--run") {
+            do_run = true;
+        } else if (arg == "--exec") {
+            std::string name = value(i);
+            if (!exec::parseTier(name, &tier)) {
+                std::fprintf(stderr,
+                             "polyfuse: unknown --exec tier '%s'\n",
+                             name.c_str());
+                return 2;
+            }
+            do_run = true;
+        } else if (arg == "--native") {
+            tier = exec::Tier::Native;
+            do_run = true;
         } else if (arg == "--emit") {
             emit = value(i);
         } else {
@@ -381,6 +405,44 @@ main(int argc, char **argv)
                     codegen::printCode(program, state.ast,
                                        codegen::PrintStyle::Cuda)
                         .c_str());
+    }
+
+    if (do_run) {
+        exec::Buffers buffers(program);
+        if (program.name() == "equake") {
+            workloads::initEquakeInputs(program, buffers, 11);
+        } else {
+            for (size_t t = 0; t < program.tensors().size(); ++t)
+                if (program.tensor(t).kind != ir::TensorKind::Temp)
+                    buffers.fillPattern(t, 1000 + t);
+        }
+        exec::ExecOptions eopts;
+        eopts.tier = tier;
+        exec::ExecResult result;
+        try {
+            result = exec::execute(program, state.ast, buffers,
+                                   eopts);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "polyfuse: run failed: %s\n",
+                         e.what());
+            return 1;
+        }
+        if (!result.fallbackReason.empty())
+            std::fprintf(stderr,
+                         "polyfuse: fell back from %s to %s: %s\n",
+                         exec::tierName(tier),
+                         exec::tierName(result.tier),
+                         result.fallbackReason.c_str());
+        std::printf("run: tier %s, %.3f ms",
+                    exec::tierName(result.tier),
+                    result.stats.seconds * 1e3);
+        if (result.tier != exec::Tier::Native)
+            std::printf(
+                ", %llu instances, %llu loads, %llu stores",
+                (unsigned long long)result.stats.instances,
+                (unsigned long long)result.stats.loads,
+                (unsigned long long)result.stats.stores);
+        std::printf("\n");
     }
     return 0;
 }

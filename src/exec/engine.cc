@@ -1,0 +1,101 @@
+#include "exec/engine.hh"
+
+#include "exec/bytecode.hh"
+#include "exec/native.hh"
+#include "support/logging.hh"
+
+namespace polyfuse {
+namespace exec {
+
+const char *
+tierName(Tier tier)
+{
+    switch (tier) {
+      case Tier::Interp: return "interp";
+      case Tier::Bytecode: return "bytecode";
+      case Tier::Native: return "native";
+    }
+    return "?";
+}
+
+bool
+parseTier(const std::string &text, Tier *out)
+{
+    if (text == "interp")
+        *out = Tier::Interp;
+    else if (text == "bytecode")
+        *out = Tier::Bytecode;
+    else if (text == "native")
+        *out = Tier::Native;
+    else
+        return false;
+    return true;
+}
+
+namespace {
+
+ExecStats
+runBytecode(const ir::Program &program, const codegen::AstPtr &ast,
+            Buffers &buffers, const ExecOptions &options)
+{
+    BytecodeKernel kernel = BytecodeKernel::compile(program, ast);
+    if (options.sink)
+        return kernel.run(buffers, *options.sink);
+    if (options.trace)
+        return kernel.run(buffers, options.trace);
+    return kernel.run(buffers);
+}
+
+} // namespace
+
+ExecResult
+execute(const ir::Program &program, const codegen::AstPtr &ast,
+        Buffers &buffers, const ExecOptions &options)
+{
+    ExecResult result;
+    Tier tier = options.tier;
+    bool tracing = options.sink || options.trace;
+
+    if (tier == Tier::Native && tracing) {
+        if (!options.allowFallback)
+            fatal("native tier cannot emit traces");
+        result.fallbackReason = "tracing needs an instrumented tier";
+        tier = Tier::Bytecode;
+    }
+
+    if (tier == Tier::Native) {
+        NativeKernel kernel = NativeKernel::compile(program, ast);
+        if (kernel.ok()) {
+            result.stats = kernel.run(buffers);
+            result.tier = Tier::Native;
+            return result;
+        }
+        if (!options.allowFallback)
+            fatal("native tier unavailable: " + kernel.reason());
+        result.fallbackReason = kernel.reason();
+        tier = Tier::Bytecode;
+    }
+
+    if (tier == Tier::Bytecode) {
+        result.stats = runBytecode(program, ast, buffers, options);
+        result.tier = Tier::Bytecode;
+        return result;
+    }
+
+    if (options.sink) {
+        TraceSink &sink = *options.sink;
+        TraceHook hook = [&sink](int space, int64_t off, bool w) {
+            TraceRecord r{off, int32_t(space),
+                          uint8_t(w ? 1 : 0)};
+            sink.onRecords(&r, 1);
+        };
+        result.stats = run(program, ast, buffers, hook);
+    } else {
+        result.stats = run(program, ast, buffers, options.trace);
+    }
+    result.tier = Tier::Interp;
+    return result;
+}
+
+} // namespace exec
+} // namespace polyfuse

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The tier dispatcher: one entry point over the three execution
+ * tiers, with graceful degradation.
+ *
+ *   Tier::Interp   -- the Tier-0 reference interpreter (executor.hh)
+ *   Tier::Bytecode -- the Tier-1 bytecode VM (bytecode.hh), default
+ *   Tier::Native   -- the Tier-2 dlopen'ed C kernel (native.hh)
+ *
+ * Requesting Tier::Native with tracing, or when no toolchain /
+ * compile / dlopen step works out, falls back to the bytecode tier
+ * (unless allowFallback is off, which turns the condition into a
+ * FatalError); the result records the tier that actually ran and
+ * why any fallback happened, so callers -- the CLI, benchmarks,
+ * robustness tests -- can report it.
+ */
+
+#ifndef POLYFUSE_EXEC_ENGINE_HH
+#define POLYFUSE_EXEC_ENGINE_HH
+
+#include <string>
+
+#include "exec/executor.hh"
+
+namespace polyfuse {
+namespace exec {
+
+/** Which execution engine runs the generated AST. */
+enum class Tier
+{
+    Interp,   ///< tree-walking reference interpreter
+    Bytecode, ///< compiled bytecode tape (default)
+    Native,   ///< dlopen'ed C kernel via the system compiler
+};
+
+/** Stable lower-case name ("interp" | "bytecode" | "native"). */
+const char *tierName(Tier tier);
+
+/** Parse a tierName() spelling; false (and *out untouched) on
+ *  anything else. */
+bool parseTier(const std::string &text, Tier *out);
+
+/** How to execute. */
+struct ExecOptions
+{
+    Tier tier = Tier::Bytecode;
+    /** Fall back to a lower tier instead of failing (native only). */
+    bool allowFallback = true;
+    /** Batched trace consumer (interp/bytecode tiers only). */
+    TraceSink *sink = nullptr;
+    /** Legacy per-access trace hook; adapted via HookSink. */
+    TraceHook trace;
+};
+
+/** What execute() did. */
+struct ExecResult
+{
+    ExecStats stats;
+    Tier tier = Tier::Bytecode; ///< the tier that actually ran
+    /** Why `tier` differs from the requested one ("" when it ran). */
+    std::string fallbackReason;
+};
+
+/**
+ * Execute @p ast over @p buffers on the requested tier. Throws
+ * FatalError when fallback is disabled and the tier cannot run, or
+ * on program shapes no tier supports.
+ */
+ExecResult execute(const ir::Program &program,
+                   const codegen::AstPtr &ast, Buffers &buffers,
+                   const ExecOptions &options = {});
+
+} // namespace exec
+} // namespace polyfuse
+
+#endif // POLYFUSE_EXEC_ENGINE_HH

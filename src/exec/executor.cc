@@ -23,6 +23,9 @@ Buffers::Buffers(const Program &program)
 {
     for (size_t t = 0; t < program.tensors().size(); ++t) {
         std::vector<int64_t> ext;
+        if (program.tensor(t).rank > 8)
+            fatal("tensor " + program.tensor(t).name +
+                  " exceeds the supported rank (8)");
         for (unsigned d = 0; d < program.tensor(t).rank; ++d)
             ext.push_back(program.tensorExtent(t, d));
         int64_t n = 1;
@@ -33,16 +36,23 @@ Buffers::Buffers(const Program &program)
             n = checkedMul(n, e);
         }
         data_.emplace_back(n, 0.0);
+        std::vector<int64_t> str(ext.size(), 1);
+        for (size_t d = ext.size(); d-- > 1;)
+            str[d - 1] = str[d] * ext[d];
         extents_.push_back(std::move(ext));
+        strides_.push_back(std::move(str));
     }
 }
 
 int64_t
-Buffers::offsetOf(int tensor, const std::vector<int64_t> &idx) const
+Buffers::offsetOf(int tensor, const int64_t *idx, size_t rank) const
 {
     const auto &ext = extents_.at(tensor);
+    if (rank != ext.size())
+        fatal("rank mismatch accessing tensor " +
+              std::to_string(tensor));
     int64_t off = 0;
-    for (size_t d = 0; d < ext.size(); ++d) {
+    for (size_t d = 0; d < rank; ++d) {
         if (idx[d] < 0 || idx[d] >= ext[d])
             fatal("out-of-bounds access to tensor " +
                   std::to_string(tensor) + " dim " +
@@ -66,6 +76,9 @@ Buffers::fillPattern(int tensor, uint64_t seed)
 }
 
 namespace {
+
+/** Deepest tensor rank the fixed index buffers support. */
+constexpr size_t kMaxRank = 8;
 
 /** Pre-resolved runtime view of one access. */
 struct AccessRt
@@ -126,6 +139,8 @@ class Machine
     run(const AstPtr &ast)
     {
         Timer timer;
+        if (ast && ast->numLoopVars > 0)
+            vars_.resize(ast->numLoopVars, 0);
         exec(ast);
         stats_.seconds = timer.seconds();
         return stats_;
@@ -170,14 +185,14 @@ class Machine
     }
 
     double
-    loadTensor(int tensor, const std::vector<int64_t> &idx)
+    loadTensor(int tensor, const int64_t *idx, size_t rank)
     {
         ++stats_.loads;
         const auto &stack = scratch_[tensor];
         if (!stack.empty()) {
             const Scratch &s = stack.back();
             int64_t off = 0;
-            for (size_t d = 0; d < idx.size(); ++d) {
+            for (size_t d = 0; d < rank; ++d) {
                 int64_t rel = idx[d] - s.origin[d];
                 if (rel < 0 || rel >= s.extents[d])
                     fatal("scratchpad read outside promoted box");
@@ -187,14 +202,14 @@ class Machine
                 trace_(prog_.tensors().size() + tensor, off, false);
             return s.data[off];
         }
-        int64_t off = buffers_.offsetOf(tensor, idx);
+        int64_t off = buffers_.offsetOf(tensor, idx, rank);
         if (trace_)
             trace_(tensor, off, false);
         return buffers_.data(tensor)[off];
     }
 
     void
-    storeTensor(int tensor, const std::vector<int64_t> &idx,
+    storeTensor(int tensor, const int64_t *idx, size_t rank,
                 double value)
     {
         ++stats_.stores;
@@ -202,7 +217,7 @@ class Machine
         if (!stack.empty()) {
             Scratch &s = stack.back();
             int64_t off = 0;
-            for (size_t d = 0; d < idx.size(); ++d) {
+            for (size_t d = 0; d < rank; ++d) {
                 int64_t rel = idx[d] - s.origin[d];
                 if (rel < 0 || rel >= s.extents[d])
                     fatal("scratchpad write outside promoted box");
@@ -213,26 +228,28 @@ class Machine
             s.data[off] = value;
             return;
         }
-        int64_t off = buffers_.offsetOf(tensor, idx);
+        int64_t off = buffers_.offsetOf(tensor, idx, rank);
         if (trace_)
             trace_(tensor, off, true);
         buffers_.data(tensor)[off] = value;
     }
 
-    /** Compute the index vector of access @p a at instance @p iv. */
-    void
+    /** Compute the index vector of access @p a at instance @p iv
+     *  into the fixed-capacity @p idx (no per-access allocation). */
+    size_t
     accessIndex(const AccessRt &a, const std::vector<int64_t> &iv,
-                std::vector<int64_t> &idx) const
+                int64_t *idx) const
     {
-        idx.clear();
+        size_t rank = 0;
         for (const auto &row : a.rows) {
             int64_t acc = row.back();
             for (size_t d = 0; d < iv.size(); ++d)
                 acc += row[d] * iv[d];
             for (size_t p = 0; p < a.paramValues.size(); ++p)
                 acc += row[iv.size() + p] * a.paramValues[p];
-            idx.push_back(acc);
+            idx[rank++] = acc;
         }
+        return rank;
     }
 
     double
@@ -252,16 +269,16 @@ class Machine
             const AccessRt &a = rt.accesses[acc_idx];
             if (a.rows.empty())
                 fatal("LoadAcc on non-affine access; use loadIdx");
-            std::vector<int64_t> idx;
-            accessIndex(a, iv, idx);
-            return loadTensor(a.tensor, idx);
+            int64_t idx[kMaxRank];
+            size_t rank = accessIndex(a, iv, idx);
+            return loadTensor(a.tensor, idx, rank);
           }
           case Expr::Kind::LoadIdx: {
-            std::vector<int64_t> idx;
+            int64_t idx[kMaxRank];
+            size_t rank = 0;
             for (const auto &arg : e.args)
-                idx.push_back(
-                    llround(evalExpr(*arg, rt, iv)));
-            return loadTensor(e.tensor, idx);
+                idx[rank++] = llround(evalExpr(*arg, rt, iv));
+            return loadTensor(e.tensor, idx, rank);
           }
           case Expr::Kind::Unary: {
             double x = evalExpr(*e.args[0], rt, iv);
@@ -327,9 +344,9 @@ class Machine
             const AccessRt &w = rt.accesses[rt.write];
             if (w.rows.empty())
                 fatal("non-affine write access unsupported");
-            std::vector<int64_t> idx;
-            accessIndex(w, iv_, idx);
-            storeTensor(w.tensor, idx, value);
+            int64_t idx[kMaxRank];
+            size_t rank = accessIndex(w, iv_, idx);
+            storeTensor(w.tensor, idx, rank, value);
         }
     }
 

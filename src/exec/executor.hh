@@ -2,24 +2,27 @@
  * @file
  * The AST executor: runs generated loop nests over real buffers.
  *
- * The executor is the library's stand-in for compiling the generated
- * OpenMP/CUDA code with a native toolchain: per-iteration overhead is
- * constant across scheduling strategies, so strategy-relative ratios
- * (which is what the paper's evaluation compares) are preserved,
- * while the memory-access *pattern* is exactly that of the generated
- * code -- which is what the cache simulator consumes via the trace
- * hook.
+ * This header declares the Tier-0 reference interpreter (run()) and
+ * the runtime storage (Buffers) shared by every execution tier. The
+ * interpreter re-evaluates Expr trees and re-derives affine offsets
+ * per scalar access; it is the semantic reference the faster tiers
+ * (exec/bytecode.hh, exec/native.hh -- see exec/engine.hh for the
+ * tier dispatch) are differentially tested against: per-iteration
+ * overhead is constant across scheduling strategies, so
+ * strategy-relative ratios (which is what the paper's evaluation
+ * compares) are preserved, while the memory-access *pattern* is
+ * exactly that of the generated code -- which is what the cache
+ * simulator consumes via the trace hook.
  */
 
 #ifndef POLYFUSE_EXEC_EXECUTOR_HH
 #define POLYFUSE_EXEC_EXECUTOR_HH
 
 #include <cstdint>
-#include <functional>
-#include <map>
 #include <vector>
 
 #include "codegen/ast.hh"
+#include "exec/trace.hh"
 #include "ir/program.hh"
 
 namespace polyfuse {
@@ -32,6 +35,9 @@ class Buffers
     /** Allocate one zero-initialized buffer per program tensor. */
     explicit Buffers(const ir::Program &program);
 
+    /** Number of tensors (== the program's tensor count). */
+    size_t numTensors() const { return data_.size(); }
+
     std::vector<double> &data(int tensor) { return data_.at(tensor); }
     const std::vector<double> &data(int tensor) const
     { return data_.at(tensor); }
@@ -40,8 +46,23 @@ class Buffers
     const std::vector<int64_t> &extents(int tensor) const
     { return extents_.at(tensor); }
 
-    /** Row-major linear offset of @p idx within @p tensor. */
-    int64_t offsetOf(int tensor, const std::vector<int64_t> &idx) const;
+    /** Row-major strides of a tensor (innermost dim has stride 1). */
+    const std::vector<int64_t> &strides(int tensor) const
+    { return strides_.at(tensor); }
+
+    /**
+     * Row-major linear offset of the @p rank indices at @p idx within
+     * @p tensor (bounds-checked; throws FatalError when outside).
+     */
+    int64_t offsetOf(int tensor, const int64_t *idx,
+                     size_t rank) const;
+
+    /** Convenience overload for callers holding a vector. */
+    int64_t
+    offsetOf(int tensor, const std::vector<int64_t> &idx) const
+    {
+        return offsetOf(tensor, idx.data(), idx.size());
+    }
 
     /** Fill a tensor with a deterministic pseudo-random pattern. */
     void fillPattern(int tensor, uint64_t seed);
@@ -49,15 +70,8 @@ class Buffers
   private:
     std::vector<std::vector<double>> data_;
     std::vector<std::vector<int64_t>> extents_;
+    std::vector<std::vector<int64_t>> strides_;
 };
-
-/**
- * Memory-trace hook: called per scalar access with a space id (one
- * per tensor; promoted scratchpads get numTensors + tensor), the
- * element offset within the space, and the direction.
- */
-using TraceHook =
-    std::function<void(int space, int64_t offset, bool is_write)>;
 
 /** Counters of one execution. */
 struct ExecStats
@@ -71,7 +85,7 @@ struct ExecStats
     double seconds = 0;      ///< wall-clock of the run
 };
 
-/** Execute @p ast over @p buffers. */
+/** Execute @p ast over @p buffers with the reference interpreter. */
 ExecStats run(const ir::Program &program, const codegen::AstPtr &ast,
               Buffers &buffers, const TraceHook &trace = nullptr);
 

@@ -1,0 +1,608 @@
+#include "exec/native.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include "codegen/render.hh"
+#include "support/failpoint.hh"
+#include "support/logging.hh"
+#include "support/timer.hh"
+
+namespace polyfuse {
+namespace exec {
+
+using codegen::AstKind;
+using codegen::AstNode;
+using codegen::AstPtr;
+using ir::Expr;
+using ir::Program;
+using ir::Statement;
+
+namespace {
+
+/** Render a double so the C compiler reparses the exact bits. */
+std::string
+hexDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%a", v);
+    return buf;
+}
+
+/** The lexically active scratchpad of one tensor. */
+struct ScratchScope
+{
+    std::string buf;                 ///< local array variable
+    std::vector<std::string> lo;     ///< per-dim origin variables
+    std::vector<std::string> ext;    ///< per-dim extent variables
+};
+
+class Emitter
+{
+  public:
+    explicit Emitter(const Program &p) : prog_(p)
+    {
+        scratch_.resize(p.tensors().size());
+    }
+
+    std::string
+    run(const AstPtr &ast)
+    {
+        collectVarNames(ast);
+        os_ << "/* polyfuse native kernel (" << prog_.name()
+            << ") -- generated; do not edit */\n"
+            << "#include <math.h>\n"
+            << "#include <stdint.h>\n"
+            << "#include <stdlib.h>\n\n"
+            << codegen::renderMacroPreamble() << "\n"
+            << "void pf_kernel(double **pf_bufs)\n{\n";
+        for (const auto &name : prog_.params())
+            line(1) << "const int64_t " << name << " = "
+                    << prog_.paramValue(name) << ";\n";
+        if (!prog_.params().empty())
+            os_ << "\n";
+        // Parameters can be unused when codegen folded them away.
+        for (const auto &name : prog_.params())
+            line(1) << "(void)" << name << ";\n";
+        visit(ast, 1);
+        os_ << "}\n";
+        return os_.str();
+    }
+
+  private:
+    std::ostream &
+    line(unsigned depth)
+    {
+        os_ << std::string(depth * 2, ' ');
+        return os_;
+    }
+
+    void
+    collectVarNames(const AstPtr &n)
+    {
+        if (!n)
+            return;
+        if (n->kind == AstKind::For) {
+            if (var_names_.size() <= size_t(n->var))
+                var_names_.resize(n->var + 1);
+            var_names_[n->var] = n->varName.empty()
+                                     ? "pf_c" + std::to_string(n->var)
+                                     : n->varName;
+        }
+        for (const auto &c : n->children)
+            collectVarNames(c);
+    }
+
+    /** The index expression of instance dimension @p d of node @p n:
+     *  loop var + constant offset. */
+    std::string
+    ivExpr(const AstNode &n, size_t d) const
+    {
+        const auto &[var, off] = n.bindings[d];
+        std::string s = var_names_[var];
+        if (off > 0)
+            s += " + " + std::to_string(off);
+        else if (off < 0)
+            s += " - " + std::to_string(-off);
+        return s;
+    }
+
+    /** Per-dim index expressions of affine access @p a at node @p n,
+     *  access parameters folded numerically. */
+    std::vector<std::string>
+    accessIndexExprs(const AstNode &n, const ir::Access &a) const
+    {
+        const Statement &s = prog_.statement(n.stmt);
+        size_t nd = s.numDims();
+        std::vector<int64_t> pvals;
+        for (const auto &pname : a.rel.space().params())
+            pvals.push_back(prog_.paramValue(pname));
+        std::vector<std::string> out;
+        for (const auto &row : a.indexExprs) {
+            int64_t c = row.back();
+            for (size_t p = 0; p < pvals.size(); ++p)
+                c += row[nd + p] * pvals[p];
+            std::ostringstream e;
+            bool first = true;
+            for (size_t d = 0; d < nd; ++d) {
+                if (row[d] == 0)
+                    continue;
+                if (!first)
+                    e << " + ";
+                if (row[d] != 1)
+                    e << row[d] << " * ";
+                e << "(" << ivExpr(n, d) << ")";
+                first = false;
+            }
+            if (first)
+                e << c;
+            else if (c > 0)
+                e << " + " << c;
+            else if (c < 0)
+                e << " - " << -c;
+            out.push_back(e.str());
+        }
+        return out;
+    }
+
+    /**
+     * Horner-form linear offset of @p idx into tensor @p tensor's
+     * lexically active storage (scratchpad local or global buffer),
+     * matching the interpreter's offset arithmetic exactly.
+     */
+    std::string
+    storageRef(int tensor, const std::vector<std::string> &idx) const
+    {
+        const auto &stack = scratch_[tensor];
+        std::ostringstream r;
+        if (!stack.empty()) {
+            const ScratchScope &s = stack.back();
+            r << s.buf << "[";
+            if (idx.empty()) {
+                r << "0";
+            } else {
+                std::string off =
+                    "(" + idx[0] + " - " + s.lo[0] + ")";
+                for (size_t d = 1; d < idx.size(); ++d)
+                    off = "(" + off + ") * " + s.ext[d] + " + (" +
+                          idx[d] + " - " + s.lo[d] + ")";
+                r << off;
+            }
+            r << "]";
+            return r.str();
+        }
+        r << "pf_bufs[" << tensor << "][";
+        if (idx.empty()) {
+            r << "0";
+        } else {
+            std::string off = "(" + idx[0] + ")";
+            for (size_t d = 1; d < idx.size(); ++d)
+                off = "(" + off + ") * " +
+                      std::to_string(prog_.tensorExtent(tensor, d)) +
+                      " + (" + idx[d] + ")";
+            r << off;
+        }
+        r << "]";
+        return r.str();
+    }
+
+    /** Render statement body @p e of node @p n as a C expression
+     *  bit-identical to the interpreter's evaluation. */
+    std::string
+    expr(const Expr &e, const AstNode &n) const
+    {
+        switch (e.kind) {
+          case Expr::Kind::Const:
+            return hexDouble(e.value);
+          case Expr::Kind::Param:
+            return hexDouble(double(prog_.paramValue(e.param)));
+          case Expr::Kind::Iter:
+            return "(double)(" + ivExpr(n, e.iter) + ")";
+          case Expr::Kind::LoadAcc: {
+            const Statement &s = prog_.statement(n.stmt);
+            const ir::Access &a =
+                s.accesses()[s.readIndices().at(e.access)];
+            if (!a.hasExprs || a.indexExprs.empty())
+                fatal("LoadAcc on non-affine access; use loadIdx");
+            return storageRef(a.tensor, accessIndexExprs(n, a));
+          }
+          case Expr::Kind::LoadIdx: {
+            std::vector<std::string> idx;
+            for (const auto &arg : e.args)
+                idx.push_back("(int64_t)llround(" + expr(*arg, n) +
+                              ")");
+            return storageRef(e.tensor, idx);
+          }
+          case Expr::Kind::Unary: {
+            std::string x = "(" + expr(*e.args[0], n) + ")";
+            switch (e.uop) {
+              case ir::UnOp::Neg: return "(-" + x + ")";
+              case ir::UnOp::Exp: return "exp" + x;
+              case ir::UnOp::Log:
+                return "log(fabs" + x + " + 1e-12)";
+              case ir::UnOp::Sqrt: return "sqrt(fabs" + x + ")";
+              case ir::UnOp::Abs: return "fabs" + x;
+              case ir::UnOp::Relu:
+                return "(" + x + " > 0 ? " + x + " : 0.0)";
+              case ir::UnOp::Floor: return "floor" + x;
+            }
+            panic("bad unop");
+          }
+          case Expr::Kind::Binary: {
+            std::string a = "(" + expr(*e.args[0], n) + ")";
+            std::string b = "(" + expr(*e.args[1], n) + ")";
+            switch (e.bop) {
+              case ir::BinOp::Add: return "(" + a + " + " + b + ")";
+              case ir::BinOp::Sub: return "(" + a + " - " + b + ")";
+              case ir::BinOp::Mul: return "(" + a + " * " + b + ")";
+              case ir::BinOp::Div:
+                // Matches the interpreter's guarded division.
+                return "(" + a + " / (" + b + " == 0 ? 1e-12 : " +
+                       b + "))";
+              case ir::BinOp::Min:
+                // std::min/std::max tie-breaking, spelled out.
+                return "(" + b + " < " + a + " ? " + b + " : " + a +
+                       ")";
+              case ir::BinOp::Max:
+                return "(" + a + " < " + b + " ? " + b + " : " + a +
+                       ")";
+            }
+            panic("bad binop");
+          }
+        }
+        panic("bad expr kind");
+    }
+
+    void
+    emitAlloc(const AstNode &n, unsigned depth)
+    {
+        std::vector<int> pushed;
+        line(depth) << "{\n";
+        ++depth;
+        for (const auto &promo : n.promotions) {
+            int id = scope_id_++;
+            std::string tag = std::to_string(id);
+            unsigned rank = unsigned(promo.boxLo.size());
+            ScratchScope sc;
+            sc.buf = "pf_loc_" + tag;
+            line(depth) << "/* scratchpad for "
+                        << prog_.tensor(promo.tensor).name
+                        << " */\n";
+            std::string size = "pf_size_" + tag;
+            line(depth) << "int64_t " << size << " = 1;\n";
+            for (unsigned d = 0; d < rank; ++d) {
+                std::string lo = "pf_lo" + std::to_string(d) + "_" +
+                                 tag;
+                std::string hi = "pf_hi" + std::to_string(d) + "_" +
+                                 tag;
+                std::string ext = "pf_ext" + std::to_string(d) +
+                                  "_" + tag;
+                line(depth)
+                    << "int64_t " << lo << " = pf_max("
+                    << codegen::renderBound(prog_, promo.boxLo[d],
+                                            true, var_names_)
+                    << ", 0);\n";
+                line(depth)
+                    << "int64_t " << hi << " = pf_min("
+                    << codegen::renderBound(prog_, promo.boxHi[d],
+                                            false, var_names_)
+                    << ", "
+                    << prog_.tensorExtent(promo.tensor, d) - 1
+                    << ");\n";
+                line(depth) << "if (" << hi << " < " << lo << ") "
+                            << hi << " = " << lo << " - 1;\n";
+                line(depth) << "int64_t " << ext << " = " << hi
+                            << " - " << lo << " + 1;\n";
+                line(depth) << size << " *= " << ext << " > 0 ? "
+                            << ext << " : 0;\n";
+                sc.lo.push_back(lo);
+                sc.ext.push_back(ext);
+            }
+            line(depth) << "double *" << sc.buf
+                        << " = (double *)calloc((size_t)(" << size
+                        << " > 0 ? " << size << " : 1), "
+                        << "sizeof(double));\n";
+            // Copy-in from the *currently active* storage view of
+            // the tensor -- which is the global buffer, matching the
+            // interpreter (promotions never nest per tensor today,
+            // and copyIn always reads the global buffer).
+            line(depth) << "if (" << size << " > 0) {\n";
+            {
+                unsigned d2 = depth + 1;
+                std::vector<std::string> src_idx, dst_idx;
+                for (unsigned d = 0; d < rank; ++d) {
+                    std::string it = "pf_ci" + std::to_string(d) +
+                                     "_" + tag;
+                    line(d2) << "for (int64_t " << it << " = "
+                             << sc.lo[d] << "; " << it << " < "
+                             << sc.lo[d] << " + " << sc.ext[d]
+                             << "; ++" << it << ")\n";
+                    src_idx.push_back(it);
+                    ++d2;
+                }
+                // Destination offset: Horner over box extents.
+                std::string dst = rank == 0 ? std::string("0")
+                                            : "(" + src_idx[0] +
+                                                  " - " + sc.lo[0] +
+                                                  ")";
+                for (unsigned d = 1; d < rank; ++d)
+                    dst = "(" + dst + ") * " + sc.ext[d] + " + (" +
+                          src_idx[d] + " - " + sc.lo[d] + ")";
+                line(d2) << sc.buf << "[" << dst << "] = "
+                         << storageRefGlobal(promo.tensor, src_idx)
+                         << ";\n";
+            }
+            line(depth) << "}\n";
+            scratch_[promo.tensor].push_back(std::move(sc));
+            pushed.push_back(promo.tensor);
+        }
+        for (const auto &c : n.children)
+            visit(c, depth);
+        for (auto it = pushed.rbegin(); it != pushed.rend(); ++it) {
+            line(depth) << "free("
+                        << scratch_[*it].back().buf << ");\n";
+            scratch_[*it].pop_back();
+        }
+        --depth;
+        line(depth) << "}\n";
+    }
+
+    /** storageRef pinned to the global buffer (copy-in source). */
+    std::string
+    storageRefGlobal(int tensor,
+                     const std::vector<std::string> &idx) const
+    {
+        std::ostringstream r;
+        r << "pf_bufs[" << tensor << "][";
+        if (idx.empty()) {
+            r << "0";
+        } else {
+            std::string off = "(" + idx[0] + ")";
+            for (size_t d = 1; d < idx.size(); ++d)
+                off = "(" + off + ") * " +
+                      std::to_string(prog_.tensorExtent(tensor, d)) +
+                      " + (" + idx[d] + ")";
+            r << off;
+        }
+        r << "]";
+        return r.str();
+    }
+
+    void
+    emitStmt(const AstNode &n, unsigned depth)
+    {
+        const Statement &s = prog_.statement(n.stmt);
+        line(depth) << "{\n";
+        ++depth;
+        if (!n.guards.empty()) {
+            std::vector<std::string> conds;
+            for (const auto &g : n.guards)
+                conds.push_back(
+                    "(" + codegen::renderGuard(prog_, g, var_names_) +
+                    ")");
+            std::string joined = conds[0];
+            for (size_t i = 1; i < conds.size(); ++i)
+                joined += " && " + conds[i];
+            line(depth) << "if (" << joined << ") {\n";
+            ++depth;
+        }
+        if (s.body()) {
+            line(depth) << "double pf_v = " << expr(*s.body(), n)
+                        << ";\n";
+            if (s.writeIndex() >= 0) {
+                const ir::Access &w = s.writeAccess();
+                if (!w.hasExprs || w.indexExprs.empty())
+                    fatal("non-affine write access unsupported");
+                line(depth)
+                    << storageRef(w.tensor,
+                                  accessIndexExprs(n, w))
+                    << " = pf_v;\n";
+            } else {
+                line(depth) << "(void)pf_v;\n";
+            }
+        }
+        if (!n.guards.empty()) {
+            --depth;
+            line(depth) << "}\n";
+        }
+        --depth;
+        line(depth) << "}\n";
+    }
+
+    void
+    visit(const AstPtr &n, unsigned depth)
+    {
+        if (!n)
+            return;
+        switch (n->kind) {
+          case AstKind::Block:
+            for (const auto &c : n->children)
+                visit(c, depth);
+            return;
+          case AstKind::Alloc:
+            emitAlloc(*n, depth);
+            return;
+          case AstKind::For: {
+            const std::string &v = var_names_[n->var];
+            line(depth) << "{\n";
+            ++depth;
+            line(depth) << "const int64_t " << v << "_lb = "
+                        << codegen::renderBound(prog_, n->lb, true,
+                                                var_names_)
+                        << ";\n";
+            line(depth) << "const int64_t " << v << "_ub = "
+                        << codegen::renderBound(prog_, n->ub, false,
+                                                var_names_)
+                        << ";\n";
+            line(depth) << "for (int64_t " << v << " = " << v
+                        << "_lb; " << v << " <= " << v
+                        << "_ub; ++" << v << ") {\n";
+            for (const auto &c : n->children)
+                visit(c, depth + 1);
+            line(depth) << "}\n";
+            --depth;
+            line(depth) << "}\n";
+            return;
+          }
+          case AstKind::Stmt:
+            emitStmt(*n, depth);
+            return;
+        }
+    }
+
+    const Program &prog_;
+    std::ostringstream os_;
+    std::vector<std::string> var_names_;
+    std::vector<std::vector<ScratchScope>> scratch_;
+    int scope_id_ = 0;
+};
+
+/** Locate a working C compiler once; empty when there is none. */
+const std::string &
+compilerPath()
+{
+    static std::mutex mu;
+    static bool probed = false;
+    static std::string path;
+    std::lock_guard<std::mutex> lock(mu);
+    if (probed)
+        return path;
+    probed = true;
+    std::vector<std::string> candidates;
+    if (const char *cc = std::getenv("CC"))
+        candidates.push_back(cc);
+    candidates.insert(candidates.end(), {"cc", "gcc", "clang"});
+    for (const auto &c : candidates) {
+        std::string cmd = c + " --version > /dev/null 2>&1";
+        if (std::system(cmd.c_str()) == 0) {
+            path = c;
+            break;
+        }
+    }
+    return path;
+}
+
+} // namespace
+
+std::string
+emitNativeSource(const Program &program, const AstPtr &ast)
+{
+    return Emitter(program).run(ast);
+}
+
+struct NativeKernel::Handle
+{
+    void *dl = nullptr;
+    void (*fn)(double **) = nullptr;
+
+    ~Handle()
+    {
+        if (dl)
+            dlclose(dl);
+    }
+};
+
+bool
+NativeKernel::toolchainAvailable()
+{
+    return !compilerPath().empty();
+}
+
+NativeKernel
+NativeKernel::compile(const Program &program, const AstPtr &ast)
+{
+    NativeKernel k;
+    try {
+        failpoints::hit("exec.native.compile");
+        const std::string &cc = compilerPath();
+        if (cc.empty()) {
+            k.reason_ = "no C compiler found (cc/gcc/clang)";
+            return k;
+        }
+
+        char tmpl[] = "/tmp/pf_native_XXXXXX";
+        if (!mkdtemp(tmpl)) {
+            k.reason_ = "mkdtemp failed";
+            return k;
+        }
+        std::string dir = tmpl;
+        std::string src_path = dir + "/kernel.c";
+        std::string so_path = dir + "/kernel.so";
+        auto cleanup = [&]() {
+            std::remove(src_path.c_str());
+            std::remove(so_path.c_str());
+            rmdir(dir.c_str());
+        };
+
+        {
+            std::ofstream src(src_path);
+            src << emitNativeSource(program, ast);
+            if (!src) {
+                k.reason_ = "failed to write " + src_path;
+                cleanup();
+                return k;
+            }
+        }
+
+        // -ffp-contract=off: the interpreter never fuses a*b+c, so
+        // the native kernel must not either (bit-exactness).
+        std::string cmd = cc + " -O2 -fPIC -shared" +
+                          " -ffp-contract=off -o " + so_path + " " +
+                          src_path + " -lm > /dev/null 2>&1";
+        if (std::system(cmd.c_str()) != 0) {
+            k.reason_ = "native compile failed (" + cc + ")";
+            cleanup();
+            return k;
+        }
+
+        failpoints::hit("exec.native.dlopen");
+        void *dl = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+        if (!dl) {
+            const char *err = dlerror();
+            k.reason_ = std::string("dlopen failed: ") +
+                        (err ? err : "unknown");
+            cleanup();
+            return k;
+        }
+        auto handle = std::make_shared<Handle>();
+        handle->dl = dl;
+        handle->fn = reinterpret_cast<void (*)(double **)>(
+            dlsym(dl, "pf_kernel"));
+        // The object stays mapped; the files can go away now.
+        cleanup();
+        if (!handle->fn) {
+            k.reason_ = "pf_kernel symbol missing";
+            return k;
+        }
+        k.handle_ = std::move(handle);
+        k.reason_.clear();
+    } catch (const std::exception &e) {
+        k.handle_.reset();
+        k.reason_ = std::string("native tier failed: ") + e.what();
+    }
+    return k;
+}
+
+ExecStats
+NativeKernel::run(Buffers &buffers) const
+{
+    if (!ok())
+        fatal("native kernel not runnable: " + reason_);
+    std::vector<double *> bufs;
+    for (size_t t = 0; t < buffers.numTensors(); ++t)
+        bufs.push_back(buffers.data(int(t)).data());
+    ExecStats stats;
+    Timer timer;
+    handle_->fn(bufs.data());
+    stats.seconds = timer.seconds();
+    return stats;
+}
+
+} // namespace exec
+} // namespace polyfuse

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tier-2 execution: the generated AST emitted as self-contained C,
+ * compiled through the system C compiler into a shared object, and
+ * dlopen'ed. This runs the *real* generated kernel -- the same code
+ * shape codegen/cprinter.hh pretty-prints -- so wall-clock numbers
+ * reflect machine code rather than any interpreter.
+ *
+ * The emitted source pins down bit-exact semantics against the
+ * reference interpreter: the same guarded-division / clamped-log
+ * forms, llround()-ed indirection indices, and `-ffp-contract=off`
+ * so the C compiler cannot fuse multiply-adds the interpreter
+ * evaluates separately (tests/test_exec.cc asserts exact buffer
+ * equality when a toolchain is present).
+ *
+ * Everything degrades gracefully: no compiler on PATH, a failed
+ * compile, or a failed dlopen yield a NativeKernel with ok() ==
+ * false and a human-readable reason(); exec/engine.hh then falls
+ * back to the bytecode tier. The compile and load steps carry the
+ * failpoints `exec.native.compile` and `exec.native.dlopen` so the
+ * robustness suite can force each failure deterministically.
+ */
+
+#ifndef POLYFUSE_EXEC_NATIVE_HH
+#define POLYFUSE_EXEC_NATIVE_HH
+
+#include <memory>
+#include <string>
+
+#include "exec/executor.hh"
+
+namespace polyfuse {
+namespace exec {
+
+/**
+ * Emit @p ast as a self-contained C translation unit defining
+ * `void pf_kernel(double **pf_bufs)`, where `pf_bufs[t]` is the
+ * flat buffer of tensor t. Program parameters are folded in as
+ * named `const int64_t` constants; scratchpad promotions become
+ * calloc'ed locals with copy-in, scoped lexically.
+ */
+std::string emitNativeSource(const ir::Program &program,
+                             const codegen::AstPtr &ast);
+
+/** A dlopen'ed compiled kernel (or the reason there isn't one). */
+class NativeKernel
+{
+  public:
+    /** Not runnable; ok() == false. */
+    NativeKernel() = default;
+
+    /**
+     * Emit, compile and load the kernel. Never throws for missing
+     * toolchain / compile / load problems -- those come back as
+     * ok() == false with reason() set, so callers can fall back.
+     */
+    static NativeKernel compile(const ir::Program &program,
+                                const codegen::AstPtr &ast);
+
+    /** True when the shared object is loaded and runnable. */
+    bool ok() const { return handle_ != nullptr; }
+
+    /** Why compile() produced a non-runnable kernel. */
+    const std::string &reason() const { return reason_; }
+
+    /**
+     * Run the kernel over @p buffers. Only wall-clock seconds is
+     * populated in the returned stats -- machine code carries no
+     * instance/load/store counters. Throws FatalError when !ok().
+     */
+    ExecStats run(Buffers &buffers) const;
+
+    /** True when a working C compiler is on this machine (cached). */
+    static bool toolchainAvailable();
+
+  private:
+    struct Handle; ///< dlopen lifetime; dlclose on destruction
+
+    std::shared_ptr<Handle> handle_;
+    std::string reason_ = "not compiled";
+};
+
+} // namespace exec
+} // namespace polyfuse
+
+#endif // POLYFUSE_EXEC_NATIVE_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Batched memory-trace plumbing shared by the execution tiers and
+ * the cache simulator.
+ *
+ * The original TraceHook (std::function called once per scalar
+ * access) costs an indirect call plus argument marshalling on every
+ * access -- measurable when the cache simulation consumes hundreds
+ * of millions of records. The bytecode tier instead appends fixed
+ * 16-byte TraceRecords to an in-kernel buffer and hands full batches
+ * to a TraceSink, so the per-access cost is one store plus a counter
+ * bump and the indirect call amortizes over kTraceBatch records.
+ *
+ * HookSink adapts the old per-access hook signature onto the batched
+ * interface, so existing consumers keep working unchanged.
+ */
+
+#ifndef POLYFUSE_EXEC_TRACE_HH
+#define POLYFUSE_EXEC_TRACE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace polyfuse {
+namespace exec {
+
+/** One scalar access: space id (tensor, or numTensors + tensor for
+ *  a promoted scratchpad), element offset, and direction. */
+struct TraceRecord
+{
+    int64_t offset = 0;
+    int32_t space = 0;
+    uint8_t isWrite = 0;
+};
+
+/** Records per batch handed to a TraceSink. */
+constexpr size_t kTraceBatch = 4096;
+
+/** Consumer of batched trace records (delivered in program order). */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Called with @p n > 0 records in execution order. */
+    virtual void onRecords(const TraceRecord *records, size_t n) = 0;
+};
+
+/**
+ * Memory-trace hook: called per scalar access. Kept as the adapter
+ * signature for consumers that want one callback per access.
+ */
+using TraceHook =
+    std::function<void(int space, int64_t offset, bool is_write)>;
+
+/** Adapter: replays each batched record into a per-access hook. */
+class HookSink final : public TraceSink
+{
+  public:
+    explicit HookSink(const TraceHook &hook) : hook_(hook) {}
+
+    void
+    onRecords(const TraceRecord *records, size_t n) override
+    {
+        for (size_t i = 0; i < n; ++i)
+            hook_(records[i].space, records[i].offset,
+                  records[i].isWrite != 0);
+    }
+
+  private:
+    const TraceHook &hook_;
+};
+
+} // namespace exec
+} // namespace polyfuse
+
+#endif // POLYFUSE_EXEC_TRACE_HH

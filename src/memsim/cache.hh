@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "exec/trace.hh"
+
 namespace polyfuse {
 namespace memsim {
 
@@ -99,6 +101,28 @@ class MemoryHierarchy
     std::vector<uint64_t> bases_;
     uint64_t nextBase_ = 1 << 20;
     CacheStats stats_;
+};
+
+/**
+ * Batched trace consumer feeding a MemoryHierarchy: the bytecode
+ * tier hands it kTraceBatch records per virtual call instead of one
+ * std::function invocation per scalar access.
+ */
+class HierarchySink final : public exec::TraceSink
+{
+  public:
+    explicit HierarchySink(MemoryHierarchy &mem) : mem_(mem) {}
+
+    void
+    onRecords(const exec::TraceRecord *records, size_t n) override
+    {
+        for (size_t i = 0; i < n; ++i)
+            mem_.access(records[i].space, records[i].offset,
+                        records[i].isWrite != 0);
+    }
+
+  private:
+    MemoryHierarchy &mem_;
 };
 
 } // namespace memsim

@@ -5,6 +5,7 @@
 
 #include "codegen/generate.hh"
 #include "core/compose.hh"
+#include "exec/bytecode.hh"
 #include "memsim/cache.hh"
 #include "perfmodel/parallel.hh"
 #include "pres/op_cache.hh"
@@ -49,10 +50,12 @@ evaluate(const ir::Program &p, const deps::DependenceGraph &g,
         mem.addSpace(t, p.tensorSize(t));
         mem.addSpace(p.tensors().size() + t, p.tensorSize(t));
     }
-    auto stats = exec::run(p, ast, buf,
-                           [&](int space, int64_t off, bool w) {
-                               mem.access(space, off, w);
-                           });
+    // The bytecode tier with the batched hierarchy sink: identical
+    // trace sequence to the interpreter (differentially tested),
+    // at a fraction of the per-access cost.
+    auto kernel = exec::BytecodeKernel::compile(p, ast);
+    memsim::HierarchySink sink(mem);
+    auto stats = kernel.run(buf, sink);
     return modeledCpuMs(stats, mem.stats(), options.threads);
 }
 

@@ -17,6 +17,7 @@
 #include "codegen/cprinter.hh"
 #include "driver/batch.hh"
 #include "driver/pipeline.hh"
+#include "exec/bytecode.hh"
 #include "perfmodel/autotune.hh"
 #include "pres/parser.hh"
 #include "support/logging.hh"
@@ -221,6 +222,48 @@ TEST(Concurrency, AutotuneParallelMatchesSequential)
     EXPECT_EQ(par.tileSizes, seq.tileSizes);
     EXPECT_EQ(par.evaluated, seq.evaluated);
     EXPECT_DOUBLE_EQ(par.modeledMs, seq.modeledMs);
+}
+
+TEST(Concurrency, SharedBytecodeKernelRunsFromManyThreads)
+{
+    // One compiled Image, many concurrent runs: the kernel is
+    // immutable after compile() (each run() builds its own Machine
+    // state), so N threads sharing it must produce the same buffers
+    // as a sequential run. This is the exec half of the check_tsan
+    // gate.
+    const ir::Program p = workloads::makeConv2D({24, 24, 3, 3});
+    auto state = driver::Pipeline(oursOptions()).run(p);
+    const exec::BytecodeKernel kernel =
+        exec::BytecodeKernel::compile(p, state.ast);
+
+    auto fill = [&p](exec::Buffers &buf) {
+        for (size_t t = 0; t < p.tensors().size(); ++t)
+            if (p.tensor(t).kind != ir::TensorKind::Temp)
+                buf.fillPattern(int(t), 1000 + t);
+    };
+
+    exec::Buffers ref(p);
+    fill(ref);
+    kernel.run(ref);
+
+    const int n_threads = 8;
+    std::vector<exec::Buffers> bufs;
+    bufs.reserve(n_threads);
+    for (int t = 0; t < n_threads; ++t) {
+        bufs.emplace_back(p);
+        fill(bufs.back());
+    }
+    std::vector<std::thread> threads;
+    for (int t = 0; t < n_threads; ++t)
+        threads.emplace_back(
+            [&kernel, &bufs, t] { kernel.run(bufs[t]); });
+    for (auto &th : threads)
+        th.join();
+
+    for (int t = 0; t < n_threads; ++t)
+        for (size_t i = 0; i < p.tensors().size(); ++i)
+            EXPECT_EQ(bufs[t].data(int(i)), ref.data(int(i)))
+                << "thread " << t << " tensor " << i;
 }
 
 TEST(Concurrency, ThreadPoolRunsEveryJobExactlyOnce)

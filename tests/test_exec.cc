@@ -13,10 +13,16 @@
 
 #include "codegen/generate.hh"
 #include "core/compose.hh"
+#include "driver/pipeline.hh"
+#include "driver/registry.hh"
+#include "exec/bytecode.hh"
+#include "exec/engine.hh"
 #include "exec/executor.hh"
+#include "exec/native.hh"
 #include "support/logging.hh"
 #include "schedule/fusion.hh"
 #include "workloads/conv2d.hh"
+#include "workloads/equake.hh"
 
 namespace polyfuse {
 namespace exec {
@@ -230,6 +236,275 @@ TEST_F(ConvExec, TraceHookSeesScratchpadSpaces)
     // The promoted A is accessed through its scratchpad space.
     EXPECT_GT(local_accesses, 0u);
     EXPECT_GT(global_accesses, 0u);
+}
+
+// ------------------------------------------------------------------
+// Differential suite: every registry workload x every strategy must
+// produce bit-identical buffers AND the identical trace sequence on
+// the bytecode tier as on the reference interpreter; the native tier
+// (when a toolchain is present) must produce bit-identical buffers.
+// ------------------------------------------------------------------
+
+/** Trace recorder for the batched sink interface. */
+struct RecordingSink final : TraceSink
+{
+    std::vector<TraceRecord> recs;
+
+    void
+    onRecords(const TraceRecord *records, size_t n) override
+    {
+        recs.insert(recs.end(), records, records + n);
+    }
+};
+
+/** Reduced problem sizes so the full sweep stays fast (respecting
+ *  per-workload alignment requirements). */
+driver::WorkloadParams
+smallParams(const std::string &name)
+{
+    if (name == "equake")
+        return {96, 6};
+    if (name == "convbn")
+        return {4, 8};
+    if (name == "gemver")
+        return {40, 40};
+    if (name == "unsharp")
+        return {8, 32};
+    if (name == "bilateral")
+        return {24, 24}; // multiples of 8
+    if (name == "interp")
+        return {32, 32}; // multiples of 16
+    return {20, 20};
+}
+
+/** Default tiles of the spec, each clamped to 8 so the reduced
+ *  domains still split into several (partial) tiles. */
+std::vector<int64_t>
+smallTiles(const driver::WorkloadSpec &spec)
+{
+    std::vector<int64_t> tiles;
+    for (int64_t t : spec.defaultTiles)
+        tiles.push_back(std::min<int64_t>(t, 8));
+    return tiles;
+}
+
+void
+initInputs(const ir::Program &p, Buffers &buf)
+{
+    if (p.name() == "equake") {
+        // The indirection inputs (COL, RL) need valid indices.
+        workloads::initEquakeInputs(p, buf, 11);
+        return;
+    }
+    for (size_t t = 0; t < p.tensors().size(); ++t)
+        if (p.tensor(t).kind != ir::TensorKind::Temp)
+            buf.fillPattern(t, 1000 + t);
+}
+
+class TierDifferential
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(TierDifferential, BytecodeMatchesInterpreterExactly)
+{
+    const driver::WorkloadSpec *spec =
+        driver::findWorkload(GetParam());
+    ASSERT_NE(spec, nullptr);
+    ir::Program p = spec->make(smallParams(spec->name));
+
+    for (driver::Strategy s : driver::allStrategies()) {
+        driver::PipelineOptions popts;
+        popts.strategy = s;
+        popts.tileSizes = smallTiles(*spec);
+        auto state = driver::Pipeline(popts).run(p);
+        SCOPED_TRACE(std::string(spec->name) + " / " +
+                     driver::strategyName(s));
+
+        // Reference interpreter, traced.
+        Buffers ref(p);
+        initInputs(p, ref);
+        std::vector<TraceRecord> ref_trace;
+        ExecStats ref_stats =
+            run(p, state.ast, ref,
+                [&](int space, int64_t off, bool w) {
+                    ref_trace.push_back(
+                        {off, int32_t(space), uint8_t(w)});
+                });
+
+        // Bytecode, traced.
+        BytecodeKernel kernel =
+            BytecodeKernel::compile(p, state.ast);
+        EXPECT_GT(kernel.numInstructions(), 0u);
+        Buffers bc(p);
+        initInputs(p, bc);
+        RecordingSink sink;
+        ExecStats bc_stats = kernel.run(bc, sink);
+
+        for (size_t t = 0; t < p.tensors().size(); ++t)
+            EXPECT_EQ(ref.data(t), bc.data(t))
+                << "tensor " << p.tensor(t).name;
+
+        EXPECT_EQ(ref_stats.instances, bc_stats.instances);
+        EXPECT_EQ(ref_stats.loads, bc_stats.loads);
+        EXPECT_EQ(ref_stats.stores, bc_stats.stores);
+        EXPECT_EQ(ref_stats.guardFails, bc_stats.guardFails);
+        EXPECT_EQ(ref_stats.instancesParallel,
+                  bc_stats.instancesParallel);
+
+        ASSERT_EQ(ref_trace.size(), sink.recs.size());
+        for (size_t i = 0; i < ref_trace.size(); ++i) {
+            const TraceRecord &a = ref_trace[i];
+            const TraceRecord &b = sink.recs[i];
+            ASSERT_TRUE(a.space == b.space &&
+                        a.offset == b.offset &&
+                        a.isWrite == b.isWrite)
+                << "trace record " << i << " differs: ("
+                << a.space << "," << a.offset << ","
+                << int(a.isWrite) << ") vs (" << b.space << ","
+                << b.offset << "," << int(b.isWrite) << ")";
+        }
+
+        // The untraced template path must write the same buffers.
+        Buffers bc2(p);
+        initInputs(p, bc2);
+        kernel.run(bc2);
+        for (size_t t = 0; t < p.tensors().size(); ++t)
+            EXPECT_EQ(bc.data(t), bc2.data(t));
+    }
+}
+
+TEST_P(TierDifferential, NativeMatchesInterpreterExactly)
+{
+    if (!NativeKernel::toolchainAvailable())
+        GTEST_SKIP() << "no C toolchain on this machine";
+    const driver::WorkloadSpec *spec =
+        driver::findWorkload(GetParam());
+    ASSERT_NE(spec, nullptr);
+    ir::Program p = spec->make(smallParams(spec->name));
+
+    driver::PipelineOptions popts;
+    popts.strategy = driver::Strategy::Ours;
+    popts.tileSizes = smallTiles(*spec);
+    auto state = driver::Pipeline(popts).run(p);
+
+    Buffers ref(p);
+    initInputs(p, ref);
+    run(p, state.ast, ref);
+
+    NativeKernel kernel = NativeKernel::compile(p, state.ast);
+    ASSERT_TRUE(kernel.ok()) << kernel.reason();
+    Buffers nat(p);
+    initInputs(p, nat);
+    kernel.run(nat);
+    for (size_t t = 0; t < p.tensors().size(); ++t)
+        EXPECT_EQ(ref.data(t), nat.data(t))
+            << "tensor " << p.tensor(t).name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, TierDifferential,
+    ::testing::Values("conv2d", "bilateral", "camera", "harris",
+                      "laplacian", "interp", "unsharp", "equake",
+                      "2mm", "gemver", "covariance", "convbn"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        return std::string(info.param);
+    });
+
+TEST(NativeTier, AllStrategiesMatchOnConv2d)
+{
+    if (!NativeKernel::toolchainAvailable())
+        GTEST_SKIP() << "no C toolchain on this machine";
+    const driver::WorkloadSpec *spec = driver::findWorkload("conv2d");
+    ir::Program p = spec->make({20, 20});
+    for (driver::Strategy s : driver::allStrategies()) {
+        driver::PipelineOptions popts;
+        popts.strategy = s;
+        popts.tileSizes = {8, 8};
+        auto state = driver::Pipeline(popts).run(p);
+        SCOPED_TRACE(driver::strategyName(s));
+
+        Buffers ref(p);
+        initInputs(p, ref);
+        run(p, state.ast, ref);
+
+        NativeKernel kernel = NativeKernel::compile(p, state.ast);
+        ASSERT_TRUE(kernel.ok()) << kernel.reason();
+        Buffers nat(p);
+        initInputs(p, nat);
+        kernel.run(nat);
+        for (size_t t = 0; t < p.tensors().size(); ++t)
+            EXPECT_EQ(ref.data(t), nat.data(t));
+    }
+}
+
+TEST(Engine, DispatchesAndReportsTier)
+{
+    const driver::WorkloadSpec *spec = driver::findWorkload("conv2d");
+    ir::Program p = spec->make({16, 16});
+    auto state =
+        driver::Pipeline(driver::PipelineOptions{}).run(p);
+
+    Buffers a(p), b(p);
+    initInputs(p, a);
+    initInputs(p, b);
+
+    ExecOptions interp;
+    interp.tier = Tier::Interp;
+    ExecResult ri = execute(p, state.ast, a, interp);
+    EXPECT_EQ(ri.tier, Tier::Interp);
+
+    ExecResult rb = execute(p, state.ast, b); // default: bytecode
+    EXPECT_EQ(rb.tier, Tier::Bytecode);
+    EXPECT_TRUE(rb.fallbackReason.empty());
+    for (size_t t = 0; t < p.tensors().size(); ++t)
+        EXPECT_EQ(a.data(t), b.data(t));
+
+    // Native + tracing cannot mix: falls back to bytecode.
+    Buffers c(p);
+    initInputs(p, c);
+    ExecOptions nt;
+    nt.tier = Tier::Native;
+    nt.trace = [](int, int64_t, bool) {};
+    ExecResult rn = execute(p, state.ast, c, nt);
+    EXPECT_EQ(rn.tier, Tier::Bytecode);
+    EXPECT_FALSE(rn.fallbackReason.empty());
+}
+
+TEST(Engine, TierNamesRoundTrip)
+{
+    for (Tier t : {Tier::Interp, Tier::Bytecode, Tier::Native}) {
+        Tier out;
+        EXPECT_TRUE(parseTier(tierName(t), &out));
+        EXPECT_EQ(out, t);
+    }
+    Tier out;
+    EXPECT_FALSE(parseTier("jit", &out));
+}
+
+TEST(BytecodeKernel, HookAdapterSeesScratchpadSpaces)
+{
+    ir::Program p = workloads::makeConv2D({12, 10, 3, 3});
+    auto graph = deps::DependenceGraph::compute(p);
+    core::ComposeOptions opts;
+    opts.tileSizes = {4, 4};
+    auto comp = core::compose(p, graph, opts);
+    auto ast = codegen::generateAst(comp.tree);
+
+    BytecodeKernel kernel = BytecodeKernel::compile(p, ast);
+    Buffers b(p);
+    b.fillPattern(p.tensorId("A"), 7);
+    b.fillPattern(p.tensorId("B"), 13);
+    int nt = p.tensors().size();
+    uint64_t local = 0, global = 0;
+    kernel.run(b, [&](int space, int64_t, bool) {
+        if (space >= nt)
+            ++local;
+        else
+            ++global;
+    });
+    EXPECT_GT(local, 0u);
+    EXPECT_GT(global, 0u);
 }
 
 TEST(Buffers, PatternIsDeterministicAndBoundsChecked)

@@ -24,7 +24,9 @@
 #include "driver/batch.hh"
 #include "driver/pipeline.hh"
 #include "driver/registry.hh"
+#include "exec/engine.hh"
 #include "exec/executor.hh"
+#include "exec/native.hh"
 #include "pres/fm.hh"
 #include "pres/parser.hh"
 #include "support/budget.hh"
@@ -572,6 +574,84 @@ TEST_F(Robustness, BatchBudgetAppliesPerJob)
     // starved by the others' consumption.
     EXPECT_EQ(batch.failed(), 0u);
     EXPECT_EQ(batch.downgradedCount(), 4u);
+}
+
+// ---------------------------------------------------------------
+// Native-tier fault injection (exec.native.compile / .dlopen).
+// ---------------------------------------------------------------
+
+TEST_F(Robustness, NativeCompileFailpointFallsBackToBytecode)
+{
+    ir::Program p = smallConv();
+    PipelineOptions opts;
+    opts.strategy = Strategy::Ours;
+    opts.tileSizes = {8, 8};
+    CompilationState st = Pipeline(opts).run(p);
+
+    failpoints::set("exec.native.compile",
+                    failpoints::Action::Error);
+
+    // The factory reports the injected failure as a reason, never
+    // as an escaped exception.
+    exec::NativeKernel k = exec::NativeKernel::compile(p, st.ast);
+    EXPECT_FALSE(k.ok());
+    EXPECT_NE(k.reason().find("native tier failed"),
+              std::string::npos)
+        << k.reason();
+    // The engine degrades to the bytecode tier and records why...
+    exec::Buffers buf(p);
+    EXPECT_THROW(k.run(buf), FatalError);
+    exec::ExecOptions eopts;
+    eopts.tier = exec::Tier::Native;
+    exec::ExecResult r = exec::execute(p, st.ast, buf, eopts);
+    EXPECT_EQ(r.tier, exec::Tier::Bytecode);
+    EXPECT_NE(r.fallbackReason.find("native tier failed"),
+              std::string::npos)
+        << r.fallbackReason;
+
+    // ...and the fallback run still computes the right buffers.
+    exec::Buffers ref(p);
+    exec::execute(p, st.ast, ref, {});
+    for (size_t t = 0; t < p.tensors().size(); ++t)
+        EXPECT_EQ(buf.data(int(t)), ref.data(int(t)));
+
+    // With fallback disabled the condition is a hard error.
+    eopts.allowFallback = false;
+    EXPECT_THROW(exec::execute(p, st.ast, buf, eopts), FatalError);
+}
+
+TEST_F(Robustness, NativeDlopenFailpointFallsBackToBytecode)
+{
+    if (!exec::NativeKernel::toolchainAvailable())
+        GTEST_SKIP() << "no C toolchain on this machine";
+
+    ir::Program p = smallConv();
+    PipelineOptions opts;
+    opts.strategy = Strategy::Ours;
+    opts.tileSizes = {8, 8};
+    CompilationState st = Pipeline(opts).run(p);
+
+    // The compile (cc fork) succeeds; the dlopen step then fails.
+    failpoints::set("exec.native.dlopen", failpoints::Action::Error);
+
+    exec::NativeKernel k = exec::NativeKernel::compile(p, st.ast);
+    EXPECT_FALSE(k.ok());
+    EXPECT_NE(k.reason().find("native tier failed"),
+              std::string::npos)
+        << k.reason();
+
+    exec::Buffers buf(p);
+    exec::ExecOptions eopts;
+    eopts.tier = exec::Tier::Native;
+    exec::ExecResult r = exec::execute(p, st.ast, buf, eopts);
+    EXPECT_EQ(r.tier, exec::Tier::Bytecode);
+    EXPECT_FALSE(r.fallbackReason.empty());
+
+    // Disarmed again, the native tier comes back.
+    failpoints::clearAll();
+    exec::ExecResult ok = exec::execute(p, st.ast, buf, eopts);
+    EXPECT_EQ(ok.tier, exec::Tier::Native);
+    EXPECT_TRUE(ok.fallbackReason.empty());
 }
 
 // ---------------------------------------------------------------
