@@ -1,0 +1,376 @@
+/**
+ * @file
+ * Tile-graph parallel runtime benchmark — the machine-readable
+ * baseline behind BENCH_parallel.json.
+ *
+ * Coincident-band workloads (compiled with the paper's composition)
+ * run under the static strategy, the skewed/wavefront seidel sweep
+ * under the graph strategy, each at 1/2/4/8 worker threads against
+ * the sequential bytecode tape. Every parallel run's buffers are
+ * compared bit-for-bit against the sequential run — the benchmark
+ * doubles as a correctness gate and exits nonzero on any mismatch.
+ *
+ * Reported per workload: sequential wall-clock, per-thread-count
+ * wall-clock and speedup, tiles executed, ready-queue waits, the
+ * tile DAG's critical-path length, and the parallelism bound
+ * tiles / criticalPath (the speedup ceiling no thread count can
+ * beat). `hardwareThreads` records the machine's concurrency: on a
+ * single-core container every speedup is pinned near 1x and the
+ * baseline documents that, not a defect.
+ *
+ * Modes:
+ *   (none)    full sweep, aligned table on stdout
+ *   --json    full sweep, one JSON object on stdout
+ *   --smoke   two-workload subset at tiny sizes with the same
+ *             equality assertions, well under the ctest budget; the
+ *             check_par_smoke ctest runs this
+ */
+
+#include <cmath>
+#include <cstring>
+
+#include "bench/common.hh"
+#include "driver/registry.hh"
+#include "exec/engine.hh"
+#include "support/thread_pool.hh"
+#include "workloads/equake.hh"
+
+using namespace polyfuse;
+using namespace polyfuse::bench;
+
+namespace {
+
+constexpr unsigned kThreadCounts[] = {1, 2, 4, 8};
+
+struct ThreadPoint
+{
+    unsigned threads = 0;
+    double ms = 0;
+    uint64_t waits = 0;
+    bool identical = true;
+};
+
+struct ParRow
+{
+    std::string name;
+    Strategy strategy = Strategy::Ours;
+    exec::ParStrategy par = exec::ParStrategy::Static;
+    double seqMs = 0;
+    uint64_t tiles = 0;
+    uint64_t criticalPath = 0;
+    std::string fallback; ///< nonempty: parallel path never engaged
+    std::vector<ThreadPoint> points;
+
+    double
+    speedupAt(unsigned threads) const
+    {
+        for (const auto &pt : points)
+            if (pt.threads == threads && pt.ms > 0)
+                return seqMs / pt.ms;
+        return 0;
+    }
+
+    /** tiles / criticalPath: the DAG's speedup ceiling. */
+    double
+    parallelismBound() const
+    {
+        return criticalPath ? double(tiles) / double(criticalPath)
+                            : 0;
+    }
+
+    bool
+    identical() const
+    {
+        for (const auto &pt : points)
+            if (!pt.identical)
+                return false;
+        return true;
+    }
+};
+
+driver::WorkloadParams
+benchParams(const std::string &name)
+{
+    if (name == "2mm")
+        return {96, 96};
+    if (name == "unsharp")
+        return {64, 128};
+    if (name == "seidel")
+        return {512, 512};
+    return {128, 128};
+}
+
+bool
+buffersEqual(const ir::Program &p, const exec::Buffers &a,
+             const exec::Buffers &b)
+{
+    for (size_t t = 0; t < p.tensors().size(); ++t)
+        if (a.data(t) != b.data(t))
+            return false;
+    return true;
+}
+
+ParRow
+measure(const driver::WorkloadSpec &spec,
+        const driver::WorkloadParams &params, Strategy strategy,
+        exec::ParStrategy par, int reps)
+{
+    ParRow r;
+    r.name = spec.name;
+    r.strategy = strategy;
+    r.par = par;
+    ir::Program p = spec.make(params);
+
+    driver::PipelineOptions popts;
+    popts.strategy = strategy;
+    popts.tileSizes = spec.defaultTiles;
+    auto state = driver::Pipeline(popts).run(p);
+
+    auto init = [&](exec::Buffers &buf) {
+        for (size_t t = 0; t < p.tensors().size(); ++t)
+            if (p.tensor(t).kind != ir::TensorKind::Temp)
+                buf.fillPattern(t, 1000 + t);
+    };
+
+    exec::BytecodeKernel kernel =
+        exec::BytecodeKernel::compile(p, state.ast);
+
+    // Sequential baseline, keeping the buffers for equality.
+    exec::Buffers ref(p);
+    r.seqMs = 1e30;
+    for (int rep = 0; rep < reps; ++rep) {
+        exec::Buffers buf(p);
+        init(buf);
+        auto stats = kernel.run(buf);
+        r.seqMs = std::min(r.seqMs, stats.seconds * 1e3);
+        if (rep == reps - 1)
+            ref = std::move(buf);
+    }
+
+    for (unsigned threads : kThreadCounts) {
+        ThreadPoint pt;
+        pt.threads = threads;
+        pt.ms = 1e30;
+        for (int rep = 0; rep < reps; ++rep) {
+            exec::Buffers buf(p);
+            init(buf);
+            exec::ParRunStats ps;
+            std::string reason;
+            auto stats = kernel.runParallel(
+                buf, threads, par, &state.tileBands, ps, reason);
+            pt.ms = std::min(pt.ms, stats.seconds * 1e3);
+            if (rep == reps - 1) {
+                pt.waits = ps.waits;
+                pt.identical = buffersEqual(p, ref, buf);
+                r.tiles = ps.tilesExecuted;
+                r.criticalPath = ps.criticalPath;
+                r.fallback = reason;
+            }
+        }
+        r.points.push_back(pt);
+    }
+    return r;
+}
+
+double
+geomeanSpeedup(const std::vector<ParRow> &rows, unsigned threads,
+               exec::ParStrategy only)
+{
+    double acc = 0;
+    int n = 0;
+    for (const auto &r : rows) {
+        if (r.par != only)
+            continue;
+        double v = r.speedupAt(threads);
+        if (v > 0) {
+            acc += std::log(v);
+            ++n;
+        }
+    }
+    return n ? std::exp(acc / n) : 0;
+}
+
+std::string
+rowJson(const ParRow &r)
+{
+    std::string out = "{\"name\": \"" + r.name + "\"";
+    out += ", \"strategy\": \"";
+    out += strategyName(r.strategy);
+    out += "\", \"par\": \"";
+    out += exec::parStrategyName(r.par);
+    out += "\", \"seqMs\": " + fmt(r.seqMs, "%.4f");
+    out += ", \"tiles\": " + std::to_string(r.tiles);
+    out += ", \"criticalPath\": " + std::to_string(r.criticalPath);
+    out +=
+        ", \"parallelismBound\": " + fmt(r.parallelismBound(), "%.2f");
+    out += ", \"threads\": [";
+    for (size_t i = 0; i < r.points.size(); ++i) {
+        const ThreadPoint &pt = r.points[i];
+        if (i)
+            out += ", ";
+        out += "{\"threads\": " + std::to_string(pt.threads);
+        out += ", \"ms\": " + fmt(pt.ms, "%.4f");
+        out += ", \"speedup\": " +
+               fmt(r.speedupAt(pt.threads), "%.2f");
+        out += ", \"waits\": " + std::to_string(pt.waits);
+        out += "}";
+    }
+    out += "], \"identical\": ";
+    out += r.identical() ? "true" : "false";
+    out += "}";
+    return out;
+}
+
+std::vector<ParRow>
+fullSweep(int reps)
+{
+    // Coincident-band workloads under the composition strategy
+    // (static fast path) ...
+    std::vector<ParRow> rows;
+    for (const char *name :
+         {"conv2d", "harris", "bilateral", "camera", "unsharp",
+          "2mm"}) {
+        const driver::WorkloadSpec *w = driver::findWorkload(name);
+        if (!w)
+            continue;
+        rows.push_back(measure(*w, benchParams(name),
+                               Strategy::Ours,
+                               exec::ParStrategy::Static, reps));
+    }
+    // ... plus the skewed wavefront tiling through the tile DAG.
+    if (const driver::WorkloadSpec *w = driver::findWorkload("seidel"))
+        rows.push_back(measure(*w, benchParams("seidel"),
+                               Strategy::MinFuse,
+                               exec::ParStrategy::Graph, reps));
+    return rows;
+}
+
+/** Smoke: tiny subset, equality gate only. */
+int
+runSmoke()
+{
+    int failures = 0;
+    struct
+    {
+        const char *name;
+        driver::WorkloadParams params;
+        Strategy strategy;
+        exec::ParStrategy par;
+    } subset[] = {
+        {"harris", {64, 256}, Strategy::Ours,
+         exec::ParStrategy::Static},
+        {"seidel", {48, 48}, Strategy::MinFuse,
+         exec::ParStrategy::Graph},
+    };
+    for (const auto &s : subset) {
+        const driver::WorkloadSpec *w = driver::findWorkload(s.name);
+        if (!w) {
+            std::printf("FAIL %s: not in registry\n", s.name);
+            ++failures;
+            continue;
+        }
+        ParRow r = measure(*w, s.params, s.strategy, s.par, 1);
+        bool ok = r.identical() && r.fallback.empty() && r.tiles > 0;
+        std::printf("%-10s %s: %llu tiles, critical path %llu, "
+                    "buffers %s%s%s\n",
+                    s.name, exec::parStrategyName(s.par),
+                    (unsigned long long)r.tiles,
+                    (unsigned long long)r.criticalPath,
+                    r.identical() ? "bit-identical" : "MISMATCH",
+                    r.fallback.empty() ? "" : ", fallback: ",
+                    r.fallback.c_str());
+        failures += ok ? 0 : 1;
+    }
+    if (failures) {
+        std::printf("FAILED: %d parallel smoke failures\n", failures);
+        return 1;
+    }
+    std::printf("ok\n");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false, json = false;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--smoke"))
+            smoke = true;
+        else if (!std::strcmp(argv[i], "--json"))
+            json = true;
+        else {
+            std::fprintf(
+                stderr,
+                "usage: bench_parallel [--smoke] [--json]\n");
+            return 2;
+        }
+    }
+    if (smoke)
+        return runSmoke();
+
+    const int reps = 3;
+    std::vector<ParRow> rows = fullSweep(reps);
+    bool all_identical = true;
+    for (const auto &r : rows)
+        all_identical = all_identical && r.identical();
+
+    unsigned hw = ThreadPool::defaultThreads();
+    if (json) {
+        std::string out = "{\"bench\": \"parallel\", ";
+        out += "\"hardwareThreads\": " + std::to_string(hw);
+        out += ", \"reps\": " + std::to_string(reps);
+        out += ", \"workloads\": [";
+        for (size_t i = 0; i < rows.size(); ++i) {
+            if (i)
+                out += ", ";
+            out += rowJson(rows[i]);
+        }
+        out += "]";
+        for (unsigned t : {2u, 4u, 8u})
+            out += ", \"geomeanSpeedup" + std::to_string(t) +
+                   "\": " +
+                   fmt(geomeanSpeedup(rows, t,
+                                      exec::ParStrategy::Static),
+                       "%.4f");
+        out += ", \"allIdentical\": ";
+        out += all_identical ? "true" : "false";
+        out += "}";
+        std::printf("%s\n", out.c_str());
+        return all_identical ? 0 : 1;
+    }
+
+    std::printf("=== Tile-graph parallel runtime (best of %d, "
+                "%u hardware threads) ===\n",
+                reps, hw);
+    printRow("workload",
+             {"par", "seq ms", "x1", "x2", "x4", "x8", "tiles",
+              "critpath", "buffers"},
+             9);
+    for (const auto &r : rows) {
+        printRow(r.name,
+                 {exec::parStrategyName(r.par), fmt(r.seqMs),
+                  fmt(r.speedupAt(1), "%.2fx"),
+                  fmt(r.speedupAt(2), "%.2fx"),
+                  fmt(r.speedupAt(4), "%.2fx"),
+                  fmt(r.speedupAt(8), "%.2fx"),
+                  std::to_string(r.tiles),
+                  std::to_string(r.criticalPath),
+                  r.identical() ? "identical" : "MISMATCH"},
+                 9);
+    }
+    printRow("geomean",
+             {"static", "",
+              fmt(geomeanSpeedup(rows, 1, exec::ParStrategy::Static),
+                  "%.2fx"),
+              fmt(geomeanSpeedup(rows, 2, exec::ParStrategy::Static),
+                  "%.2fx"),
+              fmt(geomeanSpeedup(rows, 4, exec::ParStrategy::Static),
+                  "%.2fx"),
+              fmt(geomeanSpeedup(rows, 8, exec::ParStrategy::Static),
+                  "%.2fx"),
+              "", "", ""},
+             9);
+    return all_identical ? 0 : 1;
+}

@@ -11,6 +11,14 @@
 #                             bytecode (vs native when a C toolchain
 #                             is present), with bit-identical-buffer
 #                             verdicts per workload
+#   BENCH_parallel.json       tile-graph parallel runtime: sequential
+#                             vs 1/2/4/8-thread wall-ms and speedup
+#                             per workload (static strategy on
+#                             coincident bands, graph on the seidel
+#                             wavefront), with tile counts, critical-
+#                             path lengths and bit-identical-buffer
+#                             verdicts; hardwareThreads records the
+#                             machine's concurrency
 #
 # at the repository root. All benches compare the optimized
 # configuration (inline SmallVec rows + op cache) against the
@@ -31,7 +39,8 @@ if [ ! -f "$build/CMakeCache.txt" ]; then
     cmake -B "$build" -S "$src"
 fi
 cmake --build "$build" -j "$jobs" \
-    --target bench_presburger bench_compile_time bench_runtime
+    --target bench_presburger bench_compile_time bench_runtime \
+    bench_parallel
 
 echo "== bench_presburger --json -> BENCH_presburger.json =="
 "$build/bench/bench_presburger" --json > "$src/BENCH_presburger.json"
@@ -40,9 +49,12 @@ echo "== bench_compile_time --json -> BENCH_compile_time.json =="
     > "$src/BENCH_compile_time.json"
 echo "== bench_runtime --json -> BENCH_runtime.json =="
 "$build/bench/bench_runtime" --json > "$src/BENCH_runtime.json"
+echo "== bench_parallel --json -> BENCH_parallel.json =="
+"$build/bench/bench_parallel" --json > "$src/BENCH_parallel.json"
 
 # Surface the headline numbers; the benches already failed the
 # script (set -e) on any generated-code or buffer mismatch.
 grep -o '"geomeanSpeedup": [0-9.]*' "$src/BENCH_compile_time.json"
 grep -o '"geomeanSpeedup": [0-9.]*' "$src/BENCH_runtime.json"
+grep -o '"geomeanSpeedup4": [0-9.]*' "$src/BENCH_parallel.json"
 echo "== perf baseline written =="

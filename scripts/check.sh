@@ -60,18 +60,22 @@ tsan_supported() { sanitizer_supported -fsanitize=thread; }
 asan_supported() { sanitizer_supported -fsanitize=address; }
 
 # Build the re-entrancy-sensitive test binaries under TSAN and run
-# them directly. Races in the batch/pool/pres-context machinery show
-# up here as hard failures.
+# them directly. Races in the batch/pool/pres-context machinery --
+# and in the tile-graph parallel executor (the *Parallel* subset of
+# test_exec exercises the static and ready-queue paths at 2 and 8
+# threads) -- show up here as hard failures.
 tsan_build_and_run() {
     echo "== configure + build with -fsanitize=thread =="
     cmake -B "$src/build-tsan" -S "$src" -DPOLYFUSE_TSAN=ON
     cmake --build "$src/build-tsan" -j "$jobs" \
-        --target test_driver test_concurrency test_robustness
+        --target test_driver test_concurrency test_robustness \
+        test_exec
     echo "== run test_driver + test_concurrency + test_robustness" \
-         "under TSAN =="
+         "+ test_exec[*Parallel*] under TSAN =="
     "$src/build-tsan/tests/test_driver"
     "$src/build-tsan/tests/test_concurrency"
     "$src/build-tsan/tests/test_robustness"
+    "$src/build-tsan/tests/test_exec" --gtest_filter='*Parallel*'
     echo "== TSAN run OK =="
 }
 

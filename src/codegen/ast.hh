@@ -92,6 +92,12 @@ struct AstNode
     bool parallel = false;     ///< band level was coincident
     bool tileLoop = false;     ///< iterates tile coordinates
     int64_t tileSize = 0;      ///< when tileLoop
+    bool permutable = false;   ///< owning band was permutable
+    /** When tileLoop: index of the owning band in the GeneratedBand
+     *  side table produced by generateAst (see generate.hh), -1 on
+     *  non-tile loops or when no table was requested. */
+    int bandId = -1;
+    int bandLevel = -1;        ///< level within the owning tile band
 
     // --- Stmt ---
     int stmt = -1;

@@ -44,6 +44,10 @@ struct GenCtx
     std::vector<std::string> varNames;
     std::vector<StmtCtx> active;
     std::vector<int> bandVars; ///< loop var per enclosing band dim
+    /** Shared tile-band side table (nullable); bands append in visit
+     *  order, so an entry's index is its id. Shared across the copied
+     *  contexts of sibling branches on purpose. */
+    std::vector<GeneratedBand> *bands = nullptr;
 };
 
 unsigned
@@ -169,6 +173,27 @@ boundsOf(const GenCtx &ctx, const StmtCtx &sc, int var, BoundAlt &lo,
 AstPtr genNode(const NodePtr &node, GenCtx ctx,
                const GenOptions &options);
 
+/** Collect, over a tile band's body subtree, the statements that are
+ *  not band members (extension-fused producers) and the tensors
+ *  promoted to tile-local scratchpads. */
+void
+scanTileBody(const AstPtr &n, const std::set<int> &members,
+             std::set<int> &extras, std::set<int> &locals)
+{
+    if (!n)
+        return;
+    if (n->kind == AstKind::Stmt) {
+        if (!members.count(n->stmt))
+            extras.insert(n->stmt);
+        return;
+    }
+    if (n->kind == AstKind::Alloc)
+        for (const auto &p : n->promotions)
+            locals.insert(p.tensor);
+    for (const auto &c : n->children)
+        scanTileBody(c, members, extras, locals);
+}
+
 /** Generate the loops of a band node and recurse into its child. */
 AstPtr
 genBand(const NodePtr &band, GenCtx ctx, const GenOptions &options)
@@ -181,6 +206,35 @@ genBand(const NodePtr &band, GenCtx ctx, const GenOptions &options)
         const std::string &name = ctx.prog->statement(sc.stmt).name();
         if (!band->members.count(name))
             panic("active statement " + name + " not a band member");
+    }
+
+    // Register tiled bands in the side table up front so nested bands
+    // visited while generating the body get later ids.
+    std::vector<GeneratedBand> *bands = ctx.bands;
+    int band_id = -1;
+    size_t band_idx = 0;
+    if (tiled && depth > 0 && bands) {
+        band_idx = bands->size();
+        band_id = int(band_idx);
+        GeneratedBand gb;
+        gb.id = band_id;
+        gb.permutable = band->permutable;
+        gb.tileSizes = band->tileSizes;
+        gb.coincident.assign(depth, false);
+        for (unsigned k = 0;
+             k < depth && k < band->coincident.size(); ++k)
+            gb.coincident[k] = band->coincident[k];
+        for (const auto &sc : ctx.active) {
+            const std::string &name =
+                ctx.prog->statement(sc.stmt).name();
+            const schedule::BandMember &m = band->members.at(name);
+            GeneratedBandMember gm;
+            gm.stmt = sc.stmt;
+            gm.dims = m.dims;
+            gm.shifts = m.shifts;
+            gb.members.push_back(std::move(gm));
+        }
+        bands->push_back(std::move(gb));
     }
 
     AstPtr outer;
@@ -232,6 +286,11 @@ genBand(const NodePtr &band, GenCtx ctx, const GenOptions &options)
                          band->coincident[k];
         loop->tileLoop = tiled;
         loop->tileSize = tiled ? band->tileSizes[k] : 0;
+        loop->permutable = band->permutable;
+        loop->bandId = band_id;
+        loop->bandLevel = band_id >= 0 ? int(k) : -1;
+        if (band_id >= 0)
+            (*bands)[band_idx].vars.push_back(v);
         for (const auto &sc : ctx.active) {
             BoundAlt lo, hi;
             BoundStatus st = boundsOf(ctx, sc, v, lo, hi);
@@ -242,8 +301,13 @@ genBand(const NodePtr &band, GenCtx ctx, const GenOptions &options)
             loop->lb.push_back(std::move(lo));
             loop->ub.push_back(std::move(hi));
         }
-        if (loop->lb.empty())
-            return astBlock(); // no member ever executes here
+        if (loop->lb.empty()) {
+            // Nothing executes here: the loops built so far are
+            // discarded, so drop the (still-last) side-table entry.
+            if (band_id >= 0)
+                bands->pop_back();
+            return astBlock();
+        }
 
         if (!outer) {
             outer = loop;
@@ -254,6 +318,15 @@ genBand(const NodePtr &band, GenCtx ctx, const GenOptions &options)
     }
 
     AstPtr body = genNode(band->onlyChild(), std::move(ctx), options);
+    if (band_id >= 0) {
+        GeneratedBand &gb = (*bands)[band_idx];
+        std::set<int> member_stmts, extras, locals;
+        for (const auto &m : gb.members)
+            member_stmts.insert(m.stmt);
+        scanTileBody(body, member_stmts, extras, locals);
+        gb.extraStmts.assign(extras.begin(), extras.end());
+        gb.localTensors.assign(locals.begin(), locals.end());
+    }
     if (!attach)
         return body; // zero-dimensional band
     attach->children.push_back(body);
@@ -580,10 +653,21 @@ AstPtr
 generateAst(const schedule::ScheduleTree &tree,
             const GenOptions &options)
 {
+    std::vector<GeneratedBand> bands;
+    return generateAst(tree, options, bands);
+}
+
+AstPtr
+generateAst(const schedule::ScheduleTree &tree,
+            const GenOptions &options,
+            std::vector<GeneratedBand> &bands)
+{
     failpoints::hit("codegen.generate");
+    bands.clear();
     GenCtx ctx;
     ctx.prog = &tree.program();
     ctx.pres = &pres::fm::activeCtx();
+    ctx.bands = &bands;
     // Enforce an armed budget / tripped cancel token up front; the
     // scan below re-checks through every eliminateCol it performs.
     pres::fm::checkBudget(*ctx.pres, "codegen::generateAst");

@@ -34,9 +34,54 @@ struct GenOptions
     bool promoteIntermediates = true;
 };
 
+/** One statement's membership in a generated tile band. */
+struct GeneratedBandMember
+{
+    int stmt = -1;
+    /** Domain dimension used at each band level. */
+    std::vector<unsigned> dims;
+    /** Constant added to the dimension at each level. */
+    std::vector<int64_t> shifts;
+};
+
+/**
+ * Side-table record of one **tiled** band the scan turned into tile
+ * loops: everything the deps layer needs to project statement-level
+ * dependences onto this band's tile coordinates (deps::tileGraph)
+ * without reaching back into the schedule tree. The record's index in
+ * the table equals the `bandId` stamped on the band's tile-loop For
+ * nodes (and, downstream, on bytecode tape loops).
+ */
+struct GeneratedBand
+{
+    int id = -1;
+    bool permutable = false;
+    std::vector<int64_t> tileSizes;  ///< per level
+    std::vector<bool> coincident;    ///< per level (padded to depth)
+    std::vector<int> vars;           ///< tile-loop var id per level
+    std::vector<GeneratedBandMember> members;
+    /** Statements executing inside this band's tiles that are NOT
+     *  band members (post-tiling fused producers introduced by
+     *  extension nodes below the tile loops): their dependences have
+     *  no direct tile coordinates, so the projection must treat them
+     *  conservatively unless the dependence flows through a tensor
+     *  in localTensors. */
+    std::vector<int> extraStmts;
+    /** Tensors promoted to tile-local scratchpads somewhere under the
+     *  tile loops: dependences carried purely through these never
+     *  cross tiles (each tile re-computes its own copy). */
+    std::vector<int> localTensors;
+};
+
 /** Generate the imperative AST of @p tree. */
 AstPtr generateAst(const schedule::ScheduleTree &tree,
                    const GenOptions &options = {});
+
+/** As above, additionally filling @p bands with one record per tiled
+ *  band, indexed by the `bandId` on the emitted tile loops. */
+AstPtr generateAst(const schedule::ScheduleTree &tree,
+                   const GenOptions &options,
+                   std::vector<GeneratedBand> &bands);
 
 } // namespace codegen
 } // namespace polyfuse

@@ -1,0 +1,178 @@
+#include "deps/tile_graph.hh"
+
+#include <map>
+#include <set>
+
+#include "pres/fm.hh"
+#include "support/intmath.hh"
+#include "support/logging.hh"
+
+namespace polyfuse {
+namespace deps {
+
+const char *
+tileBandClassName(TileBandClass cls)
+{
+    switch (cls) {
+      case TileBandClass::FullyParallel:
+        return "parallel";
+      case TileBandClass::Wavefront:
+        return "wavefront";
+      case TileBandClass::Serial:
+        return "serial";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Cap on enumerated tile-distance box volume per dependence. */
+constexpr int64_t kMaxBoxVolume = 4096;
+
+bool
+lexPositive(const std::vector<int64_t> &v)
+{
+    for (int64_t c : v) {
+        if (c > 0)
+            return true;
+        if (c < 0)
+            return false;
+    }
+    return false;
+}
+
+TileBandGraph
+projectBand(const DependenceGraph &graph, const TileBandDesc &band,
+            const TileGraphOptions &opt)
+{
+    TileBandGraph out;
+    out.bandId = band.id;
+    unsigned levels = band.tileSizes.size();
+
+    auto serial = [&](std::string note) {
+        out.cls = TileBandClass::Serial;
+        out.deltas.clear();
+        out.note = std::move(note);
+        return out;
+    };
+
+    if (levels == 0)
+        return serial("zero-dimensional band");
+    for (int64_t t : band.tileSizes)
+        if (t <= 0)
+            return serial("non-positive tile size");
+
+    std::map<int, const TileBandDesc::Member *> members;
+    for (const auto &m : band.members) {
+        if (m.dims.size() != levels || m.shifts.size() != levels)
+            return serial("member arity mismatch");
+        members[m.stmt] = &m;
+    }
+    std::set<int> extras(band.extraStmts.begin(),
+                         band.extraStmts.end());
+    std::set<int> locals(band.localTensors.begin(),
+                         band.localTensors.end());
+
+    std::set<std::vector<int64_t>> deltas;
+    for (const auto &dep : graph.all()) {
+        bool src_in =
+            members.count(dep.src) || extras.count(dep.src);
+        bool dst_in =
+            members.count(dep.dst) || extras.count(dep.dst);
+        // An endpoint outside the band is ordered by the sequential
+        // code surrounding the band, not by its tiles.
+        if (!src_in || !dst_in)
+            continue;
+        if (locals.count(dep.tensor)) {
+            // Carried through a tile-local scratchpad: every tile
+            // sees its own copy, so the dependence never crosses
+            // tiles.
+            ++out.depsLocal;
+            continue;
+        }
+        if (extras.count(dep.src) || extras.count(dep.dst))
+            return serial(
+                "dependence through a non-local tensor involves a "
+                "fused statement without tile coordinates");
+
+        const TileBandDesc::Member &ms = *members.at(dep.src);
+        const TileBandDesc::Member &md = *members.at(dep.dst);
+        std::vector<DistanceRange> dist =
+            graph.bandDistances(dep, ms.dims, md.dims);
+
+        // Tile-distance box: band-space distance D (shifts applied)
+        // in [a, b] puts floor((v+D)/T) - floor(v/T) inside
+        // [floorDiv(a, T), ceilDiv(b, T)].
+        std::vector<int64_t> lo(levels), hi(levels);
+        int64_t volume = 1;
+        for (unsigned k = 0; k < levels; ++k) {
+            if (!dist[k].bounded)
+                return serial(
+                    "unbounded dependence distance at level " +
+                    std::to_string(k));
+            int64_t shift = md.shifts[k] - ms.shifts[k];
+            lo[k] = floorDiv(dist[k].min + shift, band.tileSizes[k]);
+            hi[k] = ceilDiv(dist[k].max + shift, band.tileSizes[k]);
+            int64_t span = hi[k] - lo[k] + 1;
+            if (span > kMaxBoxVolume || volume > kMaxBoxVolume / span)
+                return serial("tile-distance box too large");
+            volume *= span;
+        }
+        ++out.depsProjected;
+
+        // Enumerate the box. Zero vectors are intra-tile (satisfied
+        // by sequential execution inside the tile); lex-negative
+        // vectors are projection slack (a legal schedule keeps real
+        // inter-tile distances lex-nonnegative). Keep the rest.
+        std::vector<int64_t> v = lo;
+        for (;;) {
+            if (lexPositive(v)) {
+                deltas.insert(v);
+                if (deltas.size() > opt.maxDeltas)
+                    return serial(
+                        "dependence stencil exceeds " +
+                        std::to_string(opt.maxDeltas) + " vectors");
+            }
+            int j = int(levels) - 1;
+            for (; j >= 0; --j) {
+                if (v[j] < hi[j]) {
+                    ++v[j];
+                    break;
+                }
+                v[j] = lo[j];
+            }
+            if (j < 0)
+                break; // wrapped around: box exhausted
+        }
+    }
+
+    if (deltas.empty()) {
+        out.cls = TileBandClass::FullyParallel;
+    } else {
+        out.cls = TileBandClass::Wavefront;
+        out.deltas.assign(deltas.begin(), deltas.end());
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<TileBandGraph>
+tileGraph(const DependenceGraph &graph,
+          const std::vector<TileBandDesc> &bands,
+          const TileGraphOptions &options)
+{
+    pres::fm::PresCtx &pc = pres::fm::activeCtx();
+    std::vector<TileBandGraph> out;
+    out.reserve(bands.size());
+    for (const auto &b : bands) {
+        // Re-check between bands; bandDistances charges the fine-
+        // grained Presburger work to the same context.
+        pres::fm::checkBudget(pc, "deps::tileGraph");
+        out.push_back(projectBand(graph, b, options));
+    }
+    return out;
+}
+
+} // namespace deps
+} // namespace polyfuse

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Projection of statement-level dependences onto tile coordinates.
+ *
+ * A tiled band partitions its members' instances into tiles indexed
+ * by t_k = floor((dim_k + shift_k) / T_k). Projecting each dependence
+ * distance range [a, b] (band space, shifts applied) through the
+ * floor gives a tile-distance box [floorDiv(a, T), ceilDiv(b, T)] per
+ * level -- tight, since floor((v+d)/T) - floor(v/T) always lands in
+ * {floor(d/T), ceil(d/T)}. The union of the enumerated non-zero
+ * lexicographically positive vectors from these boxes is a compact
+ * inter-tile dependence stencil: tile u must finish before tile
+ * u + delta starts, for every delta in the set. Zero vectors
+ * (intra-tile, satisfied by sequential execution inside the tile) and
+ * lex-negative vectors (projection slack -- a legal schedule gives
+ * real inter-tile distances that are lex-nonnegative) are dropped.
+ *
+ * The result classifies each band:
+ *  - FullyParallel: empty stencil; every tile is independent.
+ *  - Wavefront: bounded stencil; tiles form a DAG that a ready-queue
+ *    executor can drain (e.g. skewed/maxfuse tilings).
+ *  - Serial: an unbounded distance, an oversized stencil, or a
+ *    dependence that cannot be projected (a post-tiling fused
+ *    statement without band coordinates, through a tensor that is
+ *    not tile-local).
+ *
+ * All Presburger work runs through the active PresCtx, so the op
+ * cache and budget enforcement of the enclosing CompileContext apply;
+ * a BudgetExceeded escapes to the caller (the pipeline catches it and
+ * degrades the band to Serial).
+ */
+
+#ifndef POLYFUSE_DEPS_TILE_GRAPH_HH
+#define POLYFUSE_DEPS_TILE_GRAPH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "deps/dependences.hh"
+
+namespace polyfuse {
+namespace deps {
+
+/**
+ * Plain-data description of one tiled band. Mirrors
+ * codegen::GeneratedBand, but deps sits below codegen in the layer
+ * order, so the caller (driver::Pipeline) converts rather than this
+ * header including codegen's.
+ */
+struct TileBandDesc
+{
+    int id = -1;
+    std::vector<int64_t> tileSizes; ///< per level, all > 0
+    std::vector<bool> coincident;   ///< per level
+    struct Member
+    {
+        int stmt = -1;
+        std::vector<unsigned> dims;  ///< domain dim per level
+        std::vector<int64_t> shifts; ///< added to the dim per level
+    };
+    std::vector<Member> members;
+    /** Statements executing inside the tiles without band
+     *  coordinates (extension-fused producers). */
+    std::vector<int> extraStmts;
+    /** Tensors promoted to tile-local scratchpads under the band:
+     *  dependences carried purely through them never cross tiles. */
+    std::vector<int> localTensors;
+};
+
+/** How a band's tiles may be executed. */
+enum class TileBandClass
+{
+    FullyParallel, ///< no inter-tile dependences: any order
+    Wavefront,     ///< DAG from `deltas`: topological order
+    Serial,        ///< sequential lexicographic order only
+};
+
+const char *tileBandClassName(TileBandClass cls);
+
+/** The inter-tile dependence summary of one band. */
+struct TileBandGraph
+{
+    int bandId = -1;
+    TileBandClass cls = TileBandClass::Serial;
+    /**
+     * The dependence stencil: distinct lexicographically positive
+     * tile-distance vectors (one component per band level). Tile u
+     * depends on tile u - delta for each delta. Sorted
+     * lexicographically; empty unless cls == Wavefront.
+     */
+    std::vector<std::vector<int64_t>> deltas;
+    /** Number of statement-level dependences projected. */
+    unsigned depsProjected = 0;
+    /** Dependences skipped as tile-local (localTensors). */
+    unsigned depsLocal = 0;
+    /** Human-readable reason when cls == Serial. */
+    std::string note;
+};
+
+/** Options for tileGraph(). */
+struct TileGraphOptions
+{
+    /** Cap on distinct stencil vectors per band; exceeding it
+     *  classifies the band Serial (a stencil this large would make
+     *  the ready-queue bookkeeping cost more than it buys). */
+    unsigned maxDeltas = 64;
+};
+
+/**
+ * Project @p graph onto the tile coordinates of each band in
+ * @p bands. Returns one TileBandGraph per input band, same order.
+ * Dependences with an endpoint outside a band's statements are
+ * satisfied by the sequential order of the surrounding code and do
+ * not constrain that band's tiles.
+ */
+std::vector<TileBandGraph>
+tileGraph(const DependenceGraph &graph,
+          const std::vector<TileBandDesc> &bands,
+          const TileGraphOptions &options = {});
+
+} // namespace deps
+} // namespace polyfuse
+
+#endif // POLYFUSE_DEPS_TILE_GRAPH_HH

@@ -191,14 +191,19 @@ compileBatch(std::vector<BatchJob> jobs, const BatchOptions &options)
                 token->cancel();
         }
     } else {
+        // One job per chunk: jobs are coarse and runJob already
+        // captures its own failures, so the pool's failure log stays
+        // empty unless the harness itself breaks.
         ThreadPool pool(jobsN);
-        for (size_t i = 0; i < jobs.size(); ++i)
-            pool.submit([&jobs, &result, &options, token, i] {
-                runJob(jobs[i], options, token, result.jobs[i]);
-                if (options.failFast && !result.jobs[i].ok)
-                    token->cancel();
+        pool.parallelFor(
+            0, int64_t(jobs.size()), 1, [&](int64_t lo, int64_t hi) {
+                for (int64_t i = lo; i < hi; ++i) {
+                    runJob(jobs[size_t(i)], options, token,
+                           result.jobs[size_t(i)]);
+                    if (options.failFast && !result.jobs[size_t(i)].ok)
+                        token->cancel();
+                }
             });
-        pool.wait();
     }
     result.wallMs = t.milliseconds();
     return result;

@@ -146,7 +146,7 @@ Pipeline::passNames()
 {
     static const std::vector<std::string> names = {
         "ComputeDeps", "Fuse", "Compose", "Tile", "Promote",
-        "Codegen",
+        "Codegen", "TileGraph",
     };
     return names;
 }
@@ -374,13 +374,56 @@ Pipeline::runOnce(const ir::Program &program, CompileContext &ctx,
     });
 
     runPass("Codegen", [&](PassStat &ps) {
-        st.ast = codegen::generateAst(st.tree, opt.gen);
+        st.ast = codegen::generateAst(st.tree, opt.gen, st.genBands);
         int64_t nodes = 0, loops = 0, stmts = 0, allocs = 0;
         countAstNodes(st.ast, nodes, loops, stmts, allocs);
         ps.counters.emplace_back("ast_nodes", nodes);
         ps.counters.emplace_back("loops", loops);
         ps.counters.emplace_back("stmts", stmts);
         ps.counters.emplace_back("allocs", allocs);
+        ps.counters.emplace_back("tile_bands",
+                                 int64_t(st.genBands.size()));
+    });
+
+    runPass("TileGraph", [&](PassStat &ps) {
+        std::vector<deps::TileBandDesc> descs;
+        descs.reserve(st.genBands.size());
+        for (const codegen::GeneratedBand &b : st.genBands) {
+            deps::TileBandDesc d;
+            d.id = b.id;
+            d.tileSizes = b.tileSizes;
+            d.coincident = b.coincident;
+            for (const codegen::GeneratedBandMember &m : b.members)
+                d.members.push_back({m.stmt, m.dims, m.shifts});
+            d.extraStmts = b.extraStmts;
+            d.localTensors = b.localTensors;
+            descs.push_back(std::move(d));
+        }
+        try {
+            st.tileBands = deps::tileGraph(st.graph, descs);
+        } catch (const BudgetExceeded &) {
+            // Classification is an optimization; degrade every band
+            // to the always-safe answer instead of failing the run.
+            st.tileBands.clear();
+            for (const deps::TileBandDesc &d : descs) {
+                deps::TileBandGraph g;
+                g.bandId = d.id;
+                g.cls = deps::TileBandClass::Serial;
+                g.note = "tile-graph budget exceeded";
+                st.tileBands.push_back(std::move(g));
+            }
+        }
+        int64_t par = 0, wave = 0, serial = 0;
+        for (const deps::TileBandGraph &g : st.tileBands) {
+            switch (g.cls) {
+              case deps::TileBandClass::FullyParallel: ++par; break;
+              case deps::TileBandClass::Wavefront: ++wave; break;
+              case deps::TileBandClass::Serial: ++serial; break;
+            }
+        }
+        ps.counters.emplace_back("bands_parallel", par);
+        ps.counters.emplace_back("bands_wavefront", wave);
+        ps.counters.emplace_back("bands_serial", serial);
     });
 
     return st;

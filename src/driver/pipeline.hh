@@ -1,7 +1,8 @@
 /**
  * @file
  * The unified compilation driver: one named, ordered pass pipeline
- * (ComputeDeps -> Fuse -> Compose -> Tile -> Promote -> Codegen)
+ * (ComputeDeps -> Fuse -> Compose -> Tile -> Promote -> Codegen ->
+ * TileGraph)
  * over a CompilationState, replacing the ad-hoc deps/fusion/compose/
  * codegen glue every benchmark, example and test used to assemble by
  * hand. The shape follows the pass managers of the paper's host
@@ -27,6 +28,7 @@
 #include "codegen/generate.hh"
 #include "core/compose.hh"
 #include "deps/dependences.hh"
+#include "deps/tile_graph.hh"
 #include "driver/compile_context.hh"
 #include "driver/pass_stats.hh"
 #include "ir/program.hh"
@@ -125,6 +127,15 @@ struct CompilationState
 
     /** Codegen output. */
     codegen::AstPtr ast;
+
+    /** Tiled bands the AST carries, in generation order (bandId ==
+     *  index); the Codegen pass's side table. */
+    std::vector<codegen::GeneratedBand> genBands;
+
+    /** TileGraph output: per-band inter-tile dependence stencils and
+     *  parallel classifications, keyed by bandId. Feed to
+     *  exec::ExecOptions::tileBands to enable parallel execution. */
+    std::vector<deps::TileBandGraph> tileBands;
 
     /** Per-pass wall times and counters. */
     PassStats stats;

@@ -79,6 +79,14 @@ usage(FILE *to)
         "                        interp|bytecode|native (default:\n"
         "                        bytecode; implies --run)\n"
         "  --native              shorthand for --exec native\n"
+        "  --threads N           worker threads for --run (0 = all\n"
+        "                        hardware threads; implies --run)\n"
+        "  --par off|static|graph\n"
+        "                        tile scheduling strategy for --run\n"
+        "                        (bytecode tier; static = coincident\n"
+        "                        bands only, graph = also wavefront\n"
+        "                        bands via the inter-tile DAG;\n"
+        "                        implies --run)\n"
         "  --emit c|cuda|tree|stats|json\n"
         "                        what to print (default: stats;\n"
         "                        --all supports stats and json)\n"
@@ -193,6 +201,8 @@ main(int argc, char **argv)
     bool use_op_cache = true;
     bool do_run = false;
     exec::Tier tier = exec::Tier::Bytecode;
+    unsigned run_threads = 1;
+    exec::ParStrategy par = exec::ParStrategy::Off;
 
     auto value = [&](int &i) -> const char * {
         if (i + 1 >= argc) {
@@ -305,6 +315,28 @@ main(int argc, char **argv)
         } else if (arg == "--native") {
             tier = exec::Tier::Native;
             do_run = true;
+        } else if (arg == "--threads") {
+            char *end = nullptr;
+            const char *v = value(i);
+            long n = std::strtol(v, &end, 10);
+            if (!end || *end != '\0' || n < 0) {
+                std::fprintf(stderr,
+                             "polyfuse: bad --threads '%s'\n", v);
+                return 2;
+            }
+            run_threads =
+                n == 0 ? polyfuse::ThreadPool::defaultThreads()
+                       : unsigned(n);
+            do_run = true;
+        } else if (arg == "--par") {
+            std::string name = value(i);
+            if (!exec::parseParStrategy(name, &par)) {
+                std::fprintf(stderr,
+                             "polyfuse: unknown --par '%s'\n",
+                             name.c_str());
+                return 2;
+            }
+            do_run = true;
         } else if (arg == "--emit") {
             emit = value(i);
         } else {
@@ -384,6 +416,46 @@ main(int argc, char **argv)
             return 1;
     }
 
+    // Run before emitting: --emit json folds the run report (the
+    // effective tier, fallback reasons, parallel counters) into the
+    // one JSON object instead of dropping it.
+    exec::ExecResult result;
+    bool ran = false;
+    if (do_run) {
+        exec::Buffers buffers(program);
+        if (program.name() == "equake") {
+            workloads::initEquakeInputs(program, buffers, 11);
+        } else {
+            for (size_t t = 0; t < program.tensors().size(); ++t)
+                if (program.tensor(t).kind != ir::TensorKind::Temp)
+                    buffers.fillPattern(t, 1000 + t);
+        }
+        exec::ExecOptions eopts;
+        eopts.tier = tier;
+        eopts.threads = run_threads;
+        eopts.par = par;
+        eopts.tileBands = &state.tileBands;
+        try {
+            result = exec::execute(program, state.ast, buffers,
+                                   eopts);
+            ran = true;
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "polyfuse: run failed: %s\n",
+                         e.what());
+            return 1;
+        }
+        if (!result.fallbackReason.empty())
+            std::fprintf(stderr,
+                         "polyfuse: fell back from %s to %s: %s\n",
+                         exec::tierName(tier),
+                         exec::tierName(result.tier),
+                         result.fallbackReason.c_str());
+        if (!result.parFallbackReason.empty())
+            std::fprintf(stderr,
+                         "polyfuse: parallel run degraded: %s\n",
+                         result.parFallbackReason.c_str());
+    }
+
     if (emit == "stats") {
         std::printf("workload %s, strategy %s, %zu statements\n",
                     spec->name,
@@ -393,7 +465,53 @@ main(int argc, char **argv)
         std::printf("compile (scheduling + codegen): %.3f ms\n",
                     state.compileMs());
     } else if (emit == "json") {
-        std::printf("%s\n", state.stats.json().c_str());
+        std::string out = state.stats.json();
+        if (ran) {
+            // Splice a "run" object into the stats JSON (which always
+            // ends in '}').
+            char buf[160];
+            std::snprintf(
+                buf, sizeof(buf),
+                ", \"run\": {\"requestedTier\": \"%s\", "
+                "\"tier\": \"%s\", ",
+                exec::tierName(tier), exec::tierName(result.tier));
+            std::string run_json = buf;
+            run_json += "\"fallbackReason\": \"" +
+                        driver::jsonEscape(result.fallbackReason) +
+                        "\", ";
+            std::snprintf(buf, sizeof(buf),
+                          "\"ms\": %.4f, \"instances\": %llu, "
+                          "\"loads\": %llu, \"stores\": %llu, ",
+                          result.stats.seconds * 1e3,
+                          (unsigned long long)result.stats.instances,
+                          (unsigned long long)result.stats.loads,
+                          (unsigned long long)result.stats.stores);
+            run_json += buf;
+            const exec::ParRunStats &p = result.par;
+            std::snprintf(
+                buf, sizeof(buf),
+                "\"par\": {\"threads\": %u, \"strategy\": \"%s\", "
+                "\"regionsParallel\": %llu, "
+                "\"regionsSequential\": %llu, ",
+                p.threads, exec::parStrategyName(p.strategy),
+                (unsigned long long)p.regionsParallel,
+                (unsigned long long)p.regionsSequential);
+            run_json += buf;
+            std::snprintf(
+                buf, sizeof(buf),
+                "\"tilesExecuted\": %llu, \"waits\": %llu, "
+                "\"criticalPath\": %llu, ",
+                (unsigned long long)p.tilesExecuted,
+                (unsigned long long)p.waits,
+                (unsigned long long)p.criticalPath);
+            run_json += buf;
+            run_json +=
+                "\"fallbackReason\": \"" +
+                driver::jsonEscape(result.parFallbackReason) +
+                "\"}}";
+            out.insert(out.size() - 1, run_json);
+        }
+        std::printf("%s\n", out.c_str());
     } else if (emit == "tree") {
         std::printf("%s", state.tree.str().c_str());
     } else if (emit == "c") {
@@ -407,32 +525,7 @@ main(int argc, char **argv)
                         .c_str());
     }
 
-    if (do_run) {
-        exec::Buffers buffers(program);
-        if (program.name() == "equake") {
-            workloads::initEquakeInputs(program, buffers, 11);
-        } else {
-            for (size_t t = 0; t < program.tensors().size(); ++t)
-                if (program.tensor(t).kind != ir::TensorKind::Temp)
-                    buffers.fillPattern(t, 1000 + t);
-        }
-        exec::ExecOptions eopts;
-        eopts.tier = tier;
-        exec::ExecResult result;
-        try {
-            result = exec::execute(program, state.ast, buffers,
-                                   eopts);
-        } catch (const std::exception &e) {
-            std::fprintf(stderr, "polyfuse: run failed: %s\n",
-                         e.what());
-            return 1;
-        }
-        if (!result.fallbackReason.empty())
-            std::fprintf(stderr,
-                         "polyfuse: fell back from %s to %s: %s\n",
-                         exec::tierName(tier),
-                         exec::tierName(result.tier),
-                         result.fallbackReason.c_str());
+    if (ran && emit != "json") {
         std::printf("run: tier %s, %.3f ms",
                     exec::tierName(result.tier),
                     result.stats.seconds * 1e3);
@@ -442,6 +535,15 @@ main(int argc, char **argv)
                 (unsigned long long)result.stats.instances,
                 (unsigned long long)result.stats.loads,
                 (unsigned long long)result.stats.stores);
+        if (result.par.threads > 0)
+            std::printf(
+                ", par %s x%u (%llu tiles, %llu waits, "
+                "critical path %llu)",
+                exec::parStrategyName(result.par.strategy),
+                result.par.threads,
+                (unsigned long long)result.par.tilesExecuted,
+                (unsigned long long)result.par.waits,
+                (unsigned long long)result.par.criticalPath);
         std::printf("\n");
     }
     return 0;

@@ -100,6 +100,14 @@ buildRegistry()
                    [](const WorkloadParams &p) {
                        return workloads::makeGemver(p.rows);
                    }});
+    reg.push_back({"seidel",
+                   "Gauss-Seidel sweep (rows = n, cols = m; "
+                   "wavefront tiles)",
+                   {32, 32},
+                   {256, 256},
+                   [](const WorkloadParams &p) {
+                       return workloads::makeSeidel(p.rows, p.cols);
+                   }});
     reg.push_back({"covariance",
                    "PolyBench covariance (rows = n, cols = m)",
                    {32, 32},

@@ -1,11 +1,16 @@
 #include "exec/bytecode.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
+#include <mutex>
+#include <thread>
 
+#include "support/failpoint.hh"
 #include "support/intmath.hh"
 #include "support/logging.hh"
+#include "support/thread_pool.hh"
 #include "support/timer.hh"
 
 namespace polyfuse {
@@ -66,6 +71,9 @@ struct Loop
     int32_t var = 0;
     Bound lb, ub;
     bool parallel = false;
+    bool tile = false;      ///< iterates tile coordinates
+    int32_t bandId = -1;    ///< owning tile band (codegen side table)
+    int32_t bandLevel = -1; ///< level within the owning tile band
     /**
      * When the loop body is nothing but statements, the contiguous
      * range [stmtBegin, stmtEnd) of Image::stmts it executes; the
@@ -179,6 +187,27 @@ struct Inst
     int32_t jump = 0; ///< ForBegin: past ForEnd; ForEnd: body start
 };
 
+/**
+ * One parallel-schedulable span of the tape: the consecutive
+ * top-level tile loops of one band plus their shared body. A tile is
+ * an assignment of values to the region's loop vars; launching one
+ * means pinning those vars and executing [bodyBegin, bodyEnd).
+ * Regions are discovered by a top-level tape scan after compilation;
+ * tile bands nested under other loops or inside Alloc scopes are NOT
+ * regions (a scratchpad pushed outside the region would live on the
+ * launching machine's state, invisible to workers).
+ */
+struct TileRegion
+{
+    int32_t bandId = -1;
+    int32_t beginPc = 0;  ///< pc of the outermost tile ForBegin
+    int32_t endPc = 0;    ///< pc past the outermost ForEnd
+    int32_t bodyBegin = 0; ///< pc after the innermost tile ForBegin
+    int32_t bodyEnd = 0;   ///< pc of the innermost tile ForEnd
+    std::vector<int32_t> loops; ///< tile loop index per level
+    int32_t coincidentLevels = 0; ///< levels flagged parallel
+};
+
 /** The immutable compiled form. */
 struct Image
 {
@@ -186,6 +215,7 @@ struct Image
 
     std::vector<Inst> insts;
     std::vector<Loop> loops;
+    std::vector<TileRegion> tileRegions;
     std::vector<StmtC> stmts;
     std::vector<AllocC> allocs;
     std::vector<PromoC> promos;
@@ -238,6 +268,7 @@ class Compiler
         img_.accessesByTensor.resize(img_.numTensors);
         emit(ast_);
         img_.insts.push_back({Op::Halt, 0, 0});
+        scanTileRegions();
         return std::make_shared<Image>(std::move(img_));
     }
 
@@ -551,6 +582,9 @@ class Compiler
             loop.lb = makeBound(n->lb);
             loop.ub = makeBound(n->ub);
             loop.parallel = n->parallel;
+            loop.tile = n->tileLoop;
+            loop.bandId = n->bandId;
+            loop.bandLevel = n->bandLevel;
             int32_t loop_idx = int32_t(img_.loops.size());
             img_.loops.push_back(loop);
             int32_t begin_pc = int32_t(img_.insts.size());
@@ -596,6 +630,67 @@ class Compiler
             img_.insts.push_back(
                 {Op::Stmt, compileStmtNode(*n), 0});
             return;
+        }
+    }
+
+    /** Walk the top level of the finished tape and record every
+     *  maximal run of consecutive tile ForBegins of one band (levels
+     *  0..L-1) as a TileRegion. Loops and Alloc scopes are never
+     *  entered: only outermost tile bands are schedulable. */
+    void
+    scanTileRegions()
+    {
+        int32_t pc = 0;
+        int alloc_depth = 0;
+        while (img_.insts[pc].op != Op::Halt) {
+            const Inst &in = img_.insts[pc];
+            switch (in.op) {
+              case Op::AllocEnter:
+                ++alloc_depth;
+                ++pc;
+                break;
+              case Op::AllocExit:
+                --alloc_depth;
+                ++pc;
+                break;
+              case Op::Stmt:
+                ++pc;
+                break;
+              case Op::ForBegin: {
+                const Loop &l = img_.loops[in.arg];
+                if (alloc_depth == 0 && l.bandId >= 0 &&
+                    l.bandLevel == 0) {
+                    TileRegion r;
+                    r.bandId = l.bandId;
+                    r.beginPc = pc;
+                    r.endPc = in.jump;
+                    int32_t p = pc;
+                    int32_t level = 0;
+                    while (img_.insts[p].op == Op::ForBegin) {
+                        const Loop &lp =
+                            img_.loops[img_.insts[p].arg];
+                        if (lp.bandId != r.bandId ||
+                            lp.bandLevel != level)
+                            break;
+                        r.loops.push_back(img_.insts[p].arg);
+                        if (lp.parallel)
+                            ++r.coincidentLevels;
+                        ++level;
+                        ++p;
+                    }
+                    r.bodyBegin = p;
+                    // The innermost tile ForBegin (at p - 1) jumps
+                    // past its own ForEnd; the body ends right on it.
+                    r.bodyEnd = img_.insts[p - 1].jump - 1;
+                    img_.tileRegions.push_back(std::move(r));
+                }
+                pc = in.jump; // never enter loop bodies
+                break;
+              }
+              case Op::ForEnd:
+              case Op::Halt:
+                panic("tile-region scan desynchronized");
+            }
         }
     }
 
@@ -768,6 +863,140 @@ class Machine
             }
         }
     }
+
+    /**
+     * Untraced execution of the well-nested tape span
+     * [pc, end_pc): the sequential glue of a parallel run (spans
+     * between tile regions, regions kept sequential) and the body
+     * slice of one tile. Returns with the machine's storage stacks
+     * and fold state exactly as on entry (Alloc scopes inside the
+     * span are balanced).
+     */
+    void
+    runRange(int32_t pc, int32_t end_pc)
+    {
+        const Inst *insts = img_.insts.data();
+        while (pc != end_pc) {
+            const Inst &in = insts[pc];
+            switch (in.op) {
+              case Op::ForBegin: {
+                const Loop &loop = img_.loops[in.arg];
+                int64_t lo = evalBound(loop.lb, true);
+                int64_t hi = evalBound(loop.ub, false);
+                if (lo > hi) {
+                    pc = in.jump;
+                    break;
+                }
+                if (loop.nestInner >= 0) {
+                    runNest(loop, lo, hi);
+                    pc = in.jump;
+                    break;
+                }
+                if (loop.stmtBegin >= 0) {
+                    runInner(loop, lo, hi);
+                    pc = in.jump;
+                    break;
+                }
+                st_.vars[loop.var] = lo;
+                st_.loopHi[in.arg] = hi;
+                if (loop.parallel)
+                    ++st_.parallelDepth;
+                ++pc;
+                break;
+              }
+              case Op::ForEnd: {
+                const Loop &loop = img_.loops[in.arg];
+                if (++st_.vars[loop.var] <= st_.loopHi[in.arg]) {
+                    pc = in.jump;
+                    break;
+                }
+                if (loop.parallel)
+                    --st_.parallelDepth;
+                ++pc;
+                break;
+              }
+              case Op::Stmt:
+                execStmt<false>(img_.stmts[in.arg]);
+                ++pc;
+                break;
+              case Op::AllocEnter:
+                enterAlloc(img_.allocs[in.arg]);
+                ++pc;
+                break;
+              case Op::AllocExit:
+                exitAlloc(img_.allocs[in.arg]);
+                ++pc;
+                break;
+              case Op::Halt:
+                return;
+            }
+        }
+    }
+
+    /**
+     * Execute one tile of region @p r: pin the tile-loop vars to
+     * @p coords, preset parallelDepth as if the coincident tile
+     * loops had been entered (so instancesParallel matches the
+     * sequential run bit-for-bit), and run the body slice.
+     */
+    void
+    runTile(const TileRegion &r, const int64_t *coords)
+    {
+        for (size_t k = 0; k < r.loops.size(); ++k)
+            st_.vars[img_.loops[r.loops[k]].var] = coords[k];
+        int saved = st_.parallelDepth;
+        st_.parallelDepth = saved + r.coincidentLevels;
+        runRange(r.bodyBegin, r.bodyEnd);
+        st_.parallelDepth = saved;
+    }
+
+    /**
+     * Enumerate region @p r's tiles in sequential (lexicographic)
+     * order, appending each tile's coordinates (one int64 per level)
+     * to @p coords. Inner levels re-evaluate their bounds under the
+     * outer coordinates, so non-rectangular (skewed) tile spaces
+     * enumerate exactly the tiles the sequential run visits. Reads
+     * no buffers -- safe during planning.
+     */
+    void
+    enumerateTiles(const TileRegion &r, std::vector<int64_t> &coords)
+    {
+        size_t levels = r.loops.size();
+        std::vector<int64_t> hi(levels);
+        size_t k = 0;
+        for (;;) {
+            const Loop &loop = img_.loops[r.loops[k]];
+            int64_t lo = evalBound(loop.lb, true);
+            int64_t h = evalBound(loop.ub, false);
+            if (lo <= h) {
+                st_.vars[loop.var] = lo;
+                hi[k] = h;
+                if (k + 1 < levels) {
+                    ++k;
+                    continue;
+                }
+                for (;;) {
+                    for (size_t j = 0; j < levels; ++j)
+                        coords.push_back(
+                            st_.vars[img_.loops[r.loops[j]].var]);
+                    if (++st_.vars[loop.var] > hi[k])
+                        break;
+                }
+            }
+            // Carry: advance the innermost unfinished outer level.
+            for (;;) {
+                if (k == 0)
+                    return;
+                --k;
+                const Loop &outer = img_.loops[r.loops[k]];
+                if (++st_.vars[outer.var] <= hi[k])
+                    break;
+            }
+            ++k;
+        }
+    }
+
+    ExecStats &stats() { return st_.stats; }
 
   private:
     /** Scalar unary op, bit-exact with the reference interpreter. */
@@ -1321,6 +1550,51 @@ class Machine
 
 using bytecode_detail::Image;
 using bytecode_detail::Machine;
+using bytecode_detail::TileRegion;
+
+namespace {
+
+/** Merge run counters (seconds excluded: the caller owns timing).
+ *  Order-independent for bit-identity: the integer counters are
+ *  exact, and flops sums integer-valued per-statement op counts,
+ *  which doubles add exactly in any association. */
+void
+addStats(ExecStats &a, const ExecStats &b)
+{
+    a.instances += b.instances;
+    a.instancesParallel += b.instancesParallel;
+    a.flops += b.flops;
+    a.loads += b.loads;
+    a.stores += b.stores;
+    a.guardFails += b.guardFails;
+}
+
+/** How one tile region is executed in a parallel run. */
+enum class RegionMode
+{
+    Sequential,
+    Static, ///< blocking parallel_for over independent tiles
+    Graph,  ///< ready-queue drain of the inter-tile DAG
+};
+
+/** Planning result of one region (built before any execution). */
+struct RegionPlan
+{
+    RegionMode mode = RegionMode::Sequential;
+    const deps::TileBandGraph *cls = nullptr;
+    std::vector<int64_t> tiles; ///< lex-order coords, L per tile
+    int64_t n = 0;              ///< tile count
+    uint64_t critical = 0;      ///< longest dependence chain (tiles)
+    // Graph mode: dense coordinate grid + initial in-degrees.
+    std::vector<int64_t> lo, hi, stride;
+    std::vector<int32_t> grid; ///< flat coord -> tile index, -1 gap
+    std::vector<int32_t> indeg;
+};
+
+/** Cap on the dense tile-coordinate grid of one wavefront region. */
+constexpr int64_t kMaxGridCells = int64_t(1) << 22;
+
+} // namespace
 
 BytecodeKernel
 BytecodeKernel::compile(const Program &program, const AstPtr &ast)
@@ -1354,6 +1628,306 @@ BytecodeKernel::run(Buffers &buffers, const TraceHook &hook) const
         return run(buffers);
     HookSink sink(hook);
     return run(buffers, sink);
+}
+
+ExecStats
+BytecodeKernel::runParallel(Buffers &buffers, unsigned threads,
+                            ParStrategy strategy,
+                            const std::vector<deps::TileBandGraph> *bands,
+                            ParRunStats &par,
+                            std::string &fallback_reason) const
+{
+    if (!image_)
+        fatal("bytecode: runParallel() on an empty kernel");
+    const Image &img = *image_;
+    Timer timer;
+    par = ParRunStats{};
+    if (threads == 0)
+        threads = ThreadPool::defaultThreads();
+
+    Machine main(img, buffers);
+
+    // ---- Planning: classification, tile enumeration, DAG build,
+    // worker spawn. Strictly read-only on buffers, so any failure
+    // here (including the exec.par.* failpoints) degrades to a full
+    // sequential run with nothing to undo.
+    std::vector<RegionPlan> plans(img.tileRegions.size());
+    std::unique_ptr<ThreadPool> pool;
+    try {
+        for (size_t ri = 0; ri < img.tileRegions.size(); ++ri) {
+            const TileRegion &r = img.tileRegions[ri];
+            RegionPlan &p = plans[ri];
+            size_t L = r.loops.size();
+            if (bands)
+                for (const auto &b : *bands)
+                    if (b.bandId == r.bandId) {
+                        p.cls = &b;
+                        break;
+                    }
+            using deps::TileBandClass;
+            if (!p.cls || p.cls->cls == TileBandClass::Serial)
+                continue;
+            if (p.cls->cls == TileBandClass::FullyParallel) {
+                // Independent tiles: the static fast path serves
+                // both strategies.
+                main.enumerateTiles(r, p.tiles);
+                p.n = int64_t(p.tiles.size() / L);
+                p.mode = RegionMode::Static;
+                p.critical = p.n > 0 ? 1 : 0;
+                continue;
+            }
+            // Wavefront: needs the dynamic executor.
+            if (strategy != ParStrategy::Graph)
+                continue;
+            failpoints::hit("exec.par.tilegraph");
+            main.enumerateTiles(r, p.tiles);
+            p.n = int64_t(p.tiles.size() / L);
+            if (p.n == 0) {
+                p.mode = RegionMode::Static;
+                continue;
+            }
+            // Dense grid over the tiles' bounding box.
+            p.lo.assign(L, 0);
+            p.hi.assign(L, 0);
+            for (size_t k = 0; k < L; ++k)
+                p.lo[k] = p.hi[k] = p.tiles[k];
+            for (int64_t i = 1; i < p.n; ++i)
+                for (size_t k = 0; k < L; ++k) {
+                    int64_t c = p.tiles[size_t(i) * L + k];
+                    p.lo[k] = std::min(p.lo[k], c);
+                    p.hi[k] = std::max(p.hi[k], c);
+                }
+            p.stride.assign(L, 1);
+            int64_t cells = 1;
+            bool oversize = false;
+            for (size_t k = L; k-- > 0;) {
+                p.stride[k] = cells;
+                int64_t span = p.hi[k] - p.lo[k] + 1;
+                if (span > kMaxGridCells ||
+                    cells > kMaxGridCells / span) {
+                    oversize = true;
+                    break;
+                }
+                cells *= span;
+            }
+            if (oversize)
+                continue; // keep the region sequential
+            p.grid.assign(size_t(cells), -1);
+            auto flatten = [&](const int64_t *c) {
+                int64_t f = 0;
+                for (size_t k = 0; k < L; ++k)
+                    f += (c[k] - p.lo[k]) * p.stride[k];
+                return f;
+            };
+            for (int64_t i = 0; i < p.n; ++i)
+                p.grid[size_t(
+                    flatten(&p.tiles[size_t(i) * L]))] =
+                    int32_t(i);
+            // In-degrees + critical path. Lex tile order is a
+            // topological order (stencil vectors are lex-positive),
+            // so one forward sweep computes chain depths.
+            p.indeg.assign(size_t(p.n), 0);
+            std::vector<int32_t> depth(size_t(p.n), 1);
+            std::vector<int64_t> pred(L);
+            for (int64_t i = 0; i < p.n; ++i) {
+                for (const auto &d : p.cls->deltas) {
+                    bool inside = true;
+                    for (size_t k = 0; k < L; ++k) {
+                        pred[k] =
+                            p.tiles[size_t(i) * L + k] - d[k];
+                        if (pred[k] < p.lo[k] ||
+                            pred[k] > p.hi[k]) {
+                            inside = false;
+                            break;
+                        }
+                    }
+                    if (!inside)
+                        continue;
+                    int32_t j =
+                        p.grid[size_t(flatten(pred.data()))];
+                    if (j < 0)
+                        continue;
+                    ++p.indeg[size_t(i)];
+                    depth[size_t(i)] =
+                        std::max(depth[size_t(i)],
+                                 depth[size_t(j)] + 1);
+                }
+            }
+            p.critical = uint64_t(*std::max_element(
+                depth.begin(), depth.end()));
+            p.mode = RegionMode::Graph;
+        }
+        failpoints::hit("exec.par.spawn");
+        pool = std::make_unique<ThreadPool>(threads);
+    } catch (const std::exception &e) {
+        fallback_reason = e.what();
+        par = ParRunStats{};
+        return main.run<false>(nullptr);
+    }
+
+    // ---- Execution: sequential glue on the launching machine,
+    // regions per their plan.
+    par.threads = pool->size();
+    par.strategy = strategy;
+    ExecStats total;
+    std::mutex mu;
+    int32_t cursor = 0;
+    for (size_t ri = 0; ri < img.tileRegions.size(); ++ri) {
+        const TileRegion &r = img.tileRegions[ri];
+        RegionPlan &p = plans[ri];
+        size_t L = r.loops.size();
+        main.runRange(cursor, r.beginPc);
+        cursor = r.endPc;
+        if (p.mode == RegionMode::Sequential) {
+            ++par.regionsSequential;
+            main.runRange(r.beginPc, r.endPc);
+            continue;
+        }
+        ++par.regionsParallel;
+        par.tilesExecuted += uint64_t(p.n);
+        par.criticalPath = std::max(par.criticalPath, p.critical);
+        if (p.n == 0)
+            continue; // empty iteration space: nothing runs
+        if (p.mode == RegionMode::Static) {
+            pool->parallelFor(
+                0, p.n, 0, [&](int64_t b, int64_t e) {
+                    Machine m(img, buffers);
+                    for (int64_t i = b; i < e; ++i)
+                        m.runTile(r, &p.tiles[size_t(i) * L]);
+                    std::lock_guard<std::mutex> lock(mu);
+                    addStats(total, m.stats());
+                });
+        } else {
+            // Ready-queue drain: a fixed ring where every tile is
+            // enqueued exactly once when its atomic in-degree hits
+            // zero; workers claim head tickets with one CAS -- no
+            // locks on the hot path.
+            const int64_t n = p.n;
+            std::vector<std::atomic<int32_t>> indeg(
+                static_cast<size_t>(n));
+            std::vector<std::atomic<int32_t>> ring(
+                static_cast<size_t>(n));
+            for (int64_t i = 0; i < n; ++i) {
+                indeg[size_t(i)].store(p.indeg[size_t(i)],
+                                       std::memory_order_relaxed);
+                ring[size_t(i)].store(-1,
+                                      std::memory_order_relaxed);
+            }
+            int64_t ready0 = 0;
+            for (int64_t i = 0; i < n; ++i)
+                if (p.indeg[size_t(i)] == 0)
+                    ring[size_t(ready0++)].store(
+                        int32_t(i), std::memory_order_relaxed);
+            std::atomic<int64_t> head{0}, tail{ready0};
+            std::atomic<int64_t> done{0};
+            std::atomic<uint64_t> wait_sum{0};
+            std::atomic<bool> abort{false};
+            unsigned nw = unsigned(
+                std::min<int64_t>(pool->size(), n));
+            for (unsigned w = 0; w < nw; ++w)
+                pool->submit([&, L] {
+                    Machine m(img, buffers);
+                    uint64_t my_waits = 0;
+                    for (;;) {
+                        if (done.load(std::memory_order_acquire) >=
+                                n ||
+                            abort.load(std::memory_order_relaxed))
+                            break;
+                        int64_t h = head.load(
+                            std::memory_order_relaxed);
+                        if (h >= tail.load(
+                                     std::memory_order_acquire)) {
+                            ++my_waits;
+                            std::this_thread::yield();
+                            continue;
+                        }
+                        if (!head.compare_exchange_weak(
+                                h, h + 1,
+                                std::memory_order_acq_rel))
+                            continue;
+                        int32_t t;
+                        while ((t = ring[size_t(h)].load(
+                                    std::memory_order_acquire)) <
+                               0)
+                            std::this_thread::yield();
+                        try {
+                            m.runTile(r,
+                                      &p.tiles[size_t(t) * L]);
+                        } catch (...) {
+                            abort.store(
+                                true, std::memory_order_relaxed);
+                            {
+                                std::lock_guard<std::mutex> lock(
+                                    mu);
+                                addStats(total, m.stats());
+                            }
+                            wait_sum.fetch_add(
+                                my_waits,
+                                std::memory_order_relaxed);
+                            throw; // captured by the pool
+                        }
+                        for (const auto &d : p.cls->deltas) {
+                            bool inside = true;
+                            int64_t flat = 0;
+                            for (size_t k = 0; k < L; ++k) {
+                                int64_t c =
+                                    p.tiles[size_t(t) * L + k] +
+                                    d[k];
+                                if (c < p.lo[k] || c > p.hi[k]) {
+                                    inside = false;
+                                    break;
+                                }
+                                flat +=
+                                    (c - p.lo[k]) * p.stride[k];
+                            }
+                            if (!inside)
+                                continue;
+                            int32_t s = p.grid[size_t(flat)];
+                            if (s < 0)
+                                continue;
+                            if (indeg[size_t(s)].fetch_sub(
+                                    1,
+                                    std::memory_order_acq_rel) ==
+                                1) {
+                                int64_t pos = tail.fetch_add(
+                                    1, std::memory_order_acq_rel);
+                                ring[size_t(pos)].store(
+                                    s,
+                                    std::memory_order_release);
+                            }
+                        }
+                        done.fetch_add(
+                            1, std::memory_order_acq_rel);
+                    }
+                    {
+                        std::lock_guard<std::mutex> lock(mu);
+                        addStats(total, m.stats());
+                    }
+                    wait_sum.fetch_add(
+                        my_waits, std::memory_order_relaxed);
+                });
+            pool->wait();
+            par.waits +=
+                wait_sum.load(std::memory_order_relaxed);
+        }
+        if (pool->failureCount()) {
+            std::vector<std::string> fails = pool->takeFailures();
+            fatal("parallel tile execution failed: " +
+                  fails.front());
+        }
+    }
+    // Trailing sequential span up to (not including) Halt.
+    main.runRange(cursor, int32_t(img.insts.size()) - 1);
+
+    addStats(main.stats(), total);
+    main.stats().seconds = timer.seconds();
+    return main.stats();
+}
+
+size_t
+BytecodeKernel::numTileRegions() const
+{
+    return image_ ? image_->tileRegions.size() : 0;
 }
 
 size_t

@@ -41,6 +41,7 @@
 
 #include <memory>
 
+#include "exec/engine.hh"
 #include "exec/executor.hh"
 
 namespace polyfuse {
@@ -76,6 +77,30 @@ class BytecodeKernel
 
     /** Adapter: per-access hook consumers (legacy signature). */
     ExecStats run(Buffers &buffers, const TraceHook &hook) const;
+
+    /**
+     * Execute with up to @p threads workers scheduling the tape's
+     * tile regions per @p strategy, gated by the @p bands
+     * classifications (see ParStrategy). Untraced only. Guaranteed
+     * bit-identical to run(): identical buffers and identical stats
+     * (except wall-clock seconds).
+     *
+     * Planning -- the exec.par.spawn / exec.par.tilegraph failpoint
+     * sites, tile enumeration, DAG construction, worker spawn --
+     * happens strictly before any statement executes; a planning
+     * failure is recorded in @p fallback_reason and the whole tape
+     * runs sequentially instead (buffers untouched at that point, so
+     * the degrade is deterministic). A failure while tiles are
+     * already executing propagates as the error it is.
+     */
+    ExecStats runParallel(Buffers &buffers, unsigned threads,
+                          ParStrategy strategy,
+                          const std::vector<deps::TileBandGraph> *bands,
+                          ParRunStats &par,
+                          std::string &fallback_reason) const;
+
+    /** Parallel-schedulable top-level tile regions of the tape. */
+    size_t numTileRegions() const;
 
     /** Tape length (for tests and stats). */
     size_t numInstructions() const;

@@ -32,6 +32,31 @@ parseTier(const std::string &text, Tier *out)
     return true;
 }
 
+const char *
+parStrategyName(ParStrategy strategy)
+{
+    switch (strategy) {
+      case ParStrategy::Off: return "off";
+      case ParStrategy::Static: return "static";
+      case ParStrategy::Graph: return "graph";
+    }
+    return "?";
+}
+
+bool
+parseParStrategy(const std::string &text, ParStrategy *out)
+{
+    if (text == "off")
+        *out = ParStrategy::Off;
+    else if (text == "static")
+        *out = ParStrategy::Static;
+    else if (text == "graph")
+        *out = ParStrategy::Graph;
+    else
+        return false;
+    return true;
+}
+
 namespace {
 
 ExecStats
@@ -55,6 +80,7 @@ execute(const ir::Program &program, const codegen::AstPtr &ast,
     ExecResult result;
     Tier tier = options.tier;
     bool tracing = options.sink || options.trace;
+    bool want_par = options.par != ParStrategy::Off;
 
     if (tier == Tier::Native && tracing) {
         if (!options.allowFallback)
@@ -66,6 +92,9 @@ execute(const ir::Program &program, const codegen::AstPtr &ast,
     if (tier == Tier::Native) {
         NativeKernel kernel = NativeKernel::compile(program, ast);
         if (kernel.ok()) {
+            if (want_par)
+                result.parFallbackReason =
+                    "native tier runs sequentially";
             result.stats = kernel.run(buffers);
             result.tier = Tier::Native;
             return result;
@@ -77,6 +106,21 @@ execute(const ir::Program &program, const codegen::AstPtr &ast,
     }
 
     if (tier == Tier::Bytecode) {
+        if (want_par && tracing) {
+            result.parFallbackReason =
+                "tracing requires sequential execution";
+            want_par = false;
+        }
+        if (want_par) {
+            BytecodeKernel kernel =
+                BytecodeKernel::compile(program, ast);
+            result.stats = kernel.runParallel(
+                buffers, options.threads, options.par,
+                options.tileBands, result.par,
+                result.parFallbackReason);
+            result.tier = Tier::Bytecode;
+            return result;
+        }
         result.stats = runBytecode(program, ast, buffers, options);
         result.tier = Tier::Bytecode;
         return result;

@@ -18,8 +18,11 @@
 #ifndef POLYFUSE_EXEC_ENGINE_HH
 #define POLYFUSE_EXEC_ENGINE_HH
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
+#include "deps/tile_graph.hh"
 #include "exec/executor.hh"
 
 namespace polyfuse {
@@ -40,6 +43,50 @@ const char *tierName(Tier tier);
  *  anything else. */
 bool parseTier(const std::string &text, Tier *out);
 
+/**
+ * How tile regions are scheduled across threads (bytecode tier).
+ *
+ *   Off    -- sequential lexicographic order (the default).
+ *   Static -- fully-parallel bands run under a blocking parallel_for
+ *             over their tiles; wavefront/serial bands stay
+ *             sequential.
+ *   Graph  -- fully-parallel bands take the static fast path;
+ *             wavefront bands run through the dynamic ready-queue
+ *             executor driven by the inter-tile dependence stencil
+ *             (deps::tileGraph); serial bands stay sequential.
+ *
+ * Parallel runs are bit-identical to sequential runs: tiles of a
+ * fully-parallel band write disjoint footprints, and the wavefront
+ * DAG orders every cross-tile dependence.
+ */
+enum class ParStrategy
+{
+    Off,
+    Static,
+    Graph,
+};
+
+/** Stable lower-case name ("off" | "static" | "graph"). */
+const char *parStrategyName(ParStrategy strategy);
+
+/** Parse a parStrategyName() spelling; false (and *out untouched) on
+ *  anything else. */
+bool parseParStrategy(const std::string &text, ParStrategy *out);
+
+/** Counters of one parallel run (all zero on sequential runs). */
+struct ParRunStats
+{
+    unsigned threads = 0;   ///< worker threads used (0: sequential)
+    ParStrategy strategy = ParStrategy::Off; ///< strategy that ran
+    uint64_t regionsParallel = 0;   ///< tile regions run in parallel
+    uint64_t regionsSequential = 0; ///< regions kept sequential
+    uint64_t tilesExecuted = 0;     ///< tiles launched onto workers
+    uint64_t waits = 0;  ///< ready-queue empty spins across workers
+    /** Longest dependence chain (in tiles) over the wavefront
+     *  regions executed; 1 for purely coincident runs. */
+    uint64_t criticalPath = 0;
+};
+
 /** How to execute. */
 struct ExecOptions
 {
@@ -50,6 +97,15 @@ struct ExecOptions
     TraceSink *sink = nullptr;
     /** Legacy per-access trace hook; adapted via HookSink. */
     TraceHook trace;
+    /** Worker threads for parallel strategies (0: hardware count). */
+    unsigned threads = 1;
+    /** Tile scheduling strategy (bytecode tier only). */
+    ParStrategy par = ParStrategy::Off;
+    /** Per-band classifications from deps::tileGraph, keyed by
+     *  bandId. Without them every region stays sequential (the
+     *  coincident flags alone do not prove tile independence once
+     *  post-tiling fusion introduces extension statements). */
+    const std::vector<deps::TileBandGraph> *tileBands = nullptr;
 };
 
 /** What execute() did. */
@@ -59,6 +115,11 @@ struct ExecResult
     Tier tier = Tier::Bytecode; ///< the tier that actually ran
     /** Why `tier` differs from the requested one ("" when it ran). */
     std::string fallbackReason;
+    /** Parallel-run counters (threads == 0 when sequential ran). */
+    ParRunStats par;
+    /** Why a requested parallel strategy degraded to sequential
+     *  ("" when it ran as requested). */
+    std::string parFallbackReason;
 };
 
 /**

@@ -15,7 +15,10 @@
  * Sites live at the compiler's failure-prone seams -- the FM engine
  * (`pres.eliminateCol`, `pres.simplifyRows`), the parser
  * (`pres.parse`), the composition (`core.compose`,
- * `core.footprint`), codegen (`codegen.generate`) and per batch job
+ * `core.footprint`), codegen (`codegen.generate`), the parallel
+ * executor's planning steps (`exec.par.spawn`,
+ * `exec.par.tilegraph` -- both fire before any tile runs, so
+ * degrading to sequential is deterministic) and per batch job
  * (`driver.job.<name>`) -- so tests can prove that every guard,
  * fallback step and batch-isolation property actually holds under
  * injected budget exhaustion, allocation failure and escaped

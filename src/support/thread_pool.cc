@@ -1,5 +1,7 @@
 #include "support/thread_pool.hh"
 
+#include <algorithm>
+
 namespace polyfuse {
 
 ThreadPool::ThreadPool(unsigned threads)
@@ -38,6 +40,70 @@ ThreadPool::wait()
 {
     std::unique_lock<std::mutex> lock(mutex_);
     allDone_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void
+ThreadPool::parallelFor(int64_t begin, int64_t end, int64_t grain,
+                        const std::function<void(int64_t, int64_t)> &fn)
+{
+    if (begin >= end)
+        return;
+    int64_t n = end - begin;
+    if (grain <= 0) {
+        // A few chunks per worker so uneven chunk costs rebalance.
+        int64_t target = int64_t(size()) * 4;
+        grain = (n + target - 1) / target;
+        if (grain < 1)
+            grain = 1;
+    }
+
+    // Capture an escaped exception exactly like workerLoop does, so
+    // parallelFor failures surface through failureCount()/
+    // takeFailures() whichever thread ran the chunk.
+    auto guarded = [this, &fn](int64_t lo, int64_t hi) {
+        std::string failure;
+        bool failed = false;
+        try {
+            fn(lo, hi);
+        } catch (const std::exception &e) {
+            failed = true;
+            failure = e.what();
+        } catch (...) {
+            failed = true;
+            failure = "non-std exception escaped a parallelFor chunk";
+        }
+        if (failed) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            failures_.push_back(std::move(failure));
+        }
+    };
+
+    if (n <= grain) {
+        guarded(begin, end);
+        return;
+    }
+
+    // Per-call completion state: only this call's chunks are waited
+    // on, so concurrent submit() users are unaffected.
+    struct Sync
+    {
+        std::mutex m;
+        std::condition_variable done;
+        int64_t left = 0;
+    } sync;
+    sync.left = (n + grain - 1) / grain;
+
+    for (int64_t lo = begin; lo < end; lo += grain) {
+        int64_t hi = std::min(lo + grain, end);
+        submit([&guarded, &sync, lo, hi] {
+            guarded(lo, hi);
+            std::lock_guard<std::mutex> lock(sync.m);
+            if (--sync.left == 0)
+                sync.done.notify_all();
+        });
+    }
+    std::unique_lock<std::mutex> lock(sync.m);
+    sync.done.wait(lock, [&sync] { return sync.left == 0; });
 }
 
 unsigned

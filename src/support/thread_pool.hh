@@ -22,6 +22,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -51,6 +52,23 @@ class ThreadPool
 
     /** Block until every submitted job has finished running. */
     void wait();
+
+    /**
+     * Blocking data-parallel loop: split [begin, end) into chunks of
+     * at most @p grain indices (grain <= 0 picks a chunk size that
+     * gives every worker several chunks), run
+     * `fn(chunkBegin, chunkEnd)` on the pool, and return when every
+     * chunk has finished. Only this call's chunks are waited on, so
+     * parallelFor composes with unrelated submit() traffic. An
+     * exception escaping @p fn is captured into the same
+     * failureCount()/takeFailures() path submit() jobs use; the
+     * remaining chunks still run (no tearing of the index space).
+     * When the range is empty nothing runs; a single-chunk range runs
+     * inline on the calling thread (exceptions are then captured the
+     * same way, never thrown).
+     */
+    void parallelFor(int64_t begin, int64_t end, int64_t grain,
+                     const std::function<void(int64_t, int64_t)> &fn);
 
     /** Number of jobs whose exception the pool has captured since
      *  construction or the last takeFailures(). */

@@ -203,5 +203,33 @@ makeCovariance(int64_t n, int64_t m)
     return b.build();
 }
 
+Program
+makeSeidel(int64_t n, int64_t m)
+{
+    ProgramBuilder b("seidel");
+    b.param("N", n).param("M", m);
+
+    b.tensor("A", {"N", "M"}, TensorKind::Output);
+
+    // In-place sweep over the interior; north/west/north-west
+    // neighbours are read after their own update (Gauss-Seidel), so
+    // every read is a flow dependence with distance (1,0), (0,1) or
+    // (1,1) -- uniform, lex-positive, tileable but not coincident.
+    b.statement("Ss")
+        .domain("[N, M] -> { Ss[i, j] : 1 <= i < N and "
+                "1 <= j < M }")
+        .reads("A", "{ Ss[i, j] -> A[i, j] }")
+        .reads("A", "{ Ss[i, j] -> A[i - 1, j] }")
+        .reads("A", "{ Ss[i, j] -> A[i, j - 1] }")
+        .reads("A", "{ Ss[i, j] -> A[i - 1, j - 1] }")
+        .writes("A", "{ Ss[i, j] -> A[i, j] }")
+        .body((loadAcc(0) + loadAcc(1) + loadAcc(2) + loadAcc(3)) *
+              lit(0.25))
+        .ops(4)
+        .group(0);
+
+    return b.build();
+}
+
 } // namespace workloads
 } // namespace polyfuse

@@ -26,6 +26,16 @@ ir::Program makeGemver(int64_t n = 256);
 /** covariance of data samples (mean, centering, reduction). */
 ir::Program makeCovariance(int64_t n = 128, int64_t m = 128);
 
+/**
+ * seidel: one in-place Gauss-Seidel sweep over the interior of an
+ * n x m grid, each cell averaging itself with its already-updated
+ * north/west/north-west neighbours. The uniform dependences
+ * (1,0), (0,1), (1,1) make every rectangularly tiled schedule a
+ * wavefront: the tile graph is a DAG, not fully parallel -- the
+ * stress case for the graph execution strategy.
+ */
+ir::Program makeSeidel(int64_t n = 256, int64_t m = 256);
+
 } // namespace workloads
 } // namespace polyfuse
 

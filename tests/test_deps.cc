@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include "deps/dependences.hh"
+#include "deps/tile_graph.hh"
 #include "workloads/conv2d.hh"
+#include "workloads/polybench.hh"
 
 namespace polyfuse {
 namespace deps {
@@ -226,6 +228,129 @@ TEST(Deps, DisjointAccessesProduceNoDependence)
         .group(1);
     auto g = DependenceGraph::compute(b.build());
     EXPECT_TRUE(g.between(0, 1).empty());
+}
+
+// ------------------------------------------------------------------
+// tileGraph: projecting statement dependences onto tile coordinates.
+// ------------------------------------------------------------------
+
+/** One band over both dims of statement 0, identity mapping. */
+TileBandDesc
+band2d(int64_t t0, int64_t t1, int stmt = 0)
+{
+    TileBandDesc d;
+    d.id = 0;
+    d.tileSizes = {t0, t1};
+    d.coincident = {false, false};
+    d.members.push_back({stmt, {0u, 1u}, {0, 0}});
+    return d;
+}
+
+TEST(TileGraph, PointwiseBandIsFullyParallel)
+{
+    // Pointwise producer/consumer at distance (0,0): every tile
+    // dependence stays intra-tile.
+    ProgramBuilder b("pw");
+    b.param("N", 16);
+    b.tensor("A", {"N", "N"}, TensorKind::Temp);
+    b.tensor("B", {"N", "N"}, TensorKind::Output);
+    b.statement("S0")
+        .domain("[N] -> { S0[i, j] : 0 <= i < N and 0 <= j < N }")
+        .writes("A", "{ S0[i, j] -> A[i, j] }")
+        .body(ir::lit(1.0))
+        .group(0);
+    b.statement("S1")
+        .domain("[N] -> { S1[i, j] : 0 <= i < N and 0 <= j < N }")
+        .reads("A", "{ S1[i, j] -> A[i, j] }")
+        .writes("B", "{ S1[i, j] -> B[i, j] }")
+        .body(ir::loadAcc(0))
+        .group(0);
+    ir::Program p = b.build();
+    auto g = DependenceGraph::compute(p);
+
+    TileBandDesc d = band2d(4, 4);
+    d.members.push_back({1, {0u, 1u}, {0, 0}});
+    auto r = tileGraph(g, {d});
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_EQ(r[0].cls, TileBandClass::FullyParallel);
+    EXPECT_TRUE(r[0].deltas.empty());
+    EXPECT_GT(r[0].depsProjected, 0u);
+}
+
+TEST(TileGraph, SeidelIsWavefrontWithUnitStencil)
+{
+    ir::Program p = workloads::makeSeidel(32, 32);
+    auto g = DependenceGraph::compute(p);
+    auto r = tileGraph(g, {band2d(8, 8)});
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_EQ(r[0].cls, TileBandClass::Wavefront);
+    // Distances (1,0), (0,1), (1,1) with T=8 each project to the
+    // unit box; sorted lex.
+    std::vector<std::vector<int64_t>> want = {
+        {0, 1}, {1, 0}, {1, 1}};
+    EXPECT_EQ(r[0].deltas, want);
+}
+
+TEST(TileGraph, DistanceProjectionIsTight)
+{
+    // Distance exactly one tile size projects to exactly delta 1
+    // (not [0,1] slack): floorDiv(8,8) == ceilDiv(8,8) == 1.
+    ProgramBuilder b("shift8");
+    b.param("N", 64);
+    b.tensor("A", {"N + 8"}, TensorKind::Output);
+    b.statement("S0")
+        .domain("[N] -> { S0[i] : 0 <= i < N }")
+        .reads("A", "{ S0[i] -> A[i] }")
+        .writes("A", "{ S0[i] -> A[i + 8] }")
+        .body(ir::loadAcc(0))
+        .group(0);
+    ir::Program p = b.build();
+    auto g = DependenceGraph::compute(p);
+    TileBandDesc d;
+    d.id = 0;
+    d.tileSizes = {8};
+    d.coincident = {false};
+    d.members.push_back({0, {0u}, {0}});
+    auto r = tileGraph(g, {d});
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_EQ(r[0].cls, TileBandClass::Wavefront);
+    std::vector<std::vector<int64_t>> want = {{1}};
+    EXPECT_EQ(r[0].deltas, want);
+}
+
+TEST(TileGraph, ExtraStatementThroughNonLocalTensorIsSerial)
+{
+    // An extension-fused statement with no band coordinates whose
+    // dependence flows through a DRAM tensor cannot be ordered by
+    // the tile DAG: the band must stay serial. The same dependence
+    // through a tile-local scratchpad is harmless.
+    ir::Program p = workloads::makeSeidel(32, 32);
+    auto g = DependenceGraph::compute(p);
+
+    TileBandDesc d = band2d(8, 8);
+    d.extraStmts = {0}; // stmt 0 also runs without coordinates
+    auto serial = tileGraph(g, {d});
+    ASSERT_EQ(serial.size(), 1u);
+    EXPECT_EQ(serial[0].cls, TileBandClass::Serial);
+    EXPECT_FALSE(serial[0].note.empty());
+
+    d.localTensors = {0}; // ...unless tensor A is tile-local
+    auto local = tileGraph(g, {d});
+    ASSERT_EQ(local.size(), 1u);
+    EXPECT_NE(local[0].cls, TileBandClass::Serial);
+    EXPECT_GT(local[0].depsLocal, 0u);
+}
+
+TEST(TileGraph, OversizedStencilDegradesToSerial)
+{
+    ir::Program p = workloads::makeSeidel(64, 64);
+    auto g = DependenceGraph::compute(p);
+    TileGraphOptions o;
+    o.maxDeltas = 1; // seidel needs 3
+    auto r = tileGraph(g, {band2d(8, 8)}, o);
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_EQ(r[0].cls, TileBandClass::Serial);
+    EXPECT_FALSE(r[0].note.empty());
 }
 
 } // namespace

@@ -19,6 +19,7 @@
 #include "exec/engine.hh"
 #include "exec/executor.hh"
 #include "exec/native.hh"
+#include "support/failpoint.hh"
 #include "support/logging.hh"
 #include "schedule/fusion.hh"
 #include "workloads/conv2d.hh"
@@ -402,14 +403,225 @@ TEST_P(TierDifferential, NativeMatchesInterpreterExactly)
             << "tensor " << p.tensor(t).name;
 }
 
+// ------------------------------------------------------------------
+// Parallel runtime: every workload x strategy x {static, graph} x
+// {1, 2, 8} threads must be bit-identical to the sequential bytecode
+// run -- buffers and stats. (Test names carry "Parallel" so the TSAN
+// gate in scripts/check.sh can select the multithreaded subset.)
+// ------------------------------------------------------------------
+
+TEST_P(TierDifferential, ParallelMatchesSequentialExactly)
+{
+    const driver::WorkloadSpec *spec =
+        driver::findWorkload(GetParam());
+    ASSERT_NE(spec, nullptr);
+    ir::Program p = spec->make(smallParams(spec->name));
+
+    for (driver::Strategy s : driver::allStrategies()) {
+        driver::PipelineOptions popts;
+        popts.strategy = s;
+        popts.tileSizes = smallTiles(*spec);
+        auto state = driver::Pipeline(popts).run(p);
+
+        Buffers ref(p);
+        initInputs(p, ref);
+        ExecOptions seq;
+        ExecResult rs = execute(p, state.ast, ref, seq);
+
+        for (ParStrategy par : {ParStrategy::Static,
+                                ParStrategy::Graph}) {
+            for (unsigned threads : {1u, 2u, 8u}) {
+                SCOPED_TRACE(std::string(spec->name) + " / " +
+                             driver::strategyName(s) + " / " +
+                             parStrategyName(par) + " x" +
+                             std::to_string(threads));
+                Buffers buf(p);
+                initInputs(p, buf);
+                ExecOptions eo;
+                eo.threads = threads;
+                eo.par = par;
+                eo.tileBands = &state.tileBands;
+                ExecResult rp = execute(p, state.ast, buf, eo);
+                EXPECT_EQ(rp.tier, Tier::Bytecode);
+                EXPECT_TRUE(rp.parFallbackReason.empty())
+                    << rp.parFallbackReason;
+
+                for (size_t t = 0; t < p.tensors().size(); ++t)
+                    EXPECT_EQ(ref.data(t), buf.data(t))
+                        << "tensor " << p.tensor(t).name;
+                EXPECT_EQ(rs.stats.instances, rp.stats.instances);
+                EXPECT_EQ(rs.stats.instancesParallel,
+                          rp.stats.instancesParallel);
+                EXPECT_EQ(rs.stats.flops, rp.stats.flops);
+                EXPECT_EQ(rs.stats.loads, rp.stats.loads);
+                EXPECT_EQ(rs.stats.stores, rp.stats.stores);
+                EXPECT_EQ(rs.stats.guardFails,
+                          rp.stats.guardFails);
+            }
+        }
+    }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllWorkloads, TierDifferential,
     ::testing::Values("conv2d", "bilateral", "camera", "harris",
                       "laplacian", "interp", "unsharp", "equake",
-                      "2mm", "gemver", "covariance", "convbn"),
+                      "2mm", "gemver", "covariance", "convbn",
+                      "seidel"),
     [](const ::testing::TestParamInfo<const char *> &info) {
         return std::string(info.param);
     });
+
+/** Compile @p name under @p strategy at a reduced size; out-params
+ *  the program and state. */
+driver::CompilationState
+compileSmall(const char *name, driver::Strategy strategy,
+             ir::Program &p)
+{
+    const driver::WorkloadSpec *spec = driver::findWorkload(name);
+    EXPECT_NE(spec, nullptr);
+    p = spec->make(smallParams(name));
+    driver::PipelineOptions popts;
+    popts.strategy = strategy;
+    popts.tileSizes = smallTiles(*spec);
+    return driver::Pipeline(popts).run(p);
+}
+
+TEST(ParallelExec, WavefrontGraphDrainsTheTileDag)
+{
+    // seidel's uniform (1,0)/(0,1)/(1,1) dependences make every
+    // rectangular tiling a wavefront. The graph strategy must drain
+    // the whole DAG -- with broken in-degree accounting this test
+    // deadlocks (workers starve with done < n), which the ctest
+    // timeout turns into a failure.
+    ir::Program p;
+    auto state =
+        compileSmall("seidel", driver::Strategy::MinFuse, p);
+    ASSERT_EQ(state.tileBands.size(), 1u);
+    ASSERT_EQ(state.tileBands[0].cls,
+              deps::TileBandClass::Wavefront);
+    ASSERT_FALSE(state.tileBands[0].deltas.empty());
+
+    Buffers ref(p);
+    initInputs(p, ref);
+    execute(p, state.ast, ref, {});
+
+    Buffers buf(p);
+    initInputs(p, buf);
+    ExecOptions eo;
+    eo.threads = 8;
+    eo.par = ParStrategy::Graph;
+    eo.tileBands = &state.tileBands;
+    ExecResult r = execute(p, state.ast, buf, eo);
+    EXPECT_TRUE(r.parFallbackReason.empty())
+        << r.parFallbackReason;
+    EXPECT_EQ(r.par.regionsParallel, 1u);
+    EXPECT_GT(r.par.tilesExecuted, 1u);
+    EXPECT_GT(r.par.criticalPath, 1u);
+    EXPECT_LT(r.par.criticalPath, r.par.tilesExecuted);
+    EXPECT_EQ(ref.data(p.tensorId("A")), buf.data(p.tensorId("A")));
+}
+
+TEST(ParallelExec, StaticKeepsWavefrontBandsSequential)
+{
+    ir::Program p;
+    auto state =
+        compileSmall("seidel", driver::Strategy::MinFuse, p);
+
+    Buffers ref(p);
+    initInputs(p, ref);
+    execute(p, state.ast, ref, {});
+
+    Buffers buf(p);
+    initInputs(p, buf);
+    ExecOptions eo;
+    eo.threads = 4;
+    eo.par = ParStrategy::Static;
+    eo.tileBands = &state.tileBands;
+    ExecResult r = execute(p, state.ast, buf, eo);
+    EXPECT_EQ(r.par.regionsParallel, 0u);
+    EXPECT_GT(r.par.regionsSequential, 0u);
+    EXPECT_EQ(ref.data(p.tensorId("A")), buf.data(p.tensorId("A")));
+}
+
+TEST(ParallelExec, SpawnFailpointDegradesToSequentialParallel)
+{
+    failpoints::clearAll();
+    failpoints::set("exec.par.spawn", failpoints::Action::Error);
+    ir::Program p;
+    auto state =
+        compileSmall("harris", driver::Strategy::Ours, p);
+
+    Buffers ref(p);
+    initInputs(p, ref);
+    execute(p, state.ast, ref, {});
+
+    Buffers buf(p);
+    initInputs(p, buf);
+    ExecOptions eo;
+    eo.threads = 4;
+    eo.par = ParStrategy::Static;
+    eo.tileBands = &state.tileBands;
+    ExecResult r = execute(p, state.ast, buf, eo);
+    failpoints::clearAll();
+
+    // Planning failed before any tile ran: the whole tape ran
+    // sequentially, with the reason recorded.
+    EXPECT_FALSE(r.parFallbackReason.empty());
+    EXPECT_EQ(r.par.threads, 0u);
+    EXPECT_EQ(r.par.tilesExecuted, 0u);
+    for (size_t t = 0; t < p.tensors().size(); ++t)
+        EXPECT_EQ(ref.data(t), buf.data(t));
+}
+
+TEST(ParallelExec, TileGraphFailpointDegradesToSequentialParallel)
+{
+    failpoints::clearAll();
+    failpoints::set("exec.par.tilegraph",
+                    failpoints::Action::Budget);
+    ir::Program p;
+    auto state =
+        compileSmall("seidel", driver::Strategy::MinFuse, p);
+
+    Buffers ref(p);
+    initInputs(p, ref);
+    execute(p, state.ast, ref, {});
+
+    Buffers buf(p);
+    initInputs(p, buf);
+    ExecOptions eo;
+    eo.threads = 4;
+    eo.par = ParStrategy::Graph;
+    eo.tileBands = &state.tileBands;
+    ExecResult r = execute(p, state.ast, buf, eo);
+    failpoints::clearAll();
+
+    EXPECT_FALSE(r.parFallbackReason.empty());
+    EXPECT_EQ(r.par.tilesExecuted, 0u);
+    EXPECT_EQ(ref.data(p.tensorId("A")), buf.data(p.tensorId("A")));
+}
+
+TEST(ParallelExec, ZeroThreadsMeansHardwareCountParallel)
+{
+    ir::Program p;
+    auto state =
+        compileSmall("harris", driver::Strategy::Ours, p);
+
+    Buffers ref(p);
+    initInputs(p, ref);
+    execute(p, state.ast, ref, {});
+
+    Buffers buf(p);
+    initInputs(p, buf);
+    ExecOptions eo;
+    eo.threads = 0;
+    eo.par = ParStrategy::Static;
+    eo.tileBands = &state.tileBands;
+    ExecResult r = execute(p, state.ast, buf, eo);
+    EXPECT_GT(r.par.threads, 0u);
+    for (size_t t = 0; t < p.tensors().size(); ++t)
+        EXPECT_EQ(ref.data(t), buf.data(t));
+}
 
 TEST(NativeTier, AllStrategiesMatchOnConv2d)
 {

@@ -8,11 +8,14 @@
 
 #include <vector>
 
+#include <atomic>
+
 #include "support/intmath.hh"
 #include "support/logging.hh"
 #include "support/rational.hh"
 #include "support/small_vec.hh"
 #include "support/strutil.hh"
+#include "support/thread_pool.hh"
 
 namespace polyfuse {
 namespace {
@@ -249,6 +252,65 @@ TEST(SmallVec, ScopedForceHeapSpillsEverythingOnThisThread)
     }
     Vec4 after{1};
     EXPECT_TRUE(after.isInline());
+}
+
+TEST(ThreadPoolParallelFor, CoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallelFor(0, 1000, 7, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i)
+            hits[size_t(i)].fetch_add(1,
+                                      std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    EXPECT_EQ(pool.failureCount(), 0u);
+}
+
+TEST(ThreadPoolParallelFor, EmptyAndSingleRangesAreHandled)
+{
+    ThreadPool pool(2);
+    std::atomic<int64_t> sum{0};
+    pool.parallelFor(5, 5, 1, [&](int64_t, int64_t) {
+        sum.fetch_add(1);
+    });
+    EXPECT_EQ(sum.load(), 0);
+    pool.parallelFor(5, 6, 1, [&](int64_t lo, int64_t hi) {
+        sum.fetch_add(hi - lo);
+    });
+    EXPECT_EQ(sum.load(), 1);
+}
+
+TEST(ThreadPoolParallelFor, AutoGrainSplitsAcrossWorkers)
+{
+    ThreadPool pool(3);
+    std::atomic<int> chunks{0};
+    std::atomic<int64_t> covered{0};
+    pool.parallelFor(0, 100, 0, [&](int64_t lo, int64_t hi) {
+        chunks.fetch_add(1);
+        covered.fetch_add(hi - lo);
+    });
+    EXPECT_EQ(covered.load(), 100);
+    EXPECT_GT(chunks.load(), 1);
+}
+
+TEST(ThreadPoolParallelFor, ExceptionsAreCapturedNotPropagated)
+{
+    ThreadPool pool(2);
+    std::atomic<int64_t> covered{0};
+    pool.parallelFor(0, 10, 1, [&](int64_t lo, int64_t hi) {
+        if (lo == 4)
+            throw std::runtime_error("chunk failed");
+        covered.fetch_add(hi - lo);
+    });
+    // The failing chunk is recorded; every other chunk still ran.
+    EXPECT_EQ(pool.failureCount(), 1u);
+    EXPECT_EQ(covered.load(), 9);
+    auto fails = pool.takeFailures();
+    ASSERT_EQ(fails.size(), 1u);
+    EXPECT_NE(fails[0].find("chunk failed"), std::string::npos);
+    EXPECT_EQ(pool.failureCount(), 0u);
 }
 
 } // namespace
