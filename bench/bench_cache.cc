@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Kernel-cache benchmark — the machine-readable artifact/cache
+ * baseline behind BENCH_cache.json.
+ *
+ * Every registry workload is compiled through driver::compileKernel
+ * three ways:
+ *
+ *   off    no cache (the plain plan -> compile path)
+ *   cold   first compile against a shared exec::KernelCache (miss:
+ *          full pipeline + bytecode lowering + insert)
+ *   warm   repeat compile against the same cache (hit: fingerprint
+ *          lookup only, the whole Presburger/codegen pipeline is
+ *          skipped)
+ *
+ * Besides compile wall-clock (warm is best of reps), every variant's
+ * artifact is executed and the output buffers compared bit-for-bit
+ * against the cache-off reference — the benchmark doubles as a
+ * correctness gate and exits nonzero on any mismatch, missed warm
+ * hit, or warm compile that still ran a pipeline pass.
+ *
+ * Modes:
+ *   (none)    full sweep, aligned table on stdout
+ *   --json    full sweep, one JSON object on stdout
+ *   --smoke   three-workload subset at tiny sizes with the same
+ *             assertions, well under 5 s; the check_cache_smoke
+ *             ctest runs this
+ */
+
+#include <cmath>
+#include <cstring>
+
+#include "bench/common.hh"
+#include "driver/artifact.hh"
+#include "driver/registry.hh"
+#include "exec/kernel_cache.hh"
+#include "workloads/equake.hh"
+
+using namespace polyfuse;
+using namespace polyfuse::bench;
+
+namespace {
+
+struct CacheTimes
+{
+    std::string name;
+    double offCompileMs = 0;  ///< no cache
+    double coldCompileMs = 0; ///< miss (compile + insert)
+    double warmCompileMs = 0; ///< hit (lookup only), best of reps
+    bool warmHit = false;     ///< the repeat compile was a hit
+    bool warmPipelineFree = false; ///< hit ran no pipeline pass
+    bool identical = true;    ///< all variants match cache-off bits
+
+    double
+    speedup() const
+    {
+        return warmCompileMs > 0 ? coldCompileMs / warmCompileMs : 0;
+    }
+};
+
+/** Compile-benchmark sizes: compile cost dominates and is largely
+ *  size-independent, so modest sizes keep the execute gate fast. */
+driver::WorkloadParams
+benchParams(const std::string &name)
+{
+    if (name == "equake")
+        return {256, 16};
+    if (name == "convbn")
+        return {8, 8};
+    return {64, 64};
+}
+
+void
+initInputs(const ir::Program &p, exec::Buffers &buf)
+{
+    if (p.name() == "equake") {
+        workloads::initEquakeInputs(p, buf, 11);
+        return;
+    }
+    defaultInit(p, buf);
+}
+
+bool
+buffersEqual(const ir::Program &p, const exec::Buffers &a,
+             const exec::Buffers &b)
+{
+    for (size_t t = 0; t < p.tensors().size(); ++t)
+        if (a.data(t) != b.data(t))
+            return false;
+    return true;
+}
+
+exec::Buffers
+runArtifact(const driver::KernelArtifact &artifact,
+            const ir::Program &p)
+{
+    exec::Buffers buf(p);
+    initInputs(p, buf);
+    driver::executeKernel(artifact, buf);
+    return buf;
+}
+
+CacheTimes
+measureWorkload(const driver::WorkloadSpec &spec,
+                const driver::WorkloadParams &params, int reps,
+                exec::KernelCache &cache)
+{
+    CacheTimes r;
+    r.name = spec.name;
+    auto p = std::make_shared<const ir::Program>(spec.make(params));
+
+    driver::PipelineOptions popts;
+    popts.strategy = Strategy::Ours;
+    popts.tileSizes = spec.defaultTiles;
+    driver::Pipeline pipeline(popts);
+
+    // Reference: no cache.
+    Timer t_off;
+    auto off = driver::compileKernel(pipeline, p);
+    r.offCompileMs = t_off.milliseconds();
+
+    // Cold: first compile against the shared cache (miss + insert).
+    driver::ArtifactOptions aopts;
+    aopts.cache = &cache;
+    Timer t_cold;
+    auto cold = driver::compileKernel(pipeline, p, aopts);
+    r.coldCompileMs = t_cold.milliseconds();
+
+    // Warm: repeat compiles are pure lookups; take the best.
+    driver::KernelArtifact warm;
+    r.warmCompileMs = 1e30;
+    for (int rep = 0; rep < reps; ++rep) {
+        Timer t_warm;
+        warm = driver::compileKernel(pipeline, p, aopts);
+        r.warmCompileMs =
+            std::min(r.warmCompileMs, t_warm.milliseconds());
+    }
+    r.warmHit = warm.fromCache;
+    r.warmPipelineFree = warm.stats.passes().size() == 1 &&
+                         warm.stats.passes()[0].name == "KernelCache";
+
+    // Execute gate: every variant computes the cache-off bits.
+    auto ref = runArtifact(off, *p);
+    r.identical = buffersEqual(*p, ref, runArtifact(cold, *p)) &&
+                  buffersEqual(*p, ref, runArtifact(warm, *p));
+    return r;
+}
+
+double
+geomeanSpeedup(const std::vector<CacheTimes> &rows)
+{
+    double acc = 0;
+    int n = 0;
+    for (const auto &r : rows) {
+        double v = r.speedup();
+        if (v > 0) {
+            acc += std::log(v);
+            ++n;
+        }
+    }
+    return n ? std::exp(acc / n) : 0;
+}
+
+std::string
+rowJson(const CacheTimes &r)
+{
+    std::string out = "{\"name\": \"" + r.name + "\"";
+    out += ", \"offCompileMs\": " + fmt(r.offCompileMs, "%.4f");
+    out += ", \"coldCompileMs\": " + fmt(r.coldCompileMs, "%.4f");
+    out += ", \"warmCompileMs\": " + fmt(r.warmCompileMs, "%.4f");
+    out += ", \"speedup\": " + fmt(r.speedup(), "%.2f");
+    out += ", \"warmHit\": ";
+    out += r.warmHit ? "true" : "false";
+    out += ", \"identical\": ";
+    out += r.identical ? "true" : "false";
+    out += "}";
+    return out;
+}
+
+bool
+rowOk(const CacheTimes &r)
+{
+    return r.warmHit && r.warmPipelineFree && r.identical;
+}
+
+/** Smoke: tiny subset, hit/bit-identity gates only (timings are
+ *  noise at this scale). Must stay well under the ctest budget. */
+int
+runSmoke()
+{
+    struct
+    {
+        const char *name;
+        driver::WorkloadParams params;
+    } subset[] = {
+        {"conv2d", {24, 24}},
+        {"harris", {24, 24}},
+        {"2mm", {24, 24}},
+    };
+    exec::KernelCache cache;
+    int failures = 0;
+    for (const auto &s : subset) {
+        const driver::WorkloadSpec *w = driver::findWorkload(s.name);
+        if (!w) {
+            std::printf("FAIL %s: not in registry\n", s.name);
+            ++failures;
+            continue;
+        }
+        CacheTimes r = measureWorkload(*w, s.params, 1, cache);
+        bool ok = rowOk(r);
+        std::printf("%-10s warm %s, pipeline %s, buffers %s\n",
+                    s.name, r.warmHit ? "hit" : "MISS",
+                    r.warmPipelineFree ? "skipped" : "RAN",
+                    r.identical ? "bit-identical" : "MISMATCH");
+        failures += ok ? 0 : 1;
+    }
+    if (failures) {
+        std::printf("FAILED: %d cache gate failures\n", failures);
+        return 1;
+    }
+    std::printf("ok\n");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false, json = false;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--smoke"))
+            smoke = true;
+        else if (!std::strcmp(argv[i], "--json"))
+            json = true;
+        else {
+            std::fprintf(stderr,
+                         "usage: bench_cache [--smoke] [--json]\n");
+            return 2;
+        }
+    }
+    if (smoke)
+        return runSmoke();
+
+    exec::KernelCache cache;
+    std::vector<CacheTimes> rows;
+    for (const auto &w : driver::workloadRegistry())
+        rows.push_back(
+            measureWorkload(w, benchParams(w.name), 5, cache));
+
+    double geo = geomeanSpeedup(rows);
+    bool all_ok = true;
+    for (const auto &r : rows)
+        all_ok = all_ok && rowOk(r);
+    const auto &c = cache.counters();
+
+    if (json) {
+        std::string out = "{\"bench\": \"cache\", ";
+        out += "\"strategy\": \"ours\", \"warmReps\": 5, ";
+        out += "\"workloads\": [";
+        for (size_t i = 0; i < rows.size(); ++i) {
+            if (i)
+                out += ", ";
+            out += rowJson(rows[i]);
+        }
+        out += "], \"geomeanWarmSpeedup\": " + fmt(geo, "%.1f");
+        out += ", \"cacheHits\": " + std::to_string(c.hits);
+        out += ", \"cacheMisses\": " + std::to_string(c.misses);
+        out += ", \"cacheInsertions\": " +
+               std::to_string(c.insertions);
+        out += ", \"cacheEvictions\": " + std::to_string(c.evictions);
+        out += ", \"cacheBytes\": " + std::to_string(cache.bytes());
+        out += ", \"allIdentical\": ";
+        out += all_ok ? "true" : "false";
+        out += "}";
+        std::printf("%s\n", out.c_str());
+        return all_ok ? 0 : 1;
+    }
+
+    std::printf("=== Kernel cache (strategy ours, warm best of 5) "
+                "===\n");
+    printRow("workload",
+             {"off ms", "cold ms", "warm ms", "speedup", "warm",
+              "buffers"},
+             11);
+    for (const auto &r : rows)
+        printRow(r.name,
+                 {fmt(r.offCompileMs), fmt(r.coldCompileMs),
+                  fmt(r.warmCompileMs, "%.4f"),
+                  fmt(r.speedup(), "%.0fx"),
+                  r.warmHit ? "hit" : "MISS",
+                  r.identical ? "identical" : "MISMATCH"},
+                 11);
+    printRow("geomean", {"", "", "", fmt(geo, "%.0fx"), "", ""}, 11);
+    std::printf("cache: %llu hits, %llu misses, %llu insertions, "
+                "%llu evictions, %llu bytes\n",
+                (unsigned long long)c.hits,
+                (unsigned long long)c.misses,
+                (unsigned long long)c.insertions,
+                (unsigned long long)c.evictions,
+                (unsigned long long)cache.bytes());
+    return all_ok ? 0 : 1;
+}

@@ -11,6 +11,10 @@
 #                             bytecode (vs native when a C toolchain
 #                             is present), with bit-identical-buffer
 #                             verdicts per workload
+#   BENCH_cache.json          kernel-cache sweep: cache-off vs cold
+#                             vs warm compile wall-ms per workload,
+#                             warm-hit and bit-identical-buffer
+#                             verdicts, plus process cache counters
 #   BENCH_parallel.json       tile-graph parallel runtime: sequential
 #                             vs 1/2/4/8-thread wall-ms and speedup
 #                             per workload (static strategy on
@@ -40,7 +44,7 @@ if [ ! -f "$build/CMakeCache.txt" ]; then
 fi
 cmake --build "$build" -j "$jobs" \
     --target bench_presburger bench_compile_time bench_runtime \
-    bench_parallel
+    bench_parallel bench_cache
 
 echo "== bench_presburger --json -> BENCH_presburger.json =="
 "$build/bench/bench_presburger" --json > "$src/BENCH_presburger.json"
@@ -51,10 +55,13 @@ echo "== bench_runtime --json -> BENCH_runtime.json =="
 "$build/bench/bench_runtime" --json > "$src/BENCH_runtime.json"
 echo "== bench_parallel --json -> BENCH_parallel.json =="
 "$build/bench/bench_parallel" --json > "$src/BENCH_parallel.json"
+echo "== bench_cache --json -> BENCH_cache.json =="
+"$build/bench/bench_cache" --json > "$src/BENCH_cache.json"
 
 # Surface the headline numbers; the benches already failed the
 # script (set -e) on any generated-code or buffer mismatch.
 grep -o '"geomeanSpeedup": [0-9.]*' "$src/BENCH_compile_time.json"
 grep -o '"geomeanSpeedup": [0-9.]*' "$src/BENCH_runtime.json"
 grep -o '"geomeanSpeedup4": [0-9.]*' "$src/BENCH_parallel.json"
+grep -o '"geomeanWarmSpeedup": [0-9.]*' "$src/BENCH_cache.json"
 echo "== perf baseline written =="

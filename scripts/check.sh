@@ -61,21 +61,26 @@ asan_supported() { sanitizer_supported -fsanitize=address; }
 
 # Build the re-entrancy-sensitive test binaries under TSAN and run
 # them directly. Races in the batch/pool/pres-context machinery --
-# and in the tile-graph parallel executor (the *Parallel* subset of
+# in the tile-graph parallel executor (the *Parallel* subset of
 # test_exec exercises the static and ready-queue paths at 2 and 8
-# threads) -- show up here as hard failures.
+# threads) -- and in the sharded KernelCache (the KernelCache subset
+# of test_artifact hammers compile/lookup from 8 threads) -- show up
+# here as hard failures.
 tsan_build_and_run() {
     echo "== configure + build with -fsanitize=thread =="
     cmake -B "$src/build-tsan" -S "$src" -DPOLYFUSE_TSAN=ON
     cmake --build "$src/build-tsan" -j "$jobs" \
         --target test_driver test_concurrency test_robustness \
-        test_exec
+        test_exec test_artifact
     echo "== run test_driver + test_concurrency + test_robustness" \
-         "+ test_exec[*Parallel*] under TSAN =="
+         "+ test_exec[*Parallel*] + test_artifact[KernelCache.*]" \
+         "under TSAN =="
     "$src/build-tsan/tests/test_driver"
     "$src/build-tsan/tests/test_concurrency"
     "$src/build-tsan/tests/test_robustness"
     "$src/build-tsan/tests/test_exec" --gtest_filter='*Parallel*'
+    "$src/build-tsan/tests/test_artifact" \
+        --gtest_filter='KernelCache.*'
     echo "== TSAN run OK =="
 }
 

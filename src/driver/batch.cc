@@ -30,13 +30,16 @@ runJob(const BatchJob &job, const BatchOptions &opts,
              opts.timeoutMs < ctx.budget.wallMs))
             ctx.budget.wallMs = opts.timeoutMs;
         ctx.cancel.chainTo(cancel);
-        out.program =
-            std::make_unique<ir::Program>(job.make());
-        out.state = Pipeline(job.options).run(*out.program, ctx);
+        auto program = std::make_shared<ir::Program>(job.make());
+        ArtifactOptions aopts;
+        aopts.cache = opts.kernelCache;
+        aopts.tier = opts.tier;
+        out.artifact = compileKernel(Pipeline(job.options),
+                                     std::move(program), ctx, aopts);
         out.fm = ctx.fmCounters();
         out.ok = true;
     } catch (const std::exception &e) {
-        out.program.reset();
+        out.artifact = KernelArtifact{};
         out.error = e.what();
         out.ok = false;
     }
@@ -59,7 +62,7 @@ BatchResult::downgradedCount() const
 {
     unsigned n = 0;
     for (const auto &j : jobs)
-        n += j.ok && j.state.downgraded() ? 1 : 0;
+        n += j.ok && j.artifact.downgraded() ? 1 : 0;
     return n;
 }
 
@@ -69,7 +72,7 @@ BatchResult::totalCompileMs() const
     double total = 0;
     for (const auto &j : jobs)
         if (j.ok)
-            total += j.state.compileMs();
+            total += j.artifact.compileMs();
     return total;
 }
 
@@ -94,14 +97,14 @@ BatchResult::summary() const
     for (const auto &j : jobs) {
         std::string status =
             !j.ok ? "FAILED: " + j.error
-            : j.state.downgraded()
+            : j.artifact.downgraded()
                 ? std::string("ok (downgraded to ") +
-                      strategyName(j.state.effectiveStrategy) + ")"
+                      strategyName(j.artifact.effectiveStrategy) + ")"
                 : std::string("ok");
         std::snprintf(
             line, sizeof(line), "%-24s %10.3f %10.3f %12llu  %s\n",
             j.name.c_str(), j.wallMs,
-            j.ok ? j.state.compileMs() : 0.0,
+            j.ok ? j.artifact.compileMs() : 0.0,
             static_cast<unsigned long long>(j.fm.eliminations),
             status.c_str());
         out += line;
@@ -133,7 +136,7 @@ BatchResult::json() const
         out += ", \"wallMs\": " + std::string(buf);
         if (j.ok) {
             std::snprintf(buf, sizeof(buf), "%.4f",
-                          j.state.compileMs());
+                          j.artifact.compileMs());
             out += ", \"compileMs\": " + std::string(buf);
             out += ", \"fmElims\": " +
                    std::to_string(j.fm.eliminations);
@@ -145,15 +148,15 @@ BatchResult::json() const
                    std::to_string(j.fm.cacheMisses);
             out += ", \"strategy\": \"" +
                    std::string(
-                       strategyName(j.state.requestedStrategy)) +
+                       strategyName(j.artifact.requestedStrategy)) +
                    "\"";
             out += ", \"effective\": \"" +
                    std::string(
-                       strategyName(j.state.effectiveStrategy)) +
+                       strategyName(j.artifact.effectiveStrategy)) +
                    "\"";
             out += ", \"downgrades\": " +
-                   std::to_string(j.state.fallbackTrail.size());
-            out += ", \"stats\": " + j.state.stats.json();
+                   std::to_string(j.artifact.fallbackTrail.size());
+            out += ", \"stats\": " + j.artifact.stats.json();
         } else {
             out += ", \"error\": \"" + jsonEscape(j.error) + "\"";
         }

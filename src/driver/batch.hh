@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "driver/artifact.hh"
 #include "driver/pipeline.hh"
 #include "support/budget.hh"
 
@@ -48,12 +49,10 @@ struct BatchJobResult
 {
     std::string name;
 
-    /** The program the job built (owns what state.program points
-     *  at, so the result is self-contained and movable). */
-    std::unique_ptr<ir::Program> program;
-
-    /** The compiled state (valid only when ok). */
-    CompilationState state;
+    /** The compiled kernel artifact (valid only when ok). Owns the
+     *  program through its image, so the result is self-contained,
+     *  movable, and directly executable via executeKernel. */
+    KernelArtifact artifact;
 
     /** The job's context totals (FM work of exactly this job). */
     pres::fm::Counters fm;
@@ -89,6 +88,14 @@ struct BatchOptions
 
     /** Cancel the rest of the batch after the first job failure. */
     bool failFast = false;
+
+    /** Shared kernel cache consulted/populated by every job (null:
+     *  each job compiles from scratch). Thread-safe, so concurrent
+     *  jobs share it directly. */
+    exec::KernelCache *kernelCache = nullptr;
+
+    /** Execution tier baked into each job's artifact fingerprint. */
+    exec::Tier tier = exec::Tier::Bytecode;
 };
 
 /** Everything a compileBatch call produced. */

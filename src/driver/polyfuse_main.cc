@@ -23,10 +23,15 @@
 #include <vector>
 
 #include "codegen/cprinter.hh"
+#include "deps/dependences.hh"
+#include "driver/artifact.hh"
 #include "driver/batch.hh"
 #include "driver/pipeline.hh"
 #include "driver/registry.hh"
 #include "exec/engine.hh"
+#include "exec/kernel_cache.hh"
+#include "perfmodel/autotune.hh"
+#include "perfmodel/tune_db.hh"
 #include "support/budget.hh"
 #include "support/failpoint.hh"
 #include "support/thread_pool.hh"
@@ -87,6 +92,20 @@ usage(FILE *to)
         "                        bands only, graph = also wavefront\n"
         "                        bands via the inter-tile DAG;\n"
         "                        implies --run)\n"
+        "  --cache               consult/populate the process-wide\n"
+        "                        kernel cache (fingerprint-keyed;\n"
+        "                        repeat compiles of the same program\n"
+        "                        + options skip the whole pipeline)\n"
+        "  --cache-bytes N       kernel cache capacity in bytes\n"
+        "                        (implies --cache; default 256 MiB)\n"
+        "  --repeat N            compile+run N times in-process (with\n"
+        "                        --cache, iterations 2..N are warm)\n"
+        "  --autotune            pick tile sizes with the perfmodel\n"
+        "                        auto-tuner before compiling\n"
+        "                        (--workload only)\n"
+        "  --tune-db PATH        persistent fingerprint-keyed tuning\n"
+        "                        store for --autotune: hits warm-\n"
+        "                        start, searches are saved back\n"
         "  --emit c|cuda|tree|stats|json\n"
         "                        what to print (default: stats;\n"
         "                        --all supports stats and json)\n"
@@ -170,15 +189,15 @@ runAll(const driver::BatchOptions &bopts,
         if (!j.ok)
             std::fprintf(stderr, "polyfuse: job %s FAILED: %s\n",
                          j.name.c_str(), j.error.c_str());
-        else if (j.state.downgraded())
+        else if (j.artifact.downgraded())
             std::fprintf(
                 stderr,
                 "polyfuse: job %s downgraded %s -> %s "
                 "(%zu attempts over budget)%s\n",
                 j.name.c_str(),
-                driver::strategyName(j.state.requestedStrategy),
-                driver::strategyName(j.state.effectiveStrategy),
-                j.state.fallbackTrail.size(),
+                driver::strategyName(j.artifact.requestedStrategy),
+                driver::strategyName(j.artifact.effectiveStrategy),
+                j.artifact.fallbackTrail.size(),
                 strict ? " [strict]" : "");
     }
     return driver::batchExitCode(batch, strict);
@@ -203,6 +222,11 @@ main(int argc, char **argv)
     exec::Tier tier = exec::Tier::Bytecode;
     unsigned run_threads = 1;
     exec::ParStrategy par = exec::ParStrategy::Off;
+    bool use_cache = false;
+    uint64_t cache_bytes = 0;
+    unsigned repeatN = 1;
+    bool do_autotune = false;
+    std::string tune_db_path;
 
     auto value = [&](int &i) -> const char * {
         if (i + 1 >= argc) {
@@ -337,6 +361,33 @@ main(int argc, char **argv)
                 return 2;
             }
             do_run = true;
+        } else if (arg == "--cache") {
+            use_cache = true;
+        } else if (arg == "--cache-bytes") {
+            char *end = nullptr;
+            const char *v = value(i);
+            long long n = std::strtoll(v, &end, 10);
+            if (!end || *end != '\0' || n <= 0) {
+                std::fprintf(stderr,
+                             "polyfuse: bad --cache-bytes '%s'\n", v);
+                return 2;
+            }
+            cache_bytes = uint64_t(n);
+            use_cache = true;
+        } else if (arg == "--repeat") {
+            char *end = nullptr;
+            const char *v = value(i);
+            long n = std::strtol(v, &end, 10);
+            if (!end || *end != '\0' || n <= 0) {
+                std::fprintf(stderr, "polyfuse: bad --repeat '%s'\n",
+                             v);
+                return 2;
+            }
+            repeatN = unsigned(n);
+        } else if (arg == "--autotune") {
+            do_autotune = true;
+        } else if (arg == "--tune-db") {
+            tune_db_path = value(i);
         } else if (arg == "--emit") {
             emit = value(i);
         } else {
@@ -364,11 +415,22 @@ main(int argc, char **argv)
                                  "stats|json only\n");
             return 2;
         }
+        if (do_autotune) {
+            std::fprintf(stderr, "polyfuse: --autotune needs "
+                                 "--workload\n");
+            return 2;
+        }
         driver::BatchOptions bopts;
         bopts.jobsN = jobsN;
         bopts.timeoutMs = timeout_ms;
         bopts.budget.fmEliminations = budget_elims;
         bopts.useOpCache = use_op_cache;
+        bopts.tier = tier;
+        if (use_cache) {
+            bopts.kernelCache = &exec::KernelCache::process();
+            if (cache_bytes)
+                bopts.kernelCache->setCapacityBytes(cache_bytes);
+        }
         return runAll(bopts, opts, tiles_given, params, rows_given,
                       cols_given, emit, strict);
     }
@@ -391,81 +453,168 @@ main(int argc, char **argv)
     if (!tiles_given)
         opts.tileSizes = spec->defaultTiles;
 
-    ir::Program program = spec->make(params);
+    auto program =
+        std::make_shared<const ir::Program>(spec->make(params));
+
+    auto fill_inputs = [&](exec::Buffers &buffers) {
+        if (program->name() == "equake") {
+            workloads::initEquakeInputs(*program, buffers, 11);
+        } else {
+            for (size_t t = 0; t < program->tensors().size(); ++t)
+                if (program->tensor(t).kind != ir::TensorKind::Temp)
+                    buffers.fillPattern(t, 1000 + t);
+        }
+    };
+
+    // Plan stage: auto-tuned tile sizes first (they are part of the
+    // artifact fingerprint), warm-started from the tuning store.
+    std::unique_ptr<perfmodel::TuneDb> tune_db;
+    if (!tune_db_path.empty())
+        tune_db = std::make_unique<perfmodel::TuneDb>(tune_db_path);
+    if (do_autotune) {
+        try {
+            auto graph = deps::DependenceGraph::compute(*program);
+            perfmodel::AutotuneOptions aopts;
+            aopts.dims = opts.tileSizes.empty()
+                             ? 2u
+                             : unsigned(opts.tileSizes.size());
+            aopts.targetParallelism = opts.targetParallelism;
+            aopts.db = tune_db.get();
+            perfmodel::AutotuneResult tuned =
+                perfmodel::autotuneTileSizes(*program, graph,
+                                             fill_inputs, aopts);
+            opts.tileSizes = tuned.tileSizes;
+            std::string tiles;
+            for (int64_t t : tuned.tileSizes)
+                tiles +=
+                    (tiles.empty() ? "" : ",") + std::to_string(t);
+            std::fprintf(
+                stderr,
+                "polyfuse: autotune picked tiles %s (%s, %u "
+                "candidates evaluated)\n",
+                tiles.c_str(),
+                tuned.warmStart ? "tuning-store warm start"
+                                : "cold search",
+                tuned.evaluated);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "polyfuse: autotune failed: %s\n",
+                         e.what());
+            return 1;
+        }
+    }
+
     driver::Pipeline pipeline(opts);
     driver::CompileContext ctx;
     ctx.setOpCacheEnabled(use_op_cache);
     ctx.budget.wallMs = timeout_ms;
     ctx.budget.fmEliminations = budget_elims;
-    driver::CompilationState state;
-    try {
-        state = pipeline.run(program, ctx);
-    } catch (const std::exception &e) {
-        std::fprintf(stderr, "polyfuse: %s\n", e.what());
-        return 1;
-    }
-    if (state.downgraded()) {
-        std::fprintf(stderr,
-                     "polyfuse: downgraded %s -> %s "
-                     "(%zu attempts over budget)%s\n",
-                     driver::strategyName(state.requestedStrategy),
-                     driver::strategyName(state.effectiveStrategy),
-                     state.fallbackTrail.size(),
-                     strict ? " [strict]" : "");
-        if (strict)
-            return 1;
+
+    driver::ArtifactOptions aopts;
+    aopts.tier = tier;
+    if (use_cache) {
+        aopts.cache = &exec::KernelCache::process();
+        if (cache_bytes)
+            aopts.cache->setCapacityBytes(cache_bytes);
     }
 
-    // Run before emitting: --emit json folds the run report (the
-    // effective tier, fallback reasons, parallel counters) into the
-    // one JSON object instead of dropping it.
-    exec::ExecResult result;
-    bool ran = false;
-    if (do_run) {
-        exec::Buffers buffers(program);
-        if (program.name() == "equake") {
-            workloads::initEquakeInputs(program, buffers, 11);
-        } else {
-            for (size_t t = 0; t < program.tensors().size(); ++t)
-                if (program.tensor(t).kind != ir::TensorKind::Temp)
-                    buffers.fillPattern(t, 1000 + t);
-        }
-        exec::ExecOptions eopts;
-        eopts.tier = tier;
-        eopts.threads = run_threads;
-        eopts.par = par;
-        eopts.tileBands = &state.tileBands;
+    // The tree emitter needs the schedule tree, which the frozen
+    // artifact deliberately does not carry; it stays on the direct
+    // pipeline path (and supports no --run/--repeat extras).
+    if (emit == "tree") {
         try {
-            result = exec::execute(program, state.ast, buffers,
-                                   eopts);
-            ran = true;
+            driver::CompilationState state =
+                pipeline.run(*program, ctx);
+            std::printf("%s", state.tree.str().c_str());
+            return 0;
         } catch (const std::exception &e) {
-            std::fprintf(stderr, "polyfuse: run failed: %s\n",
-                         e.what());
+            std::fprintf(stderr, "polyfuse: %s\n", e.what());
             return 1;
         }
-        if (!result.fallbackReason.empty())
-            std::fprintf(stderr,
-                         "polyfuse: fell back from %s to %s: %s\n",
-                         exec::tierName(tier),
-                         exec::tierName(result.tier),
-                         result.fallbackReason.c_str());
-        if (!result.parFallbackReason.empty())
-            std::fprintf(stderr,
-                         "polyfuse: parallel run degraded: %s\n",
-                         result.parFallbackReason.c_str());
+    }
+
+    // Compile stage (x --repeat): every iteration goes through the
+    // kernel cache when --cache is on, so iterations 2..N hit and
+    // skip the whole Presburger/codegen pipeline.
+    driver::KernelArtifact artifact;
+    exec::ExecResult result;
+    bool ran = false;
+    for (unsigned rep = 0; rep < repeatN; ++rep) {
+        try {
+            artifact =
+                driver::compileKernel(pipeline, program, ctx, aopts);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "polyfuse: %s\n", e.what());
+            return 1;
+        }
+        if (artifact.downgraded()) {
+            std::fprintf(
+                stderr,
+                "polyfuse: downgraded %s -> %s "
+                "(%zu attempts over budget)%s\n",
+                driver::strategyName(artifact.requestedStrategy),
+                driver::strategyName(artifact.effectiveStrategy),
+                artifact.fallbackTrail.size(),
+                strict ? " [strict]" : "");
+            if (strict)
+                return 1;
+        }
+
+        // Execute stage. Run before emitting: --emit json folds the
+        // run report (the effective tier, fallback reasons, parallel
+        // counters) into the one JSON object instead of dropping it.
+        if (do_run) {
+            exec::Buffers buffers(*program);
+            fill_inputs(buffers);
+            exec::ExecOptions eopts;
+            eopts.tier = tier;
+            eopts.threads = run_threads;
+            eopts.par = par;
+            try {
+                result =
+                    driver::executeKernel(artifact, buffers, eopts);
+                ran = true;
+            } catch (const std::exception &e) {
+                std::fprintf(stderr, "polyfuse: run failed: %s\n",
+                             e.what());
+                return 1;
+            }
+            if (!result.fallbackReason.empty())
+                std::fprintf(
+                    stderr,
+                    "polyfuse: fell back from %s to %s: %s\n",
+                    exec::tierName(tier),
+                    exec::tierName(result.tier),
+                    result.fallbackReason.c_str());
+            if (!result.parFallbackReason.empty())
+                std::fprintf(stderr,
+                             "polyfuse: parallel run degraded: %s\n",
+                             result.parFallbackReason.c_str());
+        }
     }
 
     if (emit == "stats") {
-        std::printf("workload %s, strategy %s, %zu statements\n",
+        std::printf("workload %s, strategy %s, %zu statements%s\n",
                     spec->name,
-                    driver::strategyName(state.effectiveStrategy),
-                    program.statements().size());
-        std::printf("%s", state.stats.str().c_str());
+                    driver::strategyName(artifact.effectiveStrategy),
+                    program->statements().size(),
+                    artifact.fromCache ? " [kernel-cache hit]" : "");
+        std::printf("fingerprint %s\n",
+                    artifact.fingerprint.hex().c_str());
+        std::printf("%s", artifact.stats.str().c_str());
         std::printf("compile (scheduling + codegen): %.3f ms\n",
-                    state.compileMs());
+                    artifact.compileMs());
     } else if (emit == "json") {
-        std::string out = state.stats.json();
+        std::string out = artifact.stats.json();
+        {
+            // Splice artifact identity into the stats JSON (which
+            // always ends in '}').
+            std::string art = ", \"artifact\": {\"fingerprint\": \"" +
+                              artifact.fingerprint.hex() +
+                              "\", \"fromCache\": ";
+            art += artifact.fromCache ? "true" : "false";
+            art += "}";
+            out.insert(out.size() - 1, art);
+        }
         if (ran) {
             // Splice a "run" object into the stats JSON (which always
             // ends in '}').
@@ -512,15 +661,16 @@ main(int argc, char **argv)
             out.insert(out.size() - 1, run_json);
         }
         std::printf("%s\n", out.c_str());
-    } else if (emit == "tree") {
-        std::printf("%s", state.tree.str().c_str());
     } else if (emit == "c") {
         std::printf("%s",
-                    codegen::printCode(program, state.ast).c_str());
+                    codegen::printCode(*program,
+                                       artifact.image->ast)
+                        .c_str());
     } else {
         // emit == "cuda"; the spelling was validated up front.
         std::printf("%s",
-                    codegen::printCode(program, state.ast,
+                    codegen::printCode(*program,
+                                       artifact.image->ast,
                                        codegen::PrintStyle::Cuda)
                         .c_str());
     }

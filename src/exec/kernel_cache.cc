@@ -1,0 +1,242 @@
+#include "exec/kernel_cache.hh"
+
+#include <chrono>
+
+#include "support/logging.hh"
+
+namespace polyfuse {
+namespace exec {
+
+const NativeKernel *
+KernelImage::ensureNative(std::string *reason) const
+{
+    std::lock_guard<std::mutex> lock(nativeMu_);
+    if (!nativeTried_) {
+        nativeTried_ = true;
+        native_ = NativeKernel::compile(*program, ast);
+    }
+    if (native_.ok())
+        return &native_;
+    if (reason)
+        *reason = native_.reason();
+    return nullptr;
+}
+
+uint64_t
+estimateImageBytes(const KernelImage &image)
+{
+    // A deliberately cheap over-approximation: the LRU only needs
+    // relative weights that track real footprint, not exact ones.
+    uint64_t b = sizeof(KernelImage);
+    b += uint64_t(image.bytecode.numInstructions()) * 64;
+    b += uint64_t(image.bytecode.numStatements()) * 256;
+    for (const auto &band : image.genBands) {
+        b += sizeof(band);
+        b += band.tileSizes.size() * sizeof(int64_t);
+        b += band.members.size() * sizeof(codegen::GeneratedBandMember);
+    }
+    for (const auto &tg : image.tileBands) {
+        b += sizeof(tg);
+        for (const auto &d : tg.deltas)
+            b += d.size() * sizeof(int64_t);
+    }
+    if (image.program) {
+        for (const auto &s : image.program->statements()) {
+            b += sizeof(s);
+            b += s.accesses().size() * 256;
+        }
+        b += image.program->tensors().size() *
+             sizeof(ir::TensorInfo);
+    }
+    return b;
+}
+
+ExecResult
+execute(const KernelImage &image, Buffers &buffers,
+        const ExecOptions &options)
+{
+    ExecResult result;
+    Tier tier = options.tier;
+    bool tracing = options.sink || options.trace;
+    bool want_par = options.par != ParStrategy::Off;
+
+    if (tier == Tier::Native && tracing) {
+        if (!options.allowFallback)
+            fatal("native tier cannot emit traces");
+        result.fallbackReason = "tracing needs an instrumented tier";
+        tier = Tier::Bytecode;
+    }
+
+    if (tier == Tier::Native) {
+        std::string reason;
+        const NativeKernel *kernel = image.ensureNative(&reason);
+        if (kernel) {
+            if (want_par)
+                result.parFallbackReason =
+                    "native tier runs sequentially";
+            result.stats = kernel->run(buffers);
+            result.tier = Tier::Native;
+            return result;
+        }
+        if (!options.allowFallback)
+            fatal("native tier unavailable: " + reason);
+        result.fallbackReason = reason;
+        tier = Tier::Bytecode;
+    }
+
+    if (tier == Tier::Bytecode) {
+        const auto *bands = options.tileBands ? options.tileBands
+                                              : &image.tileBands;
+        if (want_par && tracing) {
+            result.parFallbackReason =
+                "tracing requires sequential execution";
+            want_par = false;
+        }
+        if (want_par) {
+            result.stats = image.bytecode.runParallel(
+                buffers, options.threads, options.par, bands,
+                result.par, result.parFallbackReason);
+        } else if (options.sink) {
+            result.stats = image.bytecode.run(buffers, *options.sink);
+        } else if (options.trace) {
+            result.stats = image.bytecode.run(buffers, options.trace);
+        } else {
+            result.stats = image.bytecode.run(buffers);
+        }
+        result.tier = Tier::Bytecode;
+        return result;
+    }
+
+    // Interp tier: no precompiled form to reuse; delegate.
+    return execute(*image.program, image.ast, buffers, options);
+}
+
+KernelCache::KernelCache(uint64_t capacity_bytes, unsigned shards)
+{
+    if (!shards)
+        shards = 1;
+    uint64_t per = capacity_bytes / shards;
+    for (unsigned i = 0; i < shards; ++i)
+        shards_.push_back(std::make_unique<Shard>(per ? per : 1));
+}
+
+KernelCache::Shard &
+KernelCache::shardFor(const pres::Fingerprint &fp)
+{
+    // h2 picks the shard, h1 indexes inside it: independent lanes, so
+    // shard skew does not correlate with in-shard collisions.
+    return *shards_[size_t(fp.h2 % shards_.size())];
+}
+
+std::shared_ptr<const KernelImage>
+KernelCache::find(const pres::Fingerprint &fp)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    Shard &shard = shardFor(fp);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto *entry = shard.lru.find(fp);
+    std::shared_ptr<const KernelImage> image =
+        entry ? *entry : nullptr;
+    if (image)
+        ++shard.counters.hits;
+    else
+        ++shard.counters.misses;
+    shard.counters.lookupNs += uint64_t(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    return image;
+}
+
+void
+KernelCache::insert(const pres::Fingerprint &fp,
+                    std::shared_ptr<const KernelImage> image)
+{
+    if (!image)
+        return;
+    uint64_t weight =
+        image->bytes ? image->bytes : estimateImageBytes(*image);
+    Shard &shard = shardFor(fp);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ++shard.counters.insertions;
+    shard.counters.evictions +=
+        shard.lru.insert(fp, std::move(image), weight);
+}
+
+void
+KernelCache::clear()
+{
+    for (auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        shard->lru.clear();
+    }
+}
+
+void
+KernelCache::setCapacityBytes(uint64_t bytes)
+{
+    uint64_t per = bytes / shards_.size();
+    for (auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        shard->counters.evictions +=
+            shard->lru.setCapacity(per ? per : 1);
+    }
+}
+
+uint64_t
+KernelCache::capacityBytes() const
+{
+    uint64_t total = 0;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        total += shard->lru.capacity();
+    }
+    return total;
+}
+
+KernelCache::Counters
+KernelCache::counters() const
+{
+    Counters total;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        total.hits += shard->counters.hits;
+        total.misses += shard->counters.misses;
+        total.insertions += shard->counters.insertions;
+        total.evictions += shard->counters.evictions;
+        total.lookupNs += shard->counters.lookupNs;
+    }
+    return total;
+}
+
+size_t
+KernelCache::entries() const
+{
+    size_t total = 0;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        total += shard->lru.size();
+    }
+    return total;
+}
+
+uint64_t
+KernelCache::bytes() const
+{
+    uint64_t total = 0;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        total += shard->lru.weight();
+    }
+    return total;
+}
+
+KernelCache &
+KernelCache::process()
+{
+    static KernelCache cache;
+    return cache;
+}
+
+} // namespace exec
+} // namespace polyfuse

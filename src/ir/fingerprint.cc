@@ -1,0 +1,121 @@
+#include "ir/fingerprint.hh"
+
+#include "ir/program.hh"
+
+namespace polyfuse {
+namespace ir {
+
+namespace {
+
+using pres::Fingerprinter;
+
+void
+mixRows(Fingerprinter &fp,
+        const std::vector<std::vector<int64_t>> &rows)
+{
+    fp.mix(uint64_t(rows.size()));
+    for (const auto &row : rows) {
+        fp.mix(uint64_t(row.size()));
+        for (int64_t c : row)
+            fp.mixSigned(c);
+    }
+}
+
+void
+mixExpr(Fingerprinter &fp, const ExprPtr &e)
+{
+    if (!e) {
+        // Distinct tag for "no body" so a null child cannot alias an
+        // empty subtree.
+        fp.mix(uint64_t(0xffffffffu));
+        return;
+    }
+    fp.mix(uint64_t(e->kind));
+    fp.mixSigned(e->access);
+    fp.mixSigned(e->tensor);
+    fp.mix(uint64_t(e->iter));
+    fp.mix(e->param);
+    fp.mixDouble(e->value);
+    fp.mix(uint64_t(e->uop));
+    fp.mix(uint64_t(e->bop));
+    fp.mix(uint64_t(e->args.size()));
+    for (const auto &a : e->args)
+        mixExpr(fp, a);
+}
+
+void
+mixAccess(Fingerprinter &fp, const Access &a)
+{
+    fp.mixSigned(a.tensor);
+    fp.mixBool(a.isWrite);
+    pres::mixBasicMap(fp, a.rel);
+    fp.mixBool(a.hasExprs);
+    mixRows(fp, a.indexExprs);
+}
+
+void
+mixStatement(Fingerprinter &fp, const Statement &s)
+{
+    fp.mix(s.name());
+    fp.mixSigned(s.group());
+    fp.mix(uint64_t(s.path().size()));
+    for (const PathElem &p : s.path()) {
+        fp.mix(uint64_t(p.kind));
+        fp.mix(uint64_t(p.value));
+    }
+    fp.mixDouble(s.opsPerInstance());
+    fp.mix(uint64_t(s.dimNames().size()));
+    for (const auto &d : s.dimNames())
+        fp.mix(d);
+    pres::mixBasicSet(fp, s.domain());
+    fp.mix(uint64_t(s.accesses().size()));
+    for (const Access &a : s.accesses())
+        mixAccess(fp, a);
+    // readIndices/writeIndex are derived from accesses() order and
+    // isWrite flags, but mix them anyway: the executor consumes them
+    // directly, so any future divergence must change the fingerprint.
+    fp.mix(uint64_t(s.readIndices().size()));
+    for (int r : s.readIndices())
+        fp.mixSigned(r);
+    fp.mixSigned(s.writeIndex());
+    mixExpr(fp, s.body());
+}
+
+} // namespace
+
+void
+mixProgram(Fingerprinter &fp, const Program &program)
+{
+    fp.mix(program.name());
+    fp.mix(uint64_t(program.params().size()));
+    for (const auto &p : program.params())
+        fp.mix(p);
+    // paramValues is a std::map: ordered, deterministic iteration.
+    fp.mix(uint64_t(program.paramValues().size()));
+    for (const auto &kv : program.paramValues()) {
+        fp.mix(kv.first);
+        fp.mixSigned(kv.second);
+    }
+    fp.mix(uint64_t(program.tensors().size()));
+    for (const TensorInfo &t : program.tensors()) {
+        fp.mix(t.name);
+        fp.mix(uint64_t(t.rank));
+        fp.mix(uint64_t(t.kind));
+        mixRows(fp, t.extents);
+    }
+    fp.mix(uint64_t(program.numGroups()));
+    fp.mix(uint64_t(program.statements().size()));
+    for (const Statement &s : program.statements())
+        mixStatement(fp, s);
+}
+
+pres::Fingerprint
+fingerprintProgram(const Program &program)
+{
+    Fingerprinter fp;
+    mixProgram(fp, program);
+    return fp.fingerprint();
+}
+
+} // namespace ir
+} // namespace polyfuse

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Structural fingerprinting of whole programs: mixes every byte of a
+ * Program that can influence compilation -- parameters and their
+ * values, tensors, statement domains, access relations, body
+ * expression trees, grouping and structural paths -- into a
+ * pres::Fingerprinter stream.
+ *
+ * Inherits the stability contract of pres/fingerprint.hh: the result
+ * is a pure function of the program's structure, invariant across
+ * contexts, threads and runs (Program stores parameters in ordered
+ * containers, so no iteration-order hazard exists). Two programs that
+ * would compile to different code fingerprint differently; renaming
+ * nothing-but-comments changes nothing because the IR has no
+ * comments.
+ *
+ * This layer covers the *program* only. Compilation options
+ * (strategy, tiles, tier, codegen flags) are mixed on top by
+ * driver::programFingerprint, and tuning-search parameters by
+ * perfmodel's tuning store.
+ */
+
+#ifndef POLYFUSE_IR_FINGERPRINT_HH
+#define POLYFUSE_IR_FINGERPRINT_HH
+
+#include "pres/fingerprint.hh"
+
+namespace polyfuse {
+namespace ir {
+
+class Program;
+
+/** Mix @p program's full structure into @p fp. */
+void mixProgram(pres::Fingerprinter &fp, const Program &program);
+
+/** Fingerprint of the program alone (default seeds). */
+pres::Fingerprint fingerprintProgram(const Program &program);
+
+} // namespace ir
+} // namespace polyfuse
+
+#endif // POLYFUSE_IR_FINGERPRINT_HH

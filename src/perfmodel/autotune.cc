@@ -6,8 +6,10 @@
 #include "codegen/generate.hh"
 #include "core/compose.hh"
 #include "exec/bytecode.hh"
+#include "ir/fingerprint.hh"
 #include "memsim/cache.hh"
 #include "perfmodel/parallel.hh"
+#include "perfmodel/tune_db.hh"
 #include "pres/op_cache.hh"
 #include "support/logging.hh"
 #include "support/thread_pool.hh"
@@ -85,6 +87,21 @@ enumerateCandidates(const AutotuneOptions &options, int64_t limit,
 
 } // namespace
 
+pres::Fingerprint
+tuningKey(const ir::Program &program, const AutotuneOptions &options)
+{
+    pres::Fingerprinter fp;
+    fp.mix("polyfuse-autotune-v1");
+    ir::mixProgram(fp, program);
+    fp.mix(uint64_t(options.candidates.size()));
+    for (int64_t c : options.candidates)
+        fp.mixSigned(c);
+    fp.mix(uint64_t(options.dims));
+    fp.mix(uint64_t(options.threads));
+    fp.mix(uint64_t(options.targetParallelism));
+    return fp.fingerprint();
+}
+
 AutotuneResult
 autotuneTileSizes(const ir::Program &program,
                   const deps::DependenceGraph &graph,
@@ -93,6 +110,21 @@ autotuneTileSizes(const ir::Program &program,
 {
     if (options.dims == 0 || options.candidates.empty())
         fatal("autotune: need at least one dimension and candidate");
+
+    pres::Fingerprint key;
+    if (options.db) {
+        key = tuningKey(program, options);
+        TuneEntry stored;
+        if (options.db->find(key, &stored) &&
+            stored.tiles.size() == options.dims) {
+            AutotuneResult warm;
+            warm.tileSizes = stored.tiles;
+            warm.modeledMs = stored.modeledMs;
+            warm.evaluated = 0;
+            warm.warmStart = true;
+            return warm;
+        }
+    }
 
     std::vector<std::vector<int64_t>> candidates;
     std::vector<int64_t> current;
@@ -172,6 +204,17 @@ autotuneTileSizes(const ir::Program &program,
             best.modeledMs = modeled[i];
             best.tileSizes = candidates[i];
         }
+    }
+
+    if (options.db) {
+        TuneEntry entry;
+        entry.strategy = "ours"; // the tuner evaluates core::compose
+        entry.tiles = best.tileSizes;
+        entry.tier = "bytecode"; // the tuner's evaluation tier
+        entry.modeledMs = best.modeledMs;
+        entry.evaluated = best.evaluated;
+        options.db->put(key, entry);
+        options.db->save();
     }
     return best;
 }

@@ -22,9 +22,12 @@
 #include "deps/dependences.hh"
 #include "exec/executor.hh"
 #include "ir/program.hh"
+#include "pres/fingerprint.hh"
 
 namespace polyfuse {
 namespace perfmodel {
+
+class TuneDb;
 
 /** Tuner configuration. */
 struct AutotuneOptions
@@ -43,6 +46,17 @@ struct AutotuneOptions
      * @p init must be safe to call from several threads at once.
      */
     unsigned jobs = 1;
+
+    /**
+     * Persistent tuning store (perfmodel/tune_db.hh). When set, the
+     * tuner first looks up the key fingerprinting the program
+     * structure AND this search configuration (candidates, dims,
+     * threads, targetParallelism); a hit warm-starts -- the stored
+     * tiles come back with evaluated == 0 and warmStart set, no
+     * candidate is compiled. A completed cold search puts its result
+     * and save()s the store.
+     */
+    TuneDb *db = nullptr;
 };
 
 /** Tuner outcome. */
@@ -67,7 +81,19 @@ struct AutotuneResult
      *  estimate -- candidates genuinely differ in cost -- but cheap,
      *  and zero whenever the cache was off or never hit. */
     double savedMsEstimate = 0;
+
+    /** True when the result came out of the tuning store without a
+     *  search (evaluated == 0 in that case). */
+    bool warmStart = false;
 };
+
+/**
+ * The tuning-store key for @p program under @p options: the
+ * program's structural fingerprint plus the search configuration,
+ * so a changed ladder/dims/objective re-tunes.
+ */
+pres::Fingerprint tuningKey(const ir::Program &program,
+                            const AutotuneOptions &options);
 
 /**
  * Find the tile sizes minimizing the modeled time of the composed

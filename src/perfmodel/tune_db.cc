@@ -1,0 +1,280 @@
+#include "perfmodel/tune_db.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace polyfuse {
+namespace perfmodel {
+
+namespace {
+
+/**
+ * A tiny recursive-descent reader for exactly the subset save()
+ * emits (objects, arrays, strings without escapes beyond \" and \\,
+ * numbers, and the known keys). Anything else fails the load -- the
+ * store is ours to write, so unknown shapes mean corruption or a
+ * foreign file, and refusing beats guessing.
+ */
+struct Reader
+{
+    const std::string &s;
+    size_t pos = 0;
+
+    explicit Reader(const std::string &text) : s(text) {}
+
+    void
+    ws()
+    {
+        while (pos < s.size() &&
+               (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                s[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    lit(char c)
+    {
+        ws();
+        if (pos < s.size() && s[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    string(std::string *out)
+    {
+        ws();
+        if (pos >= s.size() || s[pos] != '"')
+            return false;
+        ++pos;
+        out->clear();
+        while (pos < s.size() && s[pos] != '"') {
+            char c = s[pos++];
+            if (c == '\\') {
+                if (pos >= s.size())
+                    return false;
+                char e = s[pos++];
+                if (e == '"' || e == '\\')
+                    out->push_back(e);
+                else
+                    return false;
+            } else {
+                out->push_back(c);
+            }
+        }
+        if (pos >= s.size())
+            return false;
+        ++pos; // closing quote
+        return true;
+    }
+
+    bool
+    number(double *out)
+    {
+        ws();
+        char *end = nullptr;
+        double v = std::strtod(s.c_str() + pos, &end);
+        if (!end || end == s.c_str() + pos)
+            return false;
+        pos = size_t(end - s.c_str());
+        *out = v;
+        return true;
+    }
+};
+
+bool
+parseEntry(Reader &r, std::string *fp_hex, TuneEntry *entry)
+{
+    if (!r.lit('{'))
+        return false;
+    bool first = true;
+    while (true) {
+        r.ws();
+        if (r.lit('}'))
+            break;
+        if (!first && !r.lit(','))
+            return false;
+        first = false;
+        std::string key;
+        if (!r.string(&key) || !r.lit(':'))
+            return false;
+        if (key == "fp") {
+            if (!r.string(fp_hex))
+                return false;
+        } else if (key == "strategy") {
+            if (!r.string(&entry->strategy))
+                return false;
+        } else if (key == "tier") {
+            if (!r.string(&entry->tier))
+                return false;
+        } else if (key == "tiles") {
+            if (!r.lit('['))
+                return false;
+            entry->tiles.clear();
+            if (!r.lit(']')) {
+                do {
+                    double v;
+                    if (!r.number(&v))
+                        return false;
+                    entry->tiles.push_back(int64_t(v));
+                } while (r.lit(','));
+                if (!r.lit(']'))
+                    return false;
+            }
+        } else if (key == "modeledMs") {
+            if (!r.number(&entry->modeledMs))
+                return false;
+        } else if (key == "evaluated") {
+            double v;
+            if (!r.number(&v))
+                return false;
+            entry->evaluated = unsigned(v);
+        } else {
+            return false; // unknown key: not our file
+        }
+    }
+    return !fp_hex->empty();
+}
+
+} // namespace
+
+TuneDb::TuneDb(std::string path) : path_(std::move(path))
+{
+    load();
+}
+
+bool
+TuneDb::load()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+    std::ifstream in(path_);
+    if (!in.is_open())
+        return true; // missing file: an empty store
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string text = buf.str();
+
+    Reader r(text);
+    if (!r.lit('{'))
+        return false;
+    bool saw_version = false;
+    bool first = true;
+    std::map<std::string, TuneEntry> parsed;
+    while (true) {
+        r.ws();
+        if (r.lit('}'))
+            break;
+        if (!first && !r.lit(','))
+            return false;
+        first = false;
+        std::string key;
+        if (!r.string(&key) || !r.lit(':'))
+            return false;
+        if (key == "version") {
+            double v;
+            if (!r.number(&v) || v != 1)
+                return false;
+            saw_version = true;
+        } else if (key == "entries") {
+            if (!r.lit('['))
+                return false;
+            if (!r.lit(']')) {
+                do {
+                    std::string hex;
+                    TuneEntry entry;
+                    pres::Fingerprint fp;
+                    if (!parseEntry(r, &hex, &entry) ||
+                        !pres::parseFingerprint(hex, &fp))
+                        return false;
+                    parsed[hex] = std::move(entry);
+                } while (r.lit(','));
+                if (!r.lit(']'))
+                    return false;
+            }
+        } else {
+            return false;
+        }
+    }
+    if (!saw_version)
+        return false;
+    entries_ = std::move(parsed);
+    return true;
+}
+
+bool
+TuneDb::save() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string out = "{\"version\": 1, \"entries\": [";
+    char buf[64];
+    bool first = true;
+    for (const auto &kv : entries_) {
+        if (!first)
+            out += ", ";
+        first = false;
+        const TuneEntry &e = kv.second;
+        out += "{\"fp\": \"" + kv.first + "\"";
+        out += ", \"strategy\": \"" + e.strategy + "\"";
+        out += ", \"tiles\": [";
+        for (size_t i = 0; i < e.tiles.size(); ++i) {
+            if (i)
+                out += ", ";
+            out += std::to_string(e.tiles[i]);
+        }
+        out += "]";
+        out += ", \"tier\": \"" + e.tier + "\"";
+        std::snprintf(buf, sizeof(buf), "%.6f", e.modeledMs);
+        out += ", \"modeledMs\": " + std::string(buf);
+        out += ", \"evaluated\": " + std::to_string(e.evaluated);
+        out += "}";
+    }
+    out += "]}\n";
+
+    std::string tmp = path_ + ".tmp";
+    {
+        std::ofstream f(tmp, std::ios::trunc);
+        if (!f.is_open())
+            return false;
+        f << out;
+        if (!f.good())
+            return false;
+    }
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+TuneDb::find(const pres::Fingerprint &fp, TuneEntry *out) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(fp.hex());
+    if (it == entries_.end())
+        return false;
+    *out = it->second;
+    return true;
+}
+
+void
+TuneDb::put(const pres::Fingerprint &fp, const TuneEntry &entry)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_[fp.hex()] = entry;
+}
+
+size_t
+TuneDb::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
+} // namespace perfmodel
+} // namespace polyfuse

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The persistent, fingerprint-keyed tuning store: autotune results
+ * survive the process, so repeated and batch runs warm-start from
+ * the stored best (strategy, tiles, tier) instead of re-enumerating
+ * the candidate ladder (the warm-start-over-re-search idea of
+ * Acharya & Bondhugula's fast-permutation work).
+ *
+ * The on-disk format is one JSON object:
+ *
+ *   {"version": 1, "entries": [
+ *     {"fp": "<32 hex digits>", "strategy": "ours",
+ *      "tiles": [64, 128], "tier": "bytecode",
+ *      "modeledMs": 1.234, "evaluated": 49}, ...]}
+ *
+ * Keys are pres::Fingerprint::hex() spellings of whatever the caller
+ * fingerprinted -- autotuneTileSizes keys on the program structure
+ * plus the search configuration (see tuningKey), so a changed
+ * program, candidate ladder, dimension count or objective re-tunes
+ * instead of reusing a stale answer. The fingerprint version tag
+ * (driver-side) plus the file's "version" field guard against
+ * format/semantics drift; load() rejects unknown versions.
+ *
+ * Writes are atomic (temp file + rename) and the in-memory map is
+ * mutex-guarded, so one TuneDb can be shared by concurrent tuning
+ * jobs; last-put-wins on the same key. Entries are saved in sorted
+ * key order, so two stores holding the same facts are byte-identical
+ * files.
+ */
+
+#ifndef POLYFUSE_PERFMODEL_TUNE_DB_HH
+#define POLYFUSE_PERFMODEL_TUNE_DB_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pres/fingerprint.hh"
+
+namespace polyfuse {
+namespace perfmodel {
+
+/** The stored best configuration for one tuning key. */
+struct TuneEntry
+{
+    std::string strategy = "ours";
+    std::vector<int64_t> tiles;
+    std::string tier = "bytecode";
+    double modeledMs = 0;
+    unsigned evaluated = 0;
+};
+
+/** A fingerprint-keyed map of TuneEntry, persisted as JSON. */
+class TuneDb
+{
+  public:
+    /** Binds to @p path and load()s it when the file exists (a
+     *  missing file is an empty store, not an error). */
+    explicit TuneDb(std::string path);
+
+    const std::string &path() const { return path_; }
+
+    /**
+     * (Re-)read the store from disk, replacing the in-memory map.
+     * @return false (leaving the map empty) on unreadable files,
+     * malformed JSON, or an unknown version.
+     */
+    bool load();
+
+    /** Write the store atomically (temp + rename). @return false
+     *  when the file cannot be written. */
+    bool save() const;
+
+    /** Look up @p fp. @return false (out untouched) when absent. */
+    bool find(const pres::Fingerprint &fp, TuneEntry *out) const;
+
+    /** Insert or overwrite the entry for @p fp (in memory; call
+     *  save() to persist). */
+    void put(const pres::Fingerprint &fp, const TuneEntry &entry);
+
+    size_t size() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::string path_;
+    /** Keyed by Fingerprint::hex(): sorted, so save() is stable. */
+    std::map<std::string, TuneEntry> entries_;
+};
+
+} // namespace perfmodel
+} // namespace polyfuse
+
+#endif // POLYFUSE_PERFMODEL_TUNE_DB_HH

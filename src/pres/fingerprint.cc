@@ -1,0 +1,115 @@
+#include "pres/fingerprint.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "pres/basic_map.hh"
+#include "pres/basic_set.hh"
+#include "pres/space.hh"
+
+namespace polyfuse {
+namespace pres {
+
+std::string
+Fingerprint::hex() const
+{
+    char buf[33];
+    std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                  (unsigned long long)h1, (unsigned long long)h2);
+    return buf;
+}
+
+bool
+parseFingerprint(const std::string &text, Fingerprint *out)
+{
+    if (text.size() != 32)
+        return false;
+    uint64_t lanes[2] = {0, 0};
+    for (int lane = 0; lane < 2; ++lane) {
+        for (int i = 0; i < 16; ++i) {
+            char c = text[size_t(lane * 16 + i)];
+            uint64_t digit;
+            if (c >= '0' && c <= '9')
+                digit = uint64_t(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                digit = uint64_t(c - 'a' + 10);
+            else
+                return false;
+            lanes[lane] = (lanes[lane] << 4) | digit;
+        }
+    }
+    out->h1 = lanes[0];
+    out->h2 = lanes[1];
+    return true;
+}
+
+void
+Fingerprinter::mixDouble(double v)
+{
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v), "double is 64-bit");
+    std::memcpy(&bits, &v, sizeof(bits));
+    mix(bits);
+}
+
+void
+Fingerprinter::mix(const std::string &s)
+{
+    mix(uint64_t(s.size()));
+    for (char c : s) {
+        a_ ^= uint8_t(c);
+        a_ *= kFnvPrime;
+        b_ ^= uint8_t(c);
+        b_ *= kFnvPrime;
+    }
+}
+
+void
+mixSpace(Fingerprinter &fp, const Space &space)
+{
+    fp.mixBool(space.isMap());
+    fp.mix(space.inTuple());
+    fp.mix(space.outTuple());
+    fp.mix(space.numIn());
+    fp.mix(space.numOut());
+    fp.mix(space.numParams());
+    for (const auto &p : space.params())
+        fp.mix(p);
+}
+
+namespace {
+
+void
+mixRows(Fingerprinter &fp, const std::vector<Constraint> &rows)
+{
+    fp.mix(uint64_t(rows.size()));
+    for (const Constraint &r : rows) {
+        fp.mixBool(r.isEq);
+        fp.mix(uint64_t(r.coeffs.size()));
+        for (size_t i = 0; i < r.coeffs.size(); ++i)
+            fp.mixSigned(r.coeffs[i]);
+    }
+}
+
+} // namespace
+
+void
+mixBasicSet(Fingerprinter &fp, const BasicSet &set)
+{
+    mixSpace(fp, set.space());
+    fp.mixBool(set.wasExact());
+    fp.mixBool(set.markedEmpty());
+    mixRows(fp, set.constraints());
+}
+
+void
+mixBasicMap(Fingerprinter &fp, const BasicMap &map)
+{
+    mixSpace(fp, map.space());
+    fp.mixBool(map.wasExact());
+    fp.mixBool(map.markedEmpty());
+    mixRows(fp, map.constraints());
+}
+
+} // namespace pres
+} // namespace polyfuse

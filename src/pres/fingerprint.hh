@@ -1,0 +1,137 @@
+/**
+ * @file
+ * 128-bit structural fingerprints: the generalization of the op
+ * cache's two-seed key derivation (pres/op_cache.hh) into a reusable
+ * streaming fingerprinter, so whole programs -- IR, strategy, tile
+ * sizes, execution tier, codegen flags -- can be fingerprinted with
+ * the same machinery that keys individual Presburger operations.
+ *
+ * Stability contract (what callers may rely on):
+ *
+ *  - A fingerprint is a pure function of the bytes mixed in: it is
+ *    invariant across contexts, threads, processes and runs. No
+ *    pointer values, iteration order of unordered containers, clock
+ *    readings or allocator state ever enter the stream.
+ *  - Two streams differing in any mixed word produce distinct
+ *    fingerprints except for ~2^-64-probability collisions per pair
+ *    (two independently seeded 64-bit FNV-1a/splitmix lanes).
+ *  - Fingerprints are *not* stable across revisions that change what
+ *    a stream mixes; persistent stores (perfmodel/tune_db.hh) guard
+ *    against this with an explicit version tag mixed first.
+ *
+ * Length prefixes: every variable-length field (string, vector) mixes
+ * its size before its elements, so concatenation ambiguities
+ * ("ab"+"c" vs "a"+"bc") cannot alias.
+ */
+
+#ifndef POLYFUSE_PRES_FINGERPRINT_HH
+#define POLYFUSE_PRES_FINGERPRINT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "pres/row_hash.hh"
+
+namespace polyfuse {
+namespace pres {
+
+class Space;
+class BasicSet;
+class BasicMap;
+
+/** Second-lane seed (distinct from kFnvOffset; golden-ratio bits). */
+constexpr uint64_t kFingerprintSeed2 = 0x9e3779b97f4a7c15ull;
+
+/** A 128-bit structural fingerprint: two independent 64-bit lanes. */
+struct Fingerprint
+{
+    uint64_t h1 = 0;
+    uint64_t h2 = 0;
+
+    bool
+    operator==(const Fingerprint &o) const
+    {
+        return h1 == o.h1 && h2 == o.h2;
+    }
+
+    bool operator!=(const Fingerprint &o) const { return !(*this == o); }
+
+    /** 32 lower-case hex digits (h1 then h2); parseFingerprint
+     *  round-trips. The tuning store's key spelling. */
+    std::string hex() const;
+};
+
+/** Parse a Fingerprint::hex() spelling; false (and @p out untouched)
+ *  on anything else. */
+bool parseFingerprint(const std::string &text, Fingerprint *out);
+
+/** Hash functor for unordered containers keyed by Fingerprint (h1
+ *  alone: the lanes are already avalanched). */
+struct FingerprintHash
+{
+    size_t operator()(const Fingerprint &f) const
+    {
+        return size_t(f.h1);
+    }
+};
+
+/**
+ * Streaming two-lane fingerprint builder. Mix the structure in any
+ * deterministic order, then read fingerprint(); mixing is cheap
+ * enough for per-operation cache keys (a few ns per word).
+ */
+class Fingerprinter
+{
+  public:
+    explicit Fingerprinter(uint64_t seed1 = kFnvOffset,
+                           uint64_t seed2 = kFingerprintSeed2)
+        : a_(seed1), b_(seed2)
+    {
+    }
+
+    void
+    mix(uint64_t v)
+    {
+        a_ = fnvMix(a_, v);
+        b_ = fnvMix(b_, v);
+    }
+
+    void mixSigned(int64_t v) { mix(uint64_t(v)); }
+
+    void mixBool(bool v) { mix(v ? 1 : 0); }
+
+    /** Bit pattern, so -0.0 != 0.0 and NaNs are stable. */
+    void mixDouble(double v);
+
+    /** Length-prefixed bytes. */
+    void mix(const std::string &s);
+
+    void mix(const char *s) { mix(std::string(s)); }
+
+    /** Finalized fingerprint of everything mixed so far (the builder
+     *  may keep mixing afterwards). */
+    Fingerprint
+    fingerprint() const
+    {
+        return {hashFinalize(a_), hashFinalize(b_)};
+    }
+
+  private:
+    uint64_t a_;
+    uint64_t b_;
+};
+
+/// @name Structural mixers for the Presburger layer
+/// Full structural state: tuple names, arities, parameter names,
+/// exactness/emptiness flags, and every constraint row in stored
+/// order (see op_cache.hh on why in-order, not sorted).
+/// @{
+void mixSpace(Fingerprinter &fp, const Space &space);
+void mixBasicSet(Fingerprinter &fp, const BasicSet &set);
+void mixBasicMap(Fingerprinter &fp, const BasicMap &map);
+/// @}
+
+} // namespace pres
+} // namespace polyfuse
+
+#endif // POLYFUSE_PRES_FINGERPRINT_HH

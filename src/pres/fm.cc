@@ -109,25 +109,6 @@ checkBudget(PresCtx &ctx, const char *site)
             " ms passed");
 }
 
-// Compat shims; defined with the deprecation warning silenced so the
-// -Werror build only flags (new) callers, not the definitions.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-Counters &
-counters()
-{
-    return activeCtx().counters;
-}
-
-void
-resetCounters()
-{
-    activeCtx().counters = Counters{};
-}
-
-#pragma GCC diagnostic pop
-
 bool
 normalizeRow(Constraint &row)
 {

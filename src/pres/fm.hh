@@ -153,16 +153,6 @@ class ScopedCtx
     PresCtx *prev_;
 };
 
-/** @deprecated The counters of the thread's active context; use
- *  activeCtx().counters (or a PresCtx you own) instead. */
-[[deprecated("use activeCtx().counters or a PresCtx you own")]]
-Counters &counters();
-
-/** @deprecated Zero the active context's counters; assign
- *  Counters{} to activeCtx().counters (or your own) instead. */
-[[deprecated("assign Counters{} to activeCtx().counters instead")]]
-void resetCounters();
-
 /**
  * Normalize one row: divide by the GCD of the variable coefficients,
  * tightening the constant (floor) for inequalities; detect an

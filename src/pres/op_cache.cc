@@ -1,74 +1,16 @@
 #include "pres/op_cache.hh"
 
-#include <string>
-
-#include "pres/row_hash.hh"
-
 namespace polyfuse {
 namespace pres {
 
 namespace {
 
-// Second-fingerprint seed: any constant with good bit dispersion that
-// differs from kFnvOffset works; golden-ratio bits are traditional.
-constexpr uint64_t kSeed2 = 0x9e3779b97f4a7c15ull;
-
-uint64_t
-mixStr(uint64_t h, const std::string &s)
+Fingerprinter
+opSeed(Op op)
 {
-    h = fnvMix(h, uint64_t(s.size()));
-    for (char c : s) {
-        h ^= uint8_t(c);
-        h *= kFnvPrime;
-    }
-    return h;
-}
-
-uint64_t
-mixSpace(uint64_t h, const Space &sp)
-{
-    h = fnvMix(h, sp.isMap() ? 1 : 0);
-    h = mixStr(h, sp.inTuple());
-    h = mixStr(h, sp.outTuple());
-    h = fnvMix(h, sp.numIn());
-    h = fnvMix(h, sp.numOut());
-    h = fnvMix(h, sp.numParams());
-    for (const auto &p : sp.params())
-        h = mixStr(h, p);
-    return h;
-}
-
-uint64_t
-mixRows(uint64_t h, const std::vector<Constraint> &rows)
-{
-    h = fnvMix(h, uint64_t(rows.size()));
-    for (const auto &r : rows)
-        h = hashRow(r, h);
-    return h;
-}
-
-uint64_t
-fpMap(const BasicMap &m, uint64_t seed)
-{
-    uint64_t h = mixSpace(seed, m.space());
-    h = fnvMix(h, m.wasExact() ? 1 : 0);
-    h = fnvMix(h, m.markedEmpty() ? 1 : 0);
-    return hashFinalize(mixRows(h, m.constraints()));
-}
-
-uint64_t
-fpSet(const BasicSet &s, uint64_t seed)
-{
-    uint64_t h = mixSpace(seed, s.space());
-    h = fnvMix(h, s.wasExact() ? 1 : 0);
-    h = fnvMix(h, s.markedEmpty() ? 1 : 0);
-    return hashFinalize(mixRows(h, s.constraints()));
-}
-
-uint64_t
-opSeed(Op op, uint64_t seed)
-{
-    return fnvMix(seed, uint64_t(op));
+    Fingerprinter fp;
+    fp.mix(uint64_t(op));
+    return fp;
 }
 
 /** Per-entry byte estimate for the arena proxy: rows + key + node. */
@@ -97,52 +39,64 @@ boundsBytes(const OpCache::BoundsValue &v)
 OpCache::Key
 OpCache::makeKey(Op op, const BasicMap &a)
 {
-    return {fpMap(a, opSeed(op, kFnvOffset)),
-            fpMap(a, opSeed(op, kSeed2))};
+    Fingerprinter fp = opSeed(op);
+    mixBasicMap(fp, a);
+    return fp.fingerprint();
 }
 
 OpCache::Key
 OpCache::makeKey(Op op, const BasicMap &a, const BasicMap &b)
 {
-    return {fpMap(b, fpMap(a, opSeed(op, kFnvOffset))),
-            fpMap(b, fpMap(a, opSeed(op, kSeed2)))};
+    Fingerprinter fp = opSeed(op);
+    mixBasicMap(fp, a);
+    mixBasicMap(fp, b);
+    return fp.fingerprint();
 }
 
 OpCache::Key
 OpCache::makeKey(Op op, const BasicMap &a, const BasicSet &b)
 {
-    return {fpSet(b, fpMap(a, opSeed(op, kFnvOffset))),
-            fpSet(b, fpMap(a, opSeed(op, kSeed2)))};
+    Fingerprinter fp = opSeed(op);
+    mixBasicMap(fp, a);
+    mixBasicSet(fp, b);
+    return fp.fingerprint();
 }
 
 OpCache::Key
 OpCache::makeKey(Op op, const BasicMap &a, uint64_t arg)
 {
-    return {fnvMix(fpMap(a, opSeed(op, kFnvOffset)), arg),
-            fnvMix(fpMap(a, opSeed(op, kSeed2)), arg)};
+    Fingerprinter fp = opSeed(op);
+    mixBasicMap(fp, a);
+    fp.mix(arg);
+    return fp.fingerprint();
 }
 
 OpCache::Key
 OpCache::makeKey(Op op, const BasicSet &a)
 {
-    return {fpSet(a, opSeed(op, kFnvOffset)),
-            fpSet(a, opSeed(op, kSeed2))};
+    Fingerprinter fp = opSeed(op);
+    mixBasicSet(fp, a);
+    return fp.fingerprint();
 }
 
 OpCache::Key
 OpCache::makeKey(Op op, const BasicSet &a, const BasicSet &b)
 {
-    return {fpSet(b, fpSet(a, opSeed(op, kFnvOffset))),
-            fpSet(b, fpSet(a, opSeed(op, kSeed2)))};
+    Fingerprinter fp = opSeed(op);
+    mixBasicSet(fp, a);
+    mixBasicSet(fp, b);
+    return fp.fingerprint();
 }
 
 OpCache::Key
 OpCache::makeKey(Op op, const BasicSet &a, uint64_t arg0,
                  uint64_t arg1)
 {
-    return {fnvMix(fnvMix(fpSet(a, opSeed(op, kFnvOffset)), arg0),
-                   arg1),
-            fnvMix(fnvMix(fpSet(a, opSeed(op, kSeed2)), arg0), arg1)};
+    Fingerprinter fp = opSeed(op);
+    mixBasicSet(fp, a);
+    fp.mix(arg0);
+    fp.mix(arg1);
+    return fp.fingerprint();
 }
 
 void
@@ -162,49 +116,25 @@ OpCache::miss(fm::PresCtx &ctx)
 const BasicMap *
 OpCache::findMap(fm::PresCtx &ctx, const Key &k)
 {
-    auto it = maps_.find(k);
-    if (it == maps_.end()) {
-        miss(ctx);
-        return nullptr;
-    }
-    hit(ctx);
-    return &it->second;
+    return findAs<BasicMap>(ctx, k);
 }
 
 const BasicSet *
 OpCache::findSet(fm::PresCtx &ctx, const Key &k)
 {
-    auto it = sets_.find(k);
-    if (it == sets_.end()) {
-        miss(ctx);
-        return nullptr;
-    }
-    hit(ctx);
-    return &it->second;
+    return findAs<BasicSet>(ctx, k);
 }
 
 const bool *
 OpCache::findBool(fm::PresCtx &ctx, const Key &k)
 {
-    auto it = bools_.find(k);
-    if (it == bools_.end()) {
-        miss(ctx);
-        return nullptr;
-    }
-    hit(ctx);
-    return &it->second;
+    return findAs<bool>(ctx, k);
 }
 
 const OpCache::BoundsValue *
 OpCache::findBounds(fm::PresCtx &ctx, const Key &k)
 {
-    auto it = bounds_.find(k);
-    if (it == bounds_.end()) {
-        miss(ctx);
-        return nullptr;
-    }
-    hit(ctx);
-    return &it->second;
+    return findAs<BoundsValue>(ctx, k);
 }
 
 void
@@ -218,61 +148,39 @@ OpCache::charge(fm::PresCtx &ctx, uint64_t bytes)
 }
 
 void
-OpCache::maybeEvict(fm::PresCtx &ctx)
+OpCache::store(fm::PresCtx &ctx, const Key &k, Value v,
+               uint64_t bytes)
 {
-    if (entries() < maxEntries_)
-        return;
-    uint64_t dropped = entries();
-    stats_.evictions += dropped;
-    ctx.counters.cacheEvictions += dropped;
-    maps_.clear();
-    sets_.clear();
-    bools_.clear();
-    bounds_.clear();
+    charge(ctx, bytes);
+    size_t evicted = lru_.insert(k, std::move(v));
+    stats_.evictions += evicted;
+    ctx.counters.cacheEvictions += evicted;
 }
 
 void
 OpCache::storeMap(fm::PresCtx &ctx, const Key &k, const BasicMap &v)
 {
-    maybeEvict(ctx);
-    charge(ctx, rowsBytes(v.constraints()));
-    maps_.emplace(k, v);
+    store(ctx, k, Value(v), rowsBytes(v.constraints()));
 }
 
 void
 OpCache::storeSet(fm::PresCtx &ctx, const Key &k, const BasicSet &v)
 {
-    maybeEvict(ctx);
-    charge(ctx, rowsBytes(v.constraints()));
-    sets_.emplace(k, v);
+    store(ctx, k, Value(v), rowsBytes(v.constraints()));
 }
 
 void
 OpCache::storeBool(fm::PresCtx &ctx, const Key &k, bool v)
 {
-    maybeEvict(ctx);
-    charge(ctx, sizeof(Key) + 2 * sizeof(void *) + sizeof(bool));
-    bools_.emplace(k, v);
+    store(ctx, k, Value(v),
+          sizeof(Key) + 2 * sizeof(void *) + sizeof(bool));
 }
 
 void
 OpCache::storeBounds(fm::PresCtx &ctx, const Key &k,
                      const BoundsValue &v)
 {
-    maybeEvict(ctx);
-    charge(ctx, boundsBytes(v));
-    bounds_.emplace(k, v);
-}
-
-void
-OpCache::clear()
-{
-    // A deliberate reset (new pipeline run), not capacity pressure:
-    // not counted as evictions.
-    maps_.clear();
-    sets_.clear();
-    bools_.clear();
-    bounds_.clear();
+    store(ctx, k, Value(v), boundsBytes(v));
 }
 
 } // namespace pres

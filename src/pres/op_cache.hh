@@ -3,7 +3,7 @@
  * Hash-consed memoization of the expensive BasicSet/BasicMap
  * operations (compose, projections, intersections, emptiness and
  * bound queries), keyed on 128-bit structural fingerprints of the
- * operands.
+ * operands (pres/fingerprint.hh).
  *
  * A compilation recomputes the same dependence compositions and
  * footprint projections many times: every fusion candidate re-derives
@@ -28,9 +28,11 @@
  *
  * Resource accounting: stored results are charged to the owning
  * context's allocBytes arena proxy, so an armed Budget's byte ceiling
- * covers cache growth too; the entry ceiling clears the cache
- * wholesale when exceeded (counted as evictions). Hits/misses/
- * evictions feed fm::Counters and surface as per-pass stats.
+ * covers cache growth too. Capacity pressure evicts entries one at a
+ * time from the cold end of a shared LruMap (support/lru.hh) -- the
+ * same policy the kernel cache uses -- instead of dropping the whole
+ * table; hits/misses/evictions feed fm::Counters and surface as
+ * per-pass stats.
  */
 
 #ifndef POLYFUSE_PRES_OP_CACHE_HH
@@ -38,12 +40,14 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
+#include <variant>
 #include <vector>
 
 #include "pres/basic_map.hh"
 #include "pres/basic_set.hh"
+#include "pres/fingerprint.hh"
 #include "pres/fm.hh"
+#include "support/lru.hh"
 
 namespace polyfuse {
 namespace pres {
@@ -73,17 +77,7 @@ class OpCache
 {
   public:
     /** 128-bit key: two independent fingerprints of (op, operands). */
-    struct Key
-    {
-        uint64_t h1 = 0;
-        uint64_t h2 = 0;
-
-        bool
-        operator==(const Key &o) const
-        {
-            return h1 == o.h1 && h2 == o.h2;
-        }
-    };
+    using Key = Fingerprint;
 
     /** Cached result of BasicMap::outDimBounds. */
     struct BoundsValue
@@ -104,7 +98,7 @@ class OpCache
     static constexpr size_t kDefaultMaxEntries = 1 << 14;
 
     explicit OpCache(size_t max_entries = kDefaultMaxEntries)
-        : maxEntries_(max_entries ? max_entries : 1)
+        : lru_(max_entries ? max_entries : 1)
     {
     }
 
@@ -123,9 +117,10 @@ class OpCache
     /// @}
 
     /// @name Lookup
-    /// A hit bumps @p ctx's cacheHits counter and returns a pointer
-    /// valid until the next store/clear; a miss bumps cacheMisses and
-    /// returns null (the caller computes and stores).
+    /// A hit bumps @p ctx's cacheHits counter (and the entry to
+    /// most-recently-used) and returns a pointer valid until the next
+    /// store/clear; a miss bumps cacheMisses and returns null (the
+    /// caller computes and stores).
     /// @{
     const BasicMap *findMap(fm::PresCtx &ctx, const Key &k);
     const BasicSet *findSet(fm::PresCtx &ctx, const Key &k);
@@ -135,7 +130,8 @@ class OpCache
 
     /// @name Store
     /// Charges the stored bytes to @p ctx.allocBytes (and re-checks
-    /// the armed budget); evicts wholesale at the entry ceiling.
+    /// the armed budget); evicts least-recently-used entries past the
+    /// entry ceiling.
     /// @{
     void storeMap(fm::PresCtx &ctx, const Key &k, const BasicMap &v);
     void storeSet(fm::PresCtx &ctx, const Key &k, const BasicSet &v);
@@ -145,35 +141,39 @@ class OpCache
     /// @}
 
     /** Drop every entry (a reset, not counted as evictions). */
-    void clear();
+    void clear() { lru_.clear(); }
 
-    size_t entries() const
-    {
-        return maps_.size() + sets_.size() + bools_.size() +
-               bounds_.size();
-    }
+    size_t entries() const { return lru_.size(); }
 
-    size_t maxEntries() const { return maxEntries_; }
+    size_t maxEntries() const { return size_t(lru_.capacity()); }
 
     const Stats &stats() const { return stats_; }
 
   private:
-    struct KeyHash
-    {
-        size_t operator()(const Key &k) const { return size_t(k.h1); }
-    };
+    using Value = std::variant<BasicMap, BasicSet, bool, BoundsValue>;
 
     void hit(fm::PresCtx &ctx);
     void miss(fm::PresCtx &ctx);
     void charge(fm::PresCtx &ctx, uint64_t bytes);
-    void maybeEvict(fm::PresCtx &ctx);
+    void store(fm::PresCtx &ctx, const Key &k, Value v,
+               uint64_t bytes);
 
-    size_t maxEntries_;
+    template <typename T>
+    const T *
+    findAs(fm::PresCtx &ctx, const Key &k)
+    {
+        Value *v = lru_.find(k);
+        const T *t = v ? std::get_if<T>(v) : nullptr;
+        if (!t) {
+            miss(ctx);
+            return nullptr;
+        }
+        hit(ctx);
+        return t;
+    }
+
     Stats stats_;
-    std::unordered_map<Key, BasicMap, KeyHash> maps_;
-    std::unordered_map<Key, BasicSet, KeyHash> sets_;
-    std::unordered_map<Key, bool, KeyHash> bools_;
-    std::unordered_map<Key, BoundsValue, KeyHash> bounds_;
+    LruMap<Key, Value, FingerprintHash> lru_;
 };
 
 } // namespace pres

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The least-recently-used map shared by every bounded cache in the
+ * repository: the Presburger operation cache (pres/op_cache.hh,
+ * capacity counted in entries) and the process-wide kernel cache
+ * (exec/kernel_cache.hh, capacity counted in bytes). One policy, one
+ * implementation, so eviction behaviour and its counters mean the
+ * same thing at both layers.
+ *
+ * Capacity is expressed in caller-defined *weight* units: every
+ * insert carries a weight (1 for entry-counted caches, a byte
+ * estimate for byte-counted ones) and eviction pops entries from the
+ * cold end until the total weight fits the capacity again. The entry
+ * being inserted is bumped to the hot end first, so it is evicted
+ * only when it alone exceeds the whole capacity.
+ *
+ * Not thread-safe; callers serialize (the op cache is per-context,
+ * the kernel cache wraps one LruMap per shard in a mutex).
+ */
+
+#ifndef POLYFUSE_SUPPORT_LRU_HH
+#define POLYFUSE_SUPPORT_LRU_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+namespace polyfuse {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LruMap
+{
+  public:
+    /** @p capacity in weight units; 0 is clamped to 1. */
+    explicit LruMap(uint64_t capacity)
+        : capacity_(capacity ? capacity : 1)
+    {
+    }
+
+    /** Entries currently held. */
+    size_t size() const { return index_.size(); }
+
+    /** Sum of the held entries' weights. */
+    uint64_t weight() const { return weight_; }
+
+    uint64_t capacity() const { return capacity_; }
+
+    /**
+     * Look up @p key, bumping it to most-recently-used on a hit.
+     * The returned pointer stays valid until the entry is evicted or
+     * the map is cleared (recency bumps never move storage).
+     */
+    Value *
+    find(const Key &key)
+    {
+        auto it = index_.find(key);
+        if (it == index_.end())
+            return nullptr;
+        order_.splice(order_.begin(), order_, it->second);
+        return &it->second->value;
+    }
+
+    /**
+     * Insert (or overwrite) @p key with @p weight units of @p value,
+     * bump it to most-recently-used, then evict cold entries until
+     * the total weight fits the capacity. @return entries evicted.
+     */
+    size_t
+    insert(const Key &key, Value value, uint64_t entry_weight = 1)
+    {
+        auto it = index_.find(key);
+        if (it != index_.end()) {
+            weight_ -= it->second->weight;
+            it->second->value = std::move(value);
+            it->second->weight = entry_weight;
+            weight_ += entry_weight;
+            order_.splice(order_.begin(), order_, it->second);
+            return evictOver();
+        }
+        order_.push_front(Node{key, std::move(value), entry_weight});
+        index_.emplace(key, order_.begin());
+        weight_ += entry_weight;
+        return evictOver();
+    }
+
+    /** Drop every entry (a reset, not an eviction). */
+    void
+    clear()
+    {
+        order_.clear();
+        index_.clear();
+        weight_ = 0;
+    }
+
+    /** Change the capacity, evicting to fit. @return evictions. */
+    size_t
+    setCapacity(uint64_t capacity)
+    {
+        capacity_ = capacity ? capacity : 1;
+        return evictOver();
+    }
+
+    /** Least-recently-used key (must not be empty). */
+    const Key &coldestKey() const { return order_.back().key; }
+
+  private:
+    struct Node
+    {
+        Key key;
+        Value value;
+        uint64_t weight;
+    };
+
+    size_t
+    evictOver()
+    {
+        size_t evicted = 0;
+        while (weight_ > capacity_ && !order_.empty()) {
+            weight_ -= order_.back().weight;
+            index_.erase(order_.back().key);
+            order_.pop_back();
+            ++evicted;
+        }
+        return evicted;
+    }
+
+    uint64_t capacity_;
+    uint64_t weight_ = 0;
+    std::list<Node> order_; ///< most-recently-used first
+    std::unordered_map<Key, typename std::list<Node>::iterator, Hash>
+        index_;
+};
+
+} // namespace polyfuse
+
+#endif // POLYFUSE_SUPPORT_LRU_HH

@@ -1,0 +1,515 @@
+/**
+ * @file
+ * Tests for the kernel-artifact layer (ISSUE 7): whole-program
+ * fingerprint semantics, the process-wide kernel cache, the
+ * fingerprint-keyed tuning store, and the shared LRU policy of the
+ * Presburger op cache.
+ *
+ * The heart of the file is the registry-wide differential sweep:
+ * for every registered workload and a spread of strategies, the
+ * cache-off, cache-cold and cache-warm compiles must execute to
+ * bit-identical buffers with identical ExecStats -- a cached kernel
+ * is indistinguishable from a fresh one in everything but compile
+ * time.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/artifact.hh"
+#include "driver/registry.hh"
+#include "exec/kernel_cache.hh"
+#include "perfmodel/autotune.hh"
+#include "perfmodel/tune_db.hh"
+#include "pres/op_cache.hh"
+#include "pres/parser.hh"
+#include "workloads/conv2d.hh"
+#include "workloads/equake.hh"
+
+namespace polyfuse {
+namespace driver {
+namespace {
+
+std::shared_ptr<const ir::Program>
+smallConv()
+{
+    return std::make_shared<const ir::Program>(
+        workloads::makeConv2D({16, 16, 3, 3}));
+}
+
+/** Small sizes so the whole registry compiles and runs quickly. */
+WorkloadParams
+smallParams(const WorkloadSpec &spec)
+{
+    WorkloadParams p = spec.defaults;
+    p.rows = std::min<int64_t>(p.rows, 48);
+    p.cols = std::min<int64_t>(p.cols, 48);
+    return p;
+}
+
+void
+fillInputs(const ir::Program &program, exec::Buffers &buffers)
+{
+    if (program.name() == "equake") {
+        workloads::initEquakeInputs(program, buffers, 11);
+        return;
+    }
+    for (size_t t = 0; t < program.tensors().size(); ++t)
+        if (program.tensor(t).kind != ir::TensorKind::Temp)
+            buffers.fillPattern(t, 1000 + t);
+}
+
+/** ExecStats equality, wall-clock excluded. */
+void
+expectSameStats(const exec::ExecStats &a, const exec::ExecStats &b)
+{
+    EXPECT_EQ(a.instances, b.instances);
+    EXPECT_EQ(a.loads, b.loads);
+    EXPECT_EQ(a.stores, b.stores);
+    EXPECT_EQ(a.guardFails, b.guardFails);
+    EXPECT_EQ(a.flops, b.flops);
+}
+
+/** Bit-identical buffer contents (exact double equality). */
+void
+expectSameBuffers(const exec::Buffers &a, const exec::Buffers &b)
+{
+    ASSERT_EQ(a.numTensors(), b.numTensors());
+    for (size_t t = 0; t < a.numTensors(); ++t) {
+        const auto &da = a.data(int(t));
+        const auto &db = b.data(int(t));
+        ASSERT_EQ(da.size(), db.size()) << "tensor " << t;
+        for (size_t i = 0; i < da.size(); ++i)
+            ASSERT_EQ(da[i], db[i])
+                << "tensor " << t << " element " << i;
+    }
+}
+
+TEST(ProgramFingerprint, StableAcrossContextsThreadsAndRuns)
+{
+    PipelineOptions opts;
+    auto fp0 = programFingerprint(*smallConv(), opts,
+                                  exec::Tier::Bytecode);
+    // Re-built program, repeated runs: identical.
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(programFingerprint(*smallConv(), opts,
+                                     exec::Tier::Bytecode),
+                  fp0);
+    // Other threads (each with its own thread-local pres state).
+    std::vector<pres::Fingerprint> got(4);
+    std::vector<std::thread> threads;
+    for (size_t i = 0; i < got.size(); ++i)
+        threads.emplace_back([&, i] {
+            got[i] = programFingerprint(*smallConv(), opts,
+                                        exec::Tier::Bytecode);
+        });
+    for (auto &t : threads)
+        t.join();
+    for (const auto &fp : got)
+        EXPECT_EQ(fp, fp0);
+    // The hex spelling round-trips through the parser.
+    pres::Fingerprint parsed;
+    ASSERT_TRUE(pres::parseFingerprint(fp0.hex(), &parsed));
+    EXPECT_EQ(parsed, fp0);
+}
+
+TEST(ProgramFingerprint, DistinguishesEverythingThatChangesCode)
+{
+    auto program = smallConv();
+    PipelineOptions base;
+    auto fp = [&](const PipelineOptions &o, exec::Tier tier) {
+        return programFingerprint(*program, o, tier);
+    };
+    auto base_fp = fp(base, exec::Tier::Bytecode);
+
+    PipelineOptions tiles = base;
+    tiles.tileSizes = {16, 16};
+    EXPECT_NE(fp(tiles, exec::Tier::Bytecode), base_fp);
+
+    PipelineOptions inner = base;
+    inner.innerTileSizes = {8, 8};
+    EXPECT_NE(fp(inner, exec::Tier::Bytecode), base_fp);
+
+    PipelineOptions strat = base;
+    strat.strategy = Strategy::PolyMage;
+    EXPECT_NE(fp(strat, exec::Tier::Bytecode), base_fp);
+
+    PipelineOptions par = base;
+    par.targetParallelism = 2;
+    EXPECT_NE(fp(par, exec::Tier::Bytecode), base_fp);
+
+    PipelineOptions gen = base;
+    gen.gen.promoteIntermediates = false;
+    EXPECT_NE(fp(gen, exec::Tier::Bytecode), base_fp);
+
+    PipelineOptions dil = base;
+    dil.footprintDilation = 1;
+    EXPECT_NE(fp(dil, exec::Tier::Bytecode), base_fp);
+
+    EXPECT_NE(fp(base, exec::Tier::Native), base_fp);
+    EXPECT_NE(fp(base, exec::Tier::Interp), base_fp);
+
+    // A different program is a different key.
+    auto other = std::make_shared<const ir::Program>(
+        workloads::makeConv2D({24, 16, 3, 3}));
+    EXPECT_NE(programFingerprint(*other, base, exec::Tier::Bytecode),
+              base_fp);
+
+    // budgetFallback is a policy, not a codegen input: same key.
+    PipelineOptions fb = base;
+    fb.budgetFallback = false;
+    EXPECT_EQ(fp(fb, exec::Tier::Bytecode), base_fp);
+}
+
+TEST(KernelCache, WarmCompileSkipsThePipelineEntirely)
+{
+    exec::KernelCache cache;
+    auto program = smallConv();
+    Pipeline pipeline{PipelineOptions{}};
+    ArtifactOptions aopts;
+    aopts.cache = &cache;
+
+    CompileContext cold_ctx;
+    auto cold = compileKernel(pipeline, program, cold_ctx, aopts);
+    ASSERT_TRUE(cold.ok());
+    EXPECT_FALSE(cold.fromCache);
+    EXPECT_NE(cold.stats.find("Codegen"), nullptr);
+    EXPECT_GT(cold_ctx.fmCounters().eliminations, 0u);
+
+    CompileContext warm_ctx;
+    auto warm = compileKernel(pipeline, program, warm_ctx, aopts);
+    ASSERT_TRUE(warm.ok());
+    EXPECT_TRUE(warm.fromCache);
+    EXPECT_EQ(warm.fingerprint, cold.fingerprint);
+    // The hit shares the image the miss inserted.
+    EXPECT_EQ(warm.image.get(), cold.image.get());
+    // The stats record the lookup and nothing else: no Presburger
+    // pass ran, no FM work was charged to the warm context.
+    ASSERT_EQ(warm.stats.passes().size(), 1u);
+    EXPECT_EQ(warm.stats.passes()[0].name, "KernelCache");
+    EXPECT_EQ(warm_ctx.fmCounters().eliminations, 0u);
+    EXPECT_EQ(warm_ctx.fmCounters().constraintsVisited, 0u);
+    EXPECT_EQ(cache.counters().hits, 1u);
+    EXPECT_EQ(cache.counters().misses, 1u);
+    EXPECT_EQ(cache.counters().insertions, 1u);
+
+    // And the cached kernel computes the same bits.
+    exec::Buffers a(*program), b(*program);
+    fillInputs(*program, a);
+    fillInputs(*program, b);
+    auto ra = executeKernel(cold, a);
+    auto rb = executeKernel(warm, b);
+    expectSameStats(ra.stats, rb.stats);
+    expectSameBuffers(a, b);
+}
+
+TEST(KernelCache, RegistryWideDifferentialSweep)
+{
+    const Strategy strategies[] = {Strategy::Ours, Strategy::Naive,
+                                   Strategy::PolyMage};
+    exec::KernelCache cache;
+    for (const auto &spec : workloadRegistry()) {
+        auto params = smallParams(spec);
+        auto program = std::make_shared<const ir::Program>(
+            spec.make(params));
+        for (Strategy strategy : strategies) {
+            SCOPED_TRACE(std::string(spec.name) + "/" +
+                         strategyName(strategy));
+            PipelineOptions opts;
+            opts.strategy = strategy;
+            opts.tileSizes = spec.defaultTiles;
+            Pipeline pipeline(opts);
+
+            // Cache off, cache cold, cache warm.
+            ArtifactOptions off;
+            ArtifactOptions on;
+            on.cache = &cache;
+            auto plain = compileKernel(pipeline, program, off);
+            auto cold = compileKernel(pipeline, program, on);
+            auto warm = compileKernel(pipeline, program, on);
+            ASSERT_TRUE(plain.ok());
+            ASSERT_TRUE(cold.ok());
+            ASSERT_TRUE(warm.ok());
+            EXPECT_FALSE(cold.fromCache);
+            EXPECT_TRUE(warm.fromCache);
+            EXPECT_EQ(plain.fingerprint, cold.fingerprint);
+            EXPECT_EQ(cold.fingerprint, warm.fingerprint);
+
+            exec::Buffers ba(*program), bb(*program), bc(*program);
+            fillInputs(*program, ba);
+            fillInputs(*program, bb);
+            fillInputs(*program, bc);
+            auto ra = executeKernel(plain, ba);
+            auto rb = executeKernel(cold, bb);
+            auto rc = executeKernel(warm, bc);
+            expectSameStats(ra.stats, rb.stats);
+            expectSameStats(ra.stats, rc.stats);
+            expectSameBuffers(ba, bb);
+            expectSameBuffers(ba, bc);
+        }
+    }
+    EXPECT_EQ(cache.counters().evictions, 0u);
+    EXPECT_EQ(cache.entries(),
+              workloadRegistry().size() * 3);
+}
+
+TEST(KernelCache, EvictsUnderTinyCapacity)
+{
+    // A capacity small enough for roughly one image: inserting the
+    // registry one after another must evict, and the counters must
+    // say so.
+    exec::KernelCache cache(/*capacity_bytes=*/16 * 1024,
+                            /*shards=*/1);
+    ArtifactOptions aopts;
+    aopts.cache = &cache;
+    size_t compiled = 0;
+    for (const auto &spec : workloadRegistry()) {
+        auto program = std::make_shared<const ir::Program>(
+            spec.make(smallParams(spec)));
+        PipelineOptions opts;
+        opts.tileSizes = spec.defaultTiles;
+        auto artifact =
+            compileKernel(Pipeline(opts), program, aopts);
+        ASSERT_TRUE(artifact.ok());
+        ++compiled;
+    }
+    EXPECT_GT(cache.counters().evictions, 0u);
+    EXPECT_LT(cache.entries(), compiled);
+    EXPECT_LE(cache.bytes(), cache.capacityBytes());
+    // Shrinking to (clamped) zero empties it.
+    cache.setCapacityBytes(1);
+    EXPECT_EQ(cache.entries(), 0u);
+}
+
+TEST(KernelCache, DowngradedCompilesAreNeverCached)
+{
+    exec::KernelCache cache;
+    auto program = smallConv();
+    Pipeline pipeline{PipelineOptions{}};
+    ArtifactOptions aopts;
+    aopts.cache = &cache;
+
+    CompileContext tight;
+    tight.budget.fmEliminations = 1; // trips on the first attempt
+    auto downgraded = compileKernel(pipeline, program, tight, aopts);
+    ASSERT_TRUE(downgraded.ok());
+    EXPECT_TRUE(downgraded.downgraded());
+    EXPECT_EQ(cache.entries(), 0u);
+    EXPECT_EQ(cache.counters().insertions, 0u);
+
+    // A later unconstrained compile of the same key gets the real
+    // thing (a miss, not the downgraded artifact).
+    CompileContext free_ctx;
+    auto full = compileKernel(pipeline, program, free_ctx, aopts);
+    ASSERT_TRUE(full.ok());
+    EXPECT_FALSE(full.fromCache);
+    EXPECT_FALSE(full.downgraded());
+    EXPECT_EQ(full.fingerprint, downgraded.fingerprint);
+    EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(KernelCache, ConcurrentCompileAndLookupIsSafe)
+{
+    // Several threads compile the same few programs against one
+    // shared cache: every artifact must come back valid and execute
+    // to the same bits as a reference. Run under TSAN by
+    // scripts/check.sh --tsan-only.
+    exec::KernelCache cache(exec::KernelCache::kDefaultCapacityBytes,
+                            4);
+    std::vector<std::shared_ptr<const ir::Program>> programs;
+    programs.push_back(smallConv());
+    programs.push_back(std::make_shared<const ir::Program>(
+        workloads::makeConv2D({24, 24, 3, 3})));
+    programs.push_back(std::make_shared<const ir::Program>(
+        workloads::makeConv2D({32, 16, 3, 3})));
+
+    // Reference results, compiled without the cache.
+    std::vector<std::string> reference;
+    for (const auto &p : programs) {
+        auto artifact = compileKernel(Pipeline(PipelineOptions{}), p);
+        exec::Buffers buf(*p);
+        fillInputs(*p, buf);
+        executeKernel(artifact, buf);
+        std::string bits;
+        for (size_t t = 0; t < buf.numTensors(); ++t)
+            bits.append(
+                reinterpret_cast<const char *>(
+                    buf.data(int(t)).data()),
+                buf.data(int(t)).size() * sizeof(double));
+        reference.push_back(std::move(bits));
+    }
+
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t)
+        threads.emplace_back([&, t] {
+            for (int iter = 0; iter < 6; ++iter) {
+                const size_t pi = size_t(t + iter) % programs.size();
+                const auto &p = programs[pi];
+                ArtifactOptions aopts;
+                aopts.cache = &cache;
+                auto artifact =
+                    compileKernel(Pipeline(PipelineOptions{}), p, aopts);
+                if (!artifact.ok()) {
+                    ++failures;
+                    continue;
+                }
+                exec::Buffers buf(*p);
+                fillInputs(*p, buf);
+                executeKernel(artifact, buf);
+                std::string bits;
+                for (size_t ti = 0; ti < buf.numTensors(); ++ti)
+                    bits.append(
+                        reinterpret_cast<const char *>(
+                            buf.data(int(ti)).data()),
+                        buf.data(int(ti)).size() * sizeof(double));
+                if (bits != reference[pi])
+                    ++failures;
+            }
+        });
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(failures.load(), 0);
+    // Concurrent first misses of one key may each compile and
+    // insert (the overwrite is benign), so insertions can exceed the
+    // key count -- but the map still holds exactly one entry per key.
+    EXPECT_EQ(cache.entries(), programs.size());
+    EXPECT_GE(cache.counters().insertions, programs.size());
+    EXPECT_GT(cache.counters().hits, 0u);
+}
+
+TEST(OpCacheLru, EvictsLeastRecentlyUsedNotEverything)
+{
+    // Regression for the old wholesale flush: storing past the entry
+    // ceiling must evict exactly the overflow, coldest first, and
+    // count it.
+    pres::fm::PresCtx ctx;
+    pres::OpCache cache(/*max_entries=*/4);
+    auto base = pres::parseSet("{ S[i] : 0 <= i <= 10 }");
+    const pres::BasicSet &bs = base.pieces().at(0);
+
+    std::vector<pres::OpCache::Key> keys;
+    for (uint64_t i = 0; i < 6; ++i)
+        keys.push_back(pres::OpCache::makeKey(
+            pres::Op::ProjectOut, bs, i, 1));
+    for (size_t i = 0; i < keys.size(); ++i)
+        cache.storeBool(ctx, keys[i], i % 2 == 0);
+
+    EXPECT_EQ(cache.entries(), 4u);
+    EXPECT_EQ(cache.stats().evictions, 2u);
+    // The two oldest are gone, the four newest survive.
+    EXPECT_EQ(cache.findBool(ctx, keys[0]), nullptr);
+    EXPECT_EQ(cache.findBool(ctx, keys[1]), nullptr);
+    for (size_t i = 2; i < 6; ++i)
+        EXPECT_NE(cache.findBool(ctx, keys[i]), nullptr)
+            << "key " << i;
+
+    // A find refreshes recency: key 2 survives the next eviction.
+    ASSERT_NE(cache.findBool(ctx, keys[2]), nullptr);
+    auto extra = pres::OpCache::makeKey(
+        pres::Op::ProjectOut, bs, 99, 1);
+    cache.storeBool(ctx, extra, true);
+    EXPECT_EQ(cache.stats().evictions, 3u);
+    EXPECT_NE(cache.findBool(ctx, keys[2]), nullptr);
+    EXPECT_EQ(cache.findBool(ctx, keys[3]), nullptr); // now coldest
+}
+
+TEST(TuneDb, RoundTripsThroughDiskAndRejectsForeignFiles)
+{
+    std::string path =
+        testing::TempDir() + "polyfuse_tunedb_test.json";
+    std::remove(path.c_str());
+
+    pres::Fingerprinter fp;
+    fp.mix("tunedb-test-key");
+    auto key = fp.fingerprint();
+    {
+        perfmodel::TuneDb db(path); // missing file: empty store
+        EXPECT_EQ(db.size(), 0u);
+        perfmodel::TuneEntry entry;
+        entry.strategy = "ours";
+        entry.tiles = {32, 64};
+        entry.tier = "bytecode";
+        entry.modeledMs = 1.25;
+        entry.evaluated = 16;
+        db.put(key, entry);
+        ASSERT_TRUE(db.save());
+    }
+    {
+        perfmodel::TuneDb db(path);
+        EXPECT_EQ(db.size(), 1u);
+        perfmodel::TuneEntry got;
+        ASSERT_TRUE(db.find(key, &got));
+        EXPECT_EQ(got.strategy, "ours");
+        EXPECT_EQ(got.tiles, (std::vector<int64_t>{32, 64}));
+        EXPECT_EQ(got.tier, "bytecode");
+        EXPECT_DOUBLE_EQ(got.modeledMs, 1.25);
+        EXPECT_EQ(got.evaluated, 16u);
+    }
+    {
+        // A foreign/corrupt file fails the load (empty store).
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        ASSERT_NE(f, nullptr);
+        std::fputs("{\"version\": 2, \"entries\": []}", f);
+        std::fclose(f);
+        perfmodel::TuneDb db(path);
+        EXPECT_EQ(db.size(), 0u);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TuneDb, AutotuneWarmStartsFromTheStore)
+{
+    std::string path =
+        testing::TempDir() + "polyfuse_tunedb_autotune.json";
+    std::remove(path.c_str());
+
+    auto program = smallConv();
+    auto graph = deps::DependenceGraph::compute(*program);
+    auto init = [&](exec::Buffers &b) { fillInputs(*program, b); };
+    perfmodel::AutotuneOptions opts;
+    opts.candidates = {4, 8};
+    opts.dims = 2;
+
+    perfmodel::TuneDb db(path);
+    opts.db = &db;
+    auto cold = perfmodel::autotuneTileSizes(*program, graph, init,
+                                             opts);
+    EXPECT_FALSE(cold.warmStart);
+    EXPECT_EQ(cold.evaluated, 4u); // 2 candidates ^ 2 dims
+    ASSERT_EQ(cold.tileSizes.size(), 2u);
+
+    // Same store object and a fresh one loaded from disk both
+    // warm-start to the identical tiles without evaluating.
+    auto warm = perfmodel::autotuneTileSizes(*program, graph, init,
+                                             opts);
+    EXPECT_TRUE(warm.warmStart);
+    EXPECT_EQ(warm.evaluated, 0u);
+    EXPECT_EQ(warm.tileSizes, cold.tileSizes);
+
+    perfmodel::TuneDb reloaded(path);
+    opts.db = &reloaded;
+    auto warm2 = perfmodel::autotuneTileSizes(*program, graph, init,
+                                              opts);
+    EXPECT_TRUE(warm2.warmStart);
+    EXPECT_EQ(warm2.tileSizes, cold.tileSizes);
+
+    // A different search configuration is a different key: it
+    // re-tunes instead of reusing the stored entry.
+    perfmodel::AutotuneOptions other = opts;
+    other.candidates = {4, 8, 16};
+    auto retuned = perfmodel::autotuneTileSizes(*program, graph,
+                                                init, other);
+    EXPECT_FALSE(retuned.warmStart);
+    EXPECT_EQ(reloaded.size(), 2u);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace driver
+} // namespace polyfuse

@@ -161,10 +161,13 @@ TEST(Concurrency, CompileBatchInvariantInJobCount)
         SCOPED_TRACE(seq.jobs[i].name);
         EXPECT_EQ(par.jobs[i].name, seq.jobs[i].name);
         // Byte-identical code and FM work per job.
-        EXPECT_EQ(codegen::printCode(*par.jobs[i].program,
-                                     par.jobs[i].state.ast),
-                  codegen::printCode(*seq.jobs[i].program,
-                                     seq.jobs[i].state.ast));
+        EXPECT_EQ(
+            codegen::printCode(*par.jobs[i].artifact.image->program,
+                               par.jobs[i].artifact.image->ast),
+            codegen::printCode(*seq.jobs[i].artifact.image->program,
+                               seq.jobs[i].artifact.image->ast));
+        EXPECT_EQ(par.jobs[i].artifact.fingerprint,
+                  seq.jobs[i].artifact.fingerprint);
         EXPECT_EQ(par.jobs[i].fm.eliminations,
                   seq.jobs[i].fm.eliminations);
         EXPECT_EQ(par.jobs[i].fm.constraintsVisited,
@@ -188,8 +191,8 @@ TEST(Concurrency, CompileBatchInvariantInJobCount)
             }
             return s;
         };
-        EXPECT_EQ(stripMs(par.jobs[i].state.stats.json()),
-                  stripMs(seq.jobs[i].state.stats.json()));
+        EXPECT_EQ(stripMs(par.jobs[i].artifact.stats.json()),
+                  stripMs(seq.jobs[i].artifact.stats.json()));
     }
     // Batch failure capture: a throwing factory fails only its job.
     auto jobs = makeJobs();

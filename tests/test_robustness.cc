@@ -520,8 +520,8 @@ TEST_F(Robustness, TimeoutDowngradesButSucceeds)
     EXPECT_EQ(batch.downgradedCount(), 4u);
     for (const auto &j : batch.jobs) {
         EXPECT_TRUE(j.ok);
-        EXPECT_TRUE(j.state.downgraded());
-        EXPECT_EQ(j.state.effectiveStrategy, Strategy::Naive);
+        EXPECT_TRUE(j.artifact.downgraded());
+        EXPECT_EQ(j.artifact.effectiveStrategy, Strategy::Naive);
     }
     // Downgrades only fail the batch under --strict.
     EXPECT_EQ(batchExitCode(batch, false), 0);

@@ -12,6 +12,7 @@
 
 #include "support/intmath.hh"
 #include "support/logging.hh"
+#include "support/lru.hh"
 #include "support/rational.hh"
 #include "support/small_vec.hh"
 #include "support/strutil.hh"
@@ -293,6 +294,71 @@ TEST(ThreadPoolParallelFor, AutoGrainSplitsAcrossWorkers)
     });
     EXPECT_EQ(covered.load(), 100);
     EXPECT_GT(chunks.load(), 1);
+}
+
+TEST(LruMap, EvictsLeastRecentlyUsedFirst)
+{
+    LruMap<int, std::string> lru(3);
+    EXPECT_EQ(lru.insert(1, "a"), 0u);
+    EXPECT_EQ(lru.insert(2, "b"), 0u);
+    EXPECT_EQ(lru.insert(3, "c"), 0u);
+    // Touch 1 so 2 becomes the coldest.
+    ASSERT_NE(lru.find(1), nullptr);
+    EXPECT_EQ(lru.insert(4, "d"), 1u);
+    EXPECT_EQ(lru.find(2), nullptr); // evicted
+    EXPECT_NE(lru.find(1), nullptr);
+    EXPECT_NE(lru.find(3), nullptr);
+    EXPECT_NE(lru.find(4), nullptr);
+    EXPECT_EQ(lru.size(), 3u);
+}
+
+TEST(LruMap, WeightedCapacityAndOverwrite)
+{
+    LruMap<int, int> lru(10);
+    lru.insert(1, 100, 4);
+    lru.insert(2, 200, 4);
+    EXPECT_EQ(lru.weight(), 8u);
+    // Overwriting replaces the weight, it does not accumulate.
+    lru.insert(1, 101, 6);
+    EXPECT_EQ(lru.size(), 2u);
+    EXPECT_EQ(lru.weight(), 10u);
+    ASSERT_NE(lru.find(1), nullptr);
+    EXPECT_EQ(*lru.find(1), 101);
+    // One more unit evicts the coldest entry (2).
+    EXPECT_EQ(lru.insert(3, 300, 1), 1u);
+    EXPECT_EQ(lru.find(2), nullptr);
+}
+
+TEST(LruMap, SetCapacityShrinksAndFindIsStable)
+{
+    LruMap<int, int> lru(8);
+    for (int i = 0; i < 8; ++i)
+        lru.insert(i, i * 10);
+    int *p = lru.find(7);
+    ASSERT_NE(p, nullptr);
+    // Shrinking evicts the coldest entries; the bumped 7 survives,
+    // and its address stays valid (splice moves nodes, not values).
+    EXPECT_EQ(lru.setCapacity(2), 6u);
+    EXPECT_EQ(lru.size(), 2u);
+    EXPECT_EQ(lru.find(0), nullptr);
+    ASSERT_NE(lru.find(7), nullptr);
+    EXPECT_EQ(lru.find(7), p);
+    lru.clear();
+    EXPECT_EQ(lru.size(), 0u);
+    EXPECT_EQ(lru.weight(), 0u);
+}
+
+TEST(LruMap, OversizedEntryIsEvictedWithEverythingElse)
+{
+    // An entry heavier than the whole capacity cannot fit even
+    // alone: the insert evicts the old entries AND the new one.
+    LruMap<int, int> lru(4);
+    lru.insert(1, 10);
+    lru.insert(2, 20);
+    EXPECT_EQ(lru.insert(3, 30, 100), 3u);
+    EXPECT_EQ(lru.size(), 0u);
+    EXPECT_EQ(lru.weight(), 0u);
+    EXPECT_EQ(lru.find(3), nullptr);
 }
 
 TEST(ThreadPoolParallelFor, ExceptionsAreCapturedNotPropagated)
