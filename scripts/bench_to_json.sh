@@ -23,6 +23,12 @@
 #                             path lengths and bit-identical-buffer
 #                             verdicts; hardwareThreads records the
 #                             machine's concurrency
+#   BENCH_service.json        compile-service robustness baseline:
+#                             p50/p95/p99 client-observed latency for
+#                             warm compile+run and ping requests,
+#                             mean queue wait, flood ok/shed split
+#                             with recovery verdict, and the
+#                             transient-native retry/degrade verdict
 #
 # at the repository root. All benches compare the optimized
 # configuration (inline SmallVec rows + op cache) against the
@@ -44,7 +50,7 @@ if [ ! -f "$build/CMakeCache.txt" ]; then
 fi
 cmake --build "$build" -j "$jobs" \
     --target bench_presburger bench_compile_time bench_runtime \
-    bench_parallel bench_cache
+    bench_parallel bench_cache bench_service
 
 echo "== bench_presburger --json -> BENCH_presburger.json =="
 "$build/bench/bench_presburger" --json > "$src/BENCH_presburger.json"
@@ -57,6 +63,8 @@ echo "== bench_parallel --json -> BENCH_parallel.json =="
 "$build/bench/bench_parallel" --json > "$src/BENCH_parallel.json"
 echo "== bench_cache --json -> BENCH_cache.json =="
 "$build/bench/bench_cache" --json > "$src/BENCH_cache.json"
+echo "== bench_service --json -> BENCH_service.json =="
+"$build/bench/bench_service" --json > "$src/BENCH_service.json"
 
 # Surface the headline numbers; the benches already failed the
 # script (set -e) on any generated-code or buffer mismatch.
@@ -64,4 +72,5 @@ grep -o '"geomeanSpeedup": [0-9.]*' "$src/BENCH_compile_time.json"
 grep -o '"geomeanSpeedup": [0-9.]*' "$src/BENCH_runtime.json"
 grep -o '"geomeanSpeedup4": [0-9.]*' "$src/BENCH_parallel.json"
 grep -o '"geomeanWarmSpeedup": [0-9.]*' "$src/BENCH_cache.json"
+grep -o '"compileP99Ms": [0-9.]*' "$src/BENCH_service.json"
 echo "== perf baseline written =="

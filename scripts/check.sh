@@ -64,40 +64,47 @@ asan_supported() { sanitizer_supported -fsanitize=address; }
 # in the tile-graph parallel executor (the *Parallel* subset of
 # test_exec exercises the static and ready-queue paths at 2 and 8
 # threads) -- and in the sharded KernelCache (the KernelCache subset
-# of test_artifact hammers compile/lookup from 8 threads) -- show up
-# here as hard failures.
+# of test_artifact hammers compile/lookup from 8 threads) -- and in
+# the compile service's accept/reader/worker/drain machinery (the
+# whole of test_service runs a live daemon with concurrent clients)
+# -- show up here as hard failures.
 tsan_build_and_run() {
     echo "== configure + build with -fsanitize=thread =="
     cmake -B "$src/build-tsan" -S "$src" -DPOLYFUSE_TSAN=ON
     cmake --build "$src/build-tsan" -j "$jobs" \
         --target test_driver test_concurrency test_robustness \
-        test_exec test_artifact
+        test_exec test_artifact test_service
     echo "== run test_driver + test_concurrency + test_robustness" \
          "+ test_exec[*Parallel*] + test_artifact[KernelCache.*]" \
-         "under TSAN =="
+         "+ test_service under TSAN =="
     "$src/build-tsan/tests/test_driver"
     "$src/build-tsan/tests/test_concurrency"
     "$src/build-tsan/tests/test_robustness"
     "$src/build-tsan/tests/test_exec" --gtest_filter='*Parallel*'
     "$src/build-tsan/tests/test_artifact" \
         --gtest_filter='KernelCache.*'
+    "$src/build-tsan/tests/test_service"
     echo "== TSAN run OK =="
 }
 
 # Build the error-path-heavy test binaries under ASAN and run them
 # directly. Leaks or overflows on the budget/fallback/failpoint
 # unwind paths — and on the bytecode VM's strength-reduced access
-# offsets (tests/test_exec.cc) — show up here as hard failures.
+# offsets (tests/test_exec.cc) — and on the service's per-request
+# error/shed/drain unwind paths (tests/test_service.cc) — show up
+# here as hard failures.
 asan_build_and_run() {
     echo "== configure + build with -fsanitize=address =="
     cmake -B "$src/build-asan" -S "$src" -DPOLYFUSE_ASAN=ON
     cmake --build "$src/build-asan" -j "$jobs" \
-        --target test_robustness test_pres_parser test_exec
+        --target test_robustness test_pres_parser test_exec \
+        test_service
     echo "== run test_robustness + test_pres_parser + test_exec" \
-         "under ASAN =="
+         "+ test_service under ASAN =="
     "$src/build-asan/tests/test_robustness"
     "$src/build-asan/tests/test_pres_parser"
     "$src/build-asan/tests/test_exec"
+    "$src/build-asan/tests/test_service"
     echo "== ASAN run OK =="
 }
 

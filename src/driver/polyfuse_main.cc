@@ -15,6 +15,7 @@
  * merged JSON object with `--emit json`).
  */
 
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +33,8 @@
 #include "exec/kernel_cache.hh"
 #include "perfmodel/autotune.hh"
 #include "perfmodel/tune_db.hh"
+#include "service/client.hh"
+#include "service/server.hh"
 #include "support/budget.hh"
 #include "support/failpoint.hh"
 #include "support/thread_pool.hh"
@@ -109,6 +112,22 @@ usage(FILE *to)
         "  --emit c|cuda|tree|stats|json\n"
         "                        what to print (default: stats;\n"
         "                        --all supports stats and json)\n"
+        "  --serve SOCKET        run as a long-lived compile daemon\n"
+        "                        on the unix socket (SIGTERM or a\n"
+        "                        shutdown request drains gracefully)\n"
+        "  --serve-workers N     daemon compile workers (default 4)\n"
+        "  --queue-depth N       daemon admission cap; excess\n"
+        "                        requests are shed as 'overloaded'\n"
+        "                        (default 16)\n"
+        "  --drain-ms N          daemon drain deadline on shutdown\n"
+        "                        (default 2000)\n"
+        "  --connect SOCKET      send one request to a daemon and\n"
+        "                        print the response (uses --workload,\n"
+        "                        --strategy, --tiles, --exec, ...)\n"
+        "  --deadline-ms N       whole-request deadline for\n"
+        "                        --connect (queue + compile + run)\n"
+        "  --shutdown            with --connect: ask the daemon to\n"
+        "                        drain and exit\n"
         "  --list                list registered workloads\n"
         "  --help                this text\n");
 }
@@ -146,6 +165,16 @@ listWorkloads()
         std::printf("%-12s %-10s %s\n", w.name, tiles.c_str(),
                     w.description);
     }
+}
+
+/** Set by SIGTERM/SIGINT; the serve loop polls it (the handler must
+ *  stay async-signal-safe, so it only flips this flag). */
+volatile std::sig_atomic_t g_signal = 0;
+
+void
+onSignal(int)
+{
+    g_signal = 1;
 }
 
 } // namespace
@@ -227,6 +256,13 @@ main(int argc, char **argv)
     unsigned repeatN = 1;
     bool do_autotune = false;
     std::string tune_db_path;
+    std::string serve_path;
+    std::string connect_path;
+    unsigned serve_workers = 4;
+    size_t queue_depth = 16;
+    double drain_ms = 2000;
+    double deadline_ms = 0;
+    bool do_shutdown = false;
 
     auto value = [&](int &i) -> const char * {
         if (i + 1 >= argc) {
@@ -388,6 +424,55 @@ main(int argc, char **argv)
             do_autotune = true;
         } else if (arg == "--tune-db") {
             tune_db_path = value(i);
+        } else if (arg == "--serve") {
+            serve_path = value(i);
+        } else if (arg == "--serve-workers") {
+            char *end = nullptr;
+            const char *v = value(i);
+            long n = std::strtol(v, &end, 10);
+            if (!end || *end != '\0' || n < 0) {
+                std::fprintf(stderr,
+                             "polyfuse: bad --serve-workers '%s'\n",
+                             v);
+                return 2;
+            }
+            serve_workers = unsigned(n);
+        } else if (arg == "--queue-depth") {
+            char *end = nullptr;
+            const char *v = value(i);
+            long n = std::strtol(v, &end, 10);
+            if (!end || *end != '\0' || n <= 0) {
+                std::fprintf(stderr,
+                             "polyfuse: bad --queue-depth '%s'\n",
+                             v);
+                return 2;
+            }
+            queue_depth = size_t(n);
+        } else if (arg == "--drain-ms") {
+            char *end = nullptr;
+            const char *v = value(i);
+            double ms = std::strtod(v, &end);
+            if (!end || *end != '\0' || ms < 0) {
+                std::fprintf(stderr,
+                             "polyfuse: bad --drain-ms '%s'\n", v);
+                return 2;
+            }
+            drain_ms = ms;
+        } else if (arg == "--connect") {
+            connect_path = value(i);
+        } else if (arg == "--deadline-ms") {
+            char *end = nullptr;
+            const char *v = value(i);
+            double ms = std::strtod(v, &end);
+            if (!end || *end != '\0' || ms <= 0) {
+                std::fprintf(stderr,
+                             "polyfuse: bad --deadline-ms '%s'\n",
+                             v);
+                return 2;
+            }
+            deadline_ms = ms;
+        } else if (arg == "--shutdown") {
+            do_shutdown = true;
         } else if (arg == "--emit") {
             emit = value(i);
         } else {
@@ -404,6 +489,103 @@ main(int argc, char **argv)
                      emit.c_str());
         return 2;
     }
+
+    // Daemon mode: serve compile requests until SIGTERM/SIGINT or a
+    // shutdown request, then drain gracefully.
+    if (!serve_path.empty()) {
+        if (all || !workload.empty() || !connect_path.empty()) {
+            std::fprintf(stderr,
+                         "polyfuse: --serve excludes --all, "
+                         "--workload and --connect\n");
+            return 2;
+        }
+        std::unique_ptr<perfmodel::TuneDb> db;
+        if (!tune_db_path.empty())
+            db = std::make_unique<perfmodel::TuneDb>(tune_db_path);
+        service::ServerOptions sopts;
+        sopts.workers = serve_workers;
+        sopts.maxQueueDepth = queue_depth;
+        sopts.drainMs = drain_ms;
+        sopts.tuneDb = db.get();
+        if (cache_bytes)
+            exec::KernelCache::process().setCapacityBytes(
+                cache_bytes);
+        service::Server server(serve_path, sopts);
+        std::string err;
+        if (!server.start(&err)) {
+            std::fprintf(stderr, "polyfuse: --serve: %s\n",
+                         err.c_str());
+            return 1;
+        }
+        std::signal(SIGTERM, onSignal);
+        std::signal(SIGINT, onSignal);
+        std::fprintf(stderr,
+                     "polyfuse: serving on %s (%u workers, queue "
+                     "depth %zu)\n",
+                     serve_path.c_str(),
+                     sopts.workers ? sopts.workers
+                                   : ThreadPool::defaultThreads(),
+                     sopts.maxQueueDepth);
+        server.run([] { return g_signal != 0; });
+        std::fprintf(stderr, "polyfuse: daemon drained, exiting\n");
+        return 0;
+    }
+
+    // Client mode: one request against a serving daemon.
+    if (!connect_path.empty()) {
+        service::Client client;
+        std::string err;
+        if (!client.connect(connect_path, &err)) {
+            std::fprintf(stderr, "polyfuse: --connect: %s\n",
+                         err.c_str());
+            return 1;
+        }
+        service::Request req;
+        req.id = 1;
+        if (do_shutdown) {
+            req.op = "shutdown";
+        } else {
+            if (workload.empty()) {
+                std::fprintf(stderr,
+                             "polyfuse: --connect needs --workload "
+                             "(or --shutdown)\n");
+                return 2;
+            }
+            req.op = "compile";
+            req.workload = workload;
+            if (rows_given)
+                req.rows = params.rows;
+            if (cols_given)
+                req.cols = params.cols;
+            req.strategy = driver::strategyName(opts.strategy);
+            if (tiles_given) {
+                req.tiles = opts.tileSizes;
+                req.tilesGiven = true;
+            }
+            req.innerTiles = opts.innerTileSizes;
+            req.tier = exec::tierName(tier);
+            req.run = do_run;
+            req.deadlineMs = deadline_ms;
+            req.threads = run_threads;
+            req.par = exec::parStrategyName(par);
+        }
+        service::Response resp;
+        if (!client.call(req, &resp, &err)) {
+            std::fprintf(stderr, "polyfuse: --connect: %s\n",
+                         err.c_str());
+            return 1;
+        }
+        std::printf("%s\n",
+                    service::encodeResponse(resp).c_str());
+        if (!resp.ok) {
+            std::fprintf(stderr, "polyfuse: %s: %s\n",
+                         service::errorKindName(resp.kind),
+                         resp.message.c_str());
+            return 1;
+        }
+        return 0;
+    }
+
     if (all) {
         if (!workload.empty()) {
             std::fprintf(stderr, "polyfuse: --all and --workload "

@@ -8,17 +8,22 @@ namespace polyfuse {
 namespace exec {
 
 const NativeKernel *
-KernelImage::ensureNative(std::string *reason) const
+KernelImage::ensureNative(std::string *reason, bool *transient) const
 {
     std::lock_guard<std::mutex> lock(nativeMu_);
     if (!nativeTried_) {
-        nativeTried_ = true;
         native_ = NativeKernel::compile(*program, ast);
+        // Memoize success and permanent failure; a transient failure
+        // stays un-memoized so a retrying caller gets a fresh
+        // attempt instead of the stale verdict.
+        nativeTried_ = native_.ok() || !native_.transient();
     }
     if (native_.ok())
         return &native_;
     if (reason)
         *reason = native_.reason();
+    if (transient)
+        *transient = native_.transient();
     return nullptr;
 }
 

@@ -58,11 +58,16 @@ struct KernelImage
 
     /**
      * The native-tier kernel, compiled+dlopen'ed on first request
-     * (thread-safe, memoized including failure). @return null when
-     * the native tier is unavailable, with the reason in @p reason
-     * (when non-null).
+     * (thread-safe). Success and *permanent* failures (no toolchain,
+     * missing symbol) are memoized; *transient* failures (flaky cc,
+     * failed dlopen, full /tmp) are not, so a later call -- e.g. the
+     * compile service's retry-with-backoff -- re-attempts the
+     * compile. @return null when the native tier is unavailable,
+     * with the reason in @p reason and the transient/permanent
+     * classification in @p transient (each when non-null).
      */
-    const NativeKernel *ensureNative(std::string *reason = nullptr)
+    const NativeKernel *ensureNative(std::string *reason = nullptr,
+                                     bool *transient = nullptr)
         const;
 
   private:

@@ -522,13 +522,19 @@ NativeKernel::compile(const Program &program, const AstPtr &ast)
         failpoints::hit("exec.native.compile");
         const std::string &cc = compilerPath();
         if (cc.empty()) {
+            // Permanent: no toolchain will appear between retries.
             k.reason_ = "no C compiler found (cc/gcc/clang)";
             return k;
         }
+        // Everything past the toolchain probe can fail transiently
+        // (full /tmp, a flaky cc fork, dlopen under memory
+        // pressure); this site lets tests force exactly that class.
+        failpoints::hit("exec.native.transient");
 
         char tmpl[] = "/tmp/pf_native_XXXXXX";
         if (!mkdtemp(tmpl)) {
             k.reason_ = "mkdtemp failed";
+            k.transient_ = true;
             return k;
         }
         std::string dir = tmpl;
@@ -545,6 +551,7 @@ NativeKernel::compile(const Program &program, const AstPtr &ast)
             src << emitNativeSource(program, ast);
             if (!src) {
                 k.reason_ = "failed to write " + src_path;
+                k.transient_ = true;
                 cleanup();
                 return k;
             }
@@ -557,6 +564,7 @@ NativeKernel::compile(const Program &program, const AstPtr &ast)
                           src_path + " -lm > /dev/null 2>&1";
         if (std::system(cmd.c_str()) != 0) {
             k.reason_ = "native compile failed (" + cc + ")";
+            k.transient_ = true;
             cleanup();
             return k;
         }
@@ -567,6 +575,7 @@ NativeKernel::compile(const Program &program, const AstPtr &ast)
             const char *err = dlerror();
             k.reason_ = std::string("dlopen failed: ") +
                         (err ? err : "unknown");
+            k.transient_ = true;
             cleanup();
             return k;
         }
@@ -577,14 +586,22 @@ NativeKernel::compile(const Program &program, const AstPtr &ast)
         // The object stays mapped; the files can go away now.
         cleanup();
         if (!handle->fn) {
+            // Permanent: the emitted source is wrong, not the
+            // environment; recompiling yields the same object.
             k.reason_ = "pf_kernel symbol missing";
             return k;
         }
         k.handle_ = std::move(handle);
         k.reason_.clear();
+        k.transient_ = false;
     } catch (const std::exception &e) {
+        // An exception out of the compile/load machinery (including
+        // an armed failpoint) is environmental as far as this layer
+        // can tell: classify transient so callers retry then
+        // degrade, never crash.
         k.handle_.reset();
         k.reason_ = std::string("native tier failed: ") + e.what();
+        k.transient_ = true;
     }
     return k;
 }

@@ -16,9 +16,15 @@
  * Everything degrades gracefully: no compiler on PATH, a failed
  * compile, or a failed dlopen yield a NativeKernel with ok() ==
  * false and a human-readable reason(); exec/engine.hh then falls
- * back to the bytecode tier. The compile and load steps carry the
- * failpoints `exec.native.compile` and `exec.native.dlopen` so the
- * robustness suite can force each failure deterministically.
+ * back to the bytecode tier. Failures additionally classify as
+ * transient (a flaky `cc` invocation, a failed dlopen, a full or
+ * unwritable /tmp -- conditions that can clear on their own) or
+ * permanent (no toolchain at all, a missing kernel symbol --
+ * retrying cannot help), which is what the compile service's
+ * retry-with-backoff keys on. The compile and load steps carry the
+ * failpoints `exec.native.compile`, `exec.native.transient` and
+ * `exec.native.dlopen` so the robustness suite can force each
+ * failure deterministically.
  */
 
 #ifndef POLYFUSE_EXEC_NATIVE_HH
@@ -63,6 +69,10 @@ class NativeKernel
     /** Why compile() produced a non-runnable kernel. */
     const std::string &reason() const { return reason_; }
 
+    /** True when the failure is worth retrying (see file comment);
+     *  meaningless when ok(). */
+    bool transient() const { return transient_; }
+
     /**
      * Run the kernel over @p buffers. Only wall-clock seconds is
      * populated in the returned stats -- machine code carries no
@@ -78,6 +88,7 @@ class NativeKernel
 
     std::shared_ptr<Handle> handle_;
     std::string reason_ = "not compiled";
+    bool transient_ = false;
 };
 
 } // namespace exec

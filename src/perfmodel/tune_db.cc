@@ -5,10 +5,23 @@
 #include <fstream>
 #include <sstream>
 
+#include "pres/row_hash.hh"
+#include "support/logging.hh"
+
 namespace polyfuse {
 namespace perfmodel {
 
 namespace {
+
+/** Format @p ms exactly as save() writes it; the checksum covers
+ *  this spelling so text -> strtod -> text round trips verify. */
+std::string
+canonicalMs(double ms)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", ms);
+    return std::string(buf);
+}
 
 /**
  * A tiny recursive-descent reader for exactly the subset save()
@@ -87,7 +100,8 @@ struct Reader
 };
 
 bool
-parseEntry(Reader &r, std::string *fp_hex, TuneEntry *entry)
+parseEntry(Reader &r, std::string *fp_hex, TuneEntry *entry,
+           std::string *crc_hex)
 {
     if (!r.lit('{'))
         return false;
@@ -104,6 +118,9 @@ parseEntry(Reader &r, std::string *fp_hex, TuneEntry *entry)
             return false;
         if (key == "fp") {
             if (!r.string(fp_hex))
+                return false;
+        } else if (key == "crc") {
+            if (!r.string(crc_hex))
                 return false;
         } else if (key == "strategy") {
             if (!r.string(&entry->strategy))
@@ -142,6 +159,37 @@ parseEntry(Reader &r, std::string *fp_hex, TuneEntry *entry)
 
 } // namespace
 
+uint64_t
+recordChecksum(const std::string &fp_hex, const TuneEntry &entry)
+{
+    uint64_t h = pres::kFnvOffset;
+    auto mixStr = [&h](const std::string &s) {
+        h = pres::fnvMix(h, uint64_t(s.size()));
+        for (char c : s) {
+            h ^= uint8_t(c);
+            h *= pres::kFnvPrime;
+        }
+    };
+    mixStr(fp_hex);
+    mixStr(entry.strategy);
+    mixStr(entry.tier);
+    h = pres::fnvMix(h, uint64_t(entry.tiles.size()));
+    for (int64_t t : entry.tiles)
+        h = pres::fnvMix(h, uint64_t(t));
+    mixStr(canonicalMs(entry.modeledMs));
+    h = pres::fnvMix(h, entry.evaluated);
+    return pres::hashFinalize(h);
+}
+
+std::string
+checksumHex(uint64_t crc)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  (unsigned long long)crc);
+    return std::string(buf);
+}
+
 TuneDb::TuneDb(std::string path) : path_(std::move(path))
 {
     load();
@@ -152,6 +200,7 @@ TuneDb::load()
 {
     std::lock_guard<std::mutex> lock(mu_);
     entries_.clear();
+    lastLoadDropped_ = 0;
     std::ifstream in(path_);
     if (!in.is_open())
         return true; // missing file: an empty store
@@ -159,51 +208,81 @@ TuneDb::load()
     buf << in.rdbuf();
     std::string text = buf.str();
 
+    // The header must spell `{"version": 1` before anything else
+    // (save() always writes it first). A wrong or missing version is
+    // a foreign file, not bit rot: refuse it wholesale rather than
+    // salvaging records whose semantics we cannot vouch for.
     Reader r(text);
-    if (!r.lit('{'))
-        return false;
-    bool saw_version = false;
-    bool first = true;
-    std::map<std::string, TuneEntry> parsed;
-    while (true) {
-        r.ws();
-        if (r.lit('}'))
-            break;
-        if (!first && !r.lit(','))
-            return false;
-        first = false;
+    {
+        double v;
         std::string key;
-        if (!r.string(&key) || !r.lit(':'))
-            return false;
-        if (key == "version") {
-            double v;
-            if (!r.number(&v) || v != 1)
-                return false;
-            saw_version = true;
-        } else if (key == "entries") {
-            if (!r.lit('['))
-                return false;
-            if (!r.lit(']')) {
-                do {
-                    std::string hex;
-                    TuneEntry entry;
-                    pres::Fingerprint fp;
-                    if (!parseEntry(r, &hex, &entry) ||
-                        !pres::parseFingerprint(hex, &fp))
-                        return false;
-                    parsed[hex] = std::move(entry);
-                } while (r.lit(','));
-                if (!r.lit(']'))
-                    return false;
-            }
-        } else {
+        if (!r.lit('{') || !r.string(&key) || key != "version" ||
+            !r.lit(':') || !r.number(&v) || v != 1) {
+            warn("tune db " + path_ +
+                 ": not a version-1 polyfuse store; starting empty");
             return false;
         }
     }
-    if (!saw_version)
-        return false;
+
+    // From here on the file is ours, so damage means truncation or
+    // bit rot. Salvage every record whose per-record checksum still
+    // verifies; drop (and count) the rest. A structurally broken
+    // record aborts its parse mid-stream, so resync by scanning for
+    // the next record header instead of giving up on the tail.
+    std::map<std::string, TuneEntry> parsed;
+    bool structure_ok = false;
+    if (r.lit(',')) {
+        std::string key;
+        if (r.string(&key) && key == "entries" && r.lit(':') &&
+            r.lit('[')) {
+            if (r.lit(']')) {
+                structure_ok = r.lit('}');
+            } else {
+                while (true) {
+                    size_t start = r.pos;
+                    std::string hex, crc;
+                    TuneEntry entry;
+                    pres::Fingerprint fp;
+                    bool ok =
+                        parseEntry(r, &hex, &entry, &crc) &&
+                        pres::parseFingerprint(hex, &fp) &&
+                        crc == checksumHex(recordChecksum(hex, entry));
+                    if (ok) {
+                        parsed[hex] = std::move(entry);
+                        if (r.lit(','))
+                            continue;
+                        structure_ok = r.lit(']') && r.lit('}');
+                        break;
+                    }
+                    ++lastLoadDropped_;
+                    // Resync: the next record opens with the "fp"
+                    // key save() always emits first. `start` may sit
+                    // on whitespace before the failed record's own
+                    // header, so locate that header first and search
+                    // strictly past it -- otherwise the same damaged
+                    // record would be re-parsed and double-counted.
+                    size_t here = text.find("{\"fp\"", start);
+                    size_t next =
+                        here == std::string::npos
+                            ? std::string::npos
+                            : text.find("{\"fp\"", here + 1);
+                    if (next == std::string::npos)
+                        break;
+                    r.pos = next;
+                }
+            }
+        }
+    }
+
     entries_ = std::move(parsed);
-    return true;
+    if (lastLoadDropped_ == 0 && structure_ok)
+        return true;
+    warn("tune db " + path_ + ": dropped " +
+         std::to_string(lastLoadDropped_) +
+         " corrupt record(s), kept " +
+         std::to_string(entries_.size()) +
+         "; next save() rewrites a clean store");
+    return false;
 }
 
 bool
@@ -231,6 +310,8 @@ TuneDb::save() const
         std::snprintf(buf, sizeof(buf), "%.6f", e.modeledMs);
         out += ", \"modeledMs\": " + std::string(buf);
         out += ", \"evaluated\": " + std::to_string(e.evaluated);
+        out += ", \"crc\": \"" +
+               checksumHex(recordChecksum(kv.first, e)) + "\"";
         out += "}";
     }
     out += "]}\n";
@@ -274,6 +355,13 @@ TuneDb::size() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return entries_.size();
+}
+
+size_t
+TuneDb::lastLoadDropped() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return lastLoadDropped_;
 }
 
 } // namespace perfmodel

@@ -11,7 +11,17 @@
  *   {"version": 1, "entries": [
  *     {"fp": "<32 hex digits>", "strategy": "ours",
  *      "tiles": [64, 128], "tier": "bytecode",
- *      "modeledMs": 1.234, "evaluated": 49}, ...]}
+ *      "modeledMs": 1.234, "evaluated": 49,
+ *      "crc": "<16 hex digits>"}, ...]}
+ *
+ * Each record carries its own checksum (FNV-1a over a canonical
+ * serialization of the record, pres/row_hash.hh mixing). A store is
+ * long-lived mutable state on disk, so load() assumes bit rot
+ * happens: records whose checksum fails -- byte flips, hand edits,
+ * truncated tails -- are dropped with a warning while every
+ * verifying record is salvaged, and the next save() rewrites a
+ * clean file. Only a wrong/missing version (a foreign file, not our
+ * damage) rejects the whole store.
  *
  * Keys are pres::Fingerprint::hex() spellings of whatever the caller
  * fingerprinted -- autotuneTileSizes keys on the program structure
@@ -64,10 +74,17 @@ class TuneDb
 
     /**
      * (Re-)read the store from disk, replacing the in-memory map.
-     * @return false (leaving the map empty) on unreadable files,
-     * malformed JSON, or an unknown version.
+     * Damage-tolerant: records failing their per-record checksum
+     * are dropped (counted in lastLoadDropped()) and the rest are
+     * salvaged. @return true only for a fully clean load; false
+     * after any salvage, or -- with an empty map -- for foreign
+     * files (wrong/missing version).
      */
     bool load();
+
+    /** Records dropped by the most recent load() (corrupt or
+     *  checksum-mismatched). */
+    size_t lastLoadDropped() const;
 
     /** Write the store atomically (temp + rename). @return false
      *  when the file cannot be written. */
@@ -87,7 +104,16 @@ class TuneDb
     std::string path_;
     /** Keyed by Fingerprint::hex(): sorted, so save() is stable. */
     std::map<std::string, TuneEntry> entries_;
+    size_t lastLoadDropped_ = 0;
 };
+
+/** The per-record checksum save() stores under "crc" (exposed for
+ *  tests that fabricate corrupt stores). */
+uint64_t recordChecksum(const std::string &fp_hex,
+                        const TuneEntry &entry);
+
+/** @p crc as the 16-hex-digit spelling used on disk. */
+std::string checksumHex(uint64_t crc);
 
 } // namespace perfmodel
 } // namespace polyfuse

@@ -1,0 +1,100 @@
+#include "service/client.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace polyfuse {
+namespace service {
+
+Client::~Client()
+{
+    close();
+}
+
+Client::Client(Client &&other) noexcept : fd_(other.fd_)
+{
+    other.fd_ = -1;
+}
+
+Client &
+Client::operator=(Client &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+bool
+Client::connect(const std::string &path, std::string *error)
+{
+    close();
+    sockaddr_un addr;
+    if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+        if (error)
+            *error = "socket path empty or too long";
+        return false;
+    }
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        if (error)
+            *error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size());
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        if (error)
+            *error = std::string("connect ") + path + ": " +
+                     std::strerror(errno);
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::call(const Request &req, Response *resp, std::string *error)
+{
+    if (fd_ < 0) {
+        if (error)
+            *error = "not connected";
+        return false;
+    }
+    if (!writeFrame(fd_, encodeRequest(req), error)) {
+        close();
+        return false;
+    }
+    std::string payload;
+    FrameStatus st = readFrame(fd_, &payload, error);
+    if (st != FrameStatus::Ok) {
+        if (st == FrameStatus::Eof && error)
+            *error = "server closed the connection";
+        close();
+        return false;
+    }
+    if (!decodeResponse(payload, resp, error)) {
+        close();
+        return false;
+    }
+    return true;
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+} // namespace service
+} // namespace polyfuse

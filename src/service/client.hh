@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Client side of the compile service: connect to a `polyfuse
+ * --serve` socket, send one Request per call(), read the matching
+ * Response -- `polyfuse --connect <socket>` and the service tests
+ * both go through this class.
+ *
+ * The client is deliberately synchronous (one outstanding request
+ * per connection); concurrency comes from opening more connections,
+ * which is also how the tests exercise the server's admission
+ * control and per-connection fault isolation.
+ */
+
+#ifndef POLYFUSE_SERVICE_CLIENT_HH
+#define POLYFUSE_SERVICE_CLIENT_HH
+
+#include <string>
+
+#include "service/protocol.hh"
+
+namespace polyfuse {
+namespace service {
+
+/** One connection to a serving daemon. */
+class Client
+{
+  public:
+    Client() = default;
+
+    /** Closes the connection. */
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+    Client(Client &&other) noexcept;
+    Client &operator=(Client &&other) noexcept;
+
+    /** Connect to the unix socket at @p path. @return false with a
+     *  diagnostic when the daemon is not reachable. */
+    bool connect(const std::string &path, std::string *error);
+
+    /** True while the socket is open. */
+    bool connected() const { return fd_ >= 0; }
+
+    /**
+     * Send @p req and block for the response. @return false with a
+     * diagnostic on transport errors (the connection is then dead);
+     * typed service errors come back as resp->ok == false with
+     * resp->kind set and are *not* transport failures.
+     */
+    bool call(const Request &req, Response *resp,
+              std::string *error);
+
+    /** Close the connection (idempotent). */
+    void close();
+
+    int fd() const { return fd_; }
+
+  private:
+    int fd_ = -1;
+};
+
+} // namespace service
+} // namespace polyfuse
+
+#endif // POLYFUSE_SERVICE_CLIENT_HH

@@ -1,0 +1,311 @@
+#include "support/json.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace polyfuse {
+namespace json {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+struct Parser
+{
+    const std::string &s;
+    size_t pos = 0;
+    std::string error;
+
+    explicit Parser(const std::string &text) : s(text) {}
+
+    bool
+    fail(const std::string &msg)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), " at offset %zu", pos);
+        error = msg + buf;
+        return false;
+    }
+
+    void
+    ws()
+    {
+        while (pos < s.size() &&
+               (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                s[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        size_t n = 0;
+        while (word[n])
+            ++n;
+        if (s.compare(pos, n, word) != 0)
+            return fail(std::string("expected '") + word + "'");
+        pos += n;
+        return true;
+    }
+
+    /** Append codepoint @p cp as UTF-8. */
+    static void
+    appendUtf8(std::string *out, uint32_t cp)
+    {
+        if (cp < 0x80) {
+            out->push_back(char(cp));
+        } else if (cp < 0x800) {
+            out->push_back(char(0xc0 | (cp >> 6)));
+            out->push_back(char(0x80 | (cp & 0x3f)));
+        } else {
+            out->push_back(char(0xe0 | (cp >> 12)));
+            out->push_back(char(0x80 | ((cp >> 6) & 0x3f)));
+            out->push_back(char(0x80 | (cp & 0x3f)));
+        }
+    }
+
+    bool
+    parseString(std::string *out)
+    {
+        if (pos >= s.size() || s[pos] != '"')
+            return fail("expected string");
+        ++pos;
+        out->clear();
+        while (pos < s.size()) {
+            unsigned char c = s[pos];
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (c < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                out->push_back(char(c));
+                ++pos;
+                continue;
+            }
+            ++pos; // backslash
+            if (pos >= s.size())
+                return fail("truncated escape");
+            char e = s[pos++];
+            switch (e) {
+              case '"': out->push_back('"'); break;
+              case '\\': out->push_back('\\'); break;
+              case '/': out->push_back('/'); break;
+              case 'b': out->push_back('\b'); break;
+              case 'f': out->push_back('\f'); break;
+              case 'n': out->push_back('\n'); break;
+              case 'r': out->push_back('\r'); break;
+              case 't': out->push_back('\t'); break;
+              case 'u': {
+                if (pos + 4 > s.size())
+                    return fail("truncated \\u escape");
+                uint32_t cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = s[pos++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= uint32_t(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= uint32_t(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= uint32_t(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape digit");
+                }
+                // Surrogates would need pairing; the protocol never
+                // emits them, so refuse rather than mis-decode.
+                if (cp >= 0xd800 && cp <= 0xdfff)
+                    return fail("surrogate \\u escape unsupported");
+                appendUtf8(out, cp);
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(double *out)
+    {
+        size_t start = pos;
+        if (pos < s.size() && s[pos] == '-')
+            ++pos;
+        while (pos < s.size() &&
+               ((s[pos] >= '0' && s[pos] <= '9') || s[pos] == '.' ||
+                s[pos] == 'e' || s[pos] == 'E' || s[pos] == '+' ||
+                s[pos] == '-'))
+            ++pos;
+        if (pos == start) {
+            pos = start;
+            return fail("expected number");
+        }
+        std::string tok = s.substr(start, pos - start);
+        char *end = nullptr;
+        double v = std::strtod(tok.c_str(), &end);
+        if (!end || *end != '\0') {
+            pos = start;
+            return fail("malformed number");
+        }
+        *out = v;
+        return true;
+    }
+
+    bool
+    parseValue(Value *out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        ws();
+        if (pos >= s.size())
+            return fail("unexpected end of input");
+        char c = s[pos];
+        if (c == '"') {
+            out->kind = Value::Kind::String;
+            return parseString(&out->string);
+        }
+        if (c == '{') {
+            ++pos;
+            out->kind = Value::Kind::Object;
+            ws();
+            if (pos < s.size() && s[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            while (true) {
+                ws();
+                std::string key;
+                if (!parseString(&key))
+                    return false;
+                for (const auto &kv : out->object)
+                    if (kv.first == key)
+                        return fail("duplicate key \"" + key + "\"");
+                ws();
+                if (pos >= s.size() || s[pos] != ':')
+                    return fail("expected ':'");
+                ++pos;
+                Value v;
+                if (!parseValue(&v, depth + 1))
+                    return false;
+                out->object.emplace_back(std::move(key),
+                                         std::move(v));
+                ws();
+                if (pos < s.size() && s[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                if (pos < s.size() && s[pos] == '}') {
+                    ++pos;
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            out->kind = Value::Kind::Array;
+            ws();
+            if (pos < s.size() && s[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            while (true) {
+                Value v;
+                if (!parseValue(&v, depth + 1))
+                    return false;
+                out->array.push_back(std::move(v));
+                ws();
+                if (pos < s.size() && s[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                if (pos < s.size() && s[pos] == ']') {
+                    ++pos;
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (c == 't') {
+            out->kind = Value::Kind::Bool;
+            out->boolean = true;
+            return literal("true");
+        }
+        if (c == 'f') {
+            out->kind = Value::Kind::Bool;
+            out->boolean = false;
+            return literal("false");
+        }
+        if (c == 'n') {
+            out->kind = Value::Kind::Null;
+            return literal("null");
+        }
+        out->kind = Value::Kind::Number;
+        return parseNumber(&out->number);
+    }
+};
+
+} // namespace
+
+const Value *
+Value::get(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &kv : object)
+        if (kv.first == key)
+            return &kv.second;
+    return nullptr;
+}
+
+bool
+parse(const std::string &text, Value *out, std::string *error)
+{
+    Parser p(text);
+    Value v;
+    if (!p.parseValue(&v, 0)) {
+        if (error)
+            *error = p.error;
+        return false;
+    }
+    p.ws();
+    if (p.pos != text.size()) {
+        if (error) {
+            p.fail("trailing garbage");
+            *error = p.error;
+        }
+        return false;
+    }
+    *out = std::move(v);
+    return true;
+}
+
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(char(c));
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace json
+} // namespace polyfuse

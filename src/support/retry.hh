@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Deterministic retry-with-exponential-backoff policy for *transient*
+ * failures (a flaky `cc` fork, a failed dlopen, a full /tmp). The
+ * policy is pure arithmetic -- attempt k sleeps
+ * min(baseMs * multiplier^k, capMs) milliseconds -- so tests can
+ * assert the exact schedule, and the sleep itself is an injectable
+ * hook so tests run in microseconds while recording every delay.
+ *
+ * The decision table the compile service implements with this
+ * (DESIGN.md section 11):
+ *
+ *   transient native-tier failure   retry per this policy, then
+ *                                   degrade to the bytecode tier
+ *   permanent native-tier failure   degrade immediately, no retry
+ *   BudgetExceeded                  never retried here; it rides the
+ *                                   driver's strategy-fallback ladder
+ *   FatalError / PanicError         never retried; reported as a
+ *                                   typed error (the input or the
+ *                                   library is wrong -- again would
+ *                                   fail again)
+ */
+
+#ifndef POLYFUSE_SUPPORT_RETRY_HH
+#define POLYFUSE_SUPPORT_RETRY_HH
+
+#include <chrono>
+#include <functional>
+#include <thread>
+
+namespace polyfuse {
+
+/** Exponential-backoff schedule for transient failures. */
+struct RetryPolicy
+{
+    /** Total attempts, including the first (>= 1; at most
+     *  attempts - 1 retries happen). */
+    unsigned attempts = 3;
+
+    /** Delay before the first retry, in milliseconds. */
+    double baseMs = 1.0;
+
+    /** Ceiling on any single delay, in milliseconds. */
+    double capMs = 50.0;
+
+    /** Growth factor between consecutive retries. */
+    double multiplier = 2.0;
+
+    /** Test hook: when set, backoff() calls this instead of really
+     *  sleeping (the argument is the computed delay in ms). */
+    std::function<void(double)> sleep;
+
+    /** The delay before retry number @p retry (0-based), in
+     *  milliseconds: min(baseMs * multiplier^retry, capMs).
+     *  Deterministic -- no jitter -- so schedules are testable and
+     *  fleet behaviour is reproducible. */
+    double
+    delayMs(unsigned retry) const
+    {
+        double d = baseMs;
+        for (unsigned i = 0; i < retry; ++i) {
+            d *= multiplier;
+            if (d >= capMs)
+                return capMs;
+        }
+        return d < capMs ? d : capMs;
+    }
+
+    /** True when retry number @p retry (0-based) is allowed, i.e.
+     *  attempt retry+2 would still be within `attempts`. */
+    bool
+    shouldRetry(unsigned retry) const
+    {
+        return retry + 1 < attempts;
+    }
+
+    /** Sleep (or invoke the test hook) for delayMs(retry). */
+    void
+    backoff(unsigned retry) const
+    {
+        double ms = delayMs(retry);
+        if (sleep) {
+            sleep(ms);
+            return;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(ms));
+    }
+};
+
+} // namespace polyfuse
+
+#endif // POLYFUSE_SUPPORT_RETRY_HH

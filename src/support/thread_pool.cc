@@ -1,6 +1,7 @@
 #include "support/thread_pool.hh"
 
 #include <algorithm>
+#include <chrono>
 
 namespace polyfuse {
 
@@ -24,15 +25,20 @@ ThreadPool::~ThreadPool()
         w.join();
 }
 
-void
+bool
 ThreadPool::submit(std::function<void()> job)
 {
     {
         std::lock_guard<std::mutex> lock(mutex_);
+        if (draining_) {
+            ++rejected_;
+            return false; // `job` destroyed here: RAII guards fire
+        }
         queue_.push_back(std::move(job));
         ++pending_;
     }
     workReady_.notify_one();
+    return true;
 }
 
 void
@@ -40,6 +46,52 @@ ThreadPool::wait()
 {
     std::unique_lock<std::mutex> lock(mutex_);
     allDone_.wait(lock, [this] { return pending_ == 0; });
+}
+
+ThreadPool::DrainResult
+ThreadPool::drain(double deadlineMs)
+{
+    DrainResult result;
+    std::deque<std::function<void()>> dropped;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        draining_ = true;
+        auto done = [this] { return pending_ == 0; };
+        if (deadlineMs <= 0) {
+            allDone_.wait(lock, done);
+        } else {
+            allDone_.wait_for(
+                lock,
+                std::chrono::duration<double, std::milli>(deadlineMs),
+                done);
+        }
+        result.abandoned = queue_.size();
+        result.completed = pending_ == 0;
+        if (!queue_.empty()) {
+            // Destroy abandoned jobs outside the lock: their RAII
+            // guards may call back into thread-safe pool accessors.
+            dropped.swap(queue_);
+            pending_ -= dropped.size();
+            if (pending_ == 0)
+                allDone_.notify_all();
+        }
+    }
+    dropped.clear();
+    return result;
+}
+
+bool
+ThreadPool::draining() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return draining_;
+}
+
+size_t
+ThreadPool::rejectedCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rejected_;
 }
 
 void
@@ -95,12 +147,20 @@ ThreadPool::parallelFor(int64_t begin, int64_t end, int64_t grain,
 
     for (int64_t lo = begin; lo < end; lo += grain) {
         int64_t hi = std::min(lo + grain, end);
-        submit([&guarded, &sync, lo, hi] {
+        bool queued = submit([&guarded, &sync, lo, hi] {
             guarded(lo, hi);
             std::lock_guard<std::mutex> lock(sync.m);
             if (--sync.left == 0)
                 sync.done.notify_all();
         });
+        if (!queued) {
+            // Intake closed by drain(): run the chunk inline so the
+            // index space still tears nowhere and sync.left drains.
+            guarded(lo, hi);
+            std::lock_guard<std::mutex> lock(sync.m);
+            if (--sync.left == 0)
+                sync.done.notify_all();
+        }
     }
     std::unique_lock<std::mutex> lock(sync.m);
     sync.done.wait(lock, [&sync] { return sync.left == 0; });

@@ -47,11 +47,45 @@ class ThreadPool
 
     /** Enqueue @p job; it runs on some worker in FIFO order. An
      *  exception escaping the job is captured and recorded (see
-     *  takeFailures()), never propagated out of the worker. */
-    void submit(std::function<void()> job);
+     *  takeFailures()), never propagated out of the worker.
+     *  @return false (the job is destroyed, not run, and counted by
+     *  rejectedCount()) once drain() has stopped intake. */
+    bool submit(std::function<void()> job);
 
     /** Block until every submitted job has finished running. */
     void wait();
+
+    /** What drain() did. */
+    struct DrainResult
+    {
+        /** Every in-flight and queued job finished inside the
+         *  deadline (nothing was abandoned). */
+        bool completed = false;
+
+        /** Queued jobs destroyed unrun when the deadline expired.
+         *  Jobs already *running* at the deadline are not abandoned
+         *  -- they run to completion (interrupt them cooperatively,
+         *  e.g. via a CancelToken, before calling drain). */
+        size_t abandoned = 0;
+    };
+
+    /**
+     * Graceful shutdown: permanently stop intake (later submit()s
+     * are rejected), wait up to @p deadlineMs (<= 0: forever) for
+     * every pending job to finish, then destroy whatever is still
+     * queued. Destroying a job runs the destructors of its captured
+     * state, so RAII completion guards in the closures still fire --
+     * which is how the compile service answers abandoned requests
+     * with a typed `shutdown` error instead of silence. Idempotent;
+     * the destructor remains the final join.
+     */
+    DrainResult drain(double deadlineMs);
+
+    /** True once drain() has been called (intake is closed). */
+    bool draining() const;
+
+    /** Jobs rejected by submit() since drain() closed intake. */
+    size_t rejectedCount() const;
 
     /**
      * Blocking data-parallel loop: split [begin, end) into chunks of
@@ -94,7 +128,9 @@ class ThreadPool
     std::vector<std::thread> workers_;
     std::vector<std::string> failures_;  ///< escaped-exception log
     size_t pending_ = 0; ///< queued + currently running jobs
+    size_t rejected_ = 0; ///< submits refused after drain()
     bool stop_ = false;
+    bool draining_ = false; ///< intake closed by drain()
 };
 
 } // namespace polyfuse

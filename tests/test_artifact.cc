@@ -17,6 +17,8 @@
 
 #include <atomic>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -461,6 +463,167 @@ TEST(TuneDb, RoundTripsThroughDiskAndRejectsForeignFiles)
         EXPECT_EQ(db.size(), 0u);
     }
     std::remove(path.c_str());
+}
+
+std::string
+readFileText(const std::string &path)
+{
+    std::ifstream f(path);
+    std::stringstream ss;
+    ss << f.rdbuf();
+    return ss.str();
+}
+
+void
+writeFileText(const std::string &path, const std::string &text)
+{
+    std::ofstream f(path, std::ios::trunc);
+    f << text;
+}
+
+pres::Fingerprint
+tuneKey(const std::string &seed)
+{
+    pres::Fingerprinter fp;
+    fp.mix(seed);
+    return fp.fingerprint();
+}
+
+perfmodel::TuneEntry
+tuneEntry(const std::string &strategy)
+{
+    perfmodel::TuneEntry entry;
+    entry.strategy = strategy;
+    entry.tiles = {16, 8};
+    entry.tier = "bytecode";
+    entry.modeledMs = 2.5;
+    entry.evaluated = 9;
+    return entry;
+}
+
+TEST(TuneDb, DropsByteFlippedRecordsAndRegeneratesCleanly)
+{
+    std::string path =
+        testing::TempDir() + "polyfuse_tunedb_flip.json";
+    std::remove(path.c_str());
+    auto key_a = tuneKey("flip-a");
+    auto key_b = tuneKey("flip-b");
+    {
+        perfmodel::TuneDb db(path);
+        db.put(key_a, tuneEntry("ours"));
+        db.put(key_b, tuneEntry("minfuse"));
+        ASSERT_TRUE(db.save());
+    }
+
+    // Flip one byte inside a string value: the JSON stays perfectly
+    // well formed, so only the per-record checksum can catch it.
+    std::string text = readFileText(path);
+    size_t pos = text.find("\"ours\"");
+    ASSERT_NE(pos, std::string::npos);
+    text[pos + 1] = 'x'; // "ours" -> "xurs"
+    writeFileText(path, text);
+
+    {
+        perfmodel::TuneDb db(path);
+        EXPECT_EQ(db.size(), 1u);
+        EXPECT_EQ(db.lastLoadDropped(), 1u);
+        perfmodel::TuneEntry got;
+        EXPECT_FALSE(db.find(key_a, &got)); // the damaged record
+        ASSERT_TRUE(db.find(key_b, &got)); // the intact one
+        EXPECT_EQ(got.strategy, "minfuse");
+        // save() rewrites a clean store from the salvage.
+        ASSERT_TRUE(db.save());
+    }
+    {
+        perfmodel::TuneDb db(path);
+        EXPECT_EQ(db.size(), 1u);
+        EXPECT_EQ(db.lastLoadDropped(), 0u);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TuneDb, SalvagesThePrefixOfATruncatedStore)
+{
+    std::string path =
+        testing::TempDir() + "polyfuse_tunedb_trunc.json";
+    std::remove(path.c_str());
+    {
+        perfmodel::TuneDb db(path);
+        db.put(tuneKey("trunc-a"), tuneEntry("ours"));
+        db.put(tuneKey("trunc-b"), tuneEntry("minfuse"));
+        db.put(tuneKey("trunc-c"), tuneEntry("hybridfuse"));
+        ASSERT_TRUE(db.save());
+    }
+
+    // Chop the file mid-way through the last record, the way a
+    // crashed writer or a full disk would.
+    std::string text = readFileText(path);
+    size_t last = text.rfind("{\"fp\"");
+    ASSERT_NE(last, std::string::npos);
+    writeFileText(path, text.substr(0, last + 10));
+
+    perfmodel::TuneDb db(path);
+    EXPECT_EQ(db.size(), 2u);
+    EXPECT_EQ(db.lastLoadDropped(), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(TuneDb, RejectsLegacyRecordsWithoutChecksums)
+{
+    std::string path =
+        testing::TempDir() + "polyfuse_tunedb_nocrc.json";
+    std::remove(path.c_str());
+    {
+        perfmodel::TuneDb db(path);
+        db.put(tuneKey("nocrc"), tuneEntry("ours"));
+        ASSERT_TRUE(db.save());
+    }
+
+    // Strip the checksum field: an un-checksummed record cannot be
+    // distinguished from a damaged one, so it is dropped too.
+    std::string text = readFileText(path);
+    size_t pos = text.find(", \"crc\": \"");
+    ASSERT_NE(pos, std::string::npos);
+    size_t end = text.find("\"", pos + 10);
+    ASSERT_NE(end, std::string::npos);
+    text.erase(pos, end + 1 - pos);
+    writeFileText(path, text);
+
+    perfmodel::TuneDb db(path);
+    EXPECT_EQ(db.size(), 0u);
+    EXPECT_EQ(db.lastLoadDropped(), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(TuneDb, ChecksumCoversEveryFieldOfTheRecord)
+{
+    auto key = tuneKey("crc-fields");
+    perfmodel::TuneEntry entry = tuneEntry("ours");
+    uint64_t crc = perfmodel::recordChecksum(key.hex(), entry);
+
+    perfmodel::TuneEntry other = entry;
+    other.strategy = "minfuse";
+    EXPECT_NE(perfmodel::recordChecksum(key.hex(), other), crc);
+    other = entry;
+    other.tiles = {16, 9};
+    EXPECT_NE(perfmodel::recordChecksum(key.hex(), other), crc);
+    other = entry;
+    other.tier = "native";
+    EXPECT_NE(perfmodel::recordChecksum(key.hex(), other), crc);
+    other = entry;
+    other.modeledMs = 2.5000011;
+    EXPECT_NE(perfmodel::recordChecksum(key.hex(), other), crc);
+    other = entry;
+    other.evaluated = 10;
+    EXPECT_NE(perfmodel::recordChecksum(key.hex(), other), crc);
+    EXPECT_NE(perfmodel::recordChecksum(tuneKey("crc-other").hex(),
+                                        entry),
+              crc);
+
+    // The hex spelling is stable and 16 digits wide.
+    EXPECT_EQ(perfmodel::checksumHex(crc).size(), 16u);
+    EXPECT_EQ(perfmodel::checksumHex(crc),
+              perfmodel::checksumHex(crc));
 }
 
 TEST(TuneDb, AutotuneWarmStartsFromTheStore)

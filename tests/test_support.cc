@@ -10,10 +10,14 @@
 
 #include <atomic>
 
+#include <condition_variable>
+#include <mutex>
+
 #include "support/intmath.hh"
 #include "support/logging.hh"
 #include "support/lru.hh"
 #include "support/rational.hh"
+#include "support/retry.hh"
 #include "support/small_vec.hh"
 #include "support/strutil.hh"
 #include "support/thread_pool.hh"
@@ -359,6 +363,111 @@ TEST(LruMap, OversizedEntryIsEvictedWithEverythingElse)
     EXPECT_EQ(lru.size(), 0u);
     EXPECT_EQ(lru.weight(), 0u);
     EXPECT_EQ(lru.find(3), nullptr);
+}
+
+TEST(ThreadPoolDrain, CompletesEverythingInsideTheDeadline)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 8; ++i)
+        EXPECT_TRUE(pool.submit([&] { ++ran; }));
+    ThreadPool::DrainResult dr = pool.drain(/*deadlineMs=*/5000);
+    EXPECT_TRUE(dr.completed);
+    EXPECT_EQ(dr.abandoned, 0u);
+    EXPECT_EQ(ran.load(), 8);
+    EXPECT_TRUE(pool.draining());
+}
+
+TEST(ThreadPoolDrain, AbandonsQueuedJobsAndRunsTheirDestructors)
+{
+    // One worker parked on a latch; everything queued behind it is
+    // abandoned when the drain deadline expires -- but abandoned
+    // closures are *destroyed*, so their RAII guards still fire.
+    ThreadPool pool(1);
+    std::mutex mu;
+    std::condition_variable cv;
+    bool release = false;
+    pool.submit([&] {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return release; });
+    });
+
+    struct Guard
+    {
+        std::atomic<int> *fired;
+        ~Guard() { ++*fired; }
+    };
+    std::atomic<int> fired{0};
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 3; ++i) {
+        auto guard = std::make_shared<Guard>();
+        guard->fired = &fired;
+        pool.submit([&ran, guard] { ++ran; });
+    }
+
+    ThreadPool::DrainResult dr = pool.drain(/*deadlineMs=*/50);
+    EXPECT_FALSE(dr.completed);
+    EXPECT_EQ(dr.abandoned, 3u);
+    EXPECT_EQ(ran.load(), 0);
+    EXPECT_EQ(fired.load(), 3); // destructors ran at abandonment
+
+    // Intake is closed for good: later submits are rejected and
+    // counted, and the rejected closure is destroyed too.
+    {
+        auto guard = std::make_shared<Guard>();
+        guard->fired = &fired;
+        EXPECT_FALSE(pool.submit([guard] {}));
+    }
+    EXPECT_EQ(pool.rejectedCount(), 1u);
+    EXPECT_EQ(fired.load(), 4);
+
+    // Unpark the worker so the destructor's join can finish.
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        release = true;
+    }
+    cv.notify_all();
+    pool.wait();
+}
+
+TEST(RetryPolicy, ScheduleIsExactAndCapped)
+{
+    RetryPolicy p;
+    p.attempts = 5;
+    p.baseMs = 1.0;
+    p.multiplier = 2.0;
+    p.capMs = 6.0;
+    // 1, 2, 4, then the cap, forever after.
+    EXPECT_DOUBLE_EQ(p.delayMs(0), 1.0);
+    EXPECT_DOUBLE_EQ(p.delayMs(1), 2.0);
+    EXPECT_DOUBLE_EQ(p.delayMs(2), 4.0);
+    EXPECT_DOUBLE_EQ(p.delayMs(3), 6.0);
+    EXPECT_DOUBLE_EQ(p.delayMs(10), 6.0);
+
+    // attempts counts the first try: 5 attempts = 4 retries (0..3).
+    EXPECT_TRUE(p.shouldRetry(0));
+    EXPECT_TRUE(p.shouldRetry(3));
+    EXPECT_FALSE(p.shouldRetry(4));
+    RetryPolicy once;
+    once.attempts = 1;
+    EXPECT_FALSE(once.shouldRetry(0));
+}
+
+TEST(RetryPolicy, BackoffUsesTheInjectedSleep)
+{
+    RetryPolicy p;
+    p.attempts = 4;
+    p.baseMs = 3.0;
+    p.multiplier = 10.0;
+    p.capMs = 50.0;
+    std::vector<double> slept;
+    p.sleep = [&](double ms) { slept.push_back(ms); };
+    for (unsigned retry = 0; p.shouldRetry(retry); ++retry)
+        p.backoff(retry);
+    ASSERT_EQ(slept.size(), 3u);
+    EXPECT_DOUBLE_EQ(slept[0], 3.0);
+    EXPECT_DOUBLE_EQ(slept[1], 30.0);
+    EXPECT_DOUBLE_EQ(slept[2], 50.0);
 }
 
 TEST(ThreadPoolParallelFor, ExceptionsAreCapturedNotPropagated)
