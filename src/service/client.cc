@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstring>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -60,6 +61,24 @@ Client::connect(const std::string &path, std::string *error)
     return true;
 }
 
+namespace {
+
+/** Arm/disarm SO_RCVTIMEO; ms <= 0 restores "block forever". */
+void
+setRecvTimeoutOpt(int fd, double ms)
+{
+    timeval tv;
+    tv.tv_sec = ms > 0 ? time_t(ms / 1000.0) : 0;
+    tv.tv_usec =
+        ms > 0 ? suseconds_t((ms - double(tv.tv_sec) * 1000.0) * 1000.0)
+               : 0;
+    if (ms > 0 && tv.tv_sec == 0 && tv.tv_usec == 0)
+        tv.tv_usec = 1; // a zero timeval would mean "no timeout"
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+} // namespace
+
 bool
 Client::call(const Request &req, Response *resp, std::string *error)
 {
@@ -72,11 +91,28 @@ Client::call(const Request &req, Response *resp, std::string *error)
         close();
         return false;
     }
+    // The server enforces req.deadlineMs; the client-side cap only
+    // guards against a server that wedged before answering at all.
+    double timeout_ms = recvTimeoutMs_;
+    if (timeout_ms <= 0 && req.deadlineMs > 0)
+        timeout_ms = req.deadlineMs + kDeadlineSlackMs;
+    if (timeout_ms > 0)
+        setRecvTimeoutOpt(fd_, timeout_ms);
     std::string payload;
     FrameStatus st = readFrame(fd_, &payload, error);
+    int recv_errno = errno;
+    if (timeout_ms > 0)
+        setRecvTimeoutOpt(fd_, 0);
     if (st != FrameStatus::Ok) {
         if (st == FrameStatus::Eof && error)
             *error = "server closed the connection";
+        else if (st == FrameStatus::Error && timeout_ms > 0 &&
+                 (recv_errno == EAGAIN ||
+                  recv_errno == EWOULDBLOCK) &&
+                 error)
+            *error = "timed out after " +
+                     std::to_string(timeout_ms) +
+                     " ms waiting for the response";
         close();
         return false;
     }

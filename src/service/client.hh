@@ -47,9 +47,27 @@ class Client
      * diagnostic on transport errors (the connection is then dead);
      * typed service errors come back as resp->ok == false with
      * resp->kind set and are *not* transport failures.
+     *
+     * The wait for the response is bounded: an explicit
+     * setRecvTimeout() cap wins; otherwise a request carrying a
+     * deadlineMs waits deadlineMs + kDeadlineSlackMs (the server
+     * enforces the deadline, the slack covers its answer reaching
+     * us) -- a wedged server then fails the call with a "timed out"
+     * diagnostic instead of hanging the client forever. With
+     * neither, the call blocks indefinitely (status-op clients).
      */
     bool call(const Request &req, Response *resp,
               std::string *error);
+
+    /** Grace on top of deadlineMs before call() gives up on a
+     *  response the server should have produced by its own
+     *  deadline enforcement. */
+    static constexpr double kDeadlineSlackMs = 10000;
+
+    /** Cap every call()'s wait for a response at @p ms (applies per
+     *  read; <= 0 restores the default deadline-derived behavior
+     *  described at call()). */
+    void setRecvTimeout(double ms) { recvTimeoutMs_ = ms; }
 
     /** Close the connection (idempotent). */
     void close();
@@ -58,6 +76,7 @@ class Client
 
   private:
     int fd_ = -1;
+    double recvTimeoutMs_ = 0; ///< explicit cap; 0: deadline-derived
 };
 
 } // namespace service

@@ -67,8 +67,18 @@ readFrame(int fd, std::string *payload, std::string *error,
         return FrameStatus::Oversized;
     }
     payload->assign(len, '\0');
-    if (len > 0 && recvAll(fd, &(*payload)[0], len, error) <= 0)
-        return FrameStatus::Error;
+    if (len > 0) {
+        ssize_t pr = recvAll(fd, &(*payload)[0], len, error);
+        if (pr <= 0) {
+            // recvAll reports 0 (clean EOF before any payload byte)
+            // without a diagnostic; past a header that is still a
+            // truncated frame, not a clean end of stream.
+            if (pr == 0 && error)
+                *error = "truncated frame (peer closed after frame "
+                         "header)";
+            return FrameStatus::Error;
+        }
+    }
     return FrameStatus::Ok;
 }
 

@@ -1,5 +1,6 @@
 #include "service/server.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -204,7 +205,18 @@ Server::acceptLoop()
             if (errno == EINTR || errno == EAGAIN ||
                 errno == ECONNABORTED)
                 continue;
-            break; // listener closed by stop()
+            if (errno == EMFILE || errno == ENFILE ||
+                errno == ENOMEM || errno == EPROTO) {
+                // Resource exhaustion is a load condition, not a
+                // dead listener: keep the accept thread alive so
+                // the daemon recovers when pressure subsides.
+                warn(std::string("service: accept: ") +
+                     std::strerror(errno) + " (transient; retrying)");
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(50));
+                continue;
+            }
+            break; // EBADF/EINVAL etc.: listener closed by stop()
         }
         auto conn = std::make_shared<Conn>();
         conn->fd = fd;
@@ -212,7 +224,10 @@ Server::acceptLoop()
         if (!accepting_.load())
             break; // conn closes via its destructor
         conns_.push_back(conn);
-        readers_.emplace_back(&Server::readerLoop, this, conn);
+        ++activeReaders_;
+        // Detached: the reader reaps itself on exit (see
+        // readerLoop); stop() waits for activeReaders_ to hit zero.
+        std::thread(&Server::readerLoop, this, conn).detach();
     }
 }
 
@@ -236,6 +251,19 @@ Server::readerLoop(std::shared_ptr<Conn> conn)
         break; // Eof / Error / Oversized all end the connection
     }
     ::shutdown(conn->fd, SHUT_RDWR);
+
+    // Reap this connection now instead of at stop(): under
+    // connection churn the daemon must not accumulate open fds or
+    // dead thread handles for its lifetime. The fd itself closes
+    // when the last Conn reference drops (in-flight ReplyGuards may
+    // still hold one). The notify happens under mu_ so stop() cannot
+    // observe a zero count and destroy the Server while this thread
+    // still touches it.
+    std::lock_guard<std::mutex> lock(mu_);
+    conns_.erase(std::remove(conns_.begin(), conns_.end(), conn),
+                 conns_.end());
+    --activeReaders_;
+    readersCv_.notify_all();
 }
 
 void
@@ -270,7 +298,14 @@ Server::dispatch(const std::shared_ptr<Conn> &conn,
         resp.id = req.id;
         resp.ok = true;
         sendResponse(conn, resp);
-        shutdownRequested_.store(true);
+        // Publish under mu_: waitForShutdownRequest() evaluates its
+        // predicate under the same mutex, so a store+notify outside
+        // it could land between the predicate check and the block,
+        // losing the wakeup forever in the ms<=0 blocking mode.
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            shutdownRequested_.store(true);
+        }
         shutdownCv_.notify_all();
         return;
     }
@@ -559,17 +594,17 @@ Server::stop()
         }
     }
 
-    // 3. Hang up every connection and reap the readers.
+    // 3. Hang up every connection and wait for the (detached)
+    //    readers to reap themselves. No reader survives this point,
+    //    so the pool teardown below cannot race a late dispatch().
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        std::unique_lock<std::mutex> lock(mu_);
         for (const auto &conn : conns_)
             ::shutdown(conn->fd, SHUT_RDWR);
+        readersCv_.wait(lock,
+                        [this] { return activeReaders_ == 0; });
+        conns_.clear();
     }
-    for (std::thread &t : readers_)
-        if (t.joinable())
-            t.join();
-    readers_.clear();
-    conns_.clear();
 
     // 4. Flush persistent state, then retire the workers.
     if (opts_.tuneDb && !opts_.tuneDb->save())

@@ -169,8 +169,14 @@ class Server
     std::atomic<bool> accepting_{false};
     std::atomic<bool> shutdownRequested_{false};
 
+    /** Live connections only: a reader erases its Conn (and counts
+     *  itself out of activeReaders_) on exit, so connection churn
+     *  never accumulates fds or thread handles. Reader threads are
+     *  detached; stop() waits on readersCv_ for the count to reach
+     *  zero before tearing anything down they could touch. */
     std::vector<std::shared_ptr<Conn>> conns_;
-    std::vector<std::thread> readers_;
+    size_t activeReaders_ = 0; ///< guarded by mu_
+    std::condition_variable readersCv_;
 
     std::atomic<size_t> inflight_{0};       ///< admitted, unfinished
     std::atomic<uint64_t> inflightBytes_{0}; ///< their frame bytes

@@ -16,6 +16,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstring>
+#include <dirent.h>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -286,6 +287,27 @@ TEST(ServiceFraming, TruncatedFrameIsAnError)
     };
     ASSERT_EQ(::send(sp.a, hdr, 4, 0), 4);
     ASSERT_EQ(::send(sp.a, "0123456789", 10, 0), 10);
+    sp.closeA();
+
+    std::string payload, err;
+    EXPECT_EQ(readFrame(sp.b, &payload, &err), FrameStatus::Error);
+    EXPECT_NE(err.find("truncated"), std::string::npos) << err;
+}
+
+TEST(ServiceFraming, EofAfterHeaderReportsTruncatedFrame)
+{
+    SocketPair sp;
+    ASSERT_GE(sp.a, 0);
+    // Announce 12 bytes, deliver none, hang up: still a truncated
+    // frame, and the diagnostic must say so (not come back empty).
+    uint32_t len = 12;
+    unsigned char hdr[4] = {
+        (unsigned char)(len & 0xff),
+        (unsigned char)((len >> 8) & 0xff),
+        (unsigned char)((len >> 16) & 0xff),
+        (unsigned char)((len >> 24) & 0xff),
+    };
+    ASSERT_EQ(::send(sp.a, hdr, 4, 0), 4);
     sp.closeA();
 
     std::string payload, err;
@@ -1074,6 +1096,114 @@ TEST_F(ServiceTest, DrainAnswersQueuedShutdownAndInflightCancelled)
     ServerStats stats = srv->stats();
     EXPECT_EQ(stats.accepted, 2u);
     EXPECT_EQ(stats.completed, 2u);
+}
+
+TEST_F(ServiceTest, ShutdownOpWakesBlockingWait)
+{
+    // Regression: the shutdown op must publish the flag under the
+    // server mutex, or this blocking (ms <= 0) wait can miss the
+    // wakeup forever.
+    auto srv = startServer();
+    std::thread waiter([&] { srv->waitForShutdownRequest(); });
+
+    Client c = connectTo(*srv);
+    Request shutdown;
+    shutdown.op = "shutdown";
+    shutdown.id = 1;
+    Response resp;
+    std::string err;
+    ASSERT_TRUE(c.call(shutdown, &resp, &err)) << err;
+    EXPECT_TRUE(resp.ok);
+    waiter.join(); // hangs here if the wakeup was lost
+    srv->stop();
+}
+
+/** Open fds of this process (-1 if /proc is unavailable). */
+int
+countOpenFds()
+{
+    DIR *d = ::opendir("/proc/self/fd");
+    if (!d)
+        return -1;
+    int n = 0;
+    while (::readdir(d))
+        ++n;
+    ::closedir(d);
+    return n;
+}
+
+TEST_F(ServiceTest, ConnectionChurnReclaimsFds)
+{
+    auto srv = startServer();
+
+    auto ping = [&](uint64_t id) {
+        Client c = connectTo(*srv);
+        Request req;
+        req.op = "ping";
+        req.id = id;
+        Response resp;
+        std::string err;
+        ASSERT_TRUE(c.call(req, &resp, &err)) << err;
+        EXPECT_TRUE(resp.ok);
+    };
+
+    // Warm up one connect/disconnect cycle, then let its reader
+    // reap so the baseline is a settled daemon.
+    ping(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const int baseline = countOpenFds();
+    if (baseline < 0)
+        GTEST_SKIP() << "/proc/self/fd unavailable";
+
+    // 50 connect/request/disconnect cycles: each must release its
+    // server-side fd and reader thread, not park them until stop().
+    for (uint64_t i = 2; i < 52; ++i)
+        ping(i);
+
+    // Readers reap themselves asynchronously just after the client
+    // sees EOF: poll until the fd count settles back.
+    int now = countOpenFds();
+    for (int spin = 0; spin < 2000 && now > baseline; ++spin) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        now = countOpenFds();
+    }
+    EXPECT_LE(now, baseline);
+
+    // And the daemon still accepts fresh connections.
+    ping(99);
+}
+
+TEST_F(ServiceTest, ClientRecvTimeoutCoversWedgedServer)
+{
+    // Park the one worker indefinitely: the server never answers.
+    std::mutex mu;
+    std::condition_variable cv;
+    bool release = false;
+    ServerOptions opts;
+    opts.workers = 1;
+    opts.drainMs = 100;
+    opts.handlerHook = [&](const Request &) {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return release; });
+    };
+    auto srv = startServer(std::move(opts));
+
+    Client c = connectTo(*srv);
+    c.setRecvTimeout(100);
+    Response resp;
+    std::string err;
+    EXPECT_FALSE(c.call(compileReq("conv2d", 1, {8, 8}), &resp,
+                        &err));
+    EXPECT_NE(err.find("timed out"), std::string::npos) << err;
+    // A timed-out connection is out of sync and therefore dead.
+    EXPECT_FALSE(c.connected());
+
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        release = true;
+    }
+    cv.notify_all();
+    srv->stop();
 }
 
 TEST_F(ServiceTest, StopIsIdempotentAndStaleSocketsAreReclaimed)
