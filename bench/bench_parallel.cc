@@ -14,9 +14,12 @@
  * wall-clock and speedup, tiles executed, ready-queue waits, the
  * tile DAG's critical-path length, and the parallelism bound
  * tiles / criticalPath (the speedup ceiling no thread count can
- * beat). `hardwareThreads` records the machine's concurrency: on a
- * single-core container every speedup is pinned near 1x and the
- * baseline documents that, not a defect.
+ * beat). `hardwareThreads` records the machine's concurrency and
+ * `singleCore` whether the process is effectively pinned to one
+ * core (hardware count of 1 or a one-CPU affinity mask): on such a
+ * box every speedup is pinned near 1x, so the geomean speedup
+ * claims are withheld entirely — the rows remain as overhead
+ * measurements, documented as such, not as a defect.
  *
  * Modes:
  *   (none)    full sweep, aligned table on stdout
@@ -28,6 +31,10 @@
 
 #include <cmath>
 #include <cstring>
+
+#ifdef __linux__
+#include <sched.h>
+#endif
 
 #include "bench/common.hh"
 #include "driver/registry.hh"
@@ -317,9 +324,25 @@ main(int argc, char **argv)
         all_identical = all_identical && r.identical();
 
     unsigned hw = ThreadPool::defaultThreads();
+    unsigned aff = hw;
+#ifdef __linux__
+    {
+        cpu_set_t set;
+        CPU_ZERO(&set);
+        if (sched_getaffinity(0, sizeof(set), &set) == 0 &&
+            CPU_COUNT(&set) > 0)
+            aff = unsigned(CPU_COUNT(&set));
+    }
+#endif
+    // Pinned to one core, a "speedup" is thread-scheduling noise:
+    // the baseline refuses the claim outright instead of committing
+    // a misleading geomean.
+    bool single_core = hw <= 1 || aff <= 1;
     if (json) {
         std::string out = "{\"bench\": \"parallel\", ";
         out += "\"hardwareThreads\": " + std::to_string(hw);
+        out += ", \"singleCore\": ";
+        out += single_core ? "true" : "false";
         out += ", \"reps\": " + std::to_string(reps);
         out += ", \"workloads\": [";
         for (size_t i = 0; i < rows.size(); ++i) {
@@ -328,12 +351,13 @@ main(int argc, char **argv)
             out += rowJson(rows[i]);
         }
         out += "]";
-        for (unsigned t : {2u, 4u, 8u})
-            out += ", \"geomeanSpeedup" + std::to_string(t) +
-                   "\": " +
-                   fmt(geomeanSpeedup(rows, t,
-                                      exec::ParStrategy::Static),
-                       "%.4f");
+        if (!single_core)
+            for (unsigned t : {2u, 4u, 8u})
+                out += ", \"geomeanSpeedup" + std::to_string(t) +
+                       "\": " +
+                       fmt(geomeanSpeedup(rows, t,
+                                          exec::ParStrategy::Static),
+                           "%.4f");
         out += ", \"allIdentical\": ";
         out += all_identical ? "true" : "false";
         out += "}";
@@ -360,17 +384,22 @@ main(int argc, char **argv)
                   r.identical() ? "identical" : "MISMATCH"},
                  9);
     }
-    printRow("geomean",
-             {"static", "",
-              fmt(geomeanSpeedup(rows, 1, exec::ParStrategy::Static),
-                  "%.2fx"),
-              fmt(geomeanSpeedup(rows, 2, exec::ParStrategy::Static),
-                  "%.2fx"),
-              fmt(geomeanSpeedup(rows, 4, exec::ParStrategy::Static),
-                  "%.2fx"),
-              fmt(geomeanSpeedup(rows, 8, exec::ParStrategy::Static),
-                  "%.2fx"),
-              "", "", ""},
-             9);
+    if (single_core)
+        std::printf("geomean withheld: single-core machine, "
+                    "speedup rows measure overhead only\n");
+    else
+        printRow(
+            "geomean",
+            {"static", "",
+             fmt(geomeanSpeedup(rows, 1, exec::ParStrategy::Static),
+                 "%.2fx"),
+             fmt(geomeanSpeedup(rows, 2, exec::ParStrategy::Static),
+                 "%.2fx"),
+             fmt(geomeanSpeedup(rows, 4, exec::ParStrategy::Static),
+                 "%.2fx"),
+             fmt(geomeanSpeedup(rows, 8, exec::ParStrategy::Static),
+                 "%.2fx"),
+             "", "", ""},
+            9);
     return all_identical ? 0 : 1;
 }

@@ -22,7 +22,16 @@
 #                             wavefront), with tile counts, critical-
 #                             path lengths and bit-identical-buffer
 #                             verdicts; hardwareThreads records the
-#                             machine's concurrency
+#                             machine's concurrency and singleCore
+#                             whether speedup claims were withheld
+#                             (one-core box)
+#   BENCH_backends.json       backend registry sweep: per-workload
+#                             latency and numerical deviation
+#                             (maxAbs/maxUlp vs the interpreter) for
+#                             every registered backend (tier x par x
+#                             simd), with per-backend contract
+#                             verdicts, simdWidth, hardwareThreads
+#                             and the singleCore flag
 #   BENCH_service.json        compile-service robustness baseline:
 #                             p50/p95/p99 client-observed latency for
 #                             warm compile+run and ping requests,
@@ -50,7 +59,7 @@ if [ ! -f "$build/CMakeCache.txt" ]; then
 fi
 cmake --build "$build" -j "$jobs" \
     --target bench_presburger bench_compile_time bench_runtime \
-    bench_parallel bench_cache bench_service
+    bench_parallel bench_backends bench_cache bench_service
 
 echo "== bench_presburger --json -> BENCH_presburger.json =="
 "$build/bench/bench_presburger" --json > "$src/BENCH_presburger.json"
@@ -61,6 +70,8 @@ echo "== bench_runtime --json -> BENCH_runtime.json =="
 "$build/bench/bench_runtime" --json > "$src/BENCH_runtime.json"
 echo "== bench_parallel --json -> BENCH_parallel.json =="
 "$build/bench/bench_parallel" --json > "$src/BENCH_parallel.json"
+echo "== bench_backends --json -> BENCH_backends.json =="
+"$build/bench/bench_backends" --json > "$src/BENCH_backends.json"
 echo "== bench_cache --json -> BENCH_cache.json =="
 "$build/bench/bench_cache" --json > "$src/BENCH_cache.json"
 echo "== bench_service --json -> BENCH_service.json =="
@@ -70,7 +81,13 @@ echo "== bench_service --json -> BENCH_service.json =="
 # script (set -e) on any generated-code or buffer mismatch.
 grep -o '"geomeanSpeedup": [0-9.]*' "$src/BENCH_compile_time.json"
 grep -o '"geomeanSpeedup": [0-9.]*' "$src/BENCH_runtime.json"
-grep -o '"geomeanSpeedup4": [0-9.]*' "$src/BENCH_parallel.json"
+# Speedup claims are withheld on single-core machines; singleCore
+# carries the verdict through either way.
+grep -o '"geomeanSpeedup4": [0-9.]*' "$src/BENCH_parallel.json" \
+    || true
+grep -o '"singleCore": [a-z]*' "$src/BENCH_parallel.json"
+grep -o '"singleCore": [a-z]*' "$src/BENCH_backends.json"
+grep -o '"allWithinContract": [a-z]*' "$src/BENCH_backends.json"
 grep -o '"geomeanWarmSpeedup": [0-9.]*' "$src/BENCH_cache.json"
 grep -o '"compileP99Ms": [0-9.]*' "$src/BENCH_service.json"
 echo "== perf baseline written =="

@@ -20,6 +20,12 @@
 #                                  them directly (wired as the
 #                                  check_asan ctest; never invokes
 #                                  ctest itself)
+#   scripts/check.sh --ubsan-only  only the -fsanitize=undefined build
+#                                  of the exec-layer tests (the SIMD
+#                                  lane loops live there), then run
+#                                  them directly (wired as the
+#                                  check_ubsan ctest; never invokes
+#                                  ctest itself)
 #   scripts/check.sh --bench-only  build + run the perf baseline
 #                                  (scripts/bench_to_json.sh), writing
 #                                  BENCH_presburger.json,
@@ -58,16 +64,22 @@ sanitizer_supported() {
 
 tsan_supported() { sanitizer_supported -fsanitize=thread; }
 asan_supported() { sanitizer_supported -fsanitize=address; }
+ubsan_supported() { sanitizer_supported -fsanitize=undefined; }
 
 # Build the re-entrancy-sensitive test binaries under TSAN and run
 # them directly. Races in the batch/pool/pres-context machinery --
 # in the tile-graph parallel executor (the *Parallel* subset of
 # test_exec exercises the static and ready-queue paths at 2 and 8
-# threads) -- and in the sharded KernelCache (the KernelCache subset
-# of test_artifact hammers compile/lookup from 8 threads) -- and in
-# the compile service's accept/reader/worker/drain machinery (the
-# whole of test_service runs a live daemon with concurrent clients)
-# -- show up here as hard failures.
+# threads) -- in the backend registry's parallel paths (Backend*
+# covers the bytecode-par/graph backends at 2 and 4 threads, the
+# parallel-native ladder, and the simd-under-par differential; the
+# registry-wide BackendSweep stays out, its pipeline compiles would
+# blow the gate's budget under TSAN) -- and in the sharded
+# KernelCache (the KernelCache subset of test_artifact hammers
+# compile/lookup from 8 threads) -- and in the compile service's
+# accept/reader/worker/drain machinery (the whole of test_service
+# runs a live daemon with concurrent clients) -- show up here as
+# hard failures.
 tsan_build_and_run() {
     echo "== configure + build with -fsanitize=thread =="
     cmake -B "$src/build-tsan" -S "$src" -DPOLYFUSE_TSAN=ON
@@ -75,12 +87,13 @@ tsan_build_and_run() {
         --target test_driver test_concurrency test_robustness \
         test_exec test_artifact test_service
     echo "== run test_driver + test_concurrency + test_robustness" \
-         "+ test_exec[*Parallel*] + test_artifact[KernelCache.*]" \
-         "+ test_service under TSAN =="
+         "+ test_exec[*Parallel*:Backend*] +" \
+         "test_artifact[KernelCache.*] + test_service under TSAN =="
     "$src/build-tsan/tests/test_driver"
     "$src/build-tsan/tests/test_concurrency"
     "$src/build-tsan/tests/test_robustness"
-    "$src/build-tsan/tests/test_exec" --gtest_filter='*Parallel*'
+    "$src/build-tsan/tests/test_exec" \
+        --gtest_filter='*Parallel*:Backend*'
     "$src/build-tsan/tests/test_artifact" \
         --gtest_filter='KernelCache.*'
     "$src/build-tsan/tests/test_service"
@@ -108,6 +121,23 @@ asan_build_and_run() {
     echo "== ASAN run OK =="
 }
 
+# Build the exec-layer tests under UBSan and run them directly. The
+# SIMD block path steps raw element pointers through lane loops and
+# strength-reduces access offsets; misaligned or out-of-range
+# arithmetic there shows up here as a hard failure. The registry-wide
+# BackendSweep is excluded: its per-workload native pipeline compiles
+# add minutes without adding UB surface (the same lane loops run via
+# the Backend* and differential tests that do stay in).
+ubsan_build_and_run() {
+    echo "== configure + build with -fsanitize=undefined =="
+    cmake -B "$src/build-ubsan" -S "$src" -DPOLYFUSE_UBSAN=ON
+    cmake --build "$src/build-ubsan" -j "$jobs" --target test_exec
+    echo "== run test_exec (minus BackendSweep) under UBSan =="
+    "$src/build-ubsan/tests/test_exec" \
+        --gtest_filter='-*BackendSweep*'
+    echo "== UBSan run OK =="
+}
+
 case "${1:-}" in
   --werror-only)
     werror_build
@@ -129,6 +159,14 @@ case "${1:-}" in
     asan_build_and_run
     exit 0
     ;;
+  --ubsan-only)
+    if ! ubsan_supported; then
+        echo "UBSan not supported by this toolchain; skipping"
+        exit 0
+    fi
+    ubsan_build_and_run
+    exit 0
+    ;;
   --bench-only)
     "$src/scripts/bench_to_json.sh" "$src/build-bench"
     exit 0
@@ -139,7 +177,7 @@ echo "== tier-1 verify: build + ctest =="
 cmake -B "$src/build-check" -S "$src"
 cmake --build "$src/build-check" -j "$jobs"
 (cd "$src/build-check" && ctest --output-on-failure -j "$jobs" \
-    -E '^check_(werror|tsan|asan)$')
+    -E '^check_(werror|tsan|asan|ubsan)$')
 werror_build
 if tsan_supported; then
     tsan_build_and_run
@@ -150,5 +188,10 @@ if asan_supported; then
     asan_build_and_run
 else
     echo "== ASAN not supported by this toolchain; skipped =="
+fi
+if ubsan_supported; then
+    ubsan_build_and_run
+else
+    echo "== UBSan not supported by this toolchain; skipped =="
 fi
 echo "== all checks passed =="

@@ -8,13 +8,23 @@ namespace codegen {
 using ir::Program;
 
 std::string
-renderMacroPreamble()
+renderHelperPreamble()
 {
-    return "#define pf_max(a, b) ((a) > (b) ? (a) : (b))\n"
-           "#define pf_min(a, b) ((a) < (b) ? (a) : (b))\n"
-           "#define pf_fdiv(n, d) ((n) >= 0 ? (n) / (d) : "
-           "-((-(n) + (d) - 1) / (d)))\n"
-           "#define pf_cdiv(n, d) pf_fdiv((n) + (d) - 1, d)\n";
+    // Real functions, not macros: rendered bounds nest
+    // pf_min/pf_max tens deep on heavily fused kernels, and a macro
+    // doubles the token count per nesting level -- a 20-line loop
+    // nest can explode to 2^20+ preprocessed tokens and minutes of
+    // cc1 time. Functions keep the source linear and inline to the
+    // same code at -O2.
+    return "#include <stdint.h>\n"
+           "static inline int64_t pf_max(int64_t a, int64_t b)\n"
+           "{ return a > b ? a : b; }\n"
+           "static inline int64_t pf_min(int64_t a, int64_t b)\n"
+           "{ return a < b ? a : b; }\n"
+           "static inline int64_t pf_fdiv(int64_t n, int64_t d)\n"
+           "{ return n >= 0 ? n / d : -((-n + d - 1) / d); }\n"
+           "static inline int64_t pf_cdiv(int64_t n, int64_t d)\n"
+           "{ return pf_fdiv(n + d - 1, d); }\n";
 }
 
 std::string

@@ -8,7 +8,7 @@
  * every bound and guard.
  *
  * All renderers assume the `pf_max` / `pf_min` / `pf_fdiv` /
- * `pf_cdiv` macro preamble (see renderMacroPreamble) is in scope,
+ * `pf_cdiv` helper preamble (see renderHelperPreamble) is in scope,
  * and spell program parameters by name — the emitting context must
  * declare them (the native emitter defines them as constants, the
  * pretty-printer leaves them symbolic).
@@ -26,8 +26,8 @@
 namespace polyfuse {
 namespace codegen {
 
-/** The macro definitions every rendered expression relies on. */
-std::string renderMacroPreamble();
+/** The helper definitions every rendered expression relies on. */
+std::string renderHelperPreamble();
 
 /** Render one affine numerator: coeffs over vars/params + const. */
 std::string renderLinear(const ir::Program &p, const BoundTerm &t,

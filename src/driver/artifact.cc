@@ -1,5 +1,6 @@
 #include "driver/artifact.hh"
 
+#include <thread>
 #include <utility>
 
 #include "support/logging.hh"
@@ -12,7 +13,7 @@ namespace {
 
 /** Bump whenever the mixed structure below (or ir/pres mixers)
  *  changes meaning: persistent stores key on the result. */
-constexpr const char *kFingerprintVersion = "polyfuse-kernel-v1";
+constexpr const char *kFingerprintVersion = "polyfuse-kernel-v2";
 
 /** One PassStat snapshotting the cache's aggregate counters. */
 PassStat
@@ -41,8 +42,14 @@ cacheStat(const exec::KernelCache &cache, bool hit, double lookup_ms)
 
 pres::Fingerprint
 programFingerprint(const ir::Program &program,
-                   const PipelineOptions &options, exec::Tier tier)
+                   const PipelineOptions &options, exec::Tier tier,
+                   exec::ParStrategy par, unsigned par_threads,
+                   exec::SimdMode simd)
 {
+    // The SIMD mode deliberately stays out of the key: it is a pure
+    // runtime VM flag, selected per-loop at execution time, and
+    // changes nothing about the compiled artifact.
+    (void)simd;
     pres::Fingerprinter fp;
     fp.mix(kFingerprintVersion);
     ir::mixProgram(fp, program);
@@ -63,6 +70,21 @@ programFingerprint(const ir::Program &program,
     fp.mix(uint64_t(options.footprintDilation));
     fp.mixBool(options.gen.promoteIntermediates);
     fp.mix(exec::tierName(tier));
+    // The tile-team shape is baked into a parallel native TU, so it
+    // (and the probed toolchain mode deciding OpenMP vs generated
+    // std::thread) must key the artifact.
+    if (tier == exec::Tier::Native &&
+        par != exec::ParStrategy::Off) {
+        fp.mix(exec::parStrategyName(par));
+        unsigned nt = par_threads
+                          ? par_threads
+                          : std::thread::hardware_concurrency();
+        if (nt == 0)
+            nt = 1;
+        fp.mix(uint64_t(nt));
+        fp.mix(exec::nativeParModeName(
+            exec::NativeKernel::parallelToolchain()));
+    }
     return fp.fingerprint();
 }
 
@@ -77,7 +99,9 @@ compileKernel(const Pipeline &pipeline,
 
     KernelArtifact artifact;
     artifact.fingerprint = programFingerprint(
-        *program, pipeline.options(), artifact_options.tier);
+        *program, pipeline.options(), artifact_options.tier,
+        artifact_options.par, artifact_options.parThreads,
+        artifact_options.simd);
     artifact.requestedStrategy = pipeline.options().strategy;
     artifact.effectiveStrategy = pipeline.options().strategy;
 

@@ -47,10 +47,22 @@ namespace driver {
 /**
  * The plan stage: fingerprint of compiling @p program under
  * @p options for @p tier. See the stability contract above.
+ *
+ * Backend parameters fold in exactly when they change emitted
+ * code: with tier == Native and a parallel @p par, the strategy,
+ * the resolved team size and the probed parallel toolchain mode
+ * are mixed (the tile-team shape is baked into the native TU), so
+ * a warm cache hit can never serve a kernel compiled for a
+ * different backend. @p simd is accepted for symmetry but never
+ * mixed -- the vector path is a pure runtime VM flag selected
+ * per-loop at execution time; it changes no emitted code.
  */
-pres::Fingerprint programFingerprint(const ir::Program &program,
-                                     const PipelineOptions &options,
-                                     exec::Tier tier);
+pres::Fingerprint
+programFingerprint(const ir::Program &program,
+                   const PipelineOptions &options, exec::Tier tier,
+                   exec::ParStrategy par = exec::ParStrategy::Off,
+                   unsigned par_threads = 0,
+                   exec::SimdMode simd = exec::SimdMode::Off);
 
 /** Knobs of compileKernel beyond the pipeline options. */
 struct ArtifactOptions
@@ -61,6 +73,19 @@ struct ArtifactOptions
     /** Execution tier the artifact targets (part of the
      *  fingerprint; the native handle still compiles lazily). */
     exec::Tier tier = exec::Tier::Bytecode;
+
+    /** Tile scheduling strategy the kernel will run with; part of
+     *  the fingerprint only when tier == Native (see
+     *  programFingerprint). */
+    exec::ParStrategy par = exec::ParStrategy::Off;
+
+    /** Team size for a parallel native kernel (0: hardware
+     *  count); fingerprint-relevant only when tier == Native and
+     *  par != Off. */
+    unsigned parThreads = 0;
+
+    /** Runtime VM flag; never part of the fingerprint. */
+    exec::SimdMode simd = exec::SimdMode::Off;
 };
 
 /** An immutable compiled kernel plus its compile-time record. */

@@ -1,7 +1,13 @@
 #include "exec/engine.hh"
 
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
 #include "exec/bytecode.hh"
 #include "exec/native.hh"
+#include "support/failpoint.hh"
 #include "support/logging.hh"
 
 namespace polyfuse {
@@ -57,18 +63,41 @@ parseParStrategy(const std::string &text, ParStrategy *out)
     return true;
 }
 
+const char *
+simdModeName(SimdMode mode)
+{
+    switch (mode) {
+      case SimdMode::Off: return "off";
+      case SimdMode::On: return "on";
+    }
+    return "?";
+}
+
+bool
+parseSimdMode(const std::string &text, SimdMode *out)
+{
+    if (text == "off")
+        *out = SimdMode::Off;
+    else if (text == "on")
+        *out = SimdMode::On;
+    else
+        return false;
+    return true;
+}
+
 namespace {
 
 ExecStats
 runBytecode(const ir::Program &program, const codegen::AstPtr &ast,
-            Buffers &buffers, const ExecOptions &options)
+            Buffers &buffers, const ExecOptions &options,
+            SimdMode simd, std::string *simd_fallback)
 {
     BytecodeKernel kernel = BytecodeKernel::compile(program, ast);
     if (options.sink)
         return kernel.run(buffers, *options.sink);
     if (options.trace)
         return kernel.run(buffers, options.trace);
-    return kernel.run(buffers);
+    return kernel.run(buffers, simd, simd_fallback);
 }
 
 } // namespace
@@ -90,11 +119,55 @@ execute(const ir::Program &program, const codegen::AstPtr &ast,
     }
 
     if (tier == Tier::Native) {
-        NativeKernel kernel = NativeKernel::compile(program, ast);
+        NativeKernel kernel;
+        if (want_par) {
+            // The parallel-native ladder: parallel compile ->
+            // sequential native -> bytecode, each step with the
+            // reason recorded, and every decision taken before
+            // anything executes (the same
+            // planning-before-execution contract runParallel
+            // keeps).
+            bool planned = true;
+            std::string par_reason;
+            try {
+                failpoints::hit("exec.native.par.spawn");
+            } catch (const std::exception &e) {
+                planned = false;
+                par_reason = e.what();
+            }
+            if (planned) {
+                NativeOptions nopts;
+                nopts.par = options.par;
+                nopts.threads = options.threads;
+                nopts.tileBands = options.tileBands;
+                kernel = NativeKernel::compile(program, ast, nopts);
+                if (!kernel.ok())
+                    par_reason = kernel.reason();
+            }
+            if (!kernel.ok()) {
+                kernel = NativeKernel::compile(program, ast);
+                if (kernel.ok())
+                    result.parFallbackReason = par_reason;
+            } else if (kernel.parMode() == NativeParMode::Seq) {
+                result.parFallbackReason = kernel.parReason();
+            } else {
+                result.par.threads = kernel.threads();
+                result.par.strategy = options.par;
+                result.par.regionsParallel =
+                    kernel.regionsParallel();
+                result.par.regionsSequential =
+                    kernel.regionsSequential();
+                result.par.criticalPath =
+                    kernel.regionsParallel() ? 1 : 0;
+            }
+        } else {
+            kernel = NativeKernel::compile(program, ast);
+        }
         if (kernel.ok()) {
-            if (want_par)
-                result.parFallbackReason =
-                    "native tier runs sequentially";
+            if (options.simd == SimdMode::On)
+                result.simdFallbackReason = "native tier relies on "
+                                            "compiler "
+                                            "auto-vectorization";
             result.stats = kernel.run(buffers);
             result.tier = Tier::Native;
             return result;
@@ -102,6 +175,7 @@ execute(const ir::Program &program, const codegen::AstPtr &ast,
         if (!options.allowFallback)
             fatal("native tier unavailable: " + kernel.reason());
         result.fallbackReason = kernel.reason();
+        result.par = ParRunStats{};
         tier = Tier::Bytecode;
     }
 
@@ -111,20 +185,35 @@ execute(const ir::Program &program, const codegen::AstPtr &ast,
                 "tracing requires sequential execution";
             want_par = false;
         }
+        SimdMode simd = options.simd;
+        if (simd == SimdMode::On && tracing) {
+            result.simdFallbackReason =
+                "tracing requires scalar execution";
+            simd = SimdMode::Off;
+        }
         if (want_par) {
             BytecodeKernel kernel =
                 BytecodeKernel::compile(program, ast);
             result.stats = kernel.runParallel(
                 buffers, options.threads, options.par,
                 options.tileBands, result.par,
-                result.parFallbackReason);
-            result.tier = Tier::Bytecode;
-            return result;
+                result.parFallbackReason, simd,
+                &result.simdFallbackReason);
+        } else {
+            result.stats = runBytecode(program, ast, buffers,
+                                       options, simd,
+                                       &result.simdFallbackReason);
         }
-        result.stats = runBytecode(program, ast, buffers, options);
+        if (options.simd == SimdMode::On &&
+            result.simdFallbackReason.empty())
+            result.simd = SimdMode::On;
         result.tier = Tier::Bytecode;
         return result;
     }
+
+    if (options.simd == SimdMode::On)
+        result.simdFallbackReason =
+            "simd fast path needs the bytecode tier";
 
     if (options.sink) {
         TraceSink &sink = *options.sink;
@@ -139,6 +228,114 @@ execute(const ir::Program &program, const codegen::AstPtr &ast,
     }
     result.tier = Tier::Interp;
     return result;
+}
+
+const std::vector<BackendSpec> &
+backendRegistry()
+{
+    // Every entry promises bit-identity: the native emitters pin
+    // `-ffp-contract=off` and the guarded scalar forms, parallel
+    // tiles write disjoint footprints in program order, and the
+    // vector path applies the exact scalar op sequence per lane.
+    // A future backend that reassociates (e.g. vectorized
+    // reductions) registers with bitIdentical = false and a
+    // maxAbsResidual bound instead; the sweep then checks the bound
+    // and reports the measured deviation.
+    static const std::vector<BackendSpec> registry = {
+        {"interp", Tier::Interp, ParStrategy::Off, 1,
+         SimdMode::Off, true, 0.0},
+        {"bytecode", Tier::Bytecode, ParStrategy::Off, 1,
+         SimdMode::Off, true, 0.0},
+        {"bytecode-simd", Tier::Bytecode, ParStrategy::Off, 1,
+         SimdMode::On, true, 0.0},
+        {"bytecode-par2", Tier::Bytecode, ParStrategy::Static, 2,
+         SimdMode::Off, true, 0.0},
+        {"bytecode-par4", Tier::Bytecode, ParStrategy::Static, 4,
+         SimdMode::Off, true, 0.0},
+        {"bytecode-graph2", Tier::Bytecode, ParStrategy::Graph, 2,
+         SimdMode::Off, true, 0.0},
+        {"bytecode-graph4", Tier::Bytecode, ParStrategy::Graph, 4,
+         SimdMode::Off, true, 0.0},
+        {"bytecode-par4-simd", Tier::Bytecode, ParStrategy::Static,
+         4, SimdMode::On, true, 0.0},
+        {"native", Tier::Native, ParStrategy::Off, 1, SimdMode::Off,
+         true, 0.0},
+        {"native-par2", Tier::Native, ParStrategy::Static, 2,
+         SimdMode::Off, true, 0.0},
+        {"native-par4", Tier::Native, ParStrategy::Static, 4,
+         SimdMode::Off, true, 0.0},
+    };
+    return registry;
+}
+
+const BackendSpec *
+findBackend(const std::string &name)
+{
+    for (const auto &spec : backendRegistry())
+        if (name == spec.name)
+            return &spec;
+    return nullptr;
+}
+
+ExecOptions
+backendOptions(const BackendSpec &spec)
+{
+    ExecOptions options;
+    options.tier = spec.tier;
+    options.par = spec.par;
+    options.threads = spec.threads;
+    options.simd = spec.simd;
+    return options;
+}
+
+namespace {
+
+/** Map double bits onto an ordering where adjacent representable
+ *  values differ by 1 (sign-magnitude flipped into a total order),
+ *  so ulp distance is plain integer subtraction. */
+uint64_t
+orderedKey(uint64_t bits)
+{
+    return bits >> 63 ? ~bits : bits | (uint64_t(1) << 63);
+}
+
+} // namespace
+
+BufferDeviation
+bufferDeviation(const ir::Program &program, const Buffers &ref,
+                const Buffers &got)
+{
+    BufferDeviation dev;
+    for (size_t t = 0; t < program.tensors().size(); ++t) {
+        const auto &a = ref.data(int(t));
+        const auto &b = got.data(int(t));
+        size_t n = std::min(a.size(), b.size());
+        for (size_t i = 0; i < n; ++i) {
+            uint64_t ba, bb;
+            std::memcpy(&ba, &a[i], sizeof(ba));
+            std::memcpy(&bb, &b[i], sizeof(bb));
+            if (ba == bb)
+                continue;
+            dev.bitIdentical = false;
+            bool na = std::isnan(a[i]), nb = std::isnan(b[i]);
+            if (na != nb) {
+                dev.maxAbs =
+                    std::numeric_limits<double>::infinity();
+                dev.maxUlp = std::numeric_limits<uint64_t>::max();
+                continue;
+            }
+            if (na && nb)
+                continue; // both NaN; payloads don't matter
+            double d = std::fabs(a[i] - b[i]);
+            if (d > dev.maxAbs)
+                dev.maxAbs = d;
+            uint64_t ka = orderedKey(ba), kb = orderedKey(bb);
+            uint64_t ulp = ka > kb ? ka - kb : kb - ka;
+            if (ulp > dev.maxUlp)
+                dev.maxUlp = ulp;
+        }
+    }
+    return dev;
 }
 
 } // namespace exec

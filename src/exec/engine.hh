@@ -73,6 +73,32 @@ const char *parStrategyName(ParStrategy strategy);
  *  anything else. */
 bool parseParStrategy(const std::string &text, ParStrategy *out);
 
+/**
+ * Whether the bytecode tier may take its vectorized fast path over
+ * unit-stride interval-solved inner loops (see exec/bytecode.hh).
+ * Off is the default; On enables per-loop selection with a scalar
+ * tail. The vector path executes lanes block-wise with the exact
+ * scalar operation sequence per lane -- no reassociation -- so it
+ * stays bit-identical to scalar execution.
+ */
+enum class SimdMode
+{
+    Off,
+    On,
+};
+
+/** Stable lower-case name ("off" | "on"). */
+const char *simdModeName(SimdMode mode);
+
+/** Parse a simdModeName() spelling; false (and *out untouched) on
+ *  anything else. */
+bool parseSimdMode(const std::string &text, SimdMode *out);
+
+/** Lane width the vectorized bytecode path executes per block (a
+ *  compile-time probe of the host ISA: 8 with AVX2/AVX-512, 4
+ *  otherwise). */
+unsigned simdWidth();
+
 /** Counters of one parallel run (all zero on sequential runs). */
 struct ParRunStats
 {
@@ -106,6 +132,8 @@ struct ExecOptions
      *  coincident flags alone do not prove tile independence once
      *  post-tiling fusion introduces extension statements). */
     const std::vector<deps::TileBandGraph> *tileBands = nullptr;
+    /** Vectorized bytecode fast path (bytecode tier only). */
+    SimdMode simd = SimdMode::Off;
 };
 
 /** What execute() did. */
@@ -120,6 +148,11 @@ struct ExecResult
     /** Why a requested parallel strategy degraded to sequential
      *  ("" when it ran as requested). */
     std::string parFallbackReason;
+    /** The SIMD mode that was actually enabled for the run. */
+    SimdMode simd = SimdMode::Off;
+    /** Why a requested SimdMode::On degraded to scalar ("" when it
+     *  ran as requested; per-loop selection still applies). */
+    std::string simdFallbackReason;
 };
 
 /**
@@ -130,6 +163,52 @@ struct ExecResult
 ExecResult execute(const ir::Program &program,
                    const codegen::AstPtr &ast, Buffers &buffers,
                    const ExecOptions &options = {});
+
+/**
+ * One named point in the backend space (tier x par x simd) together
+ * with its numerical contract. Every registered backend promises
+ * either bit-identical buffers against the Tier-0 interpreter
+ * (bitIdentical == true; the emitters use `-ffp-contract=off` and
+ * the vector path never reassociates) or a bounded L-infinity
+ * residual (maxAbsResidual). The differential tests and
+ * bench_backends enforce the contract per workload.
+ */
+struct BackendSpec
+{
+    const char *name;  ///< stable id, e.g. "bytecode-par4-simd"
+    Tier tier;
+    ParStrategy par;
+    unsigned threads;  ///< worker threads when par != Off
+    SimdMode simd;
+    bool bitIdentical;     ///< contract: exact buffer equality
+    double maxAbsResidual; ///< contract bound when !bitIdentical
+};
+
+/** Every backend the engine can run, in reporting order. The list
+ *  covers the parallel strategies at >= 2 thread counts so the TSAN
+ *  gate exercises real cross-thread interleavings. */
+const std::vector<BackendSpec> &backendRegistry();
+
+/** Look a backend up by its stable name; nullptr when unknown. */
+const BackendSpec *findBackend(const std::string &name);
+
+/** The ExecOptions that request exactly @p spec. */
+ExecOptions backendOptions(const BackendSpec &spec);
+
+/** How far @p got strayed from @p ref, over every tensor. */
+struct BufferDeviation
+{
+    double maxAbs = 0;    ///< L-infinity deviation
+    uint64_t maxUlp = 0;  ///< worst lane distance in representable
+                          ///< doubles (sign-magnitude ordering)
+    bool bitIdentical = true;
+};
+
+/** Measure @p got against the reference buffers @p ref (same
+ *  program). NaN-vs-non-NaN lanes count as ULONG_MAX ulps. */
+BufferDeviation bufferDeviation(const ir::Program &program,
+                                const Buffers &ref,
+                                const Buffers &got);
 
 } // namespace exec
 } // namespace polyfuse

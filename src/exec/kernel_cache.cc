@@ -1,7 +1,9 @@
 #include "exec/kernel_cache.hh"
 
 #include <chrono>
+#include <thread>
 
+#include "support/failpoint.hh"
 #include "support/logging.hh"
 
 namespace polyfuse {
@@ -10,20 +12,51 @@ namespace exec {
 const NativeKernel *
 KernelImage::ensureNative(std::string *reason, bool *transient) const
 {
+    return ensureNative(NativeOptions{}, reason, transient);
+}
+
+const NativeKernel *
+KernelImage::ensureNative(const NativeOptions &options,
+                          std::string *reason, bool *transient) const
+{
+    const bool parallel = options.par != ParStrategy::Off;
+    unsigned nt = 1;
+    if (parallel) {
+        nt = options.threads
+                 ? options.threads
+                 : std::thread::hardware_concurrency();
+        if (nt == 0)
+            nt = 1;
+    }
     std::lock_guard<std::mutex> lock(nativeMu_);
-    if (!nativeTried_) {
-        native_ = NativeKernel::compile(*program, ast);
+    NativeSlot *slot = nullptr;
+    for (auto &s : nativeSlots_)
+        if (s->parallel == parallel && s->threads == nt)
+            slot = s.get();
+    if (!slot) {
+        auto fresh = std::make_unique<NativeSlot>();
+        fresh->parallel = parallel;
+        fresh->threads = nt;
+        nativeSlots_.push_back(std::move(fresh));
+        slot = nativeSlots_.back().get();
+    }
+    if (!slot->tried) {
+        NativeOptions nopts = options;
+        nopts.threads = nt;
+        if (!nopts.tileBands)
+            nopts.tileBands = &tileBands;
+        slot->kernel = NativeKernel::compile(*program, ast, nopts);
         // Memoize success and permanent failure; a transient failure
         // stays un-memoized so a retrying caller gets a fresh
         // attempt instead of the stale verdict.
-        nativeTried_ = native_.ok() || !native_.transient();
+        slot->tried = slot->kernel.ok() || !slot->kernel.transient();
     }
-    if (native_.ok())
-        return &native_;
+    if (slot->kernel.ok())
+        return &slot->kernel;
     if (reason)
-        *reason = native_.reason();
+        *reason = slot->kernel.reason();
     if (transient)
-        *transient = native_.transient();
+        *transient = slot->kernel.transient();
     return nullptr;
 }
 
@@ -73,12 +106,51 @@ execute(const KernelImage &image, Buffers &buffers,
     }
 
     if (tier == Tier::Native) {
+        // Same parallel-native ladder as exec::execute (keep them in
+        // lockstep): parallel compile -> sequential native ->
+        // bytecode, reasons recorded at every step.
         std::string reason;
-        const NativeKernel *kernel = image.ensureNative(&reason);
+        const NativeKernel *kernel = nullptr;
+        if (want_par) {
+            bool planned = true;
+            std::string par_reason;
+            try {
+                failpoints::hit("exec.native.par.spawn");
+            } catch (const std::exception &e) {
+                planned = false;
+                par_reason = e.what();
+            }
+            if (planned) {
+                NativeOptions nopts;
+                nopts.par = options.par;
+                nopts.threads = options.threads;
+                nopts.tileBands = options.tileBands;
+                kernel = image.ensureNative(nopts, &par_reason);
+            }
+            if (!kernel) {
+                kernel = image.ensureNative(&reason);
+                if (kernel)
+                    result.parFallbackReason = par_reason;
+            } else if (kernel->parMode() == NativeParMode::Seq) {
+                result.parFallbackReason = kernel->parReason();
+            } else {
+                result.par.threads = kernel->threads();
+                result.par.strategy = options.par;
+                result.par.regionsParallel =
+                    kernel->regionsParallel();
+                result.par.regionsSequential =
+                    kernel->regionsSequential();
+                result.par.criticalPath =
+                    kernel->regionsParallel() ? 1 : 0;
+            }
+        } else {
+            kernel = image.ensureNative(&reason);
+        }
         if (kernel) {
-            if (want_par)
-                result.parFallbackReason =
-                    "native tier runs sequentially";
+            if (options.simd == SimdMode::On)
+                result.simdFallbackReason = "native tier relies on "
+                                            "compiler "
+                                            "auto-vectorization";
             result.stats = kernel->run(buffers);
             result.tier = Tier::Native;
             return result;
@@ -86,6 +158,7 @@ execute(const KernelImage &image, Buffers &buffers,
         if (!options.allowFallback)
             fatal("native tier unavailable: " + reason);
         result.fallbackReason = reason;
+        result.par = ParRunStats{};
         tier = Tier::Bytecode;
     }
 
@@ -97,17 +170,28 @@ execute(const KernelImage &image, Buffers &buffers,
                 "tracing requires sequential execution";
             want_par = false;
         }
+        SimdMode simd = options.simd;
+        if (simd == SimdMode::On && tracing) {
+            result.simdFallbackReason =
+                "tracing requires scalar execution";
+            simd = SimdMode::Off;
+        }
         if (want_par) {
             result.stats = image.bytecode.runParallel(
                 buffers, options.threads, options.par, bands,
-                result.par, result.parFallbackReason);
+                result.par, result.parFallbackReason, simd,
+                &result.simdFallbackReason);
         } else if (options.sink) {
             result.stats = image.bytecode.run(buffers, *options.sink);
         } else if (options.trace) {
             result.stats = image.bytecode.run(buffers, options.trace);
         } else {
-            result.stats = image.bytecode.run(buffers);
+            result.stats = image.bytecode.run(buffers, simd,
+                                              &result.simdFallbackReason);
         }
+        if (options.simd == SimdMode::On &&
+            result.simdFallbackReason.empty())
+            result.simd = SimdMode::On;
         result.tier = Tier::Bytecode;
         return result;
     }

@@ -70,10 +70,31 @@ struct KernelImage
                                      bool *transient = nullptr)
         const;
 
+    /**
+     * The native kernel compiled for @p options' backend shape
+     * (sequential vs tile-team, and the resolved team size). Each
+     * distinct shape memoizes in its own slot, so a warm image can
+     * never serve a kernel compiled for a different backend.
+     * options.tileBands defaults to the image's own classifications.
+     */
+    const NativeKernel *ensureNative(const NativeOptions &options,
+                                     std::string *reason,
+                                     bool *transient = nullptr) const;
+
   private:
+    /** One memoized native compile per backend shape. */
+    struct NativeSlot
+    {
+        bool parallel = false;
+        unsigned threads = 1; ///< resolved team size
+        NativeKernel kernel;
+        bool tried = false;
+    };
+
+    /** unique_ptr keeps returned kernel pointers stable while the
+     *  slot list grows under concurrent backend requests. */
     mutable std::mutex nativeMu_;
-    mutable NativeKernel native_;
-    mutable bool nativeTried_ = false;
+    mutable std::vector<std::unique_ptr<NativeSlot>> nativeSlots_;
 };
 
 /** Rough resident-byte estimate of @p image for LRU weighting. */

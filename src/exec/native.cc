@@ -4,7 +4,9 @@
 #include <cstdlib>
 #include <fstream>
 #include <mutex>
+#include <set>
 #include <sstream>
+#include <thread>
 
 #include <dlfcn.h>
 #include <unistd.h>
@@ -46,9 +48,15 @@ struct ScratchScope
 class Emitter
 {
   public:
-    explicit Emitter(const Program &p) : prog_(p)
+    Emitter(const Program &p, NativeParMode mode, unsigned threads,
+            const std::vector<deps::TileBandGraph> *bands)
+        : prog_(p), mode_(mode), threads_(threads)
     {
         scratch_.resize(p.tensors().size());
+        if (bands)
+            for (const auto &b : *bands)
+                if (b.cls == deps::TileBandClass::FullyParallel)
+                    par_bands_.insert(b.bandId);
     }
 
     std::string
@@ -59,9 +67,16 @@ class Emitter
             << ") -- generated; do not edit */\n"
             << "#include <math.h>\n"
             << "#include <stdint.h>\n"
-            << "#include <stdlib.h>\n\n"
-            << codegen::renderMacroPreamble() << "\n"
-            << "void pf_kernel(double **pf_bufs)\n{\n";
+            << "#include <stdlib.h>\n";
+        if (mode_ == NativeParMode::Threads)
+            os_ << "#include <thread>\n"
+                << "#include <vector>\n";
+        os_ << "\n" << codegen::renderHelperPreamble() << "\n";
+        // The Threads mode is a C++ TU (std::thread), so the entry
+        // point keeps C linkage for dlsym.
+        if (mode_ == NativeParMode::Threads)
+            os_ << "extern \"C\" ";
+        os_ << "void pf_kernel(double **pf_bufs)\n{\n";
         for (const auto &name : prog_.params())
             line(1) << "const int64_t " << name << " = "
                     << prog_.paramValue(name) << ";\n";
@@ -74,6 +89,12 @@ class Emitter
         os_ << "}\n";
         return os_.str();
     }
+
+    /** Top-level tile bands that got a tile-team. */
+    unsigned regionsParallel() const { return regions_parallel_; }
+
+    /** Top-level tile bands kept sequential. */
+    unsigned regionsSequential() const { return regions_sequential_; }
 
   private:
     std::ostream &
@@ -342,8 +363,13 @@ class Emitter
             scratch_[promo.tensor].push_back(std::move(sc));
             pushed.push_back(promo.tensor);
         }
+        // Tile loops under an Alloc scope are never team-scheduled
+        // (mirrors the bytecode tape's scanTileRegions, which does
+        // not enter Alloc scopes).
+        ++nest_;
         for (const auto &c : n.children)
             visit(c, depth);
+        --nest_;
         for (auto it = pushed.rbegin(); it != pushed.rend(); ++it) {
             line(depth) << "free("
                         << scratch_[*it].back().buf << ");\n";
@@ -430,6 +456,13 @@ class Emitter
             return;
           case AstKind::For: {
             const std::string &v = var_names_[n->var];
+            const bool top_tile =
+                nest_ == 0 && n->tileLoop && n->bandLevel == 0;
+            const bool team = top_tile &&
+                              mode_ != NativeParMode::Seq &&
+                              par_bands_.count(n->bandId) != 0;
+            if (top_tile)
+                ++(team ? regions_parallel_ : regions_sequential_);
             line(depth) << "{\n";
             ++depth;
             line(depth) << "const int64_t " << v << "_lb = "
@@ -440,12 +473,20 @@ class Emitter
                         << codegen::renderBound(prog_, n->ub, false,
                                                 var_names_)
                         << ";\n";
-            line(depth) << "for (int64_t " << v << " = " << v
-                        << "_lb; " << v << " <= " << v
-                        << "_ub; ++" << v << ") {\n";
-            for (const auto &c : n->children)
-                visit(c, depth + 1);
-            line(depth) << "}\n";
+            ++nest_;
+            if (team && mode_ == NativeParMode::Omp) {
+                emitOmpFor(*n, v, depth);
+            } else if (team) {
+                emitThreadFor(*n, v, depth);
+            } else {
+                line(depth) << "for (int64_t " << v << " = " << v
+                            << "_lb; " << v << " <= " << v
+                            << "_ub; ++" << v << ") {\n";
+                for (const auto &c : n->children)
+                    visit(c, depth + 1);
+                line(depth) << "}\n";
+            }
+            --nest_;
             --depth;
             line(depth) << "}\n";
             return;
@@ -456,11 +497,103 @@ class Emitter
         }
     }
 
+    /**
+     * The OpenMP tile-team: a static schedule over the tiles of a
+     * band whose classification proves tile independence. The
+     * thread count is baked in (it is part of the kernel-cache
+     * key), so a cached kernel cannot silently change team shape.
+     */
+    void
+    emitOmpFor(const AstNode &n, const std::string &v,
+               unsigned depth)
+    {
+        line(depth) << "#pragma omp parallel for num_threads("
+                    << threads_ << ") schedule(static)\n";
+        line(depth) << "for (int64_t " << v << " = " << v << "_lb; "
+                    << v << " <= " << v << "_ub; ++" << v << ") {\n";
+        for (const auto &c : n.children)
+            visit(c, depth + 1);
+        line(depth) << "}\n";
+    }
+
+    /**
+     * The generated std::thread tile-team: the loop body becomes a
+     * range lambda; worker t takes the contiguous chunk
+     * [lb + n*t/nt, lb + n*(t+1)/nt - 1] and chunk 0 runs on the
+     * calling thread. A std::thread that fails to spawn degrades
+     * inside the kernel: the catch keeps the chunks that did spawn,
+     * and the unspawned remainder runs sequentially on the calling
+     * thread, so the buffers never depend on how many workers
+     * actually started.
+     */
+    void
+    emitThreadFor(const AstNode &n, const std::string &v,
+                  unsigned depth)
+    {
+        std::string tag = std::to_string(team_id_++);
+        std::string cnt = "pf_n_" + tag;
+        std::string nt = "pf_nt_" + tag;
+        std::string body = "pf_body_" + tag;
+        std::string team = "pf_team_" + tag;
+        line(depth) << "const int64_t " << cnt << " = " << v
+                    << "_ub - " << v << "_lb + 1;\n";
+        line(depth) << "const auto " << body
+                    << " = [&](int64_t pf_b, int64_t pf_e) {\n";
+        line(depth + 1) << "for (int64_t " << v << " = pf_b; " << v
+                        << " <= pf_e; ++" << v << ") {\n";
+        for (const auto &c : n.children)
+            visit(c, depth + 2);
+        line(depth + 1) << "}\n";
+        line(depth) << "};\n";
+        line(depth) << "if (" << cnt << " > 1) {\n";
+        {
+            unsigned d = depth + 1;
+            line(d) << "const int64_t " << nt << " = " << cnt
+                    << " < " << threads_ << " ? " << cnt << " : "
+                    << threads_ << ";\n";
+            line(d) << "std::vector<std::thread> " << team << ";\n";
+            line(d) << team << ".reserve((size_t)" << nt
+                    << " - 1);\n";
+            line(d) << "try {\n";
+            line(d + 1) << "for (int64_t pf_t = 1; pf_t < " << nt
+                        << "; ++pf_t)\n";
+            line(d + 2) << team << ".emplace_back(" << body << ", "
+                        << v << "_lb + " << cnt << " * pf_t / "
+                        << nt << ", " << v << "_lb + " << cnt
+                        << " * (pf_t + 1) / " << nt << " - 1);\n";
+            line(d) << "} catch (...) {\n";
+            line(d + 1) << "/* spawn failed; the unspawned chunks "
+                           "run below on this thread */\n";
+            line(d) << "}\n";
+            line(d) << body << "(" << v << "_lb, " << v << "_lb + "
+                    << cnt << " / " << nt << " - 1);\n";
+            line(d) << "for (int64_t pf_t = (int64_t)" << team
+                    << ".size() + 1; pf_t < " << nt << "; ++pf_t)\n";
+            line(d + 1) << body << "(" << v << "_lb + " << cnt
+                        << " * pf_t / " << nt << ", " << v
+                        << "_lb + " << cnt << " * (pf_t + 1) / "
+                        << nt << " - 1);\n";
+            line(d) << "for (auto &pf_th : " << team
+                    << ") pf_th.join();\n";
+        }
+        line(depth) << "} else if (" << cnt << " == 1) {\n";
+        line(depth + 1) << body << "(" << v << "_lb, " << v
+                        << "_ub);\n";
+        line(depth) << "}\n";
+    }
+
     const Program &prog_;
+    NativeParMode mode_ = NativeParMode::Seq;
+    unsigned threads_ = 1;
+    std::set<int> par_bands_; ///< fully-parallel band ids
     std::ostringstream os_;
     std::vector<std::string> var_names_;
     std::vector<std::vector<ScratchScope>> scratch_;
     int scope_id_ = 0;
+    int team_id_ = 0;
+    int nest_ = 0; ///< enclosing For/Alloc depth (0: top level)
+    unsigned regions_parallel_ = 0;
+    unsigned regions_sequential_ = 0;
 };
 
 /** Locate a working C compiler once; empty when there is none. */
@@ -488,12 +621,154 @@ compilerPath()
     return path;
 }
 
+/** Compile @p code as @p file_name under @p cmd_prefix into a
+ *  throwaway shared object; true when the toolchain handles it. */
+bool
+probeCompile(const std::string &file_name, const std::string &code,
+             const std::string &cmd_prefix)
+{
+    char tmpl[] = "/tmp/pf_probe_XXXXXX";
+    if (!mkdtemp(tmpl))
+        return false;
+    std::string dir = tmpl;
+    std::string src = dir + "/" + file_name;
+    std::string out = dir + "/probe.so";
+    bool ok = false;
+    {
+        std::ofstream f(src);
+        f << code;
+        ok = bool(f);
+    }
+    if (ok) {
+        std::string cmd = cmd_prefix + " -o " + out + " " + src +
+                          " > /dev/null 2>&1";
+        ok = std::system(cmd.c_str()) == 0;
+    }
+    std::remove(src.c_str());
+    std::remove(out.c_str());
+    rmdir(dir.c_str());
+    return ok;
+}
+
+/** True when the C toolchain accepts *and links* -fopenmp -- the
+ *  probe contains a real parallel-for so a clang without libomp
+ *  fails here, not in a kernel compile (cached). */
+bool
+ompAvailable()
+{
+    static std::mutex mu;
+    static bool probed = false;
+    static bool ok = false;
+    std::lock_guard<std::mutex> lock(mu);
+    if (probed)
+        return ok;
+    probed = true;
+    const std::string &cc = compilerPath();
+    if (cc.empty())
+        return ok;
+    ok = probeCompile("probe.c",
+                      "#include <omp.h>\n"
+                      "int pf_probe(void)\n{\n"
+                      "  int n = 0;\n"
+                      "#pragma omp parallel for reduction(+ : n)\n"
+                      "  for (int i = 0; i < 4; ++i)\n"
+                      "    n += omp_get_thread_num() + i;\n"
+                      "  return n;\n}\n",
+                      cc + " -O1 -fPIC -shared -fopenmp");
+    return ok;
+}
+
+/** Locate a C++ compiler that builds a std::thread shared object
+ *  with -pthread; empty when there is none (cached). */
+const std::string &
+cxxCompilerPath()
+{
+    static std::mutex mu;
+    static bool probed = false;
+    static std::string path;
+    std::lock_guard<std::mutex> lock(mu);
+    if (probed)
+        return path;
+    probed = true;
+    std::vector<std::string> candidates;
+    if (const char *cxx = std::getenv("CXX"))
+        candidates.push_back(cxx);
+    candidates.insert(candidates.end(), {"c++", "g++", "clang++"});
+    const std::string code = "#include <thread>\n"
+                             "extern \"C\" int pf_probe()\n{\n"
+                             "  std::thread t([] {});\n"
+                             "  t.join();\n"
+                             "  return 0;\n}\n";
+    for (const auto &c : candidates) {
+        if (probeCompile("probe.cc", code,
+                         c + " -O1 -fPIC -shared -pthread")) {
+            path = c;
+            break;
+        }
+    }
+    return path;
+}
+
+/** The fully-parallel band ids of @p bands (empty without proof). */
+std::set<int>
+fullyParallelBands(const std::vector<deps::TileBandGraph> *bands)
+{
+    std::set<int> out;
+    if (bands)
+        for (const auto &b : *bands)
+            if (b.cls == deps::TileBandClass::FullyParallel)
+                out.insert(b.bandId);
+    return out;
+}
+
+/** Top-level (not under any For/Alloc) level-0 tile loops whose
+ *  band is proven fully parallel -- the loops a tile-team can
+ *  legally cover. */
+unsigned
+countEligibleRegions(const AstPtr &n, const std::set<int> &par_bands)
+{
+    if (!n)
+        return 0;
+    if (n->kind == AstKind::For)
+        return n->tileLoop && n->bandLevel == 0 &&
+                       par_bands.count(n->bandId) != 0
+                   ? 1
+                   : 0;
+    if (n->kind != AstKind::Block)
+        return 0;
+    unsigned count = 0;
+    for (const auto &c : n->children)
+        count += countEligibleRegions(c, par_bands);
+    return count;
+}
+
 } // namespace
 
-std::string
-emitNativeSource(const Program &program, const AstPtr &ast)
+const char *
+nativeParModeName(NativeParMode mode)
 {
-    return Emitter(program).run(ast);
+    switch (mode) {
+      case NativeParMode::Seq: return "seq";
+      case NativeParMode::Omp: return "omp";
+      case NativeParMode::Threads: return "threads";
+    }
+    return "seq";
+}
+
+std::string
+emitNativeSource(const Program &program, const AstPtr &ast,
+                 NativeParMode mode, unsigned threads,
+                 const std::vector<deps::TileBandGraph> *bands,
+                 unsigned *regions_parallel,
+                 unsigned *regions_sequential)
+{
+    Emitter em(program, mode, threads == 0 ? 1 : threads, bands);
+    std::string code = em.run(ast);
+    if (regions_parallel)
+        *regions_parallel = em.regionsParallel();
+    if (regions_sequential)
+        *regions_sequential = em.regionsSequential();
+    return code;
 }
 
 struct NativeKernel::Handle
@@ -514,13 +789,65 @@ NativeKernel::toolchainAvailable()
     return !compilerPath().empty();
 }
 
+NativeParMode
+NativeKernel::parallelToolchain()
+{
+    if (ompAvailable())
+        return NativeParMode::Omp;
+    if (!cxxCompilerPath().empty())
+        return NativeParMode::Threads;
+    return NativeParMode::Seq;
+}
+
 NativeKernel
 NativeKernel::compile(const Program &program, const AstPtr &ast)
 {
+    return compile(program, ast, NativeOptions{});
+}
+
+NativeKernel
+NativeKernel::compile(const Program &program, const AstPtr &ast,
+                      const NativeOptions &options)
+{
     NativeKernel k;
+
+    // Resolve the parallel request to an emission mode *before*
+    // anything is emitted or forked: a degraded request still
+    // compiles (sequentially) with parReason() saying why.
+    NativeParMode mode = NativeParMode::Seq;
+    unsigned nt = 1;
+    if (options.par != ParStrategy::Off) {
+        std::set<int> par_bands =
+            fullyParallelBands(options.tileBands);
+        nt = options.threads ? options.threads
+                             : std::thread::hardware_concurrency();
+        if (nt == 0)
+            nt = 1;
+        if (par_bands.empty()) {
+            k.par_reason_ = "no fully-parallel tile bands";
+        } else if (countEligibleRegions(ast, par_bands) == 0) {
+            k.par_reason_ =
+                "no top-level tile loop of a fully-parallel band";
+        } else if (nt <= 1) {
+            k.par_reason_ = "tile-team of one thread runs "
+                            "sequentially";
+        } else {
+            mode = parallelToolchain();
+            if (mode == NativeParMode::Seq)
+                k.par_reason_ = "no parallel toolchain (neither "
+                                "-fopenmp nor a C++ compiler)";
+        }
+        if (mode == NativeParMode::Seq)
+            nt = 1;
+    }
+    k.par_mode_ = mode;
+    k.threads_ = nt;
+
     try {
         failpoints::hit("exec.native.compile");
-        const std::string &cc = compilerPath();
+        const std::string &cc = mode == NativeParMode::Threads
+                                    ? cxxCompilerPath()
+                                    : compilerPath();
         if (cc.empty()) {
             // Permanent: no toolchain will appear between retries.
             k.reason_ = "no C compiler found (cc/gcc/clang)";
@@ -538,7 +865,9 @@ NativeKernel::compile(const Program &program, const AstPtr &ast)
             return k;
         }
         std::string dir = tmpl;
-        std::string src_path = dir + "/kernel.c";
+        std::string src_path =
+            dir + (mode == NativeParMode::Threads ? "/kernel.cc"
+                                                  : "/kernel.c");
         std::string so_path = dir + "/kernel.so";
         auto cleanup = [&]() {
             std::remove(src_path.c_str());
@@ -548,7 +877,10 @@ NativeKernel::compile(const Program &program, const AstPtr &ast)
 
         {
             std::ofstream src(src_path);
-            src << emitNativeSource(program, ast);
+            src << emitNativeSource(program, ast, mode, nt,
+                                    options.tileBands,
+                                    &k.regions_parallel_,
+                                    &k.regions_sequential_);
             if (!src) {
                 k.reason_ = "failed to write " + src_path;
                 k.transient_ = true;
@@ -560,8 +892,13 @@ NativeKernel::compile(const Program &program, const AstPtr &ast)
         // -ffp-contract=off: the interpreter never fuses a*b+c, so
         // the native kernel must not either (bit-exactness).
         std::string cmd = cc + " -O2 -fPIC -shared" +
-                          " -ffp-contract=off -o " + so_path + " " +
-                          src_path + " -lm > /dev/null 2>&1";
+                          " -ffp-contract=off";
+        if (mode == NativeParMode::Omp)
+            cmd += " -fopenmp";
+        cmd += " -o " + so_path + " " + src_path + " -lm";
+        if (mode == NativeParMode::Threads)
+            cmd += " -pthread";
+        cmd += " > /dev/null 2>&1";
         if (std::system(cmd.c_str()) != 0) {
             k.reason_ = "native compile failed (" + cc + ")";
             k.transient_ = true;
@@ -570,7 +907,17 @@ NativeKernel::compile(const Program &program, const AstPtr &ast)
         }
 
         failpoints::hit("exec.native.dlopen");
-        void *dl = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+        // An OpenMP kernel pulls libgomp in as a dependency; if
+        // this process does not link libgomp itself, dlclosing the
+        // last such kernel unmaps the runtime under its parked
+        // worker threads, which then wake into unmapped code.
+        // RTLD_NODELETE pins the kernel (and thus its libgomp
+        // reference) for the life of the process -- bounded by the
+        // number of distinct compiled kernels.
+        int dl_flags = RTLD_NOW | RTLD_LOCAL;
+        if (mode == NativeParMode::Omp)
+            dl_flags |= RTLD_NODELETE;
+        void *dl = dlopen(so_path.c_str(), dl_flags);
         if (!dl) {
             const char *err = dlerror();
             k.reason_ = std::string("dlopen failed: ") +

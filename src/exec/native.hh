@@ -33,20 +33,74 @@
 #include <memory>
 #include <string>
 
+#include "exec/engine.hh"
 #include "exec/executor.hh"
 
 namespace polyfuse {
 namespace exec {
 
 /**
- * Emit @p ast as a self-contained C translation unit defining
- * `void pf_kernel(double **pf_bufs)`, where `pf_bufs[t]` is the
- * flat buffer of tensor t. Program parameters are folded in as
- * named `const int64_t` constants; scratchpad promotions become
- * calloc'ed locals with copy-in, scoped lexically.
+ * How the emitted translation unit executes top-level tile loops of
+ * fully-parallel bands.
+ *
+ *   Seq     -- strictly sequential C (the classic Tier-2 kernel).
+ *   Omp     -- C with `#pragma omp parallel for schedule(static)`
+ *              on each eligible tile loop; needs a toolchain that
+ *              accepts and links `-fopenmp`.
+ *   Threads -- C++ with a generated std::thread chunked tile-team
+ *              per eligible loop (the fallback when OpenMP is
+ *              unavailable but a C++ compiler is); a failed thread
+ *              spawn degrades *inside the kernel*: already-spawned
+ *              chunks are joined and the unspawned remainder runs on
+ *              the calling thread, so results never depend on how
+ *              many workers actually started.
+ */
+enum class NativeParMode
+{
+    Seq,
+    Omp,
+    Threads,
+};
+
+/** Stable lower-case name ("seq" | "omp" | "threads"). */
+const char *nativeParModeName(NativeParMode mode);
+
+/** How to compile a native kernel beyond the sequential default. */
+struct NativeOptions
+{
+    /** Off emits the sequential kernel. Static and Graph both
+     *  parallelize fully-parallel top-level tile bands (native has
+     *  no wavefront executor; wavefront/serial bands stay
+     *  sequential under either spelling). */
+    ParStrategy par = ParStrategy::Off;
+    /** Tile-team size (0: one per hardware thread). Baked into the
+     *  emitted code, so it is part of the kernel-cache key. */
+    unsigned threads = 0;
+    /** Band classifications proving tile independence (same
+     *  contract as ExecOptions::tileBands); without them every
+     *  band stays sequential. */
+    const std::vector<deps::TileBandGraph> *tileBands = nullptr;
+};
+
+/**
+ * Emit @p ast as a self-contained translation unit defining
+ * `void pf_kernel(double **pf_bufs)` (with C linkage), where
+ * `pf_bufs[t]` is the flat buffer of tensor t. Program parameters
+ * are folded in as named `const int64_t` constants; scratchpad
+ * promotions become calloc'ed locals with copy-in, scoped
+ * lexically. With a parallel @p mode, top-level tile loops of
+ * bands classified fully parallel in @p bands get a tile-team;
+ * @p regions_parallel / @p regions_sequential (optional) report how
+ * many top-level tile bands were parallelized vs kept sequential.
  */
 std::string emitNativeSource(const ir::Program &program,
-                             const codegen::AstPtr &ast);
+                             const codegen::AstPtr &ast,
+                             NativeParMode mode = NativeParMode::Seq,
+                             unsigned threads = 1,
+                             const std::vector<deps::TileBandGraph>
+                                 *bands = nullptr,
+                             unsigned *regions_parallel = nullptr,
+                             unsigned *regions_sequential = nullptr);
 
 /** A dlopen'ed compiled kernel (or the reason there isn't one). */
 class NativeKernel
@@ -63,6 +117,19 @@ class NativeKernel
     static NativeKernel compile(const ir::Program &program,
                                 const codegen::AstPtr &ast);
 
+    /**
+     * As above, but honoring @p options: with a parallel strategy
+     * requested, picks the strongest available parallel toolchain
+     * (OpenMP, then generated std::thread, per parallelToolchain())
+     * and emits tile-teams over the fully-parallel top-level bands.
+     * When the request degrades to a sequential kernel -- no
+     * eligible bands, no parallel toolchain -- the kernel still
+     * compiles ok() and parReason() says why it runs sequentially.
+     */
+    static NativeKernel compile(const ir::Program &program,
+                                const codegen::AstPtr &ast,
+                                const NativeOptions &options);
+
     /** True when the shared object is loaded and runnable. */
     bool ok() const { return handle_ != nullptr; }
 
@@ -72,6 +139,23 @@ class NativeKernel
     /** True when the failure is worth retrying (see file comment);
      *  meaningless when ok(). */
     bool transient() const { return transient_; }
+
+    /** How the compiled kernel parallelizes (Seq unless a parallel
+     *  strategy was requested, admitted and emitted). */
+    NativeParMode parMode() const { return par_mode_; }
+
+    /** Why a requested parallel strategy came out sequential (""
+     *  when it was emitted, or was never requested). */
+    const std::string &parReason() const { return par_reason_; }
+
+    /** Tile-team size baked into the kernel (1 when sequential). */
+    unsigned threads() const { return threads_; }
+
+    /** Top-level tile bands that got a tile-team. */
+    unsigned regionsParallel() const { return regions_parallel_; }
+
+    /** Top-level tile bands kept sequential. */
+    unsigned regionsSequential() const { return regions_sequential_; }
 
     /**
      * Run the kernel over @p buffers. Only wall-clock seconds is
@@ -83,12 +167,27 @@ class NativeKernel
     /** True when a working C compiler is on this machine (cached). */
     static bool toolchainAvailable();
 
+    /**
+     * Which parallel emission mode compile() would pick on this
+     * machine (cached probes): Omp when the C toolchain accepts and
+     * links `-fopenmp`, else Threads when a C++ compiler handles
+     * std::thread with `-pthread`, else Seq. Part of the
+     * kernel-cache fingerprint, so a cache populated under one
+     * toolchain cannot serve another.
+     */
+    static NativeParMode parallelToolchain();
+
   private:
     struct Handle; ///< dlopen lifetime; dlclose on destruction
 
     std::shared_ptr<Handle> handle_;
     std::string reason_ = "not compiled";
     bool transient_ = false;
+    NativeParMode par_mode_ = NativeParMode::Seq;
+    std::string par_reason_;
+    unsigned threads_ = 1;
+    unsigned regions_parallel_ = 0;
+    unsigned regions_sequential_ = 0;
 };
 
 } // namespace exec

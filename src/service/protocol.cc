@@ -232,6 +232,7 @@ encodeRequest(const Request &req)
         out += ", \"deadlineMs\": " + numJson(req.deadlineMs);
     out += ", \"threads\": " + std::to_string(req.threads);
     out += ", \"par\": \"" + json::escape(req.par) + "\"";
+    out += ", \"simd\": \"" + json::escape(req.simd) + "\"";
     return out + "}";
 }
 
@@ -303,6 +304,10 @@ decodeRequest(const std::string &payload, Request *out,
             if (!v.isString())
                 return fail(error, "par must be a string");
             req.par = v.string;
+        } else if (key == "simd") {
+            if (!v.isString())
+                return fail(error, "simd must be a string");
+            req.simd = v.string;
         } else {
             return fail(error, "unknown request field '" + key +
                                    "'");
@@ -357,6 +362,8 @@ encodeResponse(const Response &resp)
         out += ", \"retries\": " + std::to_string(resp.retries);
         out += ", \"bufferHash\": \"" +
                json::escape(resp.bufferHash) + "\"";
+        out += ", \"backend\": \"" + json::escape(resp.backend) +
+               "\"";
         out += "}";
     }
     if (resp.server.present) {
@@ -389,7 +396,8 @@ decodeResult(const json::Value &v, Response *resp,
         if (key == "fingerprint" || key == "requestedTier" ||
             key == "tier" || key == "strategy" ||
             key == "requestedStrategy" ||
-            key == "tierFallbackReason" || key == "bufferHash") {
+            key == "tierFallbackReason" || key == "bufferHash" ||
+            key == "backend") {
             if (!f.isString())
                 return fail(error, key + " must be a string");
             std::string Response::*member =
@@ -401,7 +409,8 @@ decodeResult(const json::Value &v, Response *resp,
                     ? &Response::requestedStrategy
                 : key == "tierFallbackReason"
                     ? &Response::tierFallbackReason
-                    : &Response::bufferHash;
+                : key == "bufferHash" ? &Response::bufferHash
+                                      : &Response::backend;
             resp->*member = f.string;
         } else if (key == "fallbackTrail") {
             if (!f.isArray())

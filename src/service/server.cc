@@ -399,6 +399,12 @@ Server::handleCompile(const Request &req,
                      "unknown par strategy '" + req.par + "'");
             return;
         }
+        exec::SimdMode simd;
+        if (!exec::parseSimdMode(req.simd, &simd)) {
+            failWith(ErrorKind::BadRequest,
+                     "unknown simd mode '" + req.simd + "'");
+            return;
+        }
 
         driver::WorkloadParams params = spec->defaults;
         if (req.rows > 0)
@@ -419,6 +425,9 @@ Server::handleCompile(const Request &req,
 
         driver::ArtifactOptions aopts;
         aopts.tier = tier;
+        aopts.par = par;
+        aopts.parThreads = req.threads;
+        aopts.simd = simd;
         if (opts_.useKernelCache)
             aopts.cache = &exec::KernelCache::process();
 
@@ -486,6 +495,7 @@ Server::handleCompile(const Request &req,
             eopts.tier = run_tier;
             eopts.threads = req.threads ? req.threads : 1;
             eopts.par = par;
+            eopts.simd = simd;
             exec::ExecResult result =
                 driver::executeKernel(artifact, buffers, eopts);
             resp.tier = exec::tierName(result.tier);
@@ -494,8 +504,21 @@ Server::handleCompile(const Request &req,
                 resp.tierFallbackReason = result.fallbackReason;
             resp.runMs = result.stats.seconds * 1e3;
             resp.bufferHash = hashBuffers(buffers);
+            // The backend that *actually* ran, degradations
+            // applied: "tier[+<par>xN][+simd]".
+            resp.backend = exec::tierName(result.tier);
+            if (result.par.threads > 0) {
+                resp.backend += std::string("+") +
+                                exec::parStrategyName(
+                                    result.par.strategy);
+                resp.backend +=
+                    "x" + std::to_string(result.par.threads);
+            }
+            if (result.simd == exec::SimdMode::On)
+                resp.backend += "+simd";
         } else {
             resp.tier = exec::tierName(run_tier);
+            resp.backend = exec::tierName(run_tier);
         }
         guard->reply(resp);
     } catch (const BudgetExceeded &e) {

@@ -168,6 +168,77 @@ TEST(ProgramFingerprint, DistinguishesEverythingThatChangesCode)
     EXPECT_EQ(fp(fb, exec::Tier::Bytecode), base_fp);
 }
 
+TEST(ProgramFingerprint, BackendParametersKeyTheNativeTier)
+{
+    auto program = smallConv();
+    PipelineOptions base;
+    auto fp = [&](exec::Tier tier, exec::ParStrategy par,
+                  unsigned threads, exec::SimdMode simd) {
+        return programFingerprint(*program, base, tier, par,
+                                  threads, simd);
+    };
+
+    // The tile-team shape is baked into a parallel native TU:
+    // strategy-on/off and team size must each change the key.
+    auto native_seq = fp(exec::Tier::Native, exec::ParStrategy::Off,
+                         0, exec::SimdMode::Off);
+    auto native_p2 = fp(exec::Tier::Native,
+                        exec::ParStrategy::Static, 2,
+                        exec::SimdMode::Off);
+    auto native_p4 = fp(exec::Tier::Native,
+                        exec::ParStrategy::Static, 4,
+                        exec::SimdMode::Off);
+    EXPECT_NE(native_p2, native_seq);
+    EXPECT_NE(native_p4, native_seq);
+    EXPECT_NE(native_p4, native_p2);
+
+    // The bytecode VM's knobs change no emitted code: par and simd
+    // leave the bytecode key alone, and simd leaves every key
+    // alone (it is a pure runtime flag).
+    auto byte_seq = fp(exec::Tier::Bytecode, exec::ParStrategy::Off,
+                       0, exec::SimdMode::Off);
+    EXPECT_EQ(fp(exec::Tier::Bytecode, exec::ParStrategy::Static, 4,
+                 exec::SimdMode::Off),
+              byte_seq);
+    EXPECT_EQ(fp(exec::Tier::Bytecode, exec::ParStrategy::Off, 0,
+                 exec::SimdMode::On),
+              byte_seq);
+    EXPECT_EQ(fp(exec::Tier::Native, exec::ParStrategy::Static, 2,
+                 exec::SimdMode::On),
+              native_p2);
+}
+
+TEST(KernelCache, BackendFlipNeverServesTheWrongKernel)
+{
+    // Regression (ISSUE 9): flipping the backend between two cache
+    // lookups of the same program must miss, not serve a kernel
+    // compiled for a different team shape.
+    exec::KernelCache cache;
+    auto program = smallConv();
+    Pipeline pipeline{PipelineOptions{}};
+
+    ArtifactOptions seq;
+    seq.cache = &cache;
+    seq.tier = exec::Tier::Native;
+    auto a = compileKernel(pipeline, program, seq);
+    a = compileKernel(pipeline, program, seq); // self-warm
+    ASSERT_TRUE(a.ok());
+
+    ArtifactOptions par = seq;
+    par.par = exec::ParStrategy::Static;
+    par.parThreads = 2;
+    auto b = compileKernel(pipeline, program, par);
+    ASSERT_TRUE(b.ok());
+    EXPECT_NE(b.fingerprint, a.fingerprint);
+    EXPECT_FALSE(b.fromCache);
+
+    // Same backend again: now it may (and does) hit.
+    auto c = compileKernel(pipeline, program, par);
+    ASSERT_TRUE(c.ok());
+    EXPECT_TRUE(c.fromCache);
+    EXPECT_EQ(c.fingerprint, b.fingerprint);
+}
+
 TEST(KernelCache, WarmCompileSkipsThePipelineEntirely)
 {
     exec::KernelCache cache;

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "codegen/generate.hh"
 #include "core/compose.hh"
@@ -485,6 +486,262 @@ compileSmall(const char *name, driver::Strategy strategy,
     popts.strategy = strategy;
     popts.tileSizes = smallTiles(*spec);
     return driver::Pipeline(popts).run(p);
+}
+
+// ------------------------------------------------------------------
+// Backend registry sweep: every registered backend (tier x par x
+// simd) on every registry workload under every strategy must honor
+// its numerical contract against the Tier-0 interpreter --
+// bit-identical buffers when bitIdentical, else maxAbs within
+// maxAbsResidual. (Names carry "Backend" so the TSAN gate in
+// scripts/check.sh runs the multithreaded sweep; the registry covers
+// the parallel strategies at two thread counts each.)
+// ------------------------------------------------------------------
+
+class BackendSweep : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(BackendSweep, HonorsNumericalContractOnEveryStrategy)
+{
+    const driver::WorkloadSpec *spec =
+        driver::findWorkload(GetParam());
+    ASSERT_NE(spec, nullptr);
+    ir::Program p = spec->make(smallParams(spec->name));
+    const bool have_cc = NativeKernel::toolchainAvailable();
+
+    for (driver::Strategy s : driver::allStrategies()) {
+        driver::PipelineOptions popts;
+        popts.strategy = s;
+        popts.tileSizes = smallTiles(*spec);
+        auto state = driver::Pipeline(popts).run(p);
+
+        Buffers ref(p);
+        initInputs(p, ref);
+        run(p, state.ast, ref);
+
+        for (const BackendSpec &b : backendRegistry()) {
+            if (b.tier == Tier::Native && !have_cc)
+                continue;
+            SCOPED_TRACE(std::string(spec->name) + " / " +
+                         driver::strategyName(s) + " / " + b.name);
+            Buffers buf(p);
+            initInputs(p, buf);
+            ExecOptions eo = backendOptions(b);
+            eo.tileBands = &state.tileBands;
+            ExecResult r = execute(p, state.ast, buf, eo);
+            EXPECT_EQ(r.tier, b.tier) << r.fallbackReason;
+
+            BufferDeviation dev = bufferDeviation(p, ref, buf);
+            if (b.bitIdentical)
+                EXPECT_TRUE(dev.bitIdentical)
+                    << "maxAbs " << dev.maxAbs << ", maxUlp "
+                    << dev.maxUlp;
+            else
+                EXPECT_LE(dev.maxAbs, b.maxAbsResidual);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, BackendSweep,
+    ::testing::Values("conv2d", "bilateral", "camera", "harris",
+                      "laplacian", "interp", "unsharp", "equake",
+                      "2mm", "gemver", "covariance", "convbn",
+                      "seidel"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        return std::string(info.param);
+    });
+
+TEST(BackendRegistry, LookupAndOptionsRoundTrip)
+{
+    EXPECT_GE(backendRegistry().size(), 10u);
+    const BackendSpec *b = findBackend("bytecode-par4-simd");
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->tier, Tier::Bytecode);
+    EXPECT_EQ(b->par, ParStrategy::Static);
+    EXPECT_EQ(b->threads, 4u);
+    EXPECT_EQ(b->simd, SimdMode::On);
+    ExecOptions eo = backendOptions(*b);
+    EXPECT_EQ(eo.tier, b->tier);
+    EXPECT_EQ(eo.par, b->par);
+    EXPECT_EQ(eo.threads, b->threads);
+    EXPECT_EQ(eo.simd, b->simd);
+    EXPECT_EQ(findBackend("no-such-backend"), nullptr);
+
+    // Two thread counts per parallel strategy, so the TSAN gate sees
+    // distinct interleavings.
+    EXPECT_NE(findBackend("bytecode-par2"), nullptr);
+    EXPECT_NE(findBackend("bytecode-graph2"), nullptr);
+    EXPECT_NE(findBackend("native-par2"), nullptr);
+    EXPECT_NE(findBackend("native-par4"), nullptr);
+}
+
+TEST(BackendSimd, FastPathEngagesAndReportsLanes)
+{
+    // harris's elementwise stages are unit-stride single-statement
+    // intervals with no same-base loads in vector range: the vector
+    // path must actually select (simdLoops > 0), execute whole lane
+    // blocks, and still be bit-identical -- a silent always-scalar
+    // selection would pass the sweep while measuring nothing. (2mm
+    // cannot engage: its k-innermost reductions have a zero-stride
+    // store, and its init statements fuse with the k loop.)
+    ir::Program p;
+    auto state = compileSmall("harris", driver::Strategy::Ours, p);
+
+    Buffers ref(p);
+    initInputs(p, ref);
+    ExecResult rs = execute(p, state.ast, ref, {});
+
+    Buffers buf(p);
+    initInputs(p, buf);
+    ExecOptions eo;
+    eo.simd = SimdMode::On;
+    ExecResult rv = execute(p, state.ast, buf, eo);
+
+    EXPECT_EQ(rv.simd, SimdMode::On);
+    EXPECT_TRUE(rv.simdFallbackReason.empty())
+        << rv.simdFallbackReason;
+    EXPECT_GT(rv.stats.simdLoops, 0u);
+    EXPECT_GT(rv.stats.simdLanes, 0u);
+    EXPECT_EQ(rv.stats.simdLanes % simdWidth(), 0u);
+    EXPECT_EQ(rs.stats.instances, rv.stats.instances);
+    EXPECT_EQ(rs.stats.loads, rv.stats.loads);
+    EXPECT_EQ(rs.stats.stores, rv.stats.stores);
+    for (size_t t = 0; t < p.tensors().size(); ++t)
+        EXPECT_EQ(ref.data(t), buf.data(t))
+            << "tensor " << p.tensor(t).name;
+
+    // seidel's loop-carried flow dependences must make the per-run
+    // dependence check reject the block path lane-for-lane.
+    ir::Program sp;
+    auto sstate = compileSmall("seidel", driver::Strategy::MinFuse,
+                               sp);
+    Buffers sref(sp);
+    initInputs(sp, sref);
+    execute(sp, sstate.ast, sref, {});
+    Buffers sbuf(sp);
+    initInputs(sp, sbuf);
+    ExecResult rsv = execute(sp, sstate.ast, sbuf, eo);
+    for (size_t t = 0; t < sp.tensors().size(); ++t)
+        EXPECT_EQ(sref.data(t), sbuf.data(t))
+            << "tensor " << sp.tensor(t).name;
+}
+
+TEST(BackendNativePar, ParallelNativeReportsTeamShape)
+{
+    if (!NativeKernel::toolchainAvailable())
+        GTEST_SKIP() << "no C toolchain on this machine";
+    ir::Program p;
+    auto state = compileSmall("harris", driver::Strategy::Ours, p);
+
+    Buffers ref(p);
+    initInputs(p, ref);
+    execute(p, state.ast, ref, {});
+
+    Buffers buf(p);
+    initInputs(p, buf);
+    ExecOptions eo;
+    eo.tier = Tier::Native;
+    eo.par = ParStrategy::Static;
+    eo.threads = 2;
+    eo.tileBands = &state.tileBands;
+    ExecResult r = execute(p, state.ast, buf, eo);
+    ASSERT_EQ(r.tier, Tier::Native) << r.fallbackReason;
+    EXPECT_TRUE(r.parFallbackReason.empty())
+        << r.parFallbackReason;
+    EXPECT_EQ(r.par.threads, 2u);
+    EXPECT_EQ(r.par.strategy, ParStrategy::Static);
+    EXPECT_GT(r.par.regionsParallel, 0u);
+    for (size_t t = 0; t < p.tensors().size(); ++t)
+        EXPECT_EQ(ref.data(t), buf.data(t))
+            << "tensor " << p.tensor(t).name;
+}
+
+TEST(BackendNativePar, WithoutBandProofNativeStaysSequential)
+{
+    if (!NativeKernel::toolchainAvailable())
+        GTEST_SKIP() << "no C toolchain on this machine";
+    ir::Program p;
+    auto state = compileSmall("harris", driver::Strategy::Ours, p);
+    Buffers buf(p);
+    initInputs(p, buf);
+    ExecOptions eo;
+    eo.tier = Tier::Native;
+    eo.par = ParStrategy::Static;
+    eo.threads = 4;
+    eo.tileBands = nullptr; // no independence proof
+    ExecResult r = execute(p, state.ast, buf, eo);
+    ASSERT_EQ(r.tier, Tier::Native) << r.fallbackReason;
+    EXPECT_EQ(r.par.threads, 0u);
+    EXPECT_FALSE(r.parFallbackReason.empty());
+}
+
+TEST(BackendDeviation, MeasuresUlpAndAbsDeviation)
+{
+    ir::Program p;
+    compileSmall("conv2d", driver::Strategy::Ours, p);
+    Buffers a(p), b(p);
+    initInputs(p, a);
+    initInputs(p, b);
+    EXPECT_TRUE(bufferDeviation(p, a, b).bitIdentical);
+
+    // One lane nudged by one representable step: 1 ulp, tiny abs.
+    std::vector<double> &lane = b.data(0);
+    ASSERT_FALSE(lane.empty());
+    double orig = lane[0];
+    lane[0] = std::nextafter(orig, 1e300);
+    BufferDeviation dev = bufferDeviation(p, a, b);
+    EXPECT_FALSE(dev.bitIdentical);
+    EXPECT_EQ(dev.maxUlp, 1u);
+    EXPECT_GT(dev.maxAbs, 0.0);
+
+    // NaN vs non-NaN pins the deviation to the contract maximum.
+    lane[0] = std::numeric_limits<double>::quiet_NaN();
+    dev = bufferDeviation(p, a, b);
+    EXPECT_FALSE(dev.bitIdentical);
+    EXPECT_EQ(dev.maxUlp, std::numeric_limits<uint64_t>::max());
+    EXPECT_TRUE(std::isinf(dev.maxAbs));
+}
+
+// Fast, TSAN-scaled differential: the instrumented parallel bytecode
+// backends (static and graph at 2 and 4 threads, plus simd under a
+// 4-thread team) against the scalar run, bit-identical, on two
+// workloads with very different tile graphs. The registry-wide
+// BackendSweep carries the same contract but its native pipeline
+// compiles make it minutes-long under TSAN; this suite is the
+// interleaving coverage the race gate actually runs (check.sh picks
+// it up via the Backend* filter, which the AllWorkloads/BackendSweep
+// instantiation prefix deliberately does not match).
+TEST(BackendTsanDifferential, ParallelBackendsStayBitIdentical)
+{
+    for (const char *name : {"harris", "conv2d"}) {
+        ir::Program p;
+        auto state = compileSmall(name, driver::Strategy::Ours, p);
+
+        Buffers ref(p);
+        initInputs(p, ref);
+        execute(p, state.ast, ref, {});
+
+        for (const char *bname :
+             {"bytecode-par2", "bytecode-par4", "bytecode-graph2",
+              "bytecode-graph4", "bytecode-par4-simd"}) {
+            const BackendSpec *b = findBackend(bname);
+            ASSERT_NE(b, nullptr) << bname;
+            SCOPED_TRACE(std::string(name) + " / " + bname);
+            Buffers buf(p);
+            initInputs(p, buf);
+            ExecOptions eo = backendOptions(*b);
+            eo.tileBands = &state.tileBands;
+            ExecResult r = execute(p, state.ast, buf, eo);
+            EXPECT_EQ(r.tier, Tier::Bytecode) << r.fallbackReason;
+            EXPECT_TRUE(r.parFallbackReason.empty())
+                << r.parFallbackReason;
+            for (size_t t = 0; t < p.tensors().size(); ++t)
+                EXPECT_EQ(ref.data(t), buf.data(t))
+                    << "tensor " << p.tensor(t).name;
+        }
+    }
 }
 
 TEST(ParallelExec, WavefrontGraphDrainsTheTileDag)
