@@ -38,6 +38,12 @@
 #                             mean queue wait, flood ok/shed split
 #                             with recovery verdict, and the
 #                             transient-native retry/degrade verdict
+#   BENCH_autotune.json       tile-search sweep: exhaustive oracle vs
+#                             model-guided per workload (candidates
+#                             measured, wall-ms, modeled-quality gap),
+#                             aggregate measured fraction and geomean
+#                             search speedup, and the near-miss
+#                             warm-start verdict
 #
 # at the repository root. All benches compare the optimized
 # configuration (inline SmallVec rows + op cache) against the
@@ -59,7 +65,8 @@ if [ ! -f "$build/CMakeCache.txt" ]; then
 fi
 cmake --build "$build" -j "$jobs" \
     --target bench_presburger bench_compile_time bench_runtime \
-    bench_parallel bench_backends bench_cache bench_service
+    bench_parallel bench_backends bench_cache bench_service \
+    bench_autotune
 
 echo "== bench_presburger --json -> BENCH_presburger.json =="
 "$build/bench/bench_presburger" --json > "$src/BENCH_presburger.json"
@@ -76,6 +83,8 @@ echo "== bench_cache --json -> BENCH_cache.json =="
 "$build/bench/bench_cache" --json > "$src/BENCH_cache.json"
 echo "== bench_service --json -> BENCH_service.json =="
 "$build/bench/bench_service" --json > "$src/BENCH_service.json"
+echo "== bench_autotune --json -> BENCH_autotune.json =="
+"$build/bench/bench_autotune" --json > "$src/BENCH_autotune.json"
 
 # Surface the headline numbers; the benches already failed the
 # script (set -e) on any generated-code or buffer mismatch.
@@ -90,4 +99,6 @@ grep -o '"singleCore": [a-z]*' "$src/BENCH_backends.json"
 grep -o '"allWithinContract": [a-z]*' "$src/BENCH_backends.json"
 grep -o '"geomeanWarmSpeedup": [0-9.]*' "$src/BENCH_cache.json"
 grep -o '"compileP99Ms": [0-9.]*' "$src/BENCH_service.json"
+grep -o '"geomeanSpeedup": [0-9.]*' "$src/BENCH_autotune.json"
+grep -o '"allOk": [a-z]*' "$src/BENCH_autotune.json"
 echo "== perf baseline written =="

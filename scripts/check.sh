@@ -104,20 +104,22 @@ tsan_build_and_run() {
 # directly. Leaks or overflows on the budget/fallback/failpoint
 # unwind paths — and on the bytecode VM's strength-reduced access
 # offsets (tests/test_exec.cc) — and on the service's per-request
-# error/shed/drain unwind paths (tests/test_service.cc) — show up
-# here as hard failures.
+# error/shed/drain unwind paths (tests/test_service.cc) — and on the
+# tuner's parallel batch evaluation and tuning-store parsing
+# (tests/test_autotune.cc) — show up here as hard failures.
 asan_build_and_run() {
     echo "== configure + build with -fsanitize=address =="
     cmake -B "$src/build-asan" -S "$src" -DPOLYFUSE_ASAN=ON
     cmake --build "$src/build-asan" -j "$jobs" \
         --target test_robustness test_pres_parser test_exec \
-        test_service
+        test_service test_autotune
     echo "== run test_robustness + test_pres_parser + test_exec" \
-         "+ test_service under ASAN =="
+         "+ test_service + test_autotune under ASAN =="
     "$src/build-asan/tests/test_robustness"
     "$src/build-asan/tests/test_pres_parser"
     "$src/build-asan/tests/test_exec"
     "$src/build-asan/tests/test_service"
+    "$src/build-asan/tests/test_autotune"
     echo "== ASAN run OK =="
 }
 

@@ -115,6 +115,15 @@ usage(FILE *to)
         "  --tune-db PATH        persistent fingerprint-keyed tuning\n"
         "                        store for --autotune: hits warm-\n"
         "                        start, searches are saved back\n"
+        "  --search MODE         autotune search driver: 'guided'\n"
+        "                        (model-ranked top-K, the default)\n"
+        "                        or 'exhaustive' (measure every\n"
+        "                        candidate; the oracle)\n"
+        "  --search-top-k N      guided: fully measure the N top-\n"
+        "                        ranked candidates (default: auto,\n"
+        "                        ~20%% of the ladder)\n"
+        "  --search-report       also run the exhaustive oracle and\n"
+        "                        report the guided quality gap\n"
         "  --emit c|cuda|tree|stats|json\n"
         "                        what to print (default: stats;\n"
         "                        --all supports stats and json)\n"
@@ -263,6 +272,11 @@ main(int argc, char **argv)
     unsigned repeatN = 1;
     bool do_autotune = false;
     std::string tune_db_path;
+    // The CLI defaults to the guided driver (the library default
+    // stays exhaustive for backward compatibility).
+    perfmodel::SearchMode search_mode = perfmodel::SearchMode::Guided;
+    unsigned search_top_k = 0;
+    bool search_report = false;
     std::string serve_path;
     std::string connect_path;
     unsigned serve_workers = 4;
@@ -438,6 +452,28 @@ main(int argc, char **argv)
             repeatN = unsigned(n);
         } else if (arg == "--autotune") {
             do_autotune = true;
+        } else if (arg == "--search") {
+            const char *v = value(i);
+            if (!perfmodel::parseSearchMode(v, &search_mode)) {
+                std::fprintf(stderr,
+                             "polyfuse: bad --search '%s' (use "
+                             "exhaustive|guided)\n",
+                             v);
+                return 2;
+            }
+        } else if (arg == "--search-top-k") {
+            char *end = nullptr;
+            const char *v = value(i);
+            long n = std::strtol(v, &end, 10);
+            if (!end || *end != '\0' || n <= 0) {
+                std::fprintf(stderr,
+                             "polyfuse: bad --search-top-k '%s'\n",
+                             v);
+                return 2;
+            }
+            search_top_k = unsigned(n);
+        } else if (arg == "--search-report") {
+            search_report = true;
         } else if (arg == "--tune-db") {
             tune_db_path = value(i);
         } else if (arg == "--serve") {
@@ -670,6 +706,8 @@ main(int argc, char **argv)
     std::unique_ptr<perfmodel::TuneDb> tune_db;
     if (!tune_db_path.empty())
         tune_db = std::make_unique<perfmodel::TuneDb>(tune_db_path);
+    perfmodel::AutotuneResult tuned;
+    bool tuned_ok = false;
     if (do_autotune) {
         try {
             auto graph = deps::DependenceGraph::compute(*program);
@@ -678,23 +716,46 @@ main(int argc, char **argv)
                              ? 2u
                              : unsigned(opts.tileSizes.size());
             aopts.targetParallelism = opts.targetParallelism;
+            aopts.searchMode = search_mode;
+            aopts.searchTopK = search_top_k;
+            aopts.compareOracle = search_report;
             aopts.db = tune_db.get();
-            perfmodel::AutotuneResult tuned =
-                perfmodel::autotuneTileSizes(*program, graph,
-                                             fill_inputs, aopts);
+            tuned = perfmodel::autotuneTileSizes(*program, graph,
+                                                 fill_inputs, aopts);
+            tuned_ok = true;
             opts.tileSizes = tuned.tileSizes;
             std::string tiles;
             for (int64_t t : tuned.tileSizes)
                 tiles +=
                     (tiles.empty() ? "" : ",") + std::to_string(t);
-            std::fprintf(
-                stderr,
-                "polyfuse: autotune picked tiles %s (%s, %u "
-                "candidates evaluated)\n",
-                tiles.c_str(),
-                tuned.warmStart ? "tuning-store warm start"
-                                : "cold search",
-                tuned.evaluated);
+            if (tuned.warmStart) {
+                std::fprintf(stderr,
+                             "polyfuse: autotune picked tiles %s "
+                             "(tuning-store warm start)\n",
+                             tiles.c_str());
+            } else {
+                std::fprintf(
+                    stderr,
+                    "polyfuse: autotune picked tiles %s (%s "
+                    "search%s, %u of %u candidates measured, "
+                    "%u model-pruned)\n",
+                    tiles.c_str(),
+                    perfmodel::searchModeName(tuned.mode),
+                    tuned.seededFromShape ? ", shape-key seeded"
+                                          : "",
+                    tuned.evaluated, tuned.totalCandidates,
+                    tuned.pruned);
+            }
+            if (search_report && !tuned.warmStart &&
+                tuned.mode == perfmodel::SearchMode::Guided)
+                std::fprintf(
+                    stderr,
+                    "polyfuse: search report: modeled %.4f ms vs "
+                    "oracle %.4f ms (gap %.2f%%), rank %.2f ms, "
+                    "sweep %.2f ms\n",
+                    tuned.modeledMs, tuned.oracleMs,
+                    tuned.qualityGapPct, tuned.modelRankMs,
+                    tuned.searchMs);
         } catch (const std::exception &e) {
             std::fprintf(stderr, "polyfuse: autotune failed: %s\n",
                          e.what());
@@ -822,6 +883,44 @@ main(int argc, char **argv)
             art += artifact.fromCache ? "true" : "false";
             art += "}";
             out.insert(out.size() - 1, art);
+        }
+        if (tuned_ok) {
+            // Splice the tuning outcome into the stats JSON (which
+            // always ends in '}').
+            char buf[200];
+            std::string tiles;
+            for (int64_t t : tuned.tileSizes)
+                tiles +=
+                    (tiles.empty() ? "" : ", ") + std::to_string(t);
+            std::string tj = ", \"autotune\": {\"tiles\": [" +
+                             tiles + "], ";
+            std::snprintf(
+                buf, sizeof(buf),
+                "\"mode\": \"%s\", \"warmStart\": %s, "
+                "\"seededFromShape\": %s, \"modeledMs\": %.6f, ",
+                perfmodel::searchModeName(tuned.mode),
+                tuned.warmStart ? "true" : "false",
+                tuned.seededFromShape ? "true" : "false",
+                tuned.modeledMs);
+            tj += buf;
+            std::snprintf(
+                buf, sizeof(buf),
+                "\"measured\": %u, \"totalCandidates\": %u, "
+                "\"pruned\": %u, \"modelRankMs\": %.4f, "
+                "\"searchMs\": %.4f",
+                tuned.evaluated, tuned.totalCandidates,
+                tuned.pruned, tuned.modelRankMs, tuned.searchMs);
+            tj += buf;
+            if (search_report &&
+                tuned.mode == perfmodel::SearchMode::Guided) {
+                std::snprintf(buf, sizeof(buf),
+                              ", \"oracleMs\": %.6f, "
+                              "\"qualityGapPct\": %.4f",
+                              tuned.oracleMs, tuned.qualityGapPct);
+                tj += buf;
+            }
+            tj += "}";
+            out.insert(out.size() - 1, tj);
         }
         if (ran) {
             // Splice a "run" object into the stats JSON (which always

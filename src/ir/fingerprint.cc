@@ -81,10 +81,15 @@ mixStatement(Fingerprinter &fp, const Statement &s)
     mixExpr(fp, s.body());
 }
 
-} // namespace
-
+/**
+ * Shared body of mixProgram/mixProgramShape. The only difference
+ * between the full and the shape layer is whether the parameter
+ * *values* enter the stream; everything else in a Program is
+ * symbolic in the parameters and therefore size-invariant.
+ */
 void
-mixProgram(Fingerprinter &fp, const Program &program)
+mixProgramImpl(Fingerprinter &fp, const Program &program,
+               bool with_param_values)
 {
     fp.mix(program.name());
     fp.mix(uint64_t(program.params().size()));
@@ -94,7 +99,8 @@ mixProgram(Fingerprinter &fp, const Program &program)
     fp.mix(uint64_t(program.paramValues().size()));
     for (const auto &kv : program.paramValues()) {
         fp.mix(kv.first);
-        fp.mixSigned(kv.second);
+        if (with_param_values)
+            fp.mixSigned(kv.second);
     }
     fp.mix(uint64_t(program.tensors().size()));
     for (const TensorInfo &t : program.tensors()) {
@@ -107,6 +113,23 @@ mixProgram(Fingerprinter &fp, const Program &program)
     fp.mix(uint64_t(program.statements().size()));
     for (const Statement &s : program.statements())
         mixStatement(fp, s);
+}
+
+} // namespace
+
+void
+mixProgram(Fingerprinter &fp, const Program &program)
+{
+    mixProgramImpl(fp, program, /*with_param_values=*/true);
+}
+
+void
+mixProgramShape(Fingerprinter &fp, const Program &program)
+{
+    // Tag the stream so a shape fingerprint can never collide with a
+    // full fingerprint of some other program by construction.
+    fp.mix("ir-shape");
+    mixProgramImpl(fp, program, /*with_param_values=*/false);
 }
 
 pres::Fingerprint

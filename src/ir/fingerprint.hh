@@ -18,6 +18,16 @@
  * (strategy, tiles, tier, codegen flags) are mixed on top by
  * driver::programFingerprint, and tuning-search parameters by
  * perfmodel's tuning store.
+ *
+ * A second, extent-blind layer (mixProgramShape) mixes the same
+ * structure but *not* the parameter values. Workloads carry their
+ * concrete sizes exclusively through paramValues (domains, tensor
+ * extents and access relations are all symbolic in the parameters),
+ * so two instantiations of one pipeline at different sizes share a
+ * shape fingerprint while any structural change -- another
+ * statement, a different stencil, a renamed parameter -- still
+ * separates them. The tuning store uses this as its near-miss key:
+ * tiles tuned for one size seed the search at another.
  */
 
 #ifndef POLYFUSE_IR_FINGERPRINT_HH
@@ -32,6 +42,14 @@ class Program;
 
 /** Mix @p program's full structure into @p fp. */
 void mixProgram(pres::Fingerprinter &fp, const Program &program);
+
+/**
+ * Mix @p program's structure *without* the concrete parameter
+ * values: the extent-blind shape layer. Parameter names (and their
+ * count) are still mixed, so shape equality means "same symbolic
+ * program, possibly different sizes".
+ */
+void mixProgramShape(pres::Fingerprinter &fp, const Program &program);
 
 /** Fingerprint of the program alone (default seeds). */
 pres::Fingerprint fingerprintProgram(const Program &program);

@@ -1,18 +1,9 @@
 #include "perfmodel/autotune.hh"
 
-#include <exception>
-#include <mutex>
-
-#include "codegen/generate.hh"
-#include "core/compose.hh"
-#include "exec/bytecode.hh"
 #include "ir/fingerprint.hh"
-#include "memsim/cache.hh"
-#include "perfmodel/parallel.hh"
+#include "perfmodel/search.hh"
 #include "perfmodel/tune_db.hh"
-#include "pres/op_cache.hh"
 #include "support/logging.hh"
-#include "support/thread_pool.hh"
 #include "support/timer.hh"
 
 namespace polyfuse {
@@ -20,69 +11,18 @@ namespace perfmodel {
 
 namespace {
 
-/** Largest tensor extent: candidates beyond it are pointless. */
-int64_t
-maxExtent(const ir::Program &p)
-{
-    int64_t best = 1;
-    for (size_t t = 0; t < p.tensors().size(); ++t)
-        for (unsigned d = 0; d < p.tensor(t).rank; ++d)
-            best = std::max(best, p.tensorExtent(t, d));
-    return best;
-}
-
-double
-evaluate(const ir::Program &p, const deps::DependenceGraph &g,
-         const std::vector<int64_t> &sizes,
-         const std::function<void(exec::Buffers &)> &init,
-         const AutotuneOptions &options)
-{
-    core::ComposeOptions copts;
-    copts.tileSizes = sizes;
-    copts.targetParallelism = options.targetParallelism;
-    auto r = core::compose(p, g, copts);
-    auto ast = codegen::generateAst(r.tree);
-
-    exec::Buffers buf(p);
-    init(buf);
-    memsim::MemoryHierarchy mem(
-        memsim::CacheConfig{16 * 1024, 64, 8, "L1"},
-        memsim::CacheConfig{256 * 1024, 64, 16, "L2"});
-    for (size_t t = 0; t < p.tensors().size(); ++t) {
-        mem.addSpace(t, p.tensorSize(t));
-        mem.addSpace(p.tensors().size() + t, p.tensorSize(t));
-    }
-    // The bytecode tier with the batched hierarchy sink: identical
-    // trace sequence to the interpreter (differentially tested),
-    // at a fraction of the per-access cost.
-    auto kernel = exec::BytecodeKernel::compile(p, ast);
-    memsim::HierarchySink sink(mem);
-    auto stats = kernel.run(buf, sink);
-    return modeledCpuMs(stats, mem.stats(), options.threads);
-}
-
-/**
- * Enumerate every feasible candidate vector, in ladder order.
- * @p limit is the hoisted maxExtent(p): the program never changes
- * between candidates, so the tensor scan runs once per tuning call
- * instead of once per recursion level.
- */
+/** Mix the search-space configuration (the part of the key shared
+ *  by the exact and the shape layer). */
 void
-enumerateCandidates(const AutotuneOptions &options, int64_t limit,
-                    std::vector<int64_t> &current,
-                    std::vector<std::vector<int64_t>> &out)
+mixSearchConfig(pres::Fingerprinter &fp,
+                const AutotuneOptions &options)
 {
-    if (current.size() == options.dims) {
-        out.push_back(current);
-        return;
-    }
-    for (int64_t c : options.candidates) {
-        if (c > limit)
-            continue;
-        current.push_back(c);
-        enumerateCandidates(options, limit, current, out);
-        current.pop_back();
-    }
+    fp.mix(uint64_t(options.candidates.size()));
+    for (int64_t c : options.candidates)
+        fp.mixSigned(c);
+    fp.mix(uint64_t(options.dims));
+    fp.mix(uint64_t(options.threads));
+    fp.mix(uint64_t(options.targetParallelism));
 }
 
 } // namespace
@@ -93,12 +33,18 @@ tuningKey(const ir::Program &program, const AutotuneOptions &options)
     pres::Fingerprinter fp;
     fp.mix("polyfuse-autotune-v1");
     ir::mixProgram(fp, program);
-    fp.mix(uint64_t(options.candidates.size()));
-    for (int64_t c : options.candidates)
-        fp.mixSigned(c);
-    fp.mix(uint64_t(options.dims));
-    fp.mix(uint64_t(options.threads));
-    fp.mix(uint64_t(options.targetParallelism));
+    mixSearchConfig(fp, options);
+    return fp.fingerprint();
+}
+
+pres::Fingerprint
+tuningShapeKey(const ir::Program &program,
+               const AutotuneOptions &options)
+{
+    pres::Fingerprinter fp;
+    fp.mix("polyfuse-autotune-shape-v1");
+    ir::mixProgramShape(fp, program);
+    mixSearchConfig(fp, options);
     return fp.fingerprint();
 }
 
@@ -111,7 +57,9 @@ autotuneTileSizes(const ir::Program &program,
     if (options.dims == 0 || options.candidates.empty())
         fatal("autotune: need at least one dimension and candidate");
 
-    pres::Fingerprint key;
+    const bool guided = options.searchMode == SearchMode::Guided;
+    pres::Fingerprint key, shape_key;
+    std::vector<int64_t> seed_tiles;
     if (options.db) {
         key = tuningKey(program, options);
         TuneEntry stored;
@@ -121,89 +69,71 @@ autotuneTileSizes(const ir::Program &program,
             warm.tileSizes = stored.tiles;
             warm.modeledMs = stored.modeledMs;
             warm.evaluated = 0;
+            warm.mode = options.searchMode;
             warm.warmStart = true;
             return warm;
         }
+        if (guided) {
+            // Exact miss: try the extent-blind shape layer. Tiles
+            // tuned for the same structure at other sizes are a
+            // strong prior, not an answer -- they seed the ranking
+            // and shrink the measurement budget.
+            shape_key = tuningShapeKey(program, options);
+            if (options.db->find(shape_key, &stored) &&
+                stored.tiles.size() == options.dims)
+                seed_tiles = stored.tiles;
+        }
     }
 
-    std::vector<std::vector<int64_t>> candidates;
-    std::vector<int64_t> current;
-    enumerateCandidates(options, maxExtent(program), current,
-                        candidates);
-    if (candidates.empty())
+    SearchConfig cfg;
+    cfg.dims = options.dims;
+    cfg.threads = options.threads;
+    cfg.targetParallelism = options.targetParallelism;
+    cfg.jobs = options.jobs;
+    cfg.topK = options.searchTopK;
+    SearchInput in{program, graph,        init,
+                   cfg,     enumerateTileCandidates(
+                                program, options.candidates,
+                                options.dims),
+                   seed_tiles};
+    if (in.candidates.empty())
         fatal("autotune: no feasible candidate (all larger than the "
               "iteration space)");
 
-    // The exhaustive search is embarrassingly parallel: every
-    // evaluation compiles and simulates privately (the pres layer
-    // charges FM work to each worker thread's own context). The
-    // reduction below runs after the pool drains, in enumeration
-    // order, so the winner never depends on thread timing.
-    std::vector<double> modeled(candidates.size(), 0.0);
-    unsigned jobs = options.jobs == 0 ? ThreadPool::defaultThreads()
-                                      : options.jobs;
-    AutotuneResult best;
-    Timer search_timer;
-    if (jobs <= 1 || candidates.size() <= 1) {
-        // Sequential sweep: all candidates compile against one shared
-        // context with one op cache, so the dependence compositions
-        // and footprint projections every candidate re-derives are
-        // memoized across the ladder (the program never changes, only
-        // the tile sizes).
-        pres::fm::PresCtx shared;
-        pres::OpCache cache;
-        shared.cache = &cache;
-        pres::fm::ScopedCtx scope(shared);
-        double cold_ms = 0, warm_ms = 0;
-        for (size_t i = 0; i < candidates.size(); ++i) {
-            Timer t;
-            modeled[i] =
-                evaluate(program, graph, candidates[i], init,
-                         options);
-            (i == 0 ? cold_ms : warm_ms) += t.milliseconds();
-        }
-        best.cacheHits = shared.counters.cacheHits;
-        best.cacheMisses = shared.counters.cacheMisses;
-        if (candidates.size() > 1 && best.cacheHits > 0) {
-            double warm_avg = warm_ms / (candidates.size() - 1);
-            if (cold_ms > warm_avg)
-                best.savedMsEstimate =
-                    (cold_ms - warm_avg) * (candidates.size() - 1);
-        }
-    } else {
-        // Pool jobs must not throw; hold the first failure and
-        // rethrow on the caller thread (matching the sequential
-        // error behaviour).
-        std::exception_ptr failure;
-        std::mutex failure_mutex;
-        {
-            ThreadPool pool(jobs);
-            for (size_t i = 0; i < candidates.size(); ++i)
-                pool.submit([&, i] {
-                    try {
-                        modeled[i] = evaluate(program, graph,
-                                              candidates[i], init,
-                                              options);
-                    } catch (...) {
-                        std::lock_guard<std::mutex> lock(
-                            failure_mutex);
-                        if (!failure)
-                            failure = std::current_exception();
-                    }
-                });
-            pool.wait();
-        }
-        if (failure)
-            std::rethrow_exception(failure);
+    ModelFit fit = defaultModelFit();
+    if (guided && options.db) {
+        ModelFit stored_fit;
+        if (options.db->modelFit(&stored_fit) &&
+            stored_fit.samples > 0)
+            fit = stored_fit;
     }
 
+    Timer search_timer;
+    SearchOutcome outcome =
+        guided ? searchGuided(in, fit) : searchExhaustive(in);
+
+    AutotuneResult best;
     best.searchMs = search_timer.milliseconds();
-    best.evaluated = unsigned(candidates.size());
-    for (size_t i = 0; i < candidates.size(); ++i) {
-        if (best.tileSizes.empty() || modeled[i] < best.modeledMs) {
-            best.modeledMs = modeled[i];
-            best.tileSizes = candidates[i];
-        }
+    best.tileSizes = outcome.tileSizes;
+    best.modeledMs = outcome.modeledMs;
+    best.evaluated = outcome.measured;
+    best.mode = options.searchMode;
+    best.totalCandidates = unsigned(in.candidates.size());
+    best.pruned = best.totalCandidates - outcome.measured;
+    best.modelRankMs = outcome.modelRankMs;
+    best.cacheHits = outcome.counters.cacheHits;
+    best.cacheMisses = outcome.counters.cacheMisses;
+    best.savedMsEstimate = outcome.savedMsEstimate;
+    best.seededFromShape = !seed_tiles.empty();
+
+    if (guided && options.compareOracle) {
+        SearchOutcome oracle = searchExhaustive(in);
+        best.oracleMs = oracle.modeledMs;
+        if (oracle.modeledMs > 0)
+            best.qualityGapPct = 100.0 *
+                                 (best.modeledMs -
+                                  oracle.modeledMs) /
+                                 oracle.modeledMs;
     }
 
     if (options.db) {
@@ -214,6 +144,20 @@ autotuneTileSizes(const ir::Program &program,
         entry.modeledMs = best.modeledMs;
         entry.evaluated = best.evaluated;
         options.db->put(key, entry);
+        if (guided) {
+            // The extent-blind layer: the same winner filed under
+            // the shape key, so other sizes of this pipeline start
+            // seeded instead of cold.
+            TuneEntry shape = entry;
+            shape.kind = "shape";
+            options.db->put(shape_key, shape);
+            // Fold this search's measurements into the stored
+            // calibration (sample-count-weighted against whatever
+            // fit ranked this search).
+            if (!outcome.samples.empty())
+                options.db->setModelFit(
+                    fitModel(outcome.samples, fit));
+        }
         options.db->save();
     }
     return best;

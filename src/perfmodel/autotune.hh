@@ -5,11 +5,25 @@
  * 32, 64, 128, 256 and 512 for each dimension, the PolyMage
  * framework uses an auto-tuning strategy for tile size selection").
  *
- * The tuner runs the composition for every candidate size pair,
- * executes the result once with the cache simulation, and picks the
- * size minimizing the modeled multi-thread time. It is deliberately
- * exhaustive (the paper treats tuning as a complementary, offline
- * step) but prunes candidates larger than the iteration space.
+ * Two search modes (perfmodel/search.hh):
+ *
+ *   - Exhaustive (the default here, and the oracle): run the
+ *     composition for every candidate size vector, execute the
+ *     result once with the cache simulation, and pick the size
+ *     minimizing the modeled multi-thread time.
+ *   - Guided: rank every candidate with the calibrated analytic
+ *     cost model (perfmodel/model.hh), then fully evaluate only the
+ *     top-K with successive-halving early stopping -- a fraction of
+ *     the measurements at near-oracle quality.
+ *
+ * The tuning store participates at two levels: an exact-key hit
+ * (same program, same sizes, same search space) returns the stored
+ * tiles with no search at all, and -- in guided mode -- a shape-key
+ * hit (same program structure at *different* tensor extents, via
+ * ir::mixProgramShape) seeds the candidate ranking and halves the
+ * measurement budget. Completed guided searches also fold their
+ * measurements into the store's cost-model calibration, so every
+ * search sharpens later rankings.
  */
 
 #ifndef POLYFUSE_PERFMODEL_AUTOTUNE_HH
@@ -22,6 +36,7 @@
 #include "deps/dependences.hh"
 #include "exec/executor.hh"
 #include "ir/program.hh"
+#include "perfmodel/search.hh"
 #include "pres/fingerprint.hh"
 
 namespace polyfuse {
@@ -41,11 +56,26 @@ struct AutotuneOptions
     /**
      * Concurrent candidate evaluations (0 = hardware concurrency).
      * Each evaluation compiles and simulates against its own
-     * CompileContext-style state, and ties are broken by enumeration
-     * order, so the chosen sizes are identical for any job count.
+     * CompileContext-style state, and every reduction runs in
+     * enumeration/ranking order after the pool drains, so the chosen
+     * sizes are identical for any job count -- in both search modes.
      * @p init must be safe to call from several threads at once.
      */
     unsigned jobs = 1;
+
+    /** How to explore the ladder. The library default stays
+     *  Exhaustive (the oracle); the CLI defaults to Guided. */
+    SearchMode searchMode = SearchMode::Exhaustive;
+
+    /** Guided: fully evaluate this many top-ranked candidates
+     *  (0 = auto, max(3, ceil(total / 5)); halved again when a
+     *  shape-key seed is available). */
+    unsigned searchTopK = 0;
+
+    /** Guided: also run the exhaustive oracle and report
+     *  oracleMs / qualityGapPct (costs a full sweep; for reports
+     *  and benches, not production tuning). */
+    bool compareOracle = false;
 
     /**
      * Persistent tuning store (perfmodel/tune_db.hh). When set, the
@@ -54,7 +84,9 @@ struct AutotuneOptions
      * threads, targetParallelism); a hit warm-starts -- the stored
      * tiles come back with evaluated == 0 and warmStart set, no
      * candidate is compiled. A completed cold search puts its result
-     * and save()s the store.
+     * and save()s the store. Guided searches additionally consult
+     * the extent-blind shape key (near-miss seeding) and update the
+     * stored cost-model calibration.
      */
     TuneDb *db = nullptr;
 };
@@ -64,15 +96,29 @@ struct AutotuneResult
 {
     std::vector<int64_t> tileSizes;
     double modeledMs = 0;
+    /** Candidates fully measured (compose + simulate). */
     unsigned evaluated = 0;
+
+    /** The mode that produced this result. */
+    SearchMode mode = SearchMode::Exhaustive;
+
+    /** Feasible candidates in the search space. */
+    unsigned totalCandidates = 0;
+
+    /** Candidates skipped on model ranking alone (guided;
+     *  totalCandidates - evaluated). */
+    unsigned pruned = 0;
+
+    /** Wall time of the model ranking pass (guided only). */
+    double modelRankMs = 0;
 
     /** Wall time of the candidate sweep (compile + simulate). */
     double searchMs = 0;
 
-    /** Presburger op-cache traffic of the sweep. The sequential path
-     *  (jobs == 1) shares one cache across candidates, so repeated
-     *  dependence compositions are memoized; the parallel path
-     *  evaluates with per-thread contexts and reports zeros. */
+    /** Presburger op-cache traffic of the sweep, aggregated across
+     *  workers: the sequential path shares one cache across
+     *  candidates, the parallel path sums its per-worker counters,
+     *  so both report comparable numbers. */
     uint64_t cacheHits = 0;
     uint64_t cacheMisses = 0;
 
@@ -85,15 +131,37 @@ struct AutotuneResult
     /** True when the result came out of the tuning store without a
      *  search (evaluated == 0 in that case). */
     bool warmStart = false;
+
+    /** True when a shape-key near miss seeded the guided ranking. */
+    bool seededFromShape = false;
+
+    /** The exhaustive oracle's best modeled time (only when
+     *  AutotuneOptions::compareOracle). */
+    double oracleMs = 0;
+
+    /** 100 x (modeledMs - oracleMs) / oracleMs (only when
+     *  compareOracle; 0 when the winner matches the oracle). */
+    double qualityGapPct = 0;
 };
 
 /**
  * The tuning-store key for @p program under @p options: the
  * program's structural fingerprint plus the search configuration,
- * so a changed ladder/dims/objective re-tunes.
+ * so a changed ladder/dims/objective re-tunes. Deliberately blind
+ * to searchMode/topK: guided and exhaustive searches answer the
+ * same question, so either's stored winner serves both.
  */
 pres::Fingerprint tuningKey(const ir::Program &program,
                             const AutotuneOptions &options);
+
+/**
+ * The extent-blind near-miss key: ir::mixProgramShape plus the same
+ * search configuration. Two instantiations of one pipeline at
+ * different sizes share this key, so tiles tuned at one size seed
+ * the guided search at another.
+ */
+pres::Fingerprint tuningShapeKey(const ir::Program &program,
+                                 const AutotuneOptions &options);
 
 /**
  * Find the tile sizes minimizing the modeled time of the composed

@@ -23,6 +23,16 @@ canonicalMs(double ms)
     return std::string(buf);
 }
 
+/** Canonical spelling of a model coefficient (%.9g keeps tiny
+ *  weights alive where %.6f would round them to zero). */
+std::string
+canonicalCoeff(double c)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", c);
+    return std::string(buf);
+}
+
 /**
  * A tiny recursive-descent reader for exactly the subset save()
  * emits (objects, arrays, strings without escapes beyond \" and \\,
@@ -150,11 +160,57 @@ parseEntry(Reader &r, std::string *fp_hex, TuneEntry *entry,
             if (!r.number(&v))
                 return false;
             entry->evaluated = unsigned(v);
+        } else if (key == "kind") {
+            if (!r.string(&entry->kind))
+                return false;
         } else {
             return false; // unknown key: not our file
         }
     }
     return !fp_hex->empty();
+}
+
+bool
+parseModel(Reader &r, ModelFit *fit, std::string *crc_hex)
+{
+    if (!r.lit('{'))
+        return false;
+    bool first = true;
+    while (true) {
+        r.ws();
+        if (r.lit('}'))
+            break;
+        if (!first && !r.lit(','))
+            return false;
+        first = false;
+        std::string key;
+        if (!r.string(&key) || !r.lit(':'))
+            return false;
+        double v;
+        if (key == "cCompute") {
+            if (!r.number(&fit->cCompute))
+                return false;
+        } else if (key == "cMem") {
+            if (!r.number(&fit->cMem))
+                return false;
+        } else if (key == "cTraffic") {
+            if (!r.number(&fit->cTraffic))
+                return false;
+        } else if (key == "cTile") {
+            if (!r.number(&fit->cTile))
+                return false;
+        } else if (key == "samples") {
+            if (!r.number(&v))
+                return false;
+            fit->samples = uint64_t(v);
+        } else if (key == "crc") {
+            if (!r.string(crc_hex))
+                return false;
+        } else {
+            return false;
+        }
+    }
+    return true;
 }
 
 } // namespace
@@ -178,6 +234,29 @@ recordChecksum(const std::string &fp_hex, const TuneEntry &entry)
         h = pres::fnvMix(h, uint64_t(t));
     mixStr(canonicalMs(entry.modeledMs));
     h = pres::fnvMix(h, entry.evaluated);
+    // "exact" records hash exactly as schema version 1 did (the
+    // field did not exist), so legacy stores keep verifying.
+    if (entry.kind != "exact")
+        mixStr(entry.kind);
+    return pres::hashFinalize(h);
+}
+
+uint64_t
+modelChecksum(const ModelFit &fit)
+{
+    uint64_t h = pres::kFnvOffset;
+    auto mixStr = [&h](const std::string &s) {
+        h = pres::fnvMix(h, uint64_t(s.size()));
+        for (char c : s) {
+            h ^= uint8_t(c);
+            h *= pres::kFnvPrime;
+        }
+    };
+    mixStr(canonicalCoeff(fit.cCompute));
+    mixStr(canonicalCoeff(fit.cMem));
+    mixStr(canonicalCoeff(fit.cTraffic));
+    mixStr(canonicalCoeff(fit.cTile));
+    h = pres::fnvMix(h, fit.samples);
     return pres::hashFinalize(h);
 }
 
@@ -200,6 +279,7 @@ TuneDb::load()
 {
     std::lock_guard<std::mutex> lock(mu_);
     entries_.clear();
+    hasFit_ = false;
     lastLoadDropped_ = 0;
     std::ifstream in(path_);
     if (!in.is_open())
@@ -208,18 +288,22 @@ TuneDb::load()
     buf << in.rdbuf();
     std::string text = buf.str();
 
-    // The header must spell `{"version": 1` before anything else
-    // (save() always writes it first). A wrong or missing version is
-    // a foreign file, not bit rot: refuse it wholesale rather than
-    // salvaging records whose semantics we cannot vouch for.
+    // The header must spell `{"version": 1` or `{"version": 2`
+    // before anything else (save() always writes it first). A wrong
+    // or missing version is a foreign file, not bit rot: refuse it
+    // wholesale rather than salvaging records whose semantics we
+    // cannot vouch for. Version 1 is the pre-model schema -- same
+    // record format, no "model" section, no "kind" field -- and
+    // loads cleanly.
     Reader r(text);
     {
         double v;
         std::string key;
         if (!r.lit('{') || !r.string(&key) || key != "version" ||
-            !r.lit(':') || !r.number(&v) || v != 1) {
+            !r.lit(':') || !r.number(&v) || (v != 1 && v != 2)) {
             warn("tune db " + path_ +
-                 ": not a version-1 polyfuse store; starting empty");
+                 ": not a version-1/2 polyfuse store; starting "
+                 "empty");
             return false;
         }
     }
@@ -231,10 +315,35 @@ TuneDb::load()
     // the next record header instead of giving up on the tail.
     std::map<std::string, TuneEntry> parsed;
     bool structure_ok = false;
-    if (r.lit(',')) {
-        std::string key;
-        if (r.string(&key) && key == "entries" && r.lit(':') &&
-            r.lit('[')) {
+    bool model_dropped = false;
+    std::string key;
+    bool have_key = r.lit(',') && r.string(&key);
+    if (have_key && key == "model") {
+        // The optional calibration section. A damaged fit is
+        // dropped on its own (guided search falls back to the
+        // built-in calibration); the entries after it are still
+        // salvaged.
+        size_t model_start = r.pos;
+        ModelFit mf;
+        std::string crc;
+        bool ok = r.lit(':') && parseModel(r, &mf, &crc) &&
+                  crc == checksumHex(modelChecksum(mf));
+        if (ok) {
+            fit_ = mf;
+            hasFit_ = true;
+            have_key = r.lit(',') && r.string(&key);
+        } else {
+            model_dropped = true;
+            have_key = false;
+            size_t next = text.find("\"entries\"", model_start);
+            if (next != std::string::npos) {
+                r.pos = next;
+                have_key = r.string(&key);
+            }
+        }
+    }
+    if (have_key) {
+        if (key == "entries" && r.lit(':') && r.lit('[')) {
             if (r.lit(']')) {
                 structure_ok = r.lit('}');
             } else {
@@ -275,12 +384,13 @@ TuneDb::load()
     }
 
     entries_ = std::move(parsed);
-    if (lastLoadDropped_ == 0 && structure_ok)
+    if (lastLoadDropped_ == 0 && structure_ok && !model_dropped)
         return true;
     warn("tune db " + path_ + ": dropped " +
          std::to_string(lastLoadDropped_) +
-         " corrupt record(s), kept " +
-         std::to_string(entries_.size()) +
+         " corrupt record(s)" +
+         (model_dropped ? " and the model calibration" : "") +
+         ", kept " + std::to_string(entries_.size()) +
          "; next save() rewrites a clean store");
     return false;
 }
@@ -289,7 +399,19 @@ bool
 TuneDb::save() const
 {
     std::lock_guard<std::mutex> lock(mu_);
-    std::string out = "{\"version\": 1, \"entries\": [";
+    std::string out = "{\"version\": 2, ";
+    if (hasFit_) {
+        out += "\"model\": {";
+        out += "\"cCompute\": " + canonicalCoeff(fit_.cCompute);
+        out += ", \"cMem\": " + canonicalCoeff(fit_.cMem);
+        out += ", \"cTraffic\": " + canonicalCoeff(fit_.cTraffic);
+        out += ", \"cTile\": " + canonicalCoeff(fit_.cTile);
+        out += ", \"samples\": " + std::to_string(fit_.samples);
+        out += ", \"crc\": \"" + checksumHex(modelChecksum(fit_)) +
+               "\"";
+        out += "}, ";
+    }
+    out += "\"entries\": [";
     char buf[64];
     bool first = true;
     for (const auto &kv : entries_) {
@@ -310,6 +432,10 @@ TuneDb::save() const
         std::snprintf(buf, sizeof(buf), "%.6f", e.modeledMs);
         out += ", \"modeledMs\": " + std::string(buf);
         out += ", \"evaluated\": " + std::to_string(e.evaluated);
+        // Omitted for "exact": those records (and their checksums)
+        // stay byte-compatible with schema version 1.
+        if (e.kind != "exact")
+            out += ", \"kind\": \"" + e.kind + "\"";
         out += ", \"crc\": \"" +
                checksumHex(recordChecksum(kv.first, e)) + "\"";
         out += "}";
@@ -362,6 +488,24 @@ TuneDb::lastLoadDropped() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return lastLoadDropped_;
+}
+
+bool
+TuneDb::modelFit(ModelFit *out) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!hasFit_)
+        return false;
+    *out = fit_;
+    return true;
+}
+
+void
+TuneDb::setModelFit(const ModelFit &fit)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    fit_ = fit;
+    hasFit_ = true;
 }
 
 } // namespace perfmodel

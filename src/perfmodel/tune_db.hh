@@ -6,13 +6,27 @@
  * the candidate ladder (the warm-start-over-re-search idea of
  * Acharya & Bondhugula's fast-permutation work).
  *
- * The on-disk format is one JSON object:
+ * The on-disk format is one JSON object (schema version 2):
  *
- *   {"version": 1, "entries": [
+ *   {"version": 2, "model": {"cCompute": ..., "cMem": ...,
+ *      "cTraffic": ..., "cTile": ..., "samples": 40,
+ *      "crc": "<16 hex digits>"}, "entries": [
  *     {"fp": "<32 hex digits>", "strategy": "ours",
  *      "tiles": [64, 128], "tier": "bytecode",
  *      "modeledMs": 1.234, "evaluated": 49,
- *      "crc": "<16 hex digits>"}, ...]}
+ *      "kind": "shape", "crc": "<16 hex digits>"}, ...]}
+ *
+ * Version 2 adds two optional pieces on top of version 1, both with
+ * backward-compatible load (a version-1 file reads cleanly):
+ *
+ *   - "model": the calibrated cost-model fit (perfmodel/model.hh)
+ *     behind guided search, carrying its own checksum; a corrupt
+ *     fit is dropped (back to the built-in calibration) without
+ *     touching the entries.
+ *   - per-entry "kind": "exact" (the default, omitted on disk, so
+ *     exact records keep their version-1 checksum) or "shape" --
+ *     the extent-blind near-miss records keyed by
+ *     ir::mixProgramShape that seed guided candidate order.
  *
  * Each record carries its own checksum (FNV-1a over a canonical
  * serialization of the record, pres/row_hash.hh mixing). A store is
@@ -47,6 +61,7 @@
 #include <string>
 #include <vector>
 
+#include "perfmodel/model.hh"
 #include "pres/fingerprint.hh"
 
 namespace polyfuse {
@@ -60,6 +75,10 @@ struct TuneEntry
     std::string tier = "bytecode";
     double modeledMs = 0;
     unsigned evaluated = 0;
+    /** "exact" (full tuningKey) or "shape" (extent-blind near-miss
+     *  key). Omitted on disk for "exact", keeping version-1 records
+     *  checksum-compatible. */
+    std::string kind = "exact";
 };
 
 /** A fingerprint-keyed map of TuneEntry, persisted as JSON. */
@@ -99,18 +118,31 @@ class TuneDb
 
     size_t size() const;
 
+    /** The stored cost-model calibration. @return false (out
+     *  untouched) when the store carries none. */
+    bool modelFit(ModelFit *out) const;
+
+    /** Set the calibration (in memory; call save() to persist). */
+    void setModelFit(const ModelFit &fit);
+
   private:
     mutable std::mutex mu_;
     std::string path_;
     /** Keyed by Fingerprint::hex(): sorted, so save() is stable. */
     std::map<std::string, TuneEntry> entries_;
+    ModelFit fit_;
+    bool hasFit_ = false;
     size_t lastLoadDropped_ = 0;
 };
 
 /** The per-record checksum save() stores under "crc" (exposed for
- *  tests that fabricate corrupt stores). */
+ *  tests that fabricate corrupt stores). kind == "exact" records
+ *  hash exactly as version 1 did, so legacy stores verify. */
 uint64_t recordChecksum(const std::string &fp_hex,
                         const TuneEntry &entry);
+
+/** The checksum of the "model" section (exposed for tests). */
+uint64_t modelChecksum(const ModelFit &fit);
 
 /** @p crc as the 16-hex-digit spelling used on disk. */
 std::string checksumHex(uint64_t crc);
